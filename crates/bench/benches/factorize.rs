@@ -1,0 +1,91 @@
+//! Criterion end-to-end benchmarks: full TLR Cholesky factorizations of
+//! real RBF operators at laptop scale — trimmed vs untrimmed DAGs, and
+//! TLR vs dense factorization of the same operator (the headline
+//! arithmetic saving of the TLR format).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hicma_core::{factorize, FactorConfig};
+use rbf_mesh::geometry::{virus_population, VirusConfig};
+use rbf_mesh::hilbert::{apply_permutation, hilbert_sort};
+use rbf_mesh::GaussianRbf;
+use std::hint::black_box;
+use tlr_compress::{CompressionConfig, TlrMatrix};
+use tlr_linalg::{potrf, Matrix};
+
+struct Fixture {
+    dense: Matrix,
+    points_n: usize,
+}
+
+fn fixture() -> Fixture {
+    let vcfg = VirusConfig { points_per_virus: 300, ..Default::default() };
+    let raw = virus_population(3, &vcfg, 23);
+    let points = apply_permutation(&raw, &hilbert_sort(&raw));
+    let kernel = GaussianRbf::from_min_distance(&points);
+    let n = points.len();
+    let dense = Matrix::from_fn(n, n, |i, j| kernel.matrix_entry(&points, i, j));
+    Fixture { dense, points_n: n }
+}
+
+fn bench_factorize(c: &mut Criterion) {
+    let fx = fixture();
+    let accuracy = 1e-6;
+    let tile = 100;
+    let ccfg = CompressionConfig::with_accuracy(accuracy);
+
+    let mut g = c.benchmark_group("factorize_rbf");
+    g.sample_size(10);
+
+    g.bench_function(format!("tlr_trimmed_n{}", fx.points_n), |bch| {
+        bch.iter_batched(
+            || TlrMatrix::from_dense(&fx.dense, tile, &ccfg),
+            |mut m| {
+                let cfg = FactorConfig { trimmed: true, ..FactorConfig::with_accuracy(accuracy) };
+                factorize(&mut m, &cfg).unwrap();
+                black_box(m.nt())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function(format!("tlr_untrimmed_n{}", fx.points_n), |bch| {
+        bch.iter_batched(
+            || TlrMatrix::from_dense(&fx.dense, tile, &ccfg),
+            |mut m| {
+                let cfg = FactorConfig { trimmed: false, ..FactorConfig::with_accuracy(accuracy) };
+                factorize(&mut m, &cfg).unwrap();
+                black_box(m.nt())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function(format!("dense_potrf_n{}", fx.points_n), |bch| {
+        bch.iter_batched(
+            || fx.dense.clone(),
+            |mut a| {
+                potrf(&mut a).unwrap();
+                black_box(a.rows())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+fn bench_compression_phase(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("compression_phase");
+    g.sample_size(10);
+    for acc in [1e-4, 1e-8] {
+        let ccfg = CompressionConfig::with_accuracy(acc);
+        g.bench_function(format!("compress_n{}_acc{acc:.0e}", fx.points_n), |bch| {
+            bch.iter(|| black_box(TlrMatrix::from_dense(&fx.dense, 100, &ccfg).memory_f64()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_factorize, bench_compression_phase);
+criterion_main!(benches);

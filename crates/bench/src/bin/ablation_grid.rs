@@ -1,0 +1,80 @@
+//! Ablation: process-grid shape vs the diamond skew.
+//!
+//! The diamond distribution's reason to exist (§VII-B) is that a
+//! rectangular `p × q` grid with `g = gcd(p, q) > 1` pins each
+//! distance-to-diagonal band to `p·q/g` processes. This sweep measures
+//! rank-weighted load imbalance of the rectangular grid vs the diamond
+//! skew across grid shapes, directly exposing the gcd effect the
+//! time-level figures can only show indirectly.
+
+use distribution::{DiamondDistribution, TileDistribution, TwoDBlockCyclic};
+use tlr_bench::{header, PAPER_ACCURACY, PAPER_SHAPE};
+use tlr_compress::kernels::flops;
+use tlr_compress::SyntheticRankModel;
+
+fn main() {
+    println!("Ablation — grid shape vs diamond skew (rank-weighted static load)");
+    header(&[
+        ("grid", 8),
+        ("gcd", 5),
+        ("imb 2DBC", 10),
+        ("imb diamond", 12),
+        ("improvement", 12),
+    ]);
+
+    let nt = 256;
+    let b = 1024;
+    let model = SyntheticRankModel::from_application(nt, b, PAPER_SHAPE, PAPER_ACCURACY);
+    let snap = model.snapshot();
+
+    // Static cost of tile (i, j): the GEMM updates it receives, priced by
+    // its rank (the dominant off-band work).
+    let cost = |i: usize, j: usize| -> f64 {
+        let r = snap.rank(i, j);
+        if r == 0 {
+            0.0
+        } else {
+            flops::gemm_tlr(b, r, r, r)
+        }
+    };
+    let imbalance = |dist: &dyn TileDistribution, np: usize| -> f64 {
+        let mut load = vec![0.0_f64; np];
+        for i in 0..nt {
+            for j in 0..i {
+                load[dist.owner(i, j)] += cost(i, j);
+            }
+        }
+        let max = load.iter().cloned().fold(0.0_f64, f64::max);
+        let mean = load.iter().sum::<f64>() / np as f64;
+        max / mean
+    };
+
+    for (p, q) in [(2usize, 8usize), (4, 4), (4, 8), (8, 8), (8, 16), (16, 16), (16, 32)] {
+        let np = p * q;
+        let rect = TwoDBlockCyclic { p, q };
+        let diamond = DiamondDistribution { p, q };
+        let ir = imbalance(&rect, np);
+        let id = imbalance(&diamond, np);
+        println!(
+            "{:>4}x{:<3} {:>5} {:>10.2} {:>12.2} {:>11.2}x",
+            p,
+            q,
+            gcd(p, q),
+            ir,
+            id,
+            ir / id
+        );
+    }
+    println!();
+    println!("Expected: rectangular imbalance grows with gcd(p, q) (bands pinned to");
+    println!("grid diagonals); the diamond stays near 1.0 at every shape — and the");
+    println!("paper's production grid (16x32) is exactly the worst case.");
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}

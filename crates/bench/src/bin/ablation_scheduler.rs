@@ -1,0 +1,78 @@
+//! Ablation: ready-queue scheduling policy.
+//!
+//! PaRSEC's node scheduler matters for TLR Cholesky because panel tasks
+//! must not starve behind the GEMM flood. This ablation runs the same
+//! trimmed Cholesky DAG under four policies (panel priority — the
+//! paper's effective choice —, FIFO, LIFO, HEFT-style upward rank) on
+//! the simulated Shaheen II.
+
+use hicma_core::dag::{build_cholesky_dag, DagConfig};
+use runtime::des::{simulate_with_order, DesConfig, DesTask};
+use runtime::scheduler::{queue_keys, SchedPolicy};
+use runtime::MachineModel;
+use tlr_bench::{header, scale_factor, scaled_machine, scaled_snapshot, PAPER_ACCURACY, PAPER_SHAPE};
+
+fn main() {
+    let s = scale_factor(32);
+    let machine = scaled_machine(MachineModel::shaheen_ii(), s);
+    println!("Ablation — ready-queue scheduling policy (Shaheen II, scale 1/{s})");
+    header(&[("N", 8), ("nodes", 6), ("policy", 14), ("time (s)", 10), ("vs priority", 12)]);
+
+    for (label, n_paper, b_paper, nodes_paper) in
+        [("4.49M", 4.49e6, 2990usize, 128usize), ("11.95M", 11.95e6, 4880, 512)]
+    {
+        let (p, snap) =
+            scaled_snapshot(n_paper, b_paper, nodes_paper, s, PAPER_SHAPE, PAPER_ACCURACY);
+        let dag = build_cholesky_dag(&snap, &DagConfig::default());
+        let dur = |t: usize| -> f64 {
+            let fl = dag.flops[t];
+            if fl == 0.0 {
+                0.0
+            } else if dag.nested[t] {
+                machine.nested_time(fl)
+            } else {
+                machine.core_time(fl, dag.rank_param[t])
+            }
+        };
+        // Owner-computes on the band distribution (the paper's layout).
+        let band = distribution::BandDistribution::new(p.nodes);
+        use distribution::TileDistribution;
+        let tasks: Vec<DesTask> = (0..dag.graph.len())
+            .map(|t| {
+                let w = dag.graph.spec(t).writes.unwrap();
+                DesTask { proc: band.owner(w.i, w.j), duration: dur(t) }
+            })
+            .collect();
+        let cfg = DesConfig {
+            nprocs: p.nodes,
+            cores_per_proc: machine.cores_per_node,
+            latency_s: machine.latency_s,
+            bandwidth_bps: machine.bandwidth_bps,
+            dep_overhead_s: machine.dep_overhead_s,
+            task_mgmt_s: machine.task_overhead_s,
+        };
+        let mut baseline = None;
+        for (name, policy) in [
+            ("priority", SchedPolicy::PanelPriority),
+            ("fifo", SchedPolicy::Fifo),
+            ("lifo", SchedPolicy::Lifo),
+            ("upward-rank", SchedPolicy::UpwardRank),
+        ] {
+            let keys = queue_keys(&dag.graph, dur, policy);
+            let r = simulate_with_order(&dag.graph, &tasks, &cfg, &keys);
+            let base = *baseline.get_or_insert(r.makespan);
+            println!(
+                "{:>8} {:>6} {:>14} {:>10.3} {:>11.2}x",
+                label,
+                nodes_paper,
+                name,
+                r.makespan,
+                r.makespan / base,
+            );
+        }
+        println!();
+    }
+    println!("Expected: FIFO matches panel priority (creation order follows the");
+    println!("panels); the HEFT-style upward rank buys a further 5-15% by pulling");
+    println!("long dependency chains ahead of the GEMM flood.");
+}

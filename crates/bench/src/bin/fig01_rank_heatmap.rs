@@ -1,0 +1,66 @@
+//! Fig. 1 — initial (after compression) and final (after Cholesky) rank
+//! distribution of the off-diagonal tiles for two shape parameters, with
+//! max/avg/min rank and matrix density.
+//!
+//! The paper plots heatmaps of a 1.49M matrix with tile size 4880; we
+//! build the *real* RBF operator at laptop scale (same synthetic-virus
+//! geometry, same Hilbert ordering, same kernel) and print ASCII
+//! heatmaps plus the same statistics. This run also provides the
+//! measurements that calibrate `SyntheticRankModel`.
+
+use hicma_core::{factorize, FactorConfig};
+use rbf_mesh::geometry::{virus_population, VirusConfig};
+use rbf_mesh::hilbert::{apply_permutation, hilbert_sort};
+use rbf_mesh::GaussianRbf;
+use tlr_compress::{CompressionConfig, TlrMatrix};
+
+fn main() {
+    let vcfg = VirusConfig { points_per_virus: 400, ..Default::default() };
+    let raw = virus_population(5, &vcfg, 42);
+    let points = apply_permutation(&raw, &hilbert_sort(&raw));
+    let n = points.len();
+    let tile = 125;
+    let accuracy = 1e-4;
+    let delta_ref = GaussianRbf::from_min_distance(&points).delta;
+
+    println!("Fig. 1 — rank distributions before/after TLR Cholesky");
+    println!("N = {n}, tile = {tile}, accuracy = {accuracy:.0e} (paper: 1.49M / 4880 / 1e-4)");
+    println!();
+
+    // Two shape parameters: the paper's \"sparse\" and \"dense\" regimes.
+    // The dense regime needs δ on the cluster-separation scale; the
+    // resulting conditioning requires a nugget > the compression
+    // perturbation (≈ accuracy · NT) to keep the operator numerically SPD.
+    let nt = n.div_ceil(tile);
+    for (label, delta_mult) in [("small shape (sparse)", 1.0), ("large shape (dense)", 25.0)] {
+        let kernel =
+            GaussianRbf { delta: delta_ref * delta_mult, nugget: 4.0 * accuracy * nt as f64 };
+        let ccfg = CompressionConfig::with_accuracy(accuracy);
+        let mut a = TlrMatrix::from_generator(n, tile, kernel.generator(&points), &ccfg);
+
+        let init = a.rank_snapshot();
+        let is = init.stats();
+        println!("=== {label}: delta = {:.3e} ===", kernel.delta);
+        println!(
+            "initial : density {:.3}  max {}  avg {:.1}  min {}",
+            is.density, is.max, is.avg_nonzero, is.min_nonzero
+        );
+        println!("{}", init.heatmap());
+
+        match factorize(&mut a, &FactorConfig::with_accuracy(accuracy)) {
+            Ok(rep) => {
+                let fsnap = rep.final_snapshot;
+                let fs = fsnap.stats();
+                println!(
+                    "final   : density {:.3}  max {}  avg {:.1}  min {}",
+                    fs.density, fs.max, fs.avg_nonzero, fs.min_nonzero
+                );
+                println!("{}", fsnap.heatmap());
+            }
+            Err(e) => println!("final   : not SPD at this accuracy (pivot {})\n", e.pivot),
+        }
+    }
+    println!("Legend: D diagonal (dense), . null, 1..9a..z# rank relative to max.");
+    println!("Expected (paper): density grows with the shape parameter; ranks fall");
+    println!("sharply with distance to the diagonal; fill-in raises the final density.");
+}

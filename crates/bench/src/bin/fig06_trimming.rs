@@ -1,0 +1,73 @@
+//! Fig. 6 — (left) effect of DAG trimming on elapsed time over the
+//! paper's combined node/size sweep (16 nodes/1.49M up to 512
+//! nodes/11.95M on Shaheen II); (right) overhead of the Algorithm-1
+//! analysis: memory footprint and wall time as a fraction of the
+//! factorization.
+
+use hicma_core::lorapo::lorapo_config;
+use hicma_core::simulate::simulate_cholesky;
+use runtime::MachineModel;
+use tlr_bench::{scaled_machine, header, paper_sizes, scale_factor, scaled_snapshot, PAPER_ACCURACY, PAPER_SHAPE};
+
+fn main() {
+    let s = scale_factor(64);
+    println!("Fig. 6 (left) — DAG trimming effect, Shaheen II (scale 1/{s})");
+    header(&[
+        ("N", 8),
+        ("nodes", 6),
+        ("NT", 6),
+        ("tasks trim", 11),
+        ("tasks full", 11),
+        ("t trim (s)", 11),
+        ("t full (s)", 11),
+        ("gain", 6),
+    ]);
+
+    let nodes_sweep = [16usize, 64, 128, 256, 512];
+    for ((label, n_paper, b_paper), &nodes_paper) in
+        paper_sizes().into_iter().zip(nodes_sweep.iter())
+    {
+        let (p, snap) =
+            scaled_snapshot(n_paper, b_paper, nodes_paper, s, PAPER_SHAPE, PAPER_ACCURACY);
+        let mut cfg = lorapo_config(scaled_machine(MachineModel::shaheen_ii(), s), p.nodes);
+        cfg.trimmed = true;
+        let trimmed = simulate_cholesky(&snap, &cfg);
+        cfg.trimmed = false;
+        let full = simulate_cholesky(&snap, &cfg);
+        println!(
+            "{:>8} {:>6} {:>6} {:>11} {:>11} {:>11.2} {:>11.2} {:>5.2}x",
+            label,
+            nodes_paper,
+            p.nt,
+            trimmed.dag_tasks,
+            full.dag_tasks,
+            trimmed.factorization_seconds,
+            full.factorization_seconds,
+            full.factorization_seconds / trimmed.factorization_seconds,
+        );
+    }
+
+    println!();
+    println!("Fig. 6 (right) — Algorithm 1 overhead (64 Shaheen II paper nodes)");
+    header(&[("N", 8), ("NT", 6), ("analysis MB", 12), ("analysis (s)", 13), ("% of facto", 11)]);
+    for (label, n_paper, b_paper) in paper_sizes() {
+        let (p, snap) = scaled_snapshot(n_paper, b_paper, 64, s, PAPER_SHAPE, PAPER_ACCURACY);
+        let cfg = lorapo_config(scaled_machine(MachineModel::shaheen_ii(), s), p.nodes);
+        let r = simulate_cholesky(&snap, &{
+            let mut c = cfg;
+            c.trimmed = true;
+            c
+        });
+        println!(
+            "{:>8} {:>6} {:>12.2} {:>13.4} {:>10.2}%",
+            label,
+            p.nt,
+            r.analysis_bytes as f64 / 1e6,
+            r.analysis_seconds,
+            100.0 * r.analysis_seconds / r.factorization_seconds.max(1e-12),
+        );
+    }
+    println!();
+    println!("Expected (paper): trimming always wins; analysis time and memory are");
+    println!("negligible next to the factorization itself.");
+}

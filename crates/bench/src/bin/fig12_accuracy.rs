@@ -1,0 +1,48 @@
+//! Fig. 12 — time vs accuracy threshold on 512 Shaheen II nodes:
+//! HiCMA-PaRSEC against Lorapo at thresholds 1e-5, 1e-7, 1e-9. Tighter
+//! thresholds keep more singular values per tile (higher ranks), so both
+//! codes slow down; ours keeps a significant margin at every accuracy.
+
+use hicma_core::lorapo::{hicma_parsec_config, lorapo_config};
+use hicma_core::simulate::simulate_cholesky;
+use runtime::MachineModel;
+use tlr_bench::{scaled_machine, header, scale_factor, scaled_snapshot, PAPER_SHAPE};
+
+fn main() {
+    let s = scale_factor(64);
+    println!("Fig. 12 — time vs accuracy threshold, 512 Shaheen II nodes (scale 1/{s})");
+    header(&[
+        ("N", 8),
+        ("accuracy", 9),
+        ("avg rank", 9),
+        ("lorapo (s)", 11),
+        ("ours (s)", 10),
+        ("speedup", 8),
+    ]);
+
+    let sizes = [("4.49M", 4.49e6, 2990usize), ("11.95M", 11.95e6, 4880)];
+    for (label, n_paper, b_paper) in sizes {
+        for acc in [1e-5, 1e-7, 1e-9] {
+            let (p, snap) = scaled_snapshot(n_paper, b_paper, 512, s, PAPER_SHAPE, acc);
+            let stats = snap.stats();
+            let lorapo =
+                simulate_cholesky(&snap, &lorapo_config(scaled_machine(MachineModel::shaheen_ii(), s), p.nodes));
+            let ours = simulate_cholesky(
+                &snap,
+                &hicma_parsec_config(scaled_machine(MachineModel::shaheen_ii(), s), p.nodes),
+            );
+            println!(
+                "{:>8} {:>9.0e} {:>9.1} {:>11.2} {:>10.2} {:>7.2}x",
+                label,
+                acc,
+                stats.avg_nonzero,
+                lorapo.factorization_seconds,
+                ours.factorization_seconds,
+                lorapo.factorization_seconds / ours.factorization_seconds,
+            );
+        }
+        println!();
+    }
+    println!("Expected (paper): time grows as the threshold tightens (higher ranks);");
+    println!("HiCMA-PaRSEC wins at every accuracy.");
+}

@@ -1,0 +1,27 @@
+//! Micro-tool: sustained GEMM rates of the `tlr-linalg` kernels on this
+//! machine (used to calibrate the machine models and to validate the
+//! k-blocked serial kernel against the naive column sweep).
+
+use tlr_linalg::{gemm_serial, Matrix, Trans};
+fn main() {
+    for n in [128usize, 256, 512] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j) % 13) as f64);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 5 + j) % 11) as f64);
+        let mut c = Matrix::zeros(n, n);
+        let t0 = std::time::Instant::now();
+        let reps = (512 / n).max(1).pow(3);
+        for _ in 0..reps {
+            gemm_serial(Trans::No, Trans::Yes, 1.0, &a, &b, 1.0, &mut c);
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        let gf = 2.0 * (n as f64).powi(3) / dt / 1e9;
+        println!("gemm NT n={n}: {dt:.4}s  {gf:.2} Gflop/s");
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            gemm_serial(Trans::No, Trans::No, 1.0, &a, &b, 1.0, &mut c);
+        }
+        let dt = t0.elapsed().as_secs_f64() / reps as f64;
+        let gf = 2.0 * (n as f64).powi(3) / dt / 1e9;
+        println!("gemm NN n={n}: {dt:.4}s  {gf:.2} Gflop/s");
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! The paper's contribution: TLR Cholesky over a dataflow runtime, with
+//! dynamic DAG trimming and rank-aware execution remapping.
+//!
+//! Layer map (paper section → module):
+//!
+//! * §VI Algorithm 1 (matrix analysis for DAG trimming) → [`analysis`]
+//! * §VI DAG trimming (task-graph construction that only materializes
+//!   tasks on non-null / fill-in tiles) → [`dag`]
+//! * §IV-B TLR Cholesky (shared-memory, real numerics) → [`factorize`]
+//! * solve phase (forward/backward TLR substitution) → [`solve`]
+//! * §VII band + diamond distributions over the discrete-event machine →
+//!   [`simulate`]
+//! * Lorapo baseline (PSC'20 state of the art) → [`lorapo`]
+//! * numerical validation helpers → [`verify`]
+
+pub mod analysis;
+pub mod dag;
+pub mod distributed;
+pub mod factorize;
+pub mod lorapo;
+pub mod simulate;
+pub mod solve;
+pub mod tuner;
+pub mod verify;
+
+pub use analysis::MatrixAnalysis;
+pub use dag::{build_cholesky_dag, CholeskyDag, DagConfig, TaskKind};
+pub use distributed::factorize_distributed;
+pub use factorize::{factorize, FactorConfig, FactorReport};
+pub use simulate::{simulate_cholesky, DistributionPlan, SimConfig, SimReport};
+pub use solve::{solve_refined, solve_tlr, solve_tlr_multi, tlr_matvec};
+pub use tuner::{tune_tile_size, TuneResult, TuneSample};
+pub use verify::{estimate_condition, factorization_residual, solve_residual};

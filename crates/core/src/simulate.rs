@@ -1,0 +1,421 @@
+//! Distributed execution on the simulated machine (the paper's runs).
+//!
+//! Drives the discrete-event simulator with a Cholesky DAG priced by a
+//! [`MachineModel`]: kernel flops at the dense or low-rank sustained rate,
+//! plus the runtime's per-task overhead; edges priced by the network
+//! model. The execution mapping follows one of the paper's distribution
+//! plans (Fig. 3), including the §VII-B remapping where off-band tiles
+//! *execute* on the diamond grid while the data stays with its owner —
+//! PaRSEC ships the tile in and the result back, at most twice per tile,
+//! which we account as write-back bytes.
+
+use crate::dag::{build_cholesky_dag, CholeskyDag, DagConfig};
+use runtime::des::{simulate, CommStats, DesConfig, DesTask};
+use runtime::graph::DataRef;
+use runtime::machine::MachineModel;
+use runtime::trace::ClassBreakdown;
+use tlr_compress::RankSnapshot;
+use distribution::{
+    BandDistribution, DiamondDistribution, LorapoHybrid, TileDistribution, TwoDBlockCyclic,
+};
+
+/// Which of the paper's distribution schemes to run (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistributionPlan {
+    /// ScaLAPACK 2D block-cyclic, owner-computes (Fig. 3a).
+    TwoD,
+    /// Lorapo hybrid 1D + 2D, owner-computes (Fig. 3b) — the baseline.
+    Lorapo,
+    /// Band distribution: critical-path TRSM co-located with POTRF
+    /// (Fig. 3c, §VII-A), owner-computes elsewhere.
+    Band,
+    /// Band distribution **plus** diamond-shaped execution remapping of
+    /// off-band tasks (Fig. 3d, §VII-B) — full HiCMA-PaRSEC.
+    BandDiamond,
+}
+
+impl DistributionPlan {
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistributionPlan::TwoD => "2DBCDD",
+            DistributionPlan::Lorapo => "lorapo-hybrid",
+            DistributionPlan::Band => "band",
+            DistributionPlan::BandDiamond => "band+diamond",
+        }
+    }
+}
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster model.
+    pub machine: MachineModel,
+    /// Number of nodes (one process per node).
+    pub nodes: usize,
+    /// Distribution scheme.
+    pub plan: DistributionPlan,
+    /// Algorithm-1 DAG trimming on/off.
+    pub trimmed: bool,
+    /// Fill-rank cap for the symbolic analysis.
+    pub rank_cap: usize,
+    /// Band width for the band-based plans (2 = diagonal + sub-diagonal).
+    pub band_width: usize,
+}
+
+impl SimConfig {
+    /// HiCMA-PaRSEC with everything on (band + diamond + trimming).
+    pub fn hicma_parsec(machine: MachineModel, nodes: usize) -> Self {
+        Self {
+            machine,
+            nodes,
+            plan: DistributionPlan::BandDiamond,
+            trimmed: true,
+            rank_cap: usize::MAX,
+            band_width: 2,
+        }
+    }
+}
+
+/// Results of one simulated factorization.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Simulated time-to-solution of the factorization (seconds).
+    pub factorization_seconds: f64,
+    /// Wall-clock cost of the symbolic analysis + DAG construction on
+    /// this machine (Fig. 6 right, "overhead of Algorithm 1").
+    pub analysis_seconds: f64,
+    /// Memory footprint of the analysis structure (bytes).
+    pub analysis_bytes: usize,
+    /// Tasks simulated.
+    pub dag_tasks: usize,
+    /// Dense-DAG task count for the same NT (what trimming removed from).
+    pub dense_dag_tasks: usize,
+    /// Compute-only critical-path bound (§VIII-G roofline), seconds.
+    pub critical_path_seconds: f64,
+    /// Cross-process communication totals.
+    pub comm: CommStats,
+    /// Extra bytes from diamond remapping (ship-in + write-back).
+    pub writeback_bytes: u64,
+    /// `max busy / mean busy` over processes.
+    pub load_imbalance: f64,
+    /// Simulated busy seconds per kernel class.
+    pub breakdown: ClassBreakdown,
+    /// Modeled matrix-generation phase (embarrassingly parallel), seconds.
+    pub generation_seconds: f64,
+    /// Modeled compression phase, seconds (Fig. 11's dominant bar).
+    pub compression_seconds: f64,
+    /// Full virtual-clock execution trace (Gantt rendering, breakdowns).
+    pub trace: runtime::trace::Trace,
+}
+
+impl SimReport {
+    /// Roofline efficiency: critical path / achieved (§VIII-G).
+    pub fn roofline_efficiency(&self) -> f64 {
+        if self.factorization_seconds > 0.0 {
+            self.critical_path_seconds / self.factorization_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A paper-scale experiment mapped onto a feasible simulation size.
+///
+/// Scaling rule: divide the matrix size `N` and the node count by `S`
+/// and the tile size by `√S`. This keeps both dimensionless balances of
+/// the execution intact — critical-path work vs off-band work per node,
+/// and tiles per process — so who-wins and where the scaling crossovers
+/// fall are preserved, while DAGs stay within memory (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledProblem {
+    /// Number of tile rows in the simulated matrix.
+    pub nt: usize,
+    /// Simulated tile size.
+    pub tile_size: usize,
+    /// Simulated node count.
+    pub nodes: usize,
+    /// The downscale factor applied.
+    pub scale: usize,
+}
+
+/// Map a paper experiment `(N, b, nodes)` to simulation scale by `S`.
+pub fn scaled_problem(n_paper: f64, b_paper: usize, nodes_paper: usize, s: usize) -> ScaledProblem {
+    assert!(s >= 1);
+    let sf = s as f64;
+    let tile_size = ((b_paper as f64) / sf.sqrt()).round().max(32.0) as usize;
+    let n = n_paper / sf;
+    let nt = (n / tile_size as f64).round().max(4.0) as usize;
+    let nodes = (nodes_paper / s).max(1);
+    ScaledProblem { nt, tile_size, nodes, scale: s }
+}
+
+/// Kernel-only duration in seconds under the machine model (the per-task
+/// management overhead is charged by the DES's serial runtime thread).
+/// Critical-path kernels run nested (node-parallel); everything else runs
+/// on one core at the rank-dependent sustained rate.
+fn task_duration(dag: &CholeskyDag, t: usize, machine: &MachineModel) -> f64 {
+    let fl = dag.flops[t];
+    if fl == 0.0 {
+        0.0
+    } else if dag.nested[t] {
+        machine.nested_time(fl)
+    } else {
+        machine.core_time(fl, dag.rank_param[t])
+    }
+}
+
+/// Simulate a TLR Cholesky factorization from an initial rank snapshot.
+///
+/// ```
+/// use hicma_core::simulate::{simulate_cholesky, SimConfig};
+/// use runtime::MachineModel;
+/// use tlr_compress::SyntheticRankModel;
+///
+/// let snap = SyntheticRankModel::from_application(48, 512, 3.7e-4, 1e-4).snapshot();
+/// let cfg = SimConfig::hicma_parsec(MachineModel::shaheen_ii(), 4);
+/// let report = simulate_cholesky(&snap, &cfg);
+/// // The makespan can never beat the compute-only critical path.
+/// assert!(report.factorization_seconds >= report.critical_path_seconds);
+/// ```
+pub fn simulate_cholesky(initial: &RankSnapshot, cfg: &SimConfig) -> SimReport {
+    let t0 = std::time::Instant::now();
+    let dag = build_cholesky_dag(
+        initial,
+        &DagConfig { trimmed: cfg.trimmed, rank_cap: cfg.rank_cap },
+    );
+    let analysis_seconds = t0.elapsed().as_secs_f64();
+
+    // ------------------------------------------------------------------
+    // Execution mapping.
+    // ------------------------------------------------------------------
+    let nodes = cfg.nodes;
+    let twod = TwoDBlockCyclic::new(nodes);
+    let lorapo = LorapoHybrid::new(nodes);
+    let band = BandDistribution { band_width: cfg.band_width, ..BandDistribution::new(nodes) };
+    let diamond = DiamondDistribution::new(nodes);
+
+    let owner = |d: DataRef| -> usize {
+        match cfg.plan {
+            DistributionPlan::TwoD => twod.owner(d.i, d.j),
+            DistributionPlan::Lorapo => lorapo.owner(d.i, d.j),
+            DistributionPlan::Band | DistributionPlan::BandDiamond => band.owner(d.i, d.j),
+        }
+    };
+    let exec = |d: DataRef| -> usize {
+        match cfg.plan {
+            DistributionPlan::BandDiamond if d.i - d.j >= cfg.band_width => {
+                diamond.owner(d.i, d.j)
+            }
+            _ => owner(d),
+        }
+    };
+
+    let tasks: Vec<DesTask> = (0..dag.graph.len())
+        .map(|t| {
+            let w = dag.graph.spec(t).writes.expect("Cholesky tasks write a tile");
+            DesTask { proc: exec(w), duration: task_duration(&dag, t, &cfg.machine) }
+        })
+        .collect();
+
+    // Write-back accounting: tiles whose execution site differs from the
+    // owner move in and back at most once each (§VII-B).
+    let mut writeback_bytes = 0u64;
+    {
+        let nt = initial.nt();
+        let b = initial.tile_size();
+        let ranks = &dag.analysis.final_ranks;
+        for i in 0..nt {
+            for j in 0..=i {
+                let d = DataRef { i, j };
+                if exec(d) != owner(d) {
+                    let r = ranks.rank(i, j);
+                    let bytes = if i == j || 2 * r >= b {
+                        (b * b * 8) as u64
+                    } else if r == 0 {
+                        0
+                    } else {
+                        (8 * r * 2 * b) as u64
+                    };
+                    writeback_bytes += 2 * bytes;
+                }
+            }
+        }
+    }
+
+    let des_cfg = DesConfig {
+        nprocs: nodes,
+        cores_per_proc: cfg.machine.cores_per_node,
+        latency_s: cfg.machine.latency_s,
+        bandwidth_bps: cfg.machine.bandwidth_bps,
+        dep_overhead_s: cfg.machine.dep_overhead_s,
+        task_mgmt_s: cfg.machine.task_overhead_s,
+    };
+    let report = simulate(&dag.graph, &tasks, &des_cfg);
+
+    // Critical path without runtime overhead: pure kernel chain (§VIII-G).
+    let cp = runtime::critical_path::critical_path(&dag.graph, |t| {
+        task_duration(&dag, t, &cfg.machine)
+    });
+
+    // Generation + compression phase model (Fig. 11): both are
+    // embarrassingly parallel over all cores of all nodes.
+    let nt = initial.nt();
+    let b = initial.tile_size() as f64;
+    let total_cores = (nodes * cfg.machine.cores_per_node) as f64;
+    let mut gen_flops = 0.0;
+    let mut comp_core_seconds = 0.0;
+    for i in 0..nt {
+        for j in 0..=i {
+            // ~60 flops per kernel-matrix entry (distance + exp)
+            gen_flops += 60.0 * b * b;
+            if i != j {
+                let r = dag.analysis.final_ranks.rank(i, j).max(1);
+                // truncated pivoted QR ≈ 4·b²·(k+1), rank-limited rate
+                let fl = 4.0 * b * b * (r as f64 + 1.0);
+                comp_core_seconds += cfg.machine.core_time(fl, r);
+            }
+        }
+    }
+    let generation_seconds = cfg.machine.dense_kernel_time(gen_flops) / total_cores;
+    let compression_seconds = comp_core_seconds / total_cores;
+
+    SimReport {
+        factorization_seconds: report.makespan,
+        analysis_seconds,
+        analysis_bytes: dag.analysis.memory_bytes(),
+        dag_tasks: dag.graph.len(),
+        dense_dag_tasks: dag.analysis.dense_tasks(),
+        critical_path_seconds: cp.length,
+        comm: report.comm,
+        writeback_bytes,
+        load_imbalance: report.load_imbalance(),
+        breakdown: report.trace.breakdown(),
+        generation_seconds,
+        compression_seconds,
+        trace: report.trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_compress::SyntheticRankModel;
+
+    fn snapshot(nt: usize, shape: f64) -> RankSnapshot {
+        SyntheticRankModel::from_application(nt, 1024, shape, 1e-4).snapshot()
+    }
+
+    fn base_cfg(plan: DistributionPlan, trimmed: bool) -> SimConfig {
+        SimConfig {
+            machine: MachineModel::shaheen_ii(),
+            nodes: 16,
+            plan,
+            trimmed,
+            rank_cap: usize::MAX,
+            band_width: 2,
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path() {
+        let s = snapshot(48, 1e-3);
+        let r = simulate_cholesky(&s, &base_cfg(DistributionPlan::Lorapo, false));
+        assert!(r.factorization_seconds >= r.critical_path_seconds);
+        assert!(r.roofline_efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn trimming_helps_on_sparse_matrices() {
+        // The paper's regime: NT³ ≫ node count, so per-task runtime
+        // overhead of the untrimmed DAG rivals the critical path.
+        let s = SyntheticRankModel::from_application(128, 256, 2e-4, 1e-4).snapshot();
+        let untrimmed = simulate_cholesky(&s, &base_cfg(DistributionPlan::Lorapo, false));
+        let trimmed = simulate_cholesky(&s, &base_cfg(DistributionPlan::Lorapo, true));
+        assert!(trimmed.dag_tasks < untrimmed.dag_tasks);
+        assert!(
+            trimmed.factorization_seconds < untrimmed.factorization_seconds,
+            "trimmed {} vs untrimmed {}",
+            trimmed.factorization_seconds,
+            untrimmed.factorization_seconds
+        );
+    }
+
+    #[test]
+    fn trimming_neutral_on_dense_matrices() {
+        let s = snapshot(40, 5e-2); // fully dense structure
+        let untrimmed = simulate_cholesky(&s, &base_cfg(DistributionPlan::Lorapo, false));
+        let trimmed = simulate_cholesky(&s, &base_cfg(DistributionPlan::Lorapo, true));
+        // no null tiles ⇒ same DAG ⇒ same time (the Fig. 4 convergence)
+        assert_eq!(trimmed.dag_tasks, untrimmed.dag_tasks);
+        let rel = (trimmed.factorization_seconds - untrimmed.factorization_seconds).abs()
+            / untrimmed.factorization_seconds;
+        assert!(rel < 1e-9, "dense matrices should be unaffected: {rel}");
+    }
+
+    #[test]
+    fn band_reduces_time_vs_lorapo() {
+        let s = snapshot(64, 1e-3);
+        let lorapo = simulate_cholesky(&s, &base_cfg(DistributionPlan::Lorapo, true));
+        let band = simulate_cholesky(&s, &base_cfg(DistributionPlan::Band, true));
+        assert!(
+            band.factorization_seconds <= lorapo.factorization_seconds * 1.02,
+            "band {} vs lorapo {}",
+            band.factorization_seconds,
+            lorapo.factorization_seconds
+        );
+    }
+
+    #[test]
+    fn diamond_improves_load_balance() {
+        let s = snapshot(64, 1e-3);
+        let band = simulate_cholesky(&s, &base_cfg(DistributionPlan::Band, true));
+        let diamond = simulate_cholesky(&s, &base_cfg(DistributionPlan::BandDiamond, true));
+        assert!(
+            diamond.load_imbalance <= band.load_imbalance * 1.05,
+            "diamond LI {} vs band LI {}",
+            diamond.load_imbalance,
+            band.load_imbalance
+        );
+        assert!(diamond.writeback_bytes > 0, "remapping must move tiles");
+        assert_eq!(band.writeback_bytes, 0, "owner-computes moves nothing extra");
+    }
+
+    #[test]
+    fn hicma_parsec_beats_lorapo() {
+        // The headline result (Figs. 9/10): full HiCMA-PaRSEC vs Lorapo.
+        let s = snapshot(64, 5e-4);
+        let lorapo = simulate_cholesky(&s, &base_cfg(DistributionPlan::Lorapo, false));
+        let ours = simulate_cholesky(&s, &SimConfig::hicma_parsec(MachineModel::shaheen_ii(), 16));
+        assert!(
+            ours.factorization_seconds < lorapo.factorization_seconds,
+            "ours {} vs lorapo {}",
+            ours.factorization_seconds,
+            lorapo.factorization_seconds
+        );
+    }
+
+    #[test]
+    fn more_nodes_not_slower_at_scale() {
+        let s = snapshot(96, 1e-3);
+        let mut cfg = SimConfig::hicma_parsec(MachineModel::shaheen_ii(), 4);
+        let r4 = simulate_cholesky(&s, &cfg);
+        cfg.nodes = 16;
+        let r16 = simulate_cholesky(&s, &cfg);
+        assert!(
+            r16.factorization_seconds <= r4.factorization_seconds * 1.1,
+            "16 nodes {} vs 4 nodes {}",
+            r16.factorization_seconds,
+            r4.factorization_seconds
+        );
+    }
+
+    #[test]
+    fn phase_model_reports_positive_times() {
+        let s = snapshot(32, 1e-3);
+        let r = simulate_cholesky(&s, &base_cfg(DistributionPlan::BandDiamond, true));
+        assert!(r.generation_seconds > 0.0);
+        assert!(r.compression_seconds > 0.0);
+        assert!(r.analysis_bytes > 0);
+    }
+}

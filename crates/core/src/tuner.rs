@@ -1,0 +1,113 @@
+//! Tile-size auto-tuning.
+//!
+//! §VIII-C: the tile size trades critical-path weight (large tiles)
+//! against task count and runtime overhead (small tiles); the paper
+//! tunes it "experimentally" around the `b = O(√N)` rule and calls
+//! model-based auto-tuning future work. This module implements that
+//! future work on top of the simulator: sweep candidate tile sizes
+//! around the √N seed, simulate each (the DES costs milliseconds at
+//! tuning scale), and return the minimizer.
+
+use crate::simulate::{simulate_cholesky, SimConfig};
+use tlr_compress::SyntheticRankModel;
+
+/// One tuning sample.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneSample {
+    /// Tile size evaluated.
+    pub tile_size: usize,
+    /// Tile count implied by the matrix size.
+    pub nt: usize,
+    /// Simulated time-to-solution.
+    pub seconds: f64,
+    /// Tasks in the trimmed DAG.
+    pub tasks: usize,
+}
+
+/// Tuning outcome: the winner plus the full sweep for reporting.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The minimizing tile size.
+    pub best: TuneSample,
+    /// All evaluated samples, in sweep order.
+    pub sweep: Vec<TuneSample>,
+}
+
+/// Tune the tile size for a matrix of `n` unknowns with the given
+/// application parameters, on the machine/plan in `cfg` (whose
+/// `rank_cap`/`band_width`/plan/trimming are honored).
+///
+/// `multipliers` scales the `b = 1.41·√N` seed; pass `&[]` for the
+/// default seven-point sweep.
+pub fn tune_tile_size(
+    n: f64,
+    shape: f64,
+    accuracy: f64,
+    cfg: &SimConfig,
+    multipliers: &[f64],
+) -> TuneResult {
+    let defaults = [0.35, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+    let mults: &[f64] = if multipliers.is_empty() { &defaults } else { multipliers };
+    let seed = 1.41 * n.sqrt();
+    let mut sweep = Vec::with_capacity(mults.len());
+    for &m in mults {
+        let b = ((seed * m).round() as usize).max(32);
+        let nt = ((n / b as f64).round() as usize).max(4);
+        let snap = SyntheticRankModel::from_application(nt, b, shape, accuracy).snapshot();
+        let r = simulate_cholesky(&snap, cfg);
+        sweep.push(TuneSample {
+            tile_size: b,
+            nt,
+            seconds: r.factorization_seconds,
+            tasks: r.dag_tasks,
+        });
+    }
+    let best = *sweep
+        .iter()
+        .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+        .expect("non-empty sweep");
+    TuneResult { best, sweep }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::MachineModel;
+
+    fn cfg() -> SimConfig {
+        SimConfig::hicma_parsec(MachineModel::shaheen_ii(), 4)
+    }
+
+    #[test]
+    fn returns_a_swept_candidate() {
+        let r = tune_tile_size(5e4, 3.7e-4, 1e-4, &cfg(), &[]);
+        assert_eq!(r.sweep.len(), 7);
+        assert!(r
+            .sweep
+            .iter()
+            .any(|s| s.tile_size == r.best.tile_size && s.seconds == r.best.seconds));
+        // the winner is the minimum
+        for s in &r.sweep {
+            assert!(r.best.seconds <= s.seconds + 1e-15);
+        }
+    }
+
+    #[test]
+    fn extremes_lose_to_the_middle() {
+        // The bell shape (§VIII-C): the smallest and largest candidates
+        // should not win on a work-rich problem.
+        let r = tune_tile_size(2e4, 3.7e-4, 1e-4, &cfg(), &[0.25, 0.5, 1.0, 2.0, 4.0]);
+        let first = r.sweep.first().unwrap();
+        let last = r.sweep.last().unwrap();
+        assert!(r.best.seconds < first.seconds, "tiny tiles should lose");
+        assert!(r.best.seconds <= last.seconds, "huge tiles should not win");
+    }
+
+    #[test]
+    fn custom_multipliers_respected() {
+        let r = tune_tile_size(1e5, 1e-3, 1e-4, &cfg(), &[1.0]);
+        assert_eq!(r.sweep.len(), 1);
+        let expected_b = (1.41 * (1e5f64).sqrt()).round() as usize;
+        assert_eq!(r.best.tile_size, expected_b);
+    }
+}

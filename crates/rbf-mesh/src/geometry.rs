@@ -1,0 +1,244 @@
+//! Synthetic 3D geometries standing in for the SARS-CoV-2 surface meshes.
+//!
+//! Each "virus" is a closed quasi-spherical point cloud: a Fibonacci-
+//! lattice sphere sampling (uniform, deterministic) deformed by a set of
+//! radial spike bumps, mimicking the corona of the real capsid. A
+//! population run places `n` such bodies at random non-degenerate
+//! positions inside a cube, reproducing the paper's 30–1200 viruses in a
+//! 1.7 µm box (we work in cube-edge units; only ratios matter for the
+//! matrix structure).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in 3D, cube-edge units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point3 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// z coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Euclidean distance to another point.
+    pub fn dist(&self, o: &Point3) -> f64 {
+        let dx = self.x - o.x;
+        let dy = self.y - o.y;
+        let dz = self.z - o.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// Parameters of one synthetic virus.
+#[derive(Debug, Clone, Copy)]
+pub struct VirusConfig {
+    /// Surface points per virus (the paper's meshes have 44,932).
+    pub points_per_virus: usize,
+    /// Body radius in cube-edge units (real virion ≈ 50 nm in a 1.7 µm
+    /// box → ≈ 0.03; we default slightly larger so small populations
+    /// still interact).
+    pub radius: f64,
+    /// Number of spike protrusions.
+    pub n_spikes: usize,
+    /// Spike height as a fraction of the radius.
+    pub spike_height: f64,
+}
+
+impl Default for VirusConfig {
+    fn default() -> Self {
+        Self { points_per_virus: 500, radius: 0.05, n_spikes: 24, spike_height: 0.35 }
+    }
+}
+
+/// Golden-angle Fibonacci sphere: `n` near-uniform unit directions.
+fn fibonacci_sphere(n: usize) -> Vec<Point3> {
+    let golden = std::f64::consts::PI * (3.0 - 5.0_f64.sqrt());
+    (0..n)
+        .map(|i| {
+            let y = 1.0 - 2.0 * (i as f64 + 0.5) / n as f64;
+            let r = (1.0 - y * y).max(0.0).sqrt();
+            let theta = golden * i as f64;
+            Point3 { x: r * theta.cos(), y, z: r * theta.sin() }
+        })
+        .collect()
+}
+
+/// Generate one spiked-sphere virus surface centered at `center`.
+pub fn spiked_sphere(center: Point3, cfg: &VirusConfig, rng: &mut StdRng) -> Vec<Point3> {
+    let dirs = fibonacci_sphere(cfg.points_per_virus);
+    // Random spike axes on the unit sphere.
+    let spikes: Vec<Point3> = (0..cfg.n_spikes)
+        .map(|_| {
+            // Rejection-free: normalize a Gaussian triple.
+            let g = |rng: &mut StdRng| -> f64 {
+                // Box–Muller
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            let (x, y, z) = (g(rng), g(rng), g(rng));
+            let n = (x * x + y * y + z * z).sqrt().max(1e-12);
+            Point3 { x: x / n, y: y / n, z: z / n }
+        })
+        .collect();
+    let spike_width2 = 0.05; // angular width² of a spike bump
+    dirs.into_iter()
+        .map(|d| {
+            // Radial bump: r(θ) = R · (1 + h · Σ exp(−angle²/w²))
+            let mut bump = 0.0;
+            for s in &spikes {
+                let cosang = (d.x * s.x + d.y * s.y + d.z * s.z).clamp(-1.0, 1.0);
+                let ang = cosang.acos();
+                bump += (-(ang * ang) / spike_width2).exp();
+            }
+            let r = cfg.radius * (1.0 + cfg.spike_height * bump.min(1.5));
+            Point3 { x: center.x + r * d.x, y: center.y + r * d.y, z: center.z + r * d.z }
+        })
+        .collect()
+}
+
+/// Generate a population of `n_viruses` in the unit cube.
+///
+/// Centers are drawn uniformly, offset from the walls by one radius.
+/// Deterministic for a given `seed`.
+pub fn virus_population(n_viruses: usize, cfg: &VirusConfig, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(n_viruses * cfg.points_per_virus);
+    let margin = cfg.radius * (1.0 + cfg.spike_height) * 1.05;
+    for _ in 0..n_viruses {
+        let center = Point3 {
+            x: rng.gen_range(margin..1.0 - margin),
+            y: rng.gen_range(margin..1.0 - margin),
+            z: rng.gen_range(margin..1.0 - margin),
+        };
+        points.extend(spiked_sphere(center, cfg, &mut rng));
+    }
+    points
+}
+
+/// Minimum pairwise distance via a uniform grid (O(n) for surface-like
+/// clouds). Used to pick the paper's default shape parameter
+/// `δ = ½ · min‖x − x_b‖`.
+pub fn min_pairwise_distance(points: &[Point3]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    // Grid cell = expected nearest-neighbor scale; fall back to brute
+    // force for tiny inputs.
+    if points.len() < 64 {
+        let mut best = f64::INFINITY;
+        for i in 0..points.len() {
+            for j in i + 1..points.len() {
+                best = best.min(points[i].dist(&points[j]));
+            }
+        }
+        return best;
+    }
+    let cells = (points.len() as f64).cbrt().ceil() as usize * 2;
+    let cell_of = |p: &Point3| -> (usize, usize, usize) {
+        let clamp = |v: f64| ((v.clamp(0.0, 1.0)) * (cells as f64 - 1e-9)) as usize;
+        (clamp(p.x), clamp(p.y), clamp(p.z))
+    };
+    use std::collections::HashMap;
+    let mut grid: HashMap<(usize, usize, usize), Vec<usize>> = HashMap::new();
+    for (idx, p) in points.iter().enumerate() {
+        grid.entry(cell_of(p)).or_default().push(idx);
+    }
+    let mut best = f64::INFINITY;
+    for (&(cx, cy, cz), members) in &grid {
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let nx = cx as i64 + dx;
+                    let ny = cy as i64 + dy;
+                    let nz = cz as i64 + dz;
+                    if nx < 0 || ny < 0 || nz < 0 {
+                        continue;
+                    }
+                    let key = (nx as usize, ny as usize, nz as usize);
+                    if let Some(neigh) = grid.get(&key) {
+                        for &a in members {
+                            for &b in neigh {
+                                if a < b {
+                                    best = best.min(points[a].dist(&points[b]));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fibonacci_sphere_is_unit() {
+        for d in fibonacci_sphere(100) {
+            let n = (d.x * d.x + d.y * d.y + d.z * d.z).sqrt();
+            assert!((n - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn virus_points_near_surface() {
+        let cfg = VirusConfig { points_per_virus: 200, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Point3 { x: 0.5, y: 0.5, z: 0.5 };
+        let pts = spiked_sphere(c, &cfg, &mut rng);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            let r = p.dist(&c);
+            assert!(r >= cfg.radius * 0.99, "below body radius: {r}");
+            assert!(r <= cfg.radius * (1.0 + cfg.spike_height * 1.6), "beyond spikes: {r}");
+        }
+        // spikes actually deform the sphere
+        let rs: Vec<f64> = pts.iter().map(|p| p.dist(&c)).collect();
+        let rmin = rs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rmax = rs.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(rmax / rmin > 1.05, "no spike relief: {rmin}..{rmax}");
+    }
+
+    #[test]
+    fn population_is_deterministic_and_in_cube() {
+        let cfg = VirusConfig { points_per_virus: 100, ..Default::default() };
+        let a = virus_population(3, &cfg, 42);
+        let b = virus_population(3, &cfg, 42);
+        assert_eq!(a.len(), 300);
+        assert_eq!(a, b, "same seed ⇒ same cloud");
+        for p in &a {
+            assert!(p.x > 0.0 && p.x < 1.0 && p.y > 0.0 && p.y < 1.0 && p.z > 0.0 && p.z < 1.0);
+        }
+        let c = virus_population(3, &cfg, 43);
+        assert_ne!(a, c, "different seed ⇒ different cloud");
+    }
+
+    #[test]
+    fn min_distance_brute_vs_grid() {
+        let cfg = VirusConfig { points_per_virus: 80, ..Default::default() };
+        let pts = virus_population(2, &cfg, 7);
+        // brute force
+        let mut brute = f64::INFINITY;
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                brute = brute.min(pts[i].dist(&pts[j]));
+            }
+        }
+        let fast = min_pairwise_distance(&pts);
+        assert!((fast - brute).abs() < 1e-15, "grid {fast} vs brute {brute}");
+    }
+
+    #[test]
+    fn min_distance_tiny_input() {
+        let pts = vec![
+            Point3 { x: 0.0, y: 0.0, z: 0.0 },
+            Point3 { x: 0.3, y: 0.4, z: 0.0 },
+        ];
+        assert!((min_pairwise_distance(&pts) - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,187 @@
+//! Mesh-quality metrics for deformed point clouds.
+//!
+//! The application §IV-C exists to move CFD meshes *without destroying
+//! them*: a deformation that collapses cells or inverts elements forces
+//! remeshing, which is what RBF interpolation is meant to avoid ("produces
+//! high-quality unstructured adaptive meshes"). For point clouds the
+//! usable proxies are spacing-based: how much the local nearest-neighbor
+//! spacing shrank (cell collapse) or grew (stretching) under the
+//! displacement field.
+
+use crate::geometry::Point3;
+
+/// Quality summary of a deformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Smallest ratio `spacing_after / spacing_before` over all nodes
+    /// (1.0 = perfectly rigid; → 0 = local collapse).
+    pub min_spacing_ratio: f64,
+    /// Largest ratio (stretching).
+    pub max_spacing_ratio: f64,
+    /// Largest displacement magnitude.
+    pub max_displacement: f64,
+    /// RMS displacement magnitude.
+    pub rms_displacement: f64,
+}
+
+impl QualityReport {
+    /// A deformation is "mesh-safe" when no local spacing collapsed or
+    /// stretched beyond the given factor.
+    pub fn is_safe(&self, factor: f64) -> bool {
+        self.min_spacing_ratio >= 1.0 / factor && self.max_spacing_ratio <= factor
+    }
+}
+
+/// Nearest-neighbor distance of every point (brute force for ≤ 2k points,
+/// grid-accelerated above).
+fn nn_distances(points: &[Point3]) -> Vec<f64> {
+    let n = points.len();
+    assert!(n >= 2, "need at least two points");
+    if n <= 2048 {
+        let mut out = vec![f64::INFINITY; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = points[i].dist(&points[j]);
+                if d < out[i] {
+                    out[i] = d;
+                }
+                if d < out[j] {
+                    out[j] = d;
+                }
+            }
+        }
+        return out;
+    }
+    // Uniform grid with neighbor sweep; grow the search shell until a
+    // neighbor is found.
+    use std::collections::HashMap;
+    let cells = (n as f64).cbrt().ceil() as i64;
+    let cell_of = |p: &Point3| -> (i64, i64, i64) {
+        let c = |v: f64| ((v.clamp(0.0, 1.0)) * (cells as f64 - 1e-9)) as i64;
+        (c(p.x), c(p.y), c(p.z))
+    };
+    let mut grid: HashMap<(i64, i64, i64), Vec<usize>> = HashMap::new();
+    for (idx, p) in points.iter().enumerate() {
+        grid.entry(cell_of(p)).or_default().push(idx);
+    }
+    let mut out = vec![f64::INFINITY; n];
+    for (i, p) in points.iter().enumerate() {
+        let (cx, cy, cz) = cell_of(p);
+        let mut best = f64::INFINITY;
+        let mut shell = 1i64;
+        loop {
+            for dx in -shell..=shell {
+                for dy in -shell..=shell {
+                    for dz in -shell..=shell {
+                        if let Some(neigh) = grid.get(&(cx + dx, cy + dy, cz + dz)) {
+                            for &j in neigh {
+                                if j != i {
+                                    best = best.min(points[i].dist(&points[j]));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // a found neighbor within the shell radius is definitive
+            if best < shell as f64 / cells as f64 || shell > cells {
+                break;
+            }
+            shell += 1;
+        }
+        out[i] = best;
+    }
+    out
+}
+
+/// Assess a deformation given the points before and after.
+pub fn assess(before: &[Point3], after: &[Point3]) -> QualityReport {
+    assert_eq!(before.len(), after.len(), "point sets must correspond");
+    let d0 = nn_distances(before);
+    let d1 = nn_distances(after);
+    let mut min_ratio = f64::INFINITY;
+    let mut max_ratio = 0.0_f64;
+    let mut max_disp = 0.0_f64;
+    let mut sum_disp2 = 0.0_f64;
+    for i in 0..before.len() {
+        let ratio = d1[i] / d0[i];
+        min_ratio = min_ratio.min(ratio);
+        max_ratio = max_ratio.max(ratio);
+        let disp = before[i].dist(&after[i]);
+        max_disp = max_disp.max(disp);
+        sum_disp2 += disp * disp;
+    }
+    QualityReport {
+        min_spacing_ratio: min_ratio,
+        max_spacing_ratio: max_ratio,
+        max_displacement: max_disp,
+        rms_displacement: (sum_disp2 / before.len() as f64).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{virus_population, VirusConfig};
+
+    fn cloud() -> Vec<Point3> {
+        let cfg = VirusConfig { points_per_virus: 120, ..Default::default() };
+        virus_population(2, &cfg, 77)
+    }
+
+    #[test]
+    fn rigid_translation_is_perfect() {
+        let before = cloud();
+        let after: Vec<Point3> = before
+            .iter()
+            .map(|p| Point3 { x: p.x + 0.05, y: p.y - 0.02, z: p.z })
+            .collect();
+        let q = assess(&before, &after);
+        assert!((q.min_spacing_ratio - 1.0).abs() < 1e-12);
+        assert!((q.max_spacing_ratio - 1.0).abs() < 1e-12);
+        let expected = (0.05f64 * 0.05 + 0.02 * 0.02).sqrt();
+        assert!((q.max_displacement - expected).abs() < 1e-12);
+        assert!(q.is_safe(1.01));
+    }
+
+    #[test]
+    fn uniform_scaling_detected() {
+        let before = cloud();
+        let after: Vec<Point3> = before
+            .iter()
+            .map(|p| Point3 { x: 0.5 + (p.x - 0.5) * 1.3, y: 0.5 + (p.y - 0.5) * 1.3, z: 0.5 + (p.z - 0.5) * 1.3 })
+            .collect();
+        let q = assess(&before, &after);
+        assert!((q.min_spacing_ratio - 1.3).abs() < 1e-9);
+        assert!((q.max_spacing_ratio - 1.3).abs() < 1e-9);
+        assert!(!q.is_safe(1.2));
+        assert!(q.is_safe(1.4));
+    }
+
+    #[test]
+    fn local_collapse_detected() {
+        let mut before = cloud();
+        // append an isolated pair that the deformation collapses
+        before.push(Point3 { x: 0.9, y: 0.9, z: 0.9 });
+        before.push(Point3 { x: 0.9, y: 0.9, z: 0.93 });
+        let mut after = before.clone();
+        let n = after.len();
+        after[n - 1].z = 0.9003; // squash the pair to 1% of its spacing
+        let q = assess(&before, &after);
+        assert!(q.min_spacing_ratio < 0.05, "collapse must be caught: {q:?}");
+        assert!(!q.is_safe(2.0));
+    }
+
+    #[test]
+    fn rms_below_max() {
+        let before = cloud();
+        let after: Vec<Point3> = before
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Point3 { x: p.x + if i == 0 { 0.05 } else { 0.001 }, y: p.y, z: p.z })
+            .collect();
+        let q = assess(&before, &after);
+        assert!(q.rms_displacement < q.max_displacement);
+        assert!((q.max_displacement - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Critical-path (longest-path) analysis.
+//!
+//! §VIII-G of the paper uses the compute-only critical path as an
+//! *optimistic roofline*: with infinite resources and free communication,
+//! the factorization can never finish faster than the longest dependency
+//! chain of kernel executions. The reported "efficiency" is
+//! `critical_path_time / achieved_time`.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// Result of a longest-path computation.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Total duration of the longest chain, seconds.
+    pub length: f64,
+    /// The chain itself, source → sink.
+    pub tasks: Vec<TaskId>,
+}
+
+/// Compute the longest path through `graph` where task `t` costs
+/// `duration(t)` seconds and edges are free (compute-only bound).
+///
+/// # Panics
+/// Panics if the graph is cyclic.
+pub fn critical_path(graph: &TaskGraph, duration: impl Fn(TaskId) -> f64) -> CriticalPath {
+    let order = graph.topological_order().expect("critical_path requires a DAG");
+    let n = graph.len();
+    if n == 0 {
+        return CriticalPath { length: 0.0, tasks: vec![] };
+    }
+    // dist[t] = longest path ending at t (inclusive of t's duration)
+    let mut dist = vec![0.0_f64; n];
+    let mut pred: Vec<Option<TaskId>> = vec![None; n];
+    for &t in &order {
+        let dt = duration(t);
+        if dist[t] == 0.0 {
+            dist[t] = dt; // source initialization
+        }
+        for e in graph.successors(t) {
+            let cand = dist[t] + duration(e.dst);
+            if cand > dist[e.dst] {
+                dist[e.dst] = cand;
+                pred[e.dst] = Some(t);
+            }
+        }
+    }
+    let (sink, &length) = dist
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .expect("non-empty graph");
+    let mut tasks = vec![sink];
+    let mut cur = sink;
+    while let Some(p) = pred[cur] {
+        tasks.push(p);
+        cur = p;
+    }
+    tasks.reverse();
+    CriticalPath { length, tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DataRef, TaskClass, TaskSpec};
+
+    fn spec() -> TaskSpec {
+        TaskSpec { class: TaskClass::Other, priority: 0, writes: None, flops: 0.0 }
+    }
+
+    #[test]
+    fn chain_length_is_sum() {
+        let mut g = TaskGraph::new();
+        for _ in 0..5 {
+            g.add_task(spec());
+        }
+        for i in 0..4 {
+            g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
+        }
+        let cp = critical_path(&g, |_| 2.0);
+        assert_eq!(cp.length, 10.0);
+        assert_eq!(cp.tasks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn picks_longer_branch() {
+        // 0 → 1 → 3 (cheap branch), 0 → 2 → 3 (expensive branch)
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.add_task(spec());
+        }
+        let d = DataRef { i: 0, j: 0 };
+        g.add_edge(0, 1, d, 0);
+        g.add_edge(0, 2, d, 0);
+        g.add_edge(1, 3, d, 0);
+        g.add_edge(2, 3, d, 0);
+        let dur = |t: TaskId| if t == 2 { 10.0 } else { 1.0 };
+        let cp = critical_path(&g, dur);
+        assert_eq!(cp.length, 12.0);
+        assert_eq!(cp.tasks, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut g = TaskGraph::new();
+        for _ in 0..3 {
+            g.add_task(spec());
+        }
+        // no edges: longest path = max single duration
+        let cp = critical_path(&g, |t| (t + 1) as f64);
+        assert_eq!(cp.length, 3.0);
+        assert_eq!(cp.tasks, vec![2]);
+    }
+
+    #[test]
+    fn empty_graph_zero() {
+        let g = TaskGraph::new();
+        let cp = critical_path(&g, |_| 1.0);
+        assert_eq!(cp.length, 0.0);
+        assert!(cp.tasks.is_empty());
+    }
+}

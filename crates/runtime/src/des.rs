@@ -1,0 +1,659 @@
+//! Discrete-event simulator of distributed dataflow execution.
+//!
+//! The simulator executes a [`TaskGraph`] on a virtual machine of
+//! `nprocs` processes × `cores_per_proc` cores. Each task has a fixed
+//! executing process (the *execution mapping* — owner-computes or the
+//! paper's remapped diamond distribution) and a duration. Dataflow edges
+//! crossing process boundaries cost communication time; edges from one
+//! producer carrying the same datum to many consumers form a
+//! binomial-tree broadcast, matching PaRSEC's collective dataflow
+//! (§VII-B discusses exactly these column/row broadcasts).
+//!
+//! The simulation is a standard event-driven list scheduling:
+//!
+//! * a task becomes *ready* when all predecessors have finished **and**
+//!   their data has arrived at the task's process;
+//! * each process runs up to `cores_per_proc` ready tasks concurrently,
+//!   picking by priority (panel index — critical path first);
+//! * communication is fully overlapped with computation (PaRSEC has a
+//!   dedicated communication thread), so transfers delay only their
+//!   consumers, never the producer's core.
+//!
+//! Zero-byte edges model *dependency activations* — the control messages
+//! the runtime sends for every cross-process dependency. Untrimmed DAGs
+//! are full of them (every null-tile task still activates successors),
+//! which is precisely the overhead Fig. 6 shows trimming removes.
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::trace::Trace;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-task simulation inputs: where it runs and for how long.
+#[derive(Debug, Clone, Copy)]
+pub struct DesTask {
+    /// Executing process id, `< nprocs`.
+    pub proc: usize,
+    /// Execution time in seconds (kernel + per-task runtime overhead).
+    pub duration: f64,
+}
+
+/// Virtual-machine parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DesConfig {
+    /// Number of processes (= nodes; the paper runs 1 process/node).
+    pub nprocs: usize,
+    /// Cores per process available for kernels.
+    pub cores_per_proc: usize,
+    /// Point-to-point latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Cost of a zero-byte dependency-activation message.
+    pub dep_overhead_s: f64,
+    /// Per-task management cost on the process's **serial** runtime
+    /// thread (creation, scheduling, dependency release). Every task —
+    /// including numeric no-ops on null tiles — passes through this
+    /// stage before it may occupy a core; this is the scheduling
+    /// overhead DAG trimming removes (§VI, Fig. 6). 0 disables the stage.
+    pub task_mgmt_s: f64,
+}
+
+/// Communication totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Payload bytes moved across process boundaries.
+    pub bytes: u64,
+    /// Cross-process messages (payload + activation).
+    pub messages: u64,
+}
+
+/// Simulation outputs.
+#[derive(Debug, Clone)]
+pub struct DesReport {
+    /// Virtual time when the last task retires.
+    pub makespan: f64,
+    /// Full task trace (virtual clock).
+    pub trace: Trace,
+    /// Busy seconds per process.
+    pub busy: Vec<f64>,
+    /// Communication totals.
+    pub comm: CommStats,
+}
+
+impl DesReport {
+    /// `max busy / mean busy` over processes (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let max = self.busy.iter().cloned().fold(0.0_f64, f64::max);
+        let mean = self.busy.iter().sum::<f64>() / self.busy.len().max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Parallel efficiency against a serial execution of the same work.
+    pub fn efficiency_vs_serial(&self) -> f64 {
+        let work: f64 = self.busy.iter().sum();
+        let resources = self.busy.len() as f64;
+        if self.makespan > 0.0 {
+            work / (resources * self.makespan)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Total-ordering wrapper for event times (`f64` is not `Ord`; simulated
+/// times are always finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("simulation times must be finite")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// All inputs arrived; the task enters the process's runtime thread.
+    Ready(TaskId),
+    /// Task management done; the task may occupy a core.
+    Managed(TaskId),
+    /// Kernel execution finished.
+    Finish(TaskId),
+}
+
+/// Run the simulation with the default ready-queue ordering (the task's
+/// `priority` field — panel index for tile Cholesky).
+///
+/// `tasks[t]` gives the process and duration of task `t`. Panics if the
+/// graph is cyclic, `tasks` is too short, or a process id is out of range.
+pub fn simulate(graph: &TaskGraph, tasks: &[DesTask], config: &DesConfig) -> DesReport {
+    let keys: Vec<f64> = (0..graph.len()).map(|t| graph.spec(t).priority as f64).collect();
+    simulate_with_order(graph, tasks, config, &keys)
+}
+
+/// Run the simulation with an explicit ready-queue ordering: `keys[t]`
+/// sorts ready tasks per process, **smaller first** (see
+/// [`crate::scheduler::queue_keys`]).
+pub fn simulate_with_order(
+    graph: &TaskGraph,
+    tasks: &[DesTask],
+    config: &DesConfig,
+    keys: &[f64],
+) -> DesReport {
+    assert_eq!(keys.len(), graph.len(), "one key per task");
+    assert_eq!(tasks.len(), graph.len(), "one DesTask per graph task");
+    assert!(graph.topological_order().is_some(), "task graph has a cycle");
+    for t in tasks {
+        assert!(t.proc < config.nprocs, "process id out of range");
+    }
+
+    // ------------------------------------------------------------------
+    // Precompute the broadcast structure per producer: edges grouped by
+    // datum, distinct remote destinations given binomial-tree depths.
+    // Arrival times are computed dynamically at Finish because the
+    // producer's communication engine (one comm thread / finite NIC
+    // injection bandwidth, as in PaRSEC) serializes its sends.
+    // ------------------------------------------------------------------
+    struct Bcast {
+        /// remote member edges as (edge index, tree depth in hops)
+        remote_edges: Vec<(usize, f64)>,
+        /// serialized root sends (children of the root in the tree)
+        nsends: f64,
+        /// payload bytes of the datum
+        bytes: u64,
+    }
+    let mut comm = CommStats::default();
+    let mut bcasts: Vec<Vec<Bcast>> = Vec::with_capacity(graph.len());
+    for src in 0..graph.len() {
+        let src_proc = tasks[src].proc;
+        let edges = graph.successors(src);
+        let mut groups: Vec<Bcast> = Vec::new();
+        let mut handled = vec![false; edges.len()];
+        for e0 in 0..edges.len() {
+            if handled[e0] {
+                continue;
+            }
+            let datum = edges[e0].data;
+            let members: Vec<usize> = (e0..edges.len())
+                .filter(|&i| !handled[i] && edges[i].data == datum)
+                .collect();
+            for &m in &members {
+                handled[m] = true;
+            }
+            // Distinct remote destination processes, ordered by the
+            // highest-priority consumer first (the runtime forwards along
+            // the critical path first), then proc id for determinism.
+            let mut remote: Vec<(usize, usize)> = Vec::new(); // (min_priority, proc)
+            for &m in &members {
+                let p = tasks[edges[m].dst].proc;
+                if p == src_proc {
+                    continue;
+                }
+                match remote.iter_mut().find(|(_, rp)| *rp == p) {
+                    Some(entry) => entry.0 = entry.0.min(graph.spec(edges[m].dst).priority),
+                    None => remote.push((graph.spec(edges[m].dst).priority, p)),
+                }
+            }
+            remote.sort();
+            if remote.is_empty() {
+                continue; // purely local group: no communication
+            }
+            // Binomial tree: the i-th distinct remote proc (1-based)
+            // receives after floor(log2(i)) + 1 hops; the root itself
+            // sends to its ceil(log2(r + 1)) children serially.
+            let hop_of = |i: usize| -> f64 { ((i as f64).log2().floor()) + 1.0 };
+            let mut remote_edges = Vec::new();
+            for &m in &members {
+                let dst_proc = tasks[edges[m].dst].proc;
+                if dst_proc == src_proc {
+                    continue;
+                }
+                let pos = remote.iter().position(|&(_, p)| p == dst_proc).unwrap() + 1;
+                remote_edges.push((m, hop_of(pos)));
+            }
+            let nremote = remote.len();
+            comm.messages += nremote as u64;
+            comm.bytes += edges[e0].bytes * nremote as u64;
+            // Payload broadcasts pipeline (chain bcast / DMA): the root
+            // injects ~one copy and intermediates forward. Zero-byte
+            // dependency activations are individual control messages the
+            // communication thread processes one by one — the per-edge
+            // overhead DAG trimming removes (§VI).
+            let nsends = if edges[e0].bytes > 0 { 1.0 } else { nremote as f64 };
+            groups.push(Bcast {
+                remote_edges,
+                nsends,
+                bytes: edges[e0].bytes,
+            });
+        }
+        bcasts.push(groups);
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop.
+    // ------------------------------------------------------------------
+    let n = graph.len();
+    let mut remaining: Vec<usize> = graph.indegrees();
+    let mut data_ready: Vec<f64> = vec![0.0; n];
+    let mut events: BinaryHeap<Reverse<(Time, usize, EventKind)>> = BinaryHeap::new();
+    let mut seq = 0usize;
+    let push = |events: &mut BinaryHeap<_>, t: f64, kind: EventKind, seq: &mut usize| {
+        events.push(Reverse((Time(t), *seq, kind)));
+        *seq += 1;
+    };
+
+    for t in graph.sources() {
+        push(&mut events, 0.0, EventKind::Ready(t), &mut seq);
+    }
+
+    let mut idle: Vec<usize> = vec![config.cores_per_proc; config.nprocs];
+    // Per-proc ready queue ordered by (key, id); min first.
+    let mut queues: Vec<BinaryHeap<Reverse<(Time, TaskId)>>> =
+        (0..config.nprocs).map(|_| BinaryHeap::new()).collect();
+    // Per-proc serial runtime thread: earliest time it is free.
+    let mut mgmt_free = vec![0.0_f64; config.nprocs];
+    // Per-proc communication engine (NIC/comm-thread): earliest free time.
+    let mut nic_free = vec![0.0_f64; config.nprocs];
+
+    let mut trace = Trace::default();
+    let mut busy = vec![0.0_f64; config.nprocs];
+    let mut start_time = vec![0.0_f64; n];
+    let mut completed = 0usize;
+    let mut makespan = 0.0_f64;
+
+    while let Some(Reverse((Time(now), _, kind))) = events.pop() {
+        match kind {
+            EventKind::Ready(t) => {
+                let p = tasks[t].proc;
+                if config.task_mgmt_s > 0.0 {
+                    // Serialize through the runtime thread first.
+                    let start = mgmt_free[p].max(now);
+                    let end = start + config.task_mgmt_s;
+                    mgmt_free[p] = end;
+                    push(&mut events, end, EventKind::Managed(t), &mut seq);
+                } else {
+                    push(&mut events, now, EventKind::Managed(t), &mut seq);
+                }
+            }
+            EventKind::Managed(t) => {
+                let p = tasks[t].proc;
+                queues[p].push(Reverse((Time(keys[t]), t)));
+                // Start as many queued tasks as there are idle cores.
+                while idle[p] > 0 {
+                    let Some(Reverse((_, tid))) = queues[p].pop() else { break };
+                    idle[p] -= 1;
+                    start_time[tid] = now;
+                    push(&mut events, now + tasks[tid].duration, EventKind::Finish(tid), &mut seq);
+                }
+            }
+            EventKind::Finish(t) => {
+                let p = tasks[t].proc;
+                trace.push(graph.spec(t).class, p, start_time[t], now);
+                busy[p] += now - start_time[t];
+                makespan = makespan.max(now);
+                completed += 1;
+                // Arrival per successor: local edges are immediate; each
+                // broadcast group's sends serialize on the producer's
+                // communication engine before fanning out along the tree.
+                let mut arrival_of: Vec<f64> = vec![now; graph.successors(t).len()];
+                for g in &bcasts[t] {
+                    let per_hop = if g.bytes > 0 {
+                        config.latency_s + g.bytes as f64 / config.bandwidth_bps
+                    } else {
+                        config.dep_overhead_s
+                    };
+                    let xfer = if g.bytes > 0 {
+                        g.bytes as f64 / config.bandwidth_bps
+                    } else {
+                        config.dep_overhead_s
+                    };
+                    let nic_start = nic_free[p].max(now);
+                    nic_free[p] = nic_start + g.nsends * xfer;
+                    for &(edge_idx, hops) in &g.remote_edges {
+                        arrival_of[edge_idx] = nic_start + hops * per_hop;
+                    }
+                }
+                for (idx, e) in graph.successors(t).iter().enumerate() {
+                    let arrival = arrival_of[idx];
+                    let dst = e.dst;
+                    if arrival > data_ready[dst] {
+                        data_ready[dst] = arrival;
+                    }
+                    remaining[dst] -= 1;
+                    if remaining[dst] == 0 {
+                        push(&mut events, data_ready[dst], EventKind::Ready(dst), &mut seq);
+                    }
+                }
+                // A core just freed: start the next queued task here.
+                idle[p] += 1;
+                while idle[p] > 0 {
+                    let Some(Reverse((_, tid))) = queues[p].pop() else { break };
+                    idle[p] -= 1;
+                    start_time[tid] = now;
+                    push(&mut events, now + tasks[tid].duration, EventKind::Finish(tid), &mut seq);
+                }
+            }
+        }
+    }
+
+    assert_eq!(completed, n, "simulation deadlocked: {completed}/{n} tasks retired");
+    DesReport { makespan, trace, busy, comm }
+}
+
+/// Convenience: all tasks on one process — the serial/SMP sanity baseline.
+pub fn single_proc_config(cores: usize) -> DesConfig {
+    DesConfig {
+        nprocs: 1,
+        cores_per_proc: cores,
+        latency_s: 0.0,
+        bandwidth_bps: f64::INFINITY,
+        dep_overhead_s: 0.0,
+        task_mgmt_s: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DataRef, TaskClass, TaskSpec};
+
+    fn spec(priority: usize) -> TaskSpec {
+        TaskSpec { class: TaskClass::Other, priority, writes: None, flops: 0.0 }
+    }
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(spec(i));
+        }
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, DataRef { i: 0, j: i }, 100);
+        }
+        g
+    }
+
+    #[test]
+    fn serial_chain_time_is_sum() {
+        let g = chain(10);
+        let tasks: Vec<DesTask> = (0..10).map(|_| DesTask { proc: 0, duration: 2.0 }).collect();
+        let r = simulate(&g, &tasks, &single_proc_config(4));
+        assert!((r.makespan - 20.0).abs() < 1e-12);
+        assert_eq!(r.comm, CommStats::default());
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let mut g = TaskGraph::new();
+        for _ in 0..8 {
+            g.add_task(spec(0));
+        }
+        let tasks: Vec<DesTask> = (0..8).map(|_| DesTask { proc: 0, duration: 1.0 }).collect();
+        // 4 cores → 8 unit tasks take 2 seconds
+        let r = simulate(&g, &tasks, &single_proc_config(4));
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+        // 8 cores → 1 second
+        let r8 = simulate(&g, &tasks, &single_proc_config(8));
+        assert!((r8.makespan - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_proc_edge_pays_latency_and_bandwidth() {
+        let mut g = TaskGraph::new();
+        g.add_task(spec(0));
+        g.add_task(spec(1));
+        g.add_edge(0, 1, DataRef { i: 0, j: 0 }, 1_000_000);
+        let tasks = vec![DesTask { proc: 0, duration: 1.0 }, DesTask { proc: 1, duration: 1.0 }];
+        let cfg = DesConfig {
+            nprocs: 2,
+            cores_per_proc: 1,
+            latency_s: 0.5,
+            bandwidth_bps: 1e6, // 1 MB/s → 1 s for the payload
+            dep_overhead_s: 0.1,
+            task_mgmt_s: 0.0,
+        };
+        let r = simulate(&g, &tasks, &cfg);
+        // 1 (task0) + 0.5 (lat) + 1.0 (xfer) + 1 (task1) = 3.5
+        assert!((r.makespan - 3.5).abs() < 1e-12, "makespan {}", r.makespan);
+        assert_eq!(r.comm.bytes, 1_000_000);
+        assert_eq!(r.comm.messages, 1);
+    }
+
+    #[test]
+    fn same_proc_edge_is_free() {
+        let mut g = TaskGraph::new();
+        g.add_task(spec(0));
+        g.add_task(spec(1));
+        g.add_edge(0, 1, DataRef { i: 0, j: 0 }, 1 << 30);
+        let tasks = vec![DesTask { proc: 0, duration: 1.0 }, DesTask { proc: 0, duration: 1.0 }];
+        let cfg = DesConfig {
+            nprocs: 2,
+            cores_per_proc: 1,
+            latency_s: 10.0,
+            bandwidth_bps: 1.0,
+            dep_overhead_s: 10.0,
+            task_mgmt_s: 0.0,
+        };
+        let r = simulate(&g, &tasks, &cfg);
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+        assert_eq!(r.comm.messages, 0);
+    }
+
+    #[test]
+    fn broadcast_uses_binomial_tree() {
+        // One producer on proc 0, consumers on procs 1..=4 with the same
+        // datum. Tree depths: 1, 2, 2, 3 hops.
+        let mut g = TaskGraph::new();
+        let src = g.add_task(spec(0));
+        let d = DataRef { i: 3, j: 1 };
+        for _ in 0..4 {
+            let c = g.add_task(spec(1));
+            g.add_edge(src, c, d, 0);
+        }
+        let mut tasks = vec![DesTask { proc: 0, duration: 1.0 }];
+        for p in 1..=4 {
+            tasks.push(DesTask { proc: p, duration: 0.0 });
+        }
+        let cfg = DesConfig {
+            nprocs: 5,
+            cores_per_proc: 1,
+            latency_s: 0.0,
+            bandwidth_bps: 1e9,
+            dep_overhead_s: 1.0, // zero-byte edges cost 1 s/hop
+            task_mgmt_s: 0.0,
+        };
+        let r = simulate(&g, &tasks, &cfg);
+        // Last receiver is 3 hops deep: 1 (task) + 3 = 4.
+        assert!((r.makespan - 4.0).abs() < 1e-12, "makespan {}", r.makespan);
+        assert_eq!(r.comm.messages, 4);
+        assert_eq!(r.comm.bytes, 0);
+    }
+
+    #[test]
+    fn activation_storm_serializes_on_comm_thread() {
+        // One producer fires zero-byte activations at consumers on many
+        // distinct procs: the sender's comm thread handles each control
+        // message one by one, so the LAST consumer waits ~n·dep_overhead
+        // (this is the per-dependency overhead DAG trimming removes).
+        let nremote = 16usize;
+        let mut g = TaskGraph::new();
+        let src = g.add_task(spec(0));
+        for i in 0..nremote {
+            let t = g.add_task(spec(1));
+            // distinct datum per consumer ⇒ n separate activations
+            g.add_edge(src, t, DataRef { i, j: 0 }, 0);
+        }
+        let mut tasks = vec![DesTask { proc: 0, duration: 1.0 }];
+        for i in 0..nremote {
+            tasks.push(DesTask { proc: 1 + i, duration: 0.0 });
+        }
+        let cfg = DesConfig {
+            nprocs: 1 + nremote,
+            cores_per_proc: 1,
+            latency_s: 0.0,
+            bandwidth_bps: 1e12,
+            dep_overhead_s: 0.5,
+            task_mgmt_s: 0.0,
+        };
+        let r = simulate(&g, &tasks, &cfg);
+        // n activations of 0.5 s serialize on proc 0's comm engine,
+        // plus the per-hop delivery of the last one.
+        assert!(
+            r.makespan >= 1.0 + 0.5 * nremote as f64,
+            "activations must serialize: makespan {}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn payload_broadcast_pipelines_on_sender() {
+        // A payload broadcast injects ~one copy at the root (chain/DMA);
+        // the sender's NIC does not serialize per receiver.
+        let nremote = 8usize;
+        let bytes = 1_000_000u64; // 1 s at 1 MB/s
+        let mut g = TaskGraph::new();
+        let src = g.add_task(spec(0));
+        let d = DataRef { i: 0, j: 0 };
+        for _ in 0..nremote {
+            let t = g.add_task(spec(1));
+            g.add_edge(src, t, d, bytes);
+        }
+        let mut tasks = vec![DesTask { proc: 0, duration: 1.0 }];
+        for i in 0..nremote {
+            tasks.push(DesTask { proc: 1 + i, duration: 0.0 });
+        }
+        let cfg = DesConfig {
+            nprocs: 1 + nremote,
+            cores_per_proc: 1,
+            latency_s: 0.0,
+            bandwidth_bps: 1e6,
+            dep_overhead_s: 0.0,
+            task_mgmt_s: 0.0,
+        };
+        let r = simulate(&g, &tasks, &cfg);
+        // tree depth for the 8th receiver is 4 hops: 1 (task) + 4·1 s,
+        // NOT 1 + 8·1 s (which per-receiver serialization would give).
+        assert!(r.makespan <= 1.0 + 4.0 + 1e-9, "makespan {}", r.makespan);
+        assert!(r.makespan >= 1.0 + 1.0, "at least one transfer: {}", r.makespan);
+    }
+
+    #[test]
+    fn back_to_back_broadcasts_share_the_nic() {
+        // Two payload broadcasts from the same proc: the second's
+        // injection waits for the first (finite injection bandwidth).
+        let mut g = TaskGraph::new();
+        let a = g.add_task(spec(0));
+        let b = g.add_task(spec(0));
+        let ca = g.add_task(spec(1));
+        let cb = g.add_task(spec(1));
+        g.add_edge(a, ca, DataRef { i: 0, j: 0 }, 1_000_000);
+        g.add_edge(b, cb, DataRef { i: 1, j: 0 }, 1_000_000);
+        let tasks = vec![
+            DesTask { proc: 0, duration: 1.0 },
+            DesTask { proc: 0, duration: 1.0 },
+            DesTask { proc: 1, duration: 0.0 },
+            DesTask { proc: 2, duration: 0.0 },
+        ];
+        let cfg = DesConfig {
+            nprocs: 3,
+            cores_per_proc: 2, // both producers run concurrently
+            latency_s: 0.0,
+            bandwidth_bps: 1e6, // 1 s per copy
+            dep_overhead_s: 0.0,
+            task_mgmt_s: 0.0,
+        };
+        let r = simulate(&g, &tasks, &cfg);
+        // both finish at t=1; injections serialize: second arrives >= 3.
+        assert!(r.makespan >= 3.0 - 1e-9, "NIC must serialize: {}", r.makespan);
+    }
+
+    #[test]
+    fn priority_breaks_ties() {
+        // Two ready tasks on one single-core proc; the lower-priority value
+        // (more urgent) must run first.
+        let mut g = TaskGraph::new();
+        let urgent = g.add_task(spec(0));
+        let lazy = g.add_task(spec(9));
+        let tasks = vec![
+            DesTask { proc: 0, duration: 1.0 },
+            DesTask { proc: 0, duration: 1.0 },
+        ];
+        let r = simulate(&g, &tasks, &single_proc_config(1));
+        let rec_urgent = r.trace.records.iter().find(|x| x.start == 0.0).unwrap();
+        // both tasks retire; check the one starting at 0 has class Other
+        // and that `urgent` started first by comparing start times.
+        let starts: Vec<(usize, f64)> = r
+            .trace
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, rec)| (i, rec.start))
+            .collect();
+        assert_eq!(starts.len(), 2);
+        let _ = (urgent, lazy, rec_urgent);
+        // urgent is recorded first (finishes at 1.0), lazy second
+        assert!(r.trace.records[0].end <= r.trace.records[1].start + 1e-12);
+    }
+
+    #[test]
+    fn makespan_never_below_critical_path() {
+        use crate::critical_path::critical_path;
+        // Random-ish layered DAG over 3 procs.
+        let mut g = TaskGraph::new();
+        let l0: Vec<_> = (0..6).map(|_| g.add_task(spec(0))).collect();
+        let l1: Vec<_> = (0..6).map(|_| g.add_task(spec(1))).collect();
+        for (a, &t0) in l0.iter().enumerate() {
+            for (b, &t1) in l1.iter().enumerate() {
+                if (a + b) % 2 == 0 {
+                    g.add_edge(t0, t1, DataRef { i: a, j: 0 }, 1000);
+                }
+            }
+        }
+        let tasks: Vec<DesTask> = (0..g.len())
+            .map(|t| DesTask { proc: t % 3, duration: 1.0 + (t % 4) as f64 })
+            .collect();
+        let cfg = DesConfig {
+            nprocs: 3,
+            cores_per_proc: 2,
+            latency_s: 1e-3,
+            bandwidth_bps: 1e9,
+            dep_overhead_s: 1e-4,
+            task_mgmt_s: 0.0,
+        };
+        let r = simulate(&g, &tasks, &cfg);
+        let cp = critical_path(&g, |t| tasks[t].duration);
+        assert!(r.makespan >= cp.length - 1e-12, "{} < {}", r.makespan, cp.length);
+    }
+
+    #[test]
+    fn report_metrics() {
+        let g = chain(4);
+        let tasks: Vec<DesTask> = (0..4).map(|p| DesTask { proc: p % 2, duration: 1.0 }).collect();
+        let cfg = DesConfig {
+            nprocs: 2,
+            cores_per_proc: 1,
+            latency_s: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            dep_overhead_s: 0.0,
+            task_mgmt_s: 0.0,
+        };
+        let r = simulate(&g, &tasks, &cfg);
+        assert!((r.busy[0] - 2.0).abs() < 1e-12);
+        assert!((r.busy[1] - 2.0).abs() < 1e-12);
+        assert!((r.load_imbalance() - 1.0).abs() < 1e-12);
+        // serial chain on 2 procs: efficiency = 4 / (2*4) = 0.5
+        assert!((r.efficiency_vs_serial() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,281 @@
+//! Dataflow task graphs.
+//!
+//! A [`TaskGraph`] is the fully unrolled equivalent of a PaRSEC
+//! Parameterized Task Graph: each vertex carries its kernel class, the tile
+//! it writes, the tiles it reads, a flop count and a scheduling priority;
+//! each edge carries the number of bytes that flow along it (zero for pure
+//! control dependencies). The graph is built by the algorithm front-end
+//! (`hicma-core`) and consumed by both the shared-memory executor and the
+//! distributed discrete-event simulator — the same structure PaRSEC's
+//! scheduler and communication engine share.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a task inside its graph.
+pub type TaskId = usize;
+
+/// Kernel classes of tile Cholesky (plus a catch-all for tests/extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskClass {
+    /// Cholesky of a diagonal tile.
+    Potrf,
+    /// Triangular solve of a sub-diagonal tile against a factored diagonal.
+    Trsm,
+    /// Symmetric rank-k update of a diagonal tile.
+    Syrk,
+    /// Off-diagonal Schur update (the TLR recompression kernel).
+    Gemm,
+    /// Anything else (used by unit tests and auxiliary phases).
+    Other,
+}
+
+impl TaskClass {
+    /// Stable short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskClass::Potrf => "POTRF",
+            TaskClass::Trsm => "TRSM",
+            TaskClass::Syrk => "SYRK",
+            TaskClass::Gemm => "GEMM",
+            TaskClass::Other => "OTHER",
+        }
+    }
+}
+
+/// A reference to a datum (tile) for communication grouping: edges from the
+/// same producer carrying the same datum to several consumers form one
+/// broadcast, exactly like PaRSEC's collective dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataRef {
+    /// Tile row index.
+    pub i: usize,
+    /// Tile column index.
+    pub j: usize,
+}
+
+/// Everything the runtime needs to know about one task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Kernel class (drives the per-class time breakdown).
+    pub class: TaskClass,
+    /// Panel index `k` of tile Cholesky — used as scheduling priority
+    /// (lower `k` = closer to the critical path = higher priority).
+    pub priority: usize,
+    /// The tile this task overwrites (None for read-only/bookkeeping).
+    pub writes: Option<DataRef>,
+    /// Floating-point operations this task performs.
+    pub flops: f64,
+}
+
+/// One dataflow edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Consumer task.
+    pub dst: TaskId,
+    /// The datum flowing along the edge (groups broadcasts).
+    pub data: DataRef,
+    /// Payload size in bytes (0 = control-only dependency).
+    pub bytes: u64,
+}
+
+/// A directed acyclic dataflow graph of tasks.
+#[derive(Debug, Default)]
+pub struct TaskGraph {
+    specs: Vec<TaskSpec>,
+    /// Outgoing edges per task.
+    succs: Vec<Vec<Edge>>,
+    /// Number of incoming edges per task.
+    indegree: Vec<usize>,
+}
+
+impl TaskGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a task; returns its id.
+    pub fn add_task(&mut self, spec: TaskSpec) -> TaskId {
+        let id = self.specs.len();
+        self.specs.push(spec);
+        self.succs.push(Vec::new());
+        self.indegree.push(0);
+        id
+    }
+
+    /// Insert a dataflow edge `src → dst` carrying `bytes` of datum `data`.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range or `src == dst`.
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, data: DataRef, bytes: u64) {
+        assert!(src < self.specs.len() && dst < self.specs.len(), "edge endpoints must exist");
+        assert_ne!(src, dst, "self-dependency");
+        self.succs[src].push(Edge { dst, data, bytes });
+        self.indegree[dst] += 1;
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Task metadata.
+    pub fn spec(&self, id: TaskId) -> &TaskSpec {
+        &self.specs[id]
+    }
+
+    /// Outgoing edges of a task.
+    pub fn successors(&self, id: TaskId) -> &[Edge] {
+        &self.succs[id]
+    }
+
+    /// In-degree of a task.
+    pub fn indegree(&self, id: TaskId) -> usize {
+        self.indegree[id]
+    }
+
+    /// Clone of the in-degree array (consumed by schedulers as a counter set).
+    pub fn indegrees(&self) -> Vec<usize> {
+        self.indegree.clone()
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        (0..self.len()).filter(|&t| self.indegree[t] == 0).collect()
+    }
+
+    /// Count tasks per class (the paper's Fig. 5 right axis).
+    pub fn class_counts(&self) -> [(TaskClass, usize); 5] {
+        let mut counts = [
+            (TaskClass::Potrf, 0),
+            (TaskClass::Trsm, 0),
+            (TaskClass::Syrk, 0),
+            (TaskClass::Gemm, 0),
+            (TaskClass::Other, 0),
+        ];
+        for s in &self.specs {
+            let idx = match s.class {
+                TaskClass::Potrf => 0,
+                TaskClass::Trsm => 1,
+                TaskClass::Syrk => 2,
+                TaskClass::Gemm => 3,
+                TaskClass::Other => 4,
+            };
+            counts[idx].1 += 1;
+        }
+        counts
+    }
+
+    /// Total flops over all tasks.
+    pub fn total_flops(&self) -> f64 {
+        self.specs.iter().map(|s| s.flops).sum()
+    }
+
+    /// A topological order (Kahn). Returns `None` if the graph has a cycle
+    /// (which would indicate a front-end bug).
+    pub fn topological_order(&self) -> Option<Vec<TaskId>> {
+        let mut indeg = self.indegree.clone();
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack: Vec<TaskId> = self.sources();
+        while let Some(t) = stack.pop() {
+            order.push(t);
+            for e in &self.succs[t] {
+                indeg[e.dst] -= 1;
+                if indeg[e.dst] == 0 {
+                    stack.push(e.dst);
+                }
+            }
+        }
+        if order.len() == self.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(class: TaskClass, priority: usize) -> TaskSpec {
+        TaskSpec { class, priority, writes: None, flops: 1.0 }
+    }
+
+    fn diamond() -> TaskGraph {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        let mut g = TaskGraph::new();
+        let d = DataRef { i: 0, j: 0 };
+        for _ in 0..4 {
+            g.add_task(spec(TaskClass::Other, 0));
+        }
+        g.add_edge(0, 1, d, 8);
+        g.add_edge(0, 2, d, 8);
+        g.add_edge(1, 3, d, 8);
+        g.add_edge(2, 3, d, 8);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.indegree(3), 2);
+        assert_eq!(g.sources(), vec![0]);
+        assert_eq!(g.successors(0).len(), 2);
+    }
+
+    #[test]
+    fn topological_order_valid() {
+        let g = diamond();
+        let order = g.topological_order().expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (idx, &t) in order.iter().enumerate() {
+                p[t] = idx;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = diamond();
+        let d = DataRef { i: 0, j: 0 };
+        g.add_edge(3, 0, d, 0);
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn class_counts_and_flops() {
+        let mut g = TaskGraph::new();
+        g.add_task(spec(TaskClass::Potrf, 0));
+        g.add_task(spec(TaskClass::Gemm, 1));
+        g.add_task(spec(TaskClass::Gemm, 2));
+        let counts = g.class_counts();
+        assert_eq!(counts[0].1, 1); // POTRF
+        assert_eq!(counts[3].1, 2); // GEMM
+        assert_eq!(g.total_flops(), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_edge_panics() {
+        let mut g = TaskGraph::new();
+        g.add_task(spec(TaskClass::Other, 0));
+        g.add_edge(0, 0, DataRef { i: 0, j: 0 }, 0);
+    }
+}

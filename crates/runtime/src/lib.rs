@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! PaRSEC-equivalent task runtime.
+//!
+//! PaRSEC executes algorithms expressed as parameterized task graphs: tasks
+//! are vertices, dataflow is edges, and the runtime (a) schedules ready
+//! tasks onto cores, (b) ships data between address spaces implied by the
+//! edges, and (c) overlaps both. This crate reproduces the three layers the
+//! paper's contributions live in:
+//!
+//! * [`graph`] — the task-graph representation (the unrolled equivalent of
+//!   a PTG/JDF program), with dataflow annotations used for communication
+//!   accounting. DAG trimming manifests here as *not inserting* tasks.
+//! * [`executor`] — a shared-memory work-stealing executor (crossbeam
+//!   deques) that runs real numerical kernels; used to validate the
+//!   numerics of every configuration at laptop scale.
+//! * [`des`] — a discrete-event simulator of distributed execution: `P`
+//!   processes × `cores` each, binomial-tree broadcasts, a latency/
+//!   bandwidth link model and per-task runtime overheads. This is the
+//!   substitute for the paper's Shaheen II / Fugaku runs (see DESIGN.md §2)
+//!   and is driven by the same task graphs the executor runs.
+//! * [`machine`] — calibrated machine models for the two supercomputers.
+//! * [`critical_path`] — the longest-path "roofline" bound of §VIII-G.
+//! * [`trace`] — execution traces and per-class time breakdowns (Fig. 11).
+
+pub mod critical_path;
+pub mod des;
+pub mod distributed;
+pub mod dtd;
+pub mod executor;
+pub mod graph;
+pub mod machine;
+pub mod ptg;
+pub mod scheduler;
+pub mod trace;
+
+pub use des::{simulate, DesConfig, DesReport};
+pub use executor::execute;
+pub use graph::{DataRef, TaskClass, TaskGraph, TaskId, TaskSpec};
+pub use machine::MachineModel;
+pub use trace::{ClassBreakdown, Trace};

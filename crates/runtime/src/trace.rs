@@ -1,0 +1,221 @@
+//! Execution traces and per-class time breakdowns.
+//!
+//! Both the shared-memory executor (wall-clock) and the discrete-event
+//! simulator (virtual clock) emit a [`Trace`]; the reporting code behind
+//! Fig. 11 (time breakdown) and Fig. 13 (efficiency vs. the critical-path
+//! bound) consumes it.
+
+use crate::graph::TaskClass;
+use serde::{Deserialize, Serialize};
+
+/// One executed task.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Kernel class.
+    pub class: TaskClass,
+    /// Executing process (0 for shared-memory runs).
+    pub proc: usize,
+    /// Start time, seconds (virtual or wall).
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-task records, in retirement order.
+    pub records: Vec<TaskRecord>,
+}
+
+/// Aggregate busy time per kernel class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    /// Total POTRF seconds.
+    pub potrf: f64,
+    /// Total TRSM seconds.
+    pub trsm: f64,
+    /// Total SYRK seconds.
+    pub syrk: f64,
+    /// Total GEMM seconds.
+    pub gemm: f64,
+    /// Everything else.
+    pub other: f64,
+}
+
+impl ClassBreakdown {
+    /// Sum over all classes.
+    pub fn total(&self) -> f64 {
+        self.potrf + self.trsm + self.syrk + self.gemm + self.other
+    }
+}
+
+impl Trace {
+    /// Record one task execution.
+    pub fn push(&mut self, class: TaskClass, proc: usize, start: f64, end: f64) {
+        self.records.push(TaskRecord { class, proc, start, end });
+    }
+
+    /// Makespan (max end time; 0 for an empty trace).
+    pub fn makespan(&self) -> f64 {
+        self.records.iter().fold(0.0, |m, r| m.max(r.end))
+    }
+
+    /// Total busy seconds per kernel class.
+    pub fn breakdown(&self) -> ClassBreakdown {
+        let mut b = ClassBreakdown::default();
+        for r in &self.records {
+            let d = r.end - r.start;
+            match r.class {
+                TaskClass::Potrf => b.potrf += d,
+                TaskClass::Trsm => b.trsm += d,
+                TaskClass::Syrk => b.syrk += d,
+                TaskClass::Gemm => b.gemm += d,
+                TaskClass::Other => b.other += d,
+            }
+        }
+        b
+    }
+
+    /// Busy seconds per process (index = proc id).
+    pub fn busy_per_proc(&self, nprocs: usize) -> Vec<f64> {
+        let mut busy = vec![0.0; nprocs];
+        for r in &self.records {
+            if r.proc < nprocs {
+                busy[r.proc] += r.end - r.start;
+            }
+        }
+        busy
+    }
+
+    /// Render an ASCII Gantt chart: one row per process, time binned into
+    /// `width` columns, each cell showing the kernel class that dominated
+    /// the bin (`P`/`T`/`S`/`G`, `·` idle). The textual cousin of the
+    /// PaRSEC trace visualizations the paper's analysis tooling ([13])
+    /// produces.
+    pub fn gantt(&self, nprocs: usize, width: usize) -> String {
+        let makespan = self.makespan();
+        if makespan <= 0.0 || width == 0 {
+            return String::new();
+        }
+        // busy[proc][bin][class] = seconds
+        let mut busy = vec![vec![[0.0_f64; 5]; width]; nprocs];
+        let bin_w = makespan / width as f64;
+        for r in &self.records {
+            if r.proc >= nprocs {
+                continue;
+            }
+            let cls = match r.class {
+                TaskClass::Potrf => 0,
+                TaskClass::Trsm => 1,
+                TaskClass::Syrk => 2,
+                TaskClass::Gemm => 3,
+                TaskClass::Other => 4,
+            };
+            let b0 = ((r.start / bin_w) as usize).min(width - 1);
+            let b1 = ((r.end / bin_w) as usize).min(width - 1);
+            for b in b0..=b1 {
+                let lo = (b as f64) * bin_w;
+                let hi = lo + bin_w;
+                let overlap = (r.end.min(hi) - r.start.max(lo)).max(0.0);
+                busy[r.proc][b][cls] += overlap;
+            }
+        }
+        let glyphs = ['P', 'T', 'S', 'G', 'O'];
+        let mut out = String::new();
+        for (p, row) in busy.iter().enumerate() {
+            out.push_str(&format!("p{p:<3}|"));
+            for bins in row {
+                let total: f64 = bins.iter().sum();
+                if total < 0.05 * bin_w {
+                    out.push('·');
+                } else {
+                    let (idx, _) = bins
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap();
+                    out.push(glyphs[idx]);
+                }
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Load imbalance factor `max busy / mean busy` (1.0 = perfect).
+    pub fn load_imbalance(&self, nprocs: usize) -> f64 {
+        let busy = self.busy_per_proc(nprocs);
+        let max = busy.iter().cloned().fold(0.0_f64, f64::max);
+        let mean = busy.iter().sum::<f64>() / nprocs.max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_and_breakdown() {
+        let mut t = Trace::default();
+        t.push(TaskClass::Potrf, 0, 0.0, 1.0);
+        t.push(TaskClass::Gemm, 1, 0.5, 3.0);
+        t.push(TaskClass::Gemm, 0, 1.0, 2.0);
+        assert_eq!(t.makespan(), 3.0);
+        let b = t.breakdown();
+        assert_eq!(b.potrf, 1.0);
+        assert_eq!(b.gemm, 3.5);
+        assert_eq!(b.total(), 4.5);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let mut t = Trace::default();
+        t.push(TaskClass::Gemm, 0, 0.0, 10.0);
+        t.push(TaskClass::Gemm, 1, 0.0, 2.0);
+        let li = t.load_imbalance(2);
+        assert!((li - 10.0 / 6.0).abs() < 1e-12);
+        // Balanced case
+        let mut t2 = Trace::default();
+        t2.push(TaskClass::Gemm, 0, 0.0, 5.0);
+        t2.push(TaskClass::Gemm, 1, 1.0, 6.0);
+        assert!((t2.load_imbalance(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_classes_and_idle() {
+        let mut t = Trace::default();
+        t.push(TaskClass::Potrf, 0, 0.0, 5.0);
+        t.push(TaskClass::Gemm, 1, 5.0, 10.0);
+        let g = t.gantt(2, 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // proc 0 busy with POTRF in the first half, idle in the second
+        assert!(lines[0].contains('P'));
+        assert!(lines[0].contains('·'));
+        // proc 1 idle first, GEMM second
+        assert!(lines[1].contains('G'));
+        assert!(lines[1].contains('·'));
+        // row widths: prefix 'pN  |' + width + '|'
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn gantt_empty_trace_is_empty() {
+        let t = Trace::default();
+        assert!(t.gantt(4, 20).is_empty());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.breakdown().total(), 0.0);
+        assert_eq!(t.load_imbalance(4), 1.0);
+    }
+}

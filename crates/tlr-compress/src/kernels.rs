@@ -1,0 +1,497 @@
+//! The four TLR Cholesky tile kernels: POTRF, TRSM, SYRK, GEMM.
+//!
+//! These are HiCMA's HCORE kernels re-derived for the `U·Vᵀ` tile format.
+//! The factorization they implement is the classic left-looking tile
+//! Cholesky: for each panel `k`,
+//!
+//! ```text
+//! POTRF  : A[k][k] = L[k][k]·L[k][k]ᵀ                    (dense diagonal)
+//! TRSM   : A[m][k] = A[m][k]·L[k][k]⁻ᵀ          ∀ m > k  (TLR or dense)
+//! SYRK   : A[m][m] −= A[m][k]·A[m][k]ᵀ          ∀ m > k  (dense diagonal)
+//! GEMM   : A[m][n] −= A[m][k]·A[n][k]ᵀ    ∀ m > n > k    (TLR recompress)
+//! ```
+//!
+//! The GEMM kernel is where ranks move: the low-rank update is stacked
+//! against the destination's factors and recompressed (QR + SVD truncation)
+//! at the configured accuracy — exactly HiCMA's recompression pipeline.
+//! The [`flops`] submodule exposes the operation counts the paper's time
+//! model needs, as a function of tile size and the ranks involved.
+
+use crate::compress::CompressionConfig;
+use crate::tile::Tile;
+use tlr_linalg::{
+    gemm_serial, jacobi_svd, potrf, syrk, trsm, CholeskyError, Matrix, Qr, Side, Trans, Uplo,
+};
+
+/// POTRF kernel: factor a dense diagonal tile in place (lower Cholesky).
+///
+/// # Panics
+/// Panics if the tile is not dense — diagonal tiles never compress in TLR
+/// Cholesky (their ranks are full by SPD-ness).
+pub fn potrf_kernel(c: &mut Tile) -> Result<(), CholeskyError> {
+    match c {
+        Tile::Dense(m) => {
+            potrf(m)?;
+            m.zero_upper();
+            Ok(())
+        }
+        _ => panic!("POTRF requires a dense diagonal tile"),
+    }
+}
+
+/// TRSM kernel: `A := A · L⁻ᵀ` where `l` holds the factored diagonal tile.
+///
+/// For a low-rank `A = U·Vᵀ` only the small factor moves:
+/// `A·L⁻ᵀ = U·(L⁻¹V)ᵀ`, i.e. a `b × k` triangular solve instead of
+/// `b × b` — this is the arithmetic saving that makes TLR worthwhile.
+pub fn trsm_kernel(l: &Tile, a: &mut Tile) {
+    let l = match l {
+        Tile::Dense(m) => m,
+        _ => panic!("TRSM requires a dense factored diagonal tile"),
+    };
+    match a {
+        Tile::Dense(m) => trsm(Side::Right, Uplo::Lower, Trans::Yes, 1.0, l, m),
+        Tile::LowRank { v, .. } => trsm(Side::Left, Uplo::Lower, Trans::No, 1.0, l, v),
+        Tile::Null { .. } => {}
+    }
+}
+
+/// SYRK kernel: `C −= A·Aᵀ` onto a dense diagonal tile.
+///
+/// Low-rank `A = U·Vᵀ` gives `A·Aᵀ = U·(VᵀV)·Uᵀ`: one `k × k` Gram
+/// matrix, one `b × k` product, one rank-k dense update.
+pub fn syrk_kernel(a: &Tile, c: &mut Tile) {
+    let c = match c {
+        Tile::Dense(m) => m,
+        _ => panic!("SYRK destination (diagonal tile) must be dense"),
+    };
+    match a {
+        Tile::Dense(m) => {
+            syrk(Trans::No, -1.0, m, 1.0, c);
+            // Diagonal tiles are kept fully symmetric so that dense and
+            // low-rank update paths produce identical tiles.
+            c.symmetrize_from_lower();
+        }
+        Tile::LowRank { u, v } => {
+            let k = u.cols();
+            if k == 0 {
+                return;
+            }
+            // W = VᵀV  (k × k)
+            let mut w = Matrix::zeros(k, k);
+            gemm_serial(Trans::Yes, Trans::No, 1.0, v, v, 0.0, &mut w);
+            // T = U·W  (b × k)
+            let mut t = Matrix::zeros(u.rows(), k);
+            gemm_serial(Trans::No, Trans::No, 1.0, u, &w, 0.0, &mut t);
+            // C −= T·Uᵀ (full update; the diagonal tile is kept symmetric)
+            gemm_serial(Trans::No, Trans::Yes, -1.0, &t, u, 1.0, c);
+        }
+        Tile::Null { .. } => {}
+    }
+}
+
+/// GEMM kernel: `C −= A·Bᵀ` with TLR recompression.
+///
+/// `A` is tile `(m, k)`, `B` is tile `(n, k)` of the factorization, `C` is
+/// tile `(m, n)`. Null operands make the kernel a no-op (the DAG-trimming
+/// analysis removes those calls up front; keeping the no-op here preserves
+/// correctness when trimming is disabled).
+pub fn gemm_kernel(a: &Tile, b: &Tile, c: &mut Tile, config: &CompressionConfig) {
+    if a.is_null() || b.is_null() {
+        return;
+    }
+    // Express the product A·Bᵀ in low-rank form (u_p · v_pᵀ) when possible.
+    let product = match (a, b) {
+        (Tile::LowRank { u: ua, v: va }, Tile::LowRank { u: ub, v: vb }) => {
+            let ka = ua.cols();
+            let kb = ub.cols();
+            if ka == 0 || kb == 0 {
+                return;
+            }
+            // W = Vaᵀ·Vb  (ka × kb)
+            let mut w = Matrix::zeros(ka, kb);
+            gemm_serial(Trans::Yes, Trans::No, 1.0, va, vb, 0.0, &mut w);
+            if ka <= kb {
+                // P = Ua · (Ub·Wᵀ)ᵀ, rank ka
+                let mut vp = Matrix::zeros(ub.rows(), ka);
+                gemm_serial(Trans::No, Trans::Yes, 1.0, ub, &w, 0.0, &mut vp);
+                Some((ua.clone(), vp))
+            } else {
+                // P = (Ua·W) · Ubᵀ, rank kb
+                let mut up = Matrix::zeros(ua.rows(), kb);
+                gemm_serial(Trans::No, Trans::No, 1.0, ua, &w, 0.0, &mut up);
+                Some((up, ub.clone()))
+            }
+        }
+        (Tile::LowRank { u: ua, v: va }, Tile::Dense(bm)) => {
+            // P = Ua · (B·Va)ᵀ
+            let ka = ua.cols();
+            let mut vp = Matrix::zeros(bm.rows(), ka);
+            gemm_serial(Trans::No, Trans::No, 1.0, bm, va, 0.0, &mut vp);
+            Some((ua.clone(), vp))
+        }
+        (Tile::Dense(am), Tile::LowRank { u: ub, v: vb }) => {
+            // P = (A·Vb) · Ubᵀ
+            let kb = ub.cols();
+            let mut up = Matrix::zeros(am.rows(), kb);
+            gemm_serial(Trans::No, Trans::No, 1.0, am, vb, 0.0, &mut up);
+            Some((up, ub.clone()))
+        }
+        (Tile::Dense(_), Tile::Dense(_)) => None,
+        _ => unreachable!("null operands handled above"),
+    };
+
+    match product {
+        Some((up, vp)) => subtract_lowrank(c, &up, &vp, config),
+        None => {
+            // dense × dense: compute densely and keep C dense.
+            let (am, bm) = match (a, b) {
+                (Tile::Dense(am), Tile::Dense(bm)) => (am, bm),
+                _ => unreachable!(),
+            };
+            let mut cd = c.to_dense();
+            gemm_serial(Trans::No, Trans::Yes, -1.0, am, bm, 1.0, &mut cd);
+            *c = Tile::Dense(cd);
+        }
+    }
+}
+
+/// `C −= up · vpᵀ`, preserving/choosing C's format with recompression.
+///
+/// * Dense `C`: dense accumulate (no format change).
+/// * Low-rank or null `C`: stack `[U_c  −up]·[V_c  vp]ᵀ` and recompress via
+///   QR of both stacked factors + SVD of the small core, truncated at the
+///   configured accuracy. The result may be `Null` (fully cancelled),
+///   `LowRank`, or `Dense` (rank grew past the pay-off point).
+pub fn subtract_lowrank(c: &mut Tile, up: &Matrix, vp: &Matrix, config: &CompressionConfig) {
+    let kp = up.cols();
+    if kp == 0 {
+        return;
+    }
+    match c {
+        Tile::Dense(cm) => {
+            gemm_serial(Trans::No, Trans::Yes, -1.0, up, vp, 1.0, cm);
+        }
+        Tile::LowRank { .. } | Tile::Null { .. } => {
+            let rows = c.rows();
+            let cols = c.cols();
+            let (uc, vc) = match c {
+                Tile::LowRank { u, v } => (Some(u), Some(v)),
+                _ => (None, None),
+            };
+            let kc = uc.as_ref().map_or(0, |u| u.cols());
+            let ktot = kc + kp;
+            // Stack factors: U_s = [U_c  −up], V_s = [V_c  vp].
+            let mut us = Matrix::zeros(rows, ktot);
+            let mut vs = Matrix::zeros(cols, ktot);
+            if let (Some(uc), Some(vc)) = (uc, vc) {
+                us.set_submatrix(0, 0, uc);
+                vs.set_submatrix(0, 0, vc);
+            }
+            {
+                let mut neg = up.clone();
+                neg.scale(-1.0);
+                us.set_submatrix(0, kc, &neg);
+                vs.set_submatrix(0, kc, vp);
+            }
+            *c = recompress(us, vs, rows, cols, config);
+        }
+    }
+}
+
+/// Recompress a stacked `U_s·V_sᵀ` product into canonical tile form.
+fn recompress(us: Matrix, vs: Matrix, rows: usize, cols: usize, config: &CompressionConfig) -> Tile {
+    let qu = Qr::new(us);
+    let qv = Qr::new(vs);
+    let ru = qu.r(); // ku × ktot
+    let rv = qv.r(); // kv × ktot
+    // Core = Ru · Rvᵀ (ku × kv), small.
+    let mut core = Matrix::zeros(ru.rows(), rv.rows());
+    gemm_serial(Trans::No, Trans::Yes, 1.0, &ru, &rv, 0.0, &mut core);
+    let svd = jacobi_svd(&core);
+    let k = svd.rank_at_frobenius(config.accuracy).min(config.max_rank);
+    if k == 0 {
+        return Tile::Null { rows, cols };
+    }
+    // U = Q_u · X_k · Σ_k ; V = Q_v · Y_k
+    let x = svd.u.submatrix(0, 0, svd.u.rows(), k);
+    let mut xs = x;
+    for p in 0..k {
+        let sv = svd.s[p];
+        for val in xs.col_mut(p) {
+            *val *= sv;
+        }
+    }
+    let quf = qu.q_thin();
+    let qvf = qv.q_thin();
+    let mut u = Matrix::zeros(rows, k);
+    gemm_serial(Trans::No, Trans::No, 1.0, &quf, &xs, 0.0, &mut u);
+    let y = svd.v.submatrix(0, 0, svd.v.rows(), k);
+    let mut v = Matrix::zeros(cols, k);
+    gemm_serial(Trans::No, Trans::No, 1.0, &qvf, &y, 0.0, &mut v);
+    if !config.low_rank_pays_off(k, rows, cols) {
+        let t = Tile::LowRank { u, v };
+        return Tile::Dense(t.to_dense());
+    }
+    Tile::LowRank { u, v }
+}
+
+/// Operation counts for every kernel variant, parameterized by tile size
+/// and the ranks involved. These drive the discrete-event time model; the
+/// constants follow standard dense-LA flop counting (LAPACK Users' Guide).
+pub mod flops {
+    /// Cholesky of a `b × b` dense tile: `b³/3`.
+    pub fn potrf(b: usize) -> f64 {
+        let b = b as f64;
+        b * b * b / 3.0
+    }
+
+    /// Dense TRSM `b × b` against a `b × b` triangle: `b³`.
+    pub fn trsm_dense(b: usize) -> f64 {
+        let b = b as f64;
+        b * b * b
+    }
+
+    /// Low-rank TRSM: triangular solve on the `b × k` factor: `b²·k`.
+    pub fn trsm_lr(b: usize, k: usize) -> f64 {
+        (b * b) as f64 * k as f64
+    }
+
+    /// Dense SYRK `b × b`: `b³`.
+    pub fn syrk_dense(b: usize) -> f64 {
+        let b = b as f64;
+        b * b * b
+    }
+
+    /// Low-rank SYRK `C −= U(VᵀV)Uᵀ`: Gram `2bk²` + mult `2bk²` + update `2b²k`.
+    pub fn syrk_lr(b: usize, k: usize) -> f64 {
+        let (b, k) = (b as f64, k as f64);
+        4.0 * b * k * k + 2.0 * b * b * k
+    }
+
+    /// Dense GEMM `b × b × b`: `2b³`.
+    pub fn gemm_dense(b: usize) -> f64 {
+        let b = b as f64;
+        2.0 * b * b * b
+    }
+
+    /// TLR GEMM with recompression, operands of rank `ka`, `kb`,
+    /// destination rank `kc` (before update).
+    ///
+    /// Terms: product form `2·b·ka·kb` (+ `2·b·min(ka,kb)²`), stacked QRs
+    /// `≈ 4·b·(kc+kp)²`, small SVD `O((kc+kp)³)`, re-projection
+    /// `4·b·(kc+kp)·k'` (bounded by `(kc+kp)`).
+    pub fn gemm_tlr(b: usize, ka: usize, kb: usize, kc: usize) -> f64 {
+        let kp = ka.min(kb);
+        let kt = (kc + kp) as f64;
+        let (bf, kaf, kbf) = (b as f64, ka as f64, kb as f64);
+        let product = 2.0 * bf * kaf * kbf + 2.0 * bf * (kp * kp) as f64;
+        let qr2 = 4.0 * bf * kt * kt;
+        let svd = 12.0 * kt * kt * kt;
+        let reproject = 4.0 * bf * kt * kt;
+        product + qr2 + svd + reproject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress_tile;
+    use tlr_linalg::norms::{frobenius_norm, relative_diff};
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(r, c, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn spd_tile(b: usize, seed: u64) -> Matrix {
+        let m = rand_mat(b, b, seed);
+        let mut a = Matrix::identity(b);
+        a.scale(b as f64);
+        tlr_linalg::gemm(Trans::No, Trans::Yes, 1.0, &m, &m, 1.0, &mut a);
+        a
+    }
+
+    fn smooth_tile(b: usize, shift: f64) -> Matrix {
+        Matrix::from_fn(b, b, |i, j| {
+            let d = (i as f64 - j as f64 + shift) / (b as f64 / 2.0);
+            (-d * d).exp()
+        })
+    }
+
+    #[test]
+    fn potrf_kernel_factorizes() {
+        let a = spd_tile(32, 1);
+        let mut t = Tile::Dense(a.clone());
+        potrf_kernel(&mut t).unwrap();
+        let l = t.to_dense();
+        let mut recon = Matrix::zeros(32, 32);
+        gemm_serial(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut recon);
+        assert!(relative_diff(&recon, &a) < 1e-12);
+    }
+
+    #[test]
+    fn trsm_kernel_dense_vs_lowrank_agree() {
+        let b = 32;
+        let lmat = {
+            let mut l = spd_tile(b, 2);
+            potrf(&mut l).unwrap();
+            l.zero_upper();
+            l
+        };
+        let ldiag = Tile::Dense(lmat.clone());
+        let a_dense_mat = smooth_tile(b, 40.0);
+        // dense path
+        let mut t_dense = Tile::Dense(a_dense_mat.clone());
+        trsm_kernel(&ldiag, &mut t_dense);
+        // low-rank path
+        let cfg = CompressionConfig::with_accuracy(1e-10);
+        let mut t_lr = compress_tile(a_dense_mat, &cfg);
+        assert!(matches!(t_lr, Tile::LowRank { .. }), "tile should compress");
+        trsm_kernel(&ldiag, &mut t_lr);
+        assert!(relative_diff(&t_lr.to_dense(), &t_dense.to_dense()) < 1e-8);
+    }
+
+    #[test]
+    fn trsm_kernel_null_noop() {
+        let lmat = {
+            let mut l = spd_tile(8, 3);
+            potrf(&mut l).unwrap();
+            l
+        };
+        let mut t = Tile::Null { rows: 8, cols: 8 };
+        trsm_kernel(&Tile::Dense(lmat), &mut t);
+        assert!(t.is_null());
+    }
+
+    #[test]
+    fn syrk_kernel_dense_vs_lowrank_agree() {
+        let b = 32;
+        let c0 = spd_tile(b, 4);
+        let a_mat = smooth_tile(b, 38.0);
+        let mut c_dense = Tile::Dense(c0.clone());
+        syrk_kernel(&Tile::Dense(a_mat.clone()), &mut c_dense);
+        let cfg = CompressionConfig::with_accuracy(1e-10);
+        let a_lr = compress_tile(a_mat, &cfg);
+        let mut c_lr = Tile::Dense(c0);
+        syrk_kernel(&a_lr, &mut c_lr);
+        assert!(relative_diff(&c_lr.to_dense(), &c_dense.to_dense()) < 1e-8);
+    }
+
+    #[test]
+    fn gemm_kernel_all_format_combinations_agree_with_dense() {
+        let b = 24;
+        let cfg = CompressionConfig::with_accuracy(1e-9);
+        let a_mat = smooth_tile(b, 30.0);
+        let b_mat = smooth_tile(b, 34.0);
+        let c_mat = smooth_tile(b, 50.0);
+
+        // Reference: dense arithmetic.
+        let mut c_ref = c_mat.clone();
+        gemm_serial(Trans::No, Trans::Yes, -1.0, &a_mat, &b_mat, 1.0, &mut c_ref);
+
+        let formats: Vec<(&str, Tile)> = vec![
+            ("dense", Tile::Dense(a_mat.clone())),
+            ("lr", compress_tile(a_mat.clone(), &cfg)),
+        ];
+        let formats_b: Vec<(&str, Tile)> = vec![
+            ("dense", Tile::Dense(b_mat.clone())),
+            ("lr", compress_tile(b_mat.clone(), &cfg)),
+        ];
+        let formats_c: Vec<(&str, Tile)> = vec![
+            ("dense", Tile::Dense(c_mat.clone())),
+            ("lr", compress_tile(c_mat.clone(), &cfg)),
+        ];
+        for (an, at) in &formats {
+            for (bn, bt) in &formats_b {
+                for (cn, ct) in &formats_c {
+                    let mut c = ct.clone();
+                    gemm_kernel(at, bt, &mut c, &cfg);
+                    let err = relative_diff(&c.to_dense(), &c_ref);
+                    assert!(err < 1e-6, "a={an} b={bn} c={cn}: err={err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_kernel_null_operands_noop() {
+        let cfg = CompressionConfig::default();
+        let c0 = smooth_tile(16, 20.0);
+        let mut c = Tile::Dense(c0.clone());
+        gemm_kernel(&Tile::Null { rows: 16, cols: 16 }, &Tile::Dense(c0.clone()), &mut c, &cfg);
+        assert!(relative_diff(&c.to_dense(), &c0) < 1e-15);
+        gemm_kernel(&Tile::Dense(c0.clone()), &Tile::Null { rows: 16, cols: 16 }, &mut c, &cfg);
+        assert!(relative_diff(&c.to_dense(), &c0) < 1e-15);
+    }
+
+    #[test]
+    fn gemm_into_null_creates_fill_in() {
+        let b = 24;
+        let cfg = CompressionConfig::with_accuracy(1e-9);
+        let a_t = compress_tile(smooth_tile(b, 30.0), &cfg);
+        let b_t = compress_tile(smooth_tile(b, 34.0), &cfg);
+        let mut c = Tile::Null { rows: b, cols: b };
+        gemm_kernel(&a_t, &b_t, &mut c, &cfg);
+        assert!(!c.is_null(), "fill-in expected");
+        // result should equal -A·Bᵀ
+        let mut expect = Matrix::zeros(b, b);
+        gemm_serial(Trans::No, Trans::Yes, -1.0, &a_t.to_dense(), &b_t.to_dense(), 0.0, &mut expect);
+        assert!(relative_diff(&c.to_dense(), &expect) < 1e-6);
+    }
+
+    #[test]
+    fn gemm_cancellation_produces_null() {
+        // C = A·Bᵀ exactly, then C −= A·Bᵀ ⇒ C ≈ 0 ⇒ Null after recompress.
+        let b = 16;
+        let cfg = CompressionConfig::with_accuracy(1e-8);
+        let a_t = compress_tile(smooth_tile(b, 18.0), &cfg);
+        let b_t = compress_tile(smooth_tile(b, 22.0), &cfg);
+        let mut prod = Tile::Null { rows: b, cols: b };
+        gemm_kernel(&a_t, &b_t, &mut prod, &cfg);
+        // negate: C = -prod, then subtract the product again
+        let mut c = match &prod {
+            Tile::LowRank { u, v } => {
+                let mut un = u.clone();
+                un.scale(-1.0);
+                Tile::LowRank { u: un, v: v.clone() }
+            }
+            other => other.clone(),
+        };
+        // c = -A·Bᵀ... wait: prod = −A·Bᵀ so c = A·Bᵀ; c −= A·Bᵀ ⇒ 0
+        gemm_kernel(&a_t, &b_t, &mut c, &cfg);
+        assert!(
+            c.is_null() || frobenius_norm(&c.to_dense()) < 1e-6,
+            "cancelled tile should vanish (rank {})",
+            c.rank()
+        );
+    }
+
+    #[test]
+    fn recompression_bounds_rank_growth() {
+        // Accumulate several rank-k updates into one tile; rank must stay
+        // bounded by the spectrum, not grow additively.
+        let b = 32;
+        let cfg = CompressionConfig::with_accuracy(1e-6);
+        let mut c = Tile::Null { rows: b, cols: b };
+        for s in 0..6 {
+            let a_t = compress_tile(smooth_tile(b, 30.0 + s as f64), &cfg);
+            let b_t = compress_tile(smooth_tile(b, 44.0 + s as f64), &cfg);
+            gemm_kernel(&a_t, &b_t, &mut c, &cfg);
+        }
+        assert!(c.rank() < b / 2, "rank should stay bounded, got {}", c.rank());
+    }
+
+    #[test]
+    fn flop_counts_sane() {
+        assert_eq!(flops::potrf(10), 1000.0 / 3.0);
+        assert!(flops::trsm_lr(100, 5) < flops::trsm_dense(100));
+        assert!(flops::syrk_lr(100, 5) < flops::syrk_dense(100));
+        assert!(flops::gemm_tlr(100, 5, 5, 5) < flops::gemm_dense(100));
+        // TLR kernels grow with rank
+        assert!(flops::gemm_tlr(100, 20, 20, 20) > flops::gemm_tlr(100, 5, 5, 5));
+    }
+}

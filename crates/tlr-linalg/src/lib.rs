@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Dense linear-algebra substrate for the TLR Cholesky reproduction.
+//!
+//! This crate provides, from scratch (no external BLAS/LAPACK), every dense
+//! kernel the paper's HiCMA layer relies on:
+//!
+//! * a column-major [`Matrix`] container with view/slicing helpers,
+//! * level-3 BLAS: [`gemm`], [`syrk`], [`trsm`] (blocked, cache-aware,
+//!   optionally parallel via `rayon`),
+//! * LAPACK-style factorizations: [`potrf`] (Cholesky), [`Qr`] (Householder
+//!   QR), [`ColPivQr`] (rank-revealing QR with column pivoting and
+//!   threshold-based early termination — the workhorse of TLR compression),
+//!   and [`jacobi_svd`] (one-sided Jacobi SVD for small/medium matrices),
+//! * triangular solves and norm/error utilities.
+//!
+//! All computation is `f64`; the paper's experiments are double precision.
+//!
+//! # Quick example
+//!
+//! ```
+//! use tlr_linalg::{Matrix, potrf, gemm, Side, Uplo, Trans};
+//!
+//! // Build a small SPD matrix A = B Bᵀ + n·I and factorize it.
+//! let n = 8;
+//! let b = Matrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i + 2 * j) as f64));
+//! let mut a = Matrix::identity(n);
+//! a.scale(n as f64);
+//! gemm(Trans::No, Trans::Yes, 1.0, &b, &b, 1.0, &mut a);
+//! let mut l = a.clone();
+//! potrf(&mut l).unwrap();
+//! ```
+
+pub mod blas3;
+pub mod chol;
+pub mod matrix;
+pub mod norms;
+pub mod qr;
+pub mod svd;
+
+pub use blas3::{gemm, gemm_serial, syrk, trsm, Side, Trans, Uplo};
+pub use chol::{potrf, potrf_unblocked, trsv_lower, trsv_lower_trans, CholeskyError};
+pub use matrix::Matrix;
+pub use norms::{frobenius_norm, max_abs, relative_diff};
+pub use qr::{ColPivQr, Qr};
+pub use svd::{jacobi_svd, Svd};

@@ -1,0 +1,377 @@
+//! Column-major dense matrix container.
+//!
+//! Storage is a single contiguous `Vec<f64>` in column-major order
+//! (Fortran/LAPACK convention), so the tile kernels translate directly from
+//! the BLAS call sequences that HiCMA issues.
+
+use std::fmt;
+
+/// A dense, heap-allocated, column-major `f64` matrix.
+///
+/// Element `(i, j)` lives at linear index `i + j * rows`. The type is the
+/// common currency of the whole workspace: tiles, tall-skinny low-rank
+/// factors, and small recompression workspaces are all `Matrix` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix from a function of the index pair `(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Create a matrix that takes ownership of an existing column-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when either dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Borrow the underlying column-major buffer.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying column-major buffer.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    #[inline(always)]
+    pub fn col(&self, j: usize) -> &[f64] {
+        let start = j * self.rows;
+        &self.data[start..start + self.rows]
+    }
+
+    /// Mutably borrow column `j` as a contiguous slice.
+    #[inline(always)]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        let start = j * self.rows;
+        &mut self.data[start..start + self.rows]
+    }
+
+    /// Mutably borrow two distinct columns at once.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn two_cols_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(a, b, "columns must be distinct");
+        let r = self.rows;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (head, tail) = self.data.split_at_mut(hi * r);
+        let lo_col = &mut head[lo * r..lo * r + r];
+        let hi_col = &mut tail[..r];
+        if a < b {
+            (lo_col, hi_col)
+        } else {
+            (hi_col, lo_col)
+        }
+    }
+
+    /// Copy of the sub-matrix `rows_range × cols_range` starting at `(i0, j0)`.
+    pub fn submatrix(&self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> Matrix {
+        assert!(i0 + nrows <= self.rows && j0 + ncols <= self.cols, "submatrix out of bounds");
+        let mut out = Matrix::zeros(nrows, ncols);
+        for j in 0..ncols {
+            let src = &self.col(j0 + j)[i0..i0 + nrows];
+            out.col_mut(j).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Overwrite the block starting at `(i0, j0)` with `block`.
+    pub fn set_submatrix(&mut self, i0: usize, j0: usize, block: &Matrix) {
+        assert!(
+            i0 + block.rows <= self.rows && j0 + block.cols <= self.cols,
+            "set_submatrix out of bounds"
+        );
+        for j in 0..block.cols {
+            let dst_start = (j0 + j) * self.rows + i0;
+            self.data[dst_start..dst_start + block.rows].copy_from_slice(block.col(j));
+        }
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// `self += alpha * other`, elementwise.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
+        for (d, s) in self.data.iter_mut().zip(&other.data) {
+            *d += alpha * s;
+        }
+    }
+
+    /// Fill with zeros without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Mirror the lower triangle into the upper triangle (square matrices).
+    pub fn symmetrize_from_lower(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize requires a square matrix");
+        for j in 0..self.cols {
+            for i in j + 1..self.rows {
+                let v = self[(i, j)];
+                self[(j, i)] = v;
+            }
+        }
+    }
+
+    /// Zero out the strict upper triangle (keep a lower-triangular factor).
+    pub fn zero_upper(&mut self) {
+        assert_eq!(self.rows, self.cols, "zero_upper requires a square matrix");
+        for j in 1..self.cols {
+            for i in 0..j.min(self.rows) {
+                self[(i, j)] = 0.0;
+            }
+        }
+    }
+
+    /// `self * v` for a dense vector `v` (simple GEMV, used by solvers/tests).
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let x = v[j];
+            if x != 0.0 {
+                let col = self.col(j);
+                for i in 0..self.rows {
+                    out[i] += col[i] * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * v`.
+    pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "matvec_t dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for j in 0..self.cols {
+            let col = self.col(j);
+            let mut acc = 0.0;
+            for i in 0..self.rows {
+                acc += col[i] * v[i];
+            }
+            out[j] = acc;
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_r = self.rows.min(8);
+        let show_c = self.cols.min(8);
+        for i in 0..show_r {
+            write!(f, "  ")?;
+            for j in 0..show_c {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if show_c < self.cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if show_r < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut m = Matrix::zeros(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        m[(2, 1)] = 5.0;
+        assert_eq!(m[(2, 1)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn from_fn_column_major_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        // column-major: [ (0,0) (1,0) (0,1) (1,1) (0,2) (1,2) ]
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+    }
+
+    #[test]
+    fn identity_diag() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i + 7 * j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn submatrix_roundtrip() {
+        let m = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let s = m.submatrix(1, 2, 3, 2);
+        assert_eq!(s[(0, 0)], m[(1, 2)]);
+        assert_eq!(s[(2, 1)], m[(3, 3)]);
+        let mut m2 = Matrix::zeros(6, 6);
+        m2.set_submatrix(1, 2, &s);
+        assert_eq!(m2[(3, 3)], m[(3, 3)]);
+        assert_eq!(m2[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn two_cols_mut_disjoint() {
+        let mut m = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let (a, b) = m.two_cols_mut(0, 2);
+        a[0] = 100.0;
+        b[2] = 200.0;
+        assert_eq!(m[(0, 0)], 100.0);
+        assert_eq!(m[(2, 2)], 200.0);
+        // reversed order
+        let (c2, c1) = m.two_cols_mut(2, 1);
+        c2[0] = 7.0;
+        c1[0] = 8.0;
+        assert_eq!(m[(0, 2)], 7.0);
+        assert_eq!(m[(0, 1)], 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_cols_mut_same_panics() {
+        let mut m = Matrix::zeros(2, 2);
+        let _ = m.two_cols_mut(1, 1);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::identity(2);
+        a.axpy(3.0, &b);
+        assert_eq!(a[(0, 0)], 3.0);
+        assert_eq!(a[(1, 1)], 5.0);
+        a.scale(2.0);
+        assert_eq!(a[(1, 1)], 10.0);
+    }
+
+    #[test]
+    fn matvec_basic() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j + 1) as f64);
+        // [1 2 3; 4 5 6] * [1,1,1] = [6, 15]
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+        // transpose: [1 4;2 5;3 6] * [1,1] = [5,7,9]
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn symmetrize_and_zero_upper() {
+        let mut m = Matrix::from_fn(3, 3, |i, j| if i >= j { (i * 3 + j) as f64 } else { -1.0 });
+        m.symmetrize_from_lower();
+        assert_eq!(m[(0, 2)], m[(2, 0)]);
+        assert_eq!(m[(1, 2)], m[(2, 1)]);
+        m.zero_upper();
+        assert_eq!(m[(0, 2)], 0.0);
+        assert_ne!(m[(2, 0)], 0.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Householder QR and rank-revealing QR with column pivoting.
+//!
+//! [`ColPivQr`] is the engine of TLR compression: it factors a tile
+//! `A·P = Q·R` and stops as soon as the Frobenius norm of the not-yet-
+//! factored trailing block drops below the accuracy threshold, yielding the
+//! numerical rank at that threshold. [`Qr`] (unpivoted, thin) is used by the
+//! low-rank recompression path where the inputs are tall-and-skinny.
+
+use crate::matrix::Matrix;
+use crate::norms::frobenius_norm_slice;
+
+/// Thin Householder QR factorization `A = Q·R` of an `m × n` matrix
+/// (`m ≥ n` is not required; the factor sizes follow `k = min(m, n)`).
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; `R` on and above it.
+    factors: Matrix,
+    /// Scalar `tau` coefficients of the Householder reflectors.
+    taus: Vec<f64>,
+}
+
+impl Qr {
+    /// Compute the factorization. `a` is consumed as workspace.
+    pub fn new(mut a: Matrix) -> Self {
+        let m = a.rows();
+        let n = a.cols();
+        let k = m.min(n);
+        let mut taus = vec![0.0; k];
+        for j in 0..k {
+            taus[j] = make_householder(&mut a, j, j);
+            if j + 1 < n {
+                apply_householder_left(&mut a, j, j, taus[j], j + 1);
+            }
+        }
+        Self { factors: a, taus }
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.factors.cols()
+    }
+
+    /// The `k × n` upper-trapezoidal factor `R`, `k = min(m, n)`.
+    pub fn r(&self) -> Matrix {
+        let k = self.taus.len();
+        let n = self.factors.cols();
+        let mut r = Matrix::zeros(k, n);
+        for j in 0..n {
+            for i in 0..=j.min(k - 1) {
+                r[(i, j)] = self.factors[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// The thin orthogonal factor `Q` (`m × k`), formed explicitly.
+    pub fn q_thin(&self) -> Matrix {
+        let m = self.factors.rows();
+        let k = self.taus.len();
+        // Start from the first k columns of I and apply reflectors in reverse.
+        let mut q = Matrix::zeros(m, k);
+        for j in 0..k {
+            q[(j, j)] = 1.0;
+        }
+        for j in (0..k).rev() {
+            apply_stored_householder(&self.factors, j, self.taus[j], &mut q, j);
+        }
+        q
+    }
+}
+
+/// Build a Householder reflector for column `col` of `a`, acting on rows
+/// `row..m`; returns `tau`. On exit the column holds `[beta, v_2.. v_m]`
+/// with `v_1 = 1` implicit.
+fn make_householder(a: &mut Matrix, row: usize, col: usize) -> f64 {
+    let m = a.rows();
+    let x = &a.col(col)[row..m];
+    let alpha = x[0];
+    let xnorm = frobenius_norm_slice(&x[1..]);
+    if xnorm == 0.0 {
+        return 0.0; // already upper-triangular in this column
+    }
+    // `hypot` avoids the underflow of alpha² + xnorm² for columns of
+    // subnormal-scale entries (Gaussian kernel tails reach 1e-170 and
+    // below); columns too tiny for a stable reflector are skipped — the
+    // residue they leave in R is orders of magnitude below any
+    // meaningful truncation threshold.
+    let norm = alpha.hypot(xnorm);
+    if norm < 1e-280 {
+        return 0.0;
+    }
+    let beta = -(alpha.signum()) * norm;
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    let col_slice = &mut a.col_mut(col)[row..m];
+    for v in col_slice[1..].iter_mut() {
+        *v *= scale;
+    }
+    col_slice[0] = beta;
+    tau
+}
+
+/// Apply the reflector stored in column `col` (rows `row..`) of `a` to
+/// columns `from_col..` of `a` itself (the classic in-place panel update).
+fn apply_householder_left(a: &mut Matrix, row: usize, col: usize, tau: f64, from_col: usize) {
+    if tau == 0.0 {
+        return;
+    }
+    let m = a.rows();
+    let n = a.cols();
+    // v = [1, a[row+1..m, col]]
+    let v: Vec<f64> = {
+        let c = a.col(col);
+        let mut v = Vec::with_capacity(m - row);
+        v.push(1.0);
+        v.extend_from_slice(&c[row + 1..m]);
+        v
+    };
+    for j in from_col..n {
+        let cj = &mut a.col_mut(j)[row..m];
+        let mut w = 0.0;
+        for (vi, ci) in v.iter().zip(cj.iter()) {
+            w += vi * ci;
+        }
+        w *= tau;
+        for (vi, ci) in v.iter().zip(cj.iter_mut()) {
+            *ci -= w * vi;
+        }
+    }
+}
+
+/// Apply the reflector stored in `factors` column `col` to the rows
+/// `col..` of every column of `target` (used when forming `Q`).
+fn apply_stored_householder(factors: &Matrix, col: usize, tau: f64, target: &mut Matrix, row: usize) {
+    if tau == 0.0 {
+        return;
+    }
+    let m = factors.rows();
+    let v: Vec<f64> = {
+        let c = factors.col(col);
+        let mut v = Vec::with_capacity(m - row);
+        v.push(1.0);
+        v.extend_from_slice(&c[row + 1..m]);
+        v
+    };
+    for j in 0..target.cols() {
+        let cj = &mut target.col_mut(j)[row..m];
+        let mut w = 0.0;
+        for (vi, ci) in v.iter().zip(cj.iter()) {
+            w += vi * ci;
+        }
+        w *= tau;
+        for (vi, ci) in v.iter().zip(cj.iter_mut()) {
+            *ci -= w * vi;
+        }
+    }
+}
+
+/// Rank-revealing QR with column pivoting, truncated at an absolute
+/// Frobenius-norm threshold.
+///
+/// Factors `A·P ≈ Q_k · R_k` where `k` is the smallest prefix such that the
+/// trailing (unfactored) block has `‖·‖_F ≤ tol`. `k == 0` means the whole
+/// tile is below the threshold (a **null** tile in TLR terms).
+pub struct ColPivQr {
+    factors: Matrix,
+    taus: Vec<f64>,
+    /// `perm[j]` = original column index now in position `j`.
+    perm: Vec<usize>,
+    rank: usize,
+}
+
+impl ColPivQr {
+    /// Factor `a` with column pivoting, stopping at absolute tolerance `tol`
+    /// or at `max_rank` columns, whichever comes first.
+    ///
+    /// `max_rank = usize::MAX` disables the rank cap.
+    pub fn with_tolerance(mut a: Matrix, tol: f64, max_rank: usize) -> Self {
+        let m = a.rows();
+        let n = a.cols();
+        let kmax = m.min(n).min(max_rank);
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut taus = Vec::with_capacity(kmax);
+
+        // Running squared column norms of the trailing block.
+        let mut colnorm2: Vec<f64> = (0..n)
+            .map(|j| {
+                let s = frobenius_norm_slice(a.col(j));
+                s * s
+            })
+            .collect();
+        // Reference norms for the downdating-accuracy guard.
+        let mut colnorm2_ref = colnorm2.clone();
+
+        let mut rank = 0;
+        while rank < kmax {
+            // Trailing Frobenius norm² = Σ_{j ≥ rank} colnorm2[j]
+            let trailing2: f64 = colnorm2[rank..].iter().sum();
+            if trailing2.max(0.0).sqrt() <= tol {
+                break;
+            }
+            // Pivot: bring the largest remaining column to position `rank`.
+            let (jmax, _) = colnorm2[rank..]
+                .iter()
+                .enumerate()
+                .fold((0, f64::MIN), |(bj, bv), (j, &v)| if v > bv { (j, v) } else { (bj, bv) });
+            let jmax = rank + jmax;
+            if jmax != rank {
+                let (c1, c2) = a.two_cols_mut(rank, jmax);
+                c1.swap_with_slice(c2);
+                perm.swap(rank, jmax);
+                colnorm2.swap(rank, jmax);
+                colnorm2_ref.swap(rank, jmax);
+            }
+            let tau = make_householder(&mut a, rank, rank);
+            if rank + 1 < n {
+                apply_householder_left(&mut a, rank, rank, tau, rank + 1);
+            }
+            taus.push(tau);
+            // Downdate trailing column norms: subtract the just-eliminated row.
+            for j in rank + 1..n {
+                let r = a[(rank, j)];
+                let updated = colnorm2[j] - r * r;
+                // Guard against catastrophic cancellation (LAPACK dqp3 style):
+                // recompute when the downdated value lost too much accuracy.
+                if updated <= 1e-12 * colnorm2_ref[j] {
+                    let s = frobenius_norm_slice(&a.col(j)[rank + 1..m]);
+                    colnorm2[j] = s * s;
+                    colnorm2_ref[j] = colnorm2[j];
+                } else {
+                    colnorm2[j] = updated.max(0.0);
+                }
+            }
+            rank += 1;
+        }
+        Self { factors: a, taus, perm, rank }
+    }
+
+    /// The numerical rank at the requested tolerance.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The thin orthogonal factor `Q_k` (`m × rank`).
+    pub fn q_thin(&self) -> Matrix {
+        let m = self.factors.rows();
+        let k = self.rank;
+        let mut q = Matrix::zeros(m, k);
+        for j in 0..k {
+            q[(j, j)] = 1.0;
+        }
+        for j in (0..k).rev() {
+            apply_stored_householder(&self.factors, j, self.taus[j], &mut q, j);
+        }
+        q
+    }
+
+    /// `R_k · Pᵀ` — the `rank × n` factor with the pivoting folded back so
+    /// that `A ≈ q_thin() · r_unpermuted()`.
+    pub fn r_unpermuted(&self) -> Matrix {
+        let k = self.rank;
+        let n = self.factors.cols();
+        let mut r = Matrix::zeros(k, n);
+        for j in 0..n {
+            let orig = self.perm[j];
+            for i in 0..=j.min(k.saturating_sub(1)) {
+                if i < k {
+                    r[(i, orig)] = self.factors[(i, j)];
+                }
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, Trans};
+    use crate::norms::{frobenius_norm, relative_diff};
+
+    fn rand_mat(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(r, c, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    /// Build an m×n matrix of exact rank `k` with decaying singular values.
+    fn low_rank_mat(m: usize, n: usize, k: usize, seed: u64) -> Matrix {
+        let u = rand_mat(m, k, seed);
+        let v = rand_mat(n, k, seed + 1);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let sv = 2.0_f64.powi(-(p as i32)); // σ_p = 2^-p
+            for j in 0..n {
+                let w = sv * v[(j, p)];
+                for i in 0..m {
+                    out[(i, j)] += w * u[(i, p)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = rand_mat(12, 5, 100);
+        let qr = Qr::new(a.clone());
+        let q = qr.q_thin();
+        let r = qr.r();
+        let mut recon = Matrix::zeros(12, 5);
+        gemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut recon);
+        assert!(relative_diff(&recon, &a) < 1e-13);
+    }
+
+    #[test]
+    fn qr_reconstructs_wide() {
+        let a = rand_mat(4, 9, 200);
+        let qr = Qr::new(a.clone());
+        let q = qr.q_thin();
+        let r = qr.r();
+        assert_eq!(q.cols(), 4);
+        assert_eq!(r.rows(), 4);
+        let mut recon = Matrix::zeros(4, 9);
+        gemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut recon);
+        assert!(relative_diff(&recon, &a) < 1e-13);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = rand_mat(15, 6, 300);
+        let qr = Qr::new(a);
+        let q = qr.q_thin();
+        let mut qtq = Matrix::zeros(6, 6);
+        gemm(Trans::Yes, Trans::No, 1.0, &q, &q, 0.0, &mut qtq);
+        assert!(relative_diff(&qtq, &Matrix::identity(6)) < 1e-13);
+    }
+
+    #[test]
+    fn colpiv_detects_exact_rank() {
+        let a = low_rank_mat(20, 16, 3, 400);
+        let f = ColPivQr::with_tolerance(a.clone(), 1e-10 * frobenius_norm(&a), usize::MAX);
+        assert_eq!(f.rank(), 3);
+        let q = f.q_thin();
+        let r = f.r_unpermuted();
+        let mut recon = Matrix::zeros(20, 16);
+        gemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut recon);
+        assert!(relative_diff(&recon, &a) < 1e-9);
+    }
+
+    #[test]
+    fn colpiv_truncation_error_below_tolerance() {
+        // Singular values 2^-p; truncating at tol should leave error ≤ ~tol.
+        let a = low_rank_mat(30, 30, 20, 500);
+        for tol in [1e-2, 1e-4, 1e-6] {
+            let f = ColPivQr::with_tolerance(a.clone(), tol, usize::MAX);
+            let q = f.q_thin();
+            let r = f.r_unpermuted();
+            let mut recon = Matrix::zeros(30, 30);
+            gemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut recon);
+            let mut diff = recon.clone();
+            diff.axpy(-1.0, &a);
+            let err = frobenius_norm(&diff);
+            // pivoted QR's truncation error is within a modest factor of tol
+            assert!(err <= 10.0 * tol, "tol={tol} err={err} rank={}", f.rank());
+        }
+    }
+
+    #[test]
+    fn colpiv_null_tile() {
+        let mut a = Matrix::zeros(8, 8);
+        a[(3, 4)] = 1e-12;
+        let f = ColPivQr::with_tolerance(a, 1e-8, usize::MAX);
+        assert_eq!(f.rank(), 0);
+    }
+
+    #[test]
+    fn colpiv_respects_max_rank() {
+        let a = rand_mat(20, 20, 600);
+        let f = ColPivQr::with_tolerance(a, 0.0, 5);
+        assert_eq!(f.rank(), 5);
+    }
+
+    #[test]
+    fn colpiv_full_rank_identity() {
+        let a = Matrix::identity(6);
+        let f = ColPivQr::with_tolerance(a.clone(), 1e-14, usize::MAX);
+        assert_eq!(f.rank(), 6);
+        let q = f.q_thin();
+        let r = f.r_unpermuted();
+        let mut recon = Matrix::zeros(6, 6);
+        gemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut recon);
+        assert!(relative_diff(&recon, &a) < 1e-13);
+    }
+
+    #[test]
+    fn qr_survives_subnormal_scale_columns() {
+        // Regression: Gaussian-kernel tails produce entries ~1e-170 whose
+        // squares underflow; the reflector used to become 0/0 = NaN.
+        let a = Matrix::from_fn(8, 4, |i, j| {
+            let big = if (i + j) % 3 == 0 { 1.0e-3 } else { 0.0 };
+            big + 1.0e-170 * ((i * 5 + j * 3) as f64 - 10.0)
+        });
+        let qr = Qr::new(a.clone());
+        let q = qr.q_thin();
+        let r = qr.r();
+        assert!(q.as_slice().iter().all(|v| v.is_finite()));
+        assert!(r.as_slice().iter().all(|v| v.is_finite()));
+        let mut recon = Matrix::zeros(8, 4);
+        gemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut recon);
+        let mut diff = recon;
+        diff.axpy(-1.0, &a);
+        assert!(frobenius_norm(&diff) < 1e-15);
+
+        // Pivoted variant too.
+        let f = ColPivQr::with_tolerance(a, 1e-12, usize::MAX);
+        assert!(f.q_thin().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn colpiv_rank_monotone_in_tolerance() {
+        let a = low_rank_mat(24, 24, 20, 700);
+        let r_loose = ColPivQr::with_tolerance(a.clone(), 1e-2, usize::MAX).rank();
+        let r_mid = ColPivQr::with_tolerance(a.clone(), 1e-4, usize::MAX).rank();
+        let r_tight = ColPivQr::with_tolerance(a, 1e-6, usize::MAX).rank();
+        assert!(r_loose <= r_mid && r_mid <= r_tight);
+        assert!(r_tight <= 20);
+    }
+}

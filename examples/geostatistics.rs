@@ -1,0 +1,85 @@
+//! Geostatistics workload — the application domain of the paper's
+//! predecessors ([8], [9]: climate/weather modeling): a Matérn covariance
+//! matrix over scattered 3D observation sites, factorized in TLR form and
+//! used for the canonical Gaussian-process computations (simulation and
+//! kriging-style solves).
+//!
+//! Demonstrates that the same stack serves both the RBF mesh-deformation
+//! workload and the spatial-statistics workload, as the HiCMA line of
+//! work intends.
+//!
+//! Run with: `cargo run --release --example geostatistics`
+
+use hicma_parsec::cholesky::{factorization_residual, factorize, solve_tlr, FactorConfig};
+use hicma_parsec::linalg::Matrix;
+use hicma_parsec::mesh::hilbert::{apply_permutation, hilbert_sort};
+use hicma_parsec::mesh::{MaternKernel, MaternNu, Point3};
+use hicma_parsec::tlr::{CompressionConfig, TlrMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Scattered observation sites in the unit cube (not on surfaces —
+    // the volumetric layout of geostatistics).
+    let n = 1500usize;
+    let mut rng = StdRng::seed_from_u64(99);
+    let raw: Vec<Point3> = (0..n)
+        .map(|_| Point3 { x: rng.gen(), y: rng.gen(), z: rng.gen() })
+        .collect();
+    let points = apply_permutation(&raw, &hilbert_sort(&raw));
+
+    let accuracy = 1e-6;
+    let tile = 125;
+    println!("Matérn covariance factorization, N = {n}, tile = {tile}, acc = {accuracy:.0e}");
+    println!();
+    println!(
+        "{:>12} {:>8} {:>9} {:>10} {:>12} {:>12}",
+        "nu", "length", "density", "avg rank", "mem vs dn", "residual"
+    );
+
+    for (label, nu) in [
+        ("1/2 (exp)", MaternNu::Half),
+        ("3/2", MaternNu::ThreeHalves),
+        ("5/2", MaternNu::FiveHalves),
+    ] {
+        let kernel = MaternKernel { nugget: 1e-4, ..MaternKernel::new(0.04, nu) };
+        let ccfg = CompressionConfig::with_accuracy(accuracy);
+        let mut a = TlrMatrix::from_generator(n, tile, kernel.generator(&points), &ccfg);
+        let stats = a.rank_snapshot().stats();
+        let mem = a.memory_f64() as f64 / (n * (n + 1) / 2) as f64;
+        let dense = Matrix::from_fn(n, n, |i, j| kernel.matrix_entry(&points, i, j));
+        match factorize(&mut a, &FactorConfig::with_accuracy(accuracy)) {
+            Ok(_) => {
+                let res = factorization_residual(&dense, &a);
+                println!(
+                    "{:>12} {:>8} {:>9.3} {:>10.1} {:>11.1}% {:>12.2e}",
+                    label, 0.04, stats.density, stats.avg_nonzero, 100.0 * mem, res
+                );
+                // Kriging-style solve: predictively weight one observation
+                // vector through the factored covariance.
+                let y: Vec<f64> = (0..n).map(|i| (points[i].x * 6.0).sin()).collect();
+                let mut w = y.clone();
+                solve_tlr(&a, &mut w);
+                let y_hat = hicma_parsec::cholesky::tlr_matvec(&a_original(&dense, tile, accuracy), &w);
+                let err: f64 = y_hat
+                    .iter()
+                    .zip(&y)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
+                    / (n as f64).sqrt();
+                println!("{:>12}   kriging consistency ‖C·C⁻¹y − y‖/√n = {err:.2e}", "");
+            }
+            Err(e) => println!("{label:>12}: not SPD (pivot {})", e.pivot),
+        }
+    }
+    println!();
+    println!("Expected: smoother kernels (larger ν) have faster-decaying tile");
+    println!("spectra, so they compress to lower ranks; all factorize to the");
+    println!("threshold and the solve is consistent with the unfactored covariance.");
+}
+
+/// Re-compress the original covariance (the factorization overwrote `a`).
+fn a_original(dense: &Matrix, tile: usize, accuracy: f64) -> TlrMatrix {
+    TlrMatrix::from_dense(dense, tile, &CompressionConfig::with_accuracy(accuracy))
+}

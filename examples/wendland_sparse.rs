@@ -1,0 +1,74 @@
+//! Compact-support (Wendland) vs global-support (Gaussian) RBF — the two
+//! kernel families of §IV-C on the same mesh.
+//!
+//! The Gaussian couples every point pair (formally dense operator,
+//! data-sparse after compression); the Wendland kernel is exactly zero
+//! beyond its support radius, giving a genuinely sparse operator — the
+//! extreme end of the paper's "dense / data-sparse / sparse" spectrum,
+//! where DAG trimming removes almost everything.
+//!
+//! Run with: `cargo run --release --example wendland_sparse`
+
+use hicma_parsec::cholesky::{factorization_residual, factorize, FactorConfig};
+use hicma_parsec::linalg::Matrix;
+use hicma_parsec::mesh::geometry::{virus_population, VirusConfig};
+use hicma_parsec::mesh::hilbert::{apply_permutation, hilbert_sort};
+use hicma_parsec::mesh::{GaussianRbf, WendlandRbf};
+use hicma_parsec::tlr::{CompressionConfig, TlrMatrix};
+
+fn main() {
+    let vcfg = VirusConfig { points_per_virus: 400, ..Default::default() };
+    let raw = virus_population(4, &vcfg, 55);
+    let points = apply_permutation(&raw, &hilbert_sort(&raw));
+    let n = points.len();
+    let accuracy = 1e-6;
+    let tile = 128;
+    let ccfg = CompressionConfig::with_accuracy(accuracy);
+
+    println!("N = {n}, tile = {tile}, accuracy = {accuracy:.0e}");
+    println!();
+    println!(
+        "{:>22} {:>9} {:>10} {:>12} {:>10} {:>12}",
+        "kernel", "density", "mem vs dn", "tasks", "dense DAG", "residual"
+    );
+
+    // §IV-C's trade-off: global support "leads to a more accurate
+    // solution because it considers all interactions … at the cost of
+    // producing a dense matrix". We pit a realistic accuracy-oriented
+    // Gaussian (δ = 32·δ_ref, long reach) against a short compact-support
+    // Wendland (3 neighbor shells) — the two ends of the spectrum.
+    let mut gaussian = GaussianRbf::from_min_distance(&points);
+    gaussian.delta *= 32.0;
+    gaussian.nugget = 1e-2;
+    let mut wendland = WendlandRbf::from_min_distance(&points, 3.0);
+    wendland.nugget = 1e-6;
+
+    for (name, gen) in [
+        ("Gaussian (global)", Box::new(gaussian.generator(&points)) as Box<dyn Fn(usize, usize) -> f64 + Sync>),
+        ("Wendland (compact)", Box::new(wendland.generator(&points))),
+    ] {
+        let mut a = TlrMatrix::from_generator(n, tile, &gen, &ccfg);
+        let density = a.density();
+        let mem = a.memory_f64() as f64 / (n * (n + 1) / 2) as f64;
+        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        match factorize(&mut a, &FactorConfig::with_accuracy(accuracy)) {
+            Ok(rep) => {
+                let res = factorization_residual(&dense, &a);
+                println!(
+                    "{:>22} {:>9.3} {:>9.1}% {:>12} {:>10} {:>12.2e}",
+                    name,
+                    density,
+                    100.0 * mem,
+                    rep.dag_tasks,
+                    rep.dense_dag_tasks,
+                    res
+                );
+            }
+            Err(e) => println!("{name:>22}: not SPD (pivot {})", e.pivot),
+        }
+    }
+    println!();
+    println!("Expected (§IV-C): the long-reach global-support operator is much denser");
+    println!("and more expensive; the compact-support operator is sparse, trims far");
+    println!("more of the DAG, and still factorizes to the requested accuracy.");
+}

@@ -1,0 +1,283 @@
+//! `hicma-parsec` — command-line front-end to the TLR Cholesky stack.
+//!
+//! Subcommands:
+//!
+//! * `factorize` — build a synthetic-virus RBF operator, compress,
+//!   factorize (real numerics) and verify;
+//! * `simulate`  — price a paper-scale run on the simulated machine;
+//! * `analyze`   — run Algorithm 1 on a synthetic rank profile and print
+//!   trimming statistics;
+//! * `tune`      — auto-tune the tile size for a given problem size.
+//!
+//! Arguments are `key=value` pairs; run with no arguments for usage.
+
+use hicma_parsec::cholesky::lorapo::{hicma_parsec_config, lorapo_config};
+use hicma_parsec::cholesky::simulate::simulate_cholesky;
+use hicma_parsec::cholesky::{factorize, tune_tile_size, FactorConfig, MatrixAnalysis};
+use hicma_parsec::linalg::Matrix;
+use hicma_parsec::mesh::geometry::{virus_population, VirusConfig};
+use hicma_parsec::mesh::hilbert::{apply_permutation, hilbert_sort};
+use hicma_parsec::mesh::GaussianRbf;
+use hicma_parsec::runtime::MachineModel;
+use hicma_parsec::tlr::{CompressionConfig, SyntheticRankModel, TlrMatrix};
+use std::collections::HashMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hicma-parsec <command> [key=value ...]
+
+commands:
+  factorize  viruses=4 points=400 tile=128 accuracy=1e-6 [untrimmed=1]
+             build + compress + factorize a synthetic RBF operator (real numerics)
+  simulate   n=11.95e6 tile=4880 nodes=512 shape=3.7e-4 accuracy=1e-4
+             machine=shaheen|fugaku code=hicma|lorapo scale=32
+             price a paper-scale factorization on the simulated cluster
+  analyze    nt=256 tile=1024 shape=3.7e-4 accuracy=1e-4
+             run Algorithm 1 and print trimming statistics
+  snapshot   viruses=4 points=400 tile=128 accuracy=1e-4 out=snap.txt
+             measure a real compression and save its rank snapshot
+             (feed back into `simulate snapshot=snap.txt`)
+  tune       n=1e6 shape=3.7e-4 accuracy=1e-4 nodes=16 machine=shaheen
+             auto-tune the tile size with the simulator"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for a in args {
+        match a.split_once('=') {
+            Some((k, v)) => {
+                map.insert(k.to_string(), v.to_string());
+            }
+            None => {
+                eprintln!("malformed argument `{a}` (expected key=value)");
+                usage();
+            }
+        }
+    }
+    map
+}
+
+fn get_f64(m: &HashMap<String, String>, k: &str, default: f64) -> f64 {
+    m.get(k).map_or(default, |v| v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for {k}: {v}");
+        usage()
+    }))
+}
+
+fn get_usize(m: &HashMap<String, String>, k: &str, default: usize) -> usize {
+    get_f64(m, k, default as f64) as usize
+}
+
+fn machine_of(m: &HashMap<String, String>) -> MachineModel {
+    match m.get("machine").map(String::as_str) {
+        None | Some("shaheen") => MachineModel::shaheen_ii(),
+        Some("fugaku") => MachineModel::fugaku(),
+        Some(other) => {
+            eprintln!("unknown machine `{other}` (shaheen|fugaku)");
+            usage()
+        }
+    }
+}
+
+fn cmd_factorize(m: HashMap<String, String>) {
+    let viruses = get_usize(&m, "viruses", 4);
+    let points_per = get_usize(&m, "points", 400);
+    let tile = get_usize(&m, "tile", 128);
+    let accuracy = get_f64(&m, "accuracy", 1e-6);
+    let trimmed = !m.contains_key("untrimmed");
+
+    let vcfg = VirusConfig { points_per_virus: points_per, ..Default::default() };
+    let raw = virus_population(viruses, &vcfg, 2024);
+    let points = apply_permutation(&raw, &hilbert_sort(&raw));
+    let n = points.len();
+    let kernel = GaussianRbf::from_min_distance(&points);
+    println!("N = {n}, δ = {:.3e}, tile = {tile}, accuracy = {accuracy:.0e}", kernel.delta);
+
+    let ccfg = CompressionConfig::with_accuracy(accuracy);
+    let t0 = std::time::Instant::now();
+    let mut a = TlrMatrix::from_generator(n, tile, kernel.generator(&points), &ccfg);
+    println!(
+        "compressed in {:.3}s: density {:.3}, memory {:.1}% of dense",
+        t0.elapsed().as_secs_f64(),
+        a.density(),
+        100.0 * a.memory_f64() as f64 / (n * (n + 1) / 2) as f64
+    );
+    let fcfg = FactorConfig {
+        trimmed,
+        nthreads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+        ..FactorConfig::with_accuracy(accuracy)
+    };
+    match factorize(&mut a, &fcfg) {
+        Ok(rep) => {
+            println!(
+                "factorized in {:.3}s: {} tasks ({} dense-DAG), breakdown P {:.3} T {:.3} S {:.3} G {:.3}",
+                rep.factorization_seconds,
+                rep.dag_tasks,
+                rep.dense_dag_tasks,
+                rep.breakdown.potrf,
+                rep.breakdown.trsm,
+                rep.breakdown.syrk,
+                rep.breakdown.gemm
+            );
+            if n <= 4000 {
+                let dense = Matrix::from_fn(n, n, |i, j| kernel.matrix_entry(&points, i, j));
+                let res = hicma_parsec::cholesky::factorization_residual(&dense, &a);
+                println!("‖A − LLᵀ‖/‖A‖ = {res:.3e}");
+            }
+        }
+        Err(e) => {
+            eprintln!("matrix is not positive definite at this accuracy (pivot {})", e.pivot);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_simulate(m: HashMap<String, String>) {
+    let n = get_f64(&m, "n", 11.95e6);
+    let tile = get_usize(&m, "tile", 4880);
+    let nodes = get_usize(&m, "nodes", 512);
+    let shape = get_f64(&m, "shape", 3.7e-4);
+    let accuracy = get_f64(&m, "accuracy", 1e-4);
+    let scale = get_usize(&m, "scale", 32);
+    let machine = machine_of(&m);
+
+    let p = hicma_parsec::cholesky::simulate::scaled_problem(n, tile, nodes, scale);
+    // Scale the fixed time constants with the problem (see EXPERIMENTS.md).
+    let mut machine = machine;
+    machine.task_overhead_s /= scale as f64;
+    machine.dep_overhead_s /= scale as f64;
+    machine.latency_s /= scale as f64;
+    let snap = match m.get("snapshot") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read snapshot {path}: {e}");
+                std::process::exit(1);
+            });
+            hicma_parsec::tlr::RankSnapshot::from_text(&text).unwrap_or_else(|e| {
+                eprintln!("bad snapshot {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            SyntheticRankModel::from_application(p.nt, p.tile_size, shape, accuracy).snapshot()
+        }
+    };
+    let cfg = match m.get("code").map(String::as_str) {
+        None | Some("hicma") => hicma_parsec_config(machine, p.nodes),
+        Some("lorapo") => lorapo_config(machine, p.nodes),
+        Some(other) => {
+            eprintln!("unknown code `{other}` (hicma|lorapo)");
+            usage()
+        }
+    };
+    if m.contains_key("snapshot") {
+        println!(
+            "simulating measured snapshot (NT={} b={}) on {} procs",
+            snap.nt(),
+            snap.tile_size(),
+            p.nodes
+        );
+    } else {
+        println!(
+            "simulating N={n:.3e} tile={tile} nodes={nodes} (scaled 1/{scale}: NT={} b={} procs={})",
+            p.nt, p.tile_size, p.nodes
+        );
+    }
+    let r = simulate_cholesky(&snap, &cfg);
+    println!(
+        "time {:.3}s | CP {:.3}s (eff {:.0}%) | {} tasks | imbalance {:.2} | {:.2} GB moved",
+        r.factorization_seconds,
+        r.critical_path_seconds,
+        100.0 * r.roofline_efficiency(),
+        r.dag_tasks,
+        r.load_imbalance,
+        r.comm.bytes as f64 / 1e9
+    );
+}
+
+fn cmd_analyze(m: HashMap<String, String>) {
+    let nt = get_usize(&m, "nt", 256);
+    let tile = get_usize(&m, "tile", 1024);
+    let shape = get_f64(&m, "shape", 3.7e-4);
+    let accuracy = get_f64(&m, "accuracy", 1e-4);
+    let snap = SyntheticRankModel::from_application(nt, tile, shape, accuracy).snapshot();
+    let t0 = std::time::Instant::now();
+    let a = MatrixAnalysis::analyze(&snap, tile);
+    println!(
+        "NT = {nt}: initial density {:.3}, final density {:.3}, fill-in tiles {}",
+        snap.density(),
+        a.final_density(),
+        a.fill_count
+    );
+    println!(
+        "tasks: {} surviving of {} dense ({:.1}% trimmed away)",
+        a.surviving_tasks(),
+        a.dense_tasks(),
+        100.0 * (1.0 - a.surviving_tasks() as f64 / a.dense_tasks() as f64)
+    );
+    println!(
+        "analysis cost: {:.1} ms, {:.2} MB",
+        t0.elapsed().as_secs_f64() * 1e3,
+        a.memory_bytes() as f64 / 1e6
+    );
+}
+
+fn cmd_tune(m: HashMap<String, String>) {
+    let n = get_f64(&m, "n", 1e6);
+    let shape = get_f64(&m, "shape", 3.7e-4);
+    let accuracy = get_f64(&m, "accuracy", 1e-4);
+    let nodes = get_usize(&m, "nodes", 16);
+    let cfg = hicma_parsec_config(machine_of(&m), nodes);
+    let r = tune_tile_size(n, shape, accuracy, &cfg, &[]);
+    println!("{:>8} {:>7} {:>10} {:>10}", "tile", "NT", "tasks", "time (s)");
+    for s in &r.sweep {
+        let mark = if s.tile_size == r.best.tile_size { "  <- best" } else { "" };
+        println!("{:>8} {:>7} {:>10} {:>10.3}{mark}", s.tile_size, s.nt, s.tasks, s.seconds);
+    }
+}
+
+fn cmd_snapshot(m: HashMap<String, String>) {
+    let viruses = get_usize(&m, "viruses", 4);
+    let points_per = get_usize(&m, "points", 400);
+    let tile = get_usize(&m, "tile", 128);
+    let accuracy = get_f64(&m, "accuracy", 1e-4);
+    let out = m.get("out").cloned().unwrap_or_else(|| "snapshot.txt".to_string());
+    let vcfg = VirusConfig { points_per_virus: points_per, ..Default::default() };
+    let raw = virus_population(viruses, &vcfg, 2024);
+    let points = apply_permutation(&raw, &hilbert_sort(&raw));
+    let kernel = GaussianRbf::from_min_distance(&points);
+    let a = TlrMatrix::from_generator(
+        points.len(),
+        tile,
+        kernel.generator(&points),
+        &CompressionConfig::with_accuracy(accuracy),
+    );
+    let snap = a.rank_snapshot();
+    std::fs::write(&out, snap.to_text()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let stats = snap.stats();
+    println!(
+        "wrote {out}: NT={} b={tile} density {:.3} max rank {}",
+        snap.nt(),
+        stats.density,
+        stats.max
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let rest = parse_args(&args[1..]);
+    match cmd.as_str() {
+        "factorize" => cmd_factorize(rest),
+        "simulate" => cmd_simulate(rest),
+        "analyze" => cmd_analyze(rest),
+        "snapshot" => cmd_snapshot(rest),
+        "tune" => cmd_tune(rest),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) on the core invariants of the stack:
+//! compression error bounds, kernel format-equivalence, Cholesky
+//! reconstruction, Hilbert permutation validity, Algorithm-1 analysis
+//! invariants, and DES lower bounds.
+
+use hicma_parsec::cholesky::simulate::{simulate_cholesky, DistributionPlan, SimConfig};
+use hicma_parsec::cholesky::MatrixAnalysis;
+use hicma_parsec::linalg::{gemm, potrf, Matrix, Trans};
+use hicma_parsec::mesh::hilbert::hilbert_sort;
+use hicma_parsec::mesh::Point3;
+use hicma_parsec::runtime::MachineModel;
+use hicma_parsec::tlr::kernels::gemm_kernel;
+use hicma_parsec::tlr::{compress_tile, CompressionConfig, RankSnapshot, Tile};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix from a seed.
+fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+/// Rank-`k` matrix with geometric singular decay.
+fn seeded_low_rank(n: usize, k: usize, seed: u64) -> Matrix {
+    let u = seeded_matrix(n, k, seed);
+    let v = seeded_matrix(n, k, seed ^ 0xDEAD);
+    let mut out = Matrix::zeros(n, n);
+    for p in 0..k {
+        let s = 2.0_f64.powi(-(p as i32));
+        for j in 0..n {
+            let w = s * v[(j, p)];
+            for i in 0..n {
+                out[(i, j)] += w * u[(i, p)];
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compression at tolerance ε leaves ‖A − UVᵀ‖_F ≤ O(ε).
+    #[test]
+    fn compression_error_bounded(seed in 0u64..1000, k in 1usize..10, tol_exp in 1i32..8) {
+        let n = 24;
+        let tol = 10f64.powi(-tol_exp);
+        let a = seeded_low_rank(n, k, seed);
+        let t = compress_tile(a.clone(), &CompressionConfig::with_accuracy(tol));
+        let mut diff = t.to_dense();
+        diff.axpy(-1.0, &a);
+        let err = hicma_parsec::linalg::frobenius_norm(&diff);
+        prop_assert!(err <= 10.0 * tol, "err {} tol {}", err, tol);
+        // rank never exceeds the construction rank (spectrum truncates)
+        prop_assert!(t.rank() <= k.min(n));
+    }
+
+    /// The TLR GEMM kernel agrees with dense arithmetic for every format
+    /// combination of its inputs.
+    #[test]
+    fn gemm_kernel_equals_dense(seed in 0u64..500, ka in 1usize..6, kb in 1usize..6) {
+        let n = 16;
+        let cfg = CompressionConfig::with_accuracy(1e-9);
+        let a_m = seeded_low_rank(n, ka, seed);
+        let b_m = seeded_low_rank(n, kb, seed ^ 0xBEEF);
+        let c_m = seeded_low_rank(n, 3, seed ^ 0xCAFE);
+        let mut expect = c_m.clone();
+        gemm(Trans::No, Trans::Yes, -1.0, &a_m, &b_m, 1.0, &mut expect);
+
+        for a_t in [Tile::Dense(a_m.clone()), compress_tile(a_m.clone(), &cfg)] {
+            for b_t in [Tile::Dense(b_m.clone()), compress_tile(b_m.clone(), &cfg)] {
+                let mut c_t = compress_tile(c_m.clone(), &cfg);
+                gemm_kernel(&a_t, &b_t, &mut c_t, &cfg);
+                let mut diff = c_t.to_dense();
+                diff.axpy(-1.0, &expect);
+                let err = hicma_parsec::linalg::frobenius_norm(&diff);
+                prop_assert!(err < 1e-6, "err {}", err);
+            }
+        }
+    }
+
+    /// potrf reconstructs any SPD input.
+    #[test]
+    fn potrf_reconstructs(seed in 0u64..1000, n in 2usize..40) {
+        let b = seeded_matrix(n, n, seed);
+        let mut a = Matrix::identity(n);
+        a.scale(n as f64);
+        gemm(Trans::No, Trans::Yes, 1.0, &b, &b, 1.0, &mut a);
+        let mut l = a.clone();
+        potrf(&mut l).unwrap();
+        l.zero_upper();
+        let mut recon = Matrix::zeros(n, n);
+        gemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut recon);
+        prop_assert!(hicma_parsec::linalg::relative_diff(&recon, &a) < 1e-11);
+    }
+
+    /// Hilbert sort always returns a permutation.
+    #[test]
+    fn hilbert_sort_is_permutation(seed in 0u64..1000, n in 1usize..200) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99991);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let pts: Vec<Point3> = (0..n)
+            .map(|_| Point3 { x: next(), y: next(), z: next() })
+            .collect();
+        let mut order = hilbert_sort(&pts);
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Algorithm-1 invariants on random sparsity patterns:
+    /// * surviving tasks never exceed the dense count,
+    /// * final density ≥ initial density (fill only adds tiles),
+    /// * fill count equals the growth in non-null tiles.
+    #[test]
+    fn analysis_invariants(seed in 0u64..2000, nt in 2usize..16, density_pct in 0usize..100) {
+        let b = 64;
+        let mut state = seed | 1;
+        let mut ranks = vec![0usize; nt * nt];
+        let mut initial_nonnull = 0usize;
+        for i in 0..nt {
+            ranks[i * nt + i] = b;
+            for j in 0..i {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(12345);
+                if ((state >> 33) as usize % 100) < density_pct {
+                    ranks[i * nt + j] = 1 + ((state >> 20) as usize % 8);
+                    initial_nonnull += 1;
+                }
+            }
+        }
+        let snap = RankSnapshot::new(nt, b, ranks);
+        let analysis = MatrixAnalysis::analyze(&snap, b);
+        prop_assert!(analysis.surviving_tasks() <= analysis.dense_tasks());
+        prop_assert!(analysis.final_density() >= snap.density() - 1e-12);
+        let final_nonnull = (0..nt)
+            .flat_map(|i| (0..i).map(move |j| (i, j)))
+            .filter(|&(i, j)| analysis.final_ranks.rank(i, j) > 0)
+            .count();
+        prop_assert_eq!(final_nonnull, initial_nonnull + analysis.fill_count);
+    }
+
+    /// The work-stealing executor respects dependencies on arbitrary
+    /// random DAGs: every task observes all its predecessors' effects.
+    #[test]
+    fn executor_respects_random_dags(seed in 0u64..300, n in 2usize..60, density_pct in 5usize..60) {
+        use hicma_parsec::runtime::executor::execute;
+        use hicma_parsec::runtime::graph::{TaskGraph, TaskSpec, TaskClass, DataRef};
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(TaskSpec {
+                class: TaskClass::Other,
+                priority: i,
+                writes: None,
+                flops: 0.0,
+            });
+        }
+        // random edges i → j only for i < j (guarantees acyclicity)
+        let mut state = seed | 1;
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(97);
+                if ((state >> 33) as usize % 100) < density_pct {
+                    g.add_edge(i, j, DataRef { i, j: 0 }, 0);
+                    edges.push((i, j));
+                }
+            }
+        }
+        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let violations = AtomicUsize::new(0);
+        execute(&g, 4, |t| {
+            // every predecessor must already be marked done
+            for &(i, j) in &edges {
+                if j == t && !done[i].load(Ordering::SeqCst) {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            done[t].store(true, Ordering::SeqCst);
+        });
+        prop_assert_eq!(violations.load(Ordering::SeqCst), 0);
+        prop_assert!(done.iter().all(|d| d.load(Ordering::SeqCst)));
+    }
+
+    /// DES makespan is bounded below by the critical path and above by a
+    /// full serialization, for any sparsity/plan.
+    #[test]
+    fn simulation_bounds(seed in 0u64..200, nt in 4usize..14) {
+        let b = 256;
+        let mut state = seed | 1;
+        let mut ranks = vec![0usize; nt * nt];
+        for i in 0..nt {
+            ranks[i * nt + i] = b;
+            for j in 0..i {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                if (state >> 33) % 2 == 0 {
+                    ranks[i * nt + j] = 2 + ((state >> 40) as usize % 12);
+                }
+            }
+        }
+        let snap = RankSnapshot::new(nt, b, ranks);
+        for plan in [DistributionPlan::Lorapo, DistributionPlan::Band, DistributionPlan::BandDiamond] {
+            let cfg = SimConfig {
+                machine: MachineModel::shaheen_ii(),
+                nodes: 4,
+                plan,
+                trimmed: true,
+                rank_cap: b,
+                band_width: 2,
+            };
+            let r = simulate_cholesky(&snap, &cfg);
+            prop_assert!(r.factorization_seconds >= r.critical_path_seconds - 1e-12,
+                "{:?}: {} < CP {}", plan, r.factorization_seconds, r.critical_path_seconds);
+        }
+    }
+}

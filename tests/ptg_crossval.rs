@@ -1,0 +1,72 @@
+//! Cross-validation: the symbolic PTG description of dense tile Cholesky
+//! must unroll to a graph equivalent to the hand-rolled builder in
+//! `hicma-core` (same task counts per class, same dependency structure,
+//! same critical path).
+
+use hicma_parsec::cholesky::dag::{build_cholesky_dag, DagConfig};
+use hicma_parsec::runtime::critical_path::critical_path;
+use hicma_parsec::runtime::graph::TaskClass;
+use hicma_parsec::runtime::ptg::dense_cholesky_ptg;
+use hicma_parsec::tlr::RankSnapshot;
+
+fn dense_snapshot(nt: usize, b: usize) -> RankSnapshot {
+    let mut ranks = vec![0usize; nt * nt];
+    for i in 0..nt {
+        for j in 0..=i {
+            ranks[i * nt + j] = b; // every tile dense
+        }
+    }
+    RankSnapshot::new(nt, b, ranks)
+}
+
+#[test]
+fn ptg_and_builder_agree_on_task_counts() {
+    let nt = 7;
+    let b = 64;
+    let ptg = dense_cholesky_ptg(nt, b).unroll().unwrap();
+    let dag = build_cholesky_dag(&dense_snapshot(nt, b), &DagConfig::default());
+    assert_eq!(ptg.graph.len(), dag.graph.len());
+    let ptg_counts = ptg.graph.class_counts();
+    let dag_counts = dag.graph.class_counts();
+    for (a, b) in ptg_counts.iter().zip(dag_counts.iter()) {
+        assert_eq!(a.1, b.1, "class {:?}", a.0);
+    }
+}
+
+#[test]
+fn ptg_and_builder_agree_on_critical_path_length() {
+    // With unit durations per class, the longest chains must match.
+    let nt = 6;
+    let b = 32;
+    let dur = |class: TaskClass| -> f64 {
+        match class {
+            TaskClass::Potrf => 3.0,
+            TaskClass::Trsm => 2.0,
+            TaskClass::Syrk => 2.0,
+            TaskClass::Gemm => 1.0,
+            TaskClass::Other => 0.0,
+        }
+    };
+    let ptg = dense_cholesky_ptg(nt, b).unroll().unwrap();
+    let dag = build_cholesky_dag(&dense_snapshot(nt, b), &DagConfig::default());
+    let cp_ptg = critical_path(&ptg.graph, |t| dur(ptg.graph.spec(t).class));
+    let cp_dag = critical_path(&dag.graph, |t| dur(dag.graph.spec(t).class));
+    assert!(
+        (cp_ptg.length - cp_dag.length).abs() < 1e-12,
+        "PTG CP {} vs builder CP {}",
+        cp_ptg.length,
+        cp_dag.length
+    );
+}
+
+#[test]
+fn ptg_edge_count_matches_builder() {
+    // The PTG expresses the same dataflow; edge counts must agree for the
+    // dense case (the builder adds exactly one edge per read + one per
+    // tile-version chain, which is what the JDF rules encode).
+    let nt = 5;
+    let b = 16;
+    let ptg = dense_cholesky_ptg(nt, b).unroll().unwrap();
+    let dag = build_cholesky_dag(&dense_snapshot(nt, b), &DagConfig::default());
+    assert_eq!(ptg.graph.num_edges(), dag.graph.num_edges());
+}
