@@ -45,7 +45,7 @@ fn main() {
         let ccfg = CompressionConfig { accuracy, max_rank: cap, keep_dense_ratio: 1.0 };
         let mut a = TlrMatrix::from_dense(&dense, 105, &ccfg);
         let mem = a.memory_f64() as f64 / (n * (n + 1) / 2) as f64;
-        let fcfg = FactorConfig { accuracy, max_rank: cap, trimmed: true, nthreads: 4 };
+        let fcfg = FactorConfig { max_rank: cap, ..FactorConfig::with_accuracy(accuracy) };
         let cap_label = if cap == usize::MAX { "none".to_string() } else { cap.to_string() };
         match factorize(&mut a, &fcfg) {
             Ok(_) => {

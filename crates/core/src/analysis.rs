@@ -85,6 +85,9 @@ impl MatrixAnalysis {
         let mut fill_panel: Vec<Option<usize>> = vec![None; nt * (nt + 1) / 2];
         let mut fill_count = 0usize;
 
+        // `trsm` is keyed by panel `k`, `syrk` by row `m` — an iterator
+        // form would obscure the two distinct indexings.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..nt.saturating_sub(1) {
             // Panel survey: which TRSMs run, which SYRKs they feed.
             for m in k + 1..nt {

@@ -8,35 +8,56 @@
 //! missing dataflow edge, or a remap that forgets to ship a tile breaks
 //! *here*, not just in a simulator.
 //!
+//! Two engines share the same task plan and kernel dispatch:
+//!
+//! * [`factorize_distributed`] — the thread-per-rank engine over a
+//!   perfect network (one OS thread per rank, channels as the wire);
+//! * [`factorize_distributed_ft`] — the fault-tolerant engine
+//!   (`runtime::distributed::execute_distributed_ft`), which injects a
+//!   seeded [`FaultPlan`](runtime::fault::FaultPlan) — message loss,
+//!   duplication, delay jitter, rank crashes, kernel failures — and
+//!   recovers via retransmission, dedup and task re-execution. Its
+//!   factor is bit-identical to the fault-free run for any survivable
+//!   plan.
+//!
 //! The data layout follows PaRSEC's on-demand shipping, collapsed to
 //! setup time: each tile's initial version starts at the rank that first
 //! writes it, and the final version is gathered from the rank of its
 //! last writer.
 
-use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
+use crate::dag::{build_cholesky_dag, CholeskyDag, DagConfig, TaskKind};
 use distribution::TileDistribution;
 use parking_lot::Mutex;
-use runtime::distributed::execute_distributed;
+use runtime::distributed::{execute_distributed, execute_distributed_ft, RankCtx};
+use runtime::fault::{FaultStats, FtConfig, FtError};
 use runtime::graph::{DataRef, TaskId};
 use std::collections::HashMap;
+use std::fmt;
 use tlr_compress::kernels::{gemm_kernel, potrf_kernel, syrk_kernel, trsm_kernel};
 use tlr_compress::{CompressionConfig, Tile, TlrMatrix};
 use tlr_linalg::CholeskyError;
 
 use crate::factorize::FactorConfig;
 
-/// Factor `matrix = L·Lᵀ` across `nprocs` emulated distributed-memory
-/// ranks. `exec` maps each tile to the rank that executes the tasks
-/// writing it (pass the data distribution itself for owner-computes, or
-/// a remapping distribution for the §VII-B execution dissociation).
-pub fn factorize_distributed(
+/// Everything both engines need: the trimmed DAG, task→rank mapping,
+/// dependency lookup, and the initial per-rank tile placement (tiles are
+/// moved out of the matrix into the stores).
+struct DistPlan {
+    dag: CholeskyDag,
+    exec_rank: Vec<usize>,
+    preds: Vec<Vec<(TaskId, DataRef)>>,
+    last_writer: HashMap<(usize, usize), TaskId>,
+    placement: HashMap<(usize, usize), usize>,
+    initial: Vec<HashMap<DataRef, Tile>>,
+}
+
+fn plan_distribution(
     matrix: &mut TlrMatrix,
     cfg: &FactorConfig,
     nprocs: usize,
     exec: &dyn TileDistribution,
-) -> Result<(), CholeskyError> {
+) -> DistPlan {
     let nt = matrix.nt();
-    let tile_size = matrix.tile_size();
     let dag = build_cholesky_dag(
         &matrix.rank_snapshot(),
         &DagConfig { trimmed: cfg.trimmed, rank_cap: cfg.max_rank },
@@ -45,7 +66,7 @@ pub fn factorize_distributed(
     // Execution rank per task = exec mapping of the tile it writes.
     let exec_rank: Vec<usize> = (0..dag.graph.len())
         .map(|t| {
-            let w = dag.graph.spec(t).writes.expect("Cholesky tasks write");
+            let w = dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
             exec.owner(w.i, w.j)
         })
         .collect();
@@ -62,7 +83,7 @@ pub fn factorize_distributed(
     let mut first_writer: HashMap<(usize, usize), TaskId> = HashMap::new();
     let mut last_writer: HashMap<(usize, usize), TaskId> = HashMap::new();
     for t in 0..dag.graph.len() {
-        let w = dag.graph.spec(t).writes.unwrap();
+        let w = dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
         first_writer.entry((w.i, w.j)).or_insert(t);
         last_writer.insert((w.i, w.j), t);
     }
@@ -81,26 +102,43 @@ pub fn factorize_distributed(
         }
     }
 
-    let compression = CompressionConfig {
-        accuracy: cfg.accuracy,
-        max_rank: cfg.max_rank,
-        keep_dense_ratio: 1.0,
-    };
-    let error: Mutex<Option<CholeskyError>> = Mutex::new(None);
+    DistPlan { dag, exec_rank, preds, last_writer, placement, initial }
+}
 
-    let find_producer = |t: TaskId, d: DataRef| -> Option<TaskId> {
-        preds[t].iter().find(|(_, dd)| *dd == d).map(|(p, _)| *p)
-    };
+/// Shared kernel dispatch for both engines. `Sync` so the thread engine
+/// can call it from every rank; the error slot keeps the *minimum*
+/// failing pivot so concurrent failures report deterministically.
+struct KernelEnv<'a> {
+    dag: &'a CholeskyDag,
+    preds: &'a [Vec<(TaskId, DataRef)>],
+    tile_size: usize,
+    compression: CompressionConfig,
+    error: Mutex<Option<CholeskyError>>,
+}
 
-    let stores = execute_distributed(&dag.graph, nprocs, &exec_rank, initial, |t, ctx| {
-        let w = dag.graph.spec(t).writes.unwrap();
-        if error.lock().is_some() {
+impl KernelEnv<'_> {
+    fn find_producer(&self, t: TaskId, d: DataRef) -> Option<TaskId> {
+        self.preds[t].iter().find(|(_, dd)| *dd == d).map(|(p, _)| *p)
+    }
+
+    /// Record a pivot failure, keeping the earliest (smallest) pivot —
+    /// with multiple ranks failing concurrently, the report must not
+    /// depend on which failure message lands last.
+    fn record_error(&self, e: CholeskyError) {
+        let mut slot = self.error.lock();
+        match &*slot {
+            Some(prev) if prev.pivot <= e.pivot => {}
+            _ => *slot = Some(e),
+        }
+    }
+
+    fn run(&self, t: TaskId, ctx: &mut RankCtx<'_, Tile>) -> Tile {
+        let w = self.dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
+        if self.error.lock().is_some() {
             // Poisoned: keep the dataflow moving with the untouched tile.
             let cur = ctx
                 .take(w)
-                .or_else(|| {
-                    find_producer(t, w).and_then(|p| ctx.take_remote(p, w))
-                })
+                .or_else(|| self.find_producer(t, w).and_then(|p| ctx.take_remote(p, w)))
                 .unwrap_or(Tile::Null { rows: 0, cols: 0 });
             ctx.put(w, cur.clone());
             return cur;
@@ -111,56 +149,176 @@ pub fn factorize_distributed(
         // Cholesky, but `take_remote` keeps the engine general).
         let mut out = ctx
             .take(w)
-            .or_else(|| find_producer(t, w).and_then(|p| ctx.take_remote(p, w)))
+            .or_else(|| self.find_producer(t, w).and_then(|p| ctx.take_remote(p, w)))
             .expect("written tile must be present");
-        match dag.kinds[t] {
+        match self.dag.kinds[t] {
             TaskKind::Potrf { k } => {
                 if let Err(e) = potrf_kernel(&mut out) {
-                    *error.lock() = Some(CholeskyError { pivot: k * tile_size + e.pivot });
+                    self.record_error(CholeskyError { pivot: k * self.tile_size + e.pivot });
                 }
             }
             TaskKind::Trsm { k, m } => {
                 let _ = m;
                 let ldata = DataRef { i: k, j: k };
-                let l = ctx.get(find_producer(t, ldata), ldata).clone();
+                let l = ctx.get(self.find_producer(t, ldata), ldata).clone();
                 trsm_kernel(&l, &mut out);
             }
             TaskKind::Syrk { k, m } => {
                 let adata = DataRef { i: m, j: k };
-                let a = ctx.get(find_producer(t, adata), adata).clone();
+                let a = ctx.get(self.find_producer(t, adata), adata).clone();
                 syrk_kernel(&a, &mut out);
             }
             TaskKind::Gemm { k, m, n } => {
                 let adata = DataRef { i: m, j: k };
                 let bdata = DataRef { i: n, j: k };
-                let a = ctx.get(find_producer(t, adata), adata).clone();
-                let b = ctx.get(find_producer(t, bdata), bdata).clone();
-                gemm_kernel(&a, &b, &mut out, &compression);
+                let a = ctx.get(self.find_producer(t, adata), adata).clone();
+                let b = ctx.get(self.find_producer(t, bdata), bdata).clone();
+                gemm_kernel(&a, &b, &mut out, &self.compression);
             }
         }
         ctx.put(w, out.clone());
         out
-    });
+    }
+}
 
-    // Gather: the final version of each tile lives at its last writer's
-    // rank (or wherever it was initially placed if never written).
+/// Put the final tile versions back into the matrix from the per-rank
+/// stores, using the (possibly migrated) final task→rank assignment.
+fn gather_tiles(
+    matrix: &mut TlrMatrix,
+    plan: &DistPlan,
+    final_exec: &[usize],
+    stores: &[HashMap<DataRef, Tile>],
+) {
+    let nt = matrix.nt();
     for i in 0..nt {
         for j in 0..=i {
-            let rank = last_writer
+            let rank = plan
+                .last_writer
                 .get(&(i, j))
-                .map(|&t| exec_rank[t])
-                .unwrap_or(placement[&(i, j)]);
+                .map(|&t| final_exec[t])
+                .unwrap_or(plan.placement[&(i, j)]);
             let tile = stores[rank]
                 .get(&DataRef { i, j })
                 .cloned()
-                .expect("final tile must exist at its last writer's rank");
+                // A tile no task writes (e.g. a null tile the trimmed DAG
+                // never touches) lives at its placement rank — unless that
+                // rank crashed, in which case the runtime migrated its
+                // checkpointed data to a survivor. The value never changed,
+                // so any surviving copy is the right one.
+                .or_else(|| stores.iter().find_map(|s| s.get(&DataRef { i, j }).cloned()))
+                .expect("final tile must exist in some surviving store");
             matrix.put_tile(i, j, tile);
         }
     }
+}
 
-    match error.into_inner() {
+fn kernel_env<'a>(plan: &'a DistPlan, cfg: &FactorConfig, tile_size: usize) -> KernelEnv<'a> {
+    KernelEnv {
+        dag: &plan.dag,
+        preds: &plan.preds,
+        tile_size,
+        compression: CompressionConfig {
+            accuracy: cfg.accuracy,
+            max_rank: cfg.max_rank,
+            keep_dense_ratio: 1.0,
+        },
+        error: Mutex::new(None),
+    }
+}
+
+/// Factor `matrix = L·Lᵀ` across `nprocs` emulated distributed-memory
+/// ranks. `exec` maps each tile to the rank that executes the tasks
+/// writing it (pass the data distribution itself for owner-computes, or
+/// a remapping distribution for the §VII-B execution dissociation).
+pub fn factorize_distributed(
+    matrix: &mut TlrMatrix,
+    cfg: &FactorConfig,
+    nprocs: usize,
+    exec: &dyn TileDistribution,
+) -> Result<(), CholeskyError> {
+    let tile_size = matrix.tile_size();
+    let mut plan = plan_distribution(matrix, cfg, nprocs, exec);
+    let initial = std::mem::take(&mut plan.initial);
+    let env = kernel_env(&plan, cfg, tile_size);
+
+    let stores = execute_distributed(&plan.dag.graph, nprocs, &plan.exec_rank, initial, |t, ctx| {
+        env.run(t, ctx)
+    });
+
+    gather_tiles(matrix, &plan, &plan.exec_rank, &stores);
+    match env.error.into_inner() {
         Some(e) => Err(e),
         None => Ok(()),
+    }
+}
+
+/// Outcome of a fault-tolerant distributed factorization.
+#[derive(Debug, Clone)]
+pub struct FtFactorOutcome {
+    /// Injected-fault and recovery accounting.
+    pub stats: FaultStats,
+    /// Virtual makespan of the run (seconds of emulated time).
+    pub makespan: f64,
+}
+
+/// Failure of a fault-tolerant distributed factorization: either the
+/// matrix is numerically not SPD, or the fault plan was not survivable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtFactorError {
+    /// Pivot failure — same meaning as the shared-memory path.
+    Numeric(CholeskyError),
+    /// The runtime could not recover (all ranks dead, retries exhausted).
+    Runtime(FtError),
+}
+
+impl fmt::Display for FtFactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtFactorError::Numeric(e) => write!(f, "matrix is not positive definite: {e:?}"),
+            FtFactorError::Runtime(e) => write!(f, "unrecoverable runtime fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtFactorError {}
+
+impl From<FtError> for FtFactorError {
+    fn from(e: FtError) -> Self {
+        FtFactorError::Runtime(e)
+    }
+}
+
+/// Factor `matrix` across emulated ranks under a seeded fault plan.
+///
+/// Semantics match [`factorize_distributed`]; on success the factor is
+/// **bit-identical** to the fault-free (and shared-memory) result, no
+/// matter what the plan dropped, duplicated, delayed or crashed — that
+/// equivalence is the correctness contract of the recovery layer, and
+/// `tests/fault_tolerance.rs` enforces it.
+///
+/// On `Err(FtFactorError::Runtime(_))` the matrix contents are
+/// unspecified (tiles may be stuck on dead emulated ranks).
+pub fn factorize_distributed_ft(
+    matrix: &mut TlrMatrix,
+    cfg: &FactorConfig,
+    nprocs: usize,
+    exec: &dyn TileDistribution,
+    ft: &FtConfig,
+) -> Result<FtFactorOutcome, FtFactorError> {
+    let tile_size = matrix.tile_size();
+    let mut plan = plan_distribution(matrix, cfg, nprocs, exec);
+    let initial = std::mem::take(&mut plan.initial);
+    let env = kernel_env(&plan, cfg, tile_size);
+
+    let outcome =
+        execute_distributed_ft(&plan.dag.graph, nprocs, &plan.exec_rank, initial, ft, |t, ctx| {
+            env.run(t, ctx)
+        })?;
+
+    gather_tiles(matrix, &plan, &outcome.exec_rank, &outcome.stores);
+    match env.error.into_inner() {
+        Some(e) => Err(FtFactorError::Numeric(e)),
+        None => Ok(FtFactorOutcome { stats: outcome.stats, makespan: outcome.makespan }),
     }
 }
 
@@ -169,6 +327,7 @@ mod tests {
     use super::*;
     use crate::factorize::factorize;
     use distribution::{BandDistribution, DiamondDistribution, LorapoHybrid, TwoDBlockCyclic};
+    use runtime::fault::FaultPlan;
     use tlr_linalg::norms::relative_diff;
     use tlr_linalg::Matrix;
 
@@ -255,5 +414,92 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.pivot <= 56, "pivot {}", err.pivot);
+    }
+
+    // ---------------- fault-tolerant engine ----------------
+
+    fn check_ft_against_shared(nprocs: usize, dist: &dyn TileDistribution, ft: &FtConfig) {
+        let n = 120;
+        let b = 24;
+        let acc = 1e-8;
+        let dense = gaussian_dense(n);
+        let ccfg = CompressionConfig::with_accuracy(acc);
+        let mut shared = TlrMatrix::from_dense(&dense, b, &ccfg);
+        let mut distr = TlrMatrix::from_dense(&dense, b, &ccfg);
+        let fcfg = FactorConfig::with_accuracy(acc);
+        factorize(&mut shared, &fcfg).unwrap();
+        factorize_distributed_ft(&mut distr, &fcfg, nprocs, dist, ft).unwrap();
+        let diff = relative_diff(&distr.to_dense_lower(), &shared.to_dense_lower());
+        assert!(
+            diff == 0.0,
+            "fault-tolerant factor must be bit-identical to shared memory \
+             ({}, diff {diff})",
+            dist.name()
+        );
+    }
+
+    #[test]
+    fn ft_fault_free_matches_shared_memory() {
+        check_ft_against_shared(4, &TwoDBlockCyclic::new(4), &FtConfig::fault_free());
+    }
+
+    #[test]
+    fn ft_lossy_network_matches_shared_memory() {
+        let plan = FaultPlan::new(21).with_drops(0.2).with_duplicates(0.2).with_jitter(1.0);
+        check_ft_against_shared(4, &TwoDBlockCyclic::new(4), &FtConfig::with_plan(plan));
+    }
+
+    #[test]
+    fn ft_crash_matches_shared_memory_on_remap() {
+        let plan = FaultPlan::new(3).with_drops(0.1).with_crash(1, 15.0);
+        check_ft_against_shared(6, &DiamondDistribution::new(6), &FtConfig::with_plan(plan));
+    }
+
+    #[test]
+    fn ft_spd_failure_propagates() {
+        let n = 64;
+        let dense = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                if i == 40 {
+                    -3.0
+                } else {
+                    2.0
+                }
+            } else {
+                0.01 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let ccfg = CompressionConfig::with_accuracy(1e-8);
+        let mut m = TlrMatrix::from_dense(&dense, 16, &ccfg);
+        let err = factorize_distributed_ft(
+            &mut m,
+            &FactorConfig::with_accuracy(1e-8),
+            4,
+            &TwoDBlockCyclic::new(4),
+            &FtConfig::fault_free(),
+        )
+        .unwrap_err();
+        match err {
+            FtFactorError::Numeric(e) => assert!(e.pivot <= 56, "pivot {}", e.pivot),
+            other => panic!("expected a numeric error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ft_unsurvivable_plan_reports_runtime_error() {
+        let n = 96;
+        let dense = gaussian_dense(n);
+        let ccfg = CompressionConfig::with_accuracy(1e-8);
+        let mut m = TlrMatrix::from_dense(&dense, 24, &ccfg);
+        let plan = FaultPlan::new(0).with_crash(0, 1.0).with_crash(1, 2.0);
+        let err = factorize_distributed_ft(
+            &mut m,
+            &FactorConfig::with_accuracy(1e-8),
+            2,
+            &TwoDBlockCyclic::new(2),
+            &FtConfig::with_plan(plan),
+        )
+        .unwrap_err();
+        assert_eq!(err, FtFactorError::Runtime(FtError::AllRanksCrashed));
     }
 }

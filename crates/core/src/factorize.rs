@@ -9,8 +9,9 @@
 
 use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
 use parking_lot::{Mutex, RwLock};
-use runtime::executor::execute;
+use runtime::executor::execute_cancellable;
 use runtime::graph::TaskClass;
+use std::sync::atomic::{AtomicBool, Ordering};
 use runtime::trace::ClassBreakdown;
 use tlr_compress::kernels::{gemm_kernel, potrf_kernel, syrk_kernel, trsm_kernel};
 use tlr_compress::{CompressionConfig, RankSnapshot, Tile, TlrMatrix};
@@ -28,12 +29,17 @@ pub struct FactorConfig {
     pub trimmed: bool,
     /// Worker threads for the executor.
     pub nthreads: usize,
+    /// On a pivot failure, retry up to this many times on `A + εI` with an
+    /// escalating shift `ε` (LDLᵀ-style regularization for borderline
+    /// matrices). `0` disables the retry; a strongly indefinite matrix
+    /// fails regardless because the shifts stay near the working accuracy.
+    pub max_shift_retries: usize,
 }
 
 impl FactorConfig {
     /// Sensible defaults at the given accuracy.
     pub fn with_accuracy(accuracy: f64) -> Self {
-        Self { accuracy, max_rank: usize::MAX, trimmed: true, nthreads: 4 }
+        Self { accuracy, max_rank: usize::MAX, trimmed: true, nthreads: 4, max_shift_retries: 3 }
     }
 }
 
@@ -56,14 +62,70 @@ pub struct FactorReport {
     pub memory_after_f64: usize,
     /// Busy seconds per kernel class (wall-clock, summed over workers).
     pub breakdown: ClassBreakdown,
+    /// Diagonal shift `ε` of the attempt that succeeded (`0.0` when the
+    /// matrix factored without regularization).
+    pub diagonal_shift: f64,
+    /// How many shifted retries were needed (`0` = first try succeeded).
+    pub shift_attempts: usize,
 }
 
 /// Factor `matrix = L·Lᵀ` in place (lower tiles become `L`).
 ///
 /// On success the diagonal tiles hold lower-triangular Cholesky factors
 /// and the off-diagonal tiles the corresponding solved panels, all still
-/// in TLR format. Fails with the first non-positive-definite pivot.
+/// in TLR format.
+///
+/// On a pivot failure, and if `cfg.max_shift_retries > 0`, the original
+/// matrix is restored and re-factored as `A + εI` with `ε` escalating
+/// ×10 from `mean|diag| · max(accuracy, 1e-12)` — a rounding-level
+/// regularization that rescues borderline matrices (e.g. SPD operators
+/// pushed slightly indefinite by compression error) while leaving truly
+/// indefinite ones to fail. The shift that succeeded is reported in
+/// [`FactorReport::diagonal_shift`]. If every attempt fails, the error
+/// reports the *smallest* failing pivot seen and the matrix is restored
+/// to its input state (without retries it keeps the partial factor, as
+/// before).
 pub fn factorize(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<FactorReport, CholeskyError> {
+    let pristine = if cfg.max_shift_retries > 0 { Some(matrix.clone()) } else { None };
+    let first_err = match factorize_once(matrix, cfg) {
+        Ok(report) => return Ok(report),
+        Err(e) => e,
+    };
+    let Some(pristine) = pristine else {
+        return Err(first_err);
+    };
+    let base = pristine.diagonal_mean_abs() * cfg.accuracy.max(1e-12);
+    let mut shift = base;
+    let mut best_err = first_err;
+    for attempt in 1..=cfg.max_shift_retries {
+        *matrix = pristine.clone();
+        matrix.shift_diagonal(shift);
+        match factorize_once(matrix, cfg) {
+            Ok(mut report) => {
+                report.diagonal_shift = shift;
+                report.shift_attempts = attempt;
+                return Ok(report);
+            }
+            Err(e) => {
+                if e.pivot < best_err.pivot {
+                    best_err = e;
+                }
+            }
+        }
+        shift *= 10.0;
+    }
+    *matrix = pristine;
+    Err(best_err)
+}
+
+/// One factorization attempt on the matrix as-is.
+///
+/// Kernel panics are caught by the executor (the pool drains instead of
+/// hanging) and re-raised here once every worker has stopped.
+fn factorize_once(
+    matrix: &mut TlrMatrix,
+    cfg: &FactorConfig,
+) -> Result<FactorReport, CholeskyError> {
     let nt = matrix.nt();
     let memory_before_f64 = matrix.memory_f64();
     let t0 = std::time::Instant::now();
@@ -89,14 +151,29 @@ pub fn factorize(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<FactorRep
         keep_dense_ratio: 1.0,
     };
     let error: Mutex<Option<CholeskyError>> = Mutex::new(None);
+    // Flipped on the first pivot failure: the executor then drains the
+    // remaining tasks without invoking their kernels at all.
+    let cancel = AtomicBool::new(false);
+    // Record a pivot failure keeping the *smallest* pivot — several POTRFs
+    // can fail concurrently before the cancellation flag propagates, and
+    // the caller must see a deterministic (earliest) pivot, not whichever
+    // failure happened to be stored last.
+    let record_error = |e: CholeskyError| {
+        let mut slot = error.lock();
+        match &*slot {
+            Some(prev) if prev.pivot <= e.pivot => {}
+            _ => *slot = Some(e),
+        }
+        cancel.store(true, Ordering::Release);
+    };
     // Per-class busy nanoseconds (atomic adds via mutex; kernel times are
     // micro-to-milliseconds, contention is negligible).
     let class_nanos: Mutex<[u128; 5]> = Mutex::new([0; 5]);
 
     let exec_t0 = std::time::Instant::now();
-    execute(&dag.graph, cfg.nthreads.max(1), |t| {
-        if error.lock().is_some() {
-            return; // poisoned: drain remaining tasks as no-ops
+    let exec_result = execute_cancellable(&dag.graph, cfg.nthreads.max(1), &cancel, |t| {
+        if cancel.load(Ordering::Acquire) {
+            return; // in-flight task raced with the cancellation flag
         }
         let started = std::time::Instant::now();
         let class = dag.graph.spec(t).class;
@@ -104,8 +181,8 @@ pub fn factorize(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<FactorRep
             TaskKind::Potrf { k } => {
                 let mut c = cells[lower(k, k)].write();
                 if let Err(e) = potrf_kernel(&mut c) {
-                    let pivot = k * tile_size + e.pivot;
-                    *error.lock() = Some(CholeskyError { pivot });
+                    record_error(CholeskyError { pivot: k * tile_size + e.pivot });
+                    return;
                 }
             }
             TaskKind::Trsm { k, m } => {
@@ -128,9 +205,11 @@ pub fn factorize(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<FactorRep
             }
         }
         #[cfg(debug_assertions)]
-        {
-            // Pin down the first kernel that produces a non-finite value.
-            let w = dag.graph.spec(t).writes.unwrap();
+        if !cancel.load(Ordering::Acquire) {
+            // Pin down the first kernel that produces a non-finite value
+            // (skipped once cancelled: a failed POTRF leaves its tile in a
+            // legitimately half-factored state).
+            let w = dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
             let idx = lower(w.i, w.j);
             let tile = cells[idx].read();
             let d = tile.to_dense();
@@ -154,6 +233,11 @@ pub fn factorize(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<FactorRep
         class_nanos.lock()[idx] += nanos;
     });
     let factorization_seconds = exec_t0.elapsed().as_secs_f64();
+    if let Err(p) = exec_result {
+        // A kernel died (not a pivot failure — those cancel cleanly). The
+        // pool has drained, locks are released; re-raise with context.
+        panic!("factorization kernel panicked: {p}");
+    }
 
     // Move tiles back into the matrix regardless of success.
     let mut idx = 0;
@@ -186,6 +270,8 @@ pub fn factorize(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<FactorRep
         memory_before_f64,
         memory_after_f64: matrix.memory_f64(),
         breakdown,
+        diagonal_shift: 0.0,
+        shift_attempts: 0,
     })
 }
 
@@ -210,13 +296,13 @@ mod tests {
 
     fn check_factorization(n: usize, b: usize, acc: f64, corr: f64, trimmed: bool) -> RankSnapshot {
         let gen = gaussian_gen(n, corr);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         let ccfg = CompressionConfig::with_accuracy(acc);
         let mut m = TlrMatrix::from_dense(&dense, b, &ccfg);
         let mut fcfg = FactorConfig::with_accuracy(acc);
         fcfg.trimmed = trimmed;
         let report = factorize(&mut m, &fcfg).expect("SPD matrix must factor");
-        assert_eq!(report.dag_tasks <= report.dense_dag_tasks, true);
+        assert!(report.dag_tasks <= report.dense_dag_tasks);
         // ‖A − L·Lᵀ‖/‖A‖ small
         let l = m.to_dense_lower();
         let mut recon = Matrix::zeros(n, n);
@@ -299,13 +385,76 @@ mod tests {
         assert!(err.pivot <= 40 + 16, "pivot {}", err.pivot);
     }
 
+    /// A matrix that is SPD except for a perturbation near the working
+    /// accuracy must be rescued by the diagonal-shift retry, and the
+    /// rescue must be visible in the report.
+    #[test]
+    fn borderline_indefinite_recovers_with_diagonal_shift() {
+        let n = 96;
+        let gen = gaussian_gen(n, 6.0);
+        // `gen` adds 1e-3 to the diagonal of a PSD Gaussian kernel whose
+        // smallest eigenvalue is ~0 at rounding scale; cancelling the bump
+        // and 1e-7 more leaves λ_min ≈ −1e-7: barely indefinite.
+        let dense = Matrix::from_fn(n, n, |i, j| {
+            gen(i, j) - if i == j { 1e-3 + 1e-7 } else { 0.0 }
+        });
+        let ccfg = CompressionConfig::with_accuracy(1e-8);
+
+        // Without retries: a clean pivot failure.
+        let mut m0 = TlrMatrix::from_dense(&dense, 24, &ccfg);
+        let mut cfg = FactorConfig::with_accuracy(1e-8);
+        cfg.max_shift_retries = 0;
+        factorize(&mut m0, &cfg).expect_err("test premise: matrix is indefinite");
+
+        // With retries: recovered, and the shift is reported.
+        let mut m = TlrMatrix::from_dense(&dense, 24, &ccfg);
+        cfg.max_shift_retries = 5;
+        let report = factorize(&mut m, &cfg).expect("shift retry must rescue the matrix");
+        assert!(report.shift_attempts >= 1, "recovery must have used a retry");
+        assert!(
+            report.diagonal_shift > 0.0 && report.diagonal_shift <= 1e-3,
+            "shift {} should be a rounding-scale regularization",
+            report.diagonal_shift
+        );
+        // The factor is a usable Cholesky of the (shifted) matrix.
+        let l = m.to_dense_lower();
+        let mut recon = Matrix::zeros(n, n);
+        gemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut recon);
+        assert!(relative_diff(&recon, &dense) < 1e-5);
+    }
+
+    /// A hopelessly indefinite matrix still fails after the bounded
+    /// retries, with the matrix restored to its input state.
+    #[test]
+    fn strongly_indefinite_fails_despite_retries() {
+        let n = 64;
+        let dense = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                if i == 40 {
+                    -5.0
+                } else {
+                    2.0
+                }
+            } else {
+                0.01 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let ccfg = CompressionConfig::with_accuracy(1e-8);
+        let mut m = TlrMatrix::from_dense(&dense, 16, &ccfg);
+        let before = m.to_dense();
+        let err = factorize(&mut m, &FactorConfig::with_accuracy(1e-8)).unwrap_err();
+        assert!(err.pivot <= 40 + 16, "pivot {}", err.pivot);
+        // With retries enabled the input is restored on failure.
+        assert!(relative_diff(&m.to_dense(), &before) == 0.0);
+    }
+
     #[test]
     fn multithreaded_matches_single_thread() {
         let n = 96;
         let b = 24;
         let gen = gaussian_gen(n, 6.0);
         let ccfg = CompressionConfig::with_accuracy(1e-8);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         let mut m1 = TlrMatrix::from_dense(&dense, b, &ccfg);
         let mut m8 = TlrMatrix::from_dense(&dense, b, &ccfg);
         let mut cfg = FactorConfig::with_accuracy(1e-8);

@@ -26,9 +26,13 @@ pub mod verify;
 
 pub use analysis::MatrixAnalysis;
 pub use dag::{build_cholesky_dag, CholeskyDag, DagConfig, TaskKind};
-pub use distributed::factorize_distributed;
+pub use distributed::{
+    factorize_distributed, factorize_distributed_ft, FtFactorError, FtFactorOutcome,
+};
 pub use factorize::{factorize, FactorConfig, FactorReport};
-pub use simulate::{simulate_cholesky, DistributionPlan, SimConfig, SimReport};
+pub use simulate::{
+    simulate_cholesky, simulate_cholesky_faulty, DistributionPlan, SimConfig, SimReport,
+};
 pub use solve::{solve_refined, solve_tlr, solve_tlr_multi, tlr_matvec};
 pub use tuner::{tune_tile_size, TuneResult, TuneSample};
 pub use verify::{estimate_condition, factorization_residual, solve_residual};

@@ -284,7 +284,7 @@ mod tests {
     fn matvec_matches_dense() {
         let n = 100;
         let gen = gaussian_gen(n);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         let m = TlrMatrix::from_dense(&dense, 32, &CompressionConfig::with_accuracy(1e-10));
         let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64 - 6.0) / 6.0).collect();
         let y_tlr = tlr_matvec(&m, &x);
@@ -302,7 +302,7 @@ mod tests {
     fn solve_recovers_solution() {
         let n = 120;
         let gen = gaussian_gen(n);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         let acc = 1e-9;
         let mut m = TlrMatrix::from_dense(&dense, 24, &CompressionConfig::with_accuracy(acc));
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
@@ -326,7 +326,7 @@ mod tests {
         // below what the unrefined solve delivers.
         let n = 120;
         let gen = gaussian_gen(n);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         let loose = 1e-4;
         let a = TlrMatrix::from_dense(&dense, 24, &CompressionConfig::with_accuracy(loose));
         let mut l = TlrMatrix::from_dense(&dense, 24, &CompressionConfig::with_accuracy(loose));
@@ -353,7 +353,7 @@ mod tests {
     fn multi_rhs_matches_single_rhs() {
         let n = 120;
         let gen = gaussian_gen(n);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         let acc = 1e-9;
         let mut m = TlrMatrix::from_dense(&dense, 24, &CompressionConfig::with_accuracy(acc));
         factorize(&mut m, &FactorConfig::with_accuracy(acc)).unwrap();
@@ -384,7 +384,7 @@ mod tests {
     fn multi_rhs_ragged_tiles() {
         let n = 110; // ragged last tile
         let gen = gaussian_gen(n);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         let acc = 1e-10;
         let mut m = TlrMatrix::from_dense(&dense, 32, &CompressionConfig::with_accuracy(acc));
         factorize(&mut m, &FactorConfig::with_accuracy(acc)).unwrap();
@@ -408,7 +408,7 @@ mod tests {
     fn solve_with_ragged_last_tile() {
         let n = 110; // 110 = 3*32 + 14 → ragged last tile
         let gen = gaussian_gen(n);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         let acc = 1e-10;
         let mut m = TlrMatrix::from_dense(&dense, 32, &CompressionConfig::with_accuracy(acc));
         let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();

@@ -64,7 +64,7 @@ pub fn tune_tile_size(
     }
     let best = *sweep
         .iter()
-        .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+        .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
         .expect("non-empty sweep");
     TuneResult { best, sweep }
 }

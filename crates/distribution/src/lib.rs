@@ -45,7 +45,7 @@ pub trait TileDistribution: Sync {
 pub fn process_grid(nprocs: usize) -> (usize, usize) {
     assert!(nprocs > 0, "need at least one process");
     let mut p = (nprocs as f64).sqrt().floor() as usize;
-    while p > 1 && nprocs % p != 0 {
+    while p > 1 && !nprocs.is_multiple_of(p) {
         p -= 1;
     }
     (p.max(1), nprocs / p.max(1))

@@ -47,7 +47,7 @@ pub fn critical_path(graph: &TaskGraph, duration: impl Fn(TaskId) -> f64) -> Cri
     let (sink, &length) = dist
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty graph");
     let mut tasks = vec![sink];
     let mut cur = sink;

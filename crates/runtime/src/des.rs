@@ -68,6 +68,34 @@ pub struct CommStats {
     pub messages: u64,
 }
 
+/// A fail-stop process crash in the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesCrash {
+    /// Crashing process (dies permanently).
+    pub proc: usize,
+    /// Virtual time of the failure.
+    pub at: f64,
+}
+
+/// Fault schedule for [`simulate_with_faults`] — the DES counterpart of
+/// the functional fault plan in [`crate::fault::FaultPlan`], used to
+/// *price* resilience rather than test it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Fail-stop crashes; a crash after completion is ignored.
+    pub crashes: Vec<DesCrash>,
+    /// Detection + failover window: work lost to a crash restarts this
+    /// many seconds after the failure.
+    pub restart_delay_s: f64,
+}
+
+impl FaultSchedule {
+    /// Schedule with no faults (the plain simulation).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
 /// Simulation outputs.
 #[derive(Debug, Clone)]
 pub struct DesReport {
@@ -79,6 +107,13 @@ pub struct DesReport {
     pub busy: Vec<f64>,
     /// Communication totals.
     pub comm: CommStats,
+    /// Fail-stop crashes that fired before the run completed.
+    pub crashes: usize,
+    /// Tasks whose execution moved off a dead process.
+    pub migrated: usize,
+    /// Completed tasks re-executed because their outputs died with a
+    /// process and a consumer still needed them.
+    pub reexecuted: usize,
 }
 
 impl DesReport {
@@ -130,8 +165,12 @@ enum EventKind {
     Ready(TaskId),
     /// Task management done; the task may occupy a core.
     Managed(TaskId),
-    /// Kernel execution finished.
-    Finish(TaskId),
+    /// Kernel execution finished. Carries the task's epoch at launch: a
+    /// crash bumps the epoch of every in-flight task on the dead process,
+    /// turning their pending finishes into stale no-ops.
+    Finish(TaskId, u32),
+    /// A process fail-stops.
+    Crash(usize),
 }
 
 /// Run the simulation with the default ready-queue ordering (the task's
@@ -152,6 +191,38 @@ pub fn simulate_with_order(
     tasks: &[DesTask],
     config: &DesConfig,
     keys: &[f64],
+) -> DesReport {
+    sim_core(graph, tasks, config, keys, &FaultSchedule::none())
+}
+
+/// Run the simulation under a fail-stop fault schedule, pricing the
+/// recovery protocol of the functional engine
+/// (`distributed::execute_distributed_ft`): when a process dies, its
+/// incomplete tasks migrate round-robin to the survivors, and its
+/// completed tasks whose outputs a consumer still needs are re-executed
+/// there after `restart_delay_s`. First-order cost model: dependency
+/// releases that already happened stand (surviving consumers kept their
+/// received copies — the sender-retention invariant), and the
+/// communication pattern stays priced on the original mapping (the
+/// engine's static-locality invariant).
+///
+/// Panics if the schedule crashes every process before completion.
+pub fn simulate_with_faults(
+    graph: &TaskGraph,
+    tasks: &[DesTask],
+    config: &DesConfig,
+    faults: &FaultSchedule,
+) -> DesReport {
+    let keys: Vec<f64> = (0..graph.len()).map(|t| graph.spec(t).priority as f64).collect();
+    sim_core(graph, tasks, config, &keys, faults)
+}
+
+fn sim_core(
+    graph: &TaskGraph,
+    tasks: &[DesTask],
+    config: &DesConfig,
+    keys: &[f64],
+    faults: &FaultSchedule,
 ) -> DesReport {
     assert_eq!(keys.len(), graph.len(), "one key per task");
     assert_eq!(tasks.len(), graph.len(), "one DesTask per graph task");
@@ -221,7 +292,11 @@ pub fn simulate_with_order(
                 if dst_proc == src_proc {
                     continue;
                 }
-                let pos = remote.iter().position(|&(_, p)| p == dst_proc).unwrap() + 1;
+                let pos = remote
+                    .iter()
+                    .position(|&(_, p)| p == dst_proc)
+                    .expect("every remote destination appears in the broadcast recipient list")
+                    + 1;
                 remote_edges.push((m, hop_of(pos)));
             }
             let nremote = remote.len();
@@ -258,6 +333,10 @@ pub fn simulate_with_order(
     for t in graph.sources() {
         push(&mut events, 0.0, EventKind::Ready(t), &mut seq);
     }
+    for c in &faults.crashes {
+        assert!(c.proc < config.nprocs, "crash process id out of range");
+        push(&mut events, c.at, EventKind::Crash(c.proc), &mut seq);
+    }
 
     let mut idle: Vec<usize> = vec![config.cores_per_proc; config.nprocs];
     // Per-proc ready queue ordered by (key, id); min first.
@@ -274,10 +353,22 @@ pub fn simulate_with_order(
     let mut completed = 0usize;
     let mut makespan = 0.0_f64;
 
+    // Fault state: current execution mapping (migration rewrites it),
+    // liveness, per-task launch epochs, completion/re-execution flags,
+    // and the tasks currently occupying cores of each process.
+    let mut proc_of: Vec<usize> = tasks.iter().map(|t| t.proc).collect();
+    let mut dead = vec![false; config.nprocs];
+    let mut epoch = vec![0u32; n];
+    let mut done = vec![false; n];
+    let mut reexec = vec![false; n];
+    let mut running: Vec<Vec<TaskId>> = vec![Vec::new(); config.nprocs];
+    let mut rr = 0usize; // round-robin cursor over survivors
+    let (mut crashes, mut migrated, mut reexecuted) = (0usize, 0usize, 0usize);
+
     while let Some(Reverse((Time(now), _, kind))) = events.pop() {
         match kind {
             EventKind::Ready(t) => {
-                let p = tasks[t].proc;
+                let p = proc_of[t];
                 if config.task_mgmt_s > 0.0 {
                     // Serialize through the runtime thread first.
                     let start = mgmt_free[p].max(now);
@@ -289,52 +380,73 @@ pub fn simulate_with_order(
                 }
             }
             EventKind::Managed(t) => {
-                let p = tasks[t].proc;
+                let p = proc_of[t];
                 queues[p].push(Reverse((Time(keys[t]), t)));
                 // Start as many queued tasks as there are idle cores.
                 while idle[p] > 0 {
                     let Some(Reverse((_, tid))) = queues[p].pop() else { break };
                     idle[p] -= 1;
                     start_time[tid] = now;
-                    push(&mut events, now + tasks[tid].duration, EventKind::Finish(tid), &mut seq);
+                    running[p].push(tid);
+                    push(
+                        &mut events,
+                        now + tasks[tid].duration,
+                        EventKind::Finish(tid, epoch[tid]),
+                        &mut seq,
+                    );
                 }
             }
-            EventKind::Finish(t) => {
-                let p = tasks[t].proc;
+            EventKind::Finish(t, launch_epoch) => {
+                if launch_epoch != epoch[t] {
+                    continue; // the executing process died mid-kernel
+                }
+                let p = proc_of[t];
+                if let Some(pos) = running[p].iter().position(|&x| x == t) {
+                    running[p].swap_remove(pos);
+                }
                 trace.push(graph.spec(t).class, p, start_time[t], now);
                 busy[p] += now - start_time[t];
                 makespan = makespan.max(now);
                 completed += 1;
-                // Arrival per successor: local edges are immediate; each
-                // broadcast group's sends serialize on the producer's
-                // communication engine before fanning out along the tree.
-                let mut arrival_of: Vec<f64> = vec![now; graph.successors(t).len()];
-                for g in &bcasts[t] {
-                    let per_hop = if g.bytes > 0 {
-                        config.latency_s + g.bytes as f64 / config.bandwidth_bps
-                    } else {
-                        config.dep_overhead_s
-                    };
-                    let xfer = if g.bytes > 0 {
-                        g.bytes as f64 / config.bandwidth_bps
-                    } else {
-                        config.dep_overhead_s
-                    };
-                    let nic_start = nic_free[p].max(now);
-                    nic_free[p] = nic_start + g.nsends * xfer;
-                    for &(edge_idx, hops) in &g.remote_edges {
-                        arrival_of[edge_idx] = nic_start + hops * per_hop;
+                done[t] = true;
+                if reexec[t] {
+                    // Recovery re-run: successors were already released by
+                    // the first execution (surviving consumers kept their
+                    // copies); only the lost output is regenerated.
+                    reexec[t] = false;
+                } else {
+                    // Arrival per successor: local edges are immediate;
+                    // each broadcast group's sends serialize on the
+                    // producer's communication engine before fanning out
+                    // along the tree.
+                    let mut arrival_of: Vec<f64> = vec![now; graph.successors(t).len()];
+                    for g in &bcasts[t] {
+                        let per_hop = if g.bytes > 0 {
+                            config.latency_s + g.bytes as f64 / config.bandwidth_bps
+                        } else {
+                            config.dep_overhead_s
+                        };
+                        let xfer = if g.bytes > 0 {
+                            g.bytes as f64 / config.bandwidth_bps
+                        } else {
+                            config.dep_overhead_s
+                        };
+                        let nic_start = nic_free[p].max(now);
+                        nic_free[p] = nic_start + g.nsends * xfer;
+                        for &(edge_idx, hops) in &g.remote_edges {
+                            arrival_of[edge_idx] = nic_start + hops * per_hop;
+                        }
                     }
-                }
-                for (idx, e) in graph.successors(t).iter().enumerate() {
-                    let arrival = arrival_of[idx];
-                    let dst = e.dst;
-                    if arrival > data_ready[dst] {
-                        data_ready[dst] = arrival;
-                    }
-                    remaining[dst] -= 1;
-                    if remaining[dst] == 0 {
-                        push(&mut events, data_ready[dst], EventKind::Ready(dst), &mut seq);
+                    for (idx, e) in graph.successors(t).iter().enumerate() {
+                        let arrival = arrival_of[idx];
+                        let dst = e.dst;
+                        if arrival > data_ready[dst] {
+                            data_ready[dst] = arrival;
+                        }
+                        remaining[dst] -= 1;
+                        if remaining[dst] == 0 {
+                            push(&mut events, data_ready[dst], EventKind::Ready(dst), &mut seq);
+                        }
                     }
                 }
                 // A core just freed: start the next queued task here.
@@ -343,14 +455,68 @@ pub fn simulate_with_order(
                     let Some(Reverse((_, tid))) = queues[p].pop() else { break };
                     idle[p] -= 1;
                     start_time[tid] = now;
-                    push(&mut events, now + tasks[tid].duration, EventKind::Finish(tid), &mut seq);
+                    running[p].push(tid);
+                    push(
+                        &mut events,
+                        now + tasks[tid].duration,
+                        EventKind::Finish(tid, epoch[tid]),
+                        &mut seq,
+                    );
+                }
+            }
+            EventKind::Crash(p) => {
+                if dead[p] || completed == n {
+                    continue; // double-crash of a dead proc, or after the run
+                }
+                dead[p] = true;
+                crashes += 1;
+                let restart = now + faults.restart_delay_s;
+                let alive: Vec<usize> = (0..config.nprocs).filter(|&q| !dead[q]).collect();
+                assert!(!alive.is_empty(), "fault schedule crashed every process");
+
+                // Abort in-flight kernels (their Finish events go stale)
+                // and flush the dead process's ready queue.
+                let mut to_restart: Vec<TaskId> = std::mem::take(&mut running[p]);
+                for &t in &to_restart {
+                    epoch[t] += 1;
+                }
+                while let Some(Reverse((_, tid))) = queues[p].pop() {
+                    to_restart.push(tid);
+                }
+                idle[p] = 0;
+
+                // Lost outputs: completed tasks of this process whose
+                // data a not-yet-finished consumer still needs must run
+                // again (their inputs survive — initial tiles are
+                // checkpointed, remote inputs replay from sender logs).
+                for t in 0..n {
+                    if proc_of[t] != p {
+                        continue;
+                    }
+                    if done[t] {
+                        let needed = graph.successors(t).iter().any(|e| !done[e.dst]);
+                        if !needed {
+                            continue; // output no longer consumed: let it go
+                        }
+                        done[t] = false;
+                        reexec[t] = true;
+                        completed -= 1;
+                        reexecuted += 1;
+                        to_restart.push(t);
+                    }
+                    proc_of[t] = alive[rr % alive.len()];
+                    rr += 1;
+                    migrated += 1;
+                }
+                for t in to_restart {
+                    push(&mut events, restart, EventKind::Ready(t), &mut seq);
                 }
             }
         }
     }
 
     assert_eq!(completed, n, "simulation deadlocked: {completed}/{n} tasks retired");
-    DesReport { makespan, trace, busy, comm }
+    DesReport { makespan, trace, busy, comm, crashes, migrated, reexecuted }
 }
 
 /// Convenience: all tasks on one process — the serial/SMP sanity baseline.
@@ -635,6 +801,144 @@ mod tests {
         let r = simulate(&g, &tasks, &cfg);
         let cp = critical_path(&g, |t| tasks[t].duration);
         assert!(r.makespan >= cp.length - 1e-12, "{} < {}", r.makespan, cp.length);
+    }
+
+    // ---------------- fault schedule ----------------
+
+    /// Wide two-layer DAG spread over `nprocs`, unit durations.
+    fn wide_graph(width: usize) -> (TaskGraph, Vec<DesTask>) {
+        let mut g = TaskGraph::new();
+        let root = g.add_task(spec(0));
+        let mut mids = Vec::new();
+        for i in 0..width {
+            let m = g.add_task(spec(1));
+            g.add_edge(root, m, DataRef { i, j: 0 }, 1000);
+            mids.push(m);
+        }
+        let sink = g.add_task(spec(2));
+        for (i, &m) in mids.iter().enumerate() {
+            g.add_edge(m, sink, DataRef { i, j: 1 }, 1000);
+        }
+        let tasks: Vec<DesTask> = (0..g.len())
+            .map(|t| DesTask { proc: t % 3, duration: 1.0 })
+            .collect();
+        (g, tasks)
+    }
+
+    fn faulty_cfg() -> DesConfig {
+        DesConfig {
+            nprocs: 3,
+            cores_per_proc: 2,
+            latency_s: 1e-3,
+            bandwidth_bps: 1e9,
+            dep_overhead_s: 1e-4,
+            task_mgmt_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_fault_schedule_matches_plain_simulation() {
+        let (g, tasks) = wide_graph(12);
+        let cfg = faulty_cfg();
+        let plain = simulate(&g, &tasks, &cfg);
+        let faulty = simulate_with_faults(&g, &tasks, &cfg, &FaultSchedule::none());
+        assert_eq!(faulty.makespan, plain.makespan);
+        assert_eq!(faulty.crashes, 0);
+        assert_eq!(faulty.migrated, 0);
+        assert_eq!(faulty.reexecuted, 0);
+    }
+
+    #[test]
+    fn crash_migrates_reexecutes_and_costs_time() {
+        let (g, tasks) = wide_graph(12);
+        let cfg = faulty_cfg();
+        let baseline = simulate(&g, &tasks, &cfg);
+        let sched = FaultSchedule {
+            crashes: vec![DesCrash { proc: 1, at: baseline.makespan * 0.5 }],
+            restart_delay_s: 0.5,
+        };
+        let r = simulate_with_faults(&g, &tasks, &cfg, &sched);
+        assert_eq!(r.crashes, 1);
+        assert!(r.migrated > 0, "dead proc's tasks must move");
+        assert!(
+            r.makespan > baseline.makespan,
+            "losing a third of the machine mid-run must cost time: {} vs {}",
+            r.makespan,
+            baseline.makespan
+        );
+    }
+
+    #[test]
+    fn crash_after_completion_is_free() {
+        let (g, tasks) = wide_graph(12);
+        let cfg = faulty_cfg();
+        let baseline = simulate(&g, &tasks, &cfg);
+        let sched = FaultSchedule {
+            crashes: vec![DesCrash { proc: 1, at: baseline.makespan + 100.0 }],
+            restart_delay_s: 0.5,
+        };
+        let r = simulate_with_faults(&g, &tasks, &cfg, &sched);
+        assert_eq!(r.crashes, 0);
+        assert_eq!(r.makespan, baseline.makespan);
+    }
+
+    #[test]
+    fn longer_restart_delay_costs_at_least_as_much() {
+        let (g, tasks) = wide_graph(16);
+        let cfg = faulty_cfg();
+        let base = simulate(&g, &tasks, &cfg);
+        let mk = |delay: f64| FaultSchedule {
+            crashes: vec![DesCrash { proc: 2, at: base.makespan * 0.4 }],
+            restart_delay_s: delay,
+        };
+        let quick = simulate_with_faults(&g, &tasks, &cfg, &mk(0.1));
+        let slow = simulate_with_faults(&g, &tasks, &cfg, &mk(5.0));
+        assert!(slow.makespan >= quick.makespan, "{} < {}", slow.makespan, quick.makespan);
+    }
+
+    #[test]
+    fn lost_needed_outputs_are_reexecuted() {
+        // Chain on a single remote proc with the sink elsewhere: crashing
+        // the chain's proc after it finished some tasks but before the
+        // sink consumed them forces re-execution.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(spec(0));
+        let b = g.add_task(spec(1));
+        let c = g.add_task(spec(2));
+        g.add_edge(a, b, DataRef { i: 0, j: 0 }, 1000);
+        g.add_edge(b, c, DataRef { i: 1, j: 0 }, 1000);
+        let tasks = vec![
+            DesTask { proc: 0, duration: 1.0 },
+            DesTask { proc: 0, duration: 1.0 },
+            DesTask { proc: 1, duration: 10.0 },
+        ];
+        let cfg = faulty_cfg();
+        // Crash proc 0 while the sink is still running: b's output is no
+        // longer needed (c already has it) but the model re-runs tasks
+        // with unfinished consumers — c is unfinished, so b re-executes.
+        let sched = FaultSchedule {
+            crashes: vec![DesCrash { proc: 0, at: 2.5 }],
+            restart_delay_s: 0.0,
+        };
+        let r = simulate_with_faults(&g, &tasks, &cfg, &sched);
+        assert_eq!(r.crashes, 1);
+        assert!(r.reexecuted >= 1, "b must re-execute, got {}", r.reexecuted);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed every process")]
+    fn crashing_all_processes_panics() {
+        let (g, tasks) = wide_graph(8);
+        let cfg = faulty_cfg();
+        let sched = FaultSchedule {
+            crashes: vec![
+                DesCrash { proc: 0, at: 0.1 },
+                DesCrash { proc: 1, at: 0.2 },
+                DesCrash { proc: 2, at: 0.3 },
+            ],
+            restart_delay_s: 0.0,
+        };
+        simulate_with_faults(&g, &tasks, &cfg, &sched);
     }
 
     #[test]

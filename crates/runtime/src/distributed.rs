@@ -21,9 +21,10 @@
 //! tiles to run the factorization across emulated ranks and checks the
 //! result against the shared-memory path.
 
+use crate::fault::{FaultStats, FtConfig, FtError};
 use crate::graph::{DataRef, TaskGraph, TaskId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// A message: the payload produced by `producer` for datum `data`.
 struct Msg<P> {
@@ -132,8 +133,8 @@ where
     }
 
     // Channels.
-    let (senders, receivers): (Vec<Sender<Msg<P>>>, Vec<Receiver<Msg<P>>>) =
-        (0..nprocs).map(|_| unbounded()).unzip();
+    type Endpoints<P> = (Vec<Sender<Msg<P>>>, Vec<Receiver<Msg<P>>>);
+    let (senders, receivers): Endpoints<P> = (0..nprocs).map(|_| unbounded()).unzip();
 
     let stores: Vec<HashMap<DataRef, P>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -196,6 +197,443 @@ where
         handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
     });
     stores
+}
+
+// ======================= fault-tolerant engine =======================
+//
+// The thread-based engine above assumes a perfect network. The engine
+// below runs the same task/dataflow semantics through a deterministic
+// virtual-time event loop and injects faults from a seeded
+// `FaultPlan`: message drops, duplications, delay jitter, ack loss,
+// fail-stop rank crashes, and transient kernel failures. Recovery uses
+// the classic message-logging playbook:
+//
+// * every cross-rank send is sequence-numbered and logged by the sender
+//   (payload retained for the whole run — "retained until acked" plus a
+//   replay log for crash recovery);
+// * receivers deduplicate by message id, so duplicated or spuriously
+//   retransmitted deliveries are harmless;
+// * unacked messages are retransmitted after a timeout with capped
+//   exponential backoff; acks are attempt-tagged so a stale ack cannot
+//   cancel the retransmission of a newer attempt;
+// * a crashed rank loses its memory; a surviving rank inherits its
+//   initial tiles from a checkpoint, re-executes the lost rank's tasks
+//   in topological order, and has logged messages from surviving
+//   producers replayed to it.
+//
+// Determinism argument (the factor must match the fault-free
+// shared-memory run *bit for bit*): kernels are deterministic, each
+// rank executes its queue in a fixed topological order, and every task
+// consumes either the rank-local version chain (writers of a tile are
+// co-located and replay from the checkpoint in order) or an exact logged
+// copy of its producer's output. Message timing, loss, duplication and
+// crashes therefore change *when* a task runs, never *what* it reads.
+//
+// Edge locality is decided **statically** from the original placement:
+// an edge whose endpoints started on different ranks stays
+// message-carried even if a migration makes them co-resident. This is
+// load-bearing — a migrated consumer must see its producer's logged
+// payload (the version it would have received), not whatever newer
+// version of that tile the survivor's store holds.
+
+/// Result of a fault-tolerant distributed run.
+#[derive(Debug)]
+pub struct FtOutcome<P> {
+    /// Final per-rank stores (dead ranks are empty).
+    pub stores: Vec<HashMap<DataRef, P>>,
+    /// Final task → rank assignment after crash migrations.
+    pub exec_rank: Vec<usize>,
+    /// What the fault plan actually did and what recovery cost.
+    pub stats: FaultStats,
+    /// Virtual makespan of the run (seconds).
+    pub makespan: f64,
+}
+
+/// Sender-side log entry for one logical message (producer → consumer
+/// for one datum). Attempts share the entry; the payload is retained
+/// for crash replay.
+struct MsgRec<P> {
+    src: TaskId,
+    dst: TaskId,
+    data: DataRef,
+    payload: P,
+    /// Send attempts so far (acks and timeouts are tagged with this).
+    attempts: u32,
+    /// Latest attempt was acknowledged.
+    acked: bool,
+    /// Gave up after `max_send_attempts`.
+    abandoned: bool,
+}
+
+enum EvKind {
+    /// Wake a rank: start its next ready task if idle.
+    TryStart { rank: usize },
+    /// A task's virtual execution time elapsed.
+    TaskDone { rank: usize, task: TaskId, epoch: u32 },
+    /// A message copy reaches its consumer's current rank.
+    Deliver { msg: usize, attempt: u32 },
+    /// An acknowledgement reaches the sender.
+    AckArrive { msg: usize, attempt: u32 },
+    /// Retransmission timer for an attempt fired.
+    Timeout { msg: usize, attempt: u32 },
+    /// Fail-stop crash of a rank.
+    Crash { rank: usize },
+}
+
+/// Heap entry ordered by (time, insertion sequence) — the sequence makes
+/// simultaneous events deterministic.
+struct Ev {
+    time: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the earliest event
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+fn push_ev(heap: &mut BinaryHeap<Ev>, seq: &mut u64, time: f64, kind: EvKind) {
+    *seq += 1;
+    heap.push(Ev { time, seq: *seq, kind });
+}
+
+/// Roll the fates for one send attempt of `recs[id]` and schedule its
+/// delivery (possibly duplicated, possibly dropped) and its
+/// retransmission timeout.
+#[allow(clippy::too_many_arguments)]
+fn schedule_send<P>(
+    id: usize,
+    recs: &mut [MsgRec<P>],
+    now: f64,
+    cfg: &FtConfig,
+    stats: &mut FaultStats,
+    heap: &mut BinaryHeap<Ev>,
+    seq: &mut u64,
+) {
+    let rec = &mut recs[id];
+    if rec.attempts >= cfg.retry.max_send_attempts {
+        if !rec.abandoned {
+            rec.abandoned = true;
+            stats.sends_abandoned += 1;
+        }
+        return;
+    }
+    rec.attempts += 1;
+    let attempt = rec.attempts;
+    if attempt == 1 {
+        stats.messages_sent += 1;
+    } else {
+        stats.retransmissions += 1;
+    }
+    let mid = id as u64;
+    if cfg.plan.drops_message(mid, attempt) {
+        stats.messages_dropped += 1;
+    } else {
+        let dt = cfg.latency + cfg.plan.delay(mid, attempt, 0);
+        push_ev(heap, seq, now + dt, EvKind::Deliver { msg: id, attempt });
+        if cfg.plan.duplicates_message(mid, attempt) {
+            stats.messages_duplicated += 1;
+            let dt2 = cfg.latency + cfg.plan.delay(mid, attempt, 1);
+            push_ev(heap, seq, now + dt2, EvKind::Deliver { msg: id, attempt });
+        }
+    }
+    push_ev(heap, seq, now + cfg.retry.timeout_for(attempt), EvKind::Timeout { msg: id, attempt });
+}
+
+/// Execute `graph` across `nprocs` emulated ranks under a fault plan.
+///
+/// Same task/dataflow semantics as [`execute_distributed`], driven by a
+/// deterministic virtual-time event loop instead of threads, with the
+/// faults of `cfg.plan` injected and recovered from. The produced data
+/// is bit-identical to a fault-free run for *any* plan the engine
+/// survives; timing, retransmissions and re-executed work are reported
+/// in [`FtOutcome::stats`].
+///
+/// Unlike the thread engine, recoverable networks need no `Send`/`Sync`
+/// bounds; `body` must be deterministic for the recovery equivalence to
+/// hold.
+pub fn execute_distributed_ft<P, F>(
+    graph: &TaskGraph,
+    nprocs: usize,
+    exec_rank: &[usize],
+    initial: Vec<HashMap<DataRef, P>>,
+    cfg: &FtConfig,
+    body: F,
+) -> Result<FtOutcome<P>, FtError>
+where
+    P: Clone,
+    F: Fn(TaskId, &mut RankCtx<'_, P>) -> P,
+{
+    assert_eq!(exec_rank.len(), graph.len(), "one rank per task");
+    assert_eq!(initial.len(), nprocs, "one initial store per rank");
+    let order = graph.topological_order().expect("distributed execution requires a DAG");
+    let ntasks = graph.len();
+    for (t, &r) in exec_rank.iter().enumerate() {
+        assert!(r < nprocs, "task {t} mapped to invalid rank {r}");
+    }
+    for c in &cfg.plan.crashes {
+        assert!(c.rank < nprocs, "crash of invalid rank {}", c.rank);
+    }
+
+    let mut topo_pos = vec![0usize; ntasks];
+    for (pos, &t) in order.iter().enumerate() {
+        topo_pos[t] = pos;
+    }
+
+    // Static edge classification (see module comment: locality is the
+    // *original* placement, by design).
+    let mut local_preds: Vec<Vec<TaskId>> = vec![Vec::new(); ntasks];
+    let mut remote_preds: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); ntasks];
+    let mut remote_sends: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); ntasks];
+    for src in 0..ntasks {
+        for e in graph.successors(src) {
+            if exec_rank[e.dst] == exec_rank[src] {
+                local_preds[e.dst].push(src);
+            } else {
+                remote_preds[e.dst].push((src, e.data));
+                remote_sends[src].push((e.dst, e.data));
+            }
+        }
+    }
+
+    // Mutable run state.
+    let mut cur_exec = exec_rank.to_vec();
+    let mut alive = vec![true; nprocs];
+    let mut epoch = vec![0u32; nprocs];
+    let mut busy: Vec<Option<TaskId>> = vec![None; nprocs];
+    let mut done = vec![false; ntasks];
+    let mut done_count = 0usize;
+    let mut kernel_attempts = vec![0u32; ntasks];
+    let mut inbox: Vec<HashMap<(TaskId, DataRef), P>> =
+        (0..ntasks).map(|_| HashMap::new()).collect();
+    let mut seen: Vec<HashSet<usize>> = vec![HashSet::new(); nprocs];
+    let mut queue: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); nprocs];
+    for &t in &order {
+        queue[cur_exec[t]].push_back(t);
+    }
+
+    // Checkpoint of every rank's initial data — the recovery source for
+    // tiles whose owner dies (a real deployment would re-generate or
+    // re-load them; the cost model charges the re-execution instead).
+    let checkpoint: Vec<HashMap<DataRef, P>> = initial.clone();
+    let mut owned_ckpt: Vec<Vec<usize>> = (0..nprocs).map(|r| vec![r]).collect();
+    let mut stores = initial;
+
+    let mut recs: Vec<MsgRec<P>> = Vec::new();
+    let mut rec_index: HashMap<(TaskId, TaskId, DataRef), usize> = HashMap::new();
+
+    let mut stats = FaultStats::default();
+    let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for c in &cfg.plan.crashes {
+        push_ev(&mut heap, &mut seq, c.at, EvKind::Crash { rank: c.rank });
+    }
+    for r in 0..nprocs {
+        push_ev(&mut heap, &mut seq, 0.0, EvKind::TryStart { rank: r });
+    }
+
+    let mut now = 0.0_f64;
+    while let Some(ev) = heap.pop() {
+        if done_count == ntasks {
+            break;
+        }
+        now = ev.time;
+        match ev.kind {
+            EvKind::TryStart { rank } => {
+                if !alive[rank] || busy[rank].is_some() {
+                    continue;
+                }
+                while queue[rank].front().is_some_and(|&t| done[t] || cur_exec[t] != rank) {
+                    queue[rank].pop_front();
+                }
+                let Some(&t) = queue[rank].front() else { continue };
+                let ready = local_preds[t].iter().all(|&p| done[p])
+                    && remote_preds[t].iter().all(|key| inbox[t].contains_key(key));
+                if !ready {
+                    continue; // re-woken by the delivery that unblocks it
+                }
+                queue[rank].pop_front();
+                busy[rank] = Some(t);
+                push_ev(
+                    &mut heap,
+                    &mut seq,
+                    now + cfg.task_time,
+                    EvKind::TaskDone { rank, task: t, epoch: epoch[rank] },
+                );
+            }
+            EvKind::TaskDone { rank, task: t, epoch: e } => {
+                if !alive[rank] || e != epoch[rank] {
+                    continue; // the rank died mid-execution
+                }
+                busy[rank] = None;
+                if cfg.plan.kernel_fails(t, kernel_attempts[t]) {
+                    kernel_attempts[t] += 1;
+                    stats.kernel_failures += 1;
+                    if kernel_attempts[t] > cfg.retry.max_kernel_retries {
+                        return Err(FtError::KernelRetriesExhausted { task: t });
+                    }
+                    queue[rank].push_front(t); // retry in place
+                    push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
+                    continue;
+                }
+                let remote_in = std::mem::take(&mut inbox[t]);
+                let mut ctx = RankCtx { rank, store: &mut stores[rank], remote_inputs: remote_in };
+                let produced = body(t, &mut ctx);
+                done[t] = true;
+                done_count += 1;
+                for &(dst, data) in &remote_sends[t] {
+                    if done[dst] {
+                        continue; // re-execution; the consumer already has it
+                    }
+                    let key = (t, dst, data);
+                    let id = match rec_index.get(&key) {
+                        Some(&id) => {
+                            // re-send through the existing log entry
+                            recs[id].payload = produced.clone();
+                            recs[id].acked = false;
+                            recs[id].abandoned = false;
+                            id
+                        }
+                        None => {
+                            recs.push(MsgRec {
+                                src: t,
+                                dst,
+                                data,
+                                payload: produced.clone(),
+                                attempts: 0,
+                                acked: false,
+                                abandoned: false,
+                            });
+                            rec_index.insert(key, recs.len() - 1);
+                            recs.len() - 1
+                        }
+                    };
+                    schedule_send(id, &mut recs, now, cfg, &mut stats, &mut heap, &mut seq);
+                }
+                push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
+            }
+            EvKind::Deliver { msg, attempt } => {
+                let (src, dst, data) = (recs[msg].src, recs[msg].dst, recs[msg].data);
+                let dst_rank = cur_exec[dst];
+                if !alive[dst_rank] {
+                    continue; // delivered into a dead NIC; replay handles it
+                }
+                if seen[dst_rank].contains(&msg) {
+                    stats.duplicates_ignored += 1;
+                } else {
+                    seen[dst_rank].insert(msg);
+                    if !done[dst] {
+                        inbox[dst].insert((src, data), recs[msg].payload.clone());
+                        push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank: dst_rank });
+                    }
+                }
+                // every delivery (even a dedup'd one) is acknowledged
+                if cfg.plan.drops_ack(msg as u64, attempt) {
+                    stats.acks_dropped += 1;
+                } else {
+                    push_ev(
+                        &mut heap,
+                        &mut seq,
+                        now + cfg.latency,
+                        EvKind::AckArrive { msg, attempt },
+                    );
+                }
+            }
+            EvKind::AckArrive { msg, attempt } => {
+                // attempt-tagged: a stale ack must not cancel the timer
+                // of a newer attempt (e.g. after a crash replay)
+                if attempt == recs[msg].attempts {
+                    recs[msg].acked = true;
+                }
+            }
+            EvKind::Timeout { msg, attempt } => {
+                let rec = &recs[msg];
+                if rec.acked || rec.abandoned || attempt != rec.attempts || done[rec.dst] {
+                    continue;
+                }
+                let src_rank = cur_exec[rec.src];
+                if !alive[src_rank] || !done[rec.src] {
+                    continue; // sender died; its re-execution re-sends
+                }
+                schedule_send(msg, &mut recs, now, cfg, &mut stats, &mut heap, &mut seq);
+            }
+            EvKind::Crash { rank: c } => {
+                if !alive[c] {
+                    continue;
+                }
+                alive[c] = false;
+                stats.crashes += 1;
+                epoch[c] += 1; // invalidates the in-flight TaskDone
+                busy[c] = None;
+                let Some(d) = (1..nprocs).map(|k| (c + k) % nprocs).find(|&r| alive[r]) else {
+                    return Err(FtError::AllRanksCrashed);
+                };
+                // migrate every task of the dead rank to the survivor
+                let mut migrated: HashSet<TaskId> = HashSet::new();
+                for t in 0..ntasks {
+                    if cur_exec[t] == c {
+                        cur_exec[t] = d;
+                        migrated.insert(t);
+                        if done[t] {
+                            done[t] = false;
+                            done_count -= 1;
+                            stats.tasks_reexecuted += 1;
+                        }
+                        inbox[t].clear(); // received inputs died with c
+                    }
+                }
+                stats.tasks_migrated += migrated.len();
+                stores[c].clear();
+                seen[c].clear();
+                queue[c].clear();
+                // the survivor restores the dead rank's initial tiles
+                // (including any it had itself inherited earlier)
+                let inherited = std::mem::take(&mut owned_ckpt[c]);
+                for &o in &inherited {
+                    for (k, v) in &checkpoint[o] {
+                        stores[d].insert(*k, v.clone());
+                    }
+                }
+                owned_ckpt[d].extend(inherited);
+                // rebuild the survivor's queue in topological order
+                let mut q: Vec<TaskId> = (0..ntasks)
+                    .filter(|&t| cur_exec[t] == d && !done[t] && busy[d] != Some(t))
+                    .collect();
+                q.sort_unstable_by_key(|&t| topo_pos[t]);
+                queue[d] = q.into();
+                // replay logged messages from surviving completed
+                // producers to the wiped, migrated consumers
+                for id in 0..recs.len() {
+                    let (src, dst) = (recs[id].src, recs[id].dst);
+                    if migrated.contains(&dst) && !done[dst] && done[src] {
+                        recs[id].acked = false;
+                        recs[id].abandoned = false;
+                        schedule_send(id, &mut recs, now, cfg, &mut stats, &mut heap, &mut seq);
+                    }
+                }
+                push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank: d });
+            }
+        }
+    }
+
+    if done_count < ntasks {
+        return Err(FtError::Stalled { pending: ntasks - done_count });
+    }
+    Ok(FtOutcome { stores, exec_rank: cur_exec, stats, makespan: now })
 }
 
 #[cfg(test)]
@@ -359,6 +797,218 @@ mod tests {
         });
         assert_eq!(stores[0][&DataRef { i: 3, j: 0 }], 50);
         assert_eq!(stores[0][&DataRef { i: 4, j: 0 }], 500);
+    }
+
+    // ---------------- fault-tolerant engine ----------------
+
+    use crate::fault::{FaultPlan, FtConfig, RetryConfig};
+
+    /// Sum-chain: task k computes v_k = v_{k-1} + 1 across ranks
+    /// round-robin; the final value n proves every hop happened exactly
+    /// once with the right payload.
+    fn run_chain_ft(
+        n: usize,
+        nprocs: usize,
+        cfg: &FtConfig,
+    ) -> Result<FtOutcome<i64>, crate::fault::FtError> {
+        let mut g = TaskGraph::new();
+        for k in 0..n {
+            g.add_task(spec(k, DataRef { i: k, j: 0 }));
+        }
+        for k in 0..n - 1 {
+            g.add_edge(k, k + 1, DataRef { i: k, j: 0 }, 8);
+        }
+        let exec: Vec<usize> = (0..n).map(|k| k % nprocs).collect();
+        let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
+        execute_distributed_ft(&g, nprocs, &exec, initial, cfg, |t, ctx| {
+            let v = if t == 0 {
+                1
+            } else {
+                *ctx.get(Some(t - 1), DataRef { i: t - 1, j: 0 }) + 1
+            };
+            ctx.put(DataRef { i: t, j: 0 }, v);
+            v
+        })
+    }
+
+    fn chain_result(outcome: &FtOutcome<i64>, n: usize) -> i64 {
+        let last = n - 1;
+        outcome.stores[outcome.exec_rank[last]][&DataRef { i: last, j: 0 }]
+    }
+
+    #[test]
+    fn ft_fault_free_matches_thread_engine() {
+        let out = run_chain_ft(12, 4, &FtConfig::fault_free()).unwrap();
+        assert_eq!(chain_result(&out, 12), 12);
+        assert_eq!(out.stats.retransmissions, 0);
+        assert_eq!(out.stats.crashes, 0);
+        assert!(out.makespan > 0.0);
+    }
+
+    #[test]
+    fn ft_survives_drops_duplicates_and_jitter() {
+        let plan = FaultPlan::new(42)
+            .with_drops(0.35)
+            .with_duplicates(0.30)
+            .with_ack_drops(0.25)
+            .with_jitter(2.0);
+        let cfg = FtConfig::with_plan(plan);
+        let out = run_chain_ft(16, 4, &cfg).unwrap();
+        assert_eq!(chain_result(&out, 16), 16, "faults must not corrupt the data");
+        assert!(out.stats.retransmissions > 0, "drops at 35% must force retransmits");
+        assert!(out.stats.messages_dropped > 0);
+    }
+
+    #[test]
+    fn ft_recovers_from_mid_run_crash() {
+        // By t = 6.0 rank 1 has completed task 1 (and its message);
+        // killing it forces migration to rank 2 and re-execution.
+        let cfg = FtConfig::with_plan(FaultPlan::new(1).with_crash(1, 6.0));
+        let out = run_chain_ft(12, 4, &cfg).unwrap();
+        assert_eq!(chain_result(&out, 12), 12, "crash recovery must preserve the data");
+        assert_eq!(out.stats.crashes, 1);
+        assert!(out.stats.tasks_migrated >= 3, "rank 1 owned tasks 1, 5, 9");
+        assert!(out.stats.tasks_reexecuted >= 1, "task 1 was already done");
+        assert!(out.exec_rank.iter().all(|&r| r != 1), "nothing may stay on the dead rank");
+        // Re-execution happens in parallel on the survivor, so a chain's
+        // makespan may be unchanged — but it can never shrink.
+        let baseline = run_chain_ft(12, 4, &FtConfig::fault_free()).unwrap();
+        assert!(out.makespan >= baseline.makespan);
+    }
+
+    #[test]
+    fn ft_crash_plus_lossy_network() {
+        let plan = FaultPlan::new(9)
+            .with_drops(0.25)
+            .with_duplicates(0.2)
+            .with_jitter(1.0)
+            .with_crash(2, 8.0);
+        let out = run_chain_ft(16, 4, &FtConfig::with_plan(plan)).unwrap();
+        assert_eq!(chain_result(&out, 16), 16);
+        assert_eq!(out.stats.crashes, 1);
+    }
+
+    #[test]
+    fn ft_double_crash_still_recovers() {
+        let plan = FaultPlan::new(4).with_crash(1, 5.0).with_crash(2, 11.0);
+        let out = run_chain_ft(12, 4, &FtConfig::with_plan(plan)).unwrap();
+        assert_eq!(chain_result(&out, 12), 12);
+        assert_eq!(out.stats.crashes, 2);
+    }
+
+    #[test]
+    fn ft_all_ranks_crashed_is_an_error() {
+        let plan = FaultPlan::new(0).with_crash(0, 2.0).with_crash(1, 3.0);
+        let err = run_chain_ft(8, 2, &FtConfig::with_plan(plan)).unwrap_err();
+        assert_eq!(err, crate::fault::FtError::AllRanksCrashed);
+    }
+
+    #[test]
+    fn ft_kernel_failures_retry_then_succeed() {
+        let cfg = FtConfig::with_plan(FaultPlan::new(0).with_kernel_failure(3, 2));
+        let out = run_chain_ft(8, 2, &cfg).unwrap();
+        assert_eq!(chain_result(&out, 8), 8);
+        assert_eq!(out.stats.kernel_failures, 2);
+    }
+
+    #[test]
+    fn ft_kernel_retries_exhaust() {
+        let mut cfg = FtConfig::with_plan(FaultPlan::new(0).with_kernel_failure(3, 99));
+        cfg.retry = RetryConfig { max_kernel_retries: 3, ..RetryConfig::default() };
+        let err = run_chain_ft(8, 2, &cfg).unwrap_err();
+        assert_eq!(err, crate::fault::FtError::KernelRetriesExhausted { task: 3 });
+    }
+
+    #[test]
+    fn ft_is_deterministic() {
+        let mk = || {
+            FtConfig::with_plan(
+                FaultPlan::new(77)
+                    .with_drops(0.3)
+                    .with_duplicates(0.25)
+                    .with_ack_drops(0.2)
+                    .with_jitter(1.5)
+                    .with_crash(1, 7.0),
+            )
+        };
+        let a = run_chain_ft(14, 4, &mk()).unwrap();
+        let b = run_chain_ft(14, 4, &mk()).unwrap();
+        assert_eq!(chain_result(&a, 14), chain_result(&b, 14));
+        assert_eq!(a.stats, b.stats, "same seed must replay the same faults");
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.exec_rank, b.exec_rank);
+    }
+
+    #[test]
+    fn ft_fan_out_fan_in_under_faults() {
+        // root → 10 middles (round-robin ranks) → sink summing them all;
+        // exercises broadcast replay and many-input gathering.
+        let width = 10usize;
+        let nprocs = 4usize;
+        let mut g = TaskGraph::new();
+        let root = g.add_task(spec(0, DataRef { i: 0, j: 0 }));
+        let sink_data = DataRef { i: 99, j: 0 };
+        let mut mids = Vec::new();
+        for m in 0..width {
+            let t = g.add_task(spec(1, DataRef { i: 1 + m, j: 0 }));
+            g.add_edge(root, t, DataRef { i: 0, j: 0 }, 8);
+            mids.push(t);
+        }
+        let sink = g.add_task(spec(2, sink_data));
+        for (m, &t) in mids.iter().enumerate() {
+            g.add_edge(t, sink, DataRef { i: 1 + m, j: 0 }, 8);
+        }
+        let mut exec = vec![0usize];
+        exec.extend((0..width).map(|m| m % nprocs));
+        exec.push(0);
+        let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
+        let plan = FaultPlan::new(5)
+            .with_drops(0.3)
+            .with_duplicates(0.3)
+            .with_jitter(1.0)
+            .with_crash(2, 3.0);
+        let out = execute_distributed_ft(
+            &g,
+            nprocs,
+            &exec,
+            initial,
+            &FtConfig::with_plan(plan),
+            |t, ctx| {
+                if t == root {
+                    ctx.put(DataRef { i: 0, j: 0 }, 7);
+                    7
+                } else if t == sink {
+                    let mut sum = 0;
+                    for m in 0..width {
+                        sum += *ctx.get(Some(1 + m), DataRef { i: 1 + m, j: 0 });
+                    }
+                    ctx.put(sink_data, sum);
+                    sum
+                } else {
+                    let v = *ctx.get(Some(root), DataRef { i: 0, j: 0 }) * 2;
+                    ctx.put(DataRef { i: t, j: 0 }, v);
+                    v
+                }
+            },
+        )
+        .unwrap();
+        let v = out.stores[out.exec_rank[sink]][&sink_data];
+        assert_eq!(v, (7 * 2) * width as i64);
+    }
+
+    #[test]
+    fn ft_many_seeds_never_corrupt() {
+        for seed in 0..25u64 {
+            let plan = FaultPlan::new(seed)
+                .with_drops(0.3)
+                .with_duplicates(0.25)
+                .with_ack_drops(0.2)
+                .with_jitter(1.5)
+                .with_crash((seed % 3) as usize + 1, 4.0 + (seed % 7) as f64);
+            let out = run_chain_ft(12, 4, &FtConfig::with_plan(plan))
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(chain_result(&out, 12), 12, "seed {seed} corrupted the chain");
+        }
     }
 
     /// A task whose input was never wired panics with the diagnostic.

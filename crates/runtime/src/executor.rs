@@ -12,7 +12,26 @@
 
 use crate::graph::{TaskGraph, TaskId};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A kernel panicked during a cancellable execution.
+#[derive(Debug, Clone)]
+pub struct TaskPanic {
+    /// The task whose kernel panicked (the first one, if several raced).
+    pub task: TaskId,
+    /// The panic payload rendered as text, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
 
 /// Execute `graph` on `nthreads` workers, calling `run(task)` for every
 /// task exactly once, respecting all dependencies.
@@ -23,14 +42,42 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Cholesky's graphs have this property by construction).
 ///
 /// # Panics
-/// Panics if the graph contains a cycle (deadlock would otherwise ensue).
+/// Panics if the graph contains a cycle (deadlock would otherwise ensue),
+/// or — after the pool has drained — if `run` panicked on some task.
 pub fn execute<F>(graph: &TaskGraph, nthreads: usize, run: F)
+where
+    F: Fn(TaskId) + Sync,
+{
+    let cancel = AtomicBool::new(false);
+    if let Err(p) = execute_cancellable(graph, nthreads, &cancel, run) {
+        panic!("{p}");
+    }
+}
+
+/// [`execute`] with graceful degradation: kernel panics are caught, the
+/// first one flips `cancel`, and the remaining tasks drain without their
+/// kernels running (dependency bookkeeping still retires them, so the
+/// pool always terminates — the plain `execute` loop would spin forever
+/// waiting on a completion count the dead worker can never advance).
+///
+/// Callers may also flip `cancel` themselves (e.g. on the first numeric
+/// error) to stop scheduling kernels early; that path returns `Ok`.
+///
+/// `run` is invoked under [`catch_unwind`]: shared state it mutates must
+/// tolerate a kernel dying mid-update (the TLR factorizations qualify —
+/// a poisoned run's output is discarded wholesale).
+pub fn execute_cancellable<F>(
+    graph: &TaskGraph,
+    nthreads: usize,
+    cancel: &AtomicBool,
+    run: F,
+) -> Result<(), TaskPanic>
 where
     F: Fn(TaskId) + Sync,
 {
     let n = graph.len();
     if n == 0 {
-        return;
+        return Ok(());
     }
     assert!(graph.topological_order().is_some(), "task graph has a cycle");
     let nthreads = nthreads.max(1);
@@ -38,6 +85,7 @@ where
     let indegree: Vec<AtomicUsize> =
         graph.indegrees().into_iter().map(AtomicUsize::new).collect();
     let completed = AtomicUsize::new(0);
+    let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
 
     let injector = Injector::new();
     // Seed sources in priority order (critical path first).
@@ -56,6 +104,7 @@ where
             let stealers = &stealers;
             let indegree = &indegree;
             let completed = &completed;
+            let first_panic = &first_panic;
             let run = &run;
             scope.spawn(move || {
                 let mut rng: u64 = 0x9E3779B97F4A7C15 ^ (wid as u64);
@@ -66,8 +115,25 @@ where
                     let task = find_task(&local, injector, stealers, wid, &mut rng);
                     match task {
                         Some(t) => {
-                            run(t);
-                            // Release successors.
+                            if !cancel.load(Ordering::Acquire) {
+                                if let Err(payload) =
+                                    catch_unwind(AssertUnwindSafe(|| run(t)))
+                                {
+                                    cancel.store(true, Ordering::Release);
+                                    let message = payload
+                                        .downcast_ref::<&str>()
+                                        .map(|s| s.to_string())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".into());
+                                    let mut slot =
+                                        first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                                    if slot.is_none() {
+                                        *slot = Some(TaskPanic { task: t, message });
+                                    }
+                                }
+                            }
+                            // Release successors even when draining: the
+                            // completion count must reach `n` to stop.
                             for e in graph.successors(t) {
                                 if indegree[e.dst].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     local.push(e.dst);
@@ -83,6 +149,10 @@ where
     });
 
     assert_eq!(completed.load(Ordering::Acquire), n, "not all tasks executed");
+    match first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        Some(p) => Err(p),
+        None => Ok(()),
+    }
 }
 
 /// Pop local → steal from injector → steal from a random victim.
@@ -221,6 +291,67 @@ mod tests {
         let order = Mutex::new(Vec::new());
         execute(&g, 1, |t| order.lock().unwrap().push(t));
         assert_eq!(order.into_inner().unwrap(), vec![a, b]);
+    }
+
+    /// A panicking kernel must not hang the pool: the run drains, every
+    /// task is retired, and the first panic is reported.
+    #[test]
+    fn panic_cancels_and_drains() {
+        let n = 64;
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(spec(i));
+        }
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
+        }
+        let ran = AtomicUsize::new(0);
+        let cancel = std::sync::atomic::AtomicBool::new(false);
+        let err = execute_cancellable(&g, 4, &cancel, |t| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if t == 5 {
+                panic!("kernel exploded on task {t}");
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.task, 5);
+        assert!(err.message.contains("exploded"), "{}", err.message);
+        assert!(cancel.load(Ordering::SeqCst));
+        // Tasks after the panic drained without running their kernels.
+        assert_eq!(ran.load(Ordering::SeqCst), 6);
+    }
+
+    /// Caller-side cancellation stops kernels but still terminates Ok.
+    #[test]
+    fn caller_cancel_skips_remaining_kernels() {
+        let n = 64;
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(spec(i));
+        }
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
+        }
+        let ran = AtomicUsize::new(0);
+        let cancel = std::sync::atomic::AtomicBool::new(false);
+        execute_cancellable(&g, 4, &cancel, |t| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if t == 9 {
+                cancel.store(true, Ordering::SeqCst);
+            }
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel exploded")]
+    fn execute_propagates_kernel_panic_after_draining() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(spec(0));
+        let b = g.add_task(spec(1));
+        g.add_edge(a, b, DataRef { i: 0, j: 0 }, 0);
+        execute(&g, 2, |_| panic!("kernel exploded"));
     }
 
     #[test]

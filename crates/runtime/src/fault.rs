@@ -1,0 +1,374 @@
+//! Fault injection for the distributed runtime.
+//!
+//! A [`FaultPlan`] is a *seeded, deterministic* description of what goes
+//! wrong during a run: message drops, duplications and delay jitter on
+//! the emulated network, fail-stop rank crashes at given virtual times,
+//! and task-level kernel failures. Every decision is a pure hash of
+//! `(seed, stream, key, attempt)` — re-running the same plan against the
+//! same task graph reproduces the exact same fault sequence, which is
+//! what makes the recovery paths testable at all.
+//!
+//! The plan is consumed by
+//! [`execute_distributed_ft`](crate::distributed::execute_distributed_ft),
+//! which pairs it with a [`RetryConfig`] (timeouts and capped exponential
+//! backoff) and reports what actually happened in a [`FaultStats`].
+
+use crate::graph::TaskId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A fail-stop crash of one rank at a virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashAt {
+    /// Rank that dies.
+    pub rank: usize,
+    /// Virtual time of death (seconds since execution start).
+    pub at: f64,
+}
+
+/// Seeded, deterministic fault schedule for one distributed run.
+///
+/// All probabilities are per *send attempt* (retransmissions roll their
+/// own fate), so `drop_prob = 0.3` with retries still converges: the
+/// chance that `k` consecutive attempts all drop is `0.3^k`.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of every pseudo-random fault decision.
+    pub seed: u64,
+    /// Probability that a message send attempt is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that a delivered message is also delivered a second
+    /// time (duplicate with independent extra delay).
+    pub duplicate_prob: f64,
+    /// Probability that an acknowledgement is dropped (forcing a
+    /// spurious retransmission of an already-delivered message).
+    pub ack_drop_prob: f64,
+    /// Maximum extra latency per delivery, uniform in `[0, delay_jitter]`
+    /// virtual seconds.
+    pub delay_jitter: f64,
+    /// Fail-stop rank crashes, applied in virtual time order.
+    pub crashes: Vec<CrashAt>,
+    /// `task → n`: the first `n` execution attempts of the task fail at
+    /// the kernel level (deterministic injected failure).
+    pub kernel_failures: HashMap<TaskId, u32>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the fault-free baseline).
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// An empty plan with the given seed; add faults with the `with_*`
+    /// builders.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            ack_drop_prob: 0.0,
+            delay_jitter: 0.0,
+            crashes: Vec::new(),
+            kernel_failures: HashMap::new(),
+        }
+    }
+
+    /// Set the per-attempt message drop probability.
+    pub fn with_drops(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Set the duplication probability.
+    pub fn with_duplicates(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "duplicate probability must be in [0, 1)");
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Set the ack drop probability.
+    pub fn with_ack_drops(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "ack drop probability must be in [0, 1)");
+        self.ack_drop_prob = p;
+        self
+    }
+
+    /// Set the maximum uniform extra delivery delay (virtual seconds).
+    pub fn with_jitter(mut self, max_extra: f64) -> Self {
+        assert!(max_extra >= 0.0, "jitter must be non-negative");
+        self.delay_jitter = max_extra;
+        self
+    }
+
+    /// Crash `rank` at virtual time `at`.
+    pub fn with_crash(mut self, rank: usize, at: f64) -> Self {
+        self.crashes.push(CrashAt { rank, at });
+        self
+    }
+
+    /// Make the first `attempts` executions of `task` fail in the kernel.
+    pub fn with_kernel_failure(mut self, task: TaskId, attempts: u32) -> Self {
+        self.kernel_failures.insert(task, attempts);
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_faulty(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.ack_drop_prob > 0.0
+            || self.delay_jitter > 0.0
+            || !self.crashes.is_empty()
+            || !self.kernel_failures.is_empty()
+    }
+
+    /// Deterministic unit sample for `(stream, key, attempt)`.
+    fn unit(&self, stream: u64, key: u64, attempt: u32) -> f64 {
+        // SplitMix64 finalizer over the mixed identifiers: every
+        // (seed, stream, key, attempt) tuple gets an independent fate.
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(stream.wrapping_mul(0xD1B54A32D192ED03))
+            .wrapping_add(key.wrapping_mul(0x8CB92BA72F3D8DD7))
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Does attempt `attempt` of message `msg` get dropped?
+    pub fn drops_message(&self, msg: u64, attempt: u32) -> bool {
+        self.unit(1, msg, attempt) < self.drop_prob
+    }
+
+    /// Does attempt `attempt` of message `msg` get duplicated?
+    pub fn duplicates_message(&self, msg: u64, attempt: u32) -> bool {
+        self.unit(2, msg, attempt) < self.duplicate_prob
+    }
+
+    /// Does the ack for attempt `attempt` of message `msg` get dropped?
+    pub fn drops_ack(&self, msg: u64, attempt: u32) -> bool {
+        self.unit(3, msg, attempt) < self.ack_drop_prob
+    }
+
+    /// Extra delivery delay for attempt `attempt` of message `msg`
+    /// (`copy` distinguishes the original from an injected duplicate).
+    pub fn delay(&self, msg: u64, attempt: u32, copy: u32) -> f64 {
+        if self.delay_jitter == 0.0 {
+            return 0.0;
+        }
+        self.unit(4 + copy as u64, msg, attempt) * self.delay_jitter
+    }
+
+    /// Does execution attempt `attempt` (0-based) of `task` fail?
+    pub fn kernel_fails(&self, task: TaskId, attempt: u32) -> bool {
+        self.kernel_failures.get(&task).is_some_and(|&n| attempt < n)
+    }
+}
+
+/// Retransmission and kernel-retry policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConfig {
+    /// Time after a send attempt before an unacked message is
+    /// retransmitted (virtual seconds).
+    pub ack_timeout: f64,
+    /// Multiplier applied to the timeout per retransmission.
+    pub backoff: f64,
+    /// Ceiling on the backed-off timeout.
+    pub max_backoff: f64,
+    /// Give up retransmitting a message after this many attempts.
+    pub max_send_attempts: u32,
+    /// Give up re-running a task after this many kernel failures.
+    pub max_kernel_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            ack_timeout: 4.0,
+            backoff: 2.0,
+            max_backoff: 64.0,
+            max_send_attempts: 40,
+            max_kernel_retries: 8,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Backed-off, capped timeout for send attempt `attempt` (1-based).
+    pub fn timeout_for(&self, attempt: u32) -> f64 {
+        (self.ack_timeout * self.backoff.powi(attempt.saturating_sub(1) as i32))
+            .min(self.max_backoff)
+    }
+}
+
+/// Full configuration of a fault-tolerant distributed run.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// What goes wrong.
+    pub plan: FaultPlan,
+    /// How the runtime fights back.
+    pub retry: RetryConfig,
+    /// Virtual execution time per task.
+    pub task_time: f64,
+    /// Base one-way message latency (virtual seconds).
+    pub latency: f64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        Self { plan: FaultPlan::none(), retry: RetryConfig::default(), task_time: 1.0, latency: 0.5 }
+    }
+}
+
+impl FtConfig {
+    /// Fault-free configuration (baseline for overhead measurements).
+    pub fn fault_free() -> Self {
+        Self::default()
+    }
+
+    /// Configuration running the given plan with default retry policy.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        Self { plan, ..Self::default() }
+    }
+}
+
+/// What actually happened during a fault-tolerant run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// First-attempt message sends.
+    pub messages_sent: usize,
+    /// Retransmissions (timeout-driven and crash replays).
+    pub retransmissions: usize,
+    /// Send attempts the network dropped.
+    pub messages_dropped: usize,
+    /// Extra deliveries injected by duplication.
+    pub messages_duplicated: usize,
+    /// Deliveries ignored by receiver-side dedup.
+    pub duplicates_ignored: usize,
+    /// Acknowledgements the network dropped.
+    pub acks_dropped: usize,
+    /// Rank crashes that actually fired.
+    pub crashes: usize,
+    /// Tasks moved to a surviving rank by crash recovery.
+    pub tasks_migrated: usize,
+    /// Already-completed tasks re-executed after a crash.
+    pub tasks_reexecuted: usize,
+    /// Injected kernel failures that fired.
+    pub kernel_failures: usize,
+    /// Messages that exhausted `max_send_attempts`.
+    pub sends_abandoned: usize,
+}
+
+/// Unrecoverable failure of a fault-tolerant run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtError {
+    /// Every rank crashed; no survivor to migrate work to.
+    AllRanksCrashed,
+    /// A task kept failing past `max_kernel_retries`.
+    KernelRetriesExhausted {
+        /// The task that would not complete.
+        task: TaskId,
+    },
+    /// The event queue drained with tasks still pending (e.g. a message
+    /// abandoned after `max_send_attempts` under extreme drop rates).
+    Stalled {
+        /// Number of tasks that never completed.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for FtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtError::AllRanksCrashed => write!(f, "all ranks crashed; no survivor to recover on"),
+            FtError::KernelRetriesExhausted { task } => {
+                write!(f, "task {task} failed past the kernel retry limit")
+            }
+            FtError::Stalled { pending } => {
+                write!(f, "execution stalled with {pending} tasks pending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fates_are_deterministic() {
+        let a = FaultPlan::new(7).with_drops(0.3).with_duplicates(0.2).with_jitter(1.5);
+        let b = FaultPlan::new(7).with_drops(0.3).with_duplicates(0.2).with_jitter(1.5);
+        for msg in 0..200u64 {
+            for attempt in 0..4 {
+                assert_eq!(a.drops_message(msg, attempt), b.drops_message(msg, attempt));
+                assert_eq!(
+                    a.duplicates_message(msg, attempt),
+                    b.duplicates_message(msg, attempt)
+                );
+                assert_eq!(a.delay(msg, attempt, 0), b.delay(msg, attempt, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fates() {
+        let a = FaultPlan::new(1).with_drops(0.5);
+        let b = FaultPlan::new(2).with_drops(0.5);
+        let disagreements = (0..500u64)
+            .filter(|&m| a.drops_message(m, 0) != b.drops_message(m, 0))
+            .count();
+        assert!(disagreements > 100, "seeds must decorrelate ({disagreements})");
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(11).with_drops(0.25);
+        let dropped = (0..4000u64).filter(|&m| plan.drops_message(m, 0)).count();
+        let rate = dropped as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "empirical drop rate {rate}");
+    }
+
+    #[test]
+    fn attempts_roll_independent_fates() {
+        let plan = FaultPlan::new(3).with_drops(0.5);
+        // Some message dropped on attempt 0 must survive a later attempt.
+        let recovered = (0..200u64)
+            .any(|m| plan.drops_message(m, 0) && !plan.drops_message(m, 1));
+        assert!(recovered, "retransmissions must be able to succeed");
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let plan = FaultPlan::new(5).with_jitter(2.0);
+        for m in 0..500u64 {
+            let d = plan.delay(m, 0, 0);
+            assert!((0.0..=2.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn kernel_failures_bounded_by_count() {
+        let plan = FaultPlan::new(1).with_kernel_failure(4, 2);
+        assert!(plan.kernel_fails(4, 0));
+        assert!(plan.kernel_fails(4, 1));
+        assert!(!plan.kernel_fails(4, 2));
+        assert!(!plan.kernel_fails(5, 0));
+    }
+
+    #[test]
+    fn backoff_caps() {
+        let r = RetryConfig { ack_timeout: 1.0, backoff: 2.0, max_backoff: 8.0, ..Default::default() };
+        assert_eq!(r.timeout_for(1), 1.0);
+        assert_eq!(r.timeout_for(2), 2.0);
+        assert_eq!(r.timeout_for(3), 4.0);
+        assert_eq!(r.timeout_for(4), 8.0);
+        assert_eq!(r.timeout_for(10), 8.0, "backoff must cap");
+    }
+}

@@ -27,14 +27,16 @@ pub mod des;
 pub mod distributed;
 pub mod dtd;
 pub mod executor;
+pub mod fault;
 pub mod graph;
 pub mod machine;
 pub mod ptg;
 pub mod scheduler;
 pub mod trace;
 
-pub use des::{simulate, DesConfig, DesReport};
-pub use executor::execute;
+pub use des::{simulate, simulate_with_faults, DesConfig, DesCrash, DesReport, FaultSchedule};
+pub use executor::{execute, execute_cancellable, TaskPanic};
+pub use fault::{CrashAt, FaultPlan, FaultStats, FtConfig, FtError, RetryConfig};
 pub use graph::{DataRef, TaskClass, TaskGraph, TaskId, TaskSpec};
 pub use machine::MachineModel;
 pub use trace::{ClassBreakdown, Trace};

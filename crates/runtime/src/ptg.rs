@@ -69,6 +69,9 @@ pub struct Dep {
     pub bytes: u64,
 }
 
+/// Symbolic dataflow of one task instance: its incoming dependencies.
+pub type DepsFn = Box<dyn Fn(&Params) -> Vec<Dep>>;
+
 /// One parameterized task class (the PTG analog of a JDF task type).
 pub struct PtgClass {
     /// Class name; referenced by [`Dep::class`].
@@ -78,7 +81,7 @@ pub struct PtgClass {
     /// Build the runtime spec of an instance.
     pub spec: Box<dyn Fn(&Params) -> TaskSpec>,
     /// Incoming dataflow of an instance.
-    pub deps: Box<dyn Fn(&Params) -> Vec<Dep>>,
+    pub deps: DepsFn,
 }
 
 /// A whole PTG program: an ordered set of task classes.
@@ -451,7 +454,7 @@ mod tests {
     fn duplicate_class_rejected() {
         let mk = || PtgClass {
             name: "dup",
-            space: Box::new(|| vec![]),
+            space: Box::new(Vec::new),
             spec: Box::new(|_| TaskSpec {
                 class: TaskClass::Other,
                 priority: 0,
@@ -492,10 +495,8 @@ mod tests {
             "POTRF" => {
                 potrf_done.fetch_max(u.params_of(t)[0] + 1, Ordering::SeqCst);
             }
-            "TRSM" => {
-                if potrf_done.load(Ordering::SeqCst) <= u.params_of(t)[0] {
-                    violations.fetch_add(1, Ordering::SeqCst);
-                }
+            "TRSM" if potrf_done.load(Ordering::SeqCst) <= u.params_of(t)[0] => {
+                violations.fetch_add(1, Ordering::SeqCst);
             }
             _ => {}
         });

@@ -114,11 +114,11 @@ impl Trace {
             };
             let b0 = ((r.start / bin_w) as usize).min(width - 1);
             let b1 = ((r.end / bin_w) as usize).min(width - 1);
-            for b in b0..=b1 {
+            for (b, bin) in busy[r.proc].iter_mut().enumerate().take(b1 + 1).skip(b0) {
                 let lo = (b as f64) * bin_w;
                 let hi = lo + bin_w;
                 let overlap = (r.end.min(hi) - r.start.max(lo)).max(0.0);
-                busy[r.proc][b][cls] += overlap;
+                bin[cls] += overlap;
             }
         }
         let glyphs = ['P', 'T', 'S', 'G', 'O'];
@@ -133,8 +133,8 @@ impl Trace {
                     let (idx, _) = bins
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                        .unwrap();
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .expect("one bin per task class");
                     out.push(glyphs[idx]);
                 }
             }

@@ -31,6 +31,13 @@ pub struct AcaResult {
 /// Safety cap on ACA iterations relative to `min(m, n)`.
 const MAX_RANK_FRACTION: f64 = 0.5;
 
+/// Consecutive non-decreasing cross-term norms tolerated before ACA
+/// declares the pivot sequence stagnant and falls back to dense
+/// evaluation. On healthy low-rank blocks the term norms decay roughly
+/// geometrically; a flat or growing sequence means partial pivoting is
+/// chasing noise and the accuracy target will not be met.
+const STAGNATION_STRIKES: usize = 3;
+
 /// Approximate an `rows × cols` kernel block `A[i][j] = eval(i, j)` at the
 /// configured accuracy using ACA with partial pivoting.
 ///
@@ -84,6 +91,10 @@ where
     };
 
     let mut next_row = 0usize;
+    // Stagnation detector: norms of accepted cross terms must (mostly)
+    // decrease. `strikes` counts consecutive non-decreasing terms.
+    let mut prev_term_norm = f64::INFINITY;
+    let mut strikes = 0usize;
     loop {
         if us.len() >= max_rank {
             // Not compressible at this accuracy: fall back to dense
@@ -165,6 +176,26 @@ where
                 None => break,
             }
         }
+        // Stagnation: a residual that refuses to shrink across several
+        // pivots means the block is effectively full-rank at this
+        // accuracy (or the pivot walk is stuck in a noise floor). Paying
+        // for more crosses only to hit the rank cap — or worse, to
+        // converge to a wrong answer — is strictly dominated by the
+        // dense fallback.
+        if term_norm >= prev_term_norm {
+            strikes += 1;
+            if strikes >= STAGNATION_STRIKES {
+                let dense = Matrix::from_fn(rows, cols, &eval);
+                return AcaResult {
+                    tile: crate::compress::compress_tile(dense, config),
+                    evaluations: evaluations + rows * cols,
+                };
+            }
+        } else {
+            strikes = 0;
+        }
+        prev_term_norm = term_norm;
+
         probes_left = MAX_PROBES; // progress made: reset the probe budget
         us.push(u);
         vs.push(v);
@@ -307,6 +338,28 @@ mod tests {
         let cfg = CompressionConfig::with_accuracy(1e-10);
         let res = aca_compress(24, 24, eval, &cfg);
         assert_eq!(res.tile.format(), crate::tile::TileFormat::Dense);
+    }
+
+    #[test]
+    fn aca_stagnation_falls_back_dense_early() {
+        // White-noise block: cross-term norms never decay, so the
+        // 3-strike stagnation detector must bail to dense long before
+        // the rank cap is reached.
+        let b = 64;
+        let eval = |i: usize, j: usize| {
+            let mut s =
+                ((i * 2654435761 + j * 40503 + 17) as u64 | 1).wrapping_mul(6364136223846793005);
+            s ^= s >> 33;
+            s = s.wrapping_mul(0xFF51AFD7ED558CCD);
+            s ^= s >> 33;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        let cfg = CompressionConfig::with_accuracy(1e-12);
+        let res = aca_compress(b, b, eval, &cfg);
+        assert_eq!(res.tile.format(), crate::tile::TileFormat::Dense);
+        // Riding to the rank cap would cost ≈ (b/2)·2b + b² = 2b²
+        // evaluations; stagnation stops after a handful of crosses.
+        assert!(res.evaluations < 3 * b * b / 2, "evals {}", res.evaluations);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use tlr_linalg::Matrix;
 
 /// A symmetric positive-definite matrix stored as TLR tiles (lower
 /// triangle only).
+#[derive(Clone)]
 pub struct TlrMatrix {
     n: usize,
     tile_size: usize,
@@ -158,6 +159,32 @@ impl TlrMatrix {
         self.tiles[packed_index(i, j)] = t;
     }
 
+    /// Mean absolute value of the matrix diagonal — the natural scale for
+    /// a regularizing shift `A + εI` (diagonal tiles are always dense).
+    pub fn diagonal_mean_abs(&self) -> f64 {
+        let mut sum = 0.0;
+        for k in 0..self.nt {
+            if let Tile::Dense(m) = self.tile(k, k) {
+                for d in 0..m.rows().min(m.cols()) {
+                    sum += m[(d, d)].abs();
+                }
+            }
+        }
+        sum / self.n.max(1) as f64
+    }
+
+    /// Add `shift` to every diagonal entry (`A ← A + shift·I`), the
+    /// classic regularization retry for a borderline-indefinite matrix.
+    pub fn shift_diagonal(&mut self, shift: f64) {
+        for k in 0..self.nt {
+            if let Tile::Dense(m) = self.tile_mut(k, k) {
+                for d in 0..m.rows().min(m.cols()) {
+                    m[(d, d)] += shift;
+                }
+            }
+        }
+    }
+
     /// Density = non-null off-diagonal lower tiles / total off-diagonal
     /// lower tiles (the paper's metric; sparsity = 1 − density).
     pub fn density(&self) -> f64 {
@@ -267,7 +294,7 @@ mod tests {
         let n = 96;
         let b = 24;
         let gen = gaussian_gen(n);
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         for acc in [1e-3, 1e-6, 1e-9] {
             let cfg = CompressionConfig::with_accuracy(acc);
             let m = TlrMatrix::from_dense(&dense, b, &cfg);

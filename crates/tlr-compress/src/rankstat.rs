@@ -399,7 +399,7 @@ mod tests {
     fn flat_layout_matches_accessors() {
         let s = snap_3x3();
         let flat = s.as_flat();
-        assert_eq!(flat[1 * 3 + 0], s.rank(1, 0));
+        assert_eq!(flat[3], s.rank(1, 0)); // row 1, col 0
         assert_eq!(flat[2 * 3 + 1], s.rank(2, 1));
     }
 }

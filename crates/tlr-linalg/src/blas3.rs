@@ -156,6 +156,8 @@ fn gemm_no_blocked(
 }
 
 /// Compute one column `j` of the GEMM output into `c_col`.
+// BLAS calling convention: the argument list mirrors dgemm's.
+#[allow(clippy::too_many_arguments)]
 #[inline]
 fn gemm_col(
     ta: Trans,

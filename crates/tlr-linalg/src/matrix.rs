@@ -202,8 +202,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for j in 0..self.cols {
-            let x = v[j];
+        for (j, &x) in v.iter().enumerate() {
             if x != 0.0 {
                 let col = self.col(j);
                 for i in 0..self.rows {
@@ -218,13 +217,13 @@ impl Matrix {
     pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "matvec_t dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for j in 0..self.cols {
+        for (j, o) in out.iter_mut().enumerate() {
             let col = self.col(j);
             let mut acc = 0.0;
             for i in 0..self.rows {
                 acc += col[i] * v[i];
             }
-            out[j] = acc;
+            *o = acc;
         }
         out
     }

@@ -25,10 +25,10 @@ impl Qr {
         let n = a.cols();
         let k = m.min(n);
         let mut taus = vec![0.0; k];
-        for j in 0..k {
-            taus[j] = make_householder(&mut a, j, j);
+        for (j, tau) in taus.iter_mut().enumerate() {
+            *tau = make_householder(&mut a, j, j);
             if j + 1 < n {
-                apply_householder_left(&mut a, j, j, taus[j], j + 1);
+                apply_householder_left(&mut a, j, j, *tau, j + 1);
             }
         }
         Self { factors: a, taus }

@@ -60,10 +60,8 @@ fn main() {
     // 4. TLR Cholesky with DAG trimming on the task executor.
     // ------------------------------------------------------------------
     let fcfg = FactorConfig {
-        accuracy,
-        max_rank: usize::MAX,
-        trimmed: true,
         nthreads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+        ..FactorConfig::with_accuracy(accuracy)
     };
     let report = factorize(&mut a, &fcfg).expect("RBF operators are SPD");
     println!(

@@ -50,7 +50,7 @@ fn main() {
         let mut a = TlrMatrix::from_generator(n, tile, &gen, &ccfg);
         let density = a.density();
         let mem = a.memory_f64() as f64 / (n * (n + 1) / 2) as f64;
-        let dense = Matrix::from_fn(n, n, |i, j| gen(i, j));
+        let dense = Matrix::from_fn(n, n, &gen);
         match factorize(&mut a, &FactorConfig::with_accuracy(accuracy)) {
             Ok(rep) => {
                 let res = factorization_residual(&dense, &a);

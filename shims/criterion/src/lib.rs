@@ -1,0 +1,214 @@
+//! Offline shim for `criterion`: the benchmark-definition API the
+//! workspace uses, backed by a simple wall-clock runner. Each benchmark
+//! executes a short warm-up plus a handful of timed iterations and
+//! prints the mean per-iteration time. No statistics, plots, or saved
+//! baselines — enough to compare kernels by eye and to keep the bench
+//! targets compiling offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Timed iterations per benchmark (after one warm-up call).
+const MEASURE_ITERS: u32 = 5;
+
+/// Identifier of a single benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier from a bare parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// How batched inputs are sized (ignored by the shim's runner).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// One input per iteration.
+    LargeInput,
+    /// Small inputs, many per batch.
+    SmallInput,
+}
+
+/// Per-benchmark timing harness handed to the closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self { total: Duration::ZERO, iters: 0 }
+    }
+
+    /// Time `routine` over the shim's fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        for _ in 0..MEASURE_ITERS {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label}: no iterations recorded");
+        } else {
+            let mean = self.total / self.iters;
+            println!("{label}: mean {mean:?} over {} iters", self.iters);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Define and immediately run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Define and immediately run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let mut bencher = Bencher::new();
+        f(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// End the group (no-op beyond symmetry with real criterion).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Define and immediately run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().id;
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.bench_function("iter", |b| b.iter(|| 1 + 1));
+        g.bench_function(format!("string_id_{}", 2), |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn group_runs_all_benchmarks() {
+        benches();
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline shim for `crossbeam`: the `channel` and `deque` API the
+//! workspace uses. Channels delegate to `std::sync::mpsc`; the
+//! work-stealing deque is a `Mutex<VecDeque>` — correct (every task is
+//! handed out exactly once) but without crossbeam's lock-free fast path.
+
+/// MPSC channels with crossbeam's `unbounded()` constructor.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Create an unbounded channel (sender clonable, receiver single).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Work-stealing deques (mutex-based stand-in).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// Source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// Transient conflict; retry (never produced by this shim).
+        Retry,
+    }
+
+    /// Owner side of a worker deque (LIFO pop from the back).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Thief side of a worker deque (FIFO steal from the front).
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        q.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    impl<T> Worker<T> {
+        /// New LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Self { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// New FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Pop a task from the owner's end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.queue).pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// Create a stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// Move up to `max - 1` extra tasks into `dest` and return one.
+    fn steal_batch_from<T>(src: &Mutex<VecDeque<T>>, dest: &Worker<T>) -> Steal<T> {
+        const BATCH: usize = 4;
+        let mut src = locked(src);
+        let Some(first) = src.pop_front() else {
+            return Steal::Empty;
+        };
+        let extra = (src.len() / 2).min(BATCH - 1);
+        if extra > 0 {
+            let mut dst = locked(&dest.queue);
+            for _ in 0..extra {
+                match src.pop_front() {
+                    Some(t) => dst.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal a batch of tasks into `dest`, returning one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            steal_batch_from(&self.queue, dest)
+        }
+
+        /// Steal a single task.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// Global injector queue (FIFO).
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Self { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Push a task.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Steal a batch of tasks into `dest`, returning one of them.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            steal_batch_from(&self.queue, dest)
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn channel_send_recv() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    #[test]
+    fn deque_lifo_and_steal() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2), "owner pops LIFO");
+        let other = Worker::new_lifo();
+        assert_eq!(s.steal_batch_and_pop(&other), Steal::Success(1));
+        assert_eq!(s.steal_batch_and_pop(&other), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_distributes() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let Steal::Success(first) = inj.steal_batch_and_pop(&w) else {
+            panic!("injector must yield");
+        };
+        assert_eq!(first, 0);
+        let mut got = vec![first];
+        while let Some(t) = w.pop() {
+            got.push(t);
+        }
+        while let Steal::Success(t) = inj.steal_batch_and_pop(&w) {
+            got.push(t);
+            while let Some(t) = w.pop() {
+                got.push(t);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

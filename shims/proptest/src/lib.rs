@@ -1,0 +1,256 @@
+//! Offline shim for `proptest`: runs each property the configured
+//! number of cases with inputs sampled from integer-range strategies
+//! using a deterministic per-test seed. Failing cases report their
+//! inputs; there is no shrinking (rerun with the printed inputs
+//! instead).
+
+/// Test-runner plumbing: config, case errors, the seeded runner.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed property case (produced by `prop_assert!`).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Record a failed assertion.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self { message: message.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic case runner: SplitMix64 seeded from the test name.
+    pub struct TestRunner {
+        cases: u32,
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// Build a runner for the named property.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            // FNV-1a over the name keeps distinct tests decorrelated
+            // while staying reproducible run-to-run.
+            let mut h: u64 = 0xCBF29CE484222325;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001B3);
+            }
+            Self { cases: config.cases, state: h }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Input strategies (integer/float ranges).
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use std::ops::Range;
+
+    /// A source of random test inputs.
+    pub trait Strategy {
+        /// The type of value the strategy produces.
+        type Value;
+
+        /// Draw one input.
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (runner.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, runner: &mut TestRunner) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let unit = (runner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Define property tests. Accepts an optional leading
+/// `#![proptest_config(...)]` followed by `fn name(arg in strategy, ...)`
+/// items carrying their own `#[test]` attributes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __total = __config.cases;
+            let mut __runner =
+                $crate::test_runner::TestRunner::new(__config, stringify!($name));
+            for __case in 0..__total {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __runner);
+                )+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $($arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__err) = __outcome {
+                    panic!(
+                        "property {} failed at case {}/{}:\n  {}\n  inputs: {}",
+                        stringify!($name), __case + 1, __total, __err, __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property; failure aborts only the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respected(a in 3u64..9, b in -4i32..4, c in 1usize..2) {
+            prop_assert!((3..9).contains(&a), "a = {}", a);
+            prop_assert!((-4..4).contains(&b));
+            prop_assert_eq!(c, 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let caught = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn always_fails(x in 0u64..10) {
+                    prop_assert!(false, "intentional");
+                }
+            }
+            always_fails();
+        });
+        let msg = *caught.expect_err("must panic").downcast::<String>().unwrap();
+        assert!(msg.contains("intentional") && msg.contains("inputs"), "got: {msg}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline shim for `rayon`: the prelude traits the workspace uses
+//! (`par_iter`, `par_chunks_mut`) implemented as *sequential* std
+//! iterators. Semantics are identical; only data parallelism is lost.
+//! The `Sync`/`Send` bounds of real rayon are kept so code stays
+//! portable to the real crate.
+
+/// Parallel-iterator traits (sequential in this shim).
+pub mod prelude {
+    /// `par_iter()` over a shared slice/vec — sequential here.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element yielded by the iterator.
+        type Item: 'data;
+        /// Iterator type (a plain std iterator in this shim).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate the collection ("in parallel").
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_chunks_mut()` over a mutable slice — sequential here.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split into mutable chunks of `chunk_size` ("in parallel").
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_maps() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_slice() {
+        let mut v = vec![0u8; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u8;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}

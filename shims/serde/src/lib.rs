@@ -1,0 +1,20 @@
+//! Offline shim for `serde`: the workspace only *derives*
+//! `Serialize`/`Deserialize` to document which types are
+//! wire/trace-format stable — it never actually serializes (there is no
+//! serde_json in the dependency tree). So the traits are empty markers
+//! and the derives are no-ops.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable with real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with real serde.
+pub trait Deserialize<'de> {}
+
+/// Blanket impls so `T: Serialize` bounds (if any appear) are vacuous.
+mod blanket {
+    impl<T: ?Sized> super::Serialize for T {}
+    impl<'de, T: ?Sized> super::Deserialize<'de> for T {}
+}
