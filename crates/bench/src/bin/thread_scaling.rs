@@ -1,0 +1,102 @@
+//! Thread-scaling curve of the two hot shared-memory paths: the
+//! rayon-parallel GEMM and the end-to-end task-graph `factorize`, at
+//! 1/2/4/8 threads.
+//!
+//! Emits `BENCH_thread_scaling.json` in the working directory (and echoes
+//! it to stdout) so the perf trajectory of the work-stealing backend is
+//! tracked by data, not doc claims. The file records
+//! `available_parallelism` because speedup is bounded by physical cores:
+//! on a 1-core container every curve is flat and that is the *correct*
+//! measurement, not a regression.
+//!
+//! GEMM runs under `ThreadPool::install` so the pool size is exact;
+//! `factorize` takes its executor width from `FactorConfig::nthreads`.
+
+use hicma_core::{factorize, FactorConfig};
+use rbf_mesh::geometry::{virus_population, VirusConfig};
+use rbf_mesh::hilbert::{apply_permutation, hilbert_sort};
+use rbf_mesh::GaussianRbf;
+use tlr_compress::{CompressionConfig, TlrMatrix};
+use tlr_linalg::{gemm, Matrix, Trans};
+
+const GEMM_N: usize = 512;
+const GEMM_REPS: usize = 3;
+const TILE: usize = 64;
+const ACCURACY: f64 = 1e-6;
+
+/// Best-of-`GEMM_REPS` wall-clock of one `GEMM_N`³ product on the
+/// currently installed pool.
+fn gemm_seconds() -> f64 {
+    let a = Matrix::from_fn(GEMM_N, GEMM_N, |i, j| ((i * 7 + j) % 13) as f64);
+    let b = Matrix::from_fn(GEMM_N, GEMM_N, |i, j| ((i * 5 + j) % 11) as f64);
+    let mut c = Matrix::zeros(GEMM_N, GEMM_N);
+    // warm-up: first touch + pool spin-up
+    gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+    let mut best = f64::INFINITY;
+    for _ in 0..GEMM_REPS {
+        let t0 = std::time::Instant::now();
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Problem for the end-to-end run: the paper's Gaussian RBF operator on
+    // a Hilbert-ordered virus population, small enough for a laptop.
+    let vcfg = VirusConfig { points_per_virus: 400, ..Default::default() };
+    let raw = virus_population(4, &vcfg, 17);
+    let points = apply_permutation(&raw, &hilbert_sort(&raw));
+    let n = points.len();
+    let kernel = GaussianRbf::from_min_distance(&points);
+    let ccfg = CompressionConfig::with_accuracy(ACCURACY);
+
+    let mut runs = Vec::new();
+    let mut gemm_at = std::collections::BTreeMap::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool build");
+        let gsec = pool.install(gemm_seconds);
+        let gflops = 2.0 * (GEMM_N as f64).powi(3) / gsec / 1e9;
+        gemm_at.insert(threads, gsec);
+
+        // Fresh matrix per run: factorize consumes it. Assembly runs on
+        // the global pool; only the factorization is timed.
+        let mut a = TlrMatrix::from_generator(n, TILE, kernel.generator(&points), &ccfg);
+        let mut fcfg = FactorConfig::with_accuracy(ACCURACY);
+        fcfg.nthreads = threads;
+        let t0 = std::time::Instant::now();
+        let rep = factorize(&mut a, &fcfg).expect("SPD");
+        let fsec = t0.elapsed().as_secs_f64();
+
+        eprintln!(
+            "threads={threads}: gemm {gsec:.4}s ({gflops:.2} Gflop/s), \
+             factorize {fsec:.4}s (kernel time {:.4}s)",
+            rep.factorization_seconds
+        );
+        runs.push(format!(
+            "    {{\"threads\": {threads}, \"gemm_seconds\": {gsec:.6}, \
+             \"gemm_gflops\": {gflops:.3}, \"factorize_seconds\": {fsec:.6}}}"
+        ));
+    }
+
+    let speedup4 = gemm_at[&1] / gemm_at[&4];
+    let json = format!(
+        "{{\n  \"experiment\": \"thread_scaling\",\n  \
+         \"available_parallelism\": {avail},\n  \
+         \"gemm_n\": {GEMM_N},\n  \
+         \"factorize_n\": {n},\n  \
+         \"tile_size\": {TILE},\n  \
+         \"accuracy\": {ACCURACY:e},\n  \
+         \"gemm_speedup_4_over_1\": {speedup4:.3},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    );
+    print!("{json}");
+    std::fs::write("BENCH_thread_scaling.json", &json).expect("write BENCH_thread_scaling.json");
+    eprintln!("wrote BENCH_thread_scaling.json (speedup@4 = {speedup4:.2}x on {avail} core(s))");
+}

@@ -1,5 +1,5 @@
 //! Execution-trace Gantt charts of the simulated factorization — the
-//! textual cousin of the PaRSEC trace visualizations ([13]) behind the
+//! textual cousin of the PaRSEC trace visualizations (ref. 13 of the paper) behind the
 //! paper's performance analysis: one row per process, one glyph per time
 //! bin (P/T/S/G by dominant kernel class, `·` idle).
 //!

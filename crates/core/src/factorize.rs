@@ -28,6 +28,13 @@ pub struct FactorConfig {
     /// Run with the Algorithm-1-trimmed DAG.
     pub trimmed: bool,
     /// Worker threads for the executor.
+    ///
+    /// Oversubscription rule: the tile kernels run *serial* BLAS, so total
+    /// concurrency is `nthreads` — never executor threads × pool threads.
+    /// The rayon pool only serves the pre-factorization phases (assembly,
+    /// compression, top-level dense BLAS), which is why the default tracks
+    /// the same `RAYON_NUM_THREADS`/`available_parallelism` resolution as
+    /// the pool: both layers see one consistent hardware budget.
     pub nthreads: usize,
     /// On a pivot failure, retry up to this many times on `A + εI` with an
     /// escalating shift `ε` (LDLᵀ-style regularization for borderline
@@ -38,8 +45,19 @@ pub struct FactorConfig {
 
 impl FactorConfig {
     /// Sensible defaults at the given accuracy.
+    ///
+    /// `nthreads` defaults to the machine's available parallelism (as seen
+    /// by the rayon pool, so `RAYON_NUM_THREADS` caps it too) — it is *not*
+    /// a hardcoded constant, which used to leave large machines mostly
+    /// idle and oversubscribe small ones.
     pub fn with_accuracy(accuracy: f64) -> Self {
-        Self { accuracy, max_rank: usize::MAX, trimmed: true, nthreads: 4, max_shift_retries: 3 }
+        Self {
+            accuracy,
+            max_rank: usize::MAX,
+            trimmed: true,
+            nthreads: rayon::current_num_threads(),
+            max_shift_retries: 3,
+        }
     }
 }
 
@@ -462,11 +480,12 @@ mod tests {
         factorize(&mut m1, &cfg).unwrap();
         cfg.nthreads = 8;
         factorize(&mut m8, &cfg).unwrap();
-        // The DAG fixes the kernel order per tile, so results agree to
-        // rounding; recompression uses deterministic kernels.
+        // The DAG fixes the per-tile kernel order and every kernel is
+        // deterministic, so the factors must agree *bitwise* — not just to
+        // rounding. Any nondeterministic reduction order would show here.
         let l1 = m1.to_dense_lower();
         let l8 = m8.to_dense_lower();
-        assert!(relative_diff(&l8, &l1) < 1e-10);
+        assert_eq!(l1.as_slice(), l8.as_slice(), "factor differs across thread counts");
     }
 
     #[test]

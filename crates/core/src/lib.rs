@@ -7,7 +7,7 @@
 //! * §VI Algorithm 1 (matrix analysis for DAG trimming) → [`analysis`]
 //! * §VI DAG trimming (task-graph construction that only materializes
 //!   tasks on non-null / fill-in tiles) → [`dag`]
-//! * §IV-B TLR Cholesky (shared-memory, real numerics) → [`factorize`]
+//! * §IV-B TLR Cholesky (shared-memory, real numerics) → [`mod@factorize`]
 //! * solve phase (forward/backward TLR substitution) → [`solve`]
 //! * §VII band + diamond distributions over the discrete-event machine →
 //!   [`simulate`]

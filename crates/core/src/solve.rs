@@ -1,7 +1,7 @@
 //! Triangular solves on a TLR-factored matrix, and symmetric TLR
 //! matrix–vector products.
 //!
-//! After [`crate::factorize`] the matrix holds `L` tile-by-tile (dense on
+//! After [`crate::factorize()`] the matrix holds `L` tile-by-tile (dense on
 //! the diagonal, TLR/null off it). The solve sweeps tiles block-wise:
 //! forward substitution panel by panel, then the transposed backward
 //! sweep. Low-rank tiles apply as two skinny products `U·(Vᵀ·x)` — the

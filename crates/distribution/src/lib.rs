@@ -24,7 +24,15 @@ use serde::{Deserialize, Serialize};
 
 /// Maps lower-triangle tile coordinates to owning processes.
 pub trait TileDistribution: Sync {
-    /// Owner process of tile `(i, j)`, `i ≥ j`.
+    /// Owner process of tile `(i, j)`.
+    ///
+    /// # Precondition
+    /// `(i, j)` must lie in the lower triangle, `i ≥ j`. Only the lower
+    /// triangle is stored (the matrix is symmetric); callers that hold an
+    /// upper-triangle coordinate must mirror it first. Band/diamond
+    /// layouts compute the diagonal distance `i - j` and `debug_assert`
+    /// this — in release builds an upper-triangle query silently wraps
+    /// and returns an arbitrary (but in-range) owner.
     fn owner(&self, i: usize, j: usize) -> usize;
 
     /// Total number of processes.
@@ -131,6 +139,7 @@ impl LorapoHybrid {
 
 impl TileDistribution for LorapoHybrid {
     fn owner(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i >= j, "LorapoHybrid::owner requires a lower-triangle tile, got ({i}, {j})");
         if i - j < self.band_width {
             self.oned.owner(i, j)
         } else {
@@ -173,6 +182,10 @@ impl BandDistribution {
 
 impl TileDistribution for BandDistribution {
     fn owner(&self, i: usize, j: usize) -> usize {
+        debug_assert!(
+            i >= j,
+            "BandDistribution::owner requires a lower-triangle tile, got ({i}, {j})"
+        );
         if i - j < self.band_width {
             // Key the whole band column on the panel index j so that
             // (k, k) and (k+1, k) land on the same process.
@@ -234,6 +247,10 @@ impl DiamondDistribution {
 
 impl TileDistribution for DiamondDistribution {
     fn owner(&self, i: usize, j: usize) -> usize {
+        debug_assert!(
+            i >= j,
+            "DiamondDistribution::owner requires a lower-triangle tile, got ({i}, {j})"
+        );
         let d = i - j; // distance to the diagonal (≥ 0 in the lower triangle)
         ((d + j / self.q) % self.p) * self.q + (j % self.q)
     }

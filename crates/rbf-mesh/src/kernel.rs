@@ -128,7 +128,7 @@ pub enum MaternNu {
 }
 
 /// The Matérn covariance family — the kernel of the paper's predecessor
-/// applications ([8], [9]: climate/weather geostatistics), provided so
+/// applications (refs. 8–9 of the paper: climate/weather geostatistics), provided so
 /// the same TLR Cholesky stack serves the spatial-statistics workload
 /// the HiCMA line of work was originally built for.
 #[derive(Debug, Clone, Copy)]

@@ -91,7 +91,7 @@ impl Trace {
     /// Render an ASCII Gantt chart: one row per process, time binned into
     /// `width` columns, each cell showing the kernel class that dominated
     /// the bin (`P`/`T`/`S`/`G`, `·` idle). The textual cousin of the
-    /// PaRSEC trace visualizations the paper's analysis tooling ([13])
+    /// PaRSEC trace visualizations the paper's analysis tooling (ref. 13 of the paper)
     /// produces.
     pub fn gantt(&self, nprocs: usize, width: usize) -> String {
         let makespan = self.makespan();

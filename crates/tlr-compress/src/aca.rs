@@ -2,7 +2,7 @@
 //! kernel evaluation function, without ever forming the dense tile.
 //!
 //! This implements the paper's stated future work (§IX: "we plan to
-//! generate the matrix directly in compressed format [38], without having
+//! generate the matrix directly in compressed format (ref. 38 of the paper), without having
 //! to generate the full dense structure") — after the factorization
 //! optimizations, the dense-generation + compression phase dominates
 //! (Fig. 11), and ACA removes it: a rank-`k` tile costs `O(k·(m + n))`

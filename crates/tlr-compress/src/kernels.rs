@@ -19,8 +19,12 @@
 
 use crate::compress::CompressionConfig;
 use crate::tile::Tile;
+// Tile kernels run inside the task-graph executor, so they use the serial
+// BLAS variants: forking onto the rayon pool from every tile would
+// oversubscribe the executor's worker threads.
 use tlr_linalg::{
-    gemm_serial, jacobi_svd, potrf, syrk, trsm, CholeskyError, Matrix, Qr, Side, Trans, Uplo,
+    gemm_serial, jacobi_svd, potrf, syrk_serial, trsm, CholeskyError, Matrix, Qr, Side, Trans,
+    Uplo,
 };
 
 /// POTRF kernel: factor a dense diagonal tile in place (lower Cholesky).
@@ -67,7 +71,7 @@ pub fn syrk_kernel(a: &Tile, c: &mut Tile) {
     };
     match a {
         Tile::Dense(m) => {
-            syrk(Trans::No, -1.0, m, 1.0, c);
+            syrk_serial(Trans::No, -1.0, m, 1.0, c);
             // Diagonal tiles are kept fully symmetric so that dense and
             // low-rank update paths produce identical tiles.
             c.symmetrize_from_lower();

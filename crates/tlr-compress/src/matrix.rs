@@ -34,8 +34,11 @@ impl TlrMatrix {
     /// Build a TLR matrix by sampling a symmetric generator
     /// `gen(row, col)` tile-by-tile and compressing each off-diagonal tile
     /// at the configured accuracy. Tiles are generated and compressed in
-    /// parallel with rayon (this is the paper's "matrix generation +
-    /// compression" phase, Fig. 11).
+    /// parallel on rayon's work-stealing pool — one task per tile, sized
+    /// by `available_parallelism` unless `RAYON_NUM_THREADS` overrides it
+    /// (this is the paper's "matrix generation + compression" phase,
+    /// Fig. 11). Per-tile results are independent of the thread count, so
+    /// the assembled matrix is bit-identical at any pool size.
     pub fn from_generator<F>(n: usize, tile_size: usize, gen: F, config: &CompressionConfig) -> Self
     where
         F: Fn(usize, usize) -> f64 + Sync,

@@ -2,10 +2,17 @@
 //!
 //! The loop orders are chosen for column-major storage: the innermost loops
 //! run down contiguous columns (axpy/dot shapes) so the compiler
-//! auto-vectorizes them. [`gemm`] switches to a rayon-parallel variant over
-//! column blocks once the output is large enough to amortize the fork/join;
-//! the tile kernels used inside the task runtime call [`gemm_serial`]
-//! because parallelism there comes from the task graph itself.
+//! auto-vectorizes them. [`gemm`] and [`syrk`] fork onto rayon's
+//! work-stealing pool (one chunk of output columns per task, stolen in
+//! halves when workers idle) once the product is large enough to amortize
+//! the fork/join; small products and the tile kernels used inside the task
+//! runtime call [`gemm_serial`]/[`syrk_serial`], because parallelism there
+//! comes from the task graph itself and an inner fork would oversubscribe
+//! the executor's threads.
+//!
+//! The parallel paths are deterministic: each output column is computed by
+//! exactly one task with a thread-count-independent summation order, so
+//! results are bit-identical from 1 to N pool threads.
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
@@ -37,8 +44,21 @@ pub enum Uplo {
     Upper,
 }
 
-/// Minimum number of `C` entries before [`gemm`] forks a parallel version.
-const PAR_THRESHOLD: usize = 64 * 64;
+/// Minimum number of output entries before [`gemm`]/[`syrk`] consider the
+/// parallel path (anything smaller fits a single worker's cache anyway).
+const PARALLEL_THRESHOLD: usize = 64 * 64;
+
+/// Minimum flop count (`2·m·n·k`) before the fork/join is worth paying.
+///
+/// Tuned against the real work-stealing pool: dispatch plus latch
+/// teardown costs a few microseconds, and this substrate sustains roughly
+/// one flop per nanosecond per core, so ~2⁲⁰ flops (≈ 1 ms serial) keeps
+/// the overhead under a percent. The flop gate is what keeps *thin*
+/// updates serial — a rank-2 `k` on a 128×128 output passes the area test
+/// but is only ~65 kflop of work, far below the fork's break-even. (The
+/// sequential first-generation shim hid this: forking was free when
+/// nothing actually forked.)
+const PARALLEL_MIN_FLOPS: usize = 1 << 20;
 
 #[inline]
 fn gemm_dims(ta: Trans, tb: Trans, a: &Matrix, b: &Matrix) -> (usize, usize, usize) {
@@ -56,16 +76,19 @@ fn gemm_dims(ta: Trans, tb: Trans, a: &Matrix, b: &Matrix) -> (usize, usize, usi
 
 /// General matrix multiply: `C := alpha · op(A) · op(B) + beta · C`.
 ///
-/// Parallelizes over blocks of columns of `C` with rayon when the output is
-/// large; small products run serially. Dimensions are checked with
-/// assertions (this is an internal HPC substrate, not a user input path).
+/// Parallelizes over columns of `C` on rayon's work-stealing pool when
+/// the product is large enough (output area *and* flop count above the
+/// fork break-even); small or thin products run serially. Dimensions are
+/// checked with assertions (this is an internal HPC substrate, not a user
+/// input path). The parallel split is by whole columns, so the result is
+/// bit-identical to the column-sweep serial path at any thread count.
 pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     let (m, n, k) = gemm_dims(ta, tb, a, b);
     assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
     if m == 0 || n == 0 {
         return;
     }
-    if m * n < PAR_THRESHOLD || n < 4 {
+    if m * n < PARALLEL_THRESHOLD || n < 4 || 2 * m * n * k.max(1) < PARALLEL_MIN_FLOPS {
         gemm_serial(ta, tb, alpha, a, b, beta, c);
         return;
     }
@@ -240,47 +263,73 @@ fn dot(x: &[f64], y: &[f64]) -> f64 {
 ///
 /// `trans == Trans::No` computes `A·Aᵀ` (`A` is `n × k`);
 /// `trans == Trans::Yes` computes `Aᵀ·A` (`A` is `k × n`).
+///
+/// Parallelizes over columns of `C` like [`gemm`] (the flop gate uses the
+/// triangle's `n·n·k` count); every column is one task, so the triangular
+/// per-column cost imbalance is smoothed by work stealing, and results
+/// stay bit-identical to [`syrk_serial`] at any thread count.
 pub fn syrk(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
-    let n = match trans {
-        Trans::No => a.rows(),
-        Trans::Yes => a.cols(),
+    let (n, k) = syrk_dims(trans, a, c);
+    if n * n < PARALLEL_THRESHOLD || n < 4 || n * n * k.max(1) < PARALLEL_MIN_FLOPS {
+        syrk_serial(trans, alpha, a, beta, c);
+        return;
+    }
+    let rows = n;
+    c.as_mut_slice()
+        .par_chunks_mut(rows)
+        .enumerate()
+        .for_each(|(j, c_col)| syrk_col(trans, alpha, a, beta, j, c_col, n, k));
+}
+
+/// Serial SYRK with identical semantics (and identical rounding) to
+/// [`syrk`]; the tile kernels call this directly because their
+/// parallelism comes from the task graph.
+pub fn syrk_serial(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let (n, k) = syrk_dims(trans, a, c);
+    for j in 0..n {
+        let col = c.col_mut(j);
+        syrk_col(trans, alpha, a, beta, j, col, n, k);
+    }
+}
+
+#[inline]
+fn syrk_dims(trans: Trans, a: &Matrix, c: &Matrix) -> (usize, usize) {
+    let (n, k) = match trans {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
     };
     assert_eq!((c.rows(), c.cols()), (n, n), "syrk output must be n x n");
-    let k = match trans {
-        Trans::No => a.cols(),
-        Trans::Yes => a.rows(),
-    };
-    for j in 0..n {
-        // scale the lower part of column j
-        {
-            let col = c.col_mut(j);
-            if beta == 0.0 {
-                col[j..].fill(0.0);
-            } else if beta != 1.0 {
-                for v in col[j..].iter_mut() {
-                    *v *= beta;
-                }
-            }
+    (n, k)
+}
+
+/// Update the `i ≥ j` part of column `j` held in `col` (a full column of
+/// `C`, `n` entries).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn syrk_col(trans: Trans, alpha: f64, a: &Matrix, beta: f64, j: usize, col: &mut [f64], n: usize, k: usize) {
+    if beta == 0.0 {
+        col[j..].fill(0.0);
+    } else if beta != 1.0 {
+        for v in col[j..].iter_mut() {
+            *v *= beta;
         }
-        match trans {
-            Trans::No => {
-                for p in 0..k {
-                    let w = alpha * a[(j, p)];
-                    if w != 0.0 {
-                        let a_col = a.col(p);
-                        let col = c.col_mut(j);
-                        for i in j..n {
-                            col[i] += w * a_col[i];
-                        }
+    }
+    match trans {
+        Trans::No => {
+            for p in 0..k {
+                let w = alpha * a[(j, p)];
+                if w != 0.0 {
+                    let a_col = a.col(p);
+                    for i in j..n {
+                        col[i] += w * a_col[i];
                     }
                 }
             }
-            Trans::Yes => {
-                let aj = a.col(j).to_vec();
-                for i in j..n {
-                    let v = alpha * dot(a.col(i), &aj);
-                    c[(i, j)] += v;
-                }
+        }
+        Trans::Yes => {
+            let aj = a.col(j).to_vec();
+            for (i, ci) in col.iter_mut().enumerate().skip(j) {
+                *ci += alpha * dot(a.col(i), &aj);
             }
         }
     }
@@ -465,14 +514,44 @@ mod tests {
 
     #[test]
     fn gemm_parallel_path_matches() {
-        // large enough to trigger the rayon path
-        let a = rand_mat(80, 60, 11);
-        let b = rand_mat(60, 90, 12);
-        let c0 = rand_mat(80, 90, 13);
+        // Sizes chosen to cross BOTH parallel gates: the area gate
+        // (m·n = 9216 ≥ PARALLEL_THRESHOLD) and the flop gate
+        // (2·m·n·k ≈ 1.77 Mflop ≥ PARALLEL_MIN_FLOPS).
+        let (m, n, k) = (96, 96, 96);
+        assert!(m * n >= super::PARALLEL_THRESHOLD);
+        assert!(2 * m * n * k >= super::PARALLEL_MIN_FLOPS);
+        let a = rand_mat(m, k, 11);
+        let b = rand_mat(k, n, 12);
+        let c0 = rand_mat(m, n, 13);
         let expect = naive_gemm(Trans::No, Trans::No, 1.0, &a, &b, 1.0, &c0);
         let mut c = c0.clone();
         gemm(Trans::No, Trans::No, 1.0, &a, &b, 1.0, &mut c);
         assert!(relative_diff(&c, &expect) < 1e-13);
+        // The parallel path must be bit-identical to the serial one.
+        let mut cs = c0.clone();
+        gemm_serial(Trans::No, Trans::No, 1.0, &a, &b, 1.0, &mut cs);
+        assert_eq!(c.as_slice(), cs.as_slice());
+    }
+
+    #[test]
+    fn syrk_parallel_path_bit_identical_to_serial() {
+        // n·n·k crosses the flop gate, so `syrk` takes the column-parallel
+        // path; it must agree bitwise with `syrk_serial` at any pool size.
+        let (n, k) = (128, 96);
+        assert!(n * n >= super::PARALLEL_THRESHOLD);
+        assert!(n * n * k >= super::PARALLEL_MIN_FLOPS);
+        for trans in [Trans::No, Trans::Yes] {
+            let a = match trans {
+                Trans::No => rand_mat(n, k, 21),
+                Trans::Yes => rand_mat(k, n, 21),
+            };
+            let c0 = rand_mat(n, n, 22);
+            let mut c = c0.clone();
+            syrk(trans, -1.0, &a, 1.0, &mut c);
+            let mut cs = c0.clone();
+            syrk_serial(trans, -1.0, &a, 1.0, &mut cs);
+            assert_eq!(c.as_slice(), cs.as_slice(), "trans={trans:?}");
+        }
     }
 
     #[test]

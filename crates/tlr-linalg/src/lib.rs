@@ -5,8 +5,10 @@
 //! kernel the paper's HiCMA layer relies on:
 //!
 //! * a column-major [`Matrix`] container with view/slicing helpers,
-//! * level-3 BLAS: [`gemm`], [`syrk`], [`trsm`] (blocked, cache-aware,
-//!   optionally parallel via `rayon`),
+//! * level-3 BLAS: [`gemm`], [`syrk`], [`trsm`] (blocked, cache-aware;
+//!   `gemm`/`syrk` run column-parallel on the work-stealing `rayon` pool
+//!   above a size threshold, with [`gemm_serial`]/[`syrk_serial`] variants
+//!   for callers that already sit inside a parallel task graph),
 //! * LAPACK-style factorizations: [`potrf`] (Cholesky), [`Qr`] (Householder
 //!   QR), [`ColPivQr`] (rank-revealing QR with column pivoting and
 //!   threshold-based early termination — the workhorse of TLR compression),
@@ -37,7 +39,7 @@ pub mod norms;
 pub mod qr;
 pub mod svd;
 
-pub use blas3::{gemm, gemm_serial, syrk, trsm, Side, Trans, Uplo};
+pub use blas3::{gemm, gemm_serial, syrk, syrk_serial, trsm, Side, Trans, Uplo};
 pub use chol::{potrf, potrf_unblocked, trsv_lower, trsv_lower_trans, CholeskyError};
 pub use matrix::Matrix;
 pub use norms::{frobenius_norm, max_abs, relative_diff};

@@ -215,6 +215,17 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {} ({})\n  left: {:?}\n  right: {:?}",
+                    stringify!($left), stringify!($right), format!($($fmt)+), __l, __r
+                ),
+            ));
+        }
+    }};
 }
 
 #[cfg(test)]

@@ -1,0 +1,345 @@
+//! Parallel iterators over slices, backed by the work-stealing pool.
+//!
+//! Everything here is *indexed*: the sources are slices, so an iterator is
+//! a `(length, item(i))` pair and parallelism is a chunked fork-join over
+//! the index range (`pool::run_task_set`). That covers the combinators the
+//! workspace uses — `map`/`collect`, `enumerate`, `for_each` — with the
+//! exact chunk-independence real rayon guarantees: results never depend on
+//! how indices were distributed over threads.
+
+use crate::pool;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+
+/// How many chunks a loop is split into per pool thread. More than one so
+/// steal-half can rebalance uneven chunk costs (e.g. triangular updates).
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Raw-pointer wrapper asserting cross-thread use is safe (the parallel
+/// loops index disjoint elements through it).
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: asserted by the construction sites — every element behind the
+// pointer is touched by exactly one chunk.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Run `run_range(start, end)` over disjoint sub-ranges of `0..len` on
+/// the pool; each element index lands in exactly one range.
+fn run_chunked(len: usize, min_len: usize, run_range: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let target_chunks = pool::current_num_threads() * CHUNKS_PER_THREAD;
+    let chunk = len.div_ceil(target_chunks).max(min_len).max(1);
+    let n_chunks = len.div_ceil(chunk);
+    if n_chunks <= 1 {
+        run_range(0, len);
+        return;
+    }
+    pool::run_task_set(n_chunks, &|idx| {
+        run_range(idx * chunk, ((idx + 1) * chunk).min(len));
+    });
+}
+
+/// An indexed parallel iterator: a length plus a producer of the item at
+/// each index. `for_each`/`enumerate` come for free.
+pub trait IndexedParallelIterator: Sized + Sync {
+    /// Element produced per index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest number of items a chunk should hold (coarse items → 1).
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    /// Produce item `i`.
+    ///
+    /// # Safety
+    /// Callers must invoke this at most once per index across all threads
+    /// (mutable iterators mint aliasing-free `&mut` borrows from it).
+    unsafe fn item(&self, i: usize) -> Self::Item;
+
+    /// Call `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let len = self.len();
+        run_chunked(len, self.min_len(), &|start, end| {
+            for i in start..end {
+                // SAFETY: `run_chunked` ranges are disjoint, so each index
+                // is produced exactly once.
+                f(unsafe { self.item(i) });
+            }
+        });
+    }
+
+    /// Pair every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate(self)
+    }
+}
+
+/// Index-tagging adapter returned by
+/// [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<I>(I);
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.0.min_len()
+    }
+
+    unsafe fn item(&self, i: usize) -> Self::Item {
+        // SAFETY: forwarded contract — each index produced at most once.
+        (i, unsafe { self.0.item(i) })
+    }
+}
+
+/// Borrowing parallel iterator over a slice ([`par_iter`]).
+///
+/// [`par_iter`]: IntoParallelRefIterator::par_iter
+pub struct ParIter<'data, T: Sync> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> IndexedParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn item(&self, i: usize) -> Self::Item {
+        &self.slice[i]
+    }
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map every element through `f` (evaluated in parallel at the
+    /// consuming combinator).
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap { slice: self.slice, f }
+    }
+}
+
+/// Mapped parallel iterator ([`ParIter::map`]).
+pub struct ParMap<'data, T: Sync, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Evaluate the map in parallel and gather the results.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<R>,
+    {
+        let ParMap { slice, f } = self;
+        C::from_indexed(slice.len(), &|i| f(&slice[i]))
+    }
+
+    /// Call `f` on every mapped value, in parallel.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let ParMap { slice, f } = self;
+        run_chunked(slice.len(), 1, &|start, end| {
+            for i in start..end {
+                g(f(&slice[i]));
+            }
+        });
+    }
+}
+
+/// Collections buildable from an indexed parallel producer
+/// (the sink behind [`ParMap::collect`]).
+pub trait FromParallelIterator<R: Send>: Sized {
+    /// Build the collection from `produce(i)` for `i in 0..len`, where
+    /// each index is produced exactly once, on an arbitrary thread.
+    fn from_indexed(len: usize, produce: &(dyn Fn(usize) -> R + Sync)) -> Self;
+}
+
+impl<R: Send> FromParallelIterator<R> for Vec<R> {
+    fn from_indexed(len: usize, produce: &(dyn Fn(usize) -> R + Sync)) -> Self {
+        let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(len);
+        // SAFETY: `MaybeUninit` needs no initialization; capacity == len.
+        unsafe { out.set_len(len) };
+        let base = SendPtr(out.as_mut_ptr());
+        run_chunked(len, 1, &|start, end| {
+            let base = base;
+            for i in start..end {
+                // SAFETY: chunk ranges are disjoint, so each slot is
+                // written exactly once, by exactly one thread.
+                unsafe { (*base.0.add(i)).write(produce(i)) };
+            }
+        });
+        // If `produce` panicked, `run_chunked` has re-raised above and the
+        // buffer (with its initialized prefix leaked elementwise, like
+        // rayon's would be dropped — a shim simplification) is freed by
+        // unwinding. Reaching here means every slot is initialized.
+        let mut out = ManuallyDrop::new(out);
+        // SAFETY: all `len` elements initialized; layout of
+        // `MaybeUninit<R>` equals `R`.
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), len, out.capacity()) }
+    }
+}
+
+/// Exclusive parallel iterator over a slice ([`par_iter_mut`]).
+///
+/// [`par_iter_mut`]: IntoParallelRefMutIterator::par_iter_mut
+pub struct ParIterMut<'data, T: Send> {
+    base: SendPtr<T>,
+    len: usize,
+    _borrow: PhantomData<&'data mut [T]>,
+}
+
+impl<'data, T: Send + Sync> IndexedParallelIterator for ParIterMut<'data, T> {
+    type Item = &'data mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn item(&self, i: usize) -> Self::Item {
+        debug_assert!(i < self.len);
+        // SAFETY: the iterator owns an exclusive borrow of the slice and
+        // the caller produces each index at most once → no aliasing.
+        unsafe { &mut *self.base.0.add(i) }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks ([`par_chunks_mut`]).
+///
+/// [`par_chunks_mut`]: ParallelSliceMut::par_chunks_mut
+pub struct ParChunksMut<'data, T: Send> {
+    base: SendPtr<T>,
+    len: usize,
+    chunk_size: usize,
+    _borrow: PhantomData<&'data mut [T]>,
+}
+
+impl<'data, T: Send + Sync> IndexedParallelIterator for ParChunksMut<'data, T> {
+    type Item = &'data mut [T];
+
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk_size)
+    }
+
+    unsafe fn item(&self, i: usize) -> Self::Item {
+        let start = i * self.chunk_size;
+        debug_assert!(start < self.len);
+        let len = self.chunk_size.min(self.len - start);
+        // SAFETY: chunks tile the exclusively-borrowed slice without
+        // overlap and each index is produced at most once → no aliasing.
+        unsafe { std::slice::from_raw_parts_mut(self.base.0.add(start), len) }
+    }
+}
+
+/// `par_iter()` over a shared slice/vec.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element yielded by the iterator.
+    type Item: 'data;
+    /// Concrete iterator type.
+    type Iter;
+
+    /// Iterate the collection in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter { slice: self.as_slice() }
+    }
+}
+
+/// `par_iter_mut()` over an exclusive slice/vec.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element yielded by the iterator.
+    type Item: 'data;
+    /// Concrete iterator type.
+    type Iter;
+
+    /// Iterate the collection in parallel, mutably.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + Send + Sync> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = ParIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        ParIterMut { base: SendPtr(self.as_mut_ptr()), len: self.len(), _borrow: PhantomData }
+    }
+}
+
+impl<'data, T: 'data + Send + Sync> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = ParIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// `par_chunks_mut()` over a mutable slice.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (the last may be short),
+    /// iterated in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            base: SendPtr(self.as_mut_ptr()),
+            len: self.len(),
+            chunk_size,
+            _borrow: PhantomData,
+        }
+    }
+}

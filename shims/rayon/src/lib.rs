@@ -1,62 +1,314 @@
-//! Offline shim for `rayon`: the prelude traits the workspace uses
-//! (`par_iter`, `par_chunks_mut`) implemented as *sequential* std
-//! iterators. Semantics are identical; only data parallelism is lost.
-//! The `Sync`/`Send` bounds of real rayon are kept so code stays
-//! portable to the real crate.
+//! Offline shim for `rayon`: a real work-stealing thread-pool backend for
+//! the API subset the workspace uses.
+//!
+//! Unlike the first-generation shim (which lowered `par_iter` to
+//! sequential `std` iterators), this implementation actually runs on a
+//! pool: a lazily-initialized global pool sized by
+//! `std::thread::available_parallelism` (override with the
+//! `RAYON_NUM_THREADS` environment variable), per-worker deques with
+//! steal-half balancing, and genuine [`join`], [`scope`], and parallel
+//! iterator implementations ([`prelude`]). Results are deterministic:
+//! every combinator computes items independently per index, so the output
+//! is bit-identical no matter how many threads the pool has.
+//!
+//! Differences from real rayon, by design of the shim:
+//!
+//! * only slice/`Vec` sources and the `map`/`collect`/`enumerate`/
+//!   `for_each` combinators are provided (the subset the workspace uses);
+//! * [`ThreadPool::install`] runs the closure on the *calling* thread
+//!   (redirecting any parallel work it submits to the installed pool)
+//!   rather than migrating it onto a pool thread;
+//! * if a `collect` closure panics, already-produced elements are freed
+//!   without running their destructors (a bounded leak, never unsoundness).
 
-/// Parallel-iterator traits (sequential in this shim).
+mod iter;
+mod pool;
+
+use std::sync::Arc;
+
+pub use iter::{
+    Enumerate, FromParallelIterator, IndexedParallelIterator, ParChunksMut, ParIter, ParIterMut,
+    ParMap,
+};
+
+/// Parallel-iterator traits, like `rayon::prelude`.
 pub mod prelude {
-    /// `par_iter()` over a shared slice/vec — sequential here.
-    pub trait IntoParallelRefIterator<'data> {
-        /// Element yielded by the iterator.
-        type Item: 'data;
-        /// Iterator type (a plain std iterator in this shim).
-        type Iter: Iterator<Item = Self::Item>;
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSliceMut,
+    };
+}
 
-        /// Iterate the collection ("in parallel").
-        fn par_iter(&'data self) -> Self::Iter;
+/// Number of threads of the current pool: the pool this thread is a
+/// worker of, the [`ThreadPool::install`]ed one, or the global pool
+/// (initializing it if needed).
+pub fn current_num_threads() -> usize {
+    pool::current_num_threads()
+}
+
+/// Run `a` and `b`, potentially in parallel, and return both results.
+///
+/// `b` is offered to the pool while the calling thread runs `a`; if no
+/// worker has picked `b` up by the time `a` finishes, the caller reclaims
+/// and runs it inline (so `join` never blocks on an idle pool). Panics
+/// from either closure propagate; if both panic, `a`'s payload wins.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if pool::current_num_threads() == 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
     }
 
-    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
+    let rb_slot: std::sync::Mutex<Option<RB>> = std::sync::Mutex::new(None);
+    let call_b = {
+        let rb_slot = &rb_slot;
+        let call: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            *rb_slot.lock().unwrap() = Some(b());
+        });
+        // SAFETY: the job is guaranteed finished or reclaimed-unexecuted
+        // before this frame unwinds (see the guard below), so the borrow
+        // of `rb_slot` and capture of `b` never dangle.
+        unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(call)
+        }
+    };
+    let job = Arc::new(pool::OnceJob::new(call_b));
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    /// Unwind guard: if `a` panics, the queued `b` job must not survive
+    /// this frame — reclaim it (dropping the closure) or wait it out.
+    struct Reclaim<'a>(&'a pool::OnceJob);
+    impl Drop for Reclaim<'_> {
+        fn drop(&mut self) {
+            if self.0.claim() {
+                self.0.discard();
+            } else {
+                self.0.wait();
+            }
         }
     }
 
-    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
+    pool::submit_once(Arc::clone(&job));
+    let guard = Reclaim(&job);
+    let ra = a();
+    std::mem::forget(guard);
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    if job.claim() {
+        // Still queued: run `b` inline; the queued copy becomes a no-op.
+        let call = job.take_call().expect("reclaimed join job still has its closure");
+        call();
+        job.discard();
+    } else {
+        job.wait();
+        if let Some(p) = job.take_panic() {
+            std::panic::resume_unwind(p);
+        }
+    }
+    let rb = rb_slot.into_inner().unwrap().expect("join arm b completed without a result");
+    (ra, rb)
+}
+
+/// Scope for spawning borrowed tasks; see [`scope`].
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    _marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+struct ScopeState {
+    pending: std::sync::atomic::AtomicUsize,
+    panic: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    latch: pool::Latch,
+}
+
+impl ScopeState {
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+            self.latch.set();
+        }
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `body` onto the pool. It may borrow anything that outlives
+    /// the scope and may itself spawn further tasks.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let call: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope { state: Arc::clone(&state), _marker: std::marker::PhantomData };
+            if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&scope)))
+            {
+                state.panic.lock().unwrap().get_or_insert(p);
+            }
+            state.complete_one();
+        });
+        // SAFETY: `scope` waits for `pending == 0` before returning (even
+        // on unwind), so the `'scope` borrows inside `call` outlive every
+        // execution of it.
+        let call = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(call)
+        };
+        pool::submit_once(Arc::new(pool::OnceJob::new(call)));
+    }
+}
+
+/// Structured fork-join: `op` may [`Scope::spawn`] tasks borrowing data
+/// outside the scope; `scope` returns only after every spawned task (and
+/// transitively spawned tasks) has finished. The calling thread helps run
+/// queued jobs while it waits. The first panic — from `op` or any task —
+/// is propagated.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let state = Arc::new(ScopeState {
+        // One guard credit for the scope body itself, so `pending` cannot
+        // transiently hit zero while tasks are still being spawned.
+        pending: std::sync::atomic::AtomicUsize::new(1),
+        panic: std::sync::Mutex::new(None),
+        latch: pool::Latch::new(),
+    });
+    let scope = Scope { state: Arc::clone(&state), _marker: std::marker::PhantomData };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op(&scope)));
+    state.complete_one();
+    let shared = pool::current_shared();
+    pool::help_until(
+        &shared,
+        || state.pending.load(std::sync::atomic::Ordering::Acquire) == 0,
+        &state.latch,
+    );
+    match result {
+        Err(p) => std::panic::resume_unwind(p),
+        Ok(r) => {
+            if let Some(p) = state.panic.lock().unwrap().take() {
+                std::panic::resume_unwind(p);
+            }
+            r
+        }
+    }
+}
+
+/// Error building a thread pool (kept for API compatibility; the shim
+/// builder only fails when installing a second global pool).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`]s, like `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Builder with default settings (threads from the environment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use `num_threads` threads; `0` (the default) means
+    /// `RAYON_NUM_THREADS` or `available_parallelism`.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    fn resolved_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            pool::default_num_threads()
         }
     }
 
-    /// `par_chunks_mut()` over a mutable slice — sequential here.
-    pub trait ParallelSliceMut<T: Send> {
-        /// Split into mutable chunks of `chunk_size` ("in parallel").
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Build a standalone pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { handle: pool::PoolHandle::new(self.resolved_num_threads()) })
     }
 
-    impl<T: Send> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
+    /// Initialize the global pool with this configuration. Fails if the
+    /// global pool already exists (first use wins, as in real rayon).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        pool::init_global(self.resolved_num_threads()).map_err(|()| ThreadPoolBuildError {
+            message: "the global thread pool has already been initialized",
+        })
+    }
+}
+
+/// A standalone work-stealing pool. Dropping it joins the workers.
+pub struct ThreadPool {
+    handle: pool::PoolHandle,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool as the submission target for any parallel
+    /// work it performs, and return its result.
+    ///
+    /// Shim caveat: `op` executes on the *calling* thread (counted as one
+    /// of the pool's `num_threads`), not on a pool worker.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        pool::with_installed(&self.handle.shared, op)
+    }
+
+    /// Number of threads of this pool (workers + participating caller).
+    pub fn current_num_threads(&self) -> usize {
+        self.handle.shared.num_threads()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool4() -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(4).build().unwrap()
+    }
 
     #[test]
     fn par_iter_maps() {
-        let v = vec![1, 2, 3];
+        let v: Vec<i32> = (0..1000).collect();
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6]);
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        // Same result through an explicit multi-thread pool.
+        let doubled4: Vec<i32> = pool4().install(|| v.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled4, doubled);
+    }
+
+    #[test]
+    fn par_iter_for_each_sums() {
+        let pool = pool4();
+        let v: Vec<usize> = (0..4096).collect();
+        let sum = AtomicUsize::new(0);
+        pool.install(|| {
+            v.par_iter().for_each(|&x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4096 * 4095 / 2);
     }
 
     #[test]
@@ -68,5 +320,159 @@ mod tests {
             }
         });
         assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn par_chunks_mut_parallel_pool() {
+        let pool = pool4();
+        let mut v = vec![0usize; 10_000];
+        pool.install(|| {
+            v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = i * 7 + k;
+                }
+            })
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let pool = pool4();
+        let mut v: Vec<i64> = (0..5000).collect();
+        pool.install(|| v.par_iter_mut().for_each(|x| *x = -*x));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == -(i as i64)));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = pool4();
+        let (a, b) = pool.install(|| join(|| 6 * 7, || "ok"));
+        assert_eq!((a, b), (42, "ok"));
+        // Nested joins from inside pool work.
+        let (a, (b, c)) = pool.install(|| join(|| 1, || join(|| 2, || 3)));
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b() {
+        let pool = pool4();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| join(|| 1, || panic!("boom-b")))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_panic_in_a_does_not_leak_b() {
+        let pool = pool4();
+        let b_ran = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(
+                    || panic!("boom-a"),
+                    || {
+                        b_ran.fetch_add(1, Ordering::SeqCst);
+                    },
+                )
+            })
+        }));
+        assert!(r.is_err());
+        // b either ran on a worker before the unwind reclaimed it, or was
+        // discarded; it must not run afterwards.
+        let after = b_ran.load(Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(b_ran.load(Ordering::SeqCst), after);
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawns() {
+        let pool = pool4();
+        let count = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(|s| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                        s.spawn(|_| {
+                            count.fetch_add(1, Ordering::SeqCst);
+                        });
+                    });
+                }
+            })
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panic() {
+        let pool = pool4();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| scope(|s| s.spawn(|_| panic!("boom-spawn"))))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn collect_panic_propagates() {
+        let pool = pool4();
+        let v: Vec<usize> = (0..100).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| -> Vec<usize> {
+                v.par_iter().map(|&x| if x == 57 { panic!("boom-map") } else { x }).collect()
+            })
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn results_bit_identical_across_thread_counts() {
+        // The determinism contract the workspace's factorization relies
+        // on: same input → same output bits, whatever the pool size.
+        let v: Vec<u64> = (0..10_000).collect();
+        let f = |&x: &u64| (x.wrapping_mul(0x9E3779B97F4A7C15) >> 7) as f64 * 1e-3;
+        let mut outputs: Vec<Vec<f64>> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let out: Vec<f64> = pool.install(|| v.par_iter().map(f).collect());
+            outputs.push(out);
+        }
+        for out in &outputs[1..] {
+            assert_eq!(
+                out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                outputs[0].iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let caller = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..64).collect::<Vec<usize>>().par_iter().map(|_| std::thread::current().id()).collect()
+        });
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn heavy_nested_use_terminates() {
+        // Nested parallelism: par_iter inside par_iter chunks.
+        let pool = pool4();
+        let outer: Vec<usize> = (0..16).collect();
+        let total: usize = pool.install(|| {
+            let sums: Vec<usize> = outer
+                .par_iter()
+                .map(|&i| {
+                    let inner: Vec<usize> = (0..256).map(|j| i * 256 + j).collect();
+                    let squares: Vec<usize> = inner.par_iter().map(|&x| x % 97).collect();
+                    squares.iter().sum()
+                })
+                .collect();
+            sums.iter().sum()
+        });
+        let expect: usize = (0..16 * 256).map(|x: usize| x % 97).sum();
+        assert_eq!(total, expect);
     }
 }

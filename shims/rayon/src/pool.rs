@@ -1,0 +1,463 @@
+//! The work-stealing thread pool behind the shim's parallel iterators.
+//!
+//! Layout mirrors rayon's runtime at a much smaller scale:
+//!
+//! * one lazily-initialized **global pool**, sized by
+//!   `std::thread::available_parallelism` and overridable with the
+//!   `RAYON_NUM_THREADS` environment variable (read once, at first use);
+//! * **per-worker deques** of jobs: owners pop LIFO from the back, thieves
+//!   take *half* of a victim's queue FIFO from the front (steal-half keeps
+//!   chunked loops balanced without a steal per chunk);
+//! * the thread that submits a batch **participates**: it executes jobs
+//!   while it waits, so an `N`-thread pool spawns `N − 1` OS workers and
+//!   the caller is the `N`-th.
+//!
+//! Jobs may reference the submitting thread's stack (`TaskSet::body`,
+//! `OnceJob::call`). This is sound because every submission path blocks
+//! until its jobs have finished (or reclaims them unexecuted) before the
+//! referenced frame unwinds — the same latch discipline real rayon uses.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::thread::JoinHandle;
+
+/// One unit of pool work.
+pub(crate) enum Job {
+    /// Chunk `idx` of a fork-join loop.
+    Chunk { set: Arc<TaskSet>, idx: usize },
+    /// A one-shot closure (`join`'s second arm, a `scope` spawn).
+    Once(Arc<OnceJob>),
+}
+
+/// A set-once gate: waiters block until [`Latch::set`] fires.
+pub(crate) struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Self { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    pub(crate) fn set(&self) {
+        *self.done.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut g = self.done.lock().unwrap();
+        while !*g {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// Shared state of a fork-join loop: `n_chunks` jobs all running the same
+/// chunk body, a countdown of unfinished chunks, and the first panic.
+pub(crate) struct TaskSet {
+    /// Chunk body on the submitting thread's stack; valid until the
+    /// countdown reaches zero (the submitter waits on `latch` first).
+    body: *const (dyn Fn(usize) + Sync),
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    latch: Latch,
+}
+
+// SAFETY: `body` is only dereferenced by `run_chunk`, which executes while
+// the submitting frame is pinned by `run_task_set`'s wait; the closure
+// itself is `Sync` so shared calls from many workers are fine.
+unsafe impl Send for TaskSet {}
+unsafe impl Sync for TaskSet {}
+
+impl TaskSet {
+    fn run_chunk(&self, idx: usize) {
+        // SAFETY: see the `Send`/`Sync` note above.
+        let body = unsafe { &*self.body };
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(idx))) {
+            self.panic.lock().unwrap().get_or_insert(p);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.latch.set();
+        }
+    }
+}
+
+const ONCE_QUEUED: u8 = 0;
+const ONCE_CLAIMED: u8 = 1;
+const ONCE_FINISHED: u8 = 2;
+
+/// A claim-once closure job. The state machine lets a `join` caller
+/// *revoke* a still-queued job and run (or drop) it inline, which is what
+/// makes blocking on the latch deadlock-free: we only ever block while
+/// another thread is actively executing the job.
+pub(crate) struct OnceJob {
+    call: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    state: AtomicU8,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    latch: Latch,
+}
+
+impl OnceJob {
+    /// Wrap a closure. The `'static` bound is the caller's lie: `join` and
+    /// `Scope::spawn` transmute shorter-lived closures in, and guarantee
+    /// the job is finished or reclaimed before the borrowed frame dies.
+    pub(crate) fn new(call: Box<dyn FnOnce() + Send>) -> Self {
+        Self {
+            call: Mutex::new(Some(call)),
+            state: AtomicU8::new(ONCE_QUEUED),
+            panic: Mutex::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// Claim and run. Returns `false` if another thread holds the claim.
+    pub(crate) fn run(&self) -> bool {
+        if !self.claim() {
+            return false;
+        }
+        let call = self.call.lock().unwrap().take().expect("claimed OnceJob has its closure");
+        if let Err(p) = catch_unwind(AssertUnwindSafe(call)) {
+            *self.panic.lock().unwrap() = Some(p);
+        }
+        self.finish();
+        true
+    }
+
+    /// Try to take the exclusive right to execute (or discard) the job.
+    pub(crate) fn claim(&self) -> bool {
+        self.state
+            .compare_exchange(ONCE_QUEUED, ONCE_CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Drop the closure of a job claimed via [`OnceJob::claim`] without
+    /// running it (panic-unwind cleanup in `join`).
+    pub(crate) fn discard(&self) {
+        self.call.lock().unwrap().take();
+        self.finish();
+    }
+
+    /// Take the closure of a job claimed via [`OnceJob::claim`], to run
+    /// it inline on the claiming thread.
+    pub(crate) fn take_call(&self) -> Option<Box<dyn FnOnce() + Send>> {
+        self.call.lock().unwrap().take()
+    }
+
+    fn finish(&self) {
+        self.state.store(ONCE_FINISHED, Ordering::Release);
+        self.latch.set();
+    }
+
+    /// Block until the job has finished executing (it must be claimed).
+    pub(crate) fn wait(&self) {
+        self.latch.wait();
+    }
+
+    /// Take the panic payload the job captured, if any.
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// State shared by a pool's workers and submitters.
+pub(crate) struct Shared {
+    /// One deque per worker. A pool of `num_threads == 1` still has one
+    /// deque so external `scope`/`join` jobs have somewhere to queue.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    num_threads: usize,
+}
+
+impl Shared {
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Queue jobs and wake sleeping workers. `home` is the submitting
+    /// worker's own deque (nested submissions stay local and get stolen);
+    /// external submitters deal the batch round-robin across all deques.
+    pub(crate) fn push_jobs(&self, jobs: Vec<Job>, home: Option<usize>) {
+        match home {
+            Some(w) => self.deques[w].lock().unwrap().extend(jobs),
+            None => {
+                let n = self.deques.len();
+                for (i, job) in jobs.into_iter().enumerate() {
+                    self.deques[i % n].lock().unwrap().push_back(job);
+                }
+            }
+        }
+        let _g = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    /// Pop from our own deque, else steal. Workers (`me = Some`) steal
+    /// half of the first non-empty victim into their own deque; external
+    /// helpers (`me = None`) take a single job.
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(w) = me {
+            if let Some(job) = self.deques[w].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |w| w + 1);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            let mut vq = self.deques[victim].lock().unwrap();
+            let len = vq.len();
+            if len == 0 {
+                continue;
+            }
+            let take = match me {
+                Some(_) => len.div_ceil(2),
+                None => 1,
+            };
+            let mut stolen: VecDeque<Job> = vq.drain(..take).collect();
+            drop(vq);
+            let first = stolen.pop_front();
+            if let (Some(w), false) = (me, stolen.is_empty()) {
+                self.deques[w].lock().unwrap().extend(stolen);
+            }
+            return first;
+        }
+        None
+    }
+
+    fn has_any_job(&self) -> bool {
+        self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+    }
+}
+
+fn run_job(job: Job) {
+    match job {
+        Job::Chunk { set, idx } => set.run_chunk(idx),
+        Job::Once(once) => {
+            once.run();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(CurrentPool { shared: Arc::downgrade(&shared), worker: Some(index) })
+    });
+    loop {
+        if let Some(job) = shared.find_job(Some(index)) {
+            run_job(job);
+            continue;
+        }
+        let g = shared.sleep.lock().unwrap();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Re-check under the sleep lock: `push_jobs` notifies while
+        // holding it, so a submission either lands before this check or
+        // its notification wakes the wait below — no lost wake-ups.
+        if shared.has_any_job() {
+            continue;
+        }
+        let _g = shared.wake.wait(g).unwrap();
+    }
+}
+
+/// Which pool the current thread submits to: its own (worker threads),
+/// an [`crate::ThreadPool::install`]ed one, or the global pool.
+struct CurrentPool {
+    shared: Weak<Shared>,
+    worker: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<CurrentPool>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Handle owning a pool's worker threads. Dropping it shuts the workers
+/// down (the global pool's handle is never dropped).
+pub(crate) struct PoolHandle {
+    pub(crate) shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PoolHandle {
+    pub(crate) fn new(num_threads: usize) -> Self {
+        let num_threads = num_threads.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..num_threads.saturating_sub(1).max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            num_threads,
+        });
+        let workers = (0..num_threads - 1)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_loop(shared, index))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+}
+
+impl Drop for PoolHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sleep.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<PoolHandle> = OnceLock::new();
+
+/// Pool size from the environment: `RAYON_NUM_THREADS` if set and
+/// positive, else `available_parallelism`.
+pub(crate) fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Run `op` with `shared` installed as this thread's submission target,
+/// restoring the previous binding afterwards (also on unwind).
+pub(crate) fn with_installed<R>(shared: &Arc<Shared>, op: impl FnOnce() -> R) -> R {
+    struct Restore(Option<CurrentPool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let prev = CURRENT.with(|c| {
+        c.borrow_mut().replace(CurrentPool { shared: Arc::downgrade(shared), worker: None })
+    });
+    let _restore = Restore(prev);
+    op()
+}
+
+/// Resolve the pool the current thread targets, plus its worker index in
+/// that pool (for deque-local pushes).
+fn current_pool() -> (Arc<Shared>, Option<usize>) {
+    let bound = CURRENT.with(|c| {
+        c.borrow().as_ref().and_then(|p| p.shared.upgrade().map(|s| (s, p.worker)))
+    });
+    match bound {
+        Some(found) => found,
+        None => (Arc::clone(&GLOBAL.get_or_init(|| PoolHandle::new(default_num_threads())).shared), None),
+    }
+}
+
+/// Threads (workers + participating submitter) of the current pool.
+pub(crate) fn current_num_threads() -> usize {
+    current_pool().0.num_threads()
+}
+
+/// The current pool's shared state (for `scope`'s help-wait loop).
+pub(crate) fn current_shared() -> Arc<Shared> {
+    current_pool().0
+}
+
+/// Install the global pool with an explicit size. Errors if it was
+/// already initialized (lazily or by an earlier call).
+pub(crate) fn init_global(num_threads: usize) -> Result<(), ()> {
+    let mut fresh = false;
+    GLOBAL.get_or_init(|| {
+        fresh = true;
+        PoolHandle::new(num_threads)
+    });
+    if fresh {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+/// Fork-join over `n_chunks` chunks: `body(idx)` runs exactly once per
+/// `idx in 0..n_chunks`, distributed over the pool; the calling thread
+/// participates. Panics in any chunk propagate to the caller (first one
+/// wins; remaining chunks still run to completion).
+pub(crate) fn run_task_set(n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    if n_chunks == 0 {
+        return;
+    }
+    let (shared, me) = current_pool();
+    if n_chunks == 1 || shared.num_threads() == 1 {
+        for idx in 0..n_chunks {
+            body(idx);
+        }
+        return;
+    }
+    // SAFETY: lifetime erasure only — the pointer is dead (remaining == 0,
+    // checked below before returning) before `body`'s frame can unwind.
+    let body = unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(
+            body,
+        )
+    };
+    let set = Arc::new(TaskSet {
+        body,
+        remaining: AtomicUsize::new(n_chunks),
+        panic: Mutex::new(None),
+        latch: Latch::new(),
+    });
+    let jobs: Vec<Job> = (1..n_chunks).map(|idx| Job::Chunk { set: Arc::clone(&set), idx }).collect();
+    shared.push_jobs(jobs, me);
+    // Run chunk 0 ourselves, then help drain whatever is queued (ours or
+    // not) until every chunk of this set has finished.
+    set.run_chunk(0);
+    while set.remaining.load(Ordering::Acquire) > 0 {
+        match shared.find_job(me) {
+            Some(job) => run_job(job),
+            // Remaining chunks are executing on other threads; block
+            // until the countdown closes the latch.
+            None => set.latch.wait(),
+        }
+    }
+    let panic = set.panic.lock().unwrap().take();
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
+}
+
+/// Queue a one-shot job on the current pool and return the handle plus
+/// the pool it went to (so the caller can keep helping that same pool).
+pub(crate) fn submit_once(job: Arc<OnceJob>) -> Arc<Shared> {
+    let (shared, me) = current_pool();
+    shared.push_jobs(vec![Job::Once(job)], me);
+    shared
+}
+
+/// Help-run queued jobs until `done()` turns true, blocking on `latch`
+/// when the queues are empty.
+pub(crate) fn help_until(shared: &Arc<Shared>, done: impl Fn() -> bool, latch: &Latch) {
+    let me = CURRENT.with(|c| {
+        c.borrow().as_ref().and_then(|p| {
+            p.worker.filter(|_| p.shared.upgrade().is_some_and(|s| Arc::ptr_eq(&s, shared)))
+        })
+    });
+    while !done() {
+        match shared.find_job(me) {
+            Some(job) => run_job(job),
+            None => latch.wait(),
+        }
+    }
+}

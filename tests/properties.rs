@@ -5,6 +5,9 @@
 
 use hicma_parsec::cholesky::simulate::{simulate_cholesky, DistributionPlan, SimConfig};
 use hicma_parsec::cholesky::MatrixAnalysis;
+use hicma_parsec::distribution::{
+    BandDistribution, DiamondDistribution, LorapoHybrid, TileDistribution, TwoDBlockCyclic,
+};
 use hicma_parsec::linalg::{gemm, potrf, Matrix, Trans};
 use hicma_parsec::mesh::hilbert::hilbert_sort;
 use hicma_parsec::mesh::Point3;
@@ -185,6 +188,48 @@ proptest! {
         });
         prop_assert_eq!(violations.load(Ordering::SeqCst), 0);
         prop_assert!(done.iter().all(|d| d.load(Ordering::SeqCst)));
+    }
+
+    /// Every distribution maps every lower-triangle tile to a valid dense
+    /// process id: `owner(i, j) < nprocs()` over the whole triangle, for
+    /// any process count and tile count.
+    #[test]
+    fn distribution_owners_in_range(nprocs in 1usize..64, nt in 1usize..40) {
+        let layouts: [Box<dyn TileDistribution>; 4] = [
+            Box::new(TwoDBlockCyclic::new(nprocs)),
+            Box::new(LorapoHybrid::new(nprocs)),
+            Box::new(BandDistribution::new(nprocs)),
+            Box::new(DiamondDistribution::new(nprocs)),
+        ];
+        for dist in &layouts {
+            prop_assert_eq!(dist.nprocs(), nprocs, "{}", dist.name());
+            for i in 0..nt {
+                for j in 0..=i {
+                    let o = dist.owner(i, j);
+                    prop_assert!(
+                        o < nprocs,
+                        "{}: owner({}, {}) = {} with nprocs = {}",
+                        dist.name(), i, j, o, nprocs
+                    );
+                }
+            }
+        }
+    }
+
+    /// §VII-A critical-path locality: `BandDistribution` places the POTRF
+    /// tile `(k, k)` and the first TRSM tile `(k+1, k)` on the same
+    /// process for every panel `k`, at any process count.
+    #[test]
+    fn band_colocates_critical_path(nprocs in 1usize..64, nt in 2usize..40) {
+        let d = BandDistribution::new(nprocs);
+        for k in 0..nt - 1 {
+            prop_assert_eq!(
+                d.owner(k, k),
+                d.owner(k + 1, k),
+                "panel {} split across processes (nprocs = {})",
+                k, nprocs
+            );
+        }
     }
 
     /// DES makespan is bounded below by the critical path and above by a
