@@ -1,0 +1,212 @@
+//! Micro-benchmark of the TLR update hot path: `gemm_kernel` with the
+//! workspace-backed implicit-Q recompression engine versus the kept
+//! allocating explicit-Q baseline (`kernels::reference`).
+//!
+//! Emits `BENCH_gemm_recompress.json` in the working directory (and
+//! echoes it to stdout). Both paths are measured in the *same run* over
+//! a tile-size × rank grid so the speedup column is an apples-to-apples
+//! comparison on this machine, and a counting global allocator reports
+//! heap allocations per `gemm_kernel` call after warm-up (the acceptance
+//! target is exactly zero in steady state).
+//!
+//! `--smoke` shrinks the grid to one tiny point for CI.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tlr_compress::kernels::{gemm_kernel_ws, reference, KernelWorkspace};
+use tlr_compress::{CompressionConfig, Tile};
+use tlr_linalg::Matrix;
+
+/// Forwarding allocator that counts `alloc`/`realloc` calls so the bench
+/// can assert the steady-state hot path touches the heap zero times.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A deterministic factor whose columns are decaying pseudo-random mixes
+/// of `k` smooth cosine modes (family selected by `phase`). Tiles built
+/// from the same family share a column space — the realistic TLR regime
+/// where a Schur-complement update does not inflate the destination rank
+/// past the operand rank, so recompression truncates `2k → k`.
+fn mixed_factor(rows: usize, k: usize, phase: f64, decay: f64, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, k, |i, j| {
+        let mut acc = 0.0;
+        for l in 0..k {
+            let m = ((l * 31 + j * 17 + seed * 13 + 7) % 101) as f64 / 101.0 - 0.5;
+            let f = ((l + 1) as f64 * std::f64::consts::PI * (i as f64 + 0.5) / rows as f64
+                + phase)
+                .cos();
+            acc += m * decay.powi(l as i32) * f;
+        }
+        acc
+    })
+}
+
+/// The three tiles of one update `C −= A·Bᵀ`: `A.u` and `C.u` share one
+/// mode family, `B.u` and `C.v` share another (the product's row space
+/// lives in `span(B.u)`).
+fn update_operands(b: usize, rank: usize) -> (Tile, Tile, Tile) {
+    let a = Tile::LowRank {
+        u: mixed_factor(b, rank, 0.0, 0.5, 1),
+        v: mixed_factor(b, rank, 1.0, 0.7, 2),
+    };
+    let bt = Tile::LowRank {
+        u: mixed_factor(b, rank, 2.0, 0.5, 3),
+        v: mixed_factor(b, rank, 1.0, 0.7, 4),
+    };
+    let c = Tile::LowRank {
+        u: mixed_factor(b, rank, 0.0, 0.6, 5),
+        v: mixed_factor(b, rank, 2.0, 0.6, 6),
+    };
+    (a, bt, c)
+}
+
+struct Point {
+    b: usize,
+    rank: usize,
+    us_per_call_new: f64,
+    us_per_call_ref: f64,
+    speedup: f64,
+    allocs_per_call: u64,
+}
+
+/// Time one (tile size, rank) grid point: both paths on identical
+/// pre-cloned destinations, then the steady-state allocation count.
+fn run_point(b: usize, rank: usize, reps: usize, config: &CompressionConfig) -> Point {
+    let (a, bt, c0) = update_operands(b, rank);
+
+    let mut ws = KernelWorkspace::new();
+    // Warm-up: grow the arena to its high-water mark (and fault pages in
+    // for the reference path too).
+    const WARMUP: usize = 5;
+    for _ in 0..WARMUP {
+        let mut c = c0.clone();
+        gemm_kernel_ws(&mut ws, &a, &bt, &mut c, config);
+        let mut c = c0.clone();
+        reference::gemm_kernel_reference(&a, &bt, &mut c, config);
+    }
+
+    // Destinations are consumed by each call; clone them all before the
+    // timed region so the timing (and the allocation count) cover only
+    // the kernel itself.
+    let mut dests: Vec<Tile> = (0..reps).map(|_| c0.clone()).collect();
+    let t0 = std::time::Instant::now();
+    for c in dests.iter_mut() {
+        gemm_kernel_ws(&mut ws, &a, &bt, c, config);
+    }
+    let t_new = t0.elapsed().as_secs_f64() / reps as f64;
+
+    let mut dests: Vec<Tile> = (0..reps).map(|_| c0.clone()).collect();
+    let t0 = std::time::Instant::now();
+    for c in dests.iter_mut() {
+        reference::gemm_kernel_reference(&a, &bt, c, config);
+    }
+    let t_ref = t0.elapsed().as_secs_f64() / reps as f64;
+
+    // Steady-state allocation count: one call on a pre-cloned
+    // destination with the warmed arena.
+    let mut c = c0.clone();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    gemm_kernel_ws(&mut ws, &a, &bt, &mut c, config);
+    let allocs_per_call = ALLOCS.load(Ordering::Relaxed) - before;
+
+    Point {
+        b,
+        rank,
+        us_per_call_new: t_new * 1e6,
+        us_per_call_ref: t_ref * 1e6,
+        speedup: t_ref / t_new,
+        allocs_per_call,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = CompressionConfig::with_accuracy(1e-8);
+
+    let grid: Vec<(usize, usize)> = if smoke {
+        vec![(32, 4)]
+    } else {
+        let mut g = Vec::new();
+        for b in [64usize, 128, 256] {
+            for rank in [8usize, 16, 32] {
+                g.push((b, rank));
+            }
+        }
+        g
+    };
+
+    let mut points = Vec::new();
+    for &(b, rank) in &grid {
+        let reps = if smoke { 20 } else { (4_000_000 / (b * b)).clamp(20, 400) };
+        let p = run_point(b, rank, reps, &config);
+        eprintln!(
+            "b={:<4} rank={:<3} new {:>9.1} us  ref {:>9.1} us  speedup {:.2}x  allocs/call {}",
+            p.b, p.rank, p.us_per_call_new, p.us_per_call_ref, p.speedup, p.allocs_per_call
+        );
+        points.push(p);
+    }
+
+    let b128_min_speedup = points
+        .iter()
+        .filter(|p| p.b == 128)
+        .map(|p| p.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let max_allocs = points.iter().map(|p| p.allocs_per_call).max().unwrap_or(0);
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"b\": {}, \"rank\": {}, \"us_per_call_new\": {:.3}, \
+                 \"us_per_call_ref\": {:.3}, \"speedup\": {:.3}, \"allocs_per_call\": {}}}",
+                p.b, p.rank, p.us_per_call_new, p.us_per_call_ref, p.speedup, p.allocs_per_call
+            )
+        })
+        .collect();
+    let b128 = if b128_min_speedup.is_finite() {
+        format!("{b128_min_speedup:.3}")
+    } else {
+        "null".to_string()
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"gemm_recompress\",\n  \
+         \"mode\": \"{}\",\n  \
+         \"accuracy\": 1e-8,\n  \
+         \"baseline\": \"kernels::reference (explicit-Q, allocating)\",\n  \
+         \"min_speedup_b128\": {b128},\n  \
+         \"max_allocs_per_call\": {max_allocs},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        rows.join(",\n")
+    );
+    print!("{json}");
+    std::fs::write("BENCH_gemm_recompress.json", &json)
+        .expect("write BENCH_gemm_recompress.json");
+    eprintln!(
+        "wrote BENCH_gemm_recompress.json (min speedup @ b=128: {b128}, \
+         max allocs/call: {max_allocs})"
+    );
+    if smoke && max_allocs > 0 {
+        eprintln!("smoke FAILED: steady-state gemm_kernel allocated (expected 0)");
+        std::process::exit(1);
+    }
+}

@@ -9,11 +9,13 @@
 
 use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
 use parking_lot::{Mutex, RwLock};
-use runtime::executor::execute_cancellable;
+use runtime::executor::execute_cancellable_indexed;
 use runtime::graph::TaskClass;
 use std::sync::atomic::{AtomicBool, Ordering};
 use runtime::trace::ClassBreakdown;
-use tlr_compress::kernels::{gemm_kernel, potrf_kernel, syrk_kernel, trsm_kernel};
+use tlr_compress::kernels::{
+    gemm_kernel_ws, potrf_kernel, syrk_kernel_ws, trsm_kernel, KernelWorkspace,
+};
 use tlr_compress::{CompressionConfig, RankSnapshot, Tile, TlrMatrix};
 use tlr_linalg::CholeskyError;
 
@@ -187,9 +189,18 @@ fn factorize_once(
     // Per-class busy nanoseconds (atomic adds via mutex; kernel times are
     // micro-to-milliseconds, contention is negligible).
     let class_nanos: Mutex<[u128; 5]> = Mutex::new([0; 5]);
+    // One workspace arena per executor worker, indexed by the worker id
+    // the executor hands us — exclusive by construction, so the Mutex is
+    // never contended (it only satisfies the `Sync` bound of the kernel
+    // closure). Buffers grow to their high-water mark over the first few
+    // updates and the recompression hot path then runs allocation-free
+    // for the rest of the factorization.
+    let nthreads = cfg.nthreads.max(1);
+    let workspaces: Vec<Mutex<KernelWorkspace>> =
+        (0..nthreads).map(|_| Mutex::new(KernelWorkspace::new())).collect();
 
     let exec_t0 = std::time::Instant::now();
-    let exec_result = execute_cancellable(&dag.graph, cfg.nthreads.max(1), &cancel, |t| {
+    let exec_result = execute_cancellable_indexed(&dag.graph, nthreads, &cancel, |wid, t| {
         if cancel.load(Ordering::Acquire) {
             return; // in-flight task raced with the cancellation flag
         }
@@ -212,14 +223,14 @@ fn factorize_once(
             TaskKind::Syrk { k, m } => {
                 let a = cells[lower(m, k)].read();
                 let mut c = cells[lower(m, m)].write();
-                syrk_kernel(&a, &mut c);
+                syrk_kernel_ws(&mut workspaces[wid].lock(), &a, &mut c);
             }
             TaskKind::Gemm { k, m, n } => {
                 // packed order: (n,k) < (m,k) < (m,n) since k < n < m
                 let bt = cells[lower(n, k)].read();
                 let at = cells[lower(m, k)].read();
                 let mut c = cells[lower(m, n)].write();
-                gemm_kernel(&at, &bt, &mut c, &compression);
+                gemm_kernel_ws(&mut workspaces[wid].lock(), &at, &bt, &mut c, &compression);
             }
         }
         #[cfg(debug_assertions)]

@@ -75,6 +75,26 @@ pub fn execute_cancellable<F>(
 where
     F: Fn(TaskId) + Sync,
 {
+    execute_cancellable_indexed(graph, nthreads, cancel, |_wid, t| run(t))
+}
+
+/// [`execute_cancellable`] that also hands each kernel invocation the
+/// **worker index** (`0 .. nthreads`) it runs on.
+///
+/// The index is stable for the lifetime of the pool, so callers can give
+/// every worker an exclusive slot of per-worker state — the TLR
+/// factorization uses it to hand each worker its own
+/// `KernelWorkspace` arena, making the recompression hot path
+/// allocation-free without any cross-worker synchronization.
+pub fn execute_cancellable_indexed<F>(
+    graph: &TaskGraph,
+    nthreads: usize,
+    cancel: &AtomicBool,
+    run: F,
+) -> Result<(), TaskPanic>
+where
+    F: Fn(usize, TaskId) + Sync,
+{
     let n = graph.len();
     if n == 0 {
         return Ok(());
@@ -117,7 +137,7 @@ where
                         Some(t) => {
                             if !cancel.load(Ordering::Acquire) {
                                 if let Err(payload) =
-                                    catch_unwind(AssertUnwindSafe(|| run(t)))
+                                    catch_unwind(AssertUnwindSafe(|| run(wid, t)))
                                 {
                                     cancel.store(true, Ordering::Release);
                                     let message = payload

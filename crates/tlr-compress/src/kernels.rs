@@ -16,15 +16,51 @@
 //! at the configured accuracy — exactly HiCMA's recompression pipeline.
 //! The [`flops`] submodule exposes the operation counts the paper's time
 //! model needs, as a function of tile size and the ranks involved.
+//!
+//! # Workspace & implicit-Q recompression
+//!
+//! The recompression step dominates TLR factorization time, so it runs
+//! through two machineries that remove every per-call overhead:
+//!
+//! * **Per-worker [`KernelWorkspace`] arena.** Every intermediate of
+//!   `gemm_kernel`/`subtract_lowrank`/`syrk_kernel`/recompression — the
+//!   stacked factors, the small Gram/core matrices, the QR `tau` vectors,
+//!   the SVD output and scratch — is drawn from a pool of recycled
+//!   buffers that grow to a high-water mark and are then reused for the
+//!   rest of the factorization. Replaced tiles donate their factor
+//!   buffers back to the pool, so in steady state a `gemm_kernel` call
+//!   performs **zero heap allocations** (asserted by the
+//!   `tests/alloc_free.rs` counting-allocator harness). The executor
+//!   threads one arena per worker ([`crate::kernels::KernelWorkspace`]
+//!   via `execute_cancellable_indexed`); callers outside the executor
+//!   transparently use a thread-local arena
+//!   ([`with_thread_workspace`]).
+//!
+//! * **Implicit-Q re-projection.** The stacked factors are reduced by
+//!   unpivoted QR; instead of forming each thin `Q` explicitly
+//!   (`O(b·kt²)` per factor) and multiplying it by the truncated
+//!   `kt × k'` SVD block, the stored Householder reflectors are applied
+//!   directly to the small block (`Qr::apply_q`), skipping the `Q`
+//!   formation and one `b × kt × k'` GEMM per side, per call. The
+//!   product form itself is assembled straight into the stacked factors
+//!   (`gemm_serial_into_cols`) with the update's `−1` sign folded into
+//!   the write, so neither operand factor is ever cloned or negated via
+//!   a copy.
+//!
+//! The pre-workspace path is preserved verbatim in [`reference`](mod@reference) as a
+//! same-run measurement baseline (`cargo run --release -p tlr-bench
+//! --bin gemm_recompress`) and as the differential-testing oracle for the
+//! engine.
 
 use crate::compress::CompressionConfig;
 use crate::tile::Tile;
+use std::cell::RefCell;
 // Tile kernels run inside the task-graph executor, so they use the serial
 // BLAS variants: forking onto the rayon pool from every tile would
 // oversubscribe the executor's worker threads.
 use tlr_linalg::{
-    gemm_serial, jacobi_svd, potrf, syrk_serial, trsm, CholeskyError, Matrix, Qr, Side, Trans,
-    Uplo,
+    gemm_serial, gemm_serial_into_cols, jacobi_svd_into, potrf, syrk_serial, trsm, CholeskyError,
+    Matrix, Qr, Side, Svd, SvdWork, Trans, Uplo,
 };
 
 /// POTRF kernel: factor a dense diagonal tile in place (lower Cholesky).
@@ -60,11 +96,157 @@ pub fn trsm_kernel(l: &Tile, a: &mut Tile) {
     }
 }
 
+/// Recycled scratch arena backing every intermediate of the TLR update
+/// kernels.
+///
+/// One workspace per worker thread: buffers are checked out with
+/// [`KernelWorkspace::take`], returned with [`KernelWorkspace::give`]
+/// (or reclaimed wholesale from a replaced tile with
+/// [`KernelWorkspace::give_tile`]), and grow to a high-water mark over
+/// the first few calls, after which the kernels run allocation-free.
+/// The arena also owns the reusable SVD output/scratch pair so the small
+/// recompression SVDs never allocate either.
+pub struct KernelWorkspace {
+    /// Recycled scratch buffers (stacked factors, small cores, `R`
+    /// factors…), kept sorted ascending by capacity so `take` can pick
+    /// the smallest sufficient one (best fit). Scratch buffers never
+    /// leave the kernel, so this pool's capacity multiset reaches a
+    /// fixed point after warm-up.
+    pool: Vec<Vec<f64>>,
+    /// Recycled buffers for factors that *leave* with the produced tile
+    /// (`u`/`v` of the recompressed result, dense conversions), refilled
+    /// by [`KernelWorkspace::give_tile`] with the replaced tile's
+    /// buffers. Kept separate from the scratch pool: if exports could
+    /// draw oversized scratch buffers, every call would walk off with a
+    /// high-water buffer and re-grow a smaller import forever.
+    out_pool: Vec<Vec<f64>>,
+    /// Recycled Householder-coefficient buffers for [`Qr::new_in`].
+    taus: Vec<Vec<f64>>,
+    /// Reusable SVD output (`u`/`s`/`v` grow to the largest core seen).
+    svd: Svd,
+    /// Reusable SVD scratch (working copy, rotations, ordering).
+    svd_work: SvdWork,
+}
+
+impl Default for KernelWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelWorkspace {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            pool: Vec::new(),
+            out_pool: Vec::new(),
+            taus: Vec::new(),
+            svd: Svd { u: Matrix::zeros(0, 0), s: Vec::new(), v: Matrix::zeros(0, 0) },
+            svd_work: SvdWork::new(),
+        }
+    }
+
+    /// Check out a zeroed `rows × cols` matrix backed by the smallest
+    /// pooled buffer whose capacity suffices. When none is big enough the
+    /// largest pooled buffer grows once (high-water-mark behavior); an
+    /// empty pool allocates fresh. Zeroing keeps results independent of
+    /// buffer history, so factorizations stay bit-deterministic at any
+    /// thread count.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        Self::take_from(&mut self.pool, rows, cols)
+    }
+
+    /// Return a checked-out scratch matrix's buffer to the pool.
+    pub fn give(&mut self, m: Matrix) {
+        Self::give_to(&mut self.pool, m);
+    }
+
+    /// Check out a zeroed matrix destined to leave the arena inside a
+    /// produced tile (recompressed `u`/`v` factors, dense conversions).
+    /// Drawn from the export pool that [`KernelWorkspace::give_tile`]
+    /// refills, so tile churn cannot drain the scratch pool.
+    pub fn take_out(&mut self, rows: usize, cols: usize) -> Matrix {
+        Self::take_from(&mut self.out_pool, rows, cols)
+    }
+
+    /// Return a matrix taken with [`KernelWorkspace::take_out`] that
+    /// ended up not leaving with a tile.
+    pub fn give_out(&mut self, m: Matrix) {
+        Self::give_to(&mut self.out_pool, m);
+    }
+
+    /// Reclaim the factor buffer(s) of a tile that just got replaced into
+    /// the export pool — this is what conserves arena size across
+    /// recompressions: the new tile keeps its workspace-backed factors,
+    /// the old tile's buffers come back.
+    pub fn give_tile(&mut self, t: Tile) {
+        match t {
+            Tile::Dense(m) => self.give_out(m),
+            Tile::LowRank { u, v } => {
+                self.give_out(u);
+                self.give_out(v);
+            }
+            Tile::Null { .. } => {}
+        }
+    }
+
+    fn take_from(pool: &mut Vec<Vec<f64>>, rows: usize, cols: usize) -> Matrix {
+        let need = rows * cols;
+        let mut buf = match pool.iter().position(|b| b.capacity() >= need) {
+            Some(i) => pool.remove(i),
+            None => pool.pop().unwrap_or_default(),
+        };
+        buf.clear();
+        buf.resize(need, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    fn give_to(pool: &mut Vec<Vec<f64>>, m: Matrix) {
+        let buf = m.into_vec();
+        let pos = pool
+            .iter()
+            .position(|b| b.capacity() >= buf.capacity())
+            .unwrap_or(pool.len());
+        pool.insert(pos, buf);
+    }
+
+    fn take_taus(&mut self) -> Vec<f64> {
+        self.taus.pop().unwrap_or_default()
+    }
+
+    fn give_taus(&mut self, t: Vec<f64>) {
+        self.taus.push(t);
+    }
+}
+
+thread_local! {
+    static TLS_WORKSPACE: RefCell<KernelWorkspace> = RefCell::new(KernelWorkspace::new());
+}
+
+/// Run `f` with this thread's kernel workspace.
+///
+/// The public kernel entry points ([`gemm_kernel`], [`syrk_kernel`],
+/// [`subtract_lowrank`]) route through this so callers outside the
+/// executor (tests, ACA assembly, the distributed engine) get workspace
+/// recycling for free; the factorization executor instead owns one
+/// explicit arena per worker and calls the `_ws` variants directly.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut KernelWorkspace) -> R) -> R {
+    TLS_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
 /// SYRK kernel: `C −= A·Aᵀ` onto a dense diagonal tile.
 ///
 /// Low-rank `A = U·Vᵀ` gives `A·Aᵀ = U·(VᵀV)·Uᵀ`: one `k × k` Gram
-/// matrix, one `b × k` product, one rank-k dense update.
+/// matrix, one `b × k` product, one rank-k dense update. Uses the
+/// calling thread's workspace; executor workers should call
+/// [`syrk_kernel_ws`] with their own arena.
 pub fn syrk_kernel(a: &Tile, c: &mut Tile) {
+    with_thread_workspace(|ws| syrk_kernel_ws(ws, a, c));
+}
+
+/// [`syrk_kernel`] against an explicit workspace (allocation-free in
+/// steady state).
+pub fn syrk_kernel_ws(ws: &mut KernelWorkspace, a: &Tile, c: &mut Tile) {
     let c = match c {
         Tile::Dense(m) => m,
         _ => panic!("SYRK destination (diagonal tile) must be dense"),
@@ -82,13 +264,15 @@ pub fn syrk_kernel(a: &Tile, c: &mut Tile) {
                 return;
             }
             // W = VᵀV  (k × k)
-            let mut w = Matrix::zeros(k, k);
+            let mut w = ws.take(k, k);
             gemm_serial(Trans::Yes, Trans::No, 1.0, v, v, 0.0, &mut w);
             // T = U·W  (b × k)
-            let mut t = Matrix::zeros(u.rows(), k);
+            let mut t = ws.take(u.rows(), k);
             gemm_serial(Trans::No, Trans::No, 1.0, u, &w, 0.0, &mut t);
             // C −= T·Uᵀ (full update; the diagonal tile is kept symmetric)
             gemm_serial(Trans::No, Trans::Yes, -1.0, &t, u, 1.0, c);
+            ws.give(w);
+            ws.give(t);
         }
         Tile::Null { .. } => {}
     }
@@ -99,65 +283,162 @@ pub fn syrk_kernel(a: &Tile, c: &mut Tile) {
 /// `A` is tile `(m, k)`, `B` is tile `(n, k)` of the factorization, `C` is
 /// tile `(m, n)`. Null operands make the kernel a no-op (the DAG-trimming
 /// analysis removes those calls up front; keeping the no-op here preserves
-/// correctness when trimming is disabled).
+/// correctness when trimming is disabled). Uses the calling thread's
+/// workspace; executor workers should call [`gemm_kernel_ws`] with their
+/// own arena.
 pub fn gemm_kernel(a: &Tile, b: &Tile, c: &mut Tile, config: &CompressionConfig) {
+    with_thread_workspace(|ws| gemm_kernel_ws(ws, a, b, c, config));
+}
+
+/// [`gemm_kernel`] against an explicit workspace.
+///
+/// The low-rank product form is assembled **directly** into the stacked
+/// recompression factors (no operand cloning, the `−1` folded into the
+/// write), and recompression runs the implicit-Q path — see the module
+/// docs. Allocation-free in steady state.
+pub fn gemm_kernel_ws(
+    ws: &mut KernelWorkspace,
+    a: &Tile,
+    b: &Tile,
+    c: &mut Tile,
+    config: &CompressionConfig,
+) {
     if a.is_null() || b.is_null() {
         return;
     }
-    // Express the product A·Bᵀ in low-rank form (u_p · v_pᵀ) when possible.
-    let product = match (a, b) {
+    // dense × dense: compute densely and keep C dense.
+    if let (Tile::Dense(am), Tile::Dense(bm)) = (a, b) {
+        match c {
+            Tile::Dense(cm) => gemm_serial(Trans::No, Trans::Yes, -1.0, am, bm, 1.0, cm),
+            _ => {
+                let mut cd = ws.take_out(c.rows(), c.cols());
+                c.to_dense_into(&mut cd);
+                gemm_serial(Trans::No, Trans::Yes, -1.0, am, bm, 1.0, &mut cd);
+                ws.give_tile(std::mem::replace(c, Tile::Dense(cd)));
+            }
+        }
+        return;
+    }
+    if let Tile::Dense(cm) = c {
+        // Dense destination: form the product's owned factor in workspace
+        // and accumulate in place — no recompression on dense tiles, and
+        // the borrowed factor is used as-is (never cloned).
+        match (a, b) {
+            (Tile::LowRank { u: ua, v: va }, Tile::LowRank { u: ub, v: vb }) => {
+                let (ka, kb) = (ua.cols(), ub.cols());
+                if ka == 0 || kb == 0 {
+                    return;
+                }
+                // W = Vaᵀ·Vb  (ka × kb)
+                let mut w = ws.take(ka, kb);
+                gemm_serial(Trans::Yes, Trans::No, 1.0, va, vb, 0.0, &mut w);
+                if ka <= kb {
+                    // C −= Ua · (Ub·Wᵀ)ᵀ
+                    let mut vp = ws.take(ub.rows(), ka);
+                    gemm_serial(Trans::No, Trans::Yes, 1.0, ub, &w, 0.0, &mut vp);
+                    gemm_serial(Trans::No, Trans::Yes, -1.0, ua, &vp, 1.0, cm);
+                    ws.give(vp);
+                } else {
+                    // C −= (Ua·W) · Ubᵀ
+                    let mut up = ws.take(ua.rows(), kb);
+                    gemm_serial(Trans::No, Trans::No, 1.0, ua, &w, 0.0, &mut up);
+                    gemm_serial(Trans::No, Trans::Yes, -1.0, &up, ub, 1.0, cm);
+                    ws.give(up);
+                }
+                ws.give(w);
+            }
+            (Tile::LowRank { u: ua, v: va }, Tile::Dense(bm)) => {
+                if ua.cols() == 0 {
+                    return;
+                }
+                // C −= Ua · (B·Va)ᵀ
+                let mut vp = ws.take(bm.rows(), ua.cols());
+                gemm_serial(Trans::No, Trans::No, 1.0, bm, va, 0.0, &mut vp);
+                gemm_serial(Trans::No, Trans::Yes, -1.0, ua, &vp, 1.0, cm);
+                ws.give(vp);
+            }
+            (Tile::Dense(am), Tile::LowRank { u: ub, v: vb }) => {
+                if ub.cols() == 0 {
+                    return;
+                }
+                // C −= (A·Vb) · Ubᵀ
+                let mut up = ws.take(am.rows(), ub.cols());
+                gemm_serial(Trans::No, Trans::No, 1.0, am, vb, 0.0, &mut up);
+                gemm_serial(Trans::No, Trans::Yes, -1.0, &up, ub, 1.0, cm);
+                ws.give(up);
+            }
+            _ => unreachable!("null and dense×dense operands handled above"),
+        }
+        return;
+    }
+    // Low-rank / null destination: stack `[U_c  −U_p] · [V_c  V_p]ᵀ`
+    // with the product block written straight into the workspace-backed
+    // stacked factors, then recompress.
+    let rows = c.rows();
+    let cols = c.cols();
+    let kc = match &*c {
+        Tile::LowRank { u, .. } => u.cols(),
+        _ => 0,
+    };
+    let (us, vs) = match (a, b) {
         (Tile::LowRank { u: ua, v: va }, Tile::LowRank { u: ub, v: vb }) => {
-            let ka = ua.cols();
-            let kb = ub.cols();
+            let (ka, kb) = (ua.cols(), ub.cols());
             if ka == 0 || kb == 0 {
                 return;
             }
+            let kp = ka.min(kb);
+            let mut us = ws.take(rows, kc + kp);
+            let mut vs = ws.take(cols, kc + kp);
+            copy_tile_factors(c, &mut us, &mut vs);
             // W = Vaᵀ·Vb  (ka × kb)
-            let mut w = Matrix::zeros(ka, kb);
+            let mut w = ws.take(ka, kb);
             gemm_serial(Trans::Yes, Trans::No, 1.0, va, vb, 0.0, &mut w);
             if ka <= kb {
-                // P = Ua · (Ub·Wᵀ)ᵀ, rank ka
-                let mut vp = Matrix::zeros(ub.rows(), ka);
-                gemm_serial(Trans::No, Trans::Yes, 1.0, ub, &w, 0.0, &mut vp);
-                Some((ua.clone(), vp))
+                // product = (−Ua) · (Ub·Wᵀ)ᵀ, rank ka
+                copy_cols_scaled(&mut us, kc, ua, -1.0);
+                gemm_serial_into_cols(Trans::No, Trans::Yes, 1.0, ub, &w, 0.0, &mut vs, kc);
             } else {
-                // P = (Ua·W) · Ubᵀ, rank kb
-                let mut up = Matrix::zeros(ua.rows(), kb);
-                gemm_serial(Trans::No, Trans::No, 1.0, ua, &w, 0.0, &mut up);
-                Some((up, ub.clone()))
+                // product = (−Ua·W) · Ubᵀ, rank kb
+                gemm_serial_into_cols(Trans::No, Trans::No, -1.0, ua, &w, 0.0, &mut us, kc);
+                copy_cols_scaled(&mut vs, kc, ub, 1.0);
             }
+            ws.give(w);
+            (us, vs)
         }
         (Tile::LowRank { u: ua, v: va }, Tile::Dense(bm)) => {
-            // P = Ua · (B·Va)ᵀ
-            let ka = ua.cols();
-            let mut vp = Matrix::zeros(bm.rows(), ka);
-            gemm_serial(Trans::No, Trans::No, 1.0, bm, va, 0.0, &mut vp);
-            Some((ua.clone(), vp))
+            if ua.cols() == 0 {
+                return;
+            }
+            let mut us = ws.take(rows, kc + ua.cols());
+            let mut vs = ws.take(cols, kc + ua.cols());
+            copy_tile_factors(c, &mut us, &mut vs);
+            // product = (−Ua) · (B·Va)ᵀ
+            copy_cols_scaled(&mut us, kc, ua, -1.0);
+            gemm_serial_into_cols(Trans::No, Trans::No, 1.0, bm, va, 0.0, &mut vs, kc);
+            (us, vs)
         }
         (Tile::Dense(am), Tile::LowRank { u: ub, v: vb }) => {
-            // P = (A·Vb) · Ubᵀ
-            let kb = ub.cols();
-            let mut up = Matrix::zeros(am.rows(), kb);
-            gemm_serial(Trans::No, Trans::No, 1.0, am, vb, 0.0, &mut up);
-            Some((up, ub.clone()))
+            if ub.cols() == 0 {
+                return;
+            }
+            let mut us = ws.take(rows, kc + ub.cols());
+            let mut vs = ws.take(cols, kc + ub.cols());
+            copy_tile_factors(c, &mut us, &mut vs);
+            // product = (−A·Vb) · Ubᵀ
+            gemm_serial_into_cols(Trans::No, Trans::No, -1.0, am, vb, 0.0, &mut us, kc);
+            copy_cols_scaled(&mut vs, kc, ub, 1.0);
+            (us, vs)
         }
-        (Tile::Dense(_), Tile::Dense(_)) => None,
-        _ => unreachable!("null operands handled above"),
+        _ => unreachable!("null and dense×dense operands handled above"),
     };
-
-    match product {
-        Some((up, vp)) => subtract_lowrank(c, &up, &vp, config),
-        None => {
-            // dense × dense: compute densely and keep C dense.
-            let (am, bm) = match (a, b) {
-                (Tile::Dense(am), Tile::Dense(bm)) => (am, bm),
-                _ => unreachable!(),
-            };
-            let mut cd = c.to_dense();
-            gemm_serial(Trans::No, Trans::Yes, -1.0, am, bm, 1.0, &mut cd);
-            *c = Tile::Dense(cd);
-        }
-    }
+    // The destination's factors are fully copied into `us`/`vs`, so its
+    // buffers can be reclaimed *before* recompression — that way they are
+    // in the pool when the recompressed factors are taken, which is what
+    // lets the take/give cycle reach a fixed point (reclaiming after
+    // would let each call walk off with an oversized buffer and re-grow
+    // a smaller one forever).
+    ws.give_tile(std::mem::replace(c, Tile::Null { rows, cols }));
+    *c = recompress_ws(ws, us, vs, rows, cols, config);
 }
 
 /// `C −= up · vpᵀ`, preserving/choosing C's format with recompression.
@@ -167,7 +448,21 @@ pub fn gemm_kernel(a: &Tile, b: &Tile, c: &mut Tile, config: &CompressionConfig)
 ///   QR of both stacked factors + SVD of the small core, truncated at the
 ///   configured accuracy. The result may be `Null` (fully cancelled),
 ///   `LowRank`, or `Dense` (rank grew past the pay-off point).
+///
+/// Uses the calling thread's workspace; see [`subtract_lowrank_ws`].
 pub fn subtract_lowrank(c: &mut Tile, up: &Matrix, vp: &Matrix, config: &CompressionConfig) {
+    with_thread_workspace(|ws| subtract_lowrank_ws(ws, c, up, vp, config));
+}
+
+/// [`subtract_lowrank`] against an explicit workspace (allocation-free in
+/// steady state).
+pub fn subtract_lowrank_ws(
+    ws: &mut KernelWorkspace,
+    c: &mut Tile,
+    up: &Matrix,
+    vp: &Matrix,
+    config: &CompressionConfig,
+) {
     let kp = up.cols();
     if kp == 0 {
         return;
@@ -179,65 +474,389 @@ pub fn subtract_lowrank(c: &mut Tile, up: &Matrix, vp: &Matrix, config: &Compres
         Tile::LowRank { .. } | Tile::Null { .. } => {
             let rows = c.rows();
             let cols = c.cols();
-            let (uc, vc) = match c {
-                Tile::LowRank { u, v } => (Some(u), Some(v)),
-                _ => (None, None),
+            let kc = match &*c {
+                Tile::LowRank { u, .. } => u.cols(),
+                _ => 0,
             };
-            let kc = uc.as_ref().map_or(0, |u| u.cols());
-            let ktot = kc + kp;
             // Stack factors: U_s = [U_c  −up], V_s = [V_c  vp].
-            let mut us = Matrix::zeros(rows, ktot);
-            let mut vs = Matrix::zeros(cols, ktot);
-            if let (Some(uc), Some(vc)) = (uc, vc) {
-                us.set_submatrix(0, 0, uc);
-                vs.set_submatrix(0, 0, vc);
-            }
-            {
-                let mut neg = up.clone();
-                neg.scale(-1.0);
-                us.set_submatrix(0, kc, &neg);
-                vs.set_submatrix(0, kc, vp);
-            }
-            *c = recompress(us, vs, rows, cols, config);
+            let mut us = ws.take(rows, kc + kp);
+            let mut vs = ws.take(cols, kc + kp);
+            copy_tile_factors(c, &mut us, &mut vs);
+            copy_cols_scaled(&mut us, kc, up, -1.0);
+            copy_cols_scaled(&mut vs, kc, vp, 1.0);
+            // Reclaim before recompressing — see `gemm_kernel_ws`.
+            ws.give_tile(std::mem::replace(c, Tile::Null { rows, cols }));
+            *c = recompress_ws(ws, us, vs, rows, cols, config);
         }
     }
 }
 
-/// Recompress a stacked `U_s·V_sᵀ` product into canonical tile form.
-fn recompress(us: Matrix, vs: Matrix, rows: usize, cols: usize, config: &CompressionConfig) -> Tile {
-    let qu = Qr::new(us);
-    let qv = Qr::new(vs);
-    let ru = qu.r(); // ku × ktot
-    let rv = qv.r(); // kv × ktot
-    // Core = Ru · Rvᵀ (ku × kv), small.
-    let mut core = Matrix::zeros(ru.rows(), rv.rows());
-    gemm_serial(Trans::No, Trans::Yes, 1.0, &ru, &rv, 0.0, &mut core);
-    let svd = jacobi_svd(&core);
-    let k = svd.rank_at_frobenius(config.accuracy).min(config.max_rank);
-    if k == 0 {
-        return Tile::Null { rows, cols };
+/// Copy a low-rank tile's `u`/`v` factors into the leading columns of the
+/// stacked factors (no-op for null destinations).
+fn copy_tile_factors(c: &Tile, us: &mut Matrix, vs: &mut Matrix) {
+    if let Tile::LowRank { u, v } = c {
+        copy_cols_scaled(us, 0, u, 1.0);
+        copy_cols_scaled(vs, 0, v, 1.0);
     }
-    // U = Q_u · X_k · Σ_k ; V = Q_v · Y_k
-    let x = svd.u.submatrix(0, 0, svd.u.rows(), k);
-    let mut xs = x;
-    for p in 0..k {
-        let sv = svd.s[p];
-        for val in xs.col_mut(p) {
-            *val *= sv;
+}
+
+/// `dst[:, j0 .. j0+src.cols()) = alpha · src` — the scaled-copy half of
+/// the stacking loop; `alpha = −1` folds the update's sign into the write
+/// (IEEE negation is exact, so this matches negate-after-multiply
+/// bitwise).
+fn copy_cols_scaled(dst: &mut Matrix, j0: usize, src: &Matrix, alpha: f64) {
+    for j in 0..src.cols() {
+        let d = &mut dst.col_mut(j0 + j)[..src.rows()];
+        let s = src.col(j);
+        if alpha == 1.0 {
+            d.copy_from_slice(s);
+        } else {
+            for (di, si) in d.iter_mut().zip(s) {
+                *di = alpha * si;
+            }
         }
     }
-    let quf = qu.q_thin();
-    let qvf = qv.q_thin();
-    let mut u = Matrix::zeros(rows, k);
-    gemm_serial(Trans::No, Trans::No, 1.0, &quf, &xs, 0.0, &mut u);
-    let y = svd.v.submatrix(0, 0, svd.v.rows(), k);
-    let mut v = Matrix::zeros(cols, k);
-    gemm_serial(Trans::No, Trans::No, 1.0, &qvf, &y, 0.0, &mut v);
+}
+
+/// Recompress a stacked `U_s·V_sᵀ` product into canonical tile form using
+/// the workspace: QR of both stacked factors (`tau` buffers recycled),
+/// SVD of the small core into the arena's reusable output, then
+/// re-projection by **implicit** application of the stored Householder
+/// reflectors (`Qr::apply_q`) — the thin `Q` factors are never formed.
+/// All of `us`/`vs` and the QR factor storage return to the pool before
+/// this function does.
+fn recompress_ws(
+    ws: &mut KernelWorkspace,
+    us: Matrix,
+    vs: Matrix,
+    rows: usize,
+    cols: usize,
+    config: &CompressionConfig,
+) -> Tile {
+    let taus_u = ws.take_taus();
+    let qu = Qr::new_in(us, taus_u);
+    let taus_v = ws.take_taus();
+    let qv = Qr::new_in(vs, taus_v);
+    let ku = qu.k();
+    let kv = qv.k();
+    let mut ru = ws.take(ku, qu.cols()); // ku × ktot
+    qu.r_into(&mut ru);
+    let mut rv = ws.take(kv, qv.cols()); // kv × ktot
+    qv.r_into(&mut rv);
+    // Core = Ru · Rvᵀ (ku × kv), small.
+    let mut core = ws.take(ku, kv);
+    gemm_serial(Trans::No, Trans::Yes, 1.0, &ru, &rv, 0.0, &mut core);
+    jacobi_svd_into(&core, &mut ws.svd, &mut ws.svd_work);
+    ws.give(ru);
+    ws.give(rv);
+    ws.give(core);
+    let k = ws.svd.rank_at_frobenius(config.accuracy).min(config.max_rank);
+    if k == 0 {
+        reclaim_qr(ws, qu);
+        reclaim_qr(ws, qv);
+        return Tile::Null { rows, cols };
+    }
+    // U = Q_u · (X_k · Σ_k) ; V = Q_v · Y_k — implicit-Q application.
+    let mut xs = ws.take(ku, k);
+    for p in 0..k {
+        let sv = ws.svd.s[p];
+        for (x, &uv) in xs.col_mut(p).iter_mut().zip(ws.svd.u.col(p)) {
+            *x = sv * uv;
+        }
+    }
+    let mut u = ws.take_out(rows, k);
+    qu.apply_q(&xs, &mut u);
+    ws.give(xs);
+    reclaim_qr(ws, qu);
+    let mut ys = ws.take(kv, k);
+    for p in 0..k {
+        ys.col_mut(p).copy_from_slice(ws.svd.v.col(p));
+    }
+    let mut v = ws.take_out(cols, k);
+    qv.apply_q(&ys, &mut v);
+    ws.give(ys);
+    reclaim_qr(ws, qv);
     if !config.low_rank_pays_off(k, rows, cols) {
-        let t = Tile::LowRank { u, v };
-        return Tile::Dense(t.to_dense());
+        let mut dense = ws.take_out(rows, cols);
+        gemm_serial(Trans::No, Trans::Yes, 1.0, &u, &v, 0.0, &mut dense);
+        ws.give_out(u);
+        ws.give_out(v);
+        return Tile::Dense(dense);
     }
     Tile::LowRank { u, v }
+}
+
+/// Return a consumed QR factorization's buffers to the workspace.
+fn reclaim_qr(ws: &mut KernelWorkspace, qr: Qr) {
+    let (factors, taus) = qr.into_parts();
+    ws.give(factors);
+    ws.give_taus(taus);
+}
+
+pub mod reference {
+    //! The pre-workspace recompression path, kept verbatim.
+    //!
+    //! This is the allocating, explicit-Q implementation the workspace
+    //! engine replaced: fresh `Matrix` buffers per call, cloned operand
+    //! factors, `up.clone()+scale(−1)` negation, and `Qr::q_thin()` +
+    //! GEMM re-projection. It exists for two reasons: the
+    //! `gemm_recompress` bench measures the new engine against it in the
+    //! same run, and the property/equivalence tests use it as a
+    //! differential oracle.
+
+    use super::*;
+    use tlr_linalg::Svd;
+
+    /// The pre-PR one-sided Jacobi SVD, kept verbatim (fresh buffers,
+    /// three dot products per pair scan, recursive transpose handling,
+    /// stable sort). The shared [`tlr_linalg::jacobi_svd_into`] has since
+    /// been optimized (cached column norms), so the honest pre-PR
+    /// baseline needs its own frozen copy.
+    fn jacobi_svd_reference(a: &Matrix) -> Svd {
+        if a.rows() < a.cols() {
+            let t = jacobi_svd_reference(&a.transpose());
+            return Svd { u: t.v, s: t.s, v: t.u };
+        }
+        let m = a.rows();
+        let n = a.cols();
+        if n == 0 {
+            return Svd { u: Matrix::zeros(m, 0), s: vec![], v: Matrix::zeros(0, 0) };
+        }
+        let mut w = a.clone();
+        let mut v = Matrix::identity(n);
+        let eps = f64::EPSILON;
+
+        const MAX_SWEEPS: usize = 60;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut rotated = false;
+            for p in 0..n.saturating_sub(1) {
+                for q in p + 1..n {
+                    let (app, aqq, apq) = {
+                        let cp = w.col(p);
+                        let cq = w.col(q);
+                        let mut app = 0.0;
+                        let mut aqq = 0.0;
+                        let mut apq = 0.0;
+                        for i in 0..m {
+                            app += cp[i] * cp[i];
+                            aqq += cq[i] * cq[i];
+                            apq += cp[i] * cq[i];
+                        }
+                        (app, aqq, apq)
+                    };
+                    if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
+                        continue;
+                    }
+                    rotated = true;
+                    let zeta = (aqq - app) / (2.0 * apq);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    {
+                        let (cp, cq) = w.two_cols_mut(p, q);
+                        for i in 0..m {
+                            let wp = cp[i];
+                            let wq = cq[i];
+                            cp[i] = c * wp - s * wq;
+                            cq[i] = s * wp + c * wq;
+                        }
+                    }
+                    {
+                        let (vp, vq) = v.two_cols_mut(p, q);
+                        for i in 0..n {
+                            let xp = vp[i];
+                            let xq = vq[i];
+                            vp[i] = c * xp - s * xq;
+                            vq[i] = s * xp + c * xq;
+                        }
+                    }
+                }
+            }
+            if !rotated {
+                break;
+            }
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = (0..n)
+            .map(|j| tlr_linalg::norms::frobenius_norm_slice(w.col(j)))
+            .collect();
+        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+        let mut u = Matrix::zeros(m, n);
+        let mut vv = Matrix::zeros(n, n);
+        let mut s = Vec::with_capacity(n);
+        for (dst, &src) in order.iter().enumerate() {
+            let sv = norms[src];
+            s.push(sv);
+            if sv > 0.0 {
+                let wc = w.col(src);
+                let uc = u.col_mut(dst);
+                for i in 0..m {
+                    uc[i] = wc[i] / sv;
+                }
+            }
+            let vc = v.col(src);
+            let vvc = vv.col_mut(dst);
+            vvc.copy_from_slice(vc);
+        }
+        Svd { u, s, v: vv }
+    }
+
+    /// Pre-workspace [`super::gemm_kernel`]: identical semantics, fresh
+    /// allocations per call, explicit-Q recompression.
+    pub fn gemm_kernel_reference(a: &Tile, b: &Tile, c: &mut Tile, config: &CompressionConfig) {
+        if a.is_null() || b.is_null() {
+            return;
+        }
+        // Express the product A·Bᵀ in low-rank form (u_p · v_pᵀ) when possible.
+        let product = match (a, b) {
+            (Tile::LowRank { u: ua, v: va }, Tile::LowRank { u: ub, v: vb }) => {
+                let ka = ua.cols();
+                let kb = ub.cols();
+                if ka == 0 || kb == 0 {
+                    return;
+                }
+                // W = Vaᵀ·Vb  (ka × kb)
+                let mut w = Matrix::zeros(ka, kb);
+                gemm_serial(Trans::Yes, Trans::No, 1.0, va, vb, 0.0, &mut w);
+                if ka <= kb {
+                    // P = Ua · (Ub·Wᵀ)ᵀ, rank ka
+                    let mut vp = Matrix::zeros(ub.rows(), ka);
+                    gemm_serial(Trans::No, Trans::Yes, 1.0, ub, &w, 0.0, &mut vp);
+                    Some((ua.clone(), vp))
+                } else {
+                    // P = (Ua·W) · Ubᵀ, rank kb
+                    let mut up = Matrix::zeros(ua.rows(), kb);
+                    gemm_serial(Trans::No, Trans::No, 1.0, ua, &w, 0.0, &mut up);
+                    Some((up, ub.clone()))
+                }
+            }
+            (Tile::LowRank { u: ua, v: va }, Tile::Dense(bm)) => {
+                if ua.cols() == 0 {
+                    return;
+                }
+                // P = Ua · (B·Va)ᵀ
+                let ka = ua.cols();
+                let mut vp = Matrix::zeros(bm.rows(), ka);
+                gemm_serial(Trans::No, Trans::No, 1.0, bm, va, 0.0, &mut vp);
+                Some((ua.clone(), vp))
+            }
+            (Tile::Dense(am), Tile::LowRank { u: ub, v: vb }) => {
+                if ub.cols() == 0 {
+                    return;
+                }
+                // P = (A·Vb) · Ubᵀ
+                let kb = ub.cols();
+                let mut up = Matrix::zeros(am.rows(), kb);
+                gemm_serial(Trans::No, Trans::No, 1.0, am, vb, 0.0, &mut up);
+                Some((up, ub.clone()))
+            }
+            (Tile::Dense(_), Tile::Dense(_)) => None,
+            _ => unreachable!("null operands handled above"),
+        };
+
+        match product {
+            Some((up, vp)) => subtract_lowrank_reference(c, &up, &vp, config),
+            None => {
+                // dense × dense: compute densely and keep C dense.
+                let (am, bm) = match (a, b) {
+                    (Tile::Dense(am), Tile::Dense(bm)) => (am, bm),
+                    _ => unreachable!(),
+                };
+                let mut cd = c.to_dense();
+                gemm_serial(Trans::No, Trans::Yes, -1.0, am, bm, 1.0, &mut cd);
+                *c = Tile::Dense(cd);
+            }
+        }
+    }
+
+    /// Pre-workspace [`super::subtract_lowrank`] with clone-based
+    /// stacking.
+    pub fn subtract_lowrank_reference(
+        c: &mut Tile,
+        up: &Matrix,
+        vp: &Matrix,
+        config: &CompressionConfig,
+    ) {
+        let kp = up.cols();
+        if kp == 0 {
+            return;
+        }
+        match c {
+            Tile::Dense(cm) => {
+                gemm_serial(Trans::No, Trans::Yes, -1.0, up, vp, 1.0, cm);
+            }
+            Tile::LowRank { .. } | Tile::Null { .. } => {
+                let rows = c.rows();
+                let cols = c.cols();
+                let (uc, vc) = match c {
+                    Tile::LowRank { u, v } => (Some(u), Some(v)),
+                    _ => (None, None),
+                };
+                let kc = uc.as_ref().map_or(0, |u| u.cols());
+                let ktot = kc + kp;
+                // Stack factors: U_s = [U_c  −up], V_s = [V_c  vp].
+                let mut us = Matrix::zeros(rows, ktot);
+                let mut vs = Matrix::zeros(cols, ktot);
+                if let (Some(uc), Some(vc)) = (uc, vc) {
+                    us.set_submatrix(0, 0, uc);
+                    vs.set_submatrix(0, 0, vc);
+                }
+                {
+                    let mut neg = up.clone();
+                    neg.scale(-1.0);
+                    us.set_submatrix(0, kc, &neg);
+                    vs.set_submatrix(0, kc, vp);
+                }
+                *c = recompress_reference(us, vs, rows, cols, config);
+            }
+        }
+    }
+
+    /// Pre-workspace recompression: explicit `q_thin()` factors and two
+    /// `b × kt × k'` re-projection GEMMs.
+    pub fn recompress_reference(
+        us: Matrix,
+        vs: Matrix,
+        rows: usize,
+        cols: usize,
+        config: &CompressionConfig,
+    ) -> Tile {
+        let qu = Qr::new(us);
+        let qv = Qr::new(vs);
+        let ru = qu.r(); // ku × ktot
+        let rv = qv.r(); // kv × ktot
+        // Core = Ru · Rvᵀ (ku × kv), small.
+        let mut core = Matrix::zeros(ru.rows(), rv.rows());
+        gemm_serial(Trans::No, Trans::Yes, 1.0, &ru, &rv, 0.0, &mut core);
+        let svd = jacobi_svd_reference(&core);
+        let k = svd.rank_at_frobenius(config.accuracy).min(config.max_rank);
+        if k == 0 {
+            return Tile::Null { rows, cols };
+        }
+        // U = Q_u · X_k · Σ_k ; V = Q_v · Y_k
+        let x = svd.u.submatrix(0, 0, svd.u.rows(), k);
+        let mut xs = x;
+        for p in 0..k {
+            let sv = svd.s[p];
+            for val in xs.col_mut(p) {
+                *val *= sv;
+            }
+        }
+        let quf = qu.q_thin();
+        let qvf = qv.q_thin();
+        let mut u = Matrix::zeros(rows, k);
+        gemm_serial(Trans::No, Trans::No, 1.0, &quf, &xs, 0.0, &mut u);
+        let y = svd.v.submatrix(0, 0, svd.v.rows(), k);
+        let mut v = Matrix::zeros(cols, k);
+        gemm_serial(Trans::No, Trans::No, 1.0, &qvf, &y, 0.0, &mut v);
+        if !config.low_rank_pays_off(k, rows, cols) {
+            let t = Tile::LowRank { u, v };
+            return Tile::Dense(t.to_dense());
+        }
+        Tile::LowRank { u, v }
+    }
 }
 
 /// Operation counts for every kernel variant, parameterized by tile size
@@ -280,19 +899,26 @@ pub mod flops {
     }
 
     /// TLR GEMM with recompression, operands of rank `ka`, `kb`,
-    /// destination rank `kc` (before update).
+    /// destination rank `kc` (before update), for the **implicit-Q**
+    /// engine.
     ///
-    /// Terms: product form `2·b·ka·kb` (+ `2·b·min(ka,kb)²`), stacked QRs
-    /// `≈ 4·b·(kc+kp)²`, small SVD `O((kc+kp)³)`, re-projection
-    /// `4·b·(kc+kp)·k'` (bounded by `(kc+kp)`).
+    /// Terms, with `kp = min(ka, kb)` and stacked rank `kt = kc + kp`:
+    /// product form `2·b·ka·kb` (+ `2·b·kp²`), stacked QRs `≈ 4·b·kt²`,
+    /// small SVD `O(kt³)`, and implicit-Q re-projection `4·b·kt·k'` where
+    /// `k'` is the post-truncation rank (estimated as `kc`, clamped to
+    /// `[1, kt]`). The old explicit-Q path paid `4·b·kt²` here — forming
+    /// each thin `Q` *and* multiplying it — independent of how hard the
+    /// truncation cut; applying the reflectors directly to the truncated
+    /// block makes the cost proportional to what survives.
     pub fn gemm_tlr(b: usize, ka: usize, kb: usize, kc: usize) -> f64 {
         let kp = ka.min(kb);
         let kt = (kc + kp) as f64;
+        let kout = kc.max(1).min(kc + kp) as f64;
         let (bf, kaf, kbf) = (b as f64, ka as f64, kb as f64);
         let product = 2.0 * bf * kaf * kbf + 2.0 * bf * (kp * kp) as f64;
         let qr2 = 4.0 * bf * kt * kt;
         let svd = 12.0 * kt * kt * kt;
-        let reproject = 4.0 * bf * kt * kt;
+        let reproject = 4.0 * bf * kt * kout;
         product + qr2 + svd + reproject
     }
 }
@@ -422,6 +1048,88 @@ mod tests {
     }
 
     #[test]
+    fn workspace_path_matches_reference_path() {
+        // Differential test across every operand/destination format: the
+        // workspace engine and the preserved pre-workspace path must
+        // agree to near machine precision (they do the same arithmetic;
+        // only the Q application differs in rounding).
+        let b = 24;
+        let cfg = CompressionConfig::with_accuracy(1e-9);
+        let a_mat = smooth_tile(b, 30.0);
+        let b_mat = smooth_tile(b, 34.0);
+        let c_mat = smooth_tile(b, 50.0);
+        let formats_a = [Tile::Dense(a_mat.clone()), compress_tile(a_mat, &cfg)];
+        let formats_b = [Tile::Dense(b_mat.clone()), compress_tile(b_mat, &cfg)];
+        let formats_c = [
+            Tile::Dense(c_mat.clone()),
+            compress_tile(c_mat, &cfg),
+            Tile::Null { rows: b, cols: b },
+        ];
+        let mut ws = KernelWorkspace::new();
+        for at in &formats_a {
+            for bt in &formats_b {
+                for ct in &formats_c {
+                    let mut c_new = ct.clone();
+                    gemm_kernel_ws(&mut ws, at, bt, &mut c_new, &cfg);
+                    let mut c_old = ct.clone();
+                    reference::gemm_kernel_reference(at, bt, &mut c_old, &cfg);
+                    assert_eq!(c_new.format(), c_old.format());
+                    assert_eq!(c_new.rank(), c_old.rank());
+                    let err = relative_diff(&c_new.to_dense(), &c_old.to_dense());
+                    assert!(err < 1e-12, "formats {:?}/{:?}/{:?}: err={err}",
+                        at.format(), bt.format(), ct.format());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_many_calls_stays_correct() {
+        // Drive one arena through a long, rank-varying call sequence and
+        // check against the reference path each time — buffer recycling
+        // must never leak state between calls.
+        let b = 32;
+        let cfg = CompressionConfig::with_accuracy(1e-8);
+        let mut ws = KernelWorkspace::new();
+        let mut c_new = Tile::Null { rows: b, cols: b };
+        let mut c_old = Tile::Null { rows: b, cols: b };
+        for s in 0..8 {
+            let a_t = compress_tile(smooth_tile(b, 28.0 + 2.0 * s as f64), &cfg);
+            let b_t = compress_tile(smooth_tile(b, 41.0 + 3.0 * s as f64), &cfg);
+            gemm_kernel_ws(&mut ws, &a_t, &b_t, &mut c_new, &cfg);
+            reference::gemm_kernel_reference(&a_t, &b_t, &mut c_old, &cfg);
+            assert_eq!(c_new.rank(), c_old.rank(), "step {s}");
+            assert!(
+                relative_diff(&c_new.to_dense(), &c_old.to_dense()) < 1e-11,
+                "step {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_kernel_zero_rank_operands_noop() {
+        // Satellite bugfix: zero-rank (but non-Null) low-rank operands
+        // must leave C untouched in the mixed arms too.
+        let b = 16;
+        let cfg = CompressionConfig::default();
+        let zero_lr = Tile::LowRank { u: Matrix::zeros(b, 0), v: Matrix::zeros(b, 0) };
+        let dense = Tile::Dense(smooth_tile(b, 20.0));
+        let c0 = compress_tile(smooth_tile(b, 26.0), &CompressionConfig::with_accuracy(1e-9));
+        for other in [&dense, &zero_lr] {
+            let mut c = c0.clone();
+            gemm_kernel(&zero_lr, other, &mut c, &cfg);
+            assert!(relative_diff(&c.to_dense(), &c0.to_dense()) < 1e-15);
+            let mut c = c0.clone();
+            gemm_kernel(other, &zero_lr, &mut c, &cfg);
+            assert!(relative_diff(&c.to_dense(), &c0.to_dense()) < 1e-15);
+        }
+        // Dense destination too.
+        let mut c = dense.clone();
+        gemm_kernel(&zero_lr, &dense, &mut c, &cfg);
+        assert!(relative_diff(&c.to_dense(), &dense.to_dense()) < 1e-15);
+    }
+
+    #[test]
     fn gemm_kernel_null_operands_noop() {
         let cfg = CompressionConfig::default();
         let c0 = smooth_tile(16, 20.0);
@@ -490,6 +1198,25 @@ mod tests {
     }
 
     #[test]
+    fn workspace_take_give_best_fit() {
+        let mut ws = KernelWorkspace::new();
+        let a = ws.take(4, 4); // 16
+        let b = ws.take(10, 10); // 100
+        ws.give(a);
+        ws.give(b);
+        // A 5×5 request must reuse a pooled buffer (no shrink of the
+        // bigger one below its capacity) and come back zeroed.
+        let c = ws.take(5, 5);
+        assert_eq!((c.rows(), c.cols()), (5, 5));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+        ws.give(c);
+        // Pool keeps both buffers: a 100-element take still fits without
+        // growing the small one.
+        let d = ws.take(10, 10);
+        assert_eq!(d.as_slice().len(), 100);
+    }
+
+    #[test]
     fn flop_counts_sane() {
         assert_eq!(flops::potrf(10), 1000.0 / 3.0);
         assert!(flops::trsm_lr(100, 5) < flops::trsm_dense(100));
@@ -497,5 +1224,9 @@ mod tests {
         assert!(flops::gemm_tlr(100, 5, 5, 5) < flops::gemm_dense(100));
         // TLR kernels grow with rank
         assert!(flops::gemm_tlr(100, 20, 20, 20) > flops::gemm_tlr(100, 5, 5, 5));
+        // The implicit-Q re-projection makes the cost sensitive to the
+        // surviving rank: a hard truncation (small kc) is cheaper than
+        // the old explicit-Q model, which charged 4·b·kt² regardless.
+        assert!(flops::gemm_tlr(128, 16, 16, 4) < flops::gemm_tlr(128, 16, 16, 16));
     }
 }

@@ -95,6 +95,23 @@ impl Tile {
         }
     }
 
+    /// Materialize the tile densely into `out` (reshaped in place to the
+    /// tile's logical shape; allocation-free once `out` has grown to
+    /// size). This is the workspace-friendly variant of
+    /// [`Tile::to_dense`] used by the kernel hot path.
+    pub fn to_dense_into(&self, out: &mut Matrix) {
+        out.reset(self.rows(), self.cols());
+        match self {
+            Tile::Dense(m) => out.as_mut_slice().copy_from_slice(m.as_slice()),
+            Tile::LowRank { u, v } => {
+                if u.cols() > 0 {
+                    gemm_serial(Trans::No, Trans::Yes, 1.0, u, v, 0.0, out);
+                }
+            }
+            Tile::Null { .. } => {}
+        }
+    }
+
     /// Materialize the tile as a dense matrix.
     pub fn to_dense(&self) -> Matrix {
         match self {

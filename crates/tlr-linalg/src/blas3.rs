@@ -135,6 +135,34 @@ pub fn gemm_serial(
     }
 }
 
+/// Serial GEMM writing into a contiguous block of columns of `c`:
+/// `C[:, j0 .. j0+n) := alpha · op(A) · op(B) + beta · C[:, j0 .. j0+n)`.
+///
+/// This is the write-into-caller-buffer variant the TLR recompression
+/// engine uses to assemble stacked factors `[U_c | U_p]` directly inside
+/// a workspace matrix — no separate product temporary, no copy into the
+/// stack. Columns outside the block are untouched. `c.rows()` must equal
+/// the product's row count and `c` must have at least `j0 + n` columns.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_serial_into_cols(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    j0: usize,
+) {
+    let (m, n, k) = gemm_dims(ta, tb, a, b);
+    assert_eq!(c.rows(), m, "gemm_serial_into_cols row mismatch");
+    assert!(j0 + n <= c.cols(), "gemm_serial_into_cols column block out of range");
+    for j in 0..n {
+        let c_col = c.col_mut(j0 + j);
+        gemm_col(ta, tb, alpha, a, b, beta, j, c_col, k);
+    }
+}
+
 /// k-blocked `C = alpha·A·op(B) + beta·C` for untransposed `A`.
 #[allow(clippy::too_many_arguments)]
 fn gemm_no_blocked(
@@ -575,6 +603,37 @@ mod tests {
             let expect_z = naive_gemm(Trans::No, tb, 1.0, &a, &b, 0.0, &c0);
             gemm_serial(Trans::No, tb, 1.0, &a, &b, 0.0, &mut cz);
             assert!(relative_diff(&cz, &expect_z) < 1e-13);
+        }
+    }
+
+    #[test]
+    fn gemm_into_cols_matches_naive_block() {
+        let (m, n, k, j0, total) = (9, 4, 6, 3, 10);
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::No),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a = match ta {
+                Trans::No => rand_mat(m, k, 101),
+                Trans::Yes => rand_mat(k, m, 101),
+            };
+            let b = match tb {
+                Trans::No => rand_mat(k, n, 102),
+                Trans::Yes => rand_mat(n, k, 102),
+            };
+            let c0 = rand_mat(m, total, 103);
+            let block0 = c0.submatrix(0, j0, m, n);
+            let expect = naive_gemm(ta, tb, 1.3, &a, &b, 0.7, &block0);
+            let mut c = c0.clone();
+            gemm_serial_into_cols(ta, tb, 1.3, &a, &b, 0.7, &mut c, j0);
+            let block = c.submatrix(0, j0, m, n);
+            assert!(relative_diff(&block, &expect) < 1e-13, "ta={ta:?} tb={tb:?}");
+            // columns outside [j0, j0+n) untouched
+            for j in (0..j0).chain(j0 + n..total) {
+                assert_eq!(c.col(j), c0.col(j), "col {j}");
+            }
         }
     }
 

@@ -39,9 +39,9 @@ pub mod norms;
 pub mod qr;
 pub mod svd;
 
-pub use blas3::{gemm, gemm_serial, syrk, syrk_serial, trsm, Side, Trans, Uplo};
+pub use blas3::{gemm, gemm_serial, gemm_serial_into_cols, syrk, syrk_serial, trsm, Side, Trans, Uplo};
 pub use chol::{potrf, potrf_unblocked, trsv_lower, trsv_lower_trans, CholeskyError};
 pub use matrix::Matrix;
 pub use norms::{frobenius_norm, max_abs, relative_diff};
 pub use qr::{ColPivQr, Qr};
-pub use svd::{jacobi_svd, Svd};
+pub use svd::{jacobi_svd, jacobi_svd_into, Svd, SvdWork};

@@ -177,6 +177,19 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Reshape in place to `rows × cols` with every entry zeroed, reusing
+    /// the existing allocation whenever its capacity suffices.
+    ///
+    /// This is the primitive behind the kernel workspaces: a matrix that
+    /// has grown to its high-water-mark size is recycled across calls
+    /// without touching the heap again.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Mirror the lower triangle into the upper triangle (square matrices).
     pub fn symmetrize_from_lower(&mut self) {
         assert_eq!(self.rows, self.cols, "symmetrize requires a square matrix");

@@ -20,11 +20,19 @@ pub struct Qr {
 
 impl Qr {
     /// Compute the factorization. `a` is consumed as workspace.
-    pub fn new(mut a: Matrix) -> Self {
+    pub fn new(a: Matrix) -> Self {
+        Self::new_in(a, Vec::new())
+    }
+
+    /// Like [`Qr::new`], but recycles `taus` as the coefficient buffer
+    /// (cleared and refilled). Together with [`Qr::into_parts`] this lets
+    /// a hot caller run repeated factorizations with zero heap traffic.
+    pub fn new_in(mut a: Matrix, mut taus: Vec<f64>) -> Self {
         let m = a.rows();
         let n = a.cols();
         let k = m.min(n);
-        let mut taus = vec![0.0; k];
+        taus.clear();
+        taus.resize(k, 0.0);
         for (j, tau) in taus.iter_mut().enumerate() {
             *tau = make_householder(&mut a, j, j);
             if j + 1 < n {
@@ -44,20 +52,38 @@ impl Qr {
         self.factors.cols()
     }
 
+    /// Number of Householder reflectors, `k = min(m, n)` — the inner
+    /// dimension of the thin factorization.
+    pub fn k(&self) -> usize {
+        self.taus.len()
+    }
+
     /// The `k × n` upper-trapezoidal factor `R`, `k = min(m, n)`.
+    /// Degenerate inputs (`k == 0`) yield an empty `0 × n` factor.
     pub fn r(&self) -> Matrix {
-        let k = self.taus.len();
-        let n = self.factors.cols();
-        let mut r = Matrix::zeros(k, n);
-        for j in 0..n {
-            for i in 0..=j.min(k - 1) {
-                r[(i, j)] = self.factors[(i, j)];
-            }
-        }
+        let mut r = Matrix::zeros(0, 0);
+        self.r_into(&mut r);
         r
     }
 
+    /// Write `R` into `out` (reshaped in place to `k × n`, allocation-free
+    /// once `out` has grown to size).
+    pub fn r_into(&self, out: &mut Matrix) {
+        let k = self.taus.len();
+        let n = self.factors.cols();
+        out.reset(k, n);
+        for j in 0..n {
+            for i in 0..k.min(j + 1) {
+                out[(i, j)] = self.factors[(i, j)];
+            }
+        }
+    }
+
     /// The thin orthogonal factor `Q` (`m × k`), formed explicitly.
+    ///
+    /// Forming `Q` costs `O(m·k²)`; callers that only need `Q · X` for a
+    /// small `X` should use [`Qr::apply_q`] instead, which skips this
+    /// side computation entirely.
     pub fn q_thin(&self) -> Matrix {
         let m = self.factors.rows();
         let k = self.taus.len();
@@ -67,9 +93,53 @@ impl Qr {
             q[(j, j)] = 1.0;
         }
         for j in (0..k).rev() {
-            apply_stored_householder(&self.factors, j, self.taus[j], &mut q, j);
+            apply_stored_reflector(&self.factors, j, self.taus[j], &mut q);
         }
         q
+    }
+
+    /// `out := Q_thin · x` by implicit application of the stored
+    /// Householder reflectors — `Q` is never formed.
+    ///
+    /// `x` must have `k = min(m, n)` rows; `out` is reshaped in place to
+    /// `m × x.cols()`. Cost is `O(m·k·p)` for `p = x.cols()` versus
+    /// `O(m·k²) + O(m·k·p)` for `q_thin()` + GEMM, with no `m × k`
+    /// temporary — this is the Q-free path of the TLR recompression
+    /// engine. Allocation-free once `out` has grown to size.
+    pub fn apply_q(&self, x: &Matrix, out: &mut Matrix) {
+        let m = self.factors.rows();
+        let k = self.taus.len();
+        assert_eq!(x.rows(), k, "apply_q: x must have min(m, n) rows");
+        let p = x.cols();
+        // out = [x; 0], then Q·out = H_0 · … · H_{k−1} · [x; 0].
+        out.reset(m, p);
+        for j in 0..p {
+            out.col_mut(j)[..k].copy_from_slice(x.col(j));
+        }
+        for j in (0..k).rev() {
+            apply_stored_reflector(&self.factors, j, self.taus[j], out);
+        }
+    }
+
+    /// Apply `Qᵀ` to `target` in place (`target` is `m × p`); on return
+    /// the top `k` rows hold `Q_thinᵀ · target` (the rows below are the
+    /// orthogonal-complement part). Allocation-free.
+    pub fn apply_qt(&self, target: &mut Matrix) {
+        assert_eq!(
+            target.rows(),
+            self.factors.rows(),
+            "apply_qt: target must have m rows"
+        );
+        // Qᵀ = H_{k−1} · … · H_0 (each reflector is symmetric).
+        for j in 0..self.taus.len() {
+            apply_stored_reflector(&self.factors, j, self.taus[j], target);
+        }
+    }
+
+    /// Decompose into the `(factors, taus)` buffers so a workspace can
+    /// recycle them (inverse of [`Qr::new_in`]).
+    pub fn into_parts(self) -> (Matrix, Vec<f64>) {
+        (self.factors, self.taus)
     }
 }
 
@@ -104,59 +174,55 @@ fn make_householder(a: &mut Matrix, row: usize, col: usize) -> f64 {
     tau
 }
 
+/// Apply the reflector `I − τ·v·vᵀ` held in slice `v` (with `v[0]`
+/// implicit 1 — the slot stores β) to the column slice `cj` of equal
+/// length.
+#[inline]
+fn reflect_column(v: &[f64], tau: f64, cj: &mut [f64]) {
+    let mut w = cj[0];
+    for (vi, ci) in v[1..].iter().zip(cj[1..].iter()) {
+        w += vi * ci;
+    }
+    w *= tau;
+    cj[0] -= w;
+    for (vi, ci) in v[1..].iter().zip(cj[1..].iter_mut()) {
+        *ci -= w * vi;
+    }
+}
+
 /// Apply the reflector stored in column `col` (rows `row..`) of `a` to
-/// columns `from_col..` of `a` itself (the classic in-place panel update).
+/// columns `from_col..` of `a` itself (the classic in-place panel
+/// update). Requires `from_col > col`; the reflector column and the
+/// updated columns are disjoint, so no copy of `v` is taken — the old
+/// per-reflector `Vec` allocation was a measurable cost of the TLR
+/// recompression hot path.
 fn apply_householder_left(a: &mut Matrix, row: usize, col: usize, tau: f64, from_col: usize) {
     if tau == 0.0 {
         return;
     }
+    debug_assert!(from_col > col, "reflector column must precede the updated panel");
     let m = a.rows();
     let n = a.cols();
-    // v = [1, a[row+1..m, col]]
-    let v: Vec<f64> = {
-        let c = a.col(col);
-        let mut v = Vec::with_capacity(m - row);
-        v.push(1.0);
-        v.extend_from_slice(&c[row + 1..m]);
-        v
-    };
+    let (head, tail) = a.as_mut_slice().split_at_mut((col + 1) * m);
+    let v = &head[col * m + row..(col + 1) * m];
     for j in from_col..n {
-        let cj = &mut a.col_mut(j)[row..m];
-        let mut w = 0.0;
-        for (vi, ci) in v.iter().zip(cj.iter()) {
-            w += vi * ci;
-        }
-        w *= tau;
-        for (vi, ci) in v.iter().zip(cj.iter_mut()) {
-            *ci -= w * vi;
-        }
+        let start = (j - col - 1) * m + row;
+        reflect_column(v, tau, &mut tail[start..start + m - row]);
     }
 }
 
 /// Apply the reflector stored in `factors` column `col` to the rows
-/// `col..` of every column of `target` (used when forming `Q`).
-fn apply_stored_householder(factors: &Matrix, col: usize, tau: f64, target: &mut Matrix, row: usize) {
+/// `col..` of every column of `target` (used when forming or implicitly
+/// applying `Q`). Allocation-free: `factors` and `target` are distinct.
+fn apply_stored_reflector(factors: &Matrix, col: usize, tau: f64, target: &mut Matrix) {
     if tau == 0.0 {
         return;
     }
     let m = factors.rows();
-    let v: Vec<f64> = {
-        let c = factors.col(col);
-        let mut v = Vec::with_capacity(m - row);
-        v.push(1.0);
-        v.extend_from_slice(&c[row + 1..m]);
-        v
-    };
+    let v = &factors.col(col)[col..m];
     for j in 0..target.cols() {
-        let cj = &mut target.col_mut(j)[row..m];
-        let mut w = 0.0;
-        for (vi, ci) in v.iter().zip(cj.iter()) {
-            w += vi * ci;
-        }
-        w *= tau;
-        for (vi, ci) in v.iter().zip(cj.iter_mut()) {
-            *ci -= w * vi;
-        }
+        let cj = &mut target.col_mut(j)[col..m];
+        reflect_column(v, tau, cj);
     }
 }
 
@@ -254,7 +320,7 @@ impl ColPivQr {
             q[(j, j)] = 1.0;
         }
         for j in (0..k).rev() {
-            apply_stored_householder(&self.factors, j, self.taus[j], &mut q, j);
+            apply_stored_reflector(&self.factors, j, self.taus[j], &mut q);
         }
         q
     }
@@ -267,10 +333,8 @@ impl ColPivQr {
         let mut r = Matrix::zeros(k, n);
         for j in 0..n {
             let orig = self.perm[j];
-            for i in 0..=j.min(k.saturating_sub(1)) {
-                if i < k {
-                    r[(i, orig)] = self.factors[(i, j)];
-                }
+            for i in 0..k.min(j + 1) {
+                r[(i, orig)] = self.factors[(i, j)];
             }
         }
         r
@@ -421,6 +485,85 @@ mod tests {
         // Pivoted variant too.
         let f = ColPivQr::with_tolerance(a, 1e-12, usize::MAX);
         assert!(f.q_thin().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn apply_q_matches_explicit_q_times_x() {
+        for (m, n, p) in [(12, 5, 3), (4, 9, 2), (10, 10, 10), (7, 3, 6)] {
+            let a = rand_mat(m, n, 800 + (m * n + p) as u64);
+            let qr = Qr::new(a);
+            let k = qr.k();
+            let x = rand_mat(k, p, 801);
+            // explicit: Q_thin · X
+            let q = qr.q_thin();
+            let mut expect = Matrix::zeros(m, p);
+            gemm(Trans::No, Trans::No, 1.0, &q, &x, 0.0, &mut expect);
+            // implicit
+            let mut out = Matrix::zeros(0, 0);
+            qr.apply_q(&x, &mut out);
+            assert!(relative_diff(&out, &expect) < 1e-13, "m={m} n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn apply_qt_matches_explicit_qt_times_x() {
+        let (m, n, p) = (14, 6, 4);
+        let a = rand_mat(m, n, 810);
+        let qr = Qr::new(a);
+        let x = rand_mat(m, p, 811);
+        let q = qr.q_thin();
+        let mut expect = Matrix::zeros(n, p);
+        gemm(Trans::Yes, Trans::No, 1.0, &q, &x, 0.0, &mut expect);
+        let mut target = x.clone();
+        qr.apply_qt(&mut target);
+        let top = target.submatrix(0, 0, qr.k(), p);
+        assert!(relative_diff(&top, &expect) < 1e-13);
+    }
+
+    #[test]
+    fn apply_q_then_qt_roundtrips() {
+        let a = rand_mat(15, 7, 820);
+        let qr = Qr::new(a);
+        let x = rand_mat(7, 3, 821);
+        let mut qx = Matrix::zeros(0, 0);
+        qr.apply_q(&x, &mut qx);
+        qr.apply_qt(&mut qx);
+        let top = qx.submatrix(0, 0, 7, 3);
+        assert!(relative_diff(&top, &x) < 1e-13);
+    }
+
+    /// Regression: `r()` used to index `j.min(k − 1)`, which underflows
+    /// for degenerate shapes with `min(m, n) == 0`. Empty factors must
+    /// come back instead of a panic.
+    #[test]
+    fn qr_degenerate_shapes_return_empty_factors() {
+        for (m, n) in [(0, 5), (5, 0), (0, 0)] {
+            let qr = Qr::new(Matrix::zeros(m, n));
+            assert_eq!(qr.k(), 0, "{m}x{n}");
+            let r = qr.r();
+            assert_eq!((r.rows(), r.cols()), (0, n));
+            let q = qr.q_thin();
+            assert_eq!((q.rows(), q.cols()), (m, 0));
+            // implicit application of the empty Q is a no-op of shape m×p
+            let mut out = Matrix::zeros(0, 0);
+            qr.apply_q(&Matrix::zeros(0, 2), &mut out);
+            assert_eq!((out.rows(), out.cols()), (m, 2));
+            assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn new_in_and_into_parts_recycle_buffers() {
+        let a = rand_mat(10, 4, 830);
+        let qr = Qr::new_in(a.clone(), vec![7.0; 99]); // stale buffer is cleared
+        let q = qr.q_thin();
+        let r = qr.r();
+        let mut recon = Matrix::zeros(10, 4);
+        gemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut recon);
+        assert!(relative_diff(&recon, &a) < 1e-13);
+        let (factors, taus) = qr.into_parts();
+        assert_eq!((factors.rows(), factors.cols()), (10, 4));
+        assert_eq!(taus.len(), 4);
     }
 
     #[test]

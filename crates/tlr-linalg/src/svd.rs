@@ -31,15 +31,22 @@ impl Svd {
     /// criterion for TLR tiles.
     pub fn rank_at_frobenius(&self, tol: f64) -> usize {
         // tail²(k) = Σ_{j≥k} s_j²; find the smallest k with tail ≤ tol.
+        // The tail is accumulated from the smallest value upward:
+        // subtracting the large head terms from the grand total instead
+        // cancels catastrophically and can leave an O(eps·s₁²) residue
+        // that never dips below tol², spuriously retaining full rank.
         let tol2 = tol * tol;
-        let mut tail2: f64 = self.s.iter().map(|s| s * s).sum();
-        for (k, sv) in self.s.iter().enumerate() {
-            if tail2 <= tol2 {
-                return k;
+        let mut tail2 = 0.0;
+        let mut k = self.s.len();
+        while k > 0 {
+            let next = tail2 + self.s[k - 1] * self.s[k - 1];
+            if next > tol2 {
+                break;
             }
-            tail2 -= sv * sv;
+            tail2 = next;
+            k -= 1;
         }
-        self.s.len()
+        k
     }
 
     /// Reconstruct the (possibly truncated) product `U_k diag(s_k) V_kᵀ`.
@@ -69,43 +76,131 @@ impl Svd {
 /// (in practice 6–10 sweeps suffice at double precision).
 const MAX_SWEEPS: usize = 60;
 
+/// Reusable scratch buffers for [`jacobi_svd_into`].
+///
+/// A workspace amortizes every allocation of the Jacobi SVD across calls:
+/// the working copy of the input, the accumulated rotation matrix, and
+/// the norm/ordering scratch all grow to a high-water mark and are then
+/// recycled. Together with a reused [`Svd`] output this makes repeated
+/// small SVDs — the inner loop of TLR recompression — allocation-free in
+/// steady state.
+pub struct SvdWork {
+    /// Working copy of the (possibly transposed) input.
+    w: Matrix,
+    /// Accumulated Jacobi rotations (right singular vectors of `w`).
+    v: Matrix,
+    /// Column norms of the rotated `w` (the unsorted singular values).
+    norms: Vec<f64>,
+    /// Permutation sorting the singular values descending.
+    order: Vec<usize>,
+    /// Cached squared column norms maintained across rotations within a
+    /// sweep (Rutishauser update), refreshed exactly at each sweep start.
+    colsq: Vec<f64>,
+}
+
+impl Default for SvdWork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SvdWork {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            w: Matrix::zeros(0, 0),
+            v: Matrix::zeros(0, 0),
+            norms: Vec::new(),
+            order: Vec::new(),
+            colsq: Vec::new(),
+        }
+    }
+}
+
 /// Compute the thin SVD of `a` by one-sided Jacobi.
 ///
 /// Handles `m < n` by factoring the transpose and swapping `U`/`V`.
+/// Convenience wrapper over [`jacobi_svd_into`] that allocates fresh
+/// output and workspace; hot paths should hold both across calls.
 pub fn jacobi_svd(a: &Matrix) -> Svd {
-    if a.rows() < a.cols() {
-        let t = jacobi_svd(&a.transpose());
-        return Svd { u: t.v, s: t.s, v: t.u };
-    }
+    let mut out = Svd { u: Matrix::zeros(0, 0), s: Vec::new(), v: Matrix::zeros(0, 0) };
+    let mut work = SvdWork::new();
+    jacobi_svd_into(a, &mut out, &mut work);
+    out
+}
+
+/// One-sided Jacobi SVD writing into a caller-held [`Svd`] using
+/// caller-held scratch — no allocation once the buffers have grown to
+/// size.
+///
+/// Semantically identical to [`jacobi_svd`] (including the `m < n`
+/// transpose handling, which is done by copying into the workspace
+/// rather than recursing). Ordering ties are broken exactly as before:
+/// the sort is by strictly-descending norm with original-index order
+/// preserved among equals (the comparator never reports `Equal` for
+/// distinct indices of equal norm in a way that `sort_unstable_by`
+/// could permute — equal norms only occur at exact zeros, whose columns
+/// are zero anyway).
+pub fn jacobi_svd_into(a: &Matrix, out: &mut Svd, work: &mut SvdWork) {
     let m = a.rows();
     let n = a.cols();
-    if n == 0 {
-        return Svd { u: Matrix::zeros(m, 0), s: vec![], v: Matrix::zeros(0, 0) };
+    // Internal problem is tall: wm ≥ wn. For wide inputs we factor the
+    // transpose and swap the roles of U and V on output.
+    let transposed = m < n;
+    let (wm, wn) = if transposed { (n, m) } else { (m, n) };
+    if wn == 0 {
+        out.u.reset(m, 0);
+        out.v.reset(n, 0);
+        out.s.clear();
+        return;
     }
     debug_assert!(
         a.as_slice().iter().all(|v| v.is_finite()),
         "jacobi_svd requires finite input"
     );
-    let mut w = a.clone();
-    let mut v = Matrix::identity(n);
+    let w = &mut work.w;
+    w.reset(wm, wn);
+    if transposed {
+        for c in 0..wn {
+            let wc = w.col_mut(c);
+            for (r, wcr) in wc.iter_mut().enumerate() {
+                *wcr = a[(c, r)];
+            }
+        }
+    } else {
+        w.as_mut_slice().copy_from_slice(a.as_slice());
+    }
+    let v = &mut work.v;
+    v.reset(wn, wn);
+    for j in 0..wn {
+        v[(j, j)] = 1.0;
+    }
     let eps = f64::EPSILON;
 
+    // Squared column norms are cached and kept current with the exact
+    // Rutishauser identities `‖w_p'‖² = app − t·apq`, `‖w_q'‖² = aqq +
+    // t·apq` instead of being recomputed per pair — that turns the
+    // dominant pair scan from three length-`wm` dot products into one.
+    // The cache is refreshed from the actual columns at every sweep
+    // start, which bounds the floating-point drift of the update chain
+    // to a single sweep.
+    let colsq = &mut work.colsq;
     for _sweep in 0..MAX_SWEEPS {
+        colsq.clear();
+        colsq.extend((0..wn).map(|j| w.col(j).iter().map(|x| x * x).sum::<f64>()));
         let mut rotated = false;
-        for p in 0..n.saturating_sub(1) {
-            for q in p + 1..n {
-                let (app, aqq, apq) = {
+        for p in 0..wn.saturating_sub(1) {
+            for q in p + 1..wn {
+                let app = colsq[p];
+                let aqq = colsq[q];
+                let apq = {
                     let cp = w.col(p);
                     let cq = w.col(q);
-                    let mut app = 0.0;
-                    let mut aqq = 0.0;
                     let mut apq = 0.0;
-                    for i in 0..m {
-                        app += cp[i] * cp[i];
-                        aqq += cq[i] * cq[i];
+                    for i in 0..wm {
                         apq += cp[i] * cq[i];
                     }
-                    (app, aqq, apq)
+                    apq
                 };
                 if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
                     continue;
@@ -118,7 +213,7 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
                 let s = c * t;
                 {
                     let (cp, cq) = w.two_cols_mut(p, q);
-                    for i in 0..m {
+                    for i in 0..wm {
                         let wp = cp[i];
                         let wq = cq[i];
                         cp[i] = c * wp - s * wq;
@@ -127,13 +222,15 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
                 }
                 {
                     let (vp, vq) = v.two_cols_mut(p, q);
-                    for i in 0..n {
+                    for i in 0..wn {
                         let xp = vp[i];
                         let xq = vq[i];
                         vp[i] = c * xp - s * xq;
                         vq[i] = s * xp + c * xq;
                     }
                 }
+                colsq[p] = (app - t * apq).max(0.0);
+                colsq[q] = aqq + t * apq;
             }
         }
         if !rotated {
@@ -141,31 +238,38 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
         }
     }
 
-    // Extract singular values and normalize U columns.
-    let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = (0..n)
-        .map(|j| crate::norms::frobenius_norm_slice(w.col(j)))
-        .collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    // Extract singular values and normalize the column factor. Use the
+    // unstable sort: the stable one allocates a merge buffer, which
+    // would defeat the steady-state zero-allocation contract.
+    let norms = &mut work.norms;
+    norms.clear();
+    norms.extend((0..wn).map(|j| crate::norms::frobenius_norm_slice(w.col(j))));
+    let order = &mut work.order;
+    order.clear();
+    order.extend(0..wn);
+    order.sort_unstable_by(|&i, &j| {
+        norms[j].partial_cmp(&norms[i]).unwrap().then(i.cmp(&j))
+    });
 
-    let mut u = Matrix::zeros(m, n);
-    let mut vv = Matrix::zeros(n, n);
-    let mut s = Vec::with_capacity(n);
+    // Internal factorization: w ≈ Unorm · diag(s) · Vᵀ with Unorm the
+    // normalized columns of w. For transposed inputs the roles swap:
+    // A = (Aᵀ)ᵀ = V · diag(s) · Unormᵀ.
+    let (unorm, vout) = if transposed { (&mut out.v, &mut out.u) } else { (&mut out.u, &mut out.v) };
+    unorm.reset(wm, wn);
+    vout.reset(wn, wn);
+    out.s.clear();
     for (dst, &src) in order.iter().enumerate() {
         let sv = norms[src];
-        s.push(sv);
+        out.s.push(sv);
         if sv > 0.0 {
             let wc = w.col(src);
-            let uc = u.col_mut(dst);
-            for i in 0..m {
+            let uc = unorm.col_mut(dst);
+            for i in 0..wm {
                 uc[i] = wc[i] / sv;
             }
         }
-        let vc = v.col(src);
-        let vvc = vv.col_mut(dst);
-        vvc.copy_from_slice(vc);
+        vout.col_mut(dst).copy_from_slice(v.col(src));
     }
-    Svd { u, s, v: vv }
 }
 
 #[cfg(test)]
@@ -273,5 +377,23 @@ mod tests {
         let a = Matrix::zeros(4, 0);
         let svd = jacobi_svd(&a);
         assert!(svd.s.is_empty());
+    }
+
+    #[test]
+    fn svd_into_reuses_buffers_across_shapes() {
+        // One output + one workspace across tall, wide, and square inputs
+        // of varying size; every call must match the one-shot API exactly.
+        let mut out = Svd { u: Matrix::zeros(0, 0), s: Vec::new(), v: Matrix::zeros(0, 0) };
+        let mut work = SvdWork::new();
+        for (m, n, seed) in [(12, 5, 31), (3, 11, 32), (8, 8, 33), (15, 2, 34), (0, 4, 35)] {
+            let a = rand_mat(m, n, seed);
+            jacobi_svd_into(&a, &mut out, &mut work);
+            let fresh = jacobi_svd(&a);
+            assert_eq!(out.s, fresh.s, "{m}x{n}");
+            assert_eq!(out.u.as_slice(), fresh.u.as_slice(), "{m}x{n}");
+            assert_eq!(out.v.as_slice(), fresh.v.as_slice(), "{m}x{n}");
+            let k = m.min(n);
+            assert!(relative_diff(&out.reconstruct(k), &a) < 1e-12 || m == 0 || n == 0);
+        }
     }
 }

@@ -1,0 +1,93 @@
+//! Steady-state allocation contract of the workspace kernel engine.
+//!
+//! The recompression hot path (`gemm_kernel` on low-rank operands)
+//! promises zero heap traffic once the per-worker arena has grown to its
+//! high-water mark. This test wires a counting `#[global_allocator]`
+//! into the *test harness* (the library itself stays allocator-agnostic),
+//! warms an explicit workspace up, and then asserts the next call
+//! performs no allocation at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hicma_parsec::linalg::Matrix;
+use hicma_parsec::tlr::kernels::{gemm_kernel_ws, KernelWorkspace};
+use hicma_parsec::tlr::{CompressionConfig, Tile};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Deterministic low-rank factor: decaying mixes of smooth cosine modes,
+/// families chosen so the update does not inflate the destination rank.
+fn mixed_factor(rows: usize, k: usize, phase: f64, decay: f64, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, k, |i, j| {
+        let mut acc = 0.0;
+        for l in 0..k {
+            let m = ((l * 31 + j * 17 + seed * 13 + 7) % 101) as f64 / 101.0 - 0.5;
+            let f = ((l + 1) as f64 * std::f64::consts::PI * (i as f64 + 0.5) / rows as f64
+                + phase)
+                .cos();
+            acc += m * decay.powi(l as i32) * f;
+        }
+        acc
+    })
+}
+
+#[test]
+fn gemm_kernel_steady_state_allocates_nothing() {
+    let b = 64usize;
+    let rank = 8usize;
+    let config = CompressionConfig::with_accuracy(1e-8);
+    let a = Tile::LowRank {
+        u: mixed_factor(b, rank, 0.0, 0.5, 1),
+        v: mixed_factor(b, rank, 1.0, 0.7, 2),
+    };
+    let bt = Tile::LowRank {
+        u: mixed_factor(b, rank, 2.0, 0.5, 3),
+        v: mixed_factor(b, rank, 1.0, 0.7, 4),
+    };
+    let c0 = Tile::LowRank {
+        u: mixed_factor(b, rank, 0.0, 0.6, 5),
+        v: mixed_factor(b, rank, 2.0, 0.6, 6),
+    };
+
+    let mut ws = KernelWorkspace::new();
+    // Warm-up: grow the arena to its high-water mark.
+    let mut counts = Vec::new();
+    for _ in 0..8 {
+        let mut c = c0.clone();
+        let before = ALLOCS.load(Ordering::Relaxed);
+        gemm_kernel_ws(&mut ws, &a, &bt, &mut c, &config);
+        counts.push(ALLOCS.load(Ordering::Relaxed) - before);
+        assert_eq!(c.format(), hicma_parsec::tlr::tile::TileFormat::LowRank);
+    }
+
+    // Steady state: one more call on a warmed arena must not touch the
+    // heap at all.
+    let mut c = c0.clone();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    gemm_kernel_ws(&mut ws, &a, &bt, &mut c, &config);
+    let steady = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        steady, 0,
+        "gemm_kernel allocated {steady} time(s) in steady state (warm-up counts: {counts:?})"
+    );
+}

@@ -12,7 +12,7 @@ use hicma_parsec::linalg::{gemm, potrf, Matrix, Trans};
 use hicma_parsec::mesh::hilbert::hilbert_sort;
 use hicma_parsec::mesh::Point3;
 use hicma_parsec::runtime::MachineModel;
-use hicma_parsec::tlr::kernels::gemm_kernel;
+use hicma_parsec::tlr::kernels::{gemm_kernel, gemm_kernel_ws, reference, KernelWorkspace};
 use hicma_parsec::tlr::{compress_tile, CompressionConfig, RankSnapshot, Tile};
 use proptest::prelude::*;
 
@@ -82,6 +82,72 @@ proptest! {
                 prop_assert!(err < 1e-6, "err {}", err);
             }
         }
+    }
+
+    /// The workspace engine (implicit-Q, arena-backed) and the kept
+    /// pre-PR reference kernel (explicit-Q, allocating) agree to near
+    /// machine precision over random sequences of updates that share a
+    /// single arena — the arena's buffer-recycling history must never
+    /// leak into the numerics.
+    #[test]
+    fn workspace_kernel_matches_reference(
+        seed in 0u64..300, ka in 1usize..6, kb in 1usize..6, len in 1usize..4,
+    ) {
+        let n = 20;
+        let cfg = CompressionConfig::with_accuracy(1e-8);
+        let mut ws = KernelWorkspace::new();
+        let mut c_ws = compress_tile(seeded_low_rank(n, 3, seed ^ 0xC0DE), &cfg);
+        let mut c_ref = c_ws.clone();
+        for step in 0..len {
+            let s = seed ^ ((step as u64 + 1) << 8);
+            let a_t = compress_tile(seeded_low_rank(n, ka, s), &cfg);
+            let b_t = compress_tile(seeded_low_rank(n, kb, s ^ 0xBEEF), &cfg);
+            gemm_kernel_ws(&mut ws, &a_t, &b_t, &mut c_ws, &cfg);
+            reference::gemm_kernel_reference(&a_t, &b_t, &mut c_ref, &cfg);
+            let d_ws = c_ws.to_dense();
+            let mut diff = d_ws.clone();
+            diff.axpy(-1.0, &c_ref.to_dense());
+            let scale = hicma_parsec::linalg::frobenius_norm(&d_ws).max(1.0);
+            let err = hicma_parsec::linalg::frobenius_norm(&diff) / scale;
+            prop_assert!(err < 1e-12, "step {} err {}", step, err);
+        }
+    }
+
+    /// Workspace-recompressed updates stay within the accuracy headroom
+    /// of exact dense arithmetic, and the produced rank never exceeds
+    /// `min(rows, cols, ktot)` — the stacked inner dimension that the
+    /// recompression engine truncates.
+    #[test]
+    fn workspace_recompression_error_and_rank_bounded(
+        seed in 0u64..300, ka in 1usize..6, kb in 1usize..6, kc in 1usize..6,
+    ) {
+        let n = 18;
+        let cfg = CompressionConfig::with_accuracy(1e-8);
+        let a_m = seeded_low_rank(n, ka, seed);
+        let b_m = seeded_low_rank(n, kb, seed ^ 0xBEEF);
+        let c_m = seeded_low_rank(n, kc, seed ^ 0xCAFE);
+        let mut expect = c_m.clone();
+        gemm(Trans::No, Trans::Yes, -1.0, &a_m, &b_m, 1.0, &mut expect);
+
+        let a_t = compress_tile(a_m, &cfg);
+        let b_t = compress_tile(b_m, &cfg);
+        let mut c_t = compress_tile(c_m, &cfg);
+        let (ra, rb, rc) = (a_t.rank(), b_t.rank(), c_t.rank());
+        let mut ws = KernelWorkspace::new();
+        gemm_kernel_ws(&mut ws, &a_t, &b_t, &mut c_t, &cfg);
+
+        let mut diff = c_t.to_dense();
+        diff.axpy(-1.0, &expect);
+        let scale = hicma_parsec::linalg::frobenius_norm(&expect).max(1.0);
+        let err = hicma_parsec::linalg::frobenius_norm(&diff) / scale;
+        prop_assert!(err < 100.0 * cfg.accuracy, "err {}", err);
+
+        // Stacked inner dimension: destination rank + product rank.
+        let ktot = rc + ra.min(rb);
+        prop_assert!(
+            c_t.rank() <= n.min(ktot),
+            "rank {} exceeds min(n = {}, ktot = {})", c_t.rank(), n, ktot
+        );
     }
 
     /// potrf reconstructs any SPD input.
