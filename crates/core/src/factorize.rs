@@ -9,14 +9,16 @@
 
 use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
 use parking_lot::{Mutex, RwLock};
-use runtime::executor::execute_cancellable_indexed;
+use runtime::critical_path::critical_path;
+use runtime::executor::{execute_cancellable_observed, ExecObs};
 use runtime::graph::TaskClass;
+use runtime::obs::RunMetrics;
+use runtime::trace::{ClassBreakdown, Trace};
 use std::sync::atomic::{AtomicBool, Ordering};
-use runtime::trace::ClassBreakdown;
 use tlr_compress::kernels::{
     gemm_kernel_ws, potrf_kernel, syrk_kernel_ws, trsm_kernel, KernelWorkspace,
 };
-use tlr_compress::{CompressionConfig, RankSnapshot, Tile, TlrMatrix};
+use tlr_compress::{CompressionConfig, RankEvolution, RankSnapshot, Tile, TlrMatrix};
 use tlr_linalg::CholeskyError;
 
 /// Options of the shared-memory factorization.
@@ -43,6 +45,12 @@ pub struct FactorConfig {
     /// matrices). `0` disables the retry; a strongly indefinite matrix
     /// fails regardless because the shifts stay near the working accuracy.
     pub max_shift_retries: usize,
+    /// Collect a per-task execution trace and derived metrics
+    /// ([`FactorReport::metrics`]). Requires the `obs` cargo feature —
+    /// without it the flag is ignored (the instrumentation is compiled
+    /// out) and `metrics` stays `None`. Defaults to the feature state, so
+    /// an `obs` build traces unless explicitly asked not to.
+    pub collect_trace: bool,
 }
 
 impl FactorConfig {
@@ -59,7 +67,55 @@ impl FactorConfig {
             trimmed: true,
             nthreads: rayon::current_num_threads(),
             max_shift_retries: 3,
+            collect_trace: cfg!(feature = "obs"),
         }
+    }
+}
+
+/// Execution metrics of a traced factorization (`obs` feature).
+///
+/// Everything here is derived from the observed run itself: the span
+/// trace from the executor, the rank log from the kernel workspaces, and
+/// the DAG the tasks came from.
+#[derive(Debug, Clone)]
+pub struct FactorMetrics {
+    /// Per-task spans (class, tile, worker, queue-wait, execute window).
+    pub trace: Trace,
+    /// Successful steals per worker.
+    pub steals: Vec<u64>,
+    /// Total seconds tasks spent ready-but-waiting in queues.
+    pub queue_wait_seconds: f64,
+    /// Recompression rank evolution merged over all kernel workspaces.
+    pub rank_evolution: RankEvolution,
+    /// Workspace buffer growth events after warm-up would indicate the
+    /// recompression hot path allocating; steady state is 0 per worker
+    /// once buffers reach their high-water mark.
+    pub workspace_alloc_events: u64,
+    /// Model flops of the executed DAG (priced by `flops::*` at analysis
+    /// time — ranks evolve during the run, so this is the planned count).
+    pub flops_executed: f64,
+    /// Critical-path length through the DAG using the *measured* per-task
+    /// durations, i.e. the makespan an infinitely parallel machine would
+    /// have achieved on this run.
+    pub critical_path_seconds: f64,
+    /// `critical_path_seconds / makespan` — 1.0 means the run was as fast
+    /// as its longest dependency chain allows.
+    pub efficiency_vs_critical_path: f64,
+    /// Busy seconds per worker.
+    pub per_worker_busy: Vec<f64>,
+    /// Idle fraction per worker, in `[0, 1]`.
+    pub idle_fraction: Vec<f64>,
+    /// `max(busy)/mean(busy)` over workers (1.0 = perfectly balanced).
+    pub load_imbalance: f64,
+}
+
+impl FactorMetrics {
+    /// Summarize as a [`RunMetrics`] record (shared with the simulator
+    /// paths, so shared-memory and DES runs can be tabulated side by
+    /// side by [`RunMetrics::comparison_table`]).
+    pub fn run_metrics(&self, label: &str) -> RunMetrics {
+        RunMetrics::from_trace(label, &self.trace, self.per_worker_busy.len())
+            .with_critical_path(self.critical_path_seconds)
     }
 }
 
@@ -87,6 +143,9 @@ pub struct FactorReport {
     pub diagonal_shift: f64,
     /// How many shifted retries were needed (`0` = first try succeeded).
     pub shift_attempts: usize,
+    /// Execution trace and derived metrics, when tracing was on
+    /// ([`FactorConfig::collect_trace`] and the `obs` cargo feature).
+    pub metrics: Option<FactorMetrics>,
 }
 
 /// Factor `matrix = L·Lᵀ` in place (lower tiles become `L`).
@@ -199,8 +258,17 @@ fn factorize_once(
     let workspaces: Vec<Mutex<KernelWorkspace>> =
         (0..nthreads).map(|_| Mutex::new(KernelWorkspace::new())).collect();
 
+    // Span recorder (compiled to nothing without the `obs` feature). The
+    // per-worker logs are preallocated here, so tracing costs no
+    // steady-state allocations on the kernel hot path.
+    let obs = if cfg.collect_trace && ExecObs::enabled() {
+        Some(ExecObs::new(dag.graph.len(), nthreads))
+    } else {
+        None
+    };
+
     let exec_t0 = std::time::Instant::now();
-    let exec_result = execute_cancellable_indexed(&dag.graph, nthreads, &cancel, |wid, t| {
+    let exec_result = execute_cancellable_observed(&dag.graph, nthreads, &cancel, obs.as_ref(), |wid, t| {
         if cancel.load(Ordering::Acquire) {
             return; // in-flight task raced with the cancellation flag
         }
@@ -290,6 +358,47 @@ fn factorize_once(
         other: n[4] as f64 * 1e-9,
     };
 
+    let metrics = obs.map(|o| {
+        let exec = o.finish(&dag.graph);
+        // Rank evolution and buffer-growth counts live in the per-worker
+        // workspaces; drain them now that the workers are done.
+        let mut rank_evolution = RankEvolution::default();
+        let mut workspace_alloc_events = 0u64;
+        for ws in &workspaces {
+            let mut w = ws.lock();
+            rank_evolution.merge(&w.take_rank_log());
+            workspace_alloc_events += w.alloc_events();
+        }
+        let flops_executed: f64 =
+            (0..dag.graph.len()).map(|t| dag.graph.spec(t).flops).sum();
+        // Critical path priced with the durations this run actually
+        // measured (not the model), so efficiency compares like to like.
+        let mut dur = vec![0.0_f64; dag.graph.len()];
+        for r in &exec.trace.records {
+            dur[r.task] = r.duration();
+        }
+        let critical_path_seconds = critical_path(&dag.graph, |t| dur[t]).length;
+        let makespan = exec.trace.makespan();
+        let efficiency_vs_critical_path = if makespan > 0.0 {
+            (critical_path_seconds / makespan).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        FactorMetrics {
+            queue_wait_seconds: exec.trace.total_queue_wait(),
+            per_worker_busy: exec.trace.busy_per_proc(nthreads),
+            idle_fraction: exec.trace.idle_fraction(nthreads),
+            load_imbalance: exec.trace.load_imbalance(nthreads),
+            trace: exec.trace,
+            steals: exec.steals,
+            rank_evolution,
+            workspace_alloc_events,
+            flops_executed,
+            critical_path_seconds,
+            efficiency_vs_critical_path,
+        }
+    });
+
     Ok(FactorReport {
         factorization_seconds,
         analysis_seconds,
@@ -301,6 +410,7 @@ fn factorize_once(
         breakdown,
         diagonal_shift: 0.0,
         shift_attempts: 0,
+        metrics,
     })
 }
 
@@ -497,6 +607,59 @@ mod tests {
         let l1 = m1.to_dense_lower();
         let l8 = m8.to_dense_lower();
         assert_eq!(l1.as_slice(), l8.as_slice(), "factor differs across thread counts");
+    }
+
+    /// With the `obs` feature a default config traces the run and the
+    /// derived metrics are self-consistent.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn traced_run_populates_metrics() {
+        let n = 96;
+        let gen = gaussian_gen(n, 6.0);
+        let ccfg = CompressionConfig::with_accuracy(1e-6);
+        let mut m = TlrMatrix::from_generator(n, 24, gen, &ccfg);
+        let mut cfg = FactorConfig::with_accuracy(1e-6);
+        cfg.nthreads = 2;
+        let report = factorize(&mut m, &cfg).unwrap();
+        let metrics = report.metrics.expect("obs build must trace by default");
+        assert_eq!(metrics.trace.records.len(), report.dag_tasks);
+        assert_eq!(metrics.per_worker_busy.len(), 2);
+        assert!(metrics.idle_fraction.iter().all(|f| (0.0..=1.0).contains(f)));
+        assert!(metrics.load_imbalance >= 1.0);
+        assert!(metrics.flops_executed > 0.0);
+        assert!(metrics.critical_path_seconds > 0.0);
+        assert!(metrics.critical_path_seconds <= metrics.trace.makespan() + 1e-12);
+        assert!((0.0..=1.0).contains(&metrics.efficiency_vs_critical_path));
+        assert!(metrics.rank_evolution.events() > 0, "GEMMs must log recompressions");
+        // The span breakdown must roughly agree with the unconditional
+        // class_nanos breakdown (same kernels, measured two ways).
+        let from_trace = metrics.trace.breakdown().total();
+        let from_nanos = report.breakdown.total();
+        assert!(
+            (from_trace - from_nanos).abs() <= 0.5 * from_nanos.max(1e-6),
+            "trace {from_trace} vs class_nanos {from_nanos}"
+        );
+        // Opting out at runtime must also work in an obs build.
+        let gen2 = gaussian_gen(n, 6.0);
+        let mut m2 = TlrMatrix::from_generator(n, 24, gen2, &ccfg);
+        cfg.collect_trace = false;
+        let report2 = factorize(&mut m2, &cfg).unwrap();
+        assert!(report2.metrics.is_none());
+    }
+
+    /// Without the feature, `collect_trace` is inert and `metrics` stays
+    /// `None` — the instrumentation is compiled out.
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn untraced_build_has_no_metrics() {
+        let n = 96;
+        let gen = gaussian_gen(n, 6.0);
+        let ccfg = CompressionConfig::with_accuracy(1e-6);
+        let mut m = TlrMatrix::from_generator(n, 24, gen, &ccfg);
+        let mut cfg = FactorConfig::with_accuracy(1e-6);
+        cfg.collect_trace = true; // explicitly requested, still compiled out
+        let report = factorize(&mut m, &cfg).unwrap();
+        assert!(report.metrics.is_none());
     }
 
     #[test]

@@ -27,9 +27,10 @@ pub mod verify;
 pub use analysis::MatrixAnalysis;
 pub use dag::{build_cholesky_dag, CholeskyDag, DagConfig, TaskKind};
 pub use distributed::{
-    factorize_distributed, factorize_distributed_ft, FtFactorError, FtFactorOutcome,
+    factorize_distributed, factorize_distributed_counted, factorize_distributed_ft, FtFactorError,
+    FtFactorOutcome,
 };
-pub use factorize::{factorize, FactorConfig, FactorReport};
+pub use factorize::{factorize, FactorConfig, FactorMetrics, FactorReport};
 pub use simulate::{
     simulate_cholesky, simulate_cholesky_faulty, DistributionPlan, SimConfig, SimReport,
 };

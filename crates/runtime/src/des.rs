@@ -348,8 +348,10 @@ fn sim_core(
     let mut nic_free = vec![0.0_f64; config.nprocs];
 
     let mut trace = Trace::default();
-    let mut busy = vec![0.0_f64; config.nprocs];
     let mut start_time = vec![0.0_f64; n];
+    // Time each task entered its process's ready queue (queue-wait metric;
+    // reset on crash re-injection so waits stay non-negative).
+    let mut ready_time = vec![0.0_f64; n];
     let mut completed = 0usize;
     let mut makespan = 0.0_f64;
 
@@ -381,6 +383,7 @@ fn sim_core(
             }
             EventKind::Managed(t) => {
                 let p = proc_of[t];
+                ready_time[t] = now;
                 queues[p].push(Reverse((Time(keys[t]), t)));
                 // Start as many queued tasks as there are idle cores.
                 while idle[p] > 0 {
@@ -404,8 +407,16 @@ fn sim_core(
                 if let Some(pos) = running[p].iter().position(|&x| x == t) {
                     running[p].swap_remove(pos);
                 }
-                trace.push(graph.spec(t).class, p, start_time[t], now);
-                busy[p] += now - start_time[t];
+                let spec = graph.spec(t);
+                trace.push_record(crate::trace::TaskRecord {
+                    task: t,
+                    class: spec.class,
+                    proc: p,
+                    data: spec.writes,
+                    queued: ready_time[t].min(start_time[t]),
+                    start: start_time[t],
+                    end: now,
+                });
                 makespan = makespan.max(now);
                 completed += 1;
                 done[t] = true;
@@ -516,6 +527,9 @@ fn sim_core(
     }
 
     assert_eq!(completed, n, "simulation deadlocked: {completed}/{n} tasks retired");
+    // `busy` is derived from the trace rather than double-booked: the
+    // trace records are the single source of truth for span accounting.
+    let busy = trace.busy_per_proc(config.nprocs);
     DesReport { makespan, trace, busy, comm, crashes, migrated, reexecuted }
 }
 

@@ -21,10 +21,13 @@
 //! tiles to run the factorization across emulated ranks and checks the
 //! result against the shared-memory path.
 
+use crate::des::CommStats;
 use crate::fault::{FaultStats, FtConfig, FtError};
 use crate::graph::{DataRef, TaskGraph, TaskId};
+use crate::obs::RunEvent;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A message: the payload produced by `producer` for datum `data`.
 struct Msg<P> {
@@ -106,6 +109,25 @@ where
     P: Send + Clone,
     F: Fn(TaskId, &mut RankCtx<'_, P>) -> P + Sync,
 {
+    execute_distributed_counted(graph, nprocs, exec_rank, initial, body).0
+}
+
+/// [`execute_distributed`] that also reports communication totals: the
+/// number of cross-rank messages actually sent and their payload bytes
+/// (from the dataflow edges' `bytes` annotations). This is the real-run
+/// counterpart of the DES's modeled [`CommStats`], so measured and
+/// simulated communication volume are directly comparable.
+pub fn execute_distributed_counted<P, F>(
+    graph: &TaskGraph,
+    nprocs: usize,
+    exec_rank: &[usize],
+    initial: Vec<HashMap<DataRef, P>>,
+    body: F,
+) -> (Vec<HashMap<DataRef, P>>, CommStats)
+where
+    P: Send + Clone,
+    F: Fn(TaskId, &mut RankCtx<'_, P>) -> P + Sync,
+{
     assert_eq!(exec_rank.len(), graph.len(), "one rank per task");
     assert_eq!(initial.len(), nprocs, "one initial store per rank");
     let order = graph.topological_order().expect("distributed execution requires a DAG");
@@ -121,16 +143,21 @@ where
 
     // Incoming remote edges per task: (producer, datum).
     let mut remote_inputs: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); graph.len()];
-    // Outgoing remote consumers per task: datum → distinct ranks.
-    let mut remote_sends: Vec<Vec<(DataRef, usize, TaskId)>> = vec![Vec::new(); graph.len()];
+    // Outgoing remote consumers per task: datum → distinct ranks, with
+    // the edge's payload size for communication accounting.
+    let mut remote_sends: Vec<Vec<(DataRef, usize, TaskId, u64)>> =
+        vec![Vec::new(); graph.len()];
     for src in 0..graph.len() {
         for e in graph.successors(src) {
             if exec_rank[e.dst] != exec_rank[src] {
                 remote_inputs[e.dst].push((src, e.data));
-                remote_sends[src].push((e.data, exec_rank[e.dst], e.dst));
+                remote_sends[src].push((e.data, exec_rank[e.dst], e.dst, e.bytes));
             }
         }
     }
+
+    let sent_messages = AtomicU64::new(0);
+    let sent_bytes = AtomicU64::new(0);
 
     // Channels.
     type Endpoints<P> = (Vec<Sender<Msg<P>>>, Vec<Receiver<Msg<P>>>);
@@ -144,6 +171,8 @@ where
             let remote_inputs = &remote_inputs;
             let remote_sends = &remote_sends;
             let body = &body;
+            let sent_messages = &sent_messages;
+            let sent_bytes = &sent_bytes;
             handles.push(scope.spawn(move || {
                 // Parked out-of-order messages. The same (producer, datum)
                 // key can be in flight multiple times — one copy per
@@ -182,8 +211,10 @@ where
                     // Ship to remote consumers (one copy per consumer task;
                     // a real runtime would broadcast once per rank, but
                     // per-task tags keep the receive logic trivial).
-                    for &(data, dst_rank, dst_task) in &remote_sends[t] {
+                    for &(data, dst_rank, dst_task, bytes) in &remote_sends[t] {
                         let _ = dst_task;
+                        sent_messages.fetch_add(1, Ordering::Relaxed);
+                        sent_bytes.fetch_add(bytes, Ordering::Relaxed);
                         senders[dst_rank]
                             .send(Msg { producer: t, data, payload: produced.clone() })
                             .expect("receiver hung up");
@@ -196,7 +227,11 @@ where
         drop(senders);
         handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
     });
-    stores
+    let comm = CommStats {
+        bytes: sent_bytes.load(Ordering::Relaxed),
+        messages: sent_messages.load(Ordering::Relaxed),
+    };
+    (stores, comm)
 }
 
 // ======================= fault-tolerant engine =======================
@@ -247,6 +282,11 @@ pub struct FtOutcome<P> {
     pub stats: FaultStats,
     /// Virtual makespan of the run (seconds).
     pub makespan: f64,
+    /// Crash and recovery events in virtual-time order. Every
+    /// [`RunEvent::Crash`] that the engine survives is immediately
+    /// followed by its matching [`RunEvent::Recovery`] naming the
+    /// survivor that absorbed the dead rank's work.
+    pub events: Vec<RunEvent>,
 }
 
 /// Sender-side log entry for one logical message (producer → consumer
@@ -257,6 +297,8 @@ struct MsgRec<P> {
     dst: TaskId,
     data: DataRef,
     payload: P,
+    /// Payload size (the dataflow edge's `bytes`) for volume accounting.
+    bytes: u64,
     /// Send attempts so far (acks and timeouts are tagged with this).
     attempts: u32,
     /// Latest attempt was acknowledged.
@@ -339,6 +381,9 @@ fn schedule_send<P>(
     } else {
         stats.retransmissions += 1;
     }
+    // Every attempt puts the payload on the wire (even if it is then
+    // dropped in flight), so each one counts toward volume.
+    stats.bytes_sent += rec.bytes;
     let mid = id as u64;
     if cfg.plan.drops_message(mid, attempt) {
         stats.messages_dropped += 1;
@@ -398,14 +443,14 @@ where
     // *original* placement, by design).
     let mut local_preds: Vec<Vec<TaskId>> = vec![Vec::new(); ntasks];
     let mut remote_preds: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); ntasks];
-    let mut remote_sends: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); ntasks];
+    let mut remote_sends: Vec<Vec<(TaskId, DataRef, u64)>> = vec![Vec::new(); ntasks];
     for src in 0..ntasks {
         for e in graph.successors(src) {
             if exec_rank[e.dst] == exec_rank[src] {
                 local_preds[e.dst].push(src);
             } else {
                 remote_preds[e.dst].push((src, e.data));
-                remote_sends[src].push((e.dst, e.data));
+                remote_sends[src].push((e.dst, e.data, e.bytes));
             }
         }
     }
@@ -437,6 +482,7 @@ where
     let mut rec_index: HashMap<(TaskId, TaskId, DataRef), usize> = HashMap::new();
 
     let mut stats = FaultStats::default();
+    let mut events: Vec<RunEvent> = Vec::new();
     let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
     let mut seq = 0u64;
     for c in &cfg.plan.crashes {
@@ -495,7 +541,7 @@ where
                 let produced = body(t, &mut ctx);
                 done[t] = true;
                 done_count += 1;
-                for &(dst, data) in &remote_sends[t] {
+                for &(dst, data, bytes) in &remote_sends[t] {
                     if done[dst] {
                         continue; // re-execution; the consumer already has it
                     }
@@ -514,6 +560,7 @@ where
                                 dst,
                                 data,
                                 payload: produced.clone(),
+                                bytes,
                                 attempts: 0,
                                 acked: false,
                                 abandoned: false,
@@ -577,11 +624,13 @@ where
                 }
                 alive[c] = false;
                 stats.crashes += 1;
+                events.push(RunEvent::Crash { rank: c, at: now });
                 epoch[c] += 1; // invalidates the in-flight TaskDone
                 busy[c] = None;
                 let Some(d) = (1..nprocs).map(|k| (c + k) % nprocs).find(|&r| alive[r]) else {
                     return Err(FtError::AllRanksCrashed);
                 };
+                events.push(RunEvent::Recovery { failed: c, survivor: d, at: now });
                 // migrate every task of the dead rank to the survivor
                 let mut migrated: HashSet<TaskId> = HashSet::new();
                 for t in 0..ntasks {
@@ -633,7 +682,7 @@ where
     if done_count < ntasks {
         return Err(FtError::Stalled { pending: ntasks - done_count });
     }
-    Ok(FtOutcome { stores, exec_rank: cur_exec, stats, makespan: now })
+    Ok(FtOutcome { stores, exec_rank: cur_exec, stats, makespan: now, events })
 }
 
 #[cfg(test)]
@@ -859,6 +908,35 @@ mod tests {
         assert!(out.stats.messages_dropped > 0);
     }
 
+    /// Communication accounting on the thread engine: a 12-hop chain over
+    /// 4 ranks ships 11 remote messages of 8 bytes each.
+    #[test]
+    fn counted_engine_reports_comm_volume() {
+        let n = 12usize;
+        let nprocs = 4usize;
+        let mut g = TaskGraph::new();
+        for k in 0..n {
+            g.add_task(spec(k, DataRef { i: k, j: 0 }));
+        }
+        for k in 0..n - 1 {
+            g.add_edge(k, k + 1, DataRef { i: k, j: 0 }, 8);
+        }
+        let exec: Vec<usize> = (0..n).map(|k| k % nprocs).collect();
+        let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
+        let (stores, comm) = execute_distributed_counted(&g, nprocs, &exec, initial, |t, ctx| {
+            let v = if t == 0 {
+                1
+            } else {
+                *ctx.get(Some(t - 1), DataRef { i: t - 1, j: 0 }) + 1
+            };
+            ctx.put(DataRef { i: t, j: 0 }, v);
+            v
+        });
+        assert_eq!(stores[(n - 1) % nprocs][&DataRef { i: n - 1, j: 0 }], n as i64);
+        assert_eq!(comm.messages, (n - 1) as u64);
+        assert_eq!(comm.bytes, 8 * (n - 1) as u64);
+    }
+
     #[test]
     fn ft_recovers_from_mid_run_crash() {
         // By t = 6.0 rank 1 has completed task 1 (and its message);
@@ -894,6 +972,30 @@ mod tests {
         let out = run_chain_ft(12, 4, &FtConfig::with_plan(plan)).unwrap();
         assert_eq!(chain_result(&out, 12), 12);
         assert_eq!(out.stats.crashes, 2);
+    }
+
+    /// Every surviving crash is paired with a recovery event naming a
+    /// live survivor, in virtual-time order; bytes are accounted.
+    #[test]
+    fn ft_events_pair_crashes_with_recoveries() {
+        let plan = FaultPlan::new(4).with_drops(0.2).with_crash(1, 5.0).with_crash(2, 11.0);
+        let out = run_chain_ft(12, 4, &FtConfig::with_plan(plan)).unwrap();
+        assert_eq!(out.events.len(), 2 * out.stats.crashes);
+        let mut last_at = 0.0_f64;
+        for pair in out.events.chunks(2) {
+            let crate::obs::RunEvent::Crash { rank, at } = pair[0] else {
+                panic!("even-index event must be a crash: {:?}", pair[0]);
+            };
+            let crate::obs::RunEvent::Recovery { failed, survivor, at: rat } = pair[1] else {
+                panic!("odd-index event must be a recovery: {:?}", pair[1]);
+            };
+            assert_eq!(failed, rank, "recovery must name the crashed rank");
+            assert_ne!(survivor, rank);
+            assert_eq!(at, rat, "recovery is immediate in virtual time");
+            assert!(at >= last_at);
+            last_at = at;
+        }
+        assert!(out.stats.bytes_sent >= 8 * out.stats.messages_sent as u64);
     }
 
     #[test]

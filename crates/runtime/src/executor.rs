@@ -11,10 +11,171 @@
 //! deque — the "release" path of any dataflow runtime.
 
 use crate::graph::{TaskGraph, TaskId};
+use crate::trace::Trace;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+#[cfg(feature = "obs")]
+use crate::trace::TaskRecord;
+#[cfg(feature = "obs")]
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+/// Span and steal data harvested from one observed execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// One record per executed task (retirement order sorted by end time).
+    pub trace: Trace,
+    /// Successful steals per worker (tasks this worker took from a peer's
+    /// deque; injector grabs are not steals).
+    pub steals: Vec<u64>,
+}
+
+impl ExecReport {
+    /// Total steal count over all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().sum()
+    }
+}
+
+/// Observation hooks for one executor run.
+///
+/// With the `obs` cargo feature enabled this captures, per task, the
+/// enqueue (ready) time, the execute start/end times, and the executing
+/// worker, plus per-worker steal counters — everything
+/// [`crate::obs::RunMetrics`] and the Chrome-trace exporter need. Without
+/// the feature every method is an inline no-op and the struct is
+/// zero-sized, so the hot path of an unobserved build is untouched (the
+/// counting-allocator harness in `tests/alloc_free.rs` holds either way:
+/// all span storage is preallocated up front in [`ExecObs::new`]).
+#[derive(Debug, Default)]
+pub struct ExecObs {
+    #[cfg(feature = "obs")]
+    inner: Option<ObsInner>,
+}
+
+#[cfg(feature = "obs")]
+#[derive(Debug)]
+struct ObsInner {
+    t0: Instant,
+    /// Nanoseconds since `t0` at which each task became ready.
+    enqueue_ns: Vec<AtomicU64>,
+    /// Per-worker span logs; each mutex is only ever taken by its own
+    /// worker during the run (uncontended), then drained in `finish`.
+    logs: Vec<Mutex<Vec<(TaskId, u64, u64)>>>,
+    /// Successful deque steals per worker.
+    steals: Vec<AtomicU64>,
+}
+
+impl ExecObs {
+    /// Whether span capture is compiled in (`obs` cargo feature).
+    pub const fn enabled() -> bool {
+        cfg!(feature = "obs")
+    }
+
+    /// Prepare storage for a graph of `ntasks` tasks on `nthreads`
+    /// workers. All vectors are sized up front: the per-task hooks never
+    /// allocate (each worker's log reserves room for every task, since in
+    /// the worst case one worker runs the whole graph).
+    #[allow(unused_variables)]
+    pub fn new(ntasks: usize, nthreads: usize) -> Self {
+        #[cfg(feature = "obs")]
+        {
+            ExecObs {
+                inner: Some(ObsInner {
+                    t0: Instant::now(),
+                    enqueue_ns: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+                    logs: (0..nthreads.max(1))
+                        .map(|_| Mutex::new(Vec::with_capacity(ntasks)))
+                        .collect(),
+                    steals: (0..nthreads.max(1)).map(|_| AtomicU64::new(0)).collect(),
+                }),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            ExecObs::default()
+        }
+    }
+
+    /// Current time in integer nanoseconds on the observation clock.
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            return inner.t0.elapsed().as_nanos() as u64;
+        }
+        0
+    }
+
+    /// A task just became ready (pushed to a deque / the injector).
+    #[inline]
+    #[allow(unused_variables)]
+    fn on_enqueue(&self, t: TaskId) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            inner.enqueue_ns[t].store(inner.t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Worker `wid` finished running task `t` which started at `start_ns`.
+    #[inline]
+    #[allow(unused_variables)]
+    fn on_retire(&self, wid: usize, t: TaskId, start_ns: u64) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            let end = inner.t0.elapsed().as_nanos() as u64;
+            let mut log = inner.logs[wid].lock().unwrap_or_else(|e| e.into_inner());
+            log.push((t, start_ns, end));
+        }
+    }
+
+    /// Worker `wid` successfully stole from a peer's deque.
+    #[inline]
+    #[allow(unused_variables)]
+    fn on_steal(&self, wid: usize) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            inner.steals[wid].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Harvest the captured spans into an [`ExecReport`], resolving task
+    /// class and tile coordinates against `graph`. Returns an empty report
+    /// when the `obs` feature is off.
+    #[allow(unused_variables)]
+    pub fn finish(&self, graph: &TaskGraph) -> ExecReport {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            let mut trace = Trace::default();
+            for (wid, log) in inner.logs.iter().enumerate() {
+                let log = log.lock().unwrap_or_else(|e| e.into_inner());
+                for &(t, start_ns, end_ns) in log.iter() {
+                    let spec = graph.spec(t);
+                    let queued_ns = inner.enqueue_ns[t].load(Ordering::Relaxed).min(start_ns);
+                    trace.push_record(TaskRecord {
+                        task: t,
+                        class: spec.class,
+                        proc: wid,
+                        data: spec.writes,
+                        queued: queued_ns as f64 * 1e-9,
+                        start: start_ns as f64 * 1e-9,
+                        end: end_ns as f64 * 1e-9,
+                    });
+                }
+            }
+            trace.records.sort_by(|a, b| a.end.total_cmp(&b.end));
+            return ExecReport {
+                trace,
+                steals: inner.steals.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
+            };
+        }
+        ExecReport::default()
+    }
+}
 
 /// A kernel panicked during a cancellable execution.
 #[derive(Debug, Clone)]
@@ -95,6 +256,26 @@ pub fn execute_cancellable_indexed<F>(
 where
     F: Fn(usize, TaskId) + Sync,
 {
+    execute_cancellable_observed(graph, nthreads, cancel, None, run)
+}
+
+/// [`execute_cancellable_indexed`] with optional span capture.
+///
+/// When `obs` is `Some`, every task's enqueue/start/end time and executing
+/// worker are recorded into it (harvest with [`ExecObs::finish`] after
+/// this returns), along with per-worker steal counts. When `None` — or
+/// when the `obs` cargo feature is off — the instrumentation reduces to a
+/// branch per task.
+pub fn execute_cancellable_observed<F>(
+    graph: &TaskGraph,
+    nthreads: usize,
+    cancel: &AtomicBool,
+    obs: Option<&ExecObs>,
+    run: F,
+) -> Result<(), TaskPanic>
+where
+    F: Fn(usize, TaskId) + Sync,
+{
     let n = graph.len();
     if n == 0 {
         return Ok(());
@@ -112,6 +293,9 @@ where
     let mut sources = graph.sources();
     sources.sort_by_key(|&t| graph.spec(t).priority);
     for t in sources {
+        if let Some(o) = obs {
+            o.on_enqueue(t);
+        }
         injector.push(t);
     }
 
@@ -132,9 +316,13 @@ where
                     if completed.load(Ordering::Acquire) == n {
                         return;
                     }
-                    let task = find_task(&local, injector, stealers, wid, &mut rng);
+                    let task = find_task(&local, injector, stealers, wid, &mut rng, obs);
                     match task {
                         Some(t) => {
+                            let start_ns = match obs {
+                                Some(o) => o.now_ns(),
+                                None => 0,
+                            };
                             if !cancel.load(Ordering::Acquire) {
                                 if let Err(payload) =
                                     catch_unwind(AssertUnwindSafe(|| run(wid, t)))
@@ -152,10 +340,16 @@ where
                                     }
                                 }
                             }
+                            if let Some(o) = obs {
+                                o.on_retire(wid, t, start_ns);
+                            }
                             // Release successors even when draining: the
                             // completion count must reach `n` to stop.
                             for e in graph.successors(t) {
                                 if indegree[e.dst].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    if let Some(o) = obs {
+                                        o.on_enqueue(e.dst);
+                                    }
                                     local.push(e.dst);
                                 }
                             }
@@ -182,6 +376,7 @@ fn find_task(
     stealers: &[Stealer<TaskId>],
     self_id: usize,
     rng: &mut u64,
+    obs: Option<&ExecObs>,
 ) -> Option<TaskId> {
     if let Some(t) = local.pop() {
         return Some(t);
@@ -205,7 +400,12 @@ fn find_task(
             }
             loop {
                 match stealers[victim].steal_batch_and_pop(local) {
-                    Steal::Success(t) => return Some(t),
+                    Steal::Success(t) => {
+                        if let Some(o) = obs {
+                            o.on_steal(self_id);
+                        }
+                        return Some(t);
+                    }
                     Steal::Retry => continue,
                     Steal::Empty => break,
                 }
@@ -372,6 +572,46 @@ mod tests {
         let b = g.add_task(spec(1));
         g.add_edge(a, b, DataRef { i: 0, j: 0 }, 0);
         execute(&g, 2, |_| panic!("kernel exploded"));
+    }
+
+    /// Observed execution: with the `obs` feature on, every task gets a
+    /// span with sane timestamps; with it off, the hooks are no-ops and
+    /// the report is empty — either way the run itself is unaffected.
+    #[test]
+    fn observed_execution_captures_spans() {
+        let n = 32;
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(spec(i));
+        }
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
+        }
+        let obs = ExecObs::new(g.len(), 2);
+        let cancel = AtomicBool::new(false);
+        let ran = AtomicUsize::new(0);
+        execute_cancellable_observed(&g, 2, &cancel, Some(&obs), |_wid, _t| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), n);
+        let rep = obs.finish(&g);
+        if ExecObs::enabled() {
+            assert_eq!(rep.trace.records.len(), n);
+            for r in &rep.trace.records {
+                assert!(r.queued <= r.start + 1e-12);
+                assert!(r.start <= r.end);
+                assert!(r.proc < 2);
+            }
+            // Records come back sorted by end time.
+            for w in rep.trace.records.windows(2) {
+                assert!(w[0].end <= w[1].end);
+            }
+            assert_eq!(rep.steals.len(), 2);
+        } else {
+            assert!(rep.trace.records.is_empty());
+            assert!(rep.steals.is_empty());
+        }
     }
 
     #[test]

@@ -243,6 +243,9 @@ pub struct FaultStats {
     pub messages_sent: usize,
     /// Retransmissions (timeout-driven and crash replays).
     pub retransmissions: usize,
+    /// Payload bytes put on the wire, every attempt counted (dataflow-edge
+    /// `bytes` annotations; the communication-volume side of Fig. 13).
+    pub bytes_sent: u64,
     /// Send attempts the network dropped.
     pub messages_dropped: usize,
     /// Extra deliveries injected by duplication.

@@ -21,6 +21,11 @@
 //! * [`machine`] — calibrated machine models for the two supercomputers.
 //! * [`critical_path`] — the longest-path "roofline" bound of §VIII-G.
 //! * [`trace`] — execution traces and per-class time breakdowns (Fig. 11).
+//! * [`obs`] — observability: Chrome-trace (Perfetto) export, JSON/CSV
+//!   metrics dumps, and structured crash/recovery events. Hot-path span
+//!   capture in the executor is gated behind the `obs` cargo feature
+//!   (compiled to no-ops when disabled); this reporting layer is always
+//!   available.
 
 pub mod critical_path;
 pub mod des;
@@ -30,13 +35,15 @@ pub mod executor;
 pub mod fault;
 pub mod graph;
 pub mod machine;
+pub mod obs;
 pub mod ptg;
 pub mod scheduler;
 pub mod trace;
 
 pub use des::{simulate, simulate_with_faults, DesConfig, DesCrash, DesReport, FaultSchedule};
-pub use executor::{execute, execute_cancellable, TaskPanic};
+pub use executor::{execute, execute_cancellable, ExecObs, ExecReport, TaskPanic};
 pub use fault::{CrashAt, FaultPlan, FaultStats, FtConfig, FtError, RetryConfig};
 pub use graph::{DataRef, TaskClass, TaskGraph, TaskId, TaskSpec};
 pub use machine::MachineModel;
+pub use obs::{chrome_trace_json, RunEvent, RunMetrics};
 pub use trace::{ClassBreakdown, Trace};

@@ -3,22 +3,53 @@
 //! Both the shared-memory executor (wall-clock) and the discrete-event
 //! simulator (virtual clock) emit a [`Trace`]; the reporting code behind
 //! Fig. 11 (time breakdown) and Fig. 13 (efficiency vs. the critical-path
-//! bound) consumes it.
+//! bound) consumes it. The [`crate::obs`] module exports a `Trace` to
+//! Chrome-trace JSON and computes derived run metrics.
 
-use crate::graph::TaskClass;
+use crate::graph::{DataRef, TaskClass, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// One executed task.
+///
+/// `queued ≤ start ≤ end` in a well-formed record; consumers clamp rather
+/// than trust it, because crash re-execution can retire a second copy of a
+/// task with timestamps that overlap (or, with skewed per-worker clocks,
+/// precede) the first.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TaskRecord {
+    /// Task id in the graph this trace came from (0 when unknown).
+    pub task: TaskId,
     /// Kernel class.
     pub class: TaskClass,
-    /// Executing process (0 for shared-memory runs).
+    /// Executing process / worker (0 for shared-memory runs).
     pub proc: usize,
+    /// Tile the task writes, when known (`None` for bookkeeping tasks).
+    pub data: Option<DataRef>,
+    /// Time the task became ready (enqueue), seconds. Equal to `start`
+    /// when the producer did not track readiness.
+    pub queued: f64,
     /// Start time, seconds (virtual or wall).
     pub start: f64,
     /// End time, seconds.
     pub end: f64,
+}
+
+impl TaskRecord {
+    /// Execution duration, clamped to be non-negative (crash re-execution
+    /// or clock skew can produce `end < start`; such records count as
+    /// zero-length rather than subtracting busy time).
+    pub fn duration(&self) -> f64 {
+        debug_assert!(
+            self.start.is_finite() && self.end.is_finite() && self.queued.is_finite(),
+            "non-finite timestamps in task record"
+        );
+        (self.end - self.start).max(0.0)
+    }
+
+    /// Queue wait (ready → start), clamped to be non-negative.
+    pub fn queue_wait(&self) -> f64 {
+        (self.start - self.queued).max(0.0)
+    }
 }
 
 /// A full execution trace.
@@ -51,9 +82,15 @@ impl ClassBreakdown {
 }
 
 impl Trace {
-    /// Record one task execution.
+    /// Record one task execution with class/proc/times only (legacy shape;
+    /// task id defaults to 0, `queued` to `start`, no tile coordinates).
     pub fn push(&mut self, class: TaskClass, proc: usize, start: f64, end: f64) {
-        self.records.push(TaskRecord { class, proc, start, end });
+        self.records.push(TaskRecord { task: 0, class, proc, data: None, queued: start, start, end });
+    }
+
+    /// Record one fully-described task execution.
+    pub fn push_record(&mut self, rec: TaskRecord) {
+        self.records.push(rec);
     }
 
     /// Makespan (max end time; 0 for an empty trace).
@@ -61,11 +98,11 @@ impl Trace {
         self.records.iter().fold(0.0, |m, r| m.max(r.end))
     }
 
-    /// Total busy seconds per kernel class.
+    /// Total busy seconds per kernel class (durations clamped ≥ 0).
     pub fn breakdown(&self) -> ClassBreakdown {
         let mut b = ClassBreakdown::default();
         for r in &self.records {
-            let d = r.end - r.start;
+            let d = r.duration();
             match r.class {
                 TaskClass::Potrf => b.potrf += d,
                 TaskClass::Trsm => b.trsm += d,
@@ -82,10 +119,28 @@ impl Trace {
         let mut busy = vec![0.0; nprocs];
         for r in &self.records {
             if r.proc < nprocs {
-                busy[r.proc] += r.end - r.start;
+                busy[r.proc] += r.duration();
             }
         }
         busy
+    }
+
+    /// Idle fraction per process over the trace's makespan, each in
+    /// `[0, 1]`. An empty trace reports every process fully idle.
+    pub fn idle_fraction(&self, nprocs: usize) -> Vec<f64> {
+        let span = self.makespan();
+        if span <= 0.0 {
+            return vec![1.0; nprocs];
+        }
+        self.busy_per_proc(nprocs)
+            .into_iter()
+            .map(|b| (1.0 - b / span).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Total queue-wait seconds (ready → start) summed over all records.
+    pub fn total_queue_wait(&self) -> f64 {
+        self.records.iter().map(|r| r.queue_wait()).sum()
     }
 
     /// Render an ASCII Gantt chart: one row per process, time binned into
@@ -102,7 +157,7 @@ impl Trace {
         let mut busy = vec![vec![[0.0_f64; 5]; width]; nprocs];
         let bin_w = makespan / width as f64;
         for r in &self.records {
-            if r.proc >= nprocs {
+            if r.proc >= nprocs || r.end <= r.start {
                 continue;
             }
             let cls = match r.class {
@@ -217,5 +272,54 @@ mod tests {
         assert_eq!(t.makespan(), 0.0);
         assert_eq!(t.breakdown().total(), 0.0);
         assert_eq!(t.load_imbalance(4), 1.0);
+        assert_eq!(t.idle_fraction(3), vec![1.0; 3]);
+        assert_eq!(t.total_queue_wait(), 0.0);
+    }
+
+    #[test]
+    fn reversed_span_clamps_to_zero() {
+        // Crash re-execution can retire a record with end < start; it must
+        // count as zero-length, not subtract busy time.
+        let mut t = Trace::default();
+        t.push(TaskClass::Gemm, 0, 2.0, 1.0);
+        t.push(TaskClass::Gemm, 0, 0.0, 3.0);
+        let b = t.breakdown();
+        assert_eq!(b.gemm, 3.0);
+        assert_eq!(t.busy_per_proc(1)[0], 3.0);
+        assert_eq!(t.makespan(), 3.0);
+        // Gantt ignores the degenerate record instead of binning garbage.
+        assert!(!t.gantt(1, 8).is_empty());
+    }
+
+    #[test]
+    fn idle_fraction_in_unit_interval() {
+        let mut t = Trace::default();
+        t.push(TaskClass::Potrf, 0, 0.0, 4.0);
+        t.push(TaskClass::Gemm, 1, 0.0, 1.0);
+        let idle = t.idle_fraction(3);
+        assert_eq!(idle.len(), 3);
+        assert!((idle[0] - 0.0).abs() < 1e-12);
+        assert!((idle[1] - 0.75).abs() < 1e-12);
+        assert!((idle[2] - 1.0).abs() < 1e-12);
+        for f in idle {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn queue_wait_tracks_ready_to_start() {
+        let mut t = Trace::default();
+        t.push_record(TaskRecord {
+            task: 7,
+            class: TaskClass::Trsm,
+            proc: 0,
+            data: Some(DataRef { i: 2, j: 1 }),
+            queued: 1.0,
+            start: 1.5,
+            end: 2.5,
+        });
+        // Legacy push: queued == start, so no wait.
+        t.push(TaskClass::Gemm, 0, 3.0, 4.0);
+        assert!((t.total_queue_wait() - 0.5).abs() < 1e-12);
     }
 }

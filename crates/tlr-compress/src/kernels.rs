@@ -126,6 +126,14 @@ pub struct KernelWorkspace {
     svd: Svd,
     /// Reusable SVD scratch (working copy, rotations, ordering).
     svd_work: SvdWork,
+    /// Buffer checkouts that had to allocate or grow (pool miss). Stays
+    /// at its warm-up value once the arena reaches steady state; the
+    /// observability layer reports it as the allocation-event counter.
+    #[cfg(feature = "obs")]
+    alloc_events: u64,
+    /// Input/output ranks of every recompression through this arena.
+    #[cfg(feature = "obs")]
+    rank_log: crate::rankstat::RankEvolution,
 }
 
 impl Default for KernelWorkspace {
@@ -143,7 +151,61 @@ impl KernelWorkspace {
             taus: Vec::new(),
             svd: Svd { u: Matrix::zeros(0, 0), s: Vec::new(), v: Matrix::zeros(0, 0) },
             svd_work: SvdWork::new(),
+            #[cfg(feature = "obs")]
+            alloc_events: 0,
+            #[cfg(feature = "obs")]
+            rank_log: crate::rankstat::RankEvolution::default(),
         }
+    }
+
+    /// Pool misses so far: checkouts that allocated a fresh buffer or
+    /// grew a pooled one. Always callable; 0 without the `obs` feature.
+    pub fn alloc_events(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.alloc_events
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// Drain the recompression rank log accumulated by this arena
+    /// (empty without the `obs` feature).
+    pub fn take_rank_log(&mut self) -> crate::rankstat::RankEvolution {
+        #[cfg(feature = "obs")]
+        {
+            std::mem::take(&mut self.rank_log)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            crate::rankstat::RankEvolution::default()
+        }
+    }
+
+    /// Note one recompression's `(stacked input, kept output)` ranks.
+    #[inline]
+    #[allow(unused_variables)]
+    fn log_recompress(&mut self, k_in: usize, k_out: usize) {
+        #[cfg(feature = "obs")]
+        self.rank_log.record(k_in, k_out);
+    }
+
+    /// Note a recompression that truncated to a Null tile.
+    #[inline]
+    #[allow(unused_variables)]
+    fn log_recompress_null(&mut self, k_in: usize) {
+        #[cfg(feature = "obs")]
+        self.rank_log.record_null(k_in);
+    }
+
+    /// Note a recompression that fell back to Dense format.
+    #[inline]
+    #[allow(unused_variables)]
+    fn log_recompress_dense(&mut self, k_in: usize, k_out: usize) {
+        #[cfg(feature = "obs")]
+        self.rank_log.record_dense(k_in, k_out);
     }
 
     /// Check out a zeroed `rows × cols` matrix backed by the smallest
@@ -153,7 +215,9 @@ impl KernelWorkspace {
     /// buffer history, so factorizations stay bit-deterministic at any
     /// thread count.
     pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
-        Self::take_from(&mut self.pool, rows, cols)
+        let (m, grew) = Self::take_from(&mut self.pool, rows, cols);
+        self.note_growth(grew);
+        m
     }
 
     /// Return a checked-out scratch matrix's buffer to the pool.
@@ -166,7 +230,9 @@ impl KernelWorkspace {
     /// Drawn from the export pool that [`KernelWorkspace::give_tile`]
     /// refills, so tile churn cannot drain the scratch pool.
     pub fn take_out(&mut self, rows: usize, cols: usize) -> Matrix {
-        Self::take_from(&mut self.out_pool, rows, cols)
+        let (m, grew) = Self::take_from(&mut self.out_pool, rows, cols);
+        self.note_growth(grew);
+        m
     }
 
     /// Return a matrix taken with [`KernelWorkspace::take_out`] that
@@ -190,15 +256,28 @@ impl KernelWorkspace {
         }
     }
 
-    fn take_from(pool: &mut Vec<Vec<f64>>, rows: usize, cols: usize) -> Matrix {
+    /// Returns the checked-out matrix and whether the checkout had to
+    /// allocate (pool miss / growth) — the allocation-event signal.
+    fn take_from(pool: &mut Vec<Vec<f64>>, rows: usize, cols: usize) -> (Matrix, bool) {
         let need = rows * cols;
         let mut buf = match pool.iter().position(|b| b.capacity() >= need) {
             Some(i) => pool.remove(i),
             None => pool.pop().unwrap_or_default(),
         };
+        let grew = buf.capacity() < need;
         buf.clear();
         buf.resize(need, 0.0);
-        Matrix::from_vec(rows, cols, buf)
+        (Matrix::from_vec(rows, cols, buf), grew)
+    }
+
+    /// Bump the allocation-event counter when a checkout grew.
+    #[inline]
+    #[allow(unused_variables)]
+    fn note_growth(&mut self, grew: bool) {
+        #[cfg(feature = "obs")]
+        if grew {
+            self.alloc_events += 1;
+        }
     }
 
     fn give_to(pool: &mut Vec<Vec<f64>>, m: Matrix) {
@@ -537,6 +616,9 @@ fn recompress_ws(
     let qu = Qr::new_in(us, taus_u);
     let taus_v = ws.take_taus();
     let qv = Qr::new_in(vs, taus_v);
+    // Stacked input rank (k_c + k_product) before truncation, for the
+    // rank-evolution log.
+    let ktot = qu.cols();
     let ku = qu.k();
     let kv = qv.k();
     let mut ru = ws.take(ku, qu.cols()); // ku × ktot
@@ -552,6 +634,7 @@ fn recompress_ws(
     ws.give(core);
     let k = ws.svd.rank_at_frobenius(config.accuracy).min(config.max_rank);
     if k == 0 {
+        ws.log_recompress_null(ktot);
         reclaim_qr(ws, qu);
         reclaim_qr(ws, qv);
         return Tile::Null { rows, cols };
@@ -577,12 +660,14 @@ fn recompress_ws(
     ws.give(ys);
     reclaim_qr(ws, qv);
     if !config.low_rank_pays_off(k, rows, cols) {
+        ws.log_recompress_dense(ktot, k);
         let mut dense = ws.take_out(rows, cols);
         gemm_serial(Trans::No, Trans::Yes, 1.0, &u, &v, 0.0, &mut dense);
         ws.give_out(u);
         ws.give_out(v);
         return Tile::Dense(dense);
     }
+    ws.log_recompress(ktot, k);
     Tile::LowRank { u, v }
 }
 

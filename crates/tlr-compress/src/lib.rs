@@ -32,5 +32,5 @@ pub mod tile;
 pub use aca::{aca_compress, AcaResult};
 pub use compress::{compress_tile, decompress_tile, CompressionConfig};
 pub use matrix::TlrMatrix;
-pub use rankstat::{RankSnapshot, SyntheticRankModel};
+pub use rankstat::{RankEvolution, RankSnapshot, SyntheticRankModel};
 pub use tile::Tile;

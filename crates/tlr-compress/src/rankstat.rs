@@ -283,6 +283,153 @@ impl SyntheticRankModel {
     }
 }
 
+/// Running statistics of recompression rank evolution: every GEMM-update
+/// recompression feeds one `(stacked input rank, truncated output rank)`
+/// pair, the histogram of which is the tuning signal H2OPUS-TLR
+/// (arXiv:2108.11932) builds its adaptive-rank decisions on. Null results
+/// (everything truncated away) and dense fallbacks (low rank stopped
+/// paying off) are tracked separately because they change the tile
+/// *format*, not just the rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankEvolution {
+    /// Recompressions observed.
+    events: u64,
+    /// Sum of stacked input ranks (`k_c + k_prod` before truncation).
+    sum_in: u64,
+    /// Sum of kept output ranks.
+    sum_out: u64,
+    /// Largest stacked input rank seen.
+    max_in: usize,
+    /// Largest kept output rank seen.
+    max_out: usize,
+    /// `hist[k]` = recompressions whose output rank was `k`.
+    hist: Vec<u64>,
+    /// Recompressions that truncated to rank 0 (tile became Null).
+    nulls: u64,
+    /// Recompressions whose result fell back to Dense format.
+    denses: u64,
+}
+
+impl RankEvolution {
+    /// Record one recompression: `k_in` stacked columns in, `k_out` kept.
+    pub fn record(&mut self, k_in: usize, k_out: usize) {
+        self.events += 1;
+        self.sum_in += k_in as u64;
+        self.sum_out += k_out as u64;
+        self.max_in = self.max_in.max(k_in);
+        self.max_out = self.max_out.max(k_out);
+        if self.hist.len() <= k_out {
+            self.hist.resize(k_out + 1, 0);
+        }
+        self.hist[k_out] += 1;
+    }
+
+    /// Record a recompression that truncated everything away (Null tile).
+    pub fn record_null(&mut self, k_in: usize) {
+        self.record(k_in, 0);
+        self.nulls += 1;
+    }
+
+    /// Record a recompression whose rank-`k_out` result was converted to
+    /// Dense because low rank stopped paying off.
+    pub fn record_dense(&mut self, k_in: usize, k_out: usize) {
+        self.record(k_in, k_out);
+        self.denses += 1;
+    }
+
+    /// Fold another log into this one (merging per-worker logs).
+    pub fn merge(&mut self, other: &RankEvolution) {
+        self.events += other.events;
+        self.sum_in += other.sum_in;
+        self.sum_out += other.sum_out;
+        self.max_in = self.max_in.max(other.max_in);
+        self.max_out = self.max_out.max(other.max_out);
+        if self.hist.len() < other.hist.len() {
+            self.hist.resize(other.hist.len(), 0);
+        }
+        for (k, &c) in other.hist.iter().enumerate() {
+            self.hist[k] += c;
+        }
+        self.nulls += other.nulls;
+        self.denses += other.denses;
+    }
+
+    /// Recompressions observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Mean stacked input rank (0 when empty).
+    pub fn mean_in(&self) -> f64 {
+        if self.events == 0 { 0.0 } else { self.sum_in as f64 / self.events as f64 }
+    }
+
+    /// Mean kept output rank (0 when empty).
+    pub fn mean_out(&self) -> f64 {
+        if self.events == 0 { 0.0 } else { self.sum_out as f64 / self.events as f64 }
+    }
+
+    /// Largest stacked input rank seen.
+    pub fn max_in(&self) -> usize {
+        self.max_in
+    }
+
+    /// Largest kept output rank seen.
+    pub fn max_out(&self) -> usize {
+        self.max_out
+    }
+
+    /// Tiles that truncated to Null.
+    pub fn nulls(&self) -> u64 {
+        self.nulls
+    }
+
+    /// Results that fell back to Dense format.
+    pub fn denses(&self) -> u64 {
+        self.denses
+    }
+
+    /// Output-rank histogram: `histogram()[k]` = recompressions kept at
+    /// rank `k`.
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// ASCII rendering of the output-rank histogram (binned to at most
+    /// `max_bins` rows, `#`-bar scaled to the largest bin).
+    pub fn render(&self, max_bins: usize) -> String {
+        if self.events == 0 {
+            return "rank evolution: no recompressions recorded\n".to_string();
+        }
+        let mut out = format!(
+            "rank evolution: {} recompressions, mean {:.1} -> {:.1}, max {} -> {}, \
+             {} null, {} dense\n",
+            self.events,
+            self.mean_in(),
+            self.mean_out(),
+            self.max_in,
+            self.max_out,
+            self.nulls,
+            self.denses
+        );
+        let nbins = max_bins.max(1).min(self.hist.len());
+        let per_bin = self.hist.len().div_ceil(nbins);
+        let mut bins: Vec<(usize, usize, u64)> = Vec::with_capacity(nbins);
+        for b in (0..self.hist.len()).step_by(per_bin) {
+            let hi = (b + per_bin).min(self.hist.len());
+            bins.push((b, hi - 1, self.hist[b..hi].iter().sum()));
+        }
+        let peak = bins.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
+        for (lo, hi, count) in bins {
+            let bar = ((count * 40).div_ceil(peak)) as usize;
+            let label =
+                if lo == hi { format!("{lo:>4}") } else { format!("{lo:>4}-{hi:<4}") };
+            out.push_str(&format!("  k={label:<9} {count:>8} {}\n", "#".repeat(bar)));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,5 +548,35 @@ mod tests {
         let flat = s.as_flat();
         assert_eq!(flat[3], s.rank(1, 0)); // row 1, col 0
         assert_eq!(flat[2 * 3 + 1], s.rank(2, 1));
+    }
+
+    #[test]
+    fn rank_evolution_records_and_merges() {
+        let mut a = RankEvolution::default();
+        a.record(24, 12);
+        a.record(20, 12);
+        a.record_null(6);
+        let mut b = RankEvolution::default();
+        b.record_dense(30, 28);
+        a.merge(&b);
+        assert_eq!(a.events(), 4);
+        assert_eq!(a.nulls(), 1);
+        assert_eq!(a.denses(), 1);
+        assert_eq!(a.max_in(), 30);
+        assert_eq!(a.max_out(), 28);
+        assert_eq!(a.histogram()[12], 2);
+        assert_eq!(a.histogram()[0], 1);
+        assert!((a.mean_in() - 20.0).abs() < 1e-12);
+        assert!((a.mean_out() - 13.0).abs() < 1e-12);
+        let text = a.render(8);
+        assert!(text.contains("4 recompressions"), "{text}");
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn rank_evolution_empty_render() {
+        let e = RankEvolution::default();
+        assert!(e.render(10).contains("no recompressions"));
+        assert_eq!(e.mean_in(), 0.0);
     }
 }
