@@ -8,17 +8,18 @@
 //! missing dataflow edge, or a remap that forgets to ship a tile breaks
 //! *here*, not just in a simulator.
 //!
-//! Two engines share the same task plan and kernel dispatch:
-//!
-//! * [`factorize_distributed`] — the thread-per-rank engine over a
-//!   perfect network (one OS thread per rank, channels as the wire);
-//! * [`factorize_distributed_ft`] — the fault-tolerant engine
-//!   (`runtime::distributed::execute_distributed_ft`), which injects a
-//!   seeded [`FaultPlan`](runtime::fault::FaultPlan) — message loss,
-//!   duplication, delay jitter, rank crashes, kernel failures — and
-//!   recovers via retransmission, dedup and task re-execution. Its
-//!   factor is bit-identical to the fault-free run for any survivable
-//!   plan.
+//! All of it runs on the single distributed engine
+//! ([`runtime::engine::DistEngine`]), driven through
+//! [`Session::distributed`](crate::session::Session::distributed): the
+//! session owns the plan → kernel-env → run → gather pipeline, and a
+//! fault layer ([`FaultPlan`](runtime::fault::FaultPlan) — message loss,
+//! duplication, delay jitter, rank crashes, kernel failures) composes
+//! onto it with
+//! [`with_fault_layer`](crate::session::Session::with_fault_layer).
+//! Recovery is retransmission, dedup and task re-execution; the factor
+//! is bit-identical to the fault-free run for any survivable plan. The
+//! `factorize_distributed{,_counted,_ft}` entry points remain as
+//! deprecated one-call shims over the session.
 //!
 //! The data layout follows PaRSEC's on-demand shipping, collapsed to
 //! setup time: each tile's initial version starts at the rank that first
@@ -26,34 +27,36 @@
 //! last writer.
 
 use crate::dag::{build_cholesky_dag, CholeskyDag, DagConfig, TaskKind};
+use crate::session::{RunError, Session};
 use distribution::TileDistribution;
 use parking_lot::Mutex;
 use runtime::des::CommStats;
-use runtime::distributed::{execute_distributed_counted, execute_distributed_ft, RankCtx};
+use runtime::engine::{EngineError, RankCtx};
 use runtime::obs::RunEvent;
 use runtime::fault::{FaultStats, FtConfig, FtError};
 use runtime::graph::{DataRef, TaskId};
 use std::collections::HashMap;
 use std::fmt;
 use tlr_compress::kernels::{gemm_kernel, potrf_kernel, syrk_kernel, trsm_kernel};
-use tlr_compress::{CompressionConfig, Tile, TlrMatrix};
+use tlr_compress::{Tile, TlrMatrix};
 use tlr_linalg::CholeskyError;
 
 use crate::factorize::FactorConfig;
 
-/// Everything both engines need: the trimmed DAG, task→rank mapping,
-/// dependency lookup, and the initial per-rank tile placement (tiles are
-/// moved out of the matrix into the stores).
-struct DistPlan {
-    dag: CholeskyDag,
-    exec_rank: Vec<usize>,
+/// Everything a distributed run needs: the trimmed DAG, task→rank
+/// mapping, dependency lookup, and the initial per-rank tile placement
+/// (tiles are moved out of the matrix into the stores). Built once per
+/// attempt by [`crate::session::Session`].
+pub(crate) struct DistPlan {
+    pub(crate) dag: CholeskyDag,
+    pub(crate) exec_rank: Vec<usize>,
     preds: Vec<Vec<(TaskId, DataRef)>>,
     last_writer: HashMap<(usize, usize), TaskId>,
     placement: HashMap<(usize, usize), usize>,
-    initial: Vec<HashMap<DataRef, Tile>>,
+    pub(crate) initial: Vec<HashMap<DataRef, Tile>>,
 }
 
-fn plan_distribution(
+pub(crate) fn plan_distribution(
     matrix: &mut TlrMatrix,
     cfg: &FactorConfig,
     nprocs: usize,
@@ -107,15 +110,15 @@ fn plan_distribution(
     DistPlan { dag, exec_rank, preds, last_writer, placement, initial }
 }
 
-/// Shared kernel dispatch for both engines. `Sync` so the thread engine
-/// can call it from every rank; the error slot keeps the *minimum*
-/// failing pivot so concurrent failures report deterministically.
-struct KernelEnv<'a> {
+/// Kernel dispatch for distributed runs. The error slot keeps the
+/// *minimum* failing pivot so concurrent failures report
+/// deterministically.
+pub(crate) struct KernelEnv<'a> {
     dag: &'a CholeskyDag,
     preds: &'a [Vec<(TaskId, DataRef)>],
     tile_size: usize,
-    compression: CompressionConfig,
-    error: Mutex<Option<CholeskyError>>,
+    compression: tlr_compress::CompressionConfig,
+    pub(crate) error: Mutex<Option<CholeskyError>>,
 }
 
 impl KernelEnv<'_> {
@@ -134,7 +137,7 @@ impl KernelEnv<'_> {
         }
     }
 
-    fn run(&self, t: TaskId, ctx: &mut RankCtx<'_, Tile>) -> Tile {
+    pub(crate) fn run(&self, t: TaskId, ctx: &mut RankCtx<'_, Tile>) -> Tile {
         let w = self.dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
         if self.error.lock().is_some() {
             // Poisoned: keep the dataflow moving with the untouched tile.
@@ -185,7 +188,7 @@ impl KernelEnv<'_> {
 
 /// Put the final tile versions back into the matrix from the per-rank
 /// stores, using the (possibly migrated) final task→rank assignment.
-fn gather_tiles(
+pub(crate) fn gather_tiles(
     matrix: &mut TlrMatrix,
     plan: &DistPlan,
     final_exec: &[usize],
@@ -214,16 +217,18 @@ fn gather_tiles(
     }
 }
 
-fn kernel_env<'a>(plan: &'a DistPlan, cfg: &FactorConfig, tile_size: usize) -> KernelEnv<'a> {
+pub(crate) fn kernel_env<'a>(
+    plan: &'a DistPlan,
+    cfg: &FactorConfig,
+    tile_size: usize,
+) -> KernelEnv<'a> {
     KernelEnv {
         dag: &plan.dag,
         preds: &plan.preds,
         tile_size,
-        compression: CompressionConfig {
-            accuracy: cfg.accuracy,
-            max_rank: cfg.max_rank,
-            keep_dense_ratio: 1.0,
-        },
+        // The configured compression policy, keep_dense_ratio included —
+        // this used to pin the ratio to 1.0 regardless of the config.
+        compression: cfg.compression(),
         error: Mutex::new(None),
     }
 }
@@ -232,13 +237,22 @@ fn kernel_env<'a>(plan: &'a DistPlan, cfg: &FactorConfig, tile_size: usize) -> K
 /// ranks. `exec` maps each tile to the rank that executes the tasks
 /// writing it (pass the data distribution itself for owner-computes, or
 /// a remapping distribution for the §VII-B execution dissociation).
+///
+/// Now a shim over [`Session::distributed`], so it inherits the
+/// session's diagonal-shift retry driver
+/// ([`FactorConfig::max_shift_retries`]).
+#[deprecated(note = "use `Session::distributed(cfg, nprocs, exec).run(matrix)`")]
 pub fn factorize_distributed(
     matrix: &mut TlrMatrix,
     cfg: &FactorConfig,
     nprocs: usize,
     exec: &dyn TileDistribution,
 ) -> Result<(), CholeskyError> {
-    factorize_distributed_counted(matrix, cfg, nprocs, exec).map(|_| ())
+    match Session::distributed(*cfg, nprocs, exec).run(matrix) {
+        Ok(_) => Ok(()),
+        Err(RunError::Numeric(e)) => Err(e),
+        Err(RunError::Engine(e)) => panic!("{e}"),
+    }
 }
 
 /// [`factorize_distributed`] that also reports the inter-rank
@@ -246,26 +260,19 @@ pub fn factorize_distributed(
 /// after owner-computes locality removed same-rank transfers). This is
 /// the measured counterpart of the DES's modeled `CommStats` and feeds
 /// the observability comparison tables.
+#[deprecated(
+    note = "use `Session::distributed(cfg, nprocs, exec).run(matrix)` and read `RunOutcome::comm`"
+)]
 pub fn factorize_distributed_counted(
     matrix: &mut TlrMatrix,
     cfg: &FactorConfig,
     nprocs: usize,
     exec: &dyn TileDistribution,
 ) -> Result<CommStats, CholeskyError> {
-    let tile_size = matrix.tile_size();
-    let mut plan = plan_distribution(matrix, cfg, nprocs, exec);
-    let initial = std::mem::take(&mut plan.initial);
-    let env = kernel_env(&plan, cfg, tile_size);
-
-    let (stores, comm) =
-        execute_distributed_counted(&plan.dag.graph, nprocs, &plan.exec_rank, initial, |t, ctx| {
-            env.run(t, ctx)
-        });
-
-    gather_tiles(matrix, &plan, &plan.exec_rank, &stores);
-    match env.error.into_inner() {
-        Some(e) => Err(e),
-        None => Ok(comm),
+    match Session::distributed(*cfg, nprocs, exec).run(matrix) {
+        Ok(out) => Ok(out.comm.expect("distributed runs always count communication")),
+        Err(RunError::Numeric(e)) => Err(e),
+        Err(RunError::Engine(e)) => panic!("{e}"),
     }
 }
 
@@ -319,6 +326,9 @@ impl From<FtError> for FtFactorError {
 ///
 /// On `Err(FtFactorError::Runtime(_))` the matrix contents are
 /// unspecified (tiles may be stuck on dead emulated ranks).
+#[deprecated(
+    note = "use `Session::distributed(cfg, nprocs, exec).with_fault_layer(ft).run(matrix)`"
+)]
 pub fn factorize_distributed_ft(
     matrix: &mut TlrMatrix,
     cfg: &FactorConfig,
@@ -326,24 +336,11 @@ pub fn factorize_distributed_ft(
     exec: &dyn TileDistribution,
     ft: &FtConfig,
 ) -> Result<FtFactorOutcome, FtFactorError> {
-    let tile_size = matrix.tile_size();
-    let mut plan = plan_distribution(matrix, cfg, nprocs, exec);
-    let initial = std::mem::take(&mut plan.initial);
-    let env = kernel_env(&plan, cfg, tile_size);
-
-    let outcome =
-        execute_distributed_ft(&plan.dag.graph, nprocs, &plan.exec_rank, initial, ft, |t, ctx| {
-            env.run(t, ctx)
-        })?;
-
-    gather_tiles(matrix, &plan, &outcome.exec_rank, &outcome.stores);
-    match env.error.into_inner() {
-        Some(e) => Err(FtFactorError::Numeric(e)),
-        None => Ok(FtFactorOutcome {
-            stats: outcome.stats,
-            makespan: outcome.makespan,
-            events: outcome.events,
-        }),
+    match Session::distributed(*cfg, nprocs, exec).with_fault_layer(ft).run(matrix) {
+        Ok(out) => Ok(out.ft.expect("fault layer was configured")),
+        Err(RunError::Numeric(e)) => Err(FtFactorError::Numeric(e)),
+        Err(RunError::Engine(EngineError::Fault(e))) => Err(FtFactorError::Runtime(e)),
+        Err(RunError::Engine(e)) => panic!("{e}"),
     }
 }
 
@@ -353,6 +350,7 @@ mod tests {
     use crate::factorize::factorize;
     use distribution::{BandDistribution, DiamondDistribution, LorapoHybrid, TwoDBlockCyclic};
     use runtime::fault::FaultPlan;
+    use tlr_compress::CompressionConfig;
     use tlr_linalg::norms::relative_diff;
     use tlr_linalg::Matrix;
 
@@ -378,7 +376,9 @@ mod tests {
         let mut distr = TlrMatrix::from_dense(&dense, b, &ccfg);
         let fcfg = FactorConfig::with_accuracy(acc);
         factorize(&mut shared, &fcfg).unwrap();
-        factorize_distributed(&mut distr, &fcfg, nprocs, dist).unwrap();
+        let out = Session::distributed(fcfg, nprocs, dist).run(&mut distr).unwrap();
+        assert!(out.comm.is_some(), "distributed runs always count communication");
+        assert!(out.ft.is_none(), "no fault layer was configured");
         let ls = shared.to_dense_lower();
         let ld = distr.to_dense_lower();
         assert!(
@@ -428,16 +428,50 @@ mod tests {
         let fcfg = FactorConfig::with_accuracy(acc);
 
         let mut local = TlrMatrix::from_dense(&dense, b, &ccfg);
-        let comm1 =
-            factorize_distributed_counted(&mut local, &fcfg, 1, &TwoDBlockCyclic::new(1)).unwrap();
+        let one = TwoDBlockCyclic::new(1);
+        let comm1 = Session::distributed(fcfg, 1, &one).run(&mut local).unwrap().comm.unwrap();
         assert_eq!(comm1.messages, 0, "single rank must not communicate");
         assert_eq!(comm1.bytes, 0);
 
         let mut distr = TlrMatrix::from_dense(&dense, b, &ccfg);
-        let comm4 =
-            factorize_distributed_counted(&mut distr, &fcfg, 4, &TwoDBlockCyclic::new(4)).unwrap();
+        let four = TwoDBlockCyclic::new(4);
+        let comm4 = Session::distributed(fcfg, 4, &four).run(&mut distr).unwrap().comm.unwrap();
         assert!(comm4.messages > 0, "4 ranks must exchange tiles");
         assert!(comm4.bytes >= 8 * comm4.messages, "each message carries ≥ one f64");
+    }
+
+    /// The configured `keep_dense_ratio` reaches the distributed update
+    /// kernels (it used to be silently pinned to `1.0`): a ratio of `0.0`
+    /// densifies every recompressed tile, growing the stored factor,
+    /// while leaving the numbers correct.
+    #[test]
+    fn keep_dense_ratio_threads_through_distributed_kernels() {
+        let n = 120;
+        let b = 24;
+        let acc = 1e-8;
+        let dense = gaussian_dense(n);
+        let ccfg = CompressionConfig::with_accuracy(acc);
+        let dist = TwoDBlockCyclic::new(4);
+
+        let mut lr = TlrMatrix::from_dense(&dense, b, &ccfg);
+        let fcfg = FactorConfig::with_accuracy(acc);
+        let out_lr = Session::distributed(fcfg, 4, &dist).run(&mut lr).unwrap();
+
+        let mut dense_m = TlrMatrix::from_dense(&dense, b, &ccfg);
+        let mut fcfg0 = FactorConfig::with_accuracy(acc);
+        fcfg0.keep_dense_ratio = 0.0;
+        let out_dense = Session::distributed(fcfg0, 4, &dist).run(&mut dense_m).unwrap();
+
+        assert!(
+            out_dense.report.memory_after_f64 > out_lr.report.memory_after_f64,
+            "ratio 0.0 must densify recompressed tiles ({} vs {} words)",
+            out_dense.report.memory_after_f64,
+            out_lr.report.memory_after_f64
+        );
+        // Densified storage holds the same numbers (exact UVᵀ product),
+        // so the factors agree far below the compression accuracy.
+        let diff = relative_diff(&dense_m.to_dense_lower(), &lr.to_dense_lower());
+        assert!(diff < 100.0 * acc, "factor drifted: {diff}");
     }
 
     #[test]
@@ -456,14 +490,12 @@ mod tests {
         });
         let ccfg = CompressionConfig::with_accuracy(1e-8);
         let mut m = TlrMatrix::from_dense(&dense, 16, &ccfg);
-        let err = factorize_distributed(
-            &mut m,
-            &FactorConfig::with_accuracy(1e-8),
-            4,
-            &TwoDBlockCyclic::new(4),
-        )
-        .unwrap_err();
-        assert!(err.pivot <= 56, "pivot {}", err.pivot);
+        let dist = TwoDBlockCyclic::new(4);
+        let err = Session::distributed(FactorConfig::with_accuracy(1e-8), 4, &dist)
+            .run(&mut m)
+            .unwrap_err();
+        let RunError::Numeric(e) = err else { panic!("expected a numeric error, got {err}") };
+        assert!(e.pivot <= 56, "pivot {}", e.pivot);
     }
 
     // ---------------- fault-tolerant engine ----------------
@@ -478,7 +510,10 @@ mod tests {
         let mut distr = TlrMatrix::from_dense(&dense, b, &ccfg);
         let fcfg = FactorConfig::with_accuracy(acc);
         factorize(&mut shared, &fcfg).unwrap();
-        factorize_distributed_ft(&mut distr, &fcfg, nprocs, dist, ft).unwrap();
+        let out =
+            Session::distributed(fcfg, nprocs, dist).with_fault_layer(ft).run(&mut distr).unwrap();
+        assert!(out.ft.is_some(), "fault layer was configured");
+        assert!(out.comm.is_some(), "comm counting composes with the fault layer");
         let diff = relative_diff(&distr.to_dense_lower(), &shared.to_dense_lower());
         assert!(
             diff == 0.0,
@@ -521,16 +556,14 @@ mod tests {
         });
         let ccfg = CompressionConfig::with_accuracy(1e-8);
         let mut m = TlrMatrix::from_dense(&dense, 16, &ccfg);
-        let err = factorize_distributed_ft(
-            &mut m,
-            &FactorConfig::with_accuracy(1e-8),
-            4,
-            &TwoDBlockCyclic::new(4),
-            &FtConfig::fault_free(),
-        )
-        .unwrap_err();
+        let dist = TwoDBlockCyclic::new(4);
+        let ft = FtConfig::fault_free();
+        let err = Session::distributed(FactorConfig::with_accuracy(1e-8), 4, &dist)
+            .with_fault_layer(&ft)
+            .run(&mut m)
+            .unwrap_err();
         match err {
-            FtFactorError::Numeric(e) => assert!(e.pivot <= 56, "pivot {}", e.pivot),
+            RunError::Numeric(e) => assert!(e.pivot <= 56, "pivot {}", e.pivot),
             other => panic!("expected a numeric error, got {other}"),
         }
     }
@@ -542,14 +575,77 @@ mod tests {
         let ccfg = CompressionConfig::with_accuracy(1e-8);
         let mut m = TlrMatrix::from_dense(&dense, 24, &ccfg);
         let plan = FaultPlan::new(0).with_crash(0, 1.0).with_crash(1, 2.0);
-        let err = factorize_distributed_ft(
-            &mut m,
-            &FactorConfig::with_accuracy(1e-8),
-            2,
-            &TwoDBlockCyclic::new(2),
-            &FtConfig::with_plan(plan),
-        )
-        .unwrap_err();
-        assert_eq!(err, FtFactorError::Runtime(FtError::AllRanksCrashed));
+        let dist = TwoDBlockCyclic::new(2);
+        let ft = FtConfig::with_plan(plan);
+        let err = Session::distributed(FactorConfig::with_accuracy(1e-8), 2, &dist)
+            .with_fault_layer(&ft)
+            .run(&mut m)
+            .unwrap_err();
+        assert_eq!(err, RunError::Engine(EngineError::Fault(FtError::AllRanksCrashed)));
+    }
+
+    // ------------- deprecated shims stay faithful -------------
+
+    #[allow(deprecated)]
+    mod shims {
+        use super::*;
+
+        /// The counted shim reports the same volume the session counts.
+        #[test]
+        fn counted_shim_matches_session_comm() {
+            let n = 120;
+            let b = 24;
+            let acc = 1e-8;
+            let dense = gaussian_dense(n);
+            let ccfg = CompressionConfig::with_accuracy(acc);
+            let fcfg = FactorConfig::with_accuracy(acc);
+            let dist = TwoDBlockCyclic::new(4);
+
+            let mut via_shim = TlrMatrix::from_dense(&dense, b, &ccfg);
+            let comm_shim =
+                factorize_distributed_counted(&mut via_shim, &fcfg, 4, &dist).unwrap();
+
+            let mut via_session = TlrMatrix::from_dense(&dense, b, &ccfg);
+            let comm_session =
+                Session::distributed(fcfg, 4, &dist).run(&mut via_session).unwrap().comm.unwrap();
+
+            assert_eq!(comm_shim.messages, comm_session.messages);
+            assert_eq!(comm_shim.bytes, comm_session.bytes);
+            assert_eq!(
+                relative_diff(&via_shim.to_dense_lower(), &via_session.to_dense_lower()),
+                0.0,
+                "shim and session must produce the identical factor"
+            );
+        }
+
+        /// The FT shim still maps engine faults back to [`FtFactorError`].
+        #[test]
+        fn ft_shim_maps_fault_errors_back() {
+            let n = 96;
+            let dense = gaussian_dense(n);
+            let ccfg = CompressionConfig::with_accuracy(1e-8);
+            let mut m = TlrMatrix::from_dense(&dense, 24, &ccfg);
+            let plan = FaultPlan::new(0).with_crash(0, 1.0).with_crash(1, 2.0);
+            let err = factorize_distributed_ft(
+                &mut m,
+                &FactorConfig::with_accuracy(1e-8),
+                2,
+                &TwoDBlockCyclic::new(2),
+                &FtConfig::with_plan(plan),
+            )
+            .unwrap_err();
+            assert_eq!(err, FtFactorError::Runtime(FtError::AllRanksCrashed));
+        }
+
+        /// The plain shim still returns `Ok(())` on a healthy run.
+        #[test]
+        fn plain_shim_factors() {
+            let n = 96;
+            let dense = gaussian_dense(n);
+            let ccfg = CompressionConfig::with_accuracy(1e-8);
+            let mut m = TlrMatrix::from_dense(&dense, 24, &ccfg);
+            let dist = TwoDBlockCyclic::new(3);
+            factorize_distributed(&mut m, &FactorConfig::with_accuracy(1e-8), 3, &dist).unwrap();
+        }
     }
 }

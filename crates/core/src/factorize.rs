@@ -7,18 +7,11 @@
 //! same factor (trimming only removes numeric no-ops), which the tests
 //! check — that is the correctness argument for §VI.
 
-use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
-use parking_lot::{Mutex, RwLock};
-use runtime::critical_path::critical_path;
-use runtime::executor::{execute_cancellable_observed, ExecObs};
-use runtime::graph::TaskClass;
+use crate::session::{RunError, Session};
+use runtime::engine::EngineError;
 use runtime::obs::RunMetrics;
 use runtime::trace::{ClassBreakdown, Trace};
-use std::sync::atomic::{AtomicBool, Ordering};
-use tlr_compress::kernels::{
-    gemm_kernel_ws, potrf_kernel, syrk_kernel_ws, trsm_kernel, KernelWorkspace,
-};
-use tlr_compress::{CompressionConfig, RankEvolution, RankSnapshot, Tile, TlrMatrix};
+use tlr_compress::{CompressionConfig, RankEvolution, RankSnapshot, TlrMatrix};
 use tlr_linalg::CholeskyError;
 
 /// Options of the shared-memory factorization.
@@ -51,6 +44,16 @@ pub struct FactorConfig {
     /// out) and `metrics` stays `None`. Defaults to the feature state, so
     /// an `obs` build traces unless explicitly asked not to.
     pub collect_trace: bool,
+    /// Storage-payoff threshold for tiles *recompressed during the
+    /// factorization*: a rank-`k` update result stays low-rank only when
+    /// `k · (rows + cols) ≤ keep_dense_ratio · rows · cols`, otherwise it
+    /// is stored dense. `1.0` (the default, matching
+    /// [`CompressionConfig`]) densifies only when the factors would be
+    /// strictly larger than the dense tile; smaller values trade memory
+    /// for dense-BLAS-friendly tiles, and `0.0` densifies every
+    /// recompressed tile. Threaded to the update kernels on every path
+    /// (shared-memory and distributed) via [`FactorConfig::compression`].
+    pub keep_dense_ratio: f64,
 }
 
 impl FactorConfig {
@@ -68,6 +71,20 @@ impl FactorConfig {
             nthreads: rayon::current_num_threads(),
             max_shift_retries: 3,
             collect_trace: cfg!(feature = "obs"),
+            keep_dense_ratio: 1.0,
+        }
+    }
+
+    /// The [`CompressionConfig`] the update kernels recompress with —
+    /// accuracy, rank cap and
+    /// [`keep_dense_ratio`](FactorConfig::keep_dense_ratio)
+    /// all come from this config (the
+    /// ratio used to be silently pinned to `1.0` on every path).
+    pub fn compression(&self) -> CompressionConfig {
+        CompressionConfig {
+            accuracy: self.accuracy,
+            max_rank: self.max_rank,
+            keep_dense_ratio: self.keep_dense_ratio,
         }
     }
 }
@@ -164,254 +181,22 @@ pub struct FactorReport {
 /// reports the *smallest* failing pivot seen and the matrix is restored
 /// to its input state (without retries it keeps the partial factor, as
 /// before).
+/// This is a one-call wrapper over [`Session::shared`] — the shift-retry
+/// driver and the per-attempt pipeline live in [`crate::session`], shared
+/// with the distributed paths. Kernel panics are drained by the engine
+/// and re-raised here once every worker has stopped.
 pub fn factorize(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<FactorReport, CholeskyError> {
-    let pristine = if cfg.max_shift_retries > 0 { Some(matrix.clone()) } else { None };
-    let first_err = match factorize_once(matrix, cfg) {
-        Ok(report) => return Ok(report),
-        Err(e) => e,
-    };
-    let Some(pristine) = pristine else {
-        return Err(first_err);
-    };
-    let base = pristine.diagonal_mean_abs() * cfg.accuracy.max(1e-12);
-    let mut shift = base;
-    let mut best_err = first_err;
-    for attempt in 1..=cfg.max_shift_retries {
-        *matrix = pristine.clone();
-        matrix.shift_diagonal(shift);
-        match factorize_once(matrix, cfg) {
-            Ok(mut report) => {
-                report.diagonal_shift = shift;
-                report.shift_attempts = attempt;
-                return Ok(report);
-            }
-            Err(e) => {
-                if e.pivot < best_err.pivot {
-                    best_err = e;
-                }
-            }
+    match Session::shared(*cfg).run(matrix) {
+        Ok(out) => Ok(out.report),
+        Err(RunError::Numeric(e)) => Err(e),
+        Err(RunError::Engine(EngineError::Panic(p))) => {
+            // A kernel died (not a pivot failure — those cancel cleanly).
+            // The pool has drained, locks are released; re-raise with
+            // context, as this entry point always has.
+            panic!("factorization kernel panicked: {p}")
         }
-        shift *= 10.0;
+        Err(RunError::Engine(e)) => panic!("{e}"),
     }
-    *matrix = pristine;
-    Err(best_err)
-}
-
-/// One factorization attempt on the matrix as-is.
-///
-/// Kernel panics are caught by the executor (the pool drains instead of
-/// hanging) and re-raised here once every worker has stopped.
-fn factorize_once(
-    matrix: &mut TlrMatrix,
-    cfg: &FactorConfig,
-) -> Result<FactorReport, CholeskyError> {
-    let nt = matrix.nt();
-    let memory_before_f64 = matrix.memory_f64();
-    let t0 = std::time::Instant::now();
-    let dag = build_cholesky_dag(
-        &matrix.rank_snapshot(),
-        &DagConfig { trimmed: cfg.trimmed, rank_cap: cfg.max_rank },
-    );
-    let analysis_seconds = t0.elapsed().as_secs_f64();
-
-    // Move the tiles into lock cells for concurrent kernel execution.
-    let tile_size = matrix.tile_size();
-    let lower = |i: usize, j: usize| i * (i + 1) / 2 + j;
-    let mut cells: Vec<RwLock<Tile>> = Vec::with_capacity(nt * (nt + 1) / 2);
-    for i in 0..nt {
-        for j in 0..=i {
-            cells.push(RwLock::new(matrix.take_tile(i, j)));
-        }
-    }
-
-    let compression = CompressionConfig {
-        accuracy: cfg.accuracy,
-        max_rank: cfg.max_rank,
-        keep_dense_ratio: 1.0,
-    };
-    let error: Mutex<Option<CholeskyError>> = Mutex::new(None);
-    // Flipped on the first pivot failure: the executor then drains the
-    // remaining tasks without invoking their kernels at all.
-    let cancel = AtomicBool::new(false);
-    // Record a pivot failure keeping the *smallest* pivot — several POTRFs
-    // can fail concurrently before the cancellation flag propagates, and
-    // the caller must see a deterministic (earliest) pivot, not whichever
-    // failure happened to be stored last.
-    let record_error = |e: CholeskyError| {
-        let mut slot = error.lock();
-        match &*slot {
-            Some(prev) if prev.pivot <= e.pivot => {}
-            _ => *slot = Some(e),
-        }
-        cancel.store(true, Ordering::Release);
-    };
-    // Per-class busy nanoseconds (atomic adds via mutex; kernel times are
-    // micro-to-milliseconds, contention is negligible).
-    let class_nanos: Mutex<[u128; 5]> = Mutex::new([0; 5]);
-    // One workspace arena per executor worker, indexed by the worker id
-    // the executor hands us — exclusive by construction, so the Mutex is
-    // never contended (it only satisfies the `Sync` bound of the kernel
-    // closure). Buffers grow to their high-water mark over the first few
-    // updates and the recompression hot path then runs allocation-free
-    // for the rest of the factorization.
-    let nthreads = cfg.nthreads.max(1);
-    let workspaces: Vec<Mutex<KernelWorkspace>> =
-        (0..nthreads).map(|_| Mutex::new(KernelWorkspace::new())).collect();
-
-    // Span recorder (compiled to nothing without the `obs` feature). The
-    // per-worker logs are preallocated here, so tracing costs no
-    // steady-state allocations on the kernel hot path.
-    let obs = if cfg.collect_trace && ExecObs::enabled() {
-        Some(ExecObs::new(dag.graph.len(), nthreads))
-    } else {
-        None
-    };
-
-    let exec_t0 = std::time::Instant::now();
-    let exec_result = execute_cancellable_observed(&dag.graph, nthreads, &cancel, obs.as_ref(), |wid, t| {
-        if cancel.load(Ordering::Acquire) {
-            return; // in-flight task raced with the cancellation flag
-        }
-        let started = std::time::Instant::now();
-        let class = dag.graph.spec(t).class;
-        match dag.kinds[t] {
-            TaskKind::Potrf { k } => {
-                let mut c = cells[lower(k, k)].write();
-                if let Err(e) = potrf_kernel(&mut c) {
-                    record_error(CholeskyError { pivot: k * tile_size + e.pivot });
-                    return;
-                }
-            }
-            TaskKind::Trsm { k, m } => {
-                // lock order: (k,k) < (m,k) in packed order (k < m)
-                let l = cells[lower(k, k)].read();
-                let mut a = cells[lower(m, k)].write();
-                trsm_kernel(&l, &mut a);
-            }
-            TaskKind::Syrk { k, m } => {
-                let a = cells[lower(m, k)].read();
-                let mut c = cells[lower(m, m)].write();
-                syrk_kernel_ws(&mut workspaces[wid].lock(), &a, &mut c);
-            }
-            TaskKind::Gemm { k, m, n } => {
-                // packed order: (n,k) < (m,k) < (m,n) since k < n < m
-                let bt = cells[lower(n, k)].read();
-                let at = cells[lower(m, k)].read();
-                let mut c = cells[lower(m, n)].write();
-                gemm_kernel_ws(&mut workspaces[wid].lock(), &at, &bt, &mut c, &compression);
-            }
-        }
-        #[cfg(debug_assertions)]
-        if !cancel.load(Ordering::Acquire) {
-            // Pin down the first kernel that produces a non-finite value
-            // (skipped once cancelled: a failed POTRF leaves its tile in a
-            // legitimately half-factored state).
-            let w = dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
-            let idx = lower(w.i, w.j);
-            let tile = cells[idx].read();
-            let d = tile.to_dense();
-            assert!(
-                d.as_slice().iter().all(|v| v.is_finite()),
-                "non-finite output from {:?} (tile {},{} rank {})",
-                dag.kinds[t],
-                w.i,
-                w.j,
-                tile.rank()
-            );
-        }
-        let nanos = started.elapsed().as_nanos();
-        let idx = match class {
-            TaskClass::Potrf => 0,
-            TaskClass::Trsm => 1,
-            TaskClass::Syrk => 2,
-            TaskClass::Gemm => 3,
-            TaskClass::Other => 4,
-        };
-        class_nanos.lock()[idx] += nanos;
-    });
-    let factorization_seconds = exec_t0.elapsed().as_secs_f64();
-    if let Err(p) = exec_result {
-        // A kernel died (not a pivot failure — those cancel cleanly). The
-        // pool has drained, locks are released; re-raise with context.
-        panic!("factorization kernel panicked: {p}");
-    }
-
-    // Move tiles back into the matrix regardless of success.
-    let mut idx = 0;
-    for i in 0..nt {
-        for j in 0..=i {
-            matrix.put_tile(i, j, cells[idx].read().clone());
-            idx += 1;
-        }
-    }
-
-    if let Some(e) = error.into_inner() {
-        return Err(e);
-    }
-
-    let n = class_nanos.into_inner();
-    let breakdown = ClassBreakdown {
-        potrf: n[0] as f64 * 1e-9,
-        trsm: n[1] as f64 * 1e-9,
-        syrk: n[2] as f64 * 1e-9,
-        gemm: n[3] as f64 * 1e-9,
-        other: n[4] as f64 * 1e-9,
-    };
-
-    let metrics = obs.map(|o| {
-        let exec = o.finish(&dag.graph);
-        // Rank evolution and buffer-growth counts live in the per-worker
-        // workspaces; drain them now that the workers are done.
-        let mut rank_evolution = RankEvolution::default();
-        let mut workspace_alloc_events = 0u64;
-        for ws in &workspaces {
-            let mut w = ws.lock();
-            rank_evolution.merge(&w.take_rank_log());
-            workspace_alloc_events += w.alloc_events();
-        }
-        let flops_executed: f64 =
-            (0..dag.graph.len()).map(|t| dag.graph.spec(t).flops).sum();
-        // Critical path priced with the durations this run actually
-        // measured (not the model), so efficiency compares like to like.
-        let mut dur = vec![0.0_f64; dag.graph.len()];
-        for r in &exec.trace.records {
-            dur[r.task] = r.duration();
-        }
-        let critical_path_seconds = critical_path(&dag.graph, |t| dur[t]).length;
-        let makespan = exec.trace.makespan();
-        let efficiency_vs_critical_path = if makespan > 0.0 {
-            (critical_path_seconds / makespan).clamp(0.0, 1.0)
-        } else {
-            0.0
-        };
-        FactorMetrics {
-            queue_wait_seconds: exec.trace.total_queue_wait(),
-            per_worker_busy: exec.trace.busy_per_proc(nthreads),
-            idle_fraction: exec.trace.idle_fraction(nthreads),
-            load_imbalance: exec.trace.load_imbalance(nthreads),
-            trace: exec.trace,
-            steals: exec.steals,
-            rank_evolution,
-            workspace_alloc_events,
-            flops_executed,
-            critical_path_seconds,
-            efficiency_vs_critical_path,
-        }
-    });
-
-    Ok(FactorReport {
-        factorization_seconds,
-        analysis_seconds,
-        dag_tasks: dag.graph.len(),
-        dense_dag_tasks: dag.analysis.dense_tasks(),
-        final_snapshot: matrix.rank_snapshot(),
-        memory_before_f64,
-        memory_after_f64: matrix.memory_f64(),
-        breakdown,
-        diagonal_shift: 0.0,
-        shift_attempts: 0,
-        metrics,
-    })
 }
 
 #[cfg(test)]
@@ -660,6 +445,37 @@ mod tests {
         cfg.collect_trace = true; // explicitly requested, still compiled out
         let report = factorize(&mut m, &cfg).unwrap();
         assert!(report.metrics.is_none());
+    }
+
+    /// The configured `keep_dense_ratio` reaches the shared-memory update
+    /// kernels: `0.0` densifies every recompressed tile, so the factored
+    /// matrix stores more words than the default payoff rule, while the
+    /// numbers stay correct.
+    #[test]
+    fn keep_dense_ratio_threads_through_kernels() {
+        let n = 120;
+        let b = 24;
+        let acc = 1e-8;
+        let gen = gaussian_gen(n, 8.0);
+        let dense = Matrix::from_fn(n, n, &gen);
+        let ccfg = CompressionConfig::with_accuracy(acc);
+
+        let mut lr = TlrMatrix::from_dense(&dense, b, &ccfg);
+        let rep_lr = factorize(&mut lr, &FactorConfig::with_accuracy(acc)).unwrap();
+
+        let mut dense_m = TlrMatrix::from_dense(&dense, b, &ccfg);
+        let mut cfg0 = FactorConfig::with_accuracy(acc);
+        cfg0.keep_dense_ratio = 0.0;
+        let rep_dense = factorize(&mut dense_m, &cfg0).unwrap();
+
+        assert!(
+            rep_dense.memory_after_f64 > rep_lr.memory_after_f64,
+            "ratio 0.0 must densify recompressed tiles ({} vs {} words)",
+            rep_dense.memory_after_f64,
+            rep_lr.memory_after_f64
+        );
+        let diff = relative_diff(&dense_m.to_dense_lower(), &lr.to_dense_lower());
+        assert!(diff < 100.0 * acc, "factor drifted: {diff}");
     }
 
     #[test]

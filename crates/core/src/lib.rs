@@ -8,6 +8,8 @@
 //! * §VI DAG trimming (task-graph construction that only materializes
 //!   tasks on non-null / fill-in tiles) → [`dag`]
 //! * §IV-B TLR Cholesky (shared-memory, real numerics) → [`mod@factorize`]
+//! * unified factorization sessions (shared-memory and distributed runs,
+//!   composable fault/trace/comm capabilities) → [`session`]
 //! * solve phase (forward/backward TLR substitution) → [`solve`]
 //! * §VII band + diamond distributions over the discrete-event machine →
 //!   [`simulate`]
@@ -19,6 +21,7 @@ pub mod dag;
 pub mod distributed;
 pub mod factorize;
 pub mod lorapo;
+pub mod session;
 pub mod simulate;
 pub mod solve;
 pub mod tuner;
@@ -26,11 +29,13 @@ pub mod verify;
 
 pub use analysis::MatrixAnalysis;
 pub use dag::{build_cholesky_dag, CholeskyDag, DagConfig, TaskKind};
+#[allow(deprecated)]
 pub use distributed::{
-    factorize_distributed, factorize_distributed_counted, factorize_distributed_ft, FtFactorError,
-    FtFactorOutcome,
+    factorize_distributed, factorize_distributed_counted, factorize_distributed_ft,
 };
+pub use distributed::{FtFactorError, FtFactorOutcome};
 pub use factorize::{factorize, FactorConfig, FactorMetrics, FactorReport};
+pub use session::{RunError, RunOutcome, Session};
 pub use simulate::{
     simulate_cholesky, simulate_cholesky_faulty, DistributionPlan, SimConfig, SimReport,
 };

@@ -1,0 +1,506 @@
+//! One factorization session over the unified runtime engines.
+//!
+//! [`Session`] is the single entry point behind every TLR Cholesky
+//! front-end in this crate. A session owns the whole per-attempt
+//! pipeline — DAG build, tile placement (`plan_distribution` on
+//! distributed runs), kernel dispatch, engine execution, and tile
+//! gathering — plus the diagonal-shift retry driver that used to live
+//! only on the shared-memory path. The public wrappers
+//! ([`factorize`](crate::factorize::factorize) and the deprecated
+//! `factorize_distributed*` family) are one-call shims over it.
+//!
+//! Capabilities compose instead of multiplying entry points: a
+//! distributed session layers a fault plan with
+//! [`with_fault_layer`](Session::with_fault_layer) and still reports
+//! communication volume and (in `obs` builds) a virtual-time trace —
+//! the FT + trace + comm-counted combination the old
+//! `factorize_distributed{_counted,_ft}` trio could not express. Every
+//! mode returns the same [`RunOutcome`]; absent capabilities are `None`.
+
+use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
+use crate::distributed::{gather_tiles, kernel_env, plan_distribution, FtFactorOutcome};
+use crate::factorize::{FactorConfig, FactorMetrics, FactorReport};
+use distribution::TileDistribution;
+use parking_lot::{Mutex, RwLock};
+use runtime::critical_path::critical_path;
+use runtime::des::CommStats;
+use runtime::engine::{DistConfig, DistEngine, Engine, EngineConfig, EngineError, ExecObs};
+use runtime::fault::FtConfig;
+use runtime::graph::TaskClass;
+use runtime::trace::{ClassBreakdown, Trace};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use tlr_compress::kernels::{
+    gemm_kernel_ws, potrf_kernel, syrk_kernel_ws, trsm_kernel, KernelWorkspace,
+};
+use tlr_compress::{RankEvolution, Tile, TlrMatrix};
+use tlr_linalg::CholeskyError;
+
+/// Where a session executes.
+enum Mode<'a> {
+    /// Work-stealing thread pool in one address space
+    /// ([`runtime::engine::Engine`]).
+    Shared,
+    /// Emulated distributed-memory ranks in virtual time
+    /// ([`runtime::engine::DistEngine`]), optionally under a fault plan.
+    Distributed {
+        nprocs: usize,
+        exec: &'a dyn TileDistribution,
+        ft: Option<&'a FtConfig>,
+    },
+}
+
+/// A configured TLR Cholesky run (shared-memory or distributed).
+///
+/// Build one with [`Session::shared`] or [`Session::distributed`],
+/// optionally layer capabilities
+/// ([`with_fault_layer`](Session::with_fault_layer)), then
+/// [`run`](Session::run) it against a
+/// matrix. The session is reusable: `run` borrows it immutably, so the
+/// same configuration can factor many matrices.
+pub struct Session<'a> {
+    cfg: FactorConfig,
+    mode: Mode<'a>,
+}
+
+impl<'a> Session<'a> {
+    /// A shared-memory session on the work-stealing engine.
+    pub fn shared(cfg: FactorConfig) -> Self {
+        Session { cfg, mode: Mode::Shared }
+    }
+
+    /// A distributed session across `nprocs` emulated ranks. `exec` maps
+    /// each tile to the rank executing the tasks that write it (pass the
+    /// data distribution itself for owner-computes, or a remapping
+    /// distribution for §VII-B execution dissociation).
+    pub fn distributed(cfg: FactorConfig, nprocs: usize, exec: &'a dyn TileDistribution) -> Self {
+        Session { cfg, mode: Mode::Distributed { nprocs, exec, ft: None } }
+    }
+
+    /// Layer a fault plan + retry policy onto a distributed session: the
+    /// run then injects the plan's message loss, duplication, delay
+    /// jitter, rank crashes and kernel failures, recovers from them, and
+    /// reports the accounting in [`RunOutcome::ft`]. The factor stays
+    /// bit-identical to the fault-free run for any survivable plan.
+    ///
+    /// Fault injection is a distributed-memory concept; on a shared
+    /// session this is a documented no-op.
+    pub fn with_fault_layer(mut self, ft_cfg: &'a FtConfig) -> Self {
+        if let Mode::Distributed { ft, .. } = &mut self.mode {
+            *ft = Some(ft_cfg);
+        }
+        self
+    }
+
+    /// The factorization options this session runs with.
+    pub fn config(&self) -> &FactorConfig {
+        &self.cfg
+    }
+
+    /// Factor `matrix = L·Lᵀ` in place (lower tiles become `L`).
+    ///
+    /// Owns the diagonal-shift retry driver for *every* mode: on a pivot
+    /// failure, and if `cfg.max_shift_retries > 0`, the original matrix
+    /// is restored and re-factored as `A + εI` with `ε` escalating ×10
+    /// from `mean|diag| · max(accuracy, 1e-12)`. The shift that rescued
+    /// the run is reported in [`FactorReport::diagonal_shift`]. If every
+    /// attempt fails the error carries the *smallest* failing pivot seen
+    /// and the matrix is restored to its input state (without retries it
+    /// keeps the partial factor, as before).
+    ///
+    /// Engine faults ([`RunError::Engine`]) are not retried — a kernel
+    /// panic or an unsurvivable fault plan is deterministic, so a replay
+    /// would fail identically. After an engine fault on a distributed
+    /// run the matrix contents are unspecified (tiles may be stranded on
+    /// dead emulated ranks).
+    pub fn run(&self, matrix: &mut TlrMatrix) -> Result<RunOutcome, RunError> {
+        let cfg = &self.cfg;
+        let pristine = if cfg.max_shift_retries > 0 { Some(matrix.clone()) } else { None };
+        let first_err = match self.attempt(matrix) {
+            Ok(out) => return Ok(out),
+            Err(RunError::Numeric(e)) => e,
+            Err(e) => return Err(e),
+        };
+        let Some(pristine) = pristine else {
+            return Err(RunError::Numeric(first_err));
+        };
+        let base = pristine.diagonal_mean_abs() * cfg.accuracy.max(1e-12);
+        let mut shift = base;
+        // Keep the *smallest* failing pivot across attempts — the caller
+        // must see a deterministic (earliest) pivot, not whichever
+        // attempt failed last.
+        let mut best_err = first_err;
+        for attempt in 1..=cfg.max_shift_retries {
+            *matrix = pristine.clone();
+            matrix.shift_diagonal(shift);
+            match self.attempt(matrix) {
+                Ok(mut out) => {
+                    out.report.diagonal_shift = shift;
+                    out.report.shift_attempts = attempt;
+                    return Ok(out);
+                }
+                Err(RunError::Numeric(e)) => {
+                    if e.pivot < best_err.pivot {
+                        best_err = e;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            shift *= 10.0;
+        }
+        *matrix = pristine;
+        Err(RunError::Numeric(best_err))
+    }
+
+    /// One factorization attempt on the matrix as-is.
+    fn attempt(&self, matrix: &mut TlrMatrix) -> Result<RunOutcome, RunError> {
+        match self.mode {
+            Mode::Shared => shared_attempt(matrix, &self.cfg),
+            Mode::Distributed { nprocs, exec, ft } => {
+                distributed_attempt(matrix, &self.cfg, nprocs, exec, ft)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Session");
+        d.field("cfg", &self.cfg);
+        match &self.mode {
+            Mode::Shared => d.field("mode", &"shared"),
+            Mode::Distributed { nprocs, exec, ft } => d
+                .field("mode", &"distributed")
+                .field("nprocs", nprocs)
+                .field("exec", &exec.name())
+                .field("fault_layer", &ft.is_some()),
+        };
+        d.finish()
+    }
+}
+
+/// Everything a [`Session::run`] produced. Capabilities the session did
+/// not have are `None`; everything else comes from the same single run —
+/// no combination requires a second factorization.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The factor report (always present). On distributed runs the
+    /// kernel-class [`FactorReport::breakdown`] is zero (kernels execute
+    /// inside a virtual-time event loop, where wall-clock attribution
+    /// would be misleading) and [`FactorReport::metrics`] is `None` —
+    /// the virtual-time trace lives in [`RunOutcome::trace`] instead.
+    pub report: FactorReport,
+    /// Cross-rank communication actually incurred, retransmissions
+    /// included (distributed sessions; `None` on shared-memory runs,
+    /// which have no wire).
+    pub comm: Option<CommStats>,
+    /// Fault-injection and recovery accounting, when a fault layer was
+    /// configured with [`Session::with_fault_layer`].
+    pub ft: Option<FtFactorOutcome>,
+    /// Virtual-time execution trace of a distributed run, when
+    /// [`FactorConfig::collect_trace`] is set in an `obs` build.
+    /// Shared-memory traces live in [`FactorReport::metrics`].
+    pub trace: Option<Trace>,
+}
+
+/// Why a [`Session::run`] failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The matrix is numerically not positive definite (pivot failure
+    /// after any configured shift retries).
+    Numeric(CholeskyError),
+    /// The engine could not complete the run: a kernel panicked, the
+    /// graph/configuration was invalid, or a fault plan was not
+    /// survivable. Not retried — see [`Session::run`].
+    Engine(EngineError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Numeric(e) => write!(f, "matrix is not positive definite: {e:?}"),
+            RunError::Engine(e) => write!(f, "engine failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CholeskyError> for RunError {
+    fn from(e: CholeskyError) -> Self {
+        RunError::Numeric(e)
+    }
+}
+
+impl From<EngineError> for RunError {
+    fn from(e: EngineError) -> Self {
+        RunError::Engine(e)
+    }
+}
+
+/// One shared-memory attempt on the work-stealing [`Engine`].
+///
+/// Kernel panics are drained by the engine (no hung pool) and surface
+/// as [`RunError::Engine`]; the tiles are moved back into the matrix
+/// first, so locks are released, but mid-kernel tile state is
+/// unspecified after a panic.
+fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutcome, RunError> {
+    let nt = matrix.nt();
+    let memory_before_f64 = matrix.memory_f64();
+    let t0 = std::time::Instant::now();
+    let dag = build_cholesky_dag(
+        &matrix.rank_snapshot(),
+        &DagConfig { trimmed: cfg.trimmed, rank_cap: cfg.max_rank },
+    );
+    let analysis_seconds = t0.elapsed().as_secs_f64();
+
+    // Move the tiles into lock cells for concurrent kernel execution.
+    let tile_size = matrix.tile_size();
+    let lower = |i: usize, j: usize| i * (i + 1) / 2 + j;
+    let mut cells: Vec<RwLock<Tile>> = Vec::with_capacity(nt * (nt + 1) / 2);
+    for i in 0..nt {
+        for j in 0..=i {
+            cells.push(RwLock::new(matrix.take_tile(i, j)));
+        }
+    }
+
+    let compression = cfg.compression();
+    let error: Mutex<Option<CholeskyError>> = Mutex::new(None);
+    // Flipped on the first pivot failure: the engine then drains the
+    // remaining tasks without invoking their kernels at all.
+    let cancel = AtomicBool::new(false);
+    // Record a pivot failure keeping the *smallest* pivot — several POTRFs
+    // can fail concurrently before the cancellation flag propagates, and
+    // the caller must see a deterministic (earliest) pivot, not whichever
+    // failure happened to be stored last.
+    let record_error = |e: CholeskyError| {
+        let mut slot = error.lock();
+        match &*slot {
+            Some(prev) if prev.pivot <= e.pivot => {}
+            _ => *slot = Some(e),
+        }
+        cancel.store(true, Ordering::Release);
+    };
+    // Per-class busy nanoseconds (atomic adds via mutex; kernel times are
+    // micro-to-milliseconds, contention is negligible).
+    let class_nanos: Mutex<[u128; 5]> = Mutex::new([0; 5]);
+    // One workspace arena per engine worker, indexed by the worker id the
+    // engine hands us — exclusive by construction, so the Mutex is never
+    // contended (it only satisfies the `Sync` bound of the kernel
+    // closure). Buffers grow to their high-water mark over the first few
+    // updates and the recompression hot path then runs allocation-free
+    // for the rest of the factorization.
+    let nthreads = cfg.nthreads.max(1);
+    let workspaces: Vec<Mutex<KernelWorkspace>> =
+        (0..nthreads).map(|_| Mutex::new(KernelWorkspace::new())).collect();
+
+    // Span recorder (compiled to nothing without the `obs` feature). The
+    // per-worker logs are preallocated here, so tracing costs no
+    // steady-state allocations on the kernel hot path.
+    let obs = if cfg.collect_trace && ExecObs::enabled() {
+        Some(ExecObs::new(dag.graph.len(), nthreads))
+    } else {
+        None
+    };
+
+    let engine_cfg = EngineConfig::new(nthreads).with_cancel(&cancel).with_obs(obs.as_ref());
+    let exec_t0 = std::time::Instant::now();
+    let exec_result = Engine::new(&dag.graph).run(&engine_cfg, |wid, t| {
+        if cancel.load(Ordering::Acquire) {
+            return; // in-flight task raced with the cancellation flag
+        }
+        let started = std::time::Instant::now();
+        let class = dag.graph.spec(t).class;
+        match dag.kinds[t] {
+            TaskKind::Potrf { k } => {
+                let mut c = cells[lower(k, k)].write();
+                if let Err(e) = potrf_kernel(&mut c) {
+                    record_error(CholeskyError { pivot: k * tile_size + e.pivot });
+                    return;
+                }
+            }
+            TaskKind::Trsm { k, m } => {
+                // lock order: (k,k) < (m,k) in packed order (k < m)
+                let l = cells[lower(k, k)].read();
+                let mut a = cells[lower(m, k)].write();
+                trsm_kernel(&l, &mut a);
+            }
+            TaskKind::Syrk { k, m } => {
+                let a = cells[lower(m, k)].read();
+                let mut c = cells[lower(m, m)].write();
+                syrk_kernel_ws(&mut workspaces[wid].lock(), &a, &mut c);
+            }
+            TaskKind::Gemm { k, m, n } => {
+                // packed order: (n,k) < (m,k) < (m,n) since k < n < m
+                let bt = cells[lower(n, k)].read();
+                let at = cells[lower(m, k)].read();
+                let mut c = cells[lower(m, n)].write();
+                gemm_kernel_ws(&mut workspaces[wid].lock(), &at, &bt, &mut c, &compression);
+            }
+        }
+        #[cfg(debug_assertions)]
+        if !cancel.load(Ordering::Acquire) {
+            // Pin down the first kernel that produces a non-finite value
+            // (skipped once cancelled: a failed POTRF leaves its tile in a
+            // legitimately half-factored state).
+            let w = dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
+            let idx = lower(w.i, w.j);
+            let tile = cells[idx].read();
+            let d = tile.to_dense();
+            assert!(
+                d.as_slice().iter().all(|v| v.is_finite()),
+                "non-finite output from {:?} (tile {},{} rank {})",
+                dag.kinds[t],
+                w.i,
+                w.j,
+                tile.rank()
+            );
+        }
+        let nanos = started.elapsed().as_nanos();
+        let idx = match class {
+            TaskClass::Potrf => 0,
+            TaskClass::Trsm => 1,
+            TaskClass::Syrk => 2,
+            TaskClass::Gemm => 3,
+            TaskClass::Other => 4,
+        };
+        class_nanos.lock()[idx] += nanos;
+    });
+    let factorization_seconds = exec_t0.elapsed().as_secs_f64();
+
+    // Move tiles back into the matrix regardless of success (a panicked
+    // kernel released its lock on unwind, so the cells are readable).
+    let mut idx = 0;
+    for i in 0..nt {
+        for j in 0..=i {
+            matrix.put_tile(i, j, cells[idx].read().clone());
+            idx += 1;
+        }
+    }
+    exec_result?;
+
+    if let Some(e) = error.into_inner() {
+        return Err(RunError::Numeric(e));
+    }
+
+    let n = class_nanos.into_inner();
+    let breakdown = ClassBreakdown {
+        potrf: n[0] as f64 * 1e-9,
+        trsm: n[1] as f64 * 1e-9,
+        syrk: n[2] as f64 * 1e-9,
+        gemm: n[3] as f64 * 1e-9,
+        other: n[4] as f64 * 1e-9,
+    };
+
+    let metrics = obs.map(|o| {
+        let exec = o.finish(&dag.graph);
+        // Rank evolution and buffer-growth counts live in the per-worker
+        // workspaces; drain them now that the workers are done.
+        let mut rank_evolution = RankEvolution::default();
+        let mut workspace_alloc_events = 0u64;
+        for ws in &workspaces {
+            let mut w = ws.lock();
+            rank_evolution.merge(&w.take_rank_log());
+            workspace_alloc_events += w.alloc_events();
+        }
+        let flops_executed: f64 = (0..dag.graph.len()).map(|t| dag.graph.spec(t).flops).sum();
+        // Critical path priced with the durations this run actually
+        // measured (not the model), so efficiency compares like to like.
+        let mut dur = vec![0.0_f64; dag.graph.len()];
+        for r in &exec.trace.records {
+            dur[r.task] = r.duration();
+        }
+        let critical_path_seconds = critical_path(&dag.graph, |t| dur[t]).length;
+        let makespan = exec.trace.makespan();
+        let efficiency_vs_critical_path = if makespan > 0.0 {
+            (critical_path_seconds / makespan).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        FactorMetrics {
+            queue_wait_seconds: exec.trace.total_queue_wait(),
+            per_worker_busy: exec.trace.busy_per_proc(nthreads),
+            idle_fraction: exec.trace.idle_fraction(nthreads),
+            load_imbalance: exec.trace.load_imbalance(nthreads),
+            trace: exec.trace,
+            steals: exec.steals,
+            rank_evolution,
+            workspace_alloc_events,
+            flops_executed,
+            critical_path_seconds,
+            efficiency_vs_critical_path,
+        }
+    });
+
+    let report = FactorReport {
+        factorization_seconds,
+        analysis_seconds,
+        dag_tasks: dag.graph.len(),
+        dense_dag_tasks: dag.analysis.dense_tasks(),
+        final_snapshot: matrix.rank_snapshot(),
+        memory_before_f64,
+        memory_after_f64: matrix.memory_f64(),
+        breakdown,
+        diagonal_shift: 0.0,
+        shift_attempts: 0,
+        metrics,
+    };
+    Ok(RunOutcome { report, comm: None, ft: None, trace: None })
+}
+
+/// One distributed attempt on the virtual-time [`DistEngine`]:
+/// `plan_distribution` → `kernel_env` → engine run → `gather_tiles`.
+fn distributed_attempt(
+    matrix: &mut TlrMatrix,
+    cfg: &FactorConfig,
+    nprocs: usize,
+    exec: &dyn TileDistribution,
+    ft: Option<&FtConfig>,
+) -> Result<RunOutcome, RunError> {
+    let tile_size = matrix.tile_size();
+    let memory_before_f64 = matrix.memory_f64();
+    let t0 = std::time::Instant::now();
+    let mut plan = plan_distribution(matrix, cfg, nprocs, exec);
+    let analysis_seconds = t0.elapsed().as_secs_f64();
+    let initial = std::mem::take(&mut plan.initial);
+    let env = kernel_env(&plan, cfg, tile_size);
+
+    // The virtual-time trace is gated like the shared-memory one: only
+    // when tracing is requested *and* compiled in, so `collect_trace`
+    // means the same thing on every path.
+    let dist_cfg =
+        DistConfig { ft, record_trace: cfg.collect_trace && ExecObs::enabled() };
+    let exec_t0 = std::time::Instant::now();
+    let out = DistEngine::new(&plan.dag.graph, nprocs, &plan.exec_rank)
+        .run(initial, &dist_cfg, |t, ctx| env.run(t, ctx))?;
+    let factorization_seconds = exec_t0.elapsed().as_secs_f64();
+
+    gather_tiles(matrix, &plan, &out.exec_rank, &out.stores);
+    if let Some(e) = env.error.into_inner() {
+        return Err(RunError::Numeric(e));
+    }
+
+    let report = FactorReport {
+        factorization_seconds,
+        analysis_seconds,
+        dag_tasks: plan.dag.graph.len(),
+        dense_dag_tasks: plan.dag.analysis.dense_tasks(),
+        final_snapshot: matrix.rank_snapshot(),
+        memory_before_f64,
+        memory_after_f64: matrix.memory_f64(),
+        breakdown: ClassBreakdown::default(),
+        diagonal_shift: 0.0,
+        shift_attempts: 0,
+        metrics: None,
+    };
+    Ok(RunOutcome {
+        report,
+        comm: Some(out.comm),
+        ft: ft.map(|_| FtFactorOutcome {
+            stats: out.stats,
+            makespan: out.makespan,
+            events: out.events,
+        }),
+        trace: out.trace,
+    })
+}

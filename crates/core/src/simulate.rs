@@ -191,7 +191,7 @@ pub fn simulate_cholesky(initial: &RankSnapshot, cfg: &SimConfig) -> SimReport {
 /// [`simulate_cholesky`] under a fail-stop fault schedule, pricing the
 /// recovery protocol (migration + re-execution) on the modeled machine —
 /// the overhead side of the resilience story whose correctness side is
-/// [`crate::distributed::factorize_distributed_ft`].
+/// [`crate::session::Session::with_fault_layer`].
 pub fn simulate_cholesky_faulty(
     initial: &RankSnapshot,
     cfg: &SimConfig,

@@ -197,7 +197,7 @@ pub fn simulate_with_order(
 
 /// Run the simulation under a fail-stop fault schedule, pricing the
 /// recovery protocol of the functional engine
-/// (`distributed::execute_distributed_ft`): when a process dies, its
+/// ([`crate::engine::DistEngine`] with a fault layer): when a process dies, its
 /// incomplete tasks migrate round-robin to the survivors, and its
 /// completed tasks whose outputs a consumer still needs are re-executed
 /// there after `restart_delay_s`. First-order cost model: dependency

@@ -1,275 +1,37 @@
-//! Distributed-memory execution engine (message-passing emulation).
+//! Legacy entry points of the distributed-memory engine.
 //!
-//! The shared-memory executor validates numerics but not the *dataflow*:
-//! on a cluster every rank owns a disjoint slice of the tiles and remote
-//! inputs arrive as messages. This engine emulates exactly that — each
-//! rank is a thread with a **private** payload store (no shared tiles),
-//! and every dataflow edge whose producer and consumer live on different
-//! ranks becomes a real message over a channel, carrying a *copy* of the
-//! produced payload. A wrong owner function, a missing dependency edge,
-//! or an execution remap that forgets to ship a tile produces a hang or
-//! a wrong answer here, not silent success.
+//! The message-passing emulation now lives in
+//! [`crate::engine::DistEngine`]: **one** deterministic virtual-time
+//! event loop whose capabilities — fault injection ([`FtConfig`]),
+//! communication counting, virtual-time trace capture — are composable
+//! via [`crate::engine::DistConfig`]. (This module used to hold two
+//! near-identical loops: a thread-per-rank engine and a separate
+//! fault-tolerant event loop. A perfect network is just the fault-free
+//! configuration of the one loop, so the duplicate died.)
 //!
-//! Scheduling is deliberately simple and deadlock-free: each rank
-//! executes its tasks in a global topological order, blocking on the
-//! receipt of remote inputs. Messages are tagged with
-//! `(producer task, datum)`; out-of-order arrivals are parked until
-//! needed. Sends never block (unbounded channels), so the system cannot
-//! deadlock for any task placement.
+//! The free functions here are `#[deprecated]` one-line shims kept for
+//! one release:
 //!
-//! The engine is payload-generic; `hicma-core` instantiates it with TLR
-//! tiles to run the factorization across emulated ranks and checks the
-//! result against the shared-memory path.
+//! | legacy entry point              | replacement                                                  |
+//! |---------------------------------|--------------------------------------------------------------|
+//! | `execute_distributed`           | `DistEngine::new(g, n, ranks).run(init, &DistConfig::default(), ..)` |
+//! | `execute_distributed_counted`   | same — `DistOutcome::comm` is always populated               |
+//! | `execute_distributed_ft`        | `… DistConfig { ft: Some(&cfg), .. } …`                      |
+//!
+//! [`RankCtx`] moved to [`crate::engine`] and is re-exported here
+//! unchanged. Precondition violations (wrong rank-map length, bad store
+//! count, out-of-range ranks) are typed
+//! [`EngineError`]s on the new API; the
+//! shims re-raise them as panics to preserve their documented behavior.
+
+pub use crate::engine::RankCtx;
 
 use crate::des::CommStats;
+use crate::engine::{DistConfig, DistEngine, EngineError};
 use crate::fault::{FaultStats, FtConfig, FtError};
 use crate::graph::{DataRef, TaskGraph, TaskId};
 use crate::obs::RunEvent;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// A message: the payload produced by `producer` for datum `data`.
-struct Msg<P> {
-    producer: TaskId,
-    data: DataRef,
-    payload: P,
-}
-
-/// Context handed to the task body on its executing rank.
-pub struct RankCtx<'a, P> {
-    rank: usize,
-    store: &'a mut HashMap<DataRef, P>,
-    /// inputs received from remote producers for the current task
-    remote_inputs: HashMap<(TaskId, DataRef), P>,
-}
-
-impl<P> RankCtx<'_, P> {
-    /// This rank's id.
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
-
-    /// Borrow a datum: a remote input shipped for this task if one
-    /// exists, otherwise the rank-local store.
-    ///
-    /// # Panics
-    /// Panics when the datum is neither local nor shipped — i.e. the
-    /// graph is missing a dependency edge (exactly the bug class this
-    /// engine exists to catch).
-    pub fn get(&self, producer: Option<TaskId>, data: DataRef) -> &P {
-        if let Some(pid) = producer {
-            if let Some(p) = self.remote_inputs.get(&(pid, data)) {
-                return p;
-            }
-        }
-        self.store.get(&data).unwrap_or_else(|| {
-            panic!(
-                "rank {}: datum ({}, {}) neither local nor shipped — missing dependency edge?",
-                self.rank, data.i, data.j
-            )
-        })
-    }
-
-    /// Store (or overwrite) a datum in the rank-local store.
-    pub fn put(&mut self, data: DataRef, payload: P) {
-        self.store.insert(data, payload);
-    }
-
-    /// Take a datum out of the local store (for in-place mutation).
-    pub fn take(&mut self, data: DataRef) -> Option<P> {
-        self.store.remove(&data)
-    }
-
-    /// Take a shipped remote input (consuming it).
-    pub fn take_remote(&mut self, producer: TaskId, data: DataRef) -> Option<P> {
-        self.remote_inputs.remove(&(producer, data))
-    }
-}
-
-/// Execute `graph` across `nprocs` emulated ranks.
-///
-/// * `exec_rank[t]` — the rank executing task `t`;
-/// * `initial[r]` — rank `r`'s initial datum store (the data
-///   distribution);
-/// * `body(task, ctx)` — runs the kernel on the executing rank and must
-///   `put` the produced datum into the store; its return value is the
-///   payload shipped to remote consumers (usually a clone of the written
-///   datum).
-///
-/// Returns the final per-rank stores.
-pub fn execute_distributed<P, F>(
-    graph: &TaskGraph,
-    nprocs: usize,
-    exec_rank: &[usize],
-    initial: Vec<HashMap<DataRef, P>>,
-    body: F,
-) -> Vec<HashMap<DataRef, P>>
-where
-    P: Send + Clone,
-    F: Fn(TaskId, &mut RankCtx<'_, P>) -> P + Sync,
-{
-    execute_distributed_counted(graph, nprocs, exec_rank, initial, body).0
-}
-
-/// [`execute_distributed`] that also reports communication totals: the
-/// number of cross-rank messages actually sent and their payload bytes
-/// (from the dataflow edges' `bytes` annotations). This is the real-run
-/// counterpart of the DES's modeled [`CommStats`], so measured and
-/// simulated communication volume are directly comparable.
-pub fn execute_distributed_counted<P, F>(
-    graph: &TaskGraph,
-    nprocs: usize,
-    exec_rank: &[usize],
-    initial: Vec<HashMap<DataRef, P>>,
-    body: F,
-) -> (Vec<HashMap<DataRef, P>>, CommStats)
-where
-    P: Send + Clone,
-    F: Fn(TaskId, &mut RankCtx<'_, P>) -> P + Sync,
-{
-    assert_eq!(exec_rank.len(), graph.len(), "one rank per task");
-    assert_eq!(initial.len(), nprocs, "one initial store per rank");
-    let order = graph.topological_order().expect("distributed execution requires a DAG");
-    for (t, &r) in exec_rank.iter().enumerate() {
-        assert!(r < nprocs, "task {t} mapped to invalid rank {r}");
-    }
-
-    // Per-rank task list in topological order.
-    let mut rank_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); nprocs];
-    for &t in &order {
-        rank_tasks[exec_rank[t]].push(t);
-    }
-
-    // Incoming remote edges per task: (producer, datum).
-    let mut remote_inputs: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); graph.len()];
-    // Outgoing remote consumers per task: datum → distinct ranks, with
-    // the edge's payload size for communication accounting.
-    let mut remote_sends: Vec<Vec<(DataRef, usize, TaskId, u64)>> =
-        vec![Vec::new(); graph.len()];
-    for src in 0..graph.len() {
-        for e in graph.successors(src) {
-            if exec_rank[e.dst] != exec_rank[src] {
-                remote_inputs[e.dst].push((src, e.data));
-                remote_sends[src].push((e.data, exec_rank[e.dst], e.dst, e.bytes));
-            }
-        }
-    }
-
-    let sent_messages = AtomicU64::new(0);
-    let sent_bytes = AtomicU64::new(0);
-
-    // Channels.
-    type Endpoints<P> = (Vec<Sender<Msg<P>>>, Vec<Receiver<Msg<P>>>);
-    let (senders, receivers): Endpoints<P> = (0..nprocs).map(|_| unbounded()).unzip();
-
-    let stores: Vec<HashMap<DataRef, P>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (rank, (mut store, rx)) in initial.into_iter().zip(receivers).enumerate() {
-            let my_tasks = rank_tasks[rank].clone();
-            let senders = senders.clone();
-            let remote_inputs = &remote_inputs;
-            let remote_sends = &remote_sends;
-            let body = &body;
-            let sent_messages = &sent_messages;
-            let sent_bytes = &sent_bytes;
-            handles.push(scope.spawn(move || {
-                // Parked out-of-order messages. The same (producer, datum)
-                // key can be in flight multiple times — one copy per
-                // consumer task on this rank — so parking must be a
-                // multiset, not a map (a map would drop copies and
-                // deadlock the later consumers).
-                let mut parked: HashMap<(TaskId, DataRef), Vec<P>> = HashMap::new();
-                for t in my_tasks {
-                    // Gather this task's remote inputs (blocking).
-                    let mut ctx_inputs: HashMap<(TaskId, DataRef), P> = HashMap::new();
-                    for &(producer, data) in &remote_inputs[t] {
-                        let key = (producer, data);
-                        let parked_hit = parked.get_mut(&key).and_then(Vec::pop);
-                        let payload = match parked_hit {
-                            Some(p) => p,
-                            None => loop {
-                                let msg = rx
-                                    .recv()
-                                    .expect("sender hung up before inputs arrived");
-                                let mkey = (msg.producer, msg.data);
-                                if mkey == key {
-                                    break msg.payload;
-                                }
-                                parked.entry(mkey).or_default().push(msg.payload);
-                            },
-                        };
-                        ctx_inputs.insert(key, payload);
-                    }
-                    // Run the kernel.
-                    let mut ctx = RankCtx {
-                        rank,
-                        store: &mut store,
-                        remote_inputs: ctx_inputs,
-                    };
-                    let produced = body(t, &mut ctx);
-                    // Ship to remote consumers (one copy per consumer task;
-                    // a real runtime would broadcast once per rank, but
-                    // per-task tags keep the receive logic trivial).
-                    for &(data, dst_rank, dst_task, bytes) in &remote_sends[t] {
-                        let _ = dst_task;
-                        sent_messages.fetch_add(1, Ordering::Relaxed);
-                        sent_bytes.fetch_add(bytes, Ordering::Relaxed);
-                        senders[dst_rank]
-                            .send(Msg { producer: t, data, payload: produced.clone() })
-                            .expect("receiver hung up");
-                    }
-                }
-                drop(senders);
-                store
-            }));
-        }
-        drop(senders);
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-    });
-    let comm = CommStats {
-        bytes: sent_bytes.load(Ordering::Relaxed),
-        messages: sent_messages.load(Ordering::Relaxed),
-    };
-    (stores, comm)
-}
-
-// ======================= fault-tolerant engine =======================
-//
-// The thread-based engine above assumes a perfect network. The engine
-// below runs the same task/dataflow semantics through a deterministic
-// virtual-time event loop and injects faults from a seeded
-// `FaultPlan`: message drops, duplications, delay jitter, ack loss,
-// fail-stop rank crashes, and transient kernel failures. Recovery uses
-// the classic message-logging playbook:
-//
-// * every cross-rank send is sequence-numbered and logged by the sender
-//   (payload retained for the whole run — "retained until acked" plus a
-//   replay log for crash recovery);
-// * receivers deduplicate by message id, so duplicated or spuriously
-//   retransmitted deliveries are harmless;
-// * unacked messages are retransmitted after a timeout with capped
-//   exponential backoff; acks are attempt-tagged so a stale ack cannot
-//   cancel the retransmission of a newer attempt;
-// * a crashed rank loses its memory; a surviving rank inherits its
-//   initial tiles from a checkpoint, re-executes the lost rank's tasks
-//   in topological order, and has logged messages from surviving
-//   producers replayed to it.
-//
-// Determinism argument (the factor must match the fault-free
-// shared-memory run *bit for bit*): kernels are deterministic, each
-// rank executes its queue in a fixed topological order, and every task
-// consumes either the rank-local version chain (writers of a tile are
-// co-located and replay from the checkpoint in order) or an exact logged
-// copy of its producer's output. Message timing, loss, duplication and
-// crashes therefore change *when* a task runs, never *what* it reads.
-//
-// Edge locality is decided **statically** from the original placement:
-// an edge whose endpoints started on different ranks stays
-// message-carried even if a migration makes them co-resident. This is
-// load-bearing — a migrated consumer must see its producer's logged
-// payload (the version it would have received), not whatever newer
-// version of that tile the survivor's store holds.
+use std::collections::HashMap;
 
 /// Result of a fault-tolerant distributed run.
 #[derive(Debug)]
@@ -289,128 +51,65 @@ pub struct FtOutcome<P> {
     pub events: Vec<RunEvent>,
 }
 
-/// Sender-side log entry for one logical message (producer → consumer
-/// for one datum). Attempts share the entry; the payload is retained
-/// for crash replay.
-struct MsgRec<P> {
-    src: TaskId,
-    dst: TaskId,
-    data: DataRef,
-    payload: P,
-    /// Payload size (the dataflow edge's `bytes`) for volume accounting.
-    bytes: u64,
-    /// Send attempts so far (acks and timeouts are tagged with this).
-    attempts: u32,
-    /// Latest attempt was acknowledged.
-    acked: bool,
-    /// Gave up after `max_send_attempts`.
-    abandoned: bool,
-}
-
-enum EvKind {
-    /// Wake a rank: start its next ready task if idle.
-    TryStart { rank: usize },
-    /// A task's virtual execution time elapsed.
-    TaskDone { rank: usize, task: TaskId, epoch: u32 },
-    /// A message copy reaches its consumer's current rank.
-    Deliver { msg: usize, attempt: u32 },
-    /// An acknowledgement reaches the sender.
-    AckArrive { msg: usize, attempt: u32 },
-    /// Retransmission timer for an attempt fired.
-    Timeout { msg: usize, attempt: u32 },
-    /// Fail-stop crash of a rank.
-    Crash { rank: usize },
-}
-
-/// Heap entry ordered by (time, insertion sequence) — the sequence makes
-/// simultaneous events deterministic.
-struct Ev {
-    time: f64,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // reversed: BinaryHeap is a max-heap, we want the earliest event
-        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+/// Execute `graph` across `nprocs` emulated ranks.
+///
+/// * `exec_rank[t]` — the rank executing task `t`;
+/// * `initial[r]` — rank `r`'s initial datum store (the data
+///   distribution);
+/// * `body(task, ctx)` — runs the kernel on the executing rank and must
+///   `put` the produced datum into the store; its return value is the
+///   payload shipped to remote consumers (usually a clone of the written
+///   datum).
+///
+/// Returns the final per-rank stores.
+#[deprecated(note = "use engine::DistEngine::run with engine::DistConfig")]
+pub fn execute_distributed<P, F>(
+    graph: &TaskGraph,
+    nprocs: usize,
+    exec_rank: &[usize],
+    initial: Vec<HashMap<DataRef, P>>,
+    body: F,
+) -> Vec<HashMap<DataRef, P>>
+where
+    P: Send + Clone,
+    F: Fn(TaskId, &mut RankCtx<'_, P>) -> P + Sync,
+{
+    match DistEngine::new(graph, nprocs, exec_rank).run(initial, &DistConfig::default(), body) {
+        Ok(out) => out.stores,
+        Err(e) => panic!("{e}"),
     }
 }
 
-fn push_ev(heap: &mut BinaryHeap<Ev>, seq: &mut u64, time: f64, kind: EvKind) {
-    *seq += 1;
-    heap.push(Ev { time, seq: *seq, kind });
-}
-
-/// Roll the fates for one send attempt of `recs[id]` and schedule its
-/// delivery (possibly duplicated, possibly dropped) and its
-/// retransmission timeout.
-#[allow(clippy::too_many_arguments)]
-fn schedule_send<P>(
-    id: usize,
-    recs: &mut [MsgRec<P>],
-    now: f64,
-    cfg: &FtConfig,
-    stats: &mut FaultStats,
-    heap: &mut BinaryHeap<Ev>,
-    seq: &mut u64,
-) {
-    let rec = &mut recs[id];
-    if rec.attempts >= cfg.retry.max_send_attempts {
-        if !rec.abandoned {
-            rec.abandoned = true;
-            stats.sends_abandoned += 1;
-        }
-        return;
+/// [`execute_distributed`] that also reports communication totals: the
+/// number of cross-rank messages actually sent and their payload bytes
+/// (from the dataflow edges' `bytes` annotations). This is the real-run
+/// counterpart of the DES's modeled [`CommStats`], so measured and
+/// simulated communication volume are directly comparable.
+#[deprecated(note = "use engine::DistEngine::run — DistOutcome::comm is always populated")]
+pub fn execute_distributed_counted<P, F>(
+    graph: &TaskGraph,
+    nprocs: usize,
+    exec_rank: &[usize],
+    initial: Vec<HashMap<DataRef, P>>,
+    body: F,
+) -> (Vec<HashMap<DataRef, P>>, CommStats)
+where
+    P: Send + Clone,
+    F: Fn(TaskId, &mut RankCtx<'_, P>) -> P + Sync,
+{
+    match DistEngine::new(graph, nprocs, exec_rank).run(initial, &DistConfig::default(), body) {
+        Ok(out) => (out.stores, out.comm),
+        Err(e) => panic!("{e}"),
     }
-    rec.attempts += 1;
-    let attempt = rec.attempts;
-    if attempt == 1 {
-        stats.messages_sent += 1;
-    } else {
-        stats.retransmissions += 1;
-    }
-    // Every attempt puts the payload on the wire (even if it is then
-    // dropped in flight), so each one counts toward volume.
-    stats.bytes_sent += rec.bytes;
-    let mid = id as u64;
-    if cfg.plan.drops_message(mid, attempt) {
-        stats.messages_dropped += 1;
-    } else {
-        let dt = cfg.latency + cfg.plan.delay(mid, attempt, 0);
-        push_ev(heap, seq, now + dt, EvKind::Deliver { msg: id, attempt });
-        if cfg.plan.duplicates_message(mid, attempt) {
-            stats.messages_duplicated += 1;
-            let dt2 = cfg.latency + cfg.plan.delay(mid, attempt, 1);
-            push_ev(heap, seq, now + dt2, EvKind::Deliver { msg: id, attempt });
-        }
-    }
-    push_ev(heap, seq, now + cfg.retry.timeout_for(attempt), EvKind::Timeout { msg: id, attempt });
 }
 
 /// Execute `graph` across `nprocs` emulated ranks under a fault plan.
 ///
-/// Same task/dataflow semantics as [`execute_distributed`], driven by a
-/// deterministic virtual-time event loop instead of threads, with the
-/// faults of `cfg.plan` injected and recovered from. The produced data
-/// is bit-identical to a fault-free run for *any* plan the engine
-/// survives; timing, retransmissions and re-executed work are reported
-/// in [`FtOutcome::stats`].
-///
-/// Unlike the thread engine, recoverable networks need no `Send`/`Sync`
-/// bounds; `body` must be deterministic for the recovery equivalence to
-/// hold.
+/// The produced data is bit-identical to a fault-free run for *any*
+/// plan the engine survives; timing, retransmissions and re-executed
+/// work are reported in [`FtOutcome::stats`]. `body` must be
+/// deterministic for the recovery equivalence to hold.
+#[deprecated(note = "use engine::DistEngine::run with DistConfig { ft: Some(&cfg), .. }")]
 pub fn execute_distributed_ft<P, F>(
     graph: &TaskGraph,
     nprocs: usize,
@@ -423,275 +122,43 @@ where
     P: Clone,
     F: Fn(TaskId, &mut RankCtx<'_, P>) -> P,
 {
-    assert_eq!(exec_rank.len(), graph.len(), "one rank per task");
-    assert_eq!(initial.len(), nprocs, "one initial store per rank");
-    let order = graph.topological_order().expect("distributed execution requires a DAG");
-    let ntasks = graph.len();
-    for (t, &r) in exec_rank.iter().enumerate() {
-        assert!(r < nprocs, "task {t} mapped to invalid rank {r}");
+    let dcfg = DistConfig { ft: Some(cfg), record_trace: false };
+    match DistEngine::new(graph, nprocs, exec_rank).run(initial, &dcfg, body) {
+        Ok(out) => Ok(FtOutcome {
+            stores: out.stores,
+            exec_rank: out.exec_rank,
+            stats: out.stats,
+            makespan: out.makespan,
+            events: out.events,
+        }),
+        Err(EngineError::Fault(e)) => Err(e),
+        Err(e) => panic!("{e}"),
     }
-    for c in &cfg.plan.crashes {
-        assert!(c.rank < nprocs, "crash of invalid rank {}", c.rank);
-    }
-
-    let mut topo_pos = vec![0usize; ntasks];
-    for (pos, &t) in order.iter().enumerate() {
-        topo_pos[t] = pos;
-    }
-
-    // Static edge classification (see module comment: locality is the
-    // *original* placement, by design).
-    let mut local_preds: Vec<Vec<TaskId>> = vec![Vec::new(); ntasks];
-    let mut remote_preds: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); ntasks];
-    let mut remote_sends: Vec<Vec<(TaskId, DataRef, u64)>> = vec![Vec::new(); ntasks];
-    for src in 0..ntasks {
-        for e in graph.successors(src) {
-            if exec_rank[e.dst] == exec_rank[src] {
-                local_preds[e.dst].push(src);
-            } else {
-                remote_preds[e.dst].push((src, e.data));
-                remote_sends[src].push((e.dst, e.data, e.bytes));
-            }
-        }
-    }
-
-    // Mutable run state.
-    let mut cur_exec = exec_rank.to_vec();
-    let mut alive = vec![true; nprocs];
-    let mut epoch = vec![0u32; nprocs];
-    let mut busy: Vec<Option<TaskId>> = vec![None; nprocs];
-    let mut done = vec![false; ntasks];
-    let mut done_count = 0usize;
-    let mut kernel_attempts = vec![0u32; ntasks];
-    let mut inbox: Vec<HashMap<(TaskId, DataRef), P>> =
-        (0..ntasks).map(|_| HashMap::new()).collect();
-    let mut seen: Vec<HashSet<usize>> = vec![HashSet::new(); nprocs];
-    let mut queue: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); nprocs];
-    for &t in &order {
-        queue[cur_exec[t]].push_back(t);
-    }
-
-    // Checkpoint of every rank's initial data — the recovery source for
-    // tiles whose owner dies (a real deployment would re-generate or
-    // re-load them; the cost model charges the re-execution instead).
-    let checkpoint: Vec<HashMap<DataRef, P>> = initial.clone();
-    let mut owned_ckpt: Vec<Vec<usize>> = (0..nprocs).map(|r| vec![r]).collect();
-    let mut stores = initial;
-
-    let mut recs: Vec<MsgRec<P>> = Vec::new();
-    let mut rec_index: HashMap<(TaskId, TaskId, DataRef), usize> = HashMap::new();
-
-    let mut stats = FaultStats::default();
-    let mut events: Vec<RunEvent> = Vec::new();
-    let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
-    let mut seq = 0u64;
-    for c in &cfg.plan.crashes {
-        push_ev(&mut heap, &mut seq, c.at, EvKind::Crash { rank: c.rank });
-    }
-    for r in 0..nprocs {
-        push_ev(&mut heap, &mut seq, 0.0, EvKind::TryStart { rank: r });
-    }
-
-    let mut now = 0.0_f64;
-    while let Some(ev) = heap.pop() {
-        if done_count == ntasks {
-            break;
-        }
-        now = ev.time;
-        match ev.kind {
-            EvKind::TryStart { rank } => {
-                if !alive[rank] || busy[rank].is_some() {
-                    continue;
-                }
-                while queue[rank].front().is_some_and(|&t| done[t] || cur_exec[t] != rank) {
-                    queue[rank].pop_front();
-                }
-                let Some(&t) = queue[rank].front() else { continue };
-                let ready = local_preds[t].iter().all(|&p| done[p])
-                    && remote_preds[t].iter().all(|key| inbox[t].contains_key(key));
-                if !ready {
-                    continue; // re-woken by the delivery that unblocks it
-                }
-                queue[rank].pop_front();
-                busy[rank] = Some(t);
-                push_ev(
-                    &mut heap,
-                    &mut seq,
-                    now + cfg.task_time,
-                    EvKind::TaskDone { rank, task: t, epoch: epoch[rank] },
-                );
-            }
-            EvKind::TaskDone { rank, task: t, epoch: e } => {
-                if !alive[rank] || e != epoch[rank] {
-                    continue; // the rank died mid-execution
-                }
-                busy[rank] = None;
-                if cfg.plan.kernel_fails(t, kernel_attempts[t]) {
-                    kernel_attempts[t] += 1;
-                    stats.kernel_failures += 1;
-                    if kernel_attempts[t] > cfg.retry.max_kernel_retries {
-                        return Err(FtError::KernelRetriesExhausted { task: t });
-                    }
-                    queue[rank].push_front(t); // retry in place
-                    push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
-                    continue;
-                }
-                let remote_in = std::mem::take(&mut inbox[t]);
-                let mut ctx = RankCtx { rank, store: &mut stores[rank], remote_inputs: remote_in };
-                let produced = body(t, &mut ctx);
-                done[t] = true;
-                done_count += 1;
-                for &(dst, data, bytes) in &remote_sends[t] {
-                    if done[dst] {
-                        continue; // re-execution; the consumer already has it
-                    }
-                    let key = (t, dst, data);
-                    let id = match rec_index.get(&key) {
-                        Some(&id) => {
-                            // re-send through the existing log entry
-                            recs[id].payload = produced.clone();
-                            recs[id].acked = false;
-                            recs[id].abandoned = false;
-                            id
-                        }
-                        None => {
-                            recs.push(MsgRec {
-                                src: t,
-                                dst,
-                                data,
-                                payload: produced.clone(),
-                                bytes,
-                                attempts: 0,
-                                acked: false,
-                                abandoned: false,
-                            });
-                            rec_index.insert(key, recs.len() - 1);
-                            recs.len() - 1
-                        }
-                    };
-                    schedule_send(id, &mut recs, now, cfg, &mut stats, &mut heap, &mut seq);
-                }
-                push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
-            }
-            EvKind::Deliver { msg, attempt } => {
-                let (src, dst, data) = (recs[msg].src, recs[msg].dst, recs[msg].data);
-                let dst_rank = cur_exec[dst];
-                if !alive[dst_rank] {
-                    continue; // delivered into a dead NIC; replay handles it
-                }
-                if seen[dst_rank].contains(&msg) {
-                    stats.duplicates_ignored += 1;
-                } else {
-                    seen[dst_rank].insert(msg);
-                    if !done[dst] {
-                        inbox[dst].insert((src, data), recs[msg].payload.clone());
-                        push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank: dst_rank });
-                    }
-                }
-                // every delivery (even a dedup'd one) is acknowledged
-                if cfg.plan.drops_ack(msg as u64, attempt) {
-                    stats.acks_dropped += 1;
-                } else {
-                    push_ev(
-                        &mut heap,
-                        &mut seq,
-                        now + cfg.latency,
-                        EvKind::AckArrive { msg, attempt },
-                    );
-                }
-            }
-            EvKind::AckArrive { msg, attempt } => {
-                // attempt-tagged: a stale ack must not cancel the timer
-                // of a newer attempt (e.g. after a crash replay)
-                if attempt == recs[msg].attempts {
-                    recs[msg].acked = true;
-                }
-            }
-            EvKind::Timeout { msg, attempt } => {
-                let rec = &recs[msg];
-                if rec.acked || rec.abandoned || attempt != rec.attempts || done[rec.dst] {
-                    continue;
-                }
-                let src_rank = cur_exec[rec.src];
-                if !alive[src_rank] || !done[rec.src] {
-                    continue; // sender died; its re-execution re-sends
-                }
-                schedule_send(msg, &mut recs, now, cfg, &mut stats, &mut heap, &mut seq);
-            }
-            EvKind::Crash { rank: c } => {
-                if !alive[c] {
-                    continue;
-                }
-                alive[c] = false;
-                stats.crashes += 1;
-                events.push(RunEvent::Crash { rank: c, at: now });
-                epoch[c] += 1; // invalidates the in-flight TaskDone
-                busy[c] = None;
-                let Some(d) = (1..nprocs).map(|k| (c + k) % nprocs).find(|&r| alive[r]) else {
-                    return Err(FtError::AllRanksCrashed);
-                };
-                events.push(RunEvent::Recovery { failed: c, survivor: d, at: now });
-                // migrate every task of the dead rank to the survivor
-                let mut migrated: HashSet<TaskId> = HashSet::new();
-                for t in 0..ntasks {
-                    if cur_exec[t] == c {
-                        cur_exec[t] = d;
-                        migrated.insert(t);
-                        if done[t] {
-                            done[t] = false;
-                            done_count -= 1;
-                            stats.tasks_reexecuted += 1;
-                        }
-                        inbox[t].clear(); // received inputs died with c
-                    }
-                }
-                stats.tasks_migrated += migrated.len();
-                stores[c].clear();
-                seen[c].clear();
-                queue[c].clear();
-                // the survivor restores the dead rank's initial tiles
-                // (including any it had itself inherited earlier)
-                let inherited = std::mem::take(&mut owned_ckpt[c]);
-                for &o in &inherited {
-                    for (k, v) in &checkpoint[o] {
-                        stores[d].insert(*k, v.clone());
-                    }
-                }
-                owned_ckpt[d].extend(inherited);
-                // rebuild the survivor's queue in topological order
-                let mut q: Vec<TaskId> = (0..ntasks)
-                    .filter(|&t| cur_exec[t] == d && !done[t] && busy[d] != Some(t))
-                    .collect();
-                q.sort_unstable_by_key(|&t| topo_pos[t]);
-                queue[d] = q.into();
-                // replay logged messages from surviving completed
-                // producers to the wiped, migrated consumers
-                for id in 0..recs.len() {
-                    let (src, dst) = (recs[id].src, recs[id].dst);
-                    if migrated.contains(&dst) && !done[dst] && done[src] {
-                        recs[id].acked = false;
-                        recs[id].abandoned = false;
-                        schedule_send(id, &mut recs, now, cfg, &mut stats, &mut heap, &mut seq);
-                    }
-                }
-                push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank: d });
-            }
-        }
-    }
-
-    if done_count < ntasks {
-        return Err(FtError::Stalled { pending: ntasks - done_count });
-    }
-    Ok(FtOutcome { stores, exec_rank: cur_exec, stats, makespan: now, events })
 }
 
 #[cfg(test)]
 mod tests {
+    //! Behavioral tests of the distributed loop, exercised through the
+    //! new [`DistEngine`] API, plus compatibility tests of the shims.
     use super::*;
+    use crate::engine::DistOutcome;
     use crate::graph::{TaskClass, TaskSpec};
 
     fn spec(priority: usize, writes: DataRef) -> TaskSpec {
         TaskSpec { class: TaskClass::Other, priority, writes: Some(writes), flops: 0.0 }
+    }
+
+    fn run_dist<P: Clone, F: Fn(TaskId, &mut RankCtx<'_, P>) -> P>(
+        graph: &TaskGraph,
+        nprocs: usize,
+        exec: &[usize],
+        initial: Vec<HashMap<DataRef, P>>,
+        body: F,
+    ) -> Vec<HashMap<DataRef, P>> {
+        DistEngine::new(graph, nprocs, exec)
+            .run(initial, &DistConfig::default(), body)
+            .expect("run must succeed")
+            .stores
     }
 
     /// Sum-chain across ranks: task k computes v_k = v_{k-1} + 1, each on
@@ -710,7 +177,7 @@ mod tests {
         let exec: Vec<usize> = (0..n).map(|k| k % nprocs).collect();
         let mut initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
         initial[0].insert(DataRef { i: 0, j: 0 }, 0); // seed... overwritten by task 0
-        let stores = execute_distributed(&g, nprocs, &exec, initial, |t, ctx| {
+        let stores = run_dist(&g, nprocs, &exec, initial, |t, ctx| {
             let v = if t == 0 {
                 1
             } else {
@@ -741,7 +208,7 @@ mod tests {
         let mut exec = vec![0usize];
         exec.extend((0..consumers).map(|c| c % nprocs));
         let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
-        let stores = execute_distributed(&g, nprocs, &exec, initial, move |t, ctx| {
+        let stores = run_dist(&g, nprocs, &exec, initial, move |t, ctx| {
             if t == 0 {
                 ctx.put(data, 42);
                 42
@@ -764,7 +231,8 @@ mod tests {
     }
 
     /// Out-of-order arrivals: two producers on different ranks feed one
-    /// consumer; whichever message lands first must be parked correctly.
+    /// consumer; deliveries land in whatever virtual-time order the
+    /// latencies dictate and must be held per consumer until it is ready.
     #[test]
     fn out_of_order_messages_parked() {
         let mut g = TaskGraph::new();
@@ -775,7 +243,7 @@ mod tests {
         g.add_edge(b, c, DataRef { i: 1, j: 0 }, 8);
         let exec = vec![0, 1, 2];
         let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 3];
-        let stores = execute_distributed(&g, 3, &exec, initial, move |t, ctx| match t {
+        let stores = run_dist(&g, 3, &exec, initial, move |t, ctx| match t {
             0 => {
                 ctx.put(DataRef { i: 0, j: 0 }, 7);
                 7
@@ -794,17 +262,18 @@ mod tests {
         assert_eq!(stores[2][&DataRef { i: 2, j: 0 }], 77);
     }
 
-    /// Regression: two consumers of the same datum on one rank, with the
-    /// shared message forced to be *parked* (the rank first blocks on a
-    /// slower producer). Parking used to be a HashMap, which dropped the
-    /// second copy and deadlocked the second consumer.
+    /// Two consumers of the same datum on one rank, with one consumer
+    /// gated behind a slower producer: each consumer's copy must be held
+    /// independently. (Under the old thread engine the shared parking
+    /// table was a multiset for exactly this scenario; the unified
+    /// engine's per-consumer inboxes make it structural.)
     #[test]
     fn duplicate_parked_messages_are_not_lost() {
         let mut g = TaskGraph::new();
         let fast = g.add_task(spec(0, DataRef { i: 0, j: 0 })); // rank 1
         let slow = g.add_task(spec(0, DataRef { i: 1, j: 0 })); // rank 2
-        // rank 0 waits for `slow` FIRST (topological insertion order), so
-        // both copies of `fast`'s payload arrive early and must be parked.
+        // rank 0's first task waits on `slow`, so both copies of `fast`'s
+        // payload arrive before their consumers run.
         let gate = g.add_task(spec(1, DataRef { i: 2, j: 0 }));
         let c1 = g.add_task(spec(2, DataRef { i: 3, j: 0 }));
         let c2 = g.add_task(spec(3, DataRef { i: 4, j: 0 }));
@@ -817,14 +286,12 @@ mod tests {
 
         let exec = vec![1, 2, 0, 0, 0];
         let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 3];
-        let stores = execute_distributed(&g, 3, &exec, initial, move |t, ctx| match t {
+        let stores = run_dist(&g, 3, &exec, initial, move |t, ctx| match t {
             0 => {
                 ctx.put(d_fast, 5);
                 5
             }
             1 => {
-                // slow producer: give `fast`'s two copies time to arrive
-                std::thread::sleep(std::time::Duration::from_millis(30));
                 ctx.put(d_slow, 7);
                 7
             }
@@ -848,7 +315,7 @@ mod tests {
         assert_eq!(stores[0][&DataRef { i: 4, j: 0 }], 500);
     }
 
-    // ---------------- fault-tolerant engine ----------------
+    // ---------------- fault layer ----------------
 
     use crate::fault::{FaultPlan, FtConfig, RetryConfig};
 
@@ -859,7 +326,7 @@ mod tests {
         n: usize,
         nprocs: usize,
         cfg: &FtConfig,
-    ) -> Result<FtOutcome<i64>, crate::fault::FtError> {
+    ) -> Result<DistOutcome<i64>, EngineError> {
         let mut g = TaskGraph::new();
         for k in 0..n {
             g.add_task(spec(k, DataRef { i: k, j: 0 }));
@@ -869,7 +336,8 @@ mod tests {
         }
         let exec: Vec<usize> = (0..n).map(|k| k % nprocs).collect();
         let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
-        execute_distributed_ft(&g, nprocs, &exec, initial, cfg, |t, ctx| {
+        let dcfg = DistConfig { ft: Some(cfg), record_trace: false };
+        DistEngine::new(&g, nprocs, &exec).run(initial, &dcfg, |t, ctx| {
             let v = if t == 0 {
                 1
             } else {
@@ -880,13 +348,13 @@ mod tests {
         })
     }
 
-    fn chain_result(outcome: &FtOutcome<i64>, n: usize) -> i64 {
+    fn chain_result(outcome: &DistOutcome<i64>, n: usize) -> i64 {
         let last = n - 1;
         outcome.stores[outcome.exec_rank[last]][&DataRef { i: last, j: 0 }]
     }
 
     #[test]
-    fn ft_fault_free_matches_thread_engine() {
+    fn ft_fault_free_matches_default_config() {
         let out = run_chain_ft(12, 4, &FtConfig::fault_free()).unwrap();
         assert_eq!(chain_result(&out, 12), 12);
         assert_eq!(out.stats.retransmissions, 0);
@@ -906,35 +374,6 @@ mod tests {
         assert_eq!(chain_result(&out, 16), 16, "faults must not corrupt the data");
         assert!(out.stats.retransmissions > 0, "drops at 35% must force retransmits");
         assert!(out.stats.messages_dropped > 0);
-    }
-
-    /// Communication accounting on the thread engine: a 12-hop chain over
-    /// 4 ranks ships 11 remote messages of 8 bytes each.
-    #[test]
-    fn counted_engine_reports_comm_volume() {
-        let n = 12usize;
-        let nprocs = 4usize;
-        let mut g = TaskGraph::new();
-        for k in 0..n {
-            g.add_task(spec(k, DataRef { i: k, j: 0 }));
-        }
-        for k in 0..n - 1 {
-            g.add_edge(k, k + 1, DataRef { i: k, j: 0 }, 8);
-        }
-        let exec: Vec<usize> = (0..n).map(|k| k % nprocs).collect();
-        let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
-        let (stores, comm) = execute_distributed_counted(&g, nprocs, &exec, initial, |t, ctx| {
-            let v = if t == 0 {
-                1
-            } else {
-                *ctx.get(Some(t - 1), DataRef { i: t - 1, j: 0 }) + 1
-            };
-            ctx.put(DataRef { i: t, j: 0 }, v);
-            v
-        });
-        assert_eq!(stores[(n - 1) % nprocs][&DataRef { i: n - 1, j: 0 }], n as i64);
-        assert_eq!(comm.messages, (n - 1) as u64);
-        assert_eq!(comm.bytes, 8 * (n - 1) as u64);
     }
 
     #[test]
@@ -983,10 +422,10 @@ mod tests {
         assert_eq!(out.events.len(), 2 * out.stats.crashes);
         let mut last_at = 0.0_f64;
         for pair in out.events.chunks(2) {
-            let crate::obs::RunEvent::Crash { rank, at } = pair[0] else {
+            let RunEvent::Crash { rank, at } = pair[0] else {
                 panic!("even-index event must be a crash: {:?}", pair[0]);
             };
-            let crate::obs::RunEvent::Recovery { failed, survivor, at: rat } = pair[1] else {
+            let RunEvent::Recovery { failed, survivor, at: rat } = pair[1] else {
                 panic!("odd-index event must be a recovery: {:?}", pair[1]);
             };
             assert_eq!(failed, rank, "recovery must name the crashed rank");
@@ -1002,7 +441,7 @@ mod tests {
     fn ft_all_ranks_crashed_is_an_error() {
         let plan = FaultPlan::new(0).with_crash(0, 2.0).with_crash(1, 3.0);
         let err = run_chain_ft(8, 2, &FtConfig::with_plan(plan)).unwrap_err();
-        assert_eq!(err, crate::fault::FtError::AllRanksCrashed);
+        assert_eq!(err, EngineError::Fault(FtError::AllRanksCrashed));
     }
 
     #[test]
@@ -1018,7 +457,7 @@ mod tests {
         let mut cfg = FtConfig::with_plan(FaultPlan::new(0).with_kernel_failure(3, 99));
         cfg.retry = RetryConfig { max_kernel_retries: 3, ..RetryConfig::default() };
         let err = run_chain_ft(8, 2, &cfg).unwrap_err();
-        assert_eq!(err, crate::fault::FtError::KernelRetriesExhausted { task: 3 });
+        assert_eq!(err, EngineError::Fault(FtError::KernelRetriesExhausted { task: 3 }));
     }
 
     #[test]
@@ -1069,13 +508,10 @@ mod tests {
             .with_duplicates(0.3)
             .with_jitter(1.0)
             .with_crash(2, 3.0);
-        let out = execute_distributed_ft(
-            &g,
-            nprocs,
-            &exec,
-            initial,
-            &FtConfig::with_plan(plan),
-            |t, ctx| {
+        let ft = FtConfig::with_plan(plan);
+        let dcfg = DistConfig { ft: Some(&ft), record_trace: false };
+        let out = DistEngine::new(&g, nprocs, &exec)
+            .run(initial, &dcfg, |t, ctx| {
                 if t == root {
                     ctx.put(DataRef { i: 0, j: 0 }, 7);
                     7
@@ -1091,9 +527,8 @@ mod tests {
                     ctx.put(DataRef { i: t, j: 0 }, v);
                     v
                 }
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         let v = out.stores[out.exec_rank[sink]][&sink_data];
         assert_eq!(v, (7 * 2) * width as i64);
     }
@@ -1123,7 +558,7 @@ mod tests {
         let exec = vec![0, 1];
         let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 2];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_distributed(&g, 2, &exec, initial, |t, ctx| {
+            let _ = DistEngine::new(&g, 2, &exec).run(initial, &DistConfig::default(), |t, ctx| {
                 if t == 0 {
                     ctx.put(DataRef { i: 0, j: 0 }, 1);
                     1
@@ -1133,5 +568,96 @@ mod tests {
             });
         }));
         assert!(result.is_err(), "missing dependency must be caught");
+    }
+
+    // ---------------- shim compatibility ----------------
+
+    #[allow(deprecated)]
+    mod shims {
+        use super::*;
+
+        fn chain_graph(n: usize) -> (TaskGraph, Vec<usize>) {
+            let mut g = TaskGraph::new();
+            for k in 0..n {
+                g.add_task(spec(k, DataRef { i: k, j: 0 }));
+            }
+            for k in 0..n - 1 {
+                g.add_edge(k, k + 1, DataRef { i: k, j: 0 }, 8);
+            }
+            let exec: Vec<usize> = (0..n).map(|k| k % 4).collect();
+            (g, exec)
+        }
+
+        fn chain_body(t: TaskId, ctx: &mut RankCtx<'_, i64>) -> i64 {
+            let v = if t == 0 {
+                1
+            } else {
+                *ctx.get(Some(t - 1), DataRef { i: t - 1, j: 0 }) + 1
+            };
+            ctx.put(DataRef { i: t, j: 0 }, v);
+            v
+        }
+
+        /// Communication accounting through the deprecated shim: a 12-hop
+        /// chain over 4 ranks ships 11 remote messages of 8 bytes each.
+        #[test]
+        fn counted_shim_reports_comm_volume() {
+            let n = 12usize;
+            let (g, exec) = chain_graph(n);
+            let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 4];
+            let (stores, comm) =
+                execute_distributed_counted(&g, 4, &exec, initial, chain_body);
+            assert_eq!(stores[(n - 1) % 4][&DataRef { i: n - 1, j: 0 }], n as i64);
+            assert_eq!(comm.messages, (n - 1) as u64);
+            assert_eq!(comm.bytes, 8 * (n - 1) as u64);
+        }
+
+        #[test]
+        fn plain_shim_returns_stores() {
+            let n = 8usize;
+            let (g, exec) = chain_graph(n);
+            let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 4];
+            let stores = execute_distributed(&g, 4, &exec, initial, chain_body);
+            assert_eq!(stores[(n - 1) % 4][&DataRef { i: n - 1, j: 0 }], n as i64);
+        }
+
+        #[test]
+        fn ft_shim_survives_a_crash() {
+            let n = 12usize;
+            let (g, exec) = chain_graph(n);
+            let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 4];
+            let cfg = FtConfig::with_plan(FaultPlan::new(1).with_crash(1, 6.0));
+            let out = execute_distributed_ft(&g, 4, &exec, initial, &cfg, chain_body).unwrap();
+            assert_eq!(out.stores[out.exec_rank[n - 1]][&DataRef { i: n - 1, j: 0 }], n as i64);
+            assert_eq!(out.stats.crashes, 1);
+        }
+
+        #[test]
+        fn ft_shim_maps_fault_errors_back() {
+            let (g, exec) = chain_graph(8);
+            let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 4];
+            let plan =
+                FaultPlan::new(0).with_crash(0, 2.0).with_crash(1, 3.0).with_crash(2, 4.0);
+            let err = execute_distributed_ft(
+                &g,
+                4,
+                &exec,
+                initial,
+                &FtConfig::with_plan(plan.with_crash(3, 5.0)),
+                chain_body,
+            )
+            .unwrap_err();
+            assert_eq!(err, FtError::AllRanksCrashed);
+        }
+
+        /// The legacy precondition panics survive through the shim layer
+        /// (typed errors re-raised).
+        #[test]
+        #[should_panic(expected = "one rank per task")]
+        fn shim_panics_on_bad_rank_map() {
+            let (g, _) = chain_graph(4);
+            let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 2];
+            let _ = execute_distributed(&g, 2, &[0], initial, chain_body);
+        }
     }
 }

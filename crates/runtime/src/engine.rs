@@ -1,0 +1,1616 @@
+//! The unified execution engine: one scheduling loop per engine kind,
+//! composed from orthogonal capability hooks.
+//!
+//! Four PRs of capability growth (cancellation, per-worker workspace
+//! indexing, span capture, communication counting, fault injection) had
+//! each grafted a new entry point onto the runtime, so the paper's single
+//! PaRSEC-style engine had become a matrix of near-duplicate functions
+//! whose capabilities could not be combined. This module restores the
+//! PaRSEC architecture — scheduling, resilience and instrumentation are
+//! orthogonal *services* over one DAG engine:
+//!
+//! * [`Engine`] — the shared-memory work-stealing engine. Exactly one
+//!   scheduling loop, generic over a [`Cancel`] hook (external
+//!   cancellation token) and an [`Observe`] hook (span capture). The
+//!   no-op implementations ([`NoCancel`], [`NoObserve`]) are zero-sized
+//!   and their inlined methods compile away, so an unobserved run pays
+//!   nothing — the `trace_overhead` bench's ≤5 % and zero-allocation
+//!   gates hold on this loop.
+//! * [`DistEngine`] — the distributed-memory engine (message-passing
+//!   emulation). Exactly one deterministic virtual-time event loop; a
+//!   perfect network is simply the fault-free [`FtConfig`], so the fault
+//!   layer is a *configuration* of the one loop, not a second engine.
+//!   Communication volume is always counted ([`DistOutcome::comm`]) and
+//!   a virtual-time [`Trace`] can be captured
+//!   ([`DistConfig::record_trace`]) — capabilities compose freely
+//!   (FT + trace + comm counting in one run).
+//!
+//! The zero-cost story differs by engine on purpose: the shared-memory
+//! hot path is wall-clock critical, so its hooks are monomorphized
+//! traits; the distributed loop runs in virtual time where a branch is
+//! free, so its capabilities are plain config data.
+//!
+//! The legacy entry points (`execute*`, `execute_distributed*`) survive
+//! as `#[deprecated]` one-line shims in [`crate::executor`] and
+//! [`crate::distributed`].
+
+use crate::des::CommStats;
+use crate::fault::{FaultStats, FtConfig, FtError};
+use crate::graph::{DataRef, TaskGraph, TaskId};
+use crate::obs::RunEvent;
+use crate::trace::{TaskRecord, Trace};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+// ===================== capability hooks =====================
+
+/// Cancellation capability of a shared-memory run.
+///
+/// The engine polls [`Cancel::is_cancelled`] before invoking each kernel
+/// and calls [`Cancel::cancel`] when a kernel panics, so an external
+/// token observes the panic-drain. [`NoCancel`] is the zero-cost no-op;
+/// [`AtomicBool`] is the standard token.
+pub trait Cancel: Sync {
+    /// Should the remaining kernels be skipped?
+    fn is_cancelled(&self) -> bool;
+    /// Request cancellation (kernels stop, bookkeeping still drains).
+    fn cancel(&self);
+}
+
+/// No cancellation token: `is_cancelled` is a constant `false` that the
+/// optimizer removes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCancel;
+
+impl Cancel for NoCancel {
+    #[inline]
+    fn is_cancelled(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn cancel(&self) {}
+}
+
+impl Cancel for AtomicBool {
+    #[inline]
+    fn is_cancelled(&self) -> bool {
+        self.load(Ordering::Acquire)
+    }
+    #[inline]
+    fn cancel(&self) {
+        self.store(true, Ordering::Release);
+    }
+}
+
+impl<C: Cancel + ?Sized> Cancel for &C {
+    #[inline]
+    fn is_cancelled(&self) -> bool {
+        (**self).is_cancelled()
+    }
+    #[inline]
+    fn cancel(&self) {
+        (**self).cancel()
+    }
+}
+
+/// Observation capability of a shared-memory run (span capture).
+///
+/// Every method defaults to an inline no-op, so [`NoObserve`] (and an
+/// absent [`ExecObs`], via the `Option<&O>` impl) compiles to nothing on
+/// the hot path.
+pub trait Observe: Sync {
+    /// Current time on the observation clock, integer nanoseconds.
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        0
+    }
+    /// Task `_t` just became ready (pushed to a deque / the injector).
+    #[inline]
+    fn on_enqueue(&self, _t: TaskId) {}
+    /// Worker `_wid` finished task `_t` which started at `_start_ns`.
+    #[inline]
+    fn on_retire(&self, _wid: usize, _t: TaskId, _start_ns: u64) {}
+    /// Worker `_wid` successfully stole from a peer's deque.
+    #[inline]
+    fn on_steal(&self, _wid: usize) {}
+}
+
+/// No span capture: every hook is an inline no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserve;
+
+impl Observe for NoObserve {}
+
+impl<O: Observe> Observe for &O {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+    #[inline]
+    fn on_enqueue(&self, t: TaskId) {
+        (**self).on_enqueue(t)
+    }
+    #[inline]
+    fn on_retire(&self, wid: usize, t: TaskId, start_ns: u64) {
+        (**self).on_retire(wid, t, start_ns)
+    }
+    #[inline]
+    fn on_steal(&self, wid: usize) {
+        (**self).on_steal(wid)
+    }
+}
+
+/// `None` observes nothing; `Some(o)` forwards — lets callers thread an
+/// optional [`ExecObs`] (`obs.as_ref()`) straight into the engine.
+impl<O: Observe> Observe for Option<&O> {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        match self {
+            Some(o) => o.now_ns(),
+            None => 0,
+        }
+    }
+    #[inline]
+    fn on_enqueue(&self, t: TaskId) {
+        if let Some(o) = self {
+            o.on_enqueue(t);
+        }
+    }
+    #[inline]
+    fn on_retire(&self, wid: usize, t: TaskId, start_ns: u64) {
+        if let Some(o) = self {
+            o.on_retire(wid, t, start_ns);
+        }
+    }
+    #[inline]
+    fn on_steal(&self, wid: usize) {
+        if let Some(o) = self {
+            o.on_steal(wid);
+        }
+    }
+}
+
+// ===================== observation facade =====================
+
+/// Span and steal data harvested from one observed execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// One record per executed task (retirement order sorted by end time).
+    pub trace: Trace,
+    /// Successful steals per worker (tasks this worker took from a peer's
+    /// deque; injector grabs are not steals).
+    pub steals: Vec<u64>,
+}
+
+impl ExecReport {
+    /// Total steal count over all workers.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().sum()
+    }
+}
+
+/// Observation hooks for one engine run.
+///
+/// With the `obs` cargo feature enabled this captures, per task, the
+/// enqueue (ready) time, the execute start/end times, and the executing
+/// worker, plus per-worker steal counters — everything
+/// [`crate::obs::RunMetrics`] and the Chrome-trace exporter need. Without
+/// the feature every method is an inline no-op and the struct is
+/// zero-sized, so the hot path of an unobserved build is untouched (the
+/// counting-allocator harness in `tests/alloc_free.rs` holds either way:
+/// all span storage is preallocated up front in [`ExecObs::new`]).
+#[derive(Debug, Default)]
+pub struct ExecObs {
+    #[cfg(feature = "obs")]
+    inner: Option<ObsInner>,
+}
+
+#[cfg(feature = "obs")]
+#[derive(Debug)]
+struct ObsInner {
+    t0: Instant,
+    /// Nanoseconds since `t0` at which each task became ready.
+    enqueue_ns: Vec<AtomicU64>,
+    /// Per-worker span logs; each mutex is only ever taken by its own
+    /// worker during the run (uncontended), then drained in `finish`.
+    logs: Vec<Mutex<Vec<(TaskId, u64, u64)>>>,
+    /// Successful deque steals per worker.
+    steals: Vec<AtomicU64>,
+}
+
+impl ExecObs {
+    /// Whether span capture is compiled in (`obs` cargo feature).
+    pub const fn enabled() -> bool {
+        cfg!(feature = "obs")
+    }
+
+    /// Prepare storage for a graph of `ntasks` tasks on `nthreads`
+    /// workers. All vectors are sized up front: the per-task hooks never
+    /// allocate (each worker's log reserves room for every task, since in
+    /// the worst case one worker runs the whole graph).
+    #[allow(unused_variables)]
+    pub fn new(ntasks: usize, nthreads: usize) -> Self {
+        #[cfg(feature = "obs")]
+        {
+            ExecObs {
+                inner: Some(ObsInner {
+                    t0: Instant::now(),
+                    enqueue_ns: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+                    logs: (0..nthreads.max(1))
+                        .map(|_| Mutex::new(Vec::with_capacity(ntasks)))
+                        .collect(),
+                    steals: (0..nthreads.max(1)).map(|_| AtomicU64::new(0)).collect(),
+                }),
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            ExecObs::default()
+        }
+    }
+
+    /// Harvest the captured spans into an [`ExecReport`], resolving task
+    /// class and tile coordinates against `graph`. Returns an empty report
+    /// when the `obs` feature is off.
+    #[allow(unused_variables)]
+    pub fn finish(&self, graph: &TaskGraph) -> ExecReport {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            let mut trace = Trace::default();
+            for (wid, log) in inner.logs.iter().enumerate() {
+                let log = log.lock().unwrap_or_else(|e| e.into_inner());
+                for &(t, start_ns, end_ns) in log.iter() {
+                    let spec = graph.spec(t);
+                    let queued_ns = inner.enqueue_ns[t].load(Ordering::Relaxed).min(start_ns);
+                    trace.push_record(TaskRecord {
+                        task: t,
+                        class: spec.class,
+                        proc: wid,
+                        data: spec.writes,
+                        queued: queued_ns as f64 * 1e-9,
+                        start: start_ns as f64 * 1e-9,
+                        end: end_ns as f64 * 1e-9,
+                    });
+                }
+            }
+            trace.records.sort_by(|a, b| a.end.total_cmp(&b.end));
+            return ExecReport {
+                trace,
+                steals: inner.steals.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
+            };
+        }
+        ExecReport::default()
+    }
+}
+
+impl Observe for ExecObs {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            return inner.t0.elapsed().as_nanos() as u64;
+        }
+        0
+    }
+
+    #[inline]
+    #[allow(unused_variables)]
+    fn on_enqueue(&self, t: TaskId) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            inner.enqueue_ns[t].store(inner.t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    #[allow(unused_variables)]
+    fn on_retire(&self, wid: usize, t: TaskId, start_ns: u64) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            let end = inner.t0.elapsed().as_nanos() as u64;
+            let mut log = inner.logs[wid].lock().unwrap_or_else(|e| e.into_inner());
+            log.push((t, start_ns, end));
+        }
+    }
+
+    #[inline]
+    #[allow(unused_variables)]
+    fn on_steal(&self, wid: usize) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            inner.steals[wid].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ===================== errors =====================
+
+/// A kernel panicked during an engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The task whose kernel panicked (the first one, if several raced).
+    pub task: TaskId,
+    /// The panic payload rendered as text, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.task, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Typed failure of an engine run — malformed inputs are reported, not
+/// `assert!`ed (the legacy shims re-raise them as panics to preserve
+/// their documented behavior).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The task graph has a cycle (no valid schedule exists).
+    Cycle,
+    /// A kernel panicked; the pool drained before reporting.
+    Panic(TaskPanic),
+    /// `exec_rank` does not assign exactly one rank per task.
+    RankMapLength {
+        /// Tasks in the graph.
+        expected: usize,
+        /// Entries in the rank map.
+        got: usize,
+    },
+    /// The initial stores do not cover exactly one store per rank.
+    StoreCount {
+        /// `nprocs`.
+        expected: usize,
+        /// Stores provided.
+        got: usize,
+    },
+    /// A task is mapped to a rank outside `0..nprocs`.
+    InvalidRank {
+        /// The offending task.
+        task: TaskId,
+        /// Its mapped rank.
+        rank: usize,
+        /// The rank count.
+        nprocs: usize,
+    },
+    /// A fault plan schedules the crash of a nonexistent rank.
+    InvalidCrashRank {
+        /// The scheduled rank.
+        rank: usize,
+        /// The rank count.
+        nprocs: usize,
+    },
+    /// The fault layer could not recover (all ranks dead, retries
+    /// exhausted, or the run stalled).
+    Fault(FtError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Cycle => write!(f, "task graph has a cycle"),
+            EngineError::Panic(p) => write!(f, "{p}"),
+            EngineError::RankMapLength { expected, got } => {
+                write!(f, "rank map has {got} entries for {expected} tasks (one rank per task)")
+            }
+            EngineError::StoreCount { expected, got } => {
+                write!(f, "{got} initial stores for {expected} ranks (one store per rank)")
+            }
+            EngineError::InvalidRank { task, rank, nprocs } => {
+                write!(f, "task {task} mapped to invalid rank {rank} (nprocs {nprocs})")
+            }
+            EngineError::InvalidCrashRank { rank, nprocs } => {
+                write!(f, "fault plan crashes invalid rank {rank} (nprocs {nprocs})")
+            }
+            EngineError::Fault(e) => write!(f, "unrecoverable runtime fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<FtError> for EngineError {
+    fn from(e: FtError) -> Self {
+        EngineError::Fault(e)
+    }
+}
+
+impl From<TaskPanic> for EngineError {
+    fn from(p: TaskPanic) -> Self {
+        EngineError::Panic(p)
+    }
+}
+
+// ===================== shared-memory engine =====================
+
+/// Capability configuration of a shared-memory [`Engine`] run.
+///
+/// Build one with [`EngineConfig::new`], then layer capabilities with
+/// [`with_cancel`](EngineConfig::with_cancel) /
+/// [`with_obs`](EngineConfig::with_obs). Each capability is a type
+/// parameter, so a run without a capability monomorphizes to the exact
+/// code the dedicated legacy entry point used to have.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig<C = NoCancel, O = NoObserve> {
+    /// Worker threads of the pool (clamped to ≥ 1).
+    pub nthreads: usize,
+    /// Cancellation hook.
+    pub cancel: C,
+    /// Observation hook.
+    pub obs: O,
+}
+
+impl EngineConfig {
+    /// A plain run on `nthreads` workers: no cancellation token, no span
+    /// capture.
+    pub fn new(nthreads: usize) -> Self {
+        EngineConfig { nthreads, cancel: NoCancel, obs: NoObserve }
+    }
+}
+
+impl<C, O> EngineConfig<C, O> {
+    /// Layer a cancellation token (e.g. `&AtomicBool`) onto the run.
+    pub fn with_cancel<C2>(self, cancel: C2) -> EngineConfig<C2, O> {
+        EngineConfig { nthreads: self.nthreads, cancel, obs: self.obs }
+    }
+
+    /// Layer span capture (e.g. `&ExecObs` or `obs.as_ref()`) onto the
+    /// run.
+    pub fn with_obs<O2>(self, obs: O2) -> EngineConfig<C, O2> {
+        EngineConfig { nthreads: self.nthreads, cancel: self.cancel, obs }
+    }
+}
+
+/// The shared-memory work-stealing engine.
+///
+/// Runs a [`TaskGraph`] with real kernel closures on a pool of OS
+/// threads. The scheduling discipline mirrors PaRSEC's node-level
+/// scheduler: per-worker LIFO deques (locality: a task's just-released
+/// successor runs on the releasing worker while its inputs are
+/// cache-hot) with random stealing, seeded from the graph sources in
+/// priority order. Dependency tracking is a per-task atomic in-degree
+/// counter: the worker that retires the last predecessor pushes the
+/// successor into its own deque — the "release" path of any dataflow
+/// runtime.
+///
+/// Kernel panics never hang the pool: the first panic flips an internal
+/// drain flag (and the [`Cancel`] hook), remaining tasks retire without
+/// running their kernels, and the panic is reported as
+/// [`EngineError::Panic`] once every worker has stopped.
+pub struct Engine<'g> {
+    graph: &'g TaskGraph,
+}
+
+impl<'g> Engine<'g> {
+    /// An engine over `graph`. Cheap: all state is per-run.
+    pub fn new(graph: &'g TaskGraph) -> Self {
+        Engine { graph }
+    }
+
+    /// Execute every task exactly once, respecting all dependencies,
+    /// calling `kernel(worker_index, task)` concurrently from the pool.
+    ///
+    /// The worker index is stable for the lifetime of the pool
+    /// (`0..nthreads`), so callers can give every worker an exclusive
+    /// slot of per-worker state (the TLR factorization hands each worker
+    /// its own `KernelWorkspace` arena). Exclusive access to the data a
+    /// task writes is guaranteed by the graph, not the engine.
+    ///
+    /// `kernel` is invoked under [`catch_unwind`]: shared state it
+    /// mutates must tolerate a kernel dying mid-update (the TLR
+    /// factorizations qualify — a poisoned run's output is discarded
+    /// wholesale).
+    pub fn run<C, O, F>(&self, cfg: &EngineConfig<C, O>, kernel: F) -> Result<(), EngineError>
+    where
+        C: Cancel,
+        O: Observe,
+        F: Fn(usize, TaskId) + Sync,
+    {
+        let graph = self.graph;
+        let n = graph.len();
+        if n == 0 {
+            return Ok(());
+        }
+        if graph.topological_order().is_none() {
+            return Err(EngineError::Cycle);
+        }
+        let nthreads = cfg.nthreads.max(1);
+
+        let indegree: Vec<AtomicUsize> =
+            graph.indegrees().into_iter().map(AtomicUsize::new).collect();
+        let completed = AtomicUsize::new(0);
+        let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
+        // Internal drain flag: a panic must stop the kernels even when the
+        // caller supplied no cancellation token ([`NoCancel`]).
+        let draining = AtomicBool::new(false);
+
+        let injector = Injector::new();
+        // Seed sources in priority order (critical path first).
+        let mut sources = graph.sources();
+        sources.sort_by_key(|&t| graph.spec(t).priority);
+        for t in sources {
+            cfg.obs.on_enqueue(t);
+            injector.push(t);
+        }
+
+        let workers: Vec<Worker<TaskId>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<TaskId>> = workers.iter().map(Worker::stealer).collect();
+
+        std::thread::scope(|scope| {
+            for (wid, local) in workers.into_iter().enumerate() {
+                let injector = &injector;
+                let stealers = &stealers;
+                let indegree = &indegree;
+                let completed = &completed;
+                let first_panic = &first_panic;
+                let draining = &draining;
+                let kernel = &kernel;
+                scope.spawn(move || {
+                    let mut rng: u64 = 0x9E3779B97F4A7C15 ^ (wid as u64);
+                    loop {
+                        if completed.load(Ordering::Acquire) == n {
+                            return;
+                        }
+                        let task = find_task(&local, injector, stealers, wid, &mut rng, &cfg.obs);
+                        match task {
+                            Some(t) => {
+                                let start_ns = cfg.obs.now_ns();
+                                if !draining.load(Ordering::Acquire) && !cfg.cancel.is_cancelled()
+                                {
+                                    if let Err(payload) =
+                                        catch_unwind(AssertUnwindSafe(|| kernel(wid, t)))
+                                    {
+                                        draining.store(true, Ordering::Release);
+                                        cfg.cancel.cancel();
+                                        let message = payload
+                                            .downcast_ref::<&str>()
+                                            .map(|s| s.to_string())
+                                            .or_else(|| {
+                                                payload.downcast_ref::<String>().cloned()
+                                            })
+                                            .unwrap_or_else(|| "non-string panic payload".into());
+                                        let mut slot = first_panic
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner());
+                                        if slot.is_none() {
+                                            *slot = Some(TaskPanic { task: t, message });
+                                        }
+                                    }
+                                }
+                                cfg.obs.on_retire(wid, t, start_ns);
+                                // Release successors even when draining: the
+                                // completion count must reach `n` to stop.
+                                for e in graph.successors(t) {
+                                    if indegree[e.dst].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                        cfg.obs.on_enqueue(e.dst);
+                                        local.push(e.dst);
+                                    }
+                                }
+                                completed.fetch_add(1, Ordering::AcqRel);
+                            }
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                });
+            }
+        });
+
+        debug_assert_eq!(completed.load(Ordering::Acquire), n, "not all tasks executed");
+        match first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(p) => Err(EngineError::Panic(p)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Pop local → steal from injector → steal from a random victim.
+fn find_task<O: Observe>(
+    local: &Worker<TaskId>,
+    injector: &Injector<TaskId>,
+    stealers: &[Stealer<TaskId>],
+    self_id: usize,
+    rng: &mut u64,
+    obs: &O,
+) -> Option<TaskId> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    // Random-order steal attempt over all other workers.
+    let k = stealers.len();
+    if k > 1 {
+        *rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let start = (*rng >> 33) as usize % k;
+        for off in 0..k {
+            let victim = (start + off) % k;
+            if victim == self_id {
+                continue;
+            }
+            loop {
+                match stealers[victim].steal_batch_and_pop(local) {
+                    Steal::Success(t) => {
+                        obs.on_steal(self_id);
+                        return Some(t);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+    }
+    None
+}
+
+// ===================== distributed engine =====================
+
+/// Context handed to the task body on its executing rank.
+pub struct RankCtx<'a, P> {
+    rank: usize,
+    store: &'a mut HashMap<DataRef, P>,
+    /// inputs received from remote producers for the current task
+    remote_inputs: HashMap<(TaskId, DataRef), P>,
+}
+
+impl<P> RankCtx<'_, P> {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Borrow a datum: a remote input shipped for this task if one
+    /// exists, otherwise the rank-local store.
+    ///
+    /// # Panics
+    /// Panics when the datum is neither local nor shipped — i.e. the
+    /// graph is missing a dependency edge (exactly the bug class this
+    /// engine exists to catch).
+    pub fn get(&self, producer: Option<TaskId>, data: DataRef) -> &P {
+        if let Some(pid) = producer {
+            if let Some(p) = self.remote_inputs.get(&(pid, data)) {
+                return p;
+            }
+        }
+        self.store.get(&data).unwrap_or_else(|| {
+            panic!(
+                "rank {}: datum ({}, {}) neither local nor shipped — missing dependency edge?",
+                self.rank, data.i, data.j
+            )
+        })
+    }
+
+    /// Store (or overwrite) a datum in the rank-local store.
+    pub fn put(&mut self, data: DataRef, payload: P) {
+        self.store.insert(data, payload);
+    }
+
+    /// Take a datum out of the local store (for in-place mutation).
+    pub fn take(&mut self, data: DataRef) -> Option<P> {
+        self.store.remove(&data)
+    }
+
+    /// Take a shipped remote input (consuming it).
+    pub fn take_remote(&mut self, producer: TaskId, data: DataRef) -> Option<P> {
+        self.remote_inputs.remove(&(producer, data))
+    }
+}
+
+/// Capability configuration of a [`DistEngine`] run.
+///
+/// The distributed engine runs in virtual time, so its capabilities are
+/// plain data rather than monomorphized traits (a branch per event is
+/// free there): `Default` is a perfect network with no trace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistConfig<'a> {
+    /// Fault layer: the fault plan, retry policy and virtual-time cost
+    /// model. `None` runs the same event loop over a perfect network
+    /// ([`FtConfig::fault_free`]).
+    pub ft: Option<&'a FtConfig>,
+    /// Capture a virtual-time [`Trace`] of task execution (one record
+    /// per *successful* task completion; crash re-executions append a
+    /// second record, mirroring what a real tracer would see).
+    pub record_trace: bool,
+}
+
+/// Result of a distributed engine run.
+#[derive(Debug)]
+pub struct DistOutcome<P> {
+    /// Final per-rank stores (dead ranks are empty).
+    pub stores: Vec<HashMap<DataRef, P>>,
+    /// Final task → rank assignment after crash migrations.
+    pub exec_rank: Vec<usize>,
+    /// Cross-rank communication volume actually incurred, including
+    /// retransmissions — the real-run counterpart of the DES's modeled
+    /// [`CommStats`]. On a fault-free run this equals the dataflow-edge
+    /// count/bytes of the placement.
+    pub comm: CommStats,
+    /// What the fault plan actually did and what recovery cost (all
+    /// zeros on a fault-free run).
+    pub stats: FaultStats,
+    /// Virtual makespan of the run (seconds).
+    pub makespan: f64,
+    /// Crash and recovery events in virtual-time order. Every
+    /// [`RunEvent::Crash`] that the engine survives is immediately
+    /// followed by its matching [`RunEvent::Recovery`] naming the
+    /// survivor that absorbed the dead rank's work.
+    pub events: Vec<RunEvent>,
+    /// Virtual-time execution trace, when
+    /// [`DistConfig::record_trace`] was set.
+    pub trace: Option<Trace>,
+}
+
+/// Sender-side log entry for one logical message (producer → consumer
+/// for one datum). Attempts share the entry; the payload is retained
+/// for crash replay.
+struct MsgRec<P> {
+    src: TaskId,
+    dst: TaskId,
+    data: DataRef,
+    payload: P,
+    /// Payload size (the dataflow edge's `bytes`) for volume accounting.
+    bytes: u64,
+    /// Send attempts so far (acks and timeouts are tagged with this).
+    attempts: u32,
+    /// Latest attempt was acknowledged.
+    acked: bool,
+    /// Gave up after `max_send_attempts`.
+    abandoned: bool,
+}
+
+enum EvKind {
+    /// Wake a rank: start its next ready task if idle.
+    TryStart { rank: usize },
+    /// A task's virtual execution time elapsed.
+    TaskDone { rank: usize, task: TaskId, epoch: u32 },
+    /// A message copy reaches its consumer's current rank.
+    Deliver { msg: usize, attempt: u32 },
+    /// An acknowledgement reaches the sender.
+    AckArrive { msg: usize, attempt: u32 },
+    /// Retransmission timer for an attempt fired.
+    Timeout { msg: usize, attempt: u32 },
+    /// Fail-stop crash of a rank.
+    Crash { rank: usize },
+}
+
+/// Heap entry ordered by (time, insertion sequence) — the sequence makes
+/// simultaneous events deterministic.
+struct Ev {
+    time: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the earliest event
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+fn push_ev(heap: &mut BinaryHeap<Ev>, seq: &mut u64, time: f64, kind: EvKind) {
+    *seq += 1;
+    heap.push(Ev { time, seq: *seq, kind });
+}
+
+/// Roll the fates for one send attempt of `recs[id]` and schedule its
+/// delivery (possibly duplicated, possibly dropped) and its
+/// retransmission timeout.
+#[allow(clippy::too_many_arguments)]
+fn schedule_send<P>(
+    id: usize,
+    recs: &mut [MsgRec<P>],
+    now: f64,
+    cfg: &FtConfig,
+    stats: &mut FaultStats,
+    heap: &mut BinaryHeap<Ev>,
+    seq: &mut u64,
+) {
+    let rec = &mut recs[id];
+    if rec.attempts >= cfg.retry.max_send_attempts {
+        if !rec.abandoned {
+            rec.abandoned = true;
+            stats.sends_abandoned += 1;
+        }
+        return;
+    }
+    rec.attempts += 1;
+    let attempt = rec.attempts;
+    if attempt == 1 {
+        stats.messages_sent += 1;
+    } else {
+        stats.retransmissions += 1;
+    }
+    // Every attempt puts the payload on the wire (even if it is then
+    // dropped in flight), so each one counts toward volume.
+    stats.bytes_sent += rec.bytes;
+    let mid = id as u64;
+    if cfg.plan.drops_message(mid, attempt) {
+        stats.messages_dropped += 1;
+    } else {
+        let dt = cfg.latency + cfg.plan.delay(mid, attempt, 0);
+        push_ev(heap, seq, now + dt, EvKind::Deliver { msg: id, attempt });
+        if cfg.plan.duplicates_message(mid, attempt) {
+            stats.messages_duplicated += 1;
+            let dt2 = cfg.latency + cfg.plan.delay(mid, attempt, 1);
+            push_ev(heap, seq, now + dt2, EvKind::Deliver { msg: id, attempt });
+        }
+    }
+    push_ev(heap, seq, now + cfg.retry.timeout_for(attempt), EvKind::Timeout { msg: id, attempt });
+}
+
+/// The distributed-memory engine (message-passing emulation).
+///
+/// Each rank owns a **private** payload store (no shared data), and every
+/// dataflow edge whose producer and consumer live on different ranks
+/// becomes a message carrying a *copy* of the produced payload. A wrong
+/// owner function, a missing dependency edge, or an execution remap that
+/// forgets to ship a tile produces a stall or a wrong answer here, not
+/// silent success.
+///
+/// The engine is a deterministic virtual-time event loop. Each rank
+/// executes its tasks in a global topological order; messages are
+/// sequence-numbered, logged by the sender, deduplicated by the
+/// receiver, and retransmitted on timeout with capped exponential
+/// backoff; fail-stop crashes are recovered by task migration,
+/// checkpoint restore and logged-message replay (see
+/// [`crate::fault`]). With no fault layer configured the same loop runs
+/// a perfect network: every message arrives on the first attempt and
+/// the recovery machinery is dormant.
+///
+/// Determinism argument (the produced data must match a fault-free
+/// shared-memory run *bit for bit*): kernels are deterministic, each
+/// rank executes its queue in a fixed topological order, and every task
+/// consumes either the rank-local version chain (writers of a datum are
+/// co-located and replay from the checkpoint in order) or an exact
+/// logged copy of its producer's output. Message timing, loss,
+/// duplication and crashes therefore change *when* a task runs, never
+/// *what* it reads. Edge locality is decided **statically** from the
+/// original placement: an edge whose endpoints started on different
+/// ranks stays message-carried even if a migration makes them
+/// co-resident — a migrated consumer must see its producer's logged
+/// payload, not whatever newer version of that datum the survivor's
+/// store holds.
+pub struct DistEngine<'g, 'r> {
+    graph: &'g TaskGraph,
+    nprocs: usize,
+    exec_rank: &'r [usize],
+}
+
+impl<'g, 'r> DistEngine<'g, 'r> {
+    /// An engine over `graph` with `nprocs` emulated ranks and the given
+    /// task → rank execution map. Validation happens in
+    /// [`run`](DistEngine::run) (so misconfiguration is a typed
+    /// [`EngineError`], not a panic).
+    pub fn new(graph: &'g TaskGraph, nprocs: usize, exec_rank: &'r [usize]) -> Self {
+        DistEngine { graph, nprocs, exec_rank }
+    }
+
+    /// Execute the graph: `initial[r]` is rank `r`'s initial datum store
+    /// (the data distribution); `body(task, ctx)` runs the kernel on the
+    /// executing rank and must `put` the produced datum into the store;
+    /// its return value is the payload shipped to remote consumers
+    /// (usually a clone of the written datum). `body` must be
+    /// deterministic for the fault-recovery equivalence to hold.
+    pub fn run<P, F>(
+        &self,
+        initial: Vec<HashMap<DataRef, P>>,
+        cfg: &DistConfig<'_>,
+        body: F,
+    ) -> Result<DistOutcome<P>, EngineError>
+    where
+        P: Clone,
+        F: Fn(TaskId, &mut RankCtx<'_, P>) -> P,
+    {
+        let graph = self.graph;
+        let nprocs = self.nprocs;
+        let exec_rank = self.exec_rank;
+        let ntasks = graph.len();
+
+        if exec_rank.len() != ntasks {
+            return Err(EngineError::RankMapLength { expected: ntasks, got: exec_rank.len() });
+        }
+        if initial.len() != nprocs {
+            return Err(EngineError::StoreCount { expected: nprocs, got: initial.len() });
+        }
+        let Some(order) = graph.topological_order() else {
+            return Err(EngineError::Cycle);
+        };
+        for (t, &r) in exec_rank.iter().enumerate() {
+            if r >= nprocs {
+                return Err(EngineError::InvalidRank { task: t, rank: r, nprocs });
+            }
+        }
+        let fault_free;
+        let ft = match cfg.ft {
+            Some(ft) => ft,
+            None => {
+                fault_free = FtConfig::fault_free();
+                &fault_free
+            }
+        };
+        for c in &ft.plan.crashes {
+            if c.rank >= nprocs {
+                return Err(EngineError::InvalidCrashRank { rank: c.rank, nprocs });
+            }
+        }
+
+        let mut topo_pos = vec![0usize; ntasks];
+        for (pos, &t) in order.iter().enumerate() {
+            topo_pos[t] = pos;
+        }
+
+        // Static edge classification (see type-level docs: locality is
+        // the *original* placement, by design).
+        let mut local_preds: Vec<Vec<TaskId>> = vec![Vec::new(); ntasks];
+        let mut remote_preds: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); ntasks];
+        let mut remote_sends: Vec<Vec<(TaskId, DataRef, u64)>> = vec![Vec::new(); ntasks];
+        for src in 0..ntasks {
+            for e in graph.successors(src) {
+                if exec_rank[e.dst] == exec_rank[src] {
+                    local_preds[e.dst].push(src);
+                } else {
+                    remote_preds[e.dst].push((src, e.data));
+                    remote_sends[src].push((e.dst, e.data, e.bytes));
+                }
+            }
+        }
+
+        // Mutable run state.
+        let mut cur_exec = exec_rank.to_vec();
+        let mut alive = vec![true; nprocs];
+        let mut epoch = vec![0u32; nprocs];
+        let mut busy: Vec<Option<TaskId>> = vec![None; nprocs];
+        let mut done = vec![false; ntasks];
+        let mut done_count = 0usize;
+        let mut kernel_attempts = vec![0u32; ntasks];
+        let mut inbox: Vec<HashMap<(TaskId, DataRef), P>> =
+            (0..ntasks).map(|_| HashMap::new()).collect();
+        let mut seen: Vec<HashSet<usize>> = vec![HashSet::new(); nprocs];
+        let mut queue: Vec<VecDeque<TaskId>> = vec![VecDeque::new(); nprocs];
+        for &t in &order {
+            queue[cur_exec[t]].push_back(t);
+        }
+
+        // Checkpoint of every rank's initial data — the recovery source
+        // for data whose owner dies (a real deployment would re-generate
+        // or re-load it; the cost model charges the re-execution
+        // instead).
+        let checkpoint: Vec<HashMap<DataRef, P>> = initial.clone();
+        let mut owned_ckpt: Vec<Vec<usize>> = (0..nprocs).map(|r| vec![r]).collect();
+        let mut stores = initial;
+
+        let mut recs: Vec<MsgRec<P>> = Vec::new();
+        let mut rec_index: HashMap<(TaskId, TaskId, DataRef), usize> = HashMap::new();
+
+        let mut stats = FaultStats::default();
+        let mut events: Vec<RunEvent> = Vec::new();
+        let mut trace = if cfg.record_trace { Some(Trace::default()) } else { None };
+        let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for c in &ft.plan.crashes {
+            push_ev(&mut heap, &mut seq, c.at, EvKind::Crash { rank: c.rank });
+        }
+        for r in 0..nprocs {
+            push_ev(&mut heap, &mut seq, 0.0, EvKind::TryStart { rank: r });
+        }
+
+        let mut now = 0.0_f64;
+        while let Some(ev) = heap.pop() {
+            if done_count == ntasks {
+                break;
+            }
+            now = ev.time;
+            match ev.kind {
+                EvKind::TryStart { rank } => {
+                    if !alive[rank] || busy[rank].is_some() {
+                        continue;
+                    }
+                    while queue[rank].front().is_some_and(|&t| done[t] || cur_exec[t] != rank) {
+                        queue[rank].pop_front();
+                    }
+                    let Some(&t) = queue[rank].front() else { continue };
+                    let ready = local_preds[t].iter().all(|&p| done[p])
+                        && remote_preds[t].iter().all(|key| inbox[t].contains_key(key));
+                    if !ready {
+                        continue; // re-woken by the delivery that unblocks it
+                    }
+                    queue[rank].pop_front();
+                    busy[rank] = Some(t);
+                    push_ev(
+                        &mut heap,
+                        &mut seq,
+                        now + ft.task_time,
+                        EvKind::TaskDone { rank, task: t, epoch: epoch[rank] },
+                    );
+                }
+                EvKind::TaskDone { rank, task: t, epoch: e } => {
+                    if !alive[rank] || e != epoch[rank] {
+                        continue; // the rank died mid-execution
+                    }
+                    busy[rank] = None;
+                    if ft.plan.kernel_fails(t, kernel_attempts[t]) {
+                        kernel_attempts[t] += 1;
+                        stats.kernel_failures += 1;
+                        if kernel_attempts[t] > ft.retry.max_kernel_retries {
+                            return Err(EngineError::Fault(FtError::KernelRetriesExhausted {
+                                task: t,
+                            }));
+                        }
+                        queue[rank].push_front(t); // retry in place
+                        push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
+                        continue;
+                    }
+                    let remote_in = std::mem::take(&mut inbox[t]);
+                    let mut ctx =
+                        RankCtx { rank, store: &mut stores[rank], remote_inputs: remote_in };
+                    let produced = body(t, &mut ctx);
+                    done[t] = true;
+                    done_count += 1;
+                    if let Some(tr) = trace.as_mut() {
+                        let spec = graph.spec(t);
+                        let start = now - ft.task_time;
+                        tr.push_record(TaskRecord {
+                            task: t,
+                            class: spec.class,
+                            proc: rank,
+                            data: spec.writes,
+                            // Readiness is not tracked per attempt in
+                            // virtual time; queued == start means zero
+                            // reported queue-wait, which Trace documents.
+                            queued: start,
+                            start,
+                            end: now,
+                        });
+                    }
+                    for &(dst, data, bytes) in &remote_sends[t] {
+                        if done[dst] {
+                            continue; // re-execution; the consumer already has it
+                        }
+                        let key = (t, dst, data);
+                        let id = match rec_index.get(&key) {
+                            Some(&id) => {
+                                // re-send through the existing log entry
+                                recs[id].payload = produced.clone();
+                                recs[id].acked = false;
+                                recs[id].abandoned = false;
+                                id
+                            }
+                            None => {
+                                recs.push(MsgRec {
+                                    src: t,
+                                    dst,
+                                    data,
+                                    payload: produced.clone(),
+                                    bytes,
+                                    attempts: 0,
+                                    acked: false,
+                                    abandoned: false,
+                                });
+                                rec_index.insert(key, recs.len() - 1);
+                                recs.len() - 1
+                            }
+                        };
+                        schedule_send(id, &mut recs, now, ft, &mut stats, &mut heap, &mut seq);
+                    }
+                    push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
+                }
+                EvKind::Deliver { msg, attempt } => {
+                    let (src, dst, data) = (recs[msg].src, recs[msg].dst, recs[msg].data);
+                    let dst_rank = cur_exec[dst];
+                    if !alive[dst_rank] {
+                        continue; // delivered into a dead NIC; replay handles it
+                    }
+                    if seen[dst_rank].contains(&msg) {
+                        stats.duplicates_ignored += 1;
+                    } else {
+                        seen[dst_rank].insert(msg);
+                        if !done[dst] {
+                            inbox[dst].insert((src, data), recs[msg].payload.clone());
+                            push_ev(&mut heap, &mut seq, now, EvKind::TryStart {
+                                rank: dst_rank,
+                            });
+                        }
+                    }
+                    // every delivery (even a dedup'd one) is acknowledged
+                    if ft.plan.drops_ack(msg as u64, attempt) {
+                        stats.acks_dropped += 1;
+                    } else {
+                        push_ev(
+                            &mut heap,
+                            &mut seq,
+                            now + ft.latency,
+                            EvKind::AckArrive { msg, attempt },
+                        );
+                    }
+                }
+                EvKind::AckArrive { msg, attempt } => {
+                    // attempt-tagged: a stale ack must not cancel the timer
+                    // of a newer attempt (e.g. after a crash replay)
+                    if attempt == recs[msg].attempts {
+                        recs[msg].acked = true;
+                    }
+                }
+                EvKind::Timeout { msg, attempt } => {
+                    let rec = &recs[msg];
+                    if rec.acked || rec.abandoned || attempt != rec.attempts || done[rec.dst] {
+                        continue;
+                    }
+                    let src_rank = cur_exec[rec.src];
+                    if !alive[src_rank] || !done[rec.src] {
+                        continue; // sender died; its re-execution re-sends
+                    }
+                    schedule_send(msg, &mut recs, now, ft, &mut stats, &mut heap, &mut seq);
+                }
+                EvKind::Crash { rank: c } => {
+                    if !alive[c] {
+                        continue;
+                    }
+                    alive[c] = false;
+                    stats.crashes += 1;
+                    events.push(RunEvent::Crash { rank: c, at: now });
+                    epoch[c] += 1; // invalidates the in-flight TaskDone
+                    busy[c] = None;
+                    let Some(d) = (1..nprocs).map(|k| (c + k) % nprocs).find(|&r| alive[r])
+                    else {
+                        return Err(EngineError::Fault(FtError::AllRanksCrashed));
+                    };
+                    events.push(RunEvent::Recovery { failed: c, survivor: d, at: now });
+                    // migrate every task of the dead rank to the survivor
+                    let mut migrated: HashSet<TaskId> = HashSet::new();
+                    for t in 0..ntasks {
+                        if cur_exec[t] == c {
+                            cur_exec[t] = d;
+                            migrated.insert(t);
+                            if done[t] {
+                                done[t] = false;
+                                done_count -= 1;
+                                stats.tasks_reexecuted += 1;
+                            }
+                            inbox[t].clear(); // received inputs died with c
+                        }
+                    }
+                    stats.tasks_migrated += migrated.len();
+                    stores[c].clear();
+                    seen[c].clear();
+                    queue[c].clear();
+                    // the survivor restores the dead rank's initial data
+                    // (including any it had itself inherited earlier)
+                    let inherited = std::mem::take(&mut owned_ckpt[c]);
+                    for &o in &inherited {
+                        for (k, v) in &checkpoint[o] {
+                            stores[d].insert(*k, v.clone());
+                        }
+                    }
+                    owned_ckpt[d].extend(inherited);
+                    // rebuild the survivor's queue in topological order
+                    let mut q: Vec<TaskId> = (0..ntasks)
+                        .filter(|&t| cur_exec[t] == d && !done[t] && busy[d] != Some(t))
+                        .collect();
+                    q.sort_unstable_by_key(|&t| topo_pos[t]);
+                    queue[d] = q.into();
+                    // replay logged messages from surviving completed
+                    // producers to the wiped, migrated consumers
+                    for id in 0..recs.len() {
+                        let (src, dst) = (recs[id].src, recs[id].dst);
+                        if migrated.contains(&dst) && !done[dst] && done[src] {
+                            recs[id].acked = false;
+                            recs[id].abandoned = false;
+                            schedule_send(id, &mut recs, now, ft, &mut stats, &mut heap, &mut seq);
+                        }
+                    }
+                    push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank: d });
+                }
+            }
+        }
+
+        if done_count < ntasks {
+            return Err(EngineError::Fault(FtError::Stalled { pending: ntasks - done_count }));
+        }
+        let comm = CommStats {
+            bytes: stats.bytes_sent,
+            messages: (stats.messages_sent + stats.retransmissions) as u64,
+        };
+        Ok(DistOutcome { stores, exec_rank: cur_exec, comm, stats, makespan: now, events, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{TaskClass, TaskSpec};
+    use std::sync::atomic::{AtomicU64, AtomicUsize};
+    use std::sync::Mutex;
+
+    fn spec(priority: usize) -> TaskSpec {
+        TaskSpec { class: TaskClass::Other, priority, writes: None, flops: 0.0 }
+    }
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(spec(i));
+        }
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
+        }
+        g
+    }
+
+    /// Chain 0 → 1 → … → n−1 must execute in exact order.
+    #[test]
+    fn chain_executes_in_order() {
+        let g = chain(100);
+        let order = Mutex::new(Vec::new());
+        Engine::new(&g)
+            .run(&EngineConfig::new(4), |_w, t| order.lock().unwrap().push(t))
+            .unwrap();
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    /// Every task runs exactly once, even with wide fan-out.
+    #[test]
+    fn fanout_runs_each_task_once() {
+        let width = 500;
+        let mut g = TaskGraph::new();
+        let root = g.add_task(spec(0));
+        let sink = g.add_task(spec(2));
+        for _ in 0..width {
+            let mid = g.add_task(spec(1));
+            g.add_edge(root, mid, DataRef { i: 0, j: 0 }, 0);
+            g.add_edge(mid, sink, DataRef { i: 0, j: 0 }, 0);
+        }
+        let counts: Vec<AtomicUsize> = (0..g.len()).map(|_| AtomicUsize::new(0)).collect();
+        Engine::new(&g)
+            .run(&EngineConfig::new(8), |_w, t| {
+                counts[t].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        for (t, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {t} ran wrong number of times");
+        }
+    }
+
+    /// Dependencies are respected: a parent's effect is visible to children.
+    #[test]
+    fn dependency_happens_before() {
+        // Layered graph: each layer sums the previous layer's value + 1.
+        let layers = 50;
+        let width = 8;
+        let mut g = TaskGraph::new();
+        let mut prev: Vec<TaskId> = (0..width).map(|_| g.add_task(spec(0))).collect();
+        for l in 1..layers {
+            let cur: Vec<TaskId> = (0..width).map(|_| g.add_task(spec(l))).collect();
+            for &p in &prev {
+                for &c in &cur {
+                    g.add_edge(p, c, DataRef { i: 0, j: 0 }, 0);
+                }
+            }
+            prev = cur;
+        }
+        let level = AtomicU64::new(0);
+        let violations = AtomicUsize::new(0);
+        // Record the maximum "wave" seen; a child running before any parent
+        // would observe a lower wave than required.
+        let task_layer: Vec<usize> = (0..g.len()).map(|t| g.spec(t).priority).collect();
+        Engine::new(&g)
+            .run(&EngineConfig::new(8), |_w, t| {
+                let seen = level.load(Ordering::SeqCst);
+                if (task_layer[t] as u64) < seen.saturating_sub(1) {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+                level.fetch_max(task_layer[t] as u64, Ordering::SeqCst);
+            })
+            .unwrap();
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = TaskGraph::new();
+        Engine::new(&g).run(&EngineConfig::new(4), |_w, _t| panic!("no tasks")).unwrap();
+    }
+
+    #[test]
+    fn single_thread_ok() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(spec(0));
+        let b = g.add_task(spec(1));
+        g.add_edge(a, b, DataRef { i: 0, j: 0 }, 0);
+        let order = Mutex::new(Vec::new());
+        Engine::new(&g)
+            .run(&EngineConfig::new(1), |_w, t| order.lock().unwrap().push(t))
+            .unwrap();
+        assert_eq!(order.into_inner().unwrap(), vec![a, b]);
+    }
+
+    /// A panicking kernel must not hang the pool: the run drains, every
+    /// task is retired, and the first panic is reported — with and
+    /// without an external cancellation token, which observes the drain.
+    #[test]
+    fn panic_cancels_and_drains() {
+        let g = chain(64);
+        let ran = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        let err = Engine::new(&g)
+            .run(&EngineConfig::new(4).with_cancel(&cancel), |_w, t| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if t == 5 {
+                    panic!("kernel exploded on task {t}");
+                }
+            })
+            .unwrap_err();
+        let EngineError::Panic(p) = err else { panic!("expected a panic error, got {err:?}") };
+        assert_eq!(p.task, 5);
+        assert!(p.message.contains("exploded"), "{}", p.message);
+        assert!(cancel.load(Ordering::SeqCst), "the external token must observe the panic");
+        // Tasks after the panic drained without running their kernels.
+        assert_eq!(ran.load(Ordering::SeqCst), 6);
+    }
+
+    /// Without a token ([`NoCancel`]) a panic still drains via the
+    /// engine's internal flag.
+    #[test]
+    fn panic_drains_without_external_token() {
+        let g = chain(64);
+        let ran = AtomicUsize::new(0);
+        let err = Engine::new(&g)
+            .run(&EngineConfig::new(4), |_w, t| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if t == 5 {
+                    panic!("kernel exploded on task {t}");
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Panic(ref p) if p.task == 5), "{err:?}");
+        assert_eq!(ran.load(Ordering::SeqCst), 6);
+    }
+
+    /// Caller-side cancellation stops kernels but still terminates Ok.
+    #[test]
+    fn caller_cancel_skips_remaining_kernels() {
+        let g = chain(64);
+        let ran = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        Engine::new(&g)
+            .run(&EngineConfig::new(4).with_cancel(&cancel), |_w, t| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if t == 9 {
+                    cancel.store(true, Ordering::SeqCst);
+                }
+            })
+            .unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+    }
+
+    /// Observed execution: with the `obs` feature on, every task gets a
+    /// span with sane timestamps; with it off, the hooks are no-ops and
+    /// the report is empty — either way the run itself is unaffected.
+    #[test]
+    fn observed_execution_captures_spans() {
+        let g = chain(32);
+        let obs = ExecObs::new(g.len(), 2);
+        let ran = AtomicUsize::new(0);
+        Engine::new(&g)
+            .run(&EngineConfig::new(2).with_obs(&obs), |_wid, _t| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 32);
+        let rep = obs.finish(&g);
+        if ExecObs::enabled() {
+            assert_eq!(rep.trace.records.len(), 32);
+            for r in &rep.trace.records {
+                assert!(r.queued <= r.start + 1e-12);
+                assert!(r.start <= r.end);
+                assert!(r.proc < 2);
+            }
+            // Records come back sorted by end time.
+            for w in rep.trace.records.windows(2) {
+                assert!(w[0].end <= w[1].end);
+            }
+            assert_eq!(rep.steals.len(), 2);
+        } else {
+            assert!(rep.trace.records.is_empty());
+            assert!(rep.steals.is_empty());
+        }
+    }
+
+    /// An optional observer threads through as `Option<&ExecObs>`.
+    #[test]
+    fn optional_observer_composes() {
+        let g = chain(16);
+        let obs: Option<ExecObs> = None;
+        Engine::new(&g).run(&EngineConfig::new(2).with_obs(obs.as_ref()), |_w, _t| {}).unwrap();
+    }
+
+    #[test]
+    fn cycle_is_a_typed_error() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(spec(0));
+        let b = g.add_task(spec(0));
+        g.add_edge(a, b, DataRef { i: 0, j: 0 }, 0);
+        g.add_edge(b, a, DataRef { i: 0, j: 0 }, 0);
+        let err = Engine::new(&g).run(&EngineConfig::new(2), |_w, _t| {}).unwrap_err();
+        assert_eq!(err, EngineError::Cycle);
+        assert!(format!("{err}").contains("cycle"));
+    }
+
+    // ---------------- distributed engine ----------------
+
+    fn dspec(priority: usize, writes: DataRef) -> TaskSpec {
+        TaskSpec { class: TaskClass::Other, priority, writes: Some(writes), flops: 0.0 }
+    }
+
+    fn dist_chain(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for k in 0..n {
+            g.add_task(dspec(k, DataRef { i: k, j: 0 }));
+        }
+        for k in 0..n - 1 {
+            g.add_edge(k, k + 1, DataRef { i: k, j: 0 }, 8);
+        }
+        g
+    }
+
+    fn run_chain(
+        n: usize,
+        nprocs: usize,
+        cfg: &DistConfig<'_>,
+    ) -> Result<DistOutcome<i64>, EngineError> {
+        let g = dist_chain(n);
+        let exec: Vec<usize> = (0..n).map(|k| k % nprocs).collect();
+        let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
+        DistEngine::new(&g, nprocs, &exec).run(initial, cfg, |t, ctx| {
+            let v = if t == 0 {
+                1
+            } else {
+                *ctx.get(Some(t - 1), DataRef { i: t - 1, j: 0 }) + 1
+            };
+            ctx.put(DataRef { i: t, j: 0 }, v);
+            v
+        })
+    }
+
+    fn chain_result(out: &DistOutcome<i64>, n: usize) -> i64 {
+        let last = n - 1;
+        out.stores[out.exec_rank[last]][&DataRef { i: last, j: 0 }]
+    }
+
+    /// Perfect-network run: correct data, exact comm accounting (one
+    /// message per cross-rank edge), zero fault activity.
+    #[test]
+    fn fault_free_chain_counts_comm() {
+        let n = 12;
+        let out = run_chain(n, 4, &DistConfig::default()).unwrap();
+        assert_eq!(chain_result(&out, n), n as i64);
+        assert_eq!(out.comm.messages, (n - 1) as u64);
+        assert_eq!(out.comm.bytes, 8 * (n - 1) as u64);
+        assert_eq!(out.stats.retransmissions, 0);
+        assert_eq!(out.stats.crashes, 0);
+        assert!(out.makespan > 0.0);
+        assert!(out.trace.is_none(), "trace must be opt-in");
+    }
+
+    /// The virtual-time trace capability records one span per task on
+    /// the executing rank, compatible with the shared Trace toolkit.
+    #[test]
+    fn dist_trace_capability_records_every_task() {
+        let n = 12;
+        let nprocs = 4;
+        let cfg = DistConfig { ft: None, record_trace: true };
+        let out = run_chain(n, nprocs, &cfg).unwrap();
+        let trace = out.trace.expect("trace was requested");
+        assert_eq!(trace.records.len(), n);
+        for r in &trace.records {
+            assert!(r.proc < nprocs);
+            assert!(r.start <= r.end);
+            assert!(r.end <= out.makespan + 1e-12);
+        }
+        // Busy time partitions across ranks like any other trace.
+        let busy: f64 = trace.busy_per_proc(nprocs).iter().sum();
+        assert!((busy - n as f64).abs() < 1e-9, "1s per task in virtual time, got {busy}");
+    }
+
+    /// FT + trace compose: a crashed-and-recovered run records spans for
+    /// the re-executions too.
+    #[test]
+    fn dist_trace_composes_with_fault_layer() {
+        use crate::fault::FaultPlan;
+        let ft = FtConfig::with_plan(FaultPlan::new(1).with_crash(1, 6.0));
+        let cfg = DistConfig { ft: Some(&ft), record_trace: true };
+        let n = 12;
+        let out = run_chain(n, 4, &cfg).unwrap();
+        assert_eq!(chain_result(&out, n), n as i64);
+        assert_eq!(out.stats.crashes, 1);
+        let trace = out.trace.expect("trace was requested");
+        assert!(
+            trace.records.len() >= n,
+            "re-executed tasks add records: {} < {n}",
+            trace.records.len()
+        );
+        assert!(out.comm.messages > out.stats.messages_sent as u64 - 1,
+            "comm counts include retransmissions");
+    }
+
+    /// Misconfiguration is a typed error, not a panic (satellite: the
+    /// legacy asserts became [`EngineError`]).
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let g = dist_chain(4);
+        let initial4: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); 4];
+        let body = |_t: TaskId, _ctx: &mut RankCtx<'_, i64>| 0i64;
+
+        // Wrong rank-map length.
+        let err = DistEngine::new(&g, 4, &[0, 1])
+            .run(initial4.clone(), &DistConfig::default(), body)
+            .unwrap_err();
+        assert_eq!(err, EngineError::RankMapLength { expected: 4, got: 2 });
+
+        // Wrong store count.
+        let err = DistEngine::new(&g, 4, &[0, 1, 2, 3])
+            .run(vec![HashMap::new(); 2], &DistConfig::default(), body)
+            .unwrap_err();
+        assert_eq!(err, EngineError::StoreCount { expected: 4, got: 2 });
+
+        // Rank out of range.
+        let err = DistEngine::new(&g, 4, &[0, 1, 2, 9])
+            .run(initial4.clone(), &DistConfig::default(), body)
+            .unwrap_err();
+        assert_eq!(err, EngineError::InvalidRank { task: 3, rank: 9, nprocs: 4 });
+
+        // Crash of a nonexistent rank.
+        use crate::fault::FaultPlan;
+        let ft = FtConfig::with_plan(FaultPlan::new(0).with_crash(7, 1.0));
+        let err = DistEngine::new(&g, 4, &[0, 1, 2, 3])
+            .run(initial4, &DistConfig { ft: Some(&ft), record_trace: false }, body)
+            .unwrap_err();
+        assert_eq!(err, EngineError::InvalidCrashRank { rank: 7, nprocs: 4 });
+    }
+
+    /// All errors render a useful message.
+    #[test]
+    fn engine_errors_display() {
+        let cases: Vec<(EngineError, &str)> = vec![
+            (EngineError::Cycle, "cycle"),
+            (
+                EngineError::Panic(TaskPanic { task: 3, message: "boom".into() }),
+                "task 3 panicked: boom",
+            ),
+            (EngineError::RankMapLength { expected: 4, got: 2 }, "one rank per task"),
+            (EngineError::StoreCount { expected: 4, got: 2 }, "one store per rank"),
+            (EngineError::InvalidRank { task: 1, rank: 9, nprocs: 4 }, "invalid rank 9"),
+            (EngineError::InvalidCrashRank { rank: 7, nprocs: 4 }, "invalid rank 7"),
+            (EngineError::Fault(FtError::AllRanksCrashed), "unrecoverable"),
+        ];
+        for (e, needle) in cases {
+            let msg = format!("{e}");
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+}

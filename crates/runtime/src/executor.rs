@@ -1,232 +1,47 @@
-//! Shared-memory work-stealing executor.
+//! Legacy entry points of the shared-memory executor.
 //!
-//! Runs a [`TaskGraph`] with real kernel closures on `nthreads` OS threads.
-//! The scheduling discipline mirrors PaRSEC's node-level scheduler:
-//! per-worker LIFO deques (locality: a task's just-released successor runs
-//! on the releasing worker while its inputs are cache-hot) with random
-//! stealing, seeded from the graph sources in priority order.
+//! The work-stealing loop now lives in [`crate::engine::Engine`], driven
+//! by an [`crate::engine::EngineConfig`] of composable capability hooks
+//! (cancellation, span capture). The free functions here are
+//! `#[deprecated]` one-line shims kept for one release so downstream
+//! callers migrate at their own pace:
 //!
-//! Dependency tracking is a per-task atomic in-degree counter: the worker
-//! that retires the last predecessor pushes the successor into its own
-//! deque — the "release" path of any dataflow runtime.
+//! | legacy entry point              | replacement                                             |
+//! |---------------------------------|---------------------------------------------------------|
+//! | `execute`                       | `Engine::new(g).run(&EngineConfig::new(n), ..)`         |
+//! | `execute_cancellable`           | `… EngineConfig::new(n).with_cancel(&cancel) …`         |
+//! | `execute_cancellable_indexed`   | same (the engine kernel always gets the worker index)   |
+//! | `execute_cancellable_observed`  | `… .with_cancel(&cancel).with_obs(obs.as_ref()) …`      |
+//!
+//! [`ExecObs`], [`ExecReport`] and [`TaskPanic`] also moved to
+//! [`crate::engine`]; they are re-exported here unchanged.
 
+pub use crate::engine::{ExecObs, ExecReport, TaskPanic};
+
+use crate::engine::{Engine, EngineConfig, EngineError};
 use crate::graph::{TaskGraph, TaskId};
-use crate::trace::Trace;
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-#[cfg(feature = "obs")]
-use crate::trace::TaskRecord;
-#[cfg(feature = "obs")]
-use std::sync::atomic::AtomicU64;
-#[cfg(feature = "obs")]
-use std::time::Instant;
-
-/// Span and steal data harvested from one observed execution.
-#[derive(Debug, Clone, Default)]
-pub struct ExecReport {
-    /// One record per executed task (retirement order sorted by end time).
-    pub trace: Trace,
-    /// Successful steals per worker (tasks this worker took from a peer's
-    /// deque; injector grabs are not steals).
-    pub steals: Vec<u64>,
-}
-
-impl ExecReport {
-    /// Total steal count over all workers.
-    pub fn total_steals(&self) -> u64 {
-        self.steals.iter().sum()
-    }
-}
-
-/// Observation hooks for one executor run.
-///
-/// With the `obs` cargo feature enabled this captures, per task, the
-/// enqueue (ready) time, the execute start/end times, and the executing
-/// worker, plus per-worker steal counters — everything
-/// [`crate::obs::RunMetrics`] and the Chrome-trace exporter need. Without
-/// the feature every method is an inline no-op and the struct is
-/// zero-sized, so the hot path of an unobserved build is untouched (the
-/// counting-allocator harness in `tests/alloc_free.rs` holds either way:
-/// all span storage is preallocated up front in [`ExecObs::new`]).
-#[derive(Debug, Default)]
-pub struct ExecObs {
-    #[cfg(feature = "obs")]
-    inner: Option<ObsInner>,
-}
-
-#[cfg(feature = "obs")]
-#[derive(Debug)]
-struct ObsInner {
-    t0: Instant,
-    /// Nanoseconds since `t0` at which each task became ready.
-    enqueue_ns: Vec<AtomicU64>,
-    /// Per-worker span logs; each mutex is only ever taken by its own
-    /// worker during the run (uncontended), then drained in `finish`.
-    logs: Vec<Mutex<Vec<(TaskId, u64, u64)>>>,
-    /// Successful deque steals per worker.
-    steals: Vec<AtomicU64>,
-}
-
-impl ExecObs {
-    /// Whether span capture is compiled in (`obs` cargo feature).
-    pub const fn enabled() -> bool {
-        cfg!(feature = "obs")
-    }
-
-    /// Prepare storage for a graph of `ntasks` tasks on `nthreads`
-    /// workers. All vectors are sized up front: the per-task hooks never
-    /// allocate (each worker's log reserves room for every task, since in
-    /// the worst case one worker runs the whole graph).
-    #[allow(unused_variables)]
-    pub fn new(ntasks: usize, nthreads: usize) -> Self {
-        #[cfg(feature = "obs")]
-        {
-            ExecObs {
-                inner: Some(ObsInner {
-                    t0: Instant::now(),
-                    enqueue_ns: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
-                    logs: (0..nthreads.max(1))
-                        .map(|_| Mutex::new(Vec::with_capacity(ntasks)))
-                        .collect(),
-                    steals: (0..nthreads.max(1)).map(|_| AtomicU64::new(0)).collect(),
-                }),
-            }
-        }
-        #[cfg(not(feature = "obs"))]
-        {
-            ExecObs::default()
-        }
-    }
-
-    /// Current time in integer nanoseconds on the observation clock.
-    #[inline]
-    fn now_ns(&self) -> u64 {
-        #[cfg(feature = "obs")]
-        if let Some(inner) = &self.inner {
-            return inner.t0.elapsed().as_nanos() as u64;
-        }
-        0
-    }
-
-    /// A task just became ready (pushed to a deque / the injector).
-    #[inline]
-    #[allow(unused_variables)]
-    fn on_enqueue(&self, t: TaskId) {
-        #[cfg(feature = "obs")]
-        if let Some(inner) = &self.inner {
-            inner.enqueue_ns[t].store(inner.t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
-    }
-
-    /// Worker `wid` finished running task `t` which started at `start_ns`.
-    #[inline]
-    #[allow(unused_variables)]
-    fn on_retire(&self, wid: usize, t: TaskId, start_ns: u64) {
-        #[cfg(feature = "obs")]
-        if let Some(inner) = &self.inner {
-            let end = inner.t0.elapsed().as_nanos() as u64;
-            let mut log = inner.logs[wid].lock().unwrap_or_else(|e| e.into_inner());
-            log.push((t, start_ns, end));
-        }
-    }
-
-    /// Worker `wid` successfully stole from a peer's deque.
-    #[inline]
-    #[allow(unused_variables)]
-    fn on_steal(&self, wid: usize) {
-        #[cfg(feature = "obs")]
-        if let Some(inner) = &self.inner {
-            inner.steals[wid].fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Harvest the captured spans into an [`ExecReport`], resolving task
-    /// class and tile coordinates against `graph`. Returns an empty report
-    /// when the `obs` feature is off.
-    #[allow(unused_variables)]
-    pub fn finish(&self, graph: &TaskGraph) -> ExecReport {
-        #[cfg(feature = "obs")]
-        if let Some(inner) = &self.inner {
-            let mut trace = Trace::default();
-            for (wid, log) in inner.logs.iter().enumerate() {
-                let log = log.lock().unwrap_or_else(|e| e.into_inner());
-                for &(t, start_ns, end_ns) in log.iter() {
-                    let spec = graph.spec(t);
-                    let queued_ns = inner.enqueue_ns[t].load(Ordering::Relaxed).min(start_ns);
-                    trace.push_record(TaskRecord {
-                        task: t,
-                        class: spec.class,
-                        proc: wid,
-                        data: spec.writes,
-                        queued: queued_ns as f64 * 1e-9,
-                        start: start_ns as f64 * 1e-9,
-                        end: end_ns as f64 * 1e-9,
-                    });
-                }
-            }
-            trace.records.sort_by(|a, b| a.end.total_cmp(&b.end));
-            return ExecReport {
-                trace,
-                steals: inner.steals.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
-            };
-        }
-        ExecReport::default()
-    }
-}
-
-/// A kernel panicked during a cancellable execution.
-#[derive(Debug, Clone)]
-pub struct TaskPanic {
-    /// The task whose kernel panicked (the first one, if several raced).
-    pub task: TaskId,
-    /// The panic payload rendered as text, when it was a string.
-    pub message: String,
-}
-
-impl std::fmt::Display for TaskPanic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task {} panicked: {}", self.task, self.message)
-    }
-}
-
-impl std::error::Error for TaskPanic {}
+use std::sync::atomic::AtomicBool;
 
 /// Execute `graph` on `nthreads` workers, calling `run(task)` for every
 /// task exactly once, respecting all dependencies.
 ///
-/// `run` receives tasks concurrently from multiple threads; exclusive
-/// access to the data a task writes is guaranteed by the graph (two tasks
-/// writing the same tile must be ordered by a dependency chain — tile
-/// Cholesky's graphs have this property by construction).
-///
 /// # Panics
-/// Panics if the graph contains a cycle (deadlock would otherwise ensue),
-/// or — after the pool has drained — if `run` panicked on some task.
+/// Panics if the graph contains a cycle, or — after the pool has
+/// drained — if `run` panicked on some task.
+#[deprecated(note = "use engine::Engine::run with engine::EngineConfig")]
 pub fn execute<F>(graph: &TaskGraph, nthreads: usize, run: F)
 where
     F: Fn(TaskId) + Sync,
 {
-    let cancel = AtomicBool::new(false);
-    if let Err(p) = execute_cancellable(graph, nthreads, &cancel, run) {
-        panic!("{p}");
+    if let Err(e) = Engine::new(graph).run(&EngineConfig::new(nthreads), |_wid, t| run(t)) {
+        panic!("{e}");
     }
 }
 
-/// [`execute`] with graceful degradation: kernel panics are caught, the
-/// first one flips `cancel`, and the remaining tasks drain without their
-/// kernels running (dependency bookkeeping still retires them, so the
-/// pool always terminates — the plain `execute` loop would spin forever
-/// waiting on a completion count the dead worker can never advance).
-///
-/// Callers may also flip `cancel` themselves (e.g. on the first numeric
-/// error) to stop scheduling kernels early; that path returns `Ok`.
-///
-/// `run` is invoked under [`catch_unwind`]: shared state it mutates must
-/// tolerate a kernel dying mid-update (the TLR factorizations qualify —
-/// a poisoned run's output is discarded wholesale).
+/// [`execute`] with graceful degradation: kernel panics are caught and
+/// reported after the pool drains; callers may flip `cancel` themselves
+/// to stop scheduling kernels early (that path returns `Ok`).
+#[deprecated(note = "use engine::Engine::run with EngineConfig::with_cancel")]
 pub fn execute_cancellable<F>(
     graph: &TaskGraph,
     nthreads: usize,
@@ -236,17 +51,15 @@ pub fn execute_cancellable<F>(
 where
     F: Fn(TaskId) + Sync,
 {
-    execute_cancellable_indexed(graph, nthreads, cancel, |_wid, t| run(t))
+    demote(Engine::new(graph).run(&EngineConfig::new(nthreads).with_cancel(cancel), |_wid, t| {
+        run(t)
+    }))
 }
 
 /// [`execute_cancellable`] that also hands each kernel invocation the
 /// **worker index** (`0 .. nthreads`) it runs on.
-///
-/// The index is stable for the lifetime of the pool, so callers can give
-/// every worker an exclusive slot of per-worker state — the TLR
-/// factorization uses it to hand each worker its own
-/// `KernelWorkspace` arena, making the recompression hot path
-/// allocation-free without any cross-worker synchronization.
+#[deprecated(note = "use engine::Engine::run with EngineConfig::with_cancel \
+                     (the engine kernel always receives the worker index)")]
 pub fn execute_cancellable_indexed<F>(
     graph: &TaskGraph,
     nthreads: usize,
@@ -256,16 +69,13 @@ pub fn execute_cancellable_indexed<F>(
 where
     F: Fn(usize, TaskId) + Sync,
 {
-    execute_cancellable_observed(graph, nthreads, cancel, None, run)
+    demote(Engine::new(graph).run(&EngineConfig::new(nthreads).with_cancel(cancel), run))
 }
 
-/// [`execute_cancellable_indexed`] with optional span capture.
-///
-/// When `obs` is `Some`, every task's enqueue/start/end time and executing
-/// worker are recorded into it (harvest with [`ExecObs::finish`] after
-/// this returns), along with per-worker steal counts. When `None` — or
-/// when the `obs` cargo feature is off — the instrumentation reduces to a
-/// branch per task.
+/// [`execute_cancellable_indexed`] with optional span capture into an
+/// [`ExecObs`] (harvest with [`ExecObs::finish`] after this returns).
+#[deprecated(note = "use engine::Engine::run with \
+                     EngineConfig::with_cancel(..).with_obs(obs.as_ref())")]
 pub fn execute_cancellable_observed<F>(
     graph: &TaskGraph,
     nthreads: usize,
@@ -276,160 +86,38 @@ pub fn execute_cancellable_observed<F>(
 where
     F: Fn(usize, TaskId) + Sync,
 {
-    let n = graph.len();
-    if n == 0 {
-        return Ok(());
-    }
-    assert!(graph.topological_order().is_some(), "task graph has a cycle");
-    let nthreads = nthreads.max(1);
-
-    let indegree: Vec<AtomicUsize> =
-        graph.indegrees().into_iter().map(AtomicUsize::new).collect();
-    let completed = AtomicUsize::new(0);
-    let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
-
-    let injector = Injector::new();
-    // Seed sources in priority order (critical path first).
-    let mut sources = graph.sources();
-    sources.sort_by_key(|&t| graph.spec(t).priority);
-    for t in sources {
-        if let Some(o) = obs {
-            o.on_enqueue(t);
-        }
-        injector.push(t);
-    }
-
-    let workers: Vec<Worker<TaskId>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
-    let stealers: Vec<Stealer<TaskId>> = workers.iter().map(Worker::stealer).collect();
-
-    std::thread::scope(|scope| {
-        for (wid, local) in workers.into_iter().enumerate() {
-            let injector = &injector;
-            let stealers = &stealers;
-            let indegree = &indegree;
-            let completed = &completed;
-            let first_panic = &first_panic;
-            let run = &run;
-            scope.spawn(move || {
-                let mut rng: u64 = 0x9E3779B97F4A7C15 ^ (wid as u64);
-                loop {
-                    if completed.load(Ordering::Acquire) == n {
-                        return;
-                    }
-                    let task = find_task(&local, injector, stealers, wid, &mut rng, obs);
-                    match task {
-                        Some(t) => {
-                            let start_ns = match obs {
-                                Some(o) => o.now_ns(),
-                                None => 0,
-                            };
-                            if !cancel.load(Ordering::Acquire) {
-                                if let Err(payload) =
-                                    catch_unwind(AssertUnwindSafe(|| run(wid, t)))
-                                {
-                                    cancel.store(true, Ordering::Release);
-                                    let message = payload
-                                        .downcast_ref::<&str>()
-                                        .map(|s| s.to_string())
-                                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                                        .unwrap_or_else(|| "non-string panic payload".into());
-                                    let mut slot =
-                                        first_panic.lock().unwrap_or_else(|e| e.into_inner());
-                                    if slot.is_none() {
-                                        *slot = Some(TaskPanic { task: t, message });
-                                    }
-                                }
-                            }
-                            if let Some(o) = obs {
-                                o.on_retire(wid, t, start_ns);
-                            }
-                            // Release successors even when draining: the
-                            // completion count must reach `n` to stop.
-                            for e in graph.successors(t) {
-                                if indegree[e.dst].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    if let Some(o) = obs {
-                                        o.on_enqueue(e.dst);
-                                    }
-                                    local.push(e.dst);
-                                }
-                            }
-                            completed.fetch_add(1, Ordering::AcqRel);
-                        }
-                        None => std::hint::spin_loop(),
-                    }
-                }
-            });
-        }
-    });
-
-    assert_eq!(completed.load(Ordering::Acquire), n, "not all tasks executed");
-    match first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
-        Some(p) => Err(p),
-        None => Ok(()),
-    }
+    demote(
+        Engine::new(graph)
+            .run(&EngineConfig::new(nthreads).with_cancel(cancel).with_obs(obs), run),
+    )
 }
 
-/// Pop local → steal from injector → steal from a random victim.
-fn find_task(
-    local: &Worker<TaskId>,
-    injector: &Injector<TaskId>,
-    stealers: &[Stealer<TaskId>],
-    self_id: usize,
-    rng: &mut u64,
-    obs: Option<&ExecObs>,
-) -> Option<TaskId> {
-    if let Some(t) = local.pop() {
-        return Some(t);
+/// Map the engine's typed error back onto the legacy contract: kernel
+/// panics are an `Err`, everything else (only [`EngineError::Cycle`] is
+/// possible here) re-raises as the panic the old asserts threw.
+fn demote(r: Result<(), EngineError>) -> Result<(), TaskPanic> {
+    match r {
+        Ok(()) => Ok(()),
+        Err(EngineError::Panic(p)) => Err(p),
+        Err(e) => panic!("{e}"),
     }
-    loop {
-        match injector.steal_batch_and_pop(local) {
-            Steal::Success(t) => return Some(t),
-            Steal::Retry => continue,
-            Steal::Empty => break,
-        }
-    }
-    // Random-order steal attempt over all other workers.
-    let k = stealers.len();
-    if k > 1 {
-        *rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let start = (*rng >> 33) as usize % k;
-        for off in 0..k {
-            let victim = (start + off) % k;
-            if victim == self_id {
-                continue;
-            }
-            loop {
-                match stealers[victim].steal_batch_and_pop(local) {
-                    Steal::Success(t) => {
-                        if let Some(o) = obs {
-                            o.on_steal(self_id);
-                        }
-                        return Some(t);
-                    }
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
-                }
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
+    //! Compatibility tests of the shims only — the scheduling-loop tests
+    //! live with the loop, in [`crate::engine`].
     use super::*;
     use crate::graph::{DataRef, TaskClass, TaskSpec};
-    use std::sync::atomic::{AtomicU64, AtomicUsize};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     fn spec(priority: usize) -> TaskSpec {
         TaskSpec { class: TaskClass::Other, priority, writes: None, flops: 0.0 }
     }
 
-    /// Chain 0 → 1 → … → n−1 must execute in exact order.
-    #[test]
-    fn chain_executes_in_order() {
-        let n = 100;
+    fn chain(n: usize) -> TaskGraph {
         let mut g = TaskGraph::new();
         for i in 0..n {
             g.add_task(spec(i));
@@ -437,96 +125,22 @@ mod tests {
         for i in 0..n - 1 {
             g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
         }
+        g
+    }
+
+    #[test]
+    fn execute_shim_runs_everything_in_order() {
+        let g = chain(50);
         let order = Mutex::new(Vec::new());
         execute(&g, 4, |t| order.lock().unwrap().push(t));
-        let order = order.into_inner().unwrap();
-        assert_eq!(order, (0..n).collect::<Vec<_>>());
-    }
-
-    /// Every task runs exactly once, even with wide fan-out.
-    #[test]
-    fn fanout_runs_each_task_once() {
-        let width = 500;
-        let mut g = TaskGraph::new();
-        let root = g.add_task(spec(0));
-        let sink = g.add_task(spec(2));
-        for _ in 0..width {
-            let mid = g.add_task(spec(1));
-            g.add_edge(root, mid, DataRef { i: 0, j: 0 }, 0);
-            g.add_edge(mid, sink, DataRef { i: 0, j: 0 }, 0);
-        }
-        let counts: Vec<AtomicUsize> = (0..g.len()).map(|_| AtomicUsize::new(0)).collect();
-        execute(&g, 8, |t| {
-            counts[t].fetch_add(1, Ordering::Relaxed);
-        });
-        for (t, c) in counts.iter().enumerate() {
-            assert_eq!(c.load(Ordering::Relaxed), 1, "task {t} ran wrong number of times");
-        }
-    }
-
-    /// Dependencies are respected: a parent's effect is visible to children.
-    #[test]
-    fn dependency_happens_before() {
-        // Layered graph: each layer sums the previous layer's value + 1.
-        let layers = 50;
-        let width = 8;
-        let mut g = TaskGraph::new();
-        let mut prev: Vec<TaskId> = (0..width).map(|_| g.add_task(spec(0))).collect();
-        for l in 1..layers {
-            let cur: Vec<TaskId> = (0..width).map(|_| g.add_task(spec(l))).collect();
-            for &p in &prev {
-                for &c in &cur {
-                    g.add_edge(p, c, DataRef { i: 0, j: 0 }, 0);
-                }
-            }
-            prev = cur;
-        }
-        let level = AtomicU64::new(0);
-        let violations = AtomicUsize::new(0);
-        // Record the maximum "wave" seen; a child running before any parent
-        // would observe a lower wave than required.
-        let task_layer: Vec<usize> = (0..g.len()).map(|t| g.spec(t).priority).collect();
-        execute(&g, 8, |t| {
-            let seen = level.load(Ordering::SeqCst);
-            if (task_layer[t] as u64) < seen.saturating_sub(1) {
-                violations.fetch_add(1, Ordering::SeqCst);
-            }
-            level.fetch_max(task_layer[t] as u64, Ordering::SeqCst);
-        });
-        assert_eq!(violations.load(Ordering::SeqCst), 0);
+        assert_eq!(order.into_inner().unwrap(), (0..50).collect::<Vec<_>>());
     }
 
     #[test]
-    fn empty_graph_ok() {
-        let g = TaskGraph::new();
-        execute(&g, 4, |_| panic!("no tasks"));
-    }
-
-    #[test]
-    fn single_thread_ok() {
-        let mut g = TaskGraph::new();
-        let a = g.add_task(spec(0));
-        let b = g.add_task(spec(1));
-        g.add_edge(a, b, DataRef { i: 0, j: 0 }, 0);
-        let order = Mutex::new(Vec::new());
-        execute(&g, 1, |t| order.lock().unwrap().push(t));
-        assert_eq!(order.into_inner().unwrap(), vec![a, b]);
-    }
-
-    /// A panicking kernel must not hang the pool: the run drains, every
-    /// task is retired, and the first panic is reported.
-    #[test]
-    fn panic_cancels_and_drains() {
-        let n = 64;
-        let mut g = TaskGraph::new();
-        for i in 0..n {
-            g.add_task(spec(i));
-        }
-        for i in 0..n - 1 {
-            g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
-        }
+    fn cancellable_shim_reports_task_panics() {
+        let g = chain(64);
         let ran = AtomicUsize::new(0);
-        let cancel = std::sync::atomic::AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
         let err = execute_cancellable(&g, 4, &cancel, |t| {
             ran.fetch_add(1, Ordering::SeqCst);
             if t == 5 {
@@ -537,31 +151,33 @@ mod tests {
         assert_eq!(err.task, 5);
         assert!(err.message.contains("exploded"), "{}", err.message);
         assert!(cancel.load(Ordering::SeqCst));
-        // Tasks after the panic drained without running their kernels.
         assert_eq!(ran.load(Ordering::SeqCst), 6);
     }
 
-    /// Caller-side cancellation stops kernels but still terminates Ok.
     #[test]
-    fn caller_cancel_skips_remaining_kernels() {
-        let n = 64;
-        let mut g = TaskGraph::new();
-        for i in 0..n {
-            g.add_task(spec(i));
-        }
-        for i in 0..n - 1 {
-            g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
-        }
-        let ran = AtomicUsize::new(0);
-        let cancel = std::sync::atomic::AtomicBool::new(false);
-        execute_cancellable(&g, 4, &cancel, |t| {
-            ran.fetch_add(1, Ordering::SeqCst);
-            if t == 9 {
-                cancel.store(true, Ordering::SeqCst);
-            }
+    fn indexed_shim_passes_worker_ids() {
+        let g = chain(16);
+        let cancel = AtomicBool::new(false);
+        let max_wid = AtomicUsize::new(0);
+        execute_cancellable_indexed(&g, 3, &cancel, |wid, _t| {
+            max_wid.fetch_max(wid, Ordering::SeqCst);
         })
         .unwrap();
-        assert_eq!(ran.load(Ordering::SeqCst), 10);
+        assert!(max_wid.load(Ordering::SeqCst) < 3);
+    }
+
+    #[test]
+    fn observed_shim_threads_the_observer() {
+        let g = chain(20);
+        let obs = ExecObs::new(g.len(), 2);
+        let cancel = AtomicBool::new(false);
+        execute_cancellable_observed(&g, 2, &cancel, Some(&obs), |_wid, _t| {}).unwrap();
+        let rep = obs.finish(&g);
+        if ExecObs::enabled() {
+            assert_eq!(rep.trace.records.len(), 20);
+        } else {
+            assert!(rep.trace.records.is_empty());
+        }
     }
 
     #[test]
@@ -572,46 +188,6 @@ mod tests {
         let b = g.add_task(spec(1));
         g.add_edge(a, b, DataRef { i: 0, j: 0 }, 0);
         execute(&g, 2, |_| panic!("kernel exploded"));
-    }
-
-    /// Observed execution: with the `obs` feature on, every task gets a
-    /// span with sane timestamps; with it off, the hooks are no-ops and
-    /// the report is empty — either way the run itself is unaffected.
-    #[test]
-    fn observed_execution_captures_spans() {
-        let n = 32;
-        let mut g = TaskGraph::new();
-        for i in 0..n {
-            g.add_task(spec(i));
-        }
-        for i in 0..n - 1 {
-            g.add_edge(i, i + 1, DataRef { i: 0, j: 0 }, 0);
-        }
-        let obs = ExecObs::new(g.len(), 2);
-        let cancel = AtomicBool::new(false);
-        let ran = AtomicUsize::new(0);
-        execute_cancellable_observed(&g, 2, &cancel, Some(&obs), |_wid, _t| {
-            ran.fetch_add(1, Ordering::Relaxed);
-        })
-        .unwrap();
-        assert_eq!(ran.load(Ordering::Relaxed), n);
-        let rep = obs.finish(&g);
-        if ExecObs::enabled() {
-            assert_eq!(rep.trace.records.len(), n);
-            for r in &rep.trace.records {
-                assert!(r.queued <= r.start + 1e-12);
-                assert!(r.start <= r.end);
-                assert!(r.proc < 2);
-            }
-            // Records come back sorted by end time.
-            for w in rep.trace.records.windows(2) {
-                assert!(w[0].end <= w[1].end);
-            }
-            assert_eq!(rep.steals.len(), 2);
-        } else {
-            assert!(rep.trace.records.is_empty());
-            assert!(rep.steals.is_empty());
-        }
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! same task graph reproduces the exact same fault sequence, which is
 //! what makes the recovery paths testable at all.
 //!
-//! The plan is consumed by
-//! [`execute_distributed_ft`](crate::distributed::execute_distributed_ft),
-//! which pairs it with a [`RetryConfig`] (timeouts and capped exponential
-//! backoff) and reports what actually happened in a [`FaultStats`].
+//! The plan is consumed by the distributed engine
+//! ([`crate::engine::DistEngine`], via
+//! [`DistConfig::ft`](crate::engine::DistConfig)), which pairs it with a
+//! [`RetryConfig`] (timeouts and capped exponential backoff) and reports
+//! what actually happened in a [`FaultStats`].
 
 use crate::graph::TaskId;
 use std::collections::HashMap;

@@ -10,9 +10,14 @@
 //! * [`graph`] — the task-graph representation (the unrolled equivalent of
 //!   a PTG/JDF program), with dataflow annotations used for communication
 //!   accounting. DAG trimming manifests here as *not inserting* tasks.
-//! * [`executor`] — a shared-memory work-stealing executor (crossbeam
-//!   deques) that runs real numerical kernels; used to validate the
-//!   numerics of every configuration at laptop scale.
+//! * [`engine`] — the unified execution engines: one shared-memory
+//!   work-stealing [`engine::Engine`] (crossbeam deques, real numerical
+//!   kernels, validates every configuration at laptop scale) and one
+//!   distributed [`engine::DistEngine`] (deterministic virtual-time
+//!   message-passing emulation with an optional fault layer), each
+//!   driven by a config of composable capability hooks. The legacy
+//!   entry points in [`executor`] and [`distributed`] are deprecated
+//!   shims over these.
 //! * [`des`] — a discrete-event simulator of distributed execution: `P`
 //!   processes × `cores` each, binomial-tree broadcasts, a latency/
 //!   bandwidth link model and per-task runtime overheads. This is the
@@ -31,6 +36,7 @@ pub mod critical_path;
 pub mod des;
 pub mod distributed;
 pub mod dtd;
+pub mod engine;
 pub mod executor;
 pub mod fault;
 pub mod graph;
@@ -41,7 +47,12 @@ pub mod scheduler;
 pub mod trace;
 
 pub use des::{simulate, simulate_with_faults, DesConfig, DesCrash, DesReport, FaultSchedule};
-pub use executor::{execute, execute_cancellable, ExecObs, ExecReport, TaskPanic};
+pub use engine::{
+    Cancel, DistConfig, DistEngine, DistOutcome, Engine, EngineConfig, EngineError, ExecObs,
+    ExecReport, NoCancel, NoObserve, Observe, RankCtx, TaskPanic,
+};
+#[allow(deprecated)]
+pub use executor::{execute, execute_cancellable};
 pub use fault::{CrashAt, FaultPlan, FaultStats, FtConfig, FtError, RetryConfig};
 pub use graph::{DataRef, TaskClass, TaskGraph, TaskId, TaskSpec};
 pub use machine::MachineModel;

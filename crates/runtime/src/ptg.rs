@@ -483,7 +483,7 @@ mod tests {
 
     #[test]
     fn dense_cholesky_ptg_executes_in_dependency_order() {
-        use crate::executor::execute;
+        use crate::engine::{Engine, EngineConfig};
         use std::sync::atomic::{AtomicUsize, Ordering};
         let nt = 5;
         let u = dense_cholesky_ptg(nt, 16).unroll().unwrap();
@@ -491,15 +491,17 @@ mod tests {
         // assert no TRSM of panel k runs before POTRF(k) retired.
         let potrf_done = AtomicUsize::new(0);
         let violations = AtomicUsize::new(0);
-        execute(&u.graph, 4, |t| match u.class_of(t) {
-            "POTRF" => {
-                potrf_done.fetch_max(u.params_of(t)[0] + 1, Ordering::SeqCst);
-            }
-            "TRSM" if potrf_done.load(Ordering::SeqCst) <= u.params_of(t)[0] => {
-                violations.fetch_add(1, Ordering::SeqCst);
-            }
-            _ => {}
-        });
+        Engine::new(&u.graph)
+            .run(&EngineConfig::new(4), |_wid, t| match u.class_of(t) {
+                "POTRF" => {
+                    potrf_done.fetch_max(u.params_of(t)[0] + 1, Ordering::SeqCst);
+                }
+                "TRSM" if potrf_done.load(Ordering::SeqCst) <= u.params_of(t)[0] => {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+                _ => {}
+            })
+            .unwrap();
         assert_eq!(violations.load(Ordering::SeqCst), 0);
     }
 }

@@ -30,9 +30,10 @@
 //!   rest of the factorization. Replaced tiles donate their factor
 //!   buffers back to the pool, so in steady state a `gemm_kernel` call
 //!   performs **zero heap allocations** (asserted by the
-//!   `tests/alloc_free.rs` counting-allocator harness). The executor
+//!   `tests/alloc_free.rs` counting-allocator harness). The engine
 //!   threads one arena per worker ([`crate::kernels::KernelWorkspace`]
-//!   via `execute_cancellable_indexed`); callers outside the executor
+//!   via the worker id `Engine::run` hands each body closure); callers
+//!   outside the engine
 //!   transparently use a thread-local arena
 //!   ([`with_thread_workspace`]).
 //!

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example ptg_cholesky`
 
 use hicma_parsec::linalg::{gemm, potrf, trsm, Matrix, Side, Trans, Uplo};
-use hicma_parsec::runtime::executor::execute;
+use hicma_parsec::runtime::{Engine, EngineConfig};
 use hicma_parsec::runtime::ptg::dense_cholesky_ptg;
 use parking_lot::RwLock;
 
@@ -42,7 +42,7 @@ fn main() {
 
     // Execute: the class name + parameters identify the kernel.
     let t0 = std::time::Instant::now();
-    execute(&unrolled.graph, 4, |t| {
+    Engine::new(&unrolled.graph).run(&EngineConfig::new(4), |_wid, t| {
         let p = unrolled.params_of(t);
         match unrolled.class_of(t) {
             "POTRF" => {
@@ -69,7 +69,8 @@ fn main() {
             }
             other => unreachable!("unknown class {other}"),
         }
-    });
+    })
+    .expect("acyclic graph, panic-free kernels");
     println!("executed in {:.3}s on 4 workers", t0.elapsed().as_secs_f64());
 
     // Reassemble L and validate ‖A − LLᵀ‖/‖A‖.

@@ -113,7 +113,7 @@ fn distributed_ranks_match_shared_memory_on_rbf() {
     // emulated distributed-memory ranks with the band data distribution
     // and diamond execution remapping, and require bit-identical factors
     // vs the shared-memory run.
-    use hicma_parsec::cholesky::distributed::factorize_distributed;
+    use hicma_parsec::cholesky::Session;
     use hicma_parsec::distribution::DiamondDistribution;
 
     let (points, kernel) = fixture(2, 180, 71);
@@ -124,7 +124,7 @@ fn distributed_ranks_match_shared_memory_on_rbf() {
     let mut distr = TlrMatrix::from_generator(n, 72, kernel.generator(&points), &ccfg);
     let fcfg = FactorConfig::with_accuracy(accuracy);
     factorize(&mut shared, &fcfg).unwrap();
-    factorize_distributed(&mut distr, &fcfg, 6, &DiamondDistribution::new(6)).unwrap();
+    Session::distributed(fcfg, 6, &DiamondDistribution::new(6)).run(&mut distr).unwrap();
     let diff = hicma_parsec::linalg::norms::relative_diff(
         &distr.to_dense_lower(),
         &shared.to_dense_lower(),

@@ -4,8 +4,7 @@
 //! numeric recovery path (bounded diagonal-shift retries) must rescue
 //! borderline-indefinite operators end to end.
 
-use hicma_parsec::cholesky::distributed::factorize_distributed_ft;
-use hicma_parsec::cholesky::{factorize, FactorConfig};
+use hicma_parsec::cholesky::{factorize, FactorConfig, Session};
 use hicma_parsec::distribution::DiamondDistribution;
 use hicma_parsec::linalg::norms::relative_diff;
 use hicma_parsec::linalg::Matrix;
@@ -65,14 +64,13 @@ fn faulty_network_and_crash_reproduce_shared_memory_factor() {
         .with_duplicates(0.05)
         .with_jitter(0.8)
         .with_crash(1, 15.0);
-    let outcome = factorize_distributed_ft(
-        &mut faulty,
-        &fcfg,
-        6,
-        &DiamondDistribution::new(6),
-        &FtConfig::with_plan(plan),
-    )
-    .expect("plan is survivable: one crash, five survivors");
+    let ft = FtConfig::with_plan(plan);
+    let outcome = Session::distributed(fcfg, 6, &DiamondDistribution::new(6))
+        .with_fault_layer(&ft)
+        .run(&mut faulty)
+        .expect("plan is survivable: one crash, five survivors")
+        .ft
+        .expect("fault layer was configured");
 
     assert_eq!(outcome.stats.crashes, 1, "the scheduled crash must fire");
     assert!(outcome.stats.messages_dropped > 0, "drop injection must bite");
@@ -154,13 +152,10 @@ proptest! {
             .with_drops(drop_pct as f64 / 100.0)
             .with_duplicates(dup_pct as f64 / 100.0)
             .with_jitter(jitter_tenths as f64 / 10.0);
-        let outcome = factorize_distributed_ft(
-            &mut faulty,
-            &fcfg,
-            4,
-            &DiamondDistribution::new(4),
-            &FtConfig::with_plan(plan),
-        );
+        let ft = FtConfig::with_plan(plan);
+        let outcome = Session::distributed(fcfg, 4, &DiamondDistribution::new(4))
+            .with_fault_layer(&ft)
+            .run(&mut faulty);
         prop_assert!(outcome.is_ok(), "survivable plan failed: {:?}", outcome.err());
         let diff = relative_diff(&faulty.to_dense_lower(), &shared.to_dense_lower());
         prop_assert!(diff == 0.0, "network faults changed the factor: {diff}");

@@ -3,9 +3,8 @@
 //! shared exporter over both execution engines, and crash/recovery event
 //! accounting on the fault-tolerant distributed runtime.
 
-use hicma_parsec::cholesky::distributed::factorize_distributed_ft;
 use hicma_parsec::cholesky::simulate::{simulate_cholesky, SimConfig};
-use hicma_parsec::cholesky::FactorConfig;
+use hicma_parsec::cholesky::{FactorConfig, Session};
 use hicma_parsec::distribution::DiamondDistribution;
 use hicma_parsec::runtime::graph::{DataRef, TaskClass};
 use hicma_parsec::runtime::obs::json::Json;
@@ -180,16 +179,14 @@ fn ft_run_records_matching_crash_recovery_pairs() {
     let mut m = TlrMatrix::from_generator(n, b, gen, &ccfg);
     let fcfg = FactorConfig::with_accuracy(1e-8);
     let plan = FaultPlan::new(9).with_drops(0.1).with_crash(1, 10.0).with_crash(3, 30.0);
-    let outcome = factorize_distributed_ft(
-        &mut m,
-        &fcfg,
-        6,
-        &DiamondDistribution::new(6),
-        &FtConfig::with_plan(plan),
-    )
-    .expect("two crashes among six ranks are survivable");
+    let ft = FtConfig::with_plan(plan);
+    let run = Session::distributed(fcfg, 6, &DiamondDistribution::new(6))
+        .with_fault_layer(&ft)
+        .run(&mut m)
+        .expect("two crashes among six ranks are survivable");
+    let outcome = run.ft.expect("fault layer was configured");
 
-    assert_eq!(outcome.stats.crashes as usize * 2, outcome.events.len());
+    assert_eq!(outcome.stats.crashes * 2, outcome.events.len());
     assert!(!outcome.events.is_empty(), "scheduled crashes must be recorded");
     let mut last_at = f64::NEG_INFINITY;
     for pair in outcome.events.chunks(2) {

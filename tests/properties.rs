@@ -216,7 +216,7 @@ proptest! {
     /// random DAGs: every task observes all its predecessors' effects.
     #[test]
     fn executor_respects_random_dags(seed in 0u64..300, n in 2usize..60, density_pct in 5usize..60) {
-        use hicma_parsec::runtime::executor::execute;
+        use hicma_parsec::runtime::{Engine, EngineConfig};
         use hicma_parsec::runtime::graph::{TaskGraph, TaskSpec, TaskClass, DataRef};
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -243,7 +243,7 @@ proptest! {
         }
         let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let violations = AtomicUsize::new(0);
-        execute(&g, 4, |t| {
+        Engine::new(&g).run(&EngineConfig::new(4), |_wid, t| {
             // every predecessor must already be marked done
             for &(i, j) in &edges {
                 if j == t && !done[i].load(Ordering::SeqCst) {
@@ -251,7 +251,7 @@ proptest! {
                 }
             }
             done[t].store(true, Ordering::SeqCst);
-        });
+        }).unwrap();
         prop_assert_eq!(violations.load(Ordering::SeqCst), 0);
         prop_assert!(done.iter().all(|d| d.load(Ordering::SeqCst)));
     }
