@@ -37,7 +37,8 @@ fn main() {
     let mut runs = String::new();
     let mut first = true;
     let mut emit = |label: &str, crash_fracs: &[f64], sched: &FaultSchedule| {
-        let r = simulate_cholesky_faulty(&snap, &cfg, sched);
+        let r = simulate_cholesky_faulty(&snap, &cfg, sched)
+            .expect("bench schedules target live in-range nodes");
         let overhead = 100.0 * (r.factorization_seconds - t) / t;
         if !first {
             runs.push_str(",\n");
@@ -72,6 +73,7 @@ fn main() {
                 .map(|(i, &f)| DesCrash { proc: i + 1, at: f * t })
                 .collect(),
             restart_delay_s: restart,
+            ..FaultSchedule::none()
         };
         emit(&format!("crashes-{ncrash}"), &fracs, &sched);
     }
@@ -82,6 +84,7 @@ fn main() {
             let sched = FaultSchedule {
                 crashes: vec![DesCrash { proc: 1, at: frac * t }],
                 restart_delay_s: restart,
+                ..FaultSchedule::none()
             };
             emit(&format!("single-at-{frac:.1}"), &[frac], &sched);
         }

@@ -32,13 +32,13 @@ use distribution::TileDistribution;
 use parking_lot::Mutex;
 use runtime::des::CommStats;
 use runtime::engine::{EngineError, RankCtx};
-use runtime::obs::RunEvent;
 use runtime::fault::{FaultStats, FtConfig, FtError};
 use runtime::graph::{DataRef, TaskId};
+use runtime::obs::RunEvent;
 use std::collections::HashMap;
 use std::fmt;
 use tlr_compress::kernels::{gemm_kernel, potrf_kernel, syrk_kernel, trsm_kernel};
-use tlr_compress::{Tile, TlrMatrix};
+use tlr_compress::{SealedTile, Tile, TlrMatrix};
 use tlr_linalg::CholeskyError;
 
 use crate::factorize::FactorConfig;
@@ -65,13 +65,20 @@ pub(crate) fn plan_distribution(
     let nt = matrix.nt();
     let dag = build_cholesky_dag(
         &matrix.rank_snapshot(),
-        &DagConfig { trimmed: cfg.trimmed, rank_cap: cfg.max_rank },
+        &DagConfig {
+            trimmed: cfg.trimmed,
+            rank_cap: cfg.max_rank,
+        },
     );
 
     // Execution rank per task = exec mapping of the tile it writes.
     let exec_rank: Vec<usize> = (0..dag.graph.len())
         .map(|t| {
-            let w = dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
+            let w = dag
+                .graph
+                .spec(t)
+                .writes
+                .expect("every Cholesky task writes its tile");
             exec.owner(w.i, w.j)
         })
         .collect();
@@ -88,7 +95,11 @@ pub(crate) fn plan_distribution(
     let mut first_writer: HashMap<(usize, usize), TaskId> = HashMap::new();
     let mut last_writer: HashMap<(usize, usize), TaskId> = HashMap::new();
     for t in 0..dag.graph.len() {
-        let w = dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
+        let w = dag
+            .graph
+            .spec(t)
+            .writes
+            .expect("every Cholesky task writes its tile");
         first_writer.entry((w.i, w.j)).or_insert(t);
         last_writer.insert((w.i, w.j), t);
     }
@@ -107,7 +118,53 @@ pub(crate) fn plan_distribution(
         }
     }
 
-    DistPlan { dag, exec_rank, preds, last_writer, placement, initial }
+    DistPlan {
+        dag,
+        exec_rank,
+        preds,
+        last_writer,
+        placement,
+        initial,
+    }
+}
+
+/// Payload abstraction for the distributed pipeline: the same kernel
+/// dispatch and tile gathering run on plain [`Tile`]s (no integrity
+/// layer, zero extra cost) or on digest-sealed tiles
+/// ([`SealedTile`], armed by [`FactorConfig::verify_integrity`] or a
+/// corrupting fault plan). `from_tile` is where checksum maintenance
+/// happens: sealing a freshly written tile recomputes its digest.
+pub(crate) trait TilePayload: Clone {
+    /// Borrow the tile contents (for kernel reads).
+    fn tile(&self) -> &Tile;
+    /// Unwrap the tile (for in-place kernel writes and gathering).
+    fn into_tile(self) -> Tile;
+    /// Wrap a freshly written tile (reseals under the integrity layer).
+    fn from_tile(t: Tile) -> Self;
+}
+
+impl TilePayload for Tile {
+    fn tile(&self) -> &Tile {
+        self
+    }
+    fn into_tile(self) -> Tile {
+        self
+    }
+    fn from_tile(t: Tile) -> Self {
+        t
+    }
+}
+
+impl TilePayload for SealedTile {
+    fn tile(&self) -> &Tile {
+        SealedTile::tile(self)
+    }
+    fn into_tile(self) -> Tile {
+        SealedTile::into_tile(self)
+    }
+    fn from_tile(t: Tile) -> Self {
+        SealedTile::seal(t)
+    }
 }
 
 /// Kernel dispatch for distributed runs. The error slot keeps the
@@ -123,7 +180,10 @@ pub(crate) struct KernelEnv<'a> {
 
 impl KernelEnv<'_> {
     fn find_producer(&self, t: TaskId, d: DataRef) -> Option<TaskId> {
-        self.preds[t].iter().find(|(_, dd)| *dd == d).map(|(p, _)| *p)
+        self.preds[t]
+            .iter()
+            .find(|(_, dd)| *dd == d)
+            .map(|(p, _)| *p)
     }
 
     /// Record a pivot failure, keeping the earliest (smallest) pivot —
@@ -137,14 +197,19 @@ impl KernelEnv<'_> {
         }
     }
 
-    pub(crate) fn run(&self, t: TaskId, ctx: &mut RankCtx<'_, Tile>) -> Tile {
-        let w = self.dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
+    pub(crate) fn run<P: TilePayload>(&self, t: TaskId, ctx: &mut RankCtx<'_, P>) -> P {
+        let w = self
+            .dag
+            .graph
+            .spec(t)
+            .writes
+            .expect("every Cholesky task writes its tile");
         if self.error.lock().is_some() {
             // Poisoned: keep the dataflow moving with the untouched tile.
             let cur = ctx
                 .take(w)
                 .or_else(|| self.find_producer(t, w).and_then(|p| ctx.take_remote(p, w)))
-                .unwrap_or(Tile::Null { rows: 0, cols: 0 });
+                .unwrap_or_else(|| P::from_tile(Tile::Null { rows: 0, cols: 0 }));
             ctx.put(w, cur.clone());
             return cur;
         }
@@ -155,32 +220,36 @@ impl KernelEnv<'_> {
         let mut out = ctx
             .take(w)
             .or_else(|| self.find_producer(t, w).and_then(|p| ctx.take_remote(p, w)))
-            .expect("written tile must be present");
+            .expect("written tile must be present")
+            .into_tile();
         match self.dag.kinds[t] {
             TaskKind::Potrf { k } => {
                 if let Err(e) = potrf_kernel(&mut out) {
-                    self.record_error(CholeskyError { pivot: k * self.tile_size + e.pivot });
+                    self.record_error(CholeskyError {
+                        pivot: k * self.tile_size + e.pivot,
+                    });
                 }
             }
             TaskKind::Trsm { k, m } => {
                 let _ = m;
                 let ldata = DataRef { i: k, j: k };
-                let l = ctx.get(self.find_producer(t, ldata), ldata).clone();
+                let l = ctx.get(self.find_producer(t, ldata), ldata).tile().clone();
                 trsm_kernel(&l, &mut out);
             }
             TaskKind::Syrk { k, m } => {
                 let adata = DataRef { i: m, j: k };
-                let a = ctx.get(self.find_producer(t, adata), adata).clone();
+                let a = ctx.get(self.find_producer(t, adata), adata).tile().clone();
                 syrk_kernel(&a, &mut out);
             }
             TaskKind::Gemm { k, m, n } => {
                 let adata = DataRef { i: m, j: k };
                 let bdata = DataRef { i: n, j: k };
-                let a = ctx.get(self.find_producer(t, adata), adata).clone();
-                let b = ctx.get(self.find_producer(t, bdata), bdata).clone();
+                let a = ctx.get(self.find_producer(t, adata), adata).tile().clone();
+                let b = ctx.get(self.find_producer(t, bdata), bdata).tile().clone();
                 gemm_kernel(&a, &b, &mut out, &self.compression);
             }
         }
+        let out = P::from_tile(out);
         ctx.put(w, out.clone());
         out
     }
@@ -188,11 +257,11 @@ impl KernelEnv<'_> {
 
 /// Put the final tile versions back into the matrix from the per-rank
 /// stores, using the (possibly migrated) final task→rank assignment.
-pub(crate) fn gather_tiles(
+pub(crate) fn gather_tiles<P: TilePayload>(
     matrix: &mut TlrMatrix,
     plan: &DistPlan,
     final_exec: &[usize],
-    stores: &[HashMap<DataRef, Tile>],
+    stores: &[HashMap<DataRef, P>],
 ) {
     let nt = matrix.nt();
     for i in 0..nt {
@@ -210,9 +279,13 @@ pub(crate) fn gather_tiles(
                 // rank crashed, in which case the runtime migrated its
                 // checkpointed data to a survivor. The value never changed,
                 // so any surviving copy is the right one.
-                .or_else(|| stores.iter().find_map(|s| s.get(&DataRef { i, j }).cloned()))
+                .or_else(|| {
+                    stores
+                        .iter()
+                        .find_map(|s| s.get(&DataRef { i, j }).cloned())
+                })
                 .expect("final tile must exist in some surviving store");
-            matrix.put_tile(i, j, tile);
+            matrix.put_tile(i, j, tile.into_tile());
         }
     }
 }
@@ -270,7 +343,9 @@ pub fn factorize_distributed_counted(
     exec: &dyn TileDistribution,
 ) -> Result<CommStats, CholeskyError> {
     match Session::distributed(*cfg, nprocs, exec).run(matrix) {
-        Ok(out) => Ok(out.comm.expect("distributed runs always count communication")),
+        Ok(out) => Ok(out
+            .comm
+            .expect("distributed runs always count communication")),
         Err(RunError::Numeric(e)) => Err(e),
         Err(RunError::Engine(e)) => panic!("{e}"),
     }
@@ -283,9 +358,12 @@ pub struct FtFactorOutcome {
     pub stats: FaultStats,
     /// Virtual makespan of the run (seconds of emulated time).
     pub makespan: f64,
-    /// Ordered crash/recovery events: every survived
+    /// Ordered crash/recovery and integrity events: every survived
     /// [`RunEvent::Crash`] is immediately followed by its matching
-    /// [`RunEvent::Recovery`].
+    /// [`RunEvent::Recovery`], and with the integrity layer armed every
+    /// caught checksum mismatch appends a
+    /// [`RunEvent::CorruptionDetected`] and every completed lineage heal
+    /// a [`RunEvent::Healed`].
     pub events: Vec<RunEvent>,
 }
 
@@ -336,7 +414,10 @@ pub fn factorize_distributed_ft(
     exec: &dyn TileDistribution,
     ft: &FtConfig,
 ) -> Result<FtFactorOutcome, FtFactorError> {
-    match Session::distributed(*cfg, nprocs, exec).with_fault_layer(ft).run(matrix) {
+    match Session::distributed(*cfg, nprocs, exec)
+        .with_fault_layer(ft)
+        .run(matrix)
+    {
         Ok(out) => Ok(out.ft.expect("fault layer was configured")),
         Err(RunError::Numeric(e)) => Err(FtFactorError::Numeric(e)),
         Err(RunError::Engine(EngineError::Fault(e))) => Err(FtFactorError::Runtime(e)),
@@ -376,8 +457,13 @@ mod tests {
         let mut distr = TlrMatrix::from_dense(&dense, b, &ccfg);
         let fcfg = FactorConfig::with_accuracy(acc);
         factorize(&mut shared, &fcfg).unwrap();
-        let out = Session::distributed(fcfg, nprocs, dist).run(&mut distr).unwrap();
-        assert!(out.comm.is_some(), "distributed runs always count communication");
+        let out = Session::distributed(fcfg, nprocs, dist)
+            .run(&mut distr)
+            .unwrap();
+        assert!(
+            out.comm.is_some(),
+            "distributed runs always count communication"
+        );
         assert!(out.ft.is_none(), "no fault layer was configured");
         let ls = shared.to_dense_lower();
         let ld = distr.to_dense_lower();
@@ -429,15 +515,26 @@ mod tests {
 
         let mut local = TlrMatrix::from_dense(&dense, b, &ccfg);
         let one = TwoDBlockCyclic::new(1);
-        let comm1 = Session::distributed(fcfg, 1, &one).run(&mut local).unwrap().comm.unwrap();
+        let comm1 = Session::distributed(fcfg, 1, &one)
+            .run(&mut local)
+            .unwrap()
+            .comm
+            .unwrap();
         assert_eq!(comm1.messages, 0, "single rank must not communicate");
         assert_eq!(comm1.bytes, 0);
 
         let mut distr = TlrMatrix::from_dense(&dense, b, &ccfg);
         let four = TwoDBlockCyclic::new(4);
-        let comm4 = Session::distributed(fcfg, 4, &four).run(&mut distr).unwrap().comm.unwrap();
+        let comm4 = Session::distributed(fcfg, 4, &four)
+            .run(&mut distr)
+            .unwrap()
+            .comm
+            .unwrap();
         assert!(comm4.messages > 0, "4 ranks must exchange tiles");
-        assert!(comm4.bytes >= 8 * comm4.messages, "each message carries ≥ one f64");
+        assert!(
+            comm4.bytes >= 8 * comm4.messages,
+            "each message carries ≥ one f64"
+        );
     }
 
     /// The configured `keep_dense_ratio` reaches the distributed update
@@ -460,7 +557,9 @@ mod tests {
         let mut dense_m = TlrMatrix::from_dense(&dense, b, &ccfg);
         let mut fcfg0 = FactorConfig::with_accuracy(acc);
         fcfg0.keep_dense_ratio = 0.0;
-        let out_dense = Session::distributed(fcfg0, 4, &dist).run(&mut dense_m).unwrap();
+        let out_dense = Session::distributed(fcfg0, 4, &dist)
+            .run(&mut dense_m)
+            .unwrap();
 
         assert!(
             out_dense.report.memory_after_f64 > out_lr.report.memory_after_f64,
@@ -494,7 +593,9 @@ mod tests {
         let err = Session::distributed(FactorConfig::with_accuracy(1e-8), 4, &dist)
             .run(&mut m)
             .unwrap_err();
-        let RunError::Numeric(e) = err else { panic!("expected a numeric error, got {err}") };
+        let RunError::Numeric(e) = err else {
+            panic!("expected a numeric error, got {err}")
+        };
         assert!(e.pivot <= 56, "pivot {}", e.pivot);
     }
 
@@ -510,10 +611,15 @@ mod tests {
         let mut distr = TlrMatrix::from_dense(&dense, b, &ccfg);
         let fcfg = FactorConfig::with_accuracy(acc);
         factorize(&mut shared, &fcfg).unwrap();
-        let out =
-            Session::distributed(fcfg, nprocs, dist).with_fault_layer(ft).run(&mut distr).unwrap();
+        let out = Session::distributed(fcfg, nprocs, dist)
+            .with_fault_layer(ft)
+            .run(&mut distr)
+            .unwrap();
         assert!(out.ft.is_some(), "fault layer was configured");
-        assert!(out.comm.is_some(), "comm counting composes with the fault layer");
+        assert!(
+            out.comm.is_some(),
+            "comm counting composes with the fault layer"
+        );
         let diff = relative_diff(&distr.to_dense_lower(), &shared.to_dense_lower());
         assert!(
             diff == 0.0,
@@ -530,7 +636,10 @@ mod tests {
 
     #[test]
     fn ft_lossy_network_matches_shared_memory() {
-        let plan = FaultPlan::new(21).with_drops(0.2).with_duplicates(0.2).with_jitter(1.0);
+        let plan = FaultPlan::new(21)
+            .with_drops(0.2)
+            .with_duplicates(0.2)
+            .with_jitter(1.0);
         check_ft_against_shared(4, &TwoDBlockCyclic::new(4), &FtConfig::with_plan(plan));
     }
 
@@ -581,7 +690,10 @@ mod tests {
             .with_fault_layer(&ft)
             .run(&mut m)
             .unwrap_err();
-        assert_eq!(err, RunError::Engine(EngineError::Fault(FtError::AllRanksCrashed)));
+        assert_eq!(
+            err,
+            RunError::Engine(EngineError::Fault(FtError::AllRanksCrashed))
+        );
     }
 
     // ------------- deprecated shims stay faithful -------------
@@ -602,12 +714,14 @@ mod tests {
             let dist = TwoDBlockCyclic::new(4);
 
             let mut via_shim = TlrMatrix::from_dense(&dense, b, &ccfg);
-            let comm_shim =
-                factorize_distributed_counted(&mut via_shim, &fcfg, 4, &dist).unwrap();
+            let comm_shim = factorize_distributed_counted(&mut via_shim, &fcfg, 4, &dist).unwrap();
 
             let mut via_session = TlrMatrix::from_dense(&dense, b, &ccfg);
-            let comm_session =
-                Session::distributed(fcfg, 4, &dist).run(&mut via_session).unwrap().comm.unwrap();
+            let comm_session = Session::distributed(fcfg, 4, &dist)
+                .run(&mut via_session)
+                .unwrap()
+                .comm
+                .unwrap();
 
             assert_eq!(comm_shim.messages, comm_session.messages);
             assert_eq!(comm_shim.bytes, comm_session.bytes);

@@ -54,6 +54,53 @@ pub struct FactorConfig {
     /// recompressed tile. Threaded to the update kernels on every path
     /// (shared-memory and distributed) via [`FactorConfig::compression`].
     pub keep_dense_ratio: f64,
+    /// Tile-integrity policy: whether (and how eagerly) every tile is
+    /// sealed with an exact content digest ([`tlr_compress::TileDigest`])
+    /// and checked against silent data corruption. See
+    /// [`IntegrityMode`] for the cost/coverage ladder. Defaults to
+    /// [`IntegrityMode::Off`] (zero overhead); a distributed fault plan
+    /// that injects corruption arms the layer automatically.
+    pub integrity: IntegrityMode,
+}
+
+/// How much silent-data-corruption protection a factorization buys.
+///
+/// The ladder trades detection latency for hot-path cost:
+///
+/// * [`Off`](IntegrityMode::Off) — no checksums, zero overhead.
+/// * [`Maintain`](IntegrityMode::Maintain) — the classical ABFT shape:
+///   every tile is sealed at load, resealed at its *finalizing* write
+///   (the POTRF or TRSM that produces its factor value — intermediate
+///   GEMM/SYRK versions are never digest-checked by this mode, so
+///   resealing them would buy zero detection), and the whole factor is
+///   verified once before it is returned. One digest per factor tile,
+///   ≤5 % on the factorize hot path — gated by the `integrity_overhead`
+///   bench. Any at-rest bit flip between a tile's finalizing write and
+///   the end of the run is caught; a corrupted factor can never be
+///   returned silently.
+/// * [`VerifyReads`](IntegrityMode::VerifyReads) — reseal after *every*
+///   kernel write and verify each tile version at its first read
+///   boundary, catching a flip before it propagates into downstream
+///   kernels and localizing it to the producing task. Costs roughly two
+///   digests per task.
+///
+/// On distributed runs any mode other than `Off` seals the message and
+/// store payloads ([`tlr_compress::SealedTile`]), where the engine
+/// verifies at every read boundary and heals from lineage — the
+/// shared-memory ladder above only governs the work-stealing path,
+/// which has no lineage store to heal from and instead surfaces a
+/// typed integrity error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrityMode {
+    /// No integrity checking (zero overhead).
+    #[default]
+    Off,
+    /// Seal on load, reseal at each tile's finalizing write, verify the
+    /// factor once at the end.
+    Maintain,
+    /// `Maintain` plus verification of each tile version at its first
+    /// read boundary.
+    VerifyReads,
 }
 
 impl FactorConfig {
@@ -72,6 +119,7 @@ impl FactorConfig {
             max_shift_retries: 3,
             collect_trace: cfg!(feature = "obs"),
             keep_dense_ratio: 1.0,
+            integrity: IntegrityMode::Off,
         }
     }
 
@@ -185,7 +233,10 @@ pub struct FactorReport {
 /// driver and the per-attempt pipeline live in [`crate::session`], shared
 /// with the distributed paths. Kernel panics are drained by the engine
 /// and re-raised here once every worker has stopped.
-pub fn factorize(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<FactorReport, CholeskyError> {
+pub fn factorize(
+    matrix: &mut TlrMatrix,
+    cfg: &FactorConfig,
+) -> Result<FactorReport, CholeskyError> {
     match Session::shared(*cfg).run(matrix) {
         Ok(out) => Ok(out.report),
         Err(RunError::Numeric(e)) => Err(e),
@@ -270,7 +321,11 @@ mod tests {
         let gen = gaussian_gen(n, 40.0);
         let ccfg = CompressionConfig::with_accuracy(1e-5);
         let mut m = TlrMatrix::from_generator(n, b, gen, &ccfg);
-        assert!(m.density() < 0.6, "test premise: sparse, got {}", m.density());
+        assert!(
+            m.density() < 0.6,
+            "test premise: sparse, got {}",
+            m.density()
+        );
         let report = factorize(&mut m, &FactorConfig::with_accuracy(1e-5)).unwrap();
         assert!(
             (report.dag_tasks as f64) < 0.7 * report.dense_dag_tasks as f64,
@@ -334,7 +389,10 @@ mod tests {
         let mut m = TlrMatrix::from_dense(&dense, 24, &ccfg);
         cfg.max_shift_retries = 5;
         let report = factorize(&mut m, &cfg).expect("shift retry must rescue the matrix");
-        assert!(report.shift_attempts >= 1, "recovery must have used a retry");
+        assert!(
+            report.shift_attempts >= 1,
+            "recovery must have used a retry"
+        );
         assert!(
             report.diagonal_shift > 0.0 && report.diagonal_shift <= 1e-3,
             "shift {} should be a rounding-scale regularization",
@@ -391,7 +449,11 @@ mod tests {
         // rounding. Any nondeterministic reduction order would show here.
         let l1 = m1.to_dense_lower();
         let l8 = m8.to_dense_lower();
-        assert_eq!(l1.as_slice(), l8.as_slice(), "factor differs across thread counts");
+        assert_eq!(
+            l1.as_slice(),
+            l8.as_slice(),
+            "factor differs across thread counts"
+        );
     }
 
     /// With the `obs` feature a default config traces the run and the
@@ -409,13 +471,19 @@ mod tests {
         let metrics = report.metrics.expect("obs build must trace by default");
         assert_eq!(metrics.trace.records.len(), report.dag_tasks);
         assert_eq!(metrics.per_worker_busy.len(), 2);
-        assert!(metrics.idle_fraction.iter().all(|f| (0.0..=1.0).contains(f)));
+        assert!(metrics
+            .idle_fraction
+            .iter()
+            .all(|f| (0.0..=1.0).contains(f)));
         assert!(metrics.load_imbalance >= 1.0);
         assert!(metrics.flops_executed > 0.0);
         assert!(metrics.critical_path_seconds > 0.0);
         assert!(metrics.critical_path_seconds <= metrics.trace.makespan() + 1e-12);
         assert!((0.0..=1.0).contains(&metrics.efficiency_vs_critical_path));
-        assert!(metrics.rank_evolution.events() > 0, "GEMMs must log recompressions");
+        assert!(
+            metrics.rank_evolution.events() > 0,
+            "GEMMs must log recompressions"
+        );
         // The span breakdown must roughly agree with the unconditional
         // class_nanos breakdown (same kernels, measured two ways).
         let from_trace = metrics.trace.breakdown().total();

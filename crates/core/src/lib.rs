@@ -34,7 +34,7 @@ pub use distributed::{
     factorize_distributed, factorize_distributed_counted, factorize_distributed_ft,
 };
 pub use distributed::{FtFactorError, FtFactorOutcome};
-pub use factorize::{factorize, FactorConfig, FactorMetrics, FactorReport};
+pub use factorize::{factorize, FactorConfig, FactorMetrics, FactorReport, IntegrityMode};
 pub use session::{RunError, RunOutcome, Session};
 pub use simulate::{
     simulate_cholesky, simulate_cholesky_faulty, DistributionPlan, SimConfig, SimReport,

@@ -19,21 +19,24 @@
 
 use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
 use crate::distributed::{gather_tiles, kernel_env, plan_distribution, FtFactorOutcome};
-use crate::factorize::{FactorConfig, FactorMetrics, FactorReport};
+use crate::factorize::{FactorConfig, FactorMetrics, FactorReport, IntegrityMode};
 use distribution::TileDistribution;
 use parking_lot::{Mutex, RwLock};
 use runtime::critical_path::critical_path;
 use runtime::des::CommStats;
-use runtime::engine::{DistConfig, DistEngine, Engine, EngineConfig, EngineError, ExecObs};
-use runtime::fault::FtConfig;
-use runtime::graph::TaskClass;
+use runtime::engine::{
+    DistConfig, DistEngine, DistOutcome, Engine, EngineConfig, EngineError, ExecObs, IntegrityHooks,
+};
+use runtime::fault::{FtConfig, FtError, IntegrityError};
+use runtime::graph::{DataRef, TaskClass};
 use runtime::trace::{ClassBreakdown, Trace};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use tlr_compress::kernels::{
     gemm_kernel_ws, potrf_kernel, syrk_kernel_ws, trsm_kernel, KernelWorkspace,
 };
-use tlr_compress::{RankEvolution, Tile, TlrMatrix};
+use tlr_compress::{RankEvolution, SealedTile, Tile, TileDigest, TlrMatrix};
 use tlr_linalg::CholeskyError;
 
 /// Where a session executes.
@@ -66,7 +69,10 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// A shared-memory session on the work-stealing engine.
     pub fn shared(cfg: FactorConfig) -> Self {
-        Session { cfg, mode: Mode::Shared }
+        Session {
+            cfg,
+            mode: Mode::Shared,
+        }
     }
 
     /// A distributed session across `nprocs` emulated ranks. `exec` maps
@@ -74,12 +80,21 @@ impl<'a> Session<'a> {
     /// data distribution itself for owner-computes, or a remapping
     /// distribution for §VII-B execution dissociation).
     pub fn distributed(cfg: FactorConfig, nprocs: usize, exec: &'a dyn TileDistribution) -> Self {
-        Session { cfg, mode: Mode::Distributed { nprocs, exec, ft: None } }
+        Session {
+            cfg,
+            mode: Mode::Distributed {
+                nprocs,
+                exec,
+                ft: None,
+            },
+        }
     }
 
     /// Layer a fault plan + retry policy onto a distributed session: the
     /// run then injects the plan's message loss, duplication, delay
-    /// jitter, rank crashes and kernel failures, recovers from them, and
+    /// jitter, rank crashes, kernel failures and silent data corruption
+    /// (bit-flips in store tiles or message payloads — these arm the
+    /// tile-integrity layer automatically), recovers from them, and
     /// reports the accounting in [`RunOutcome::ft`]. The factor stays
     /// bit-identical to the fault-free run for any survivable plan.
     ///
@@ -115,7 +130,11 @@ impl<'a> Session<'a> {
     /// dead emulated ranks).
     pub fn run(&self, matrix: &mut TlrMatrix) -> Result<RunOutcome, RunError> {
         let cfg = &self.cfg;
-        let pristine = if cfg.max_shift_retries > 0 { Some(matrix.clone()) } else { None };
+        let pristine = if cfg.max_shift_retries > 0 {
+            Some(matrix.clone())
+        } else {
+            None
+        };
         let first_err = match self.attempt(matrix) {
             Ok(out) => return Ok(out),
             Err(RunError::Numeric(e)) => e,
@@ -250,7 +269,10 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
     let t0 = std::time::Instant::now();
     let dag = build_cholesky_dag(
         &matrix.rank_snapshot(),
-        &DagConfig { trimmed: cfg.trimmed, rank_cap: cfg.max_rank },
+        &DagConfig {
+            trimmed: cfg.trimmed,
+            rank_cap: cfg.max_rank,
+        },
     );
     let analysis_seconds = t0.elapsed().as_secs_f64();
 
@@ -263,6 +285,40 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
             cells.push(RwLock::new(matrix.take_tile(i, j)));
         }
     }
+
+    // Exact-digest side array for the integrity layer (off by default):
+    // one digest per packed-lower tile, sealed at load time. Under
+    // `Maintain` a tile is resealed only at its *finalizing* write — the
+    // POTRF (diagonal) or TRSM (off-diagonal) that produces its factor
+    // value — because nothing ever reads the digest of an in-progress
+    // GEMM/SYRK version: the end-of-run sweep only sees final states, so
+    // intermediate reseals would cost a digest per update and buy zero
+    // detection. Under `VerifyReads` every write reseals and each
+    // version is verified at its first read boundary, before it can
+    // propagate. There is no lineage store on the shared path — every
+    // tile version lives exactly once behind its lock — so a mismatch
+    // cancels the run and surfaces as a typed integrity error instead of
+    // healing.
+    struct DigestSlot {
+        d: TileDigest,
+        /// Whether the current version already passed its first-read
+        /// check (`VerifyReads` verifies each version once — later reads
+        /// see the same just-verified bytes).
+        checked: bool,
+    }
+    let digests: Option<Vec<Mutex<DigestSlot>>> =
+        (cfg.integrity != IntegrityMode::Off).then(|| {
+            cells
+                .iter()
+                .map(|c| {
+                    Mutex::new(DigestSlot {
+                        d: TileDigest::of(&c.read()),
+                        checked: false,
+                    })
+                })
+                .collect()
+        });
+    let verify_reads = cfg.integrity == IntegrityMode::VerifyReads;
 
     let compression = cfg.compression();
     let error: Mutex<Option<CholeskyError>> = Mutex::new(None);
@@ -281,6 +337,43 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
         }
         cancel.store(true, Ordering::Release);
     };
+    // First corrupted tile, kept at the smallest packed index so
+    // concurrent detections report deterministically (same discipline as
+    // the pivot error above).
+    let integrity_bad: Mutex<Option<(usize, usize)>> = Mutex::new(None);
+    let record_corruption = |i: usize, j: usize| {
+        let mut slot = integrity_bad.lock();
+        match &*slot {
+            Some(prev) if *prev <= (i, j) => {}
+            _ => *slot = Some((i, j)),
+        }
+        cancel.store(true, Ordering::Release);
+    };
+    let check = |i: usize, j: usize, t: &Tile| -> bool {
+        if !verify_reads {
+            return true;
+        }
+        let Some(ds) = &digests else { return true };
+        let mut slot = ds[lower(i, j)].lock();
+        if slot.checked {
+            return true;
+        }
+        if slot.d.verify(t) {
+            slot.checked = true;
+            return true;
+        }
+        drop(slot);
+        record_corruption(i, j);
+        false
+    };
+    let reseal = |i: usize, j: usize, t: &Tile| {
+        if let Some(ds) = &digests {
+            *ds[lower(i, j)].lock() = DigestSlot {
+                d: TileDigest::of(t),
+                checked: false,
+            };
+        }
+    };
     // Per-class busy nanoseconds (atomic adds via mutex; kernel times are
     // micro-to-milliseconds, contention is negligible).
     let class_nanos: Mutex<[u128; 5]> = Mutex::new([0; 5]);
@@ -291,8 +384,9 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
     // updates and the recompression hot path then runs allocation-free
     // for the rest of the factorization.
     let nthreads = cfg.nthreads.max(1);
-    let workspaces: Vec<Mutex<KernelWorkspace>> =
-        (0..nthreads).map(|_| Mutex::new(KernelWorkspace::new())).collect();
+    let workspaces: Vec<Mutex<KernelWorkspace>> = (0..nthreads)
+        .map(|_| Mutex::new(KernelWorkspace::new()))
+        .collect();
 
     // Span recorder (compiled to nothing without the `obs` feature). The
     // per-worker logs are preallocated here, so tracing costs no
@@ -303,7 +397,9 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
         None
     };
 
-    let engine_cfg = EngineConfig::new(nthreads).with_cancel(&cancel).with_obs(obs.as_ref());
+    let engine_cfg = EngineConfig::new(nthreads)
+        .with_cancel(&cancel)
+        .with_obs(obs.as_ref());
     let exec_t0 = std::time::Instant::now();
     let exec_result = Engine::new(&dag.graph).run(&engine_cfg, |wid, t| {
         if cancel.load(Ordering::Acquire) {
@@ -314,28 +410,52 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
         match dag.kinds[t] {
             TaskKind::Potrf { k } => {
                 let mut c = cells[lower(k, k)].write();
-                if let Err(e) = potrf_kernel(&mut c) {
-                    record_error(CholeskyError { pivot: k * tile_size + e.pivot });
+                if !check(k, k, &c) {
                     return;
                 }
+                if let Err(e) = potrf_kernel(&mut c) {
+                    record_error(CholeskyError {
+                        pivot: k * tile_size + e.pivot,
+                    });
+                    return;
+                }
+                reseal(k, k, &c);
             }
             TaskKind::Trsm { k, m } => {
                 // lock order: (k,k) < (m,k) in packed order (k < m)
                 let l = cells[lower(k, k)].read();
                 let mut a = cells[lower(m, k)].write();
+                if !(check(k, k, &l) && check(m, k, &a)) {
+                    return;
+                }
                 trsm_kernel(&l, &mut a);
+                reseal(m, k, &a);
             }
             TaskKind::Syrk { k, m } => {
                 let a = cells[lower(m, k)].read();
                 let mut c = cells[lower(m, m)].write();
+                if !(check(m, k, &a) && check(m, m, &c)) {
+                    return;
+                }
                 syrk_kernel_ws(&mut workspaces[wid].lock(), &a, &mut c);
+                // Intermediate version: POTRF {m} reseals the final one.
+                if verify_reads {
+                    reseal(m, m, &c);
+                }
             }
             TaskKind::Gemm { k, m, n } => {
                 // packed order: (n,k) < (m,k) < (m,n) since k < n < m
                 let bt = cells[lower(n, k)].read();
                 let at = cells[lower(m, k)].read();
                 let mut c = cells[lower(m, n)].write();
+                if !(check(n, k, &bt) && check(m, k, &at) && check(m, n, &c)) {
+                    return;
+                }
                 gemm_kernel_ws(&mut workspaces[wid].lock(), &at, &bt, &mut c, &compression);
+                // Intermediate version: TRSM {n, m} reseals the final one.
+                if verify_reads {
+                    reseal(m, n, &c);
+                }
             }
         }
         #[cfg(debug_assertions)]
@@ -343,7 +463,11 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
             // Pin down the first kernel that produces a non-finite value
             // (skipped once cancelled: a failed POTRF leaves its tile in a
             // legitimately half-factored state).
-            let w = dag.graph.spec(t).writes.expect("every Cholesky task writes its tile");
+            let w = dag
+                .graph
+                .spec(t)
+                .writes
+                .expect("every Cholesky task writes its tile");
             let idx = lower(w.i, w.j);
             let tile = cells[idx].read();
             let d = tile.to_dense();
@@ -379,8 +503,37 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
     }
     exec_result?;
 
+    let integrity_error = |i: usize, j: usize| {
+        RunError::Engine(EngineError::Fault(FtError::Integrity(IntegrityError {
+            rank: 0,
+            data: (i, j),
+            attempts: 0,
+        })))
+    };
+    // A digest mismatch outranks the numeric error: corrupted inputs can
+    // manufacture a spurious pivot failure.
+    if let Some((i, j)) = integrity_bad.into_inner() {
+        return Err(integrity_error(i, j));
+    }
     if let Some(e) = error.into_inner() {
         return Err(RunError::Numeric(e));
+    }
+    // End-of-run sweep: verify every tile of the finished factor against
+    // its seal once, so a flip between a tile's last write and here can
+    // never leave the session silently. One digest per tile, O(n²) total
+    // — negligible next to the O(n³)-ish factorization. (Skipped after a
+    // pivot failure above: a half-factored tile legitimately no longer
+    // matches its seal.)
+    if let Some(ds) = &digests {
+        let mut idx = 0;
+        for i in 0..nt {
+            for j in 0..=i {
+                if !ds[idx].lock().d.verify(&cells[idx].read()) {
+                    return Err(integrity_error(i, j));
+                }
+                idx += 1;
+            }
+        }
     }
 
     let n = class_nanos.into_inner();
@@ -445,7 +598,12 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
         shift_attempts: 0,
         metrics,
     };
-    Ok(RunOutcome { report, comm: None, ft: None, trace: None })
+    Ok(RunOutcome {
+        report,
+        comm: None,
+        ft: None,
+        trace: None,
+    })
 }
 
 /// One distributed attempt on the virtual-time [`DistEngine`]:
@@ -468,11 +626,59 @@ fn distributed_attempt(
     // The virtual-time trace is gated like the shared-memory one: only
     // when tracing is requested *and* compiled in, so `collect_trace`
     // means the same thing on every path.
-    let dist_cfg =
-        DistConfig { ft, record_trace: cfg.collect_trace && ExecObs::enabled() };
+    let dist_cfg = DistConfig {
+        ft,
+        record_trace: cfg.collect_trace && ExecObs::enabled(),
+    };
+    // The integrity layer arms when asked for explicitly, or whenever
+    // the fault plan injects corruption — silent corruption with the
+    // detector off would violate the bit-identical-factor contract.
+    let verify =
+        cfg.integrity != IntegrityMode::Off || ft.is_some_and(|f| f.plan.injects_corruption());
     let exec_t0 = std::time::Instant::now();
-    let out = DistEngine::new(&plan.dag.graph, nprocs, &plan.exec_rank)
-        .run(initial, &dist_cfg, |t, ctx| env.run(t, ctx))?;
+    let out: DistOutcome<Tile> =
+        if verify {
+            // Seal every tile with its exact content digest; kernels reseal
+            // what they write (`TilePayload::from_tile`), and the engine
+            // verifies at each read boundary, healing from lineage on a
+            // mismatch. Unsealing afterwards keeps gathering and all
+            // post-processing on the one plain-`Tile` code path.
+            let sealed: Vec<HashMap<DataRef, SealedTile>> = initial
+                .into_iter()
+                .map(|m| {
+                    m.into_iter()
+                        .map(|(d, t)| (d, SealedTile::seal(t)))
+                        .collect()
+                })
+                .collect();
+            let corrupt = |p: &mut SealedTile, bits: u64| p.corrupt(bits);
+            let check = |p: &SealedTile| p.verify();
+            let hooks = IntegrityHooks {
+                corrupt: &corrupt,
+                verify: &check,
+            };
+            let out = DistEngine::new(&plan.dag.graph, nprocs, &plan.exec_rank)
+                .run_with_integrity(sealed, &dist_cfg, Some(&hooks), |t, ctx| env.run(t, ctx))?;
+            DistOutcome {
+                stores: out
+                    .stores
+                    .into_iter()
+                    .map(|m| m.into_iter().map(|(d, s)| (d, s.into_tile())).collect())
+                    .collect(),
+                exec_rank: out.exec_rank,
+                comm: out.comm,
+                stats: out.stats,
+                makespan: out.makespan,
+                events: out.events,
+                trace: out.trace,
+            }
+        } else {
+            DistEngine::new(&plan.dag.graph, nprocs, &plan.exec_rank).run(
+                initial,
+                &dist_cfg,
+                |t, ctx| env.run(t, ctx),
+            )?
+        };
     let factorization_seconds = exec_t0.elapsed().as_secs_f64();
 
     gather_tiles(matrix, &plan, &out.exec_rank, &out.stores);

@@ -113,6 +113,9 @@ pub struct SimReport {
     pub migrated_tasks: usize,
     /// Tasks re-executed to regenerate outputs lost in a crash.
     pub reexecuted_tasks: usize,
+    /// Silent store corruptions that struck during the run (0 without a
+    /// schedule); each is priced as lineage healing by the DES.
+    pub corruptions: usize,
 }
 
 impl SimReport {
@@ -186,17 +189,23 @@ fn task_duration(dag: &CholeskyDag, t: usize, machine: &MachineModel) -> f64 {
 /// ```
 pub fn simulate_cholesky(initial: &RankSnapshot, cfg: &SimConfig) -> SimReport {
     simulate_cholesky_faulty(initial, cfg, &FaultSchedule::none())
+        .expect("fault-free simulation cannot fail")
 }
 
-/// [`simulate_cholesky`] under a fail-stop fault schedule, pricing the
-/// recovery protocol (migration + re-execution) on the modeled machine —
-/// the overhead side of the resilience story whose correctness side is
-/// [`crate::session::Session::with_fault_layer`].
+/// [`simulate_cholesky`] under a fault schedule (fail-stop crashes and
+/// silent store corruptions), pricing the recovery/healing protocol on
+/// the modeled machine — the overhead side of the resilience story whose
+/// correctness side is [`crate::session::Session::with_fault_layer`].
+///
+/// # Errors
+///
+/// Returns [`runtime::EngineError`] when the schedule is malformed
+/// (targets a nonexistent node) or crashes every node before completion.
 pub fn simulate_cholesky_faulty(
     initial: &RankSnapshot,
     cfg: &SimConfig,
     faults: &FaultSchedule,
-) -> SimReport {
+) -> Result<SimReport, runtime::EngineError> {
     let t0 = std::time::Instant::now();
     let dag = build_cholesky_dag(
         initial,
@@ -269,7 +278,7 @@ pub fn simulate_cholesky_faulty(
         dep_overhead_s: cfg.machine.dep_overhead_s,
         task_mgmt_s: cfg.machine.task_overhead_s,
     };
-    let report = simulate_with_faults(&dag.graph, &tasks, &des_cfg, faults);
+    let report = simulate_with_faults(&dag.graph, &tasks, &des_cfg, faults)?;
 
     // Critical path without runtime overhead: pure kernel chain (§VIII-G).
     let cp = runtime::critical_path::critical_path(&dag.graph, |t| {
@@ -298,7 +307,7 @@ pub fn simulate_cholesky_faulty(
     let generation_seconds = cfg.machine.dense_kernel_time(gen_flops) / total_cores;
     let compression_seconds = comp_core_seconds / total_cores;
 
-    SimReport {
+    Ok(SimReport {
         factorization_seconds: report.makespan,
         analysis_seconds,
         analysis_bytes: dag.analysis.memory_bytes(),
@@ -314,8 +323,9 @@ pub fn simulate_cholesky_faulty(
         crashes: report.crashes,
         migrated_tasks: report.migrated,
         reexecuted_tasks: report.reexecuted,
+        corruptions: report.corruptions,
         trace: report.trace,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -443,13 +453,36 @@ mod tests {
         let sched = FaultSchedule {
             crashes: vec![DesCrash { proc: 3, at: base.factorization_seconds * 0.5 }],
             restart_delay_s: base.factorization_seconds * 2.0,
+            ..FaultSchedule::none()
         };
-        let faulty = simulate_cholesky_faulty(&s, &cfg, &sched);
+        let faulty = simulate_cholesky_faulty(&s, &cfg, &sched).unwrap();
         assert_eq!(faulty.crashes, 1);
         assert!(faulty.migrated_tasks > 0);
         assert!(
             faulty.factorization_seconds > base.factorization_seconds,
             "crash recovery cannot be free: {} vs {}",
+            faulty.factorization_seconds,
+            base.factorization_seconds
+        );
+    }
+
+    #[test]
+    fn store_corruption_prices_lineage_healing() {
+        use runtime::FaultPlan;
+        let s = snapshot(48, 1e-3);
+        let cfg = base_cfg(DistributionPlan::Lorapo, true);
+        let base = simulate_cholesky(&s, &cfg);
+        // Derive the DES schedule from the same functional plan the
+        // engine-side integrity tests inject — one seed, both engines.
+        let plan = FaultPlan::new(11)
+            .with_store_corruption(3, 1, 0, base.factorization_seconds * 0.5);
+        let sched = FaultSchedule::from_plan(&plan, base.factorization_seconds * 2.0);
+        let faulty = simulate_cholesky_faulty(&s, &cfg, &sched).unwrap();
+        assert_eq!(faulty.corruptions, 1);
+        assert_eq!(faulty.crashes, 0);
+        assert!(
+            faulty.factorization_seconds > base.factorization_seconds,
+            "healing a mid-run corruption cannot be free: {} vs {}",
             faulty.factorization_seconds,
             base.factorization_seconds
         );

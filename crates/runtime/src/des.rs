@@ -24,6 +24,8 @@
 //! are full of them (every null-tile task still activates successors),
 //! which is precisely the overhead Fig. 6 shows trimming removes.
 
+use crate::engine::EngineError;
+use crate::fault::{fault_unit, FaultPlan, FtError};
 use crate::graph::{TaskGraph, TaskId};
 use crate::trace::Trace;
 use std::cmp::Reverse;
@@ -77,22 +79,81 @@ pub struct DesCrash {
     pub at: f64,
 }
 
+/// A silent-data-corruption strike against one process's tile store at a
+/// virtual time — the DES counterpart of
+/// [`crate::fault::FaultPlan::with_store_corruption`]. The simulator
+/// prices the *healing* protocol: the integrity layer detects the flip at
+/// the next read boundary and recomputes the damaged tile from its
+/// lineage, which the cost model charges as one task re-execution after
+/// the detection window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesCorrupt {
+    /// Process whose store is struck.
+    pub proc: usize,
+    /// Virtual time of the bit flip.
+    pub at: f64,
+}
+
 /// Fault schedule for [`simulate_with_faults`] — the DES counterpart of
 /// the functional fault plan in [`crate::fault::FaultPlan`], used to
 /// *price* resilience rather than test it.
+///
+/// # Seeding
+///
+/// `seed` feeds the same per-decision hash streams as [`FaultPlan`]
+/// (via [`crate::fault::fault_unit`]): building a schedule with
+/// [`FaultSchedule::from_plan`] guarantees that a given seed drives the
+/// identical pseudo-random fault sequence in the DES pricing run and in
+/// the functional engine run, so the two sides of a resilience
+/// experiment stay comparable.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultSchedule {
     /// Fail-stop crashes; a crash after completion is ignored.
     pub crashes: Vec<DesCrash>,
-    /// Detection + failover window: work lost to a crash restarts this
-    /// many seconds after the failure.
+    /// Silent store corruptions; a strike after completion, against a
+    /// dead process, or against a process holding no still-needed
+    /// outputs is detected but heals for free.
+    pub corruptions: Vec<DesCorrupt>,
+    /// Detection + failover window: work lost to a crash (or a tile
+    /// lost to corruption) restarts this many seconds after the fault.
     pub restart_delay_s: f64,
+    /// Seed of the pseudo-random pricing decisions (corruption victim
+    /// choice); share it with the functional [`FaultPlan`] via
+    /// [`FaultSchedule::from_plan`].
+    pub seed: u64,
 }
 
 impl FaultSchedule {
     /// Schedule with no faults (the plain simulation).
     pub fn none() -> Self {
         Self::default()
+    }
+
+    /// Derive the DES pricing schedule from a functional fault plan:
+    /// crashes and store corruptions map event for event, and the seed
+    /// is copied so both engines roll identical fault fates (see the
+    /// type-level seeding contract).
+    pub fn from_plan(plan: &FaultPlan, restart_delay_s: f64) -> Self {
+        FaultSchedule {
+            crashes: plan
+                .crashes
+                .iter()
+                .map(|c| DesCrash {
+                    proc: c.rank,
+                    at: c.at,
+                })
+                .collect(),
+            corruptions: plan
+                .store_corruptions
+                .iter()
+                .map(|c| DesCorrupt {
+                    proc: c.rank,
+                    at: c.at,
+                })
+                .collect(),
+            restart_delay_s,
+            seed: plan.seed,
+        }
     }
 }
 
@@ -112,8 +173,11 @@ pub struct DesReport {
     /// Tasks whose execution moved off a dead process.
     pub migrated: usize,
     /// Completed tasks re-executed because their outputs died with a
-    /// process and a consumer still needed them.
+    /// process (crash) or were damaged in its store (corruption) while a
+    /// consumer still needed them.
     pub reexecuted: usize,
+    /// Store-corruption strikes that fired before the run completed.
+    pub corruptions: usize,
 }
 
 impl DesReport {
@@ -155,7 +219,9 @@ impl PartialOrd for Time {
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("simulation times must be finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("simulation times must be finite")
     }
 }
 
@@ -171,6 +237,9 @@ enum EventKind {
     Finish(TaskId, u32),
     /// A process fail-stops.
     Crash(usize),
+    /// A bit flips in a process's tile store; carries the index of the
+    /// strike in [`FaultSchedule::corruptions`].
+    Corrupt(usize),
 }
 
 /// Run the simulation with the default ready-queue ordering (the task's
@@ -179,7 +248,9 @@ enum EventKind {
 /// `tasks[t]` gives the process and duration of task `t`. Panics if the
 /// graph is cyclic, `tasks` is too short, or a process id is out of range.
 pub fn simulate(graph: &TaskGraph, tasks: &[DesTask], config: &DesConfig) -> DesReport {
-    let keys: Vec<f64> = (0..graph.len()).map(|t| graph.spec(t).priority as f64).collect();
+    let keys: Vec<f64> = (0..graph.len())
+        .map(|t| graph.spec(t).priority as f64)
+        .collect();
     simulate_with_order(graph, tasks, config, &keys)
 }
 
@@ -193,6 +264,7 @@ pub fn simulate_with_order(
     keys: &[f64],
 ) -> DesReport {
     sim_core(graph, tasks, config, keys, &FaultSchedule::none())
+        .expect("fault-free simulation cannot fail")
 }
 
 /// Run the simulation under a fail-stop fault schedule, pricing the
@@ -206,14 +278,30 @@ pub fn simulate_with_order(
 /// communication pattern stays priced on the original mapping (the
 /// engine's static-locality invariant).
 ///
-/// Panics if the schedule crashes every process before completion.
+/// Silent store corruptions ([`FaultSchedule::corruptions`]) are priced
+/// as the integrity layer's healing protocol: after the
+/// `restart_delay_s` detection window, one completed task of the struck
+/// process whose output a consumer still needs re-executes (the victim
+/// is chosen by the schedule's seeded stream so a shared seed reproduces
+/// the same strike in the functional engine — see
+/// [`FaultSchedule::from_plan`]). A strike with no still-needed outputs
+/// heals for free off the critical path.
+///
+/// # Errors
+///
+/// * [`EngineError::InvalidCrashRank`] — the schedule targets a process
+///   `>= nprocs` (crash or corruption).
+/// * [`EngineError::Fault`] with [`FtError::AllRanksCrashed`] — the
+///   schedule crashes every process before completion.
 pub fn simulate_with_faults(
     graph: &TaskGraph,
     tasks: &[DesTask],
     config: &DesConfig,
     faults: &FaultSchedule,
-) -> DesReport {
-    let keys: Vec<f64> = (0..graph.len()).map(|t| graph.spec(t).priority as f64).collect();
+) -> Result<DesReport, EngineError> {
+    let keys: Vec<f64> = (0..graph.len())
+        .map(|t| graph.spec(t).priority as f64)
+        .collect();
     sim_core(graph, tasks, config, &keys, faults)
 }
 
@@ -223,10 +311,13 @@ fn sim_core(
     config: &DesConfig,
     keys: &[f64],
     faults: &FaultSchedule,
-) -> DesReport {
+) -> Result<DesReport, EngineError> {
     assert_eq!(keys.len(), graph.len(), "one key per task");
     assert_eq!(tasks.len(), graph.len(), "one DesTask per graph task");
-    assert!(graph.topological_order().is_some(), "task graph has a cycle");
+    assert!(
+        graph.topological_order().is_some(),
+        "task graph has a cycle"
+    );
     for t in tasks {
         assert!(t.proc < config.nprocs, "process id out of range");
     }
@@ -307,7 +398,11 @@ fn sim_core(
             // dependency activations are individual control messages the
             // communication thread processes one by one — the per-edge
             // overhead DAG trimming removes (§VI).
-            let nsends = if edges[e0].bytes > 0 { 1.0 } else { nremote as f64 };
+            let nsends = if edges[e0].bytes > 0 {
+                1.0
+            } else {
+                nremote as f64
+            };
             groups.push(Bcast {
                 remote_edges,
                 nsends,
@@ -334,8 +429,22 @@ fn sim_core(
         push(&mut events, 0.0, EventKind::Ready(t), &mut seq);
     }
     for c in &faults.crashes {
-        assert!(c.proc < config.nprocs, "crash process id out of range");
+        if c.proc >= config.nprocs {
+            return Err(EngineError::InvalidCrashRank {
+                rank: c.proc,
+                nprocs: config.nprocs,
+            });
+        }
         push(&mut events, c.at, EventKind::Crash(c.proc), &mut seq);
+    }
+    for (idx, c) in faults.corruptions.iter().enumerate() {
+        if c.proc >= config.nprocs {
+            return Err(EngineError::InvalidCrashRank {
+                rank: c.proc,
+                nprocs: config.nprocs,
+            });
+        }
+        push(&mut events, c.at, EventKind::Corrupt(idx), &mut seq);
     }
 
     let mut idle: Vec<usize> = vec![config.cores_per_proc; config.nprocs];
@@ -366,6 +475,7 @@ fn sim_core(
     let mut running: Vec<Vec<TaskId>> = vec![Vec::new(); config.nprocs];
     let mut rr = 0usize; // round-robin cursor over survivors
     let (mut crashes, mut migrated, mut reexecuted) = (0usize, 0usize, 0usize);
+    let mut corruptions = 0usize;
 
     while let Some(Reverse((Time(now), _, kind))) = events.pop() {
         match kind {
@@ -387,7 +497,9 @@ fn sim_core(
                 queues[p].push(Reverse((Time(keys[t]), t)));
                 // Start as many queued tasks as there are idle cores.
                 while idle[p] > 0 {
-                    let Some(Reverse((_, tid))) = queues[p].pop() else { break };
+                    let Some(Reverse((_, tid))) = queues[p].pop() else {
+                        break;
+                    };
                     idle[p] -= 1;
                     start_time[tid] = now;
                     running[p].push(tid);
@@ -456,14 +568,21 @@ fn sim_core(
                         }
                         remaining[dst] -= 1;
                         if remaining[dst] == 0 {
-                            push(&mut events, data_ready[dst], EventKind::Ready(dst), &mut seq);
+                            push(
+                                &mut events,
+                                data_ready[dst],
+                                EventKind::Ready(dst),
+                                &mut seq,
+                            );
                         }
                     }
                 }
                 // A core just freed: start the next queued task here.
                 idle[p] += 1;
                 while idle[p] > 0 {
-                    let Some(Reverse((_, tid))) = queues[p].pop() else { break };
+                    let Some(Reverse((_, tid))) = queues[p].pop() else {
+                        break;
+                    };
                     idle[p] -= 1;
                     start_time[tid] = now;
                     running[p].push(tid);
@@ -483,7 +602,9 @@ fn sim_core(
                 crashes += 1;
                 let restart = now + faults.restart_delay_s;
                 let alive: Vec<usize> = (0..config.nprocs).filter(|&q| !dead[q]).collect();
-                assert!(!alive.is_empty(), "fault schedule crashed every process");
+                if alive.is_empty() {
+                    return Err(EngineError::Fault(FtError::AllRanksCrashed));
+                }
 
                 // Abort in-flight kernels (their Finish events go stale)
                 // and flush the dead process's ready queue.
@@ -523,14 +644,63 @@ fn sim_core(
                     push(&mut events, restart, EventKind::Ready(t), &mut seq);
                 }
             }
+            EventKind::Corrupt(idx) => {
+                let p = faults.corruptions[idx].proc;
+                if dead[p] || completed == n {
+                    continue; // a dead store has no reads; post-run strikes are free
+                }
+                corruptions += 1;
+                // The integrity layer detects the flip at the victim
+                // tile's next read boundary and recomputes it from
+                // lineage. First-order pricing: one completed task of
+                // this process whose output a consumer still needs
+                // re-executes after the detection window. The victim is
+                // drawn from the seeded stream shared with the
+                // functional plan (stream 8, keyed by strike index).
+                let candidates: Vec<TaskId> = (0..n)
+                    .filter(|&t| {
+                        proc_of[t] == p
+                            && done[t]
+                            && graph.successors(t).iter().any(|e| !done[e.dst])
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue; // nothing still-needed was hit: heals off the critical path
+                }
+                let pick =
+                    (fault_unit(faults.seed, 8, idx as u64, 0) * candidates.len() as f64) as usize;
+                let victim = candidates[pick.min(candidates.len() - 1)];
+                done[victim] = false;
+                reexec[victim] = true;
+                completed -= 1;
+                reexecuted += 1;
+                push(
+                    &mut events,
+                    now + faults.restart_delay_s,
+                    EventKind::Ready(victim),
+                    &mut seq,
+                );
+            }
         }
     }
 
-    assert_eq!(completed, n, "simulation deadlocked: {completed}/{n} tasks retired");
+    assert_eq!(
+        completed, n,
+        "simulation deadlocked: {completed}/{n} tasks retired"
+    );
     // `busy` is derived from the trace rather than double-booked: the
     // trace records are the single source of truth for span accounting.
     let busy = trace.busy_per_proc(config.nprocs);
-    DesReport { makespan, trace, busy, comm, crashes, migrated, reexecuted }
+    Ok(DesReport {
+        makespan,
+        trace,
+        busy,
+        comm,
+        crashes,
+        migrated,
+        reexecuted,
+        corruptions,
+    })
 }
 
 /// Convenience: all tasks on one process — the serial/SMP sanity baseline.
@@ -551,7 +721,12 @@ mod tests {
     use crate::graph::{DataRef, TaskClass, TaskSpec};
 
     fn spec(priority: usize) -> TaskSpec {
-        TaskSpec { class: TaskClass::Other, priority, writes: None, flops: 0.0 }
+        TaskSpec {
+            class: TaskClass::Other,
+            priority,
+            writes: None,
+            flops: 0.0,
+        }
     }
 
     fn chain(n: usize) -> TaskGraph {
@@ -568,7 +743,12 @@ mod tests {
     #[test]
     fn serial_chain_time_is_sum() {
         let g = chain(10);
-        let tasks: Vec<DesTask> = (0..10).map(|_| DesTask { proc: 0, duration: 2.0 }).collect();
+        let tasks: Vec<DesTask> = (0..10)
+            .map(|_| DesTask {
+                proc: 0,
+                duration: 2.0,
+            })
+            .collect();
         let r = simulate(&g, &tasks, &single_proc_config(4));
         assert!((r.makespan - 20.0).abs() < 1e-12);
         assert_eq!(r.comm, CommStats::default());
@@ -580,7 +760,12 @@ mod tests {
         for _ in 0..8 {
             g.add_task(spec(0));
         }
-        let tasks: Vec<DesTask> = (0..8).map(|_| DesTask { proc: 0, duration: 1.0 }).collect();
+        let tasks: Vec<DesTask> = (0..8)
+            .map(|_| DesTask {
+                proc: 0,
+                duration: 1.0,
+            })
+            .collect();
         // 4 cores → 8 unit tasks take 2 seconds
         let r = simulate(&g, &tasks, &single_proc_config(4));
         assert!((r.makespan - 2.0).abs() < 1e-12);
@@ -595,7 +780,16 @@ mod tests {
         g.add_task(spec(0));
         g.add_task(spec(1));
         g.add_edge(0, 1, DataRef { i: 0, j: 0 }, 1_000_000);
-        let tasks = vec![DesTask { proc: 0, duration: 1.0 }, DesTask { proc: 1, duration: 1.0 }];
+        let tasks = vec![
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
+            DesTask {
+                proc: 1,
+                duration: 1.0,
+            },
+        ];
         let cfg = DesConfig {
             nprocs: 2,
             cores_per_proc: 1,
@@ -617,7 +811,16 @@ mod tests {
         g.add_task(spec(0));
         g.add_task(spec(1));
         g.add_edge(0, 1, DataRef { i: 0, j: 0 }, 1 << 30);
-        let tasks = vec![DesTask { proc: 0, duration: 1.0 }, DesTask { proc: 0, duration: 1.0 }];
+        let tasks = vec![
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
+        ];
         let cfg = DesConfig {
             nprocs: 2,
             cores_per_proc: 1,
@@ -642,9 +845,15 @@ mod tests {
             let c = g.add_task(spec(1));
             g.add_edge(src, c, d, 0);
         }
-        let mut tasks = vec![DesTask { proc: 0, duration: 1.0 }];
+        let mut tasks = vec![DesTask {
+            proc: 0,
+            duration: 1.0,
+        }];
         for p in 1..=4 {
-            tasks.push(DesTask { proc: p, duration: 0.0 });
+            tasks.push(DesTask {
+                proc: p,
+                duration: 0.0,
+            });
         }
         let cfg = DesConfig {
             nprocs: 5,
@@ -675,9 +884,15 @@ mod tests {
             // distinct datum per consumer ⇒ n separate activations
             g.add_edge(src, t, DataRef { i, j: 0 }, 0);
         }
-        let mut tasks = vec![DesTask { proc: 0, duration: 1.0 }];
+        let mut tasks = vec![DesTask {
+            proc: 0,
+            duration: 1.0,
+        }];
         for i in 0..nremote {
-            tasks.push(DesTask { proc: 1 + i, duration: 0.0 });
+            tasks.push(DesTask {
+                proc: 1 + i,
+                duration: 0.0,
+            });
         }
         let cfg = DesConfig {
             nprocs: 1 + nremote,
@@ -710,9 +925,15 @@ mod tests {
             let t = g.add_task(spec(1));
             g.add_edge(src, t, d, bytes);
         }
-        let mut tasks = vec![DesTask { proc: 0, duration: 1.0 }];
+        let mut tasks = vec![DesTask {
+            proc: 0,
+            duration: 1.0,
+        }];
         for i in 0..nremote {
-            tasks.push(DesTask { proc: 1 + i, duration: 0.0 });
+            tasks.push(DesTask {
+                proc: 1 + i,
+                duration: 0.0,
+            });
         }
         let cfg = DesConfig {
             nprocs: 1 + nremote,
@@ -726,7 +947,11 @@ mod tests {
         // tree depth for the 8th receiver is 4 hops: 1 (task) + 4·1 s,
         // NOT 1 + 8·1 s (which per-receiver serialization would give).
         assert!(r.makespan <= 1.0 + 4.0 + 1e-9, "makespan {}", r.makespan);
-        assert!(r.makespan >= 1.0 + 1.0, "at least one transfer: {}", r.makespan);
+        assert!(
+            r.makespan >= 1.0 + 1.0,
+            "at least one transfer: {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -741,10 +966,22 @@ mod tests {
         g.add_edge(a, ca, DataRef { i: 0, j: 0 }, 1_000_000);
         g.add_edge(b, cb, DataRef { i: 1, j: 0 }, 1_000_000);
         let tasks = vec![
-            DesTask { proc: 0, duration: 1.0 },
-            DesTask { proc: 0, duration: 1.0 },
-            DesTask { proc: 1, duration: 0.0 },
-            DesTask { proc: 2, duration: 0.0 },
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
+            DesTask {
+                proc: 1,
+                duration: 0.0,
+            },
+            DesTask {
+                proc: 2,
+                duration: 0.0,
+            },
         ];
         let cfg = DesConfig {
             nprocs: 3,
@@ -756,7 +993,11 @@ mod tests {
         };
         let r = simulate(&g, &tasks, &cfg);
         // both finish at t=1; injections serialize: second arrives >= 3.
-        assert!(r.makespan >= 3.0 - 1e-9, "NIC must serialize: {}", r.makespan);
+        assert!(
+            r.makespan >= 3.0 - 1e-9,
+            "NIC must serialize: {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -767,8 +1008,14 @@ mod tests {
         let urgent = g.add_task(spec(0));
         let lazy = g.add_task(spec(9));
         let tasks = vec![
-            DesTask { proc: 0, duration: 1.0 },
-            DesTask { proc: 0, duration: 1.0 },
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
         ];
         let r = simulate(&g, &tasks, &single_proc_config(1));
         let rec_urgent = r.trace.records.iter().find(|x| x.start == 0.0).unwrap();
@@ -802,7 +1049,10 @@ mod tests {
             }
         }
         let tasks: Vec<DesTask> = (0..g.len())
-            .map(|t| DesTask { proc: t % 3, duration: 1.0 + (t % 4) as f64 })
+            .map(|t| DesTask {
+                proc: t % 3,
+                duration: 1.0 + (t % 4) as f64,
+            })
             .collect();
         let cfg = DesConfig {
             nprocs: 3,
@@ -814,7 +1064,12 @@ mod tests {
         };
         let r = simulate(&g, &tasks, &cfg);
         let cp = critical_path(&g, |t| tasks[t].duration);
-        assert!(r.makespan >= cp.length - 1e-12, "{} < {}", r.makespan, cp.length);
+        assert!(
+            r.makespan >= cp.length - 1e-12,
+            "{} < {}",
+            r.makespan,
+            cp.length
+        );
     }
 
     // ---------------- fault schedule ----------------
@@ -834,7 +1089,10 @@ mod tests {
             g.add_edge(m, sink, DataRef { i, j: 1 }, 1000);
         }
         let tasks: Vec<DesTask> = (0..g.len())
-            .map(|t| DesTask { proc: t % 3, duration: 1.0 })
+            .map(|t| DesTask {
+                proc: t % 3,
+                duration: 1.0,
+            })
             .collect();
         (g, tasks)
     }
@@ -855,11 +1113,12 @@ mod tests {
         let (g, tasks) = wide_graph(12);
         let cfg = faulty_cfg();
         let plain = simulate(&g, &tasks, &cfg);
-        let faulty = simulate_with_faults(&g, &tasks, &cfg, &FaultSchedule::none());
+        let faulty = simulate_with_faults(&g, &tasks, &cfg, &FaultSchedule::none()).unwrap();
         assert_eq!(faulty.makespan, plain.makespan);
         assert_eq!(faulty.crashes, 0);
         assert_eq!(faulty.migrated, 0);
         assert_eq!(faulty.reexecuted, 0);
+        assert_eq!(faulty.corruptions, 0);
     }
 
     #[test]
@@ -868,10 +1127,14 @@ mod tests {
         let cfg = faulty_cfg();
         let baseline = simulate(&g, &tasks, &cfg);
         let sched = FaultSchedule {
-            crashes: vec![DesCrash { proc: 1, at: baseline.makespan * 0.5 }],
+            crashes: vec![DesCrash {
+                proc: 1,
+                at: baseline.makespan * 0.5,
+            }],
             restart_delay_s: 0.5,
+            ..FaultSchedule::none()
         };
-        let r = simulate_with_faults(&g, &tasks, &cfg, &sched);
+        let r = simulate_with_faults(&g, &tasks, &cfg, &sched).unwrap();
         assert_eq!(r.crashes, 1);
         assert!(r.migrated > 0, "dead proc's tasks must move");
         assert!(
@@ -888,10 +1151,14 @@ mod tests {
         let cfg = faulty_cfg();
         let baseline = simulate(&g, &tasks, &cfg);
         let sched = FaultSchedule {
-            crashes: vec![DesCrash { proc: 1, at: baseline.makespan + 100.0 }],
+            crashes: vec![DesCrash {
+                proc: 1,
+                at: baseline.makespan + 100.0,
+            }],
             restart_delay_s: 0.5,
+            ..FaultSchedule::none()
         };
-        let r = simulate_with_faults(&g, &tasks, &cfg, &sched);
+        let r = simulate_with_faults(&g, &tasks, &cfg, &sched).unwrap();
         assert_eq!(r.crashes, 0);
         assert_eq!(r.makespan, baseline.makespan);
     }
@@ -902,12 +1169,21 @@ mod tests {
         let cfg = faulty_cfg();
         let base = simulate(&g, &tasks, &cfg);
         let mk = |delay: f64| FaultSchedule {
-            crashes: vec![DesCrash { proc: 2, at: base.makespan * 0.4 }],
+            crashes: vec![DesCrash {
+                proc: 2,
+                at: base.makespan * 0.4,
+            }],
             restart_delay_s: delay,
+            ..FaultSchedule::none()
         };
-        let quick = simulate_with_faults(&g, &tasks, &cfg, &mk(0.1));
-        let slow = simulate_with_faults(&g, &tasks, &cfg, &mk(5.0));
-        assert!(slow.makespan >= quick.makespan, "{} < {}", slow.makespan, quick.makespan);
+        let quick = simulate_with_faults(&g, &tasks, &cfg, &mk(0.1)).unwrap();
+        let slow = simulate_with_faults(&g, &tasks, &cfg, &mk(5.0)).unwrap();
+        assert!(
+            slow.makespan >= quick.makespan,
+            "{} < {}",
+            slow.makespan,
+            quick.makespan
+        );
     }
 
     #[test]
@@ -922,9 +1198,18 @@ mod tests {
         g.add_edge(a, b, DataRef { i: 0, j: 0 }, 1000);
         g.add_edge(b, c, DataRef { i: 1, j: 0 }, 1000);
         let tasks = vec![
-            DesTask { proc: 0, duration: 1.0 },
-            DesTask { proc: 0, duration: 1.0 },
-            DesTask { proc: 1, duration: 10.0 },
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
+            DesTask {
+                proc: 0,
+                duration: 1.0,
+            },
+            DesTask {
+                proc: 1,
+                duration: 10.0,
+            },
         ];
         let cfg = faulty_cfg();
         // Crash proc 0 while the sink is still running: b's output is no
@@ -933,15 +1218,15 @@ mod tests {
         let sched = FaultSchedule {
             crashes: vec![DesCrash { proc: 0, at: 2.5 }],
             restart_delay_s: 0.0,
+            ..FaultSchedule::none()
         };
-        let r = simulate_with_faults(&g, &tasks, &cfg, &sched);
+        let r = simulate_with_faults(&g, &tasks, &cfg, &sched).unwrap();
         assert_eq!(r.crashes, 1);
         assert!(r.reexecuted >= 1, "b must re-execute, got {}", r.reexecuted);
     }
 
     #[test]
-    #[should_panic(expected = "crashed every process")]
-    fn crashing_all_processes_panics() {
+    fn crashing_all_processes_is_a_typed_error() {
         let (g, tasks) = wide_graph(8);
         let cfg = faulty_cfg();
         let sched = FaultSchedule {
@@ -951,14 +1236,119 @@ mod tests {
                 DesCrash { proc: 2, at: 0.3 },
             ],
             restart_delay_s: 0.0,
+            ..FaultSchedule::none()
         };
-        simulate_with_faults(&g, &tasks, &cfg, &sched);
+        let err = simulate_with_faults(&g, &tasks, &cfg, &sched).unwrap_err();
+        assert_eq!(err, EngineError::Fault(FtError::AllRanksCrashed));
+    }
+
+    #[test]
+    fn out_of_range_fault_target_is_a_typed_error() {
+        let (g, tasks) = wide_graph(8);
+        let cfg = faulty_cfg(); // nprocs = 3
+        let crash = FaultSchedule {
+            crashes: vec![DesCrash { proc: 7, at: 1.0 }],
+            ..FaultSchedule::none()
+        };
+        assert_eq!(
+            simulate_with_faults(&g, &tasks, &cfg, &crash).unwrap_err(),
+            EngineError::InvalidCrashRank { rank: 7, nprocs: 3 }
+        );
+        let corrupt = FaultSchedule {
+            corruptions: vec![DesCorrupt { proc: 9, at: 1.0 }],
+            ..FaultSchedule::none()
+        };
+        assert_eq!(
+            simulate_with_faults(&g, &tasks, &cfg, &corrupt).unwrap_err(),
+            EngineError::InvalidCrashRank { rank: 9, nprocs: 3 }
+        );
+    }
+
+    #[test]
+    fn corruption_heals_by_reexecution_and_costs_time() {
+        let (g, tasks) = wide_graph(12);
+        let cfg = faulty_cfg();
+        let base = simulate(&g, &tasks, &cfg);
+        // Strike proc 0 mid-run with a long detection window: the root's
+        // output (consumed by every mid task) is still needed, so one
+        // completed task must re-execute and the makespan must grow.
+        let sched = FaultSchedule {
+            corruptions: vec![DesCorrupt {
+                proc: 0,
+                at: base.makespan * 0.3,
+            }],
+            restart_delay_s: base.makespan * 2.0,
+            seed: 7,
+            ..FaultSchedule::none()
+        };
+        let r = simulate_with_faults(&g, &tasks, &cfg, &sched).unwrap();
+        assert_eq!(r.corruptions, 1);
+        assert_eq!(r.crashes, 0);
+        assert!(
+            r.reexecuted >= 1,
+            "a still-needed tile was hit: {}",
+            r.reexecuted
+        );
+        assert!(
+            r.makespan > base.makespan,
+            "healing a needed tile cannot be free: {} vs {}",
+            r.makespan,
+            base.makespan
+        );
+        // Determinism: the same seeded schedule reproduces the run.
+        let again = simulate_with_faults(&g, &tasks, &cfg, &sched).unwrap();
+        assert_eq!(again.makespan, r.makespan);
+        assert_eq!(again.reexecuted, r.reexecuted);
+    }
+
+    #[test]
+    fn corruption_after_completion_is_free() {
+        let (g, tasks) = wide_graph(12);
+        let cfg = faulty_cfg();
+        let base = simulate(&g, &tasks, &cfg);
+        let sched = FaultSchedule {
+            corruptions: vec![DesCorrupt {
+                proc: 1,
+                at: base.makespan + 50.0,
+            }],
+            restart_delay_s: 1.0,
+            seed: 3,
+            ..FaultSchedule::none()
+        };
+        let r = simulate_with_faults(&g, &tasks, &cfg, &sched).unwrap();
+        assert_eq!(r.corruptions, 0);
+        assert_eq!(r.reexecuted, 0);
+        assert_eq!(r.makespan, base.makespan);
+    }
+
+    #[test]
+    fn schedule_from_plan_shares_the_seed_and_events() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new(1234)
+            .with_crash(1, 5.0)
+            .with_store_corruption(2, 0, 0, 7.5)
+            .with_message_corruption(0.1);
+        let sched = FaultSchedule::from_plan(&plan, 0.25);
+        assert_eq!(sched.seed, 1234);
+        assert_eq!(sched.restart_delay_s, 0.25);
+        assert_eq!(sched.crashes, vec![DesCrash { proc: 1, at: 5.0 }]);
+        assert_eq!(sched.corruptions, vec![DesCorrupt { proc: 2, at: 7.5 }]);
+        // The shared stream: the DES victim roll equals the plan-side roll.
+        assert_eq!(
+            fault_unit(plan.seed, 8, 0, 0),
+            fault_unit(sched.seed, 8, 0, 0)
+        );
     }
 
     #[test]
     fn report_metrics() {
         let g = chain(4);
-        let tasks: Vec<DesTask> = (0..4).map(|p| DesTask { proc: p % 2, duration: 1.0 }).collect();
+        let tasks: Vec<DesTask> = (0..4)
+            .map(|p| DesTask {
+                proc: p % 2,
+                duration: 1.0,
+            })
+            .collect();
         let cfg = DesConfig {
             nprocs: 2,
             cores_per_proc: 1,

@@ -35,7 +35,7 @@
 //! [`crate::distributed`].
 
 use crate::des::CommStats;
-use crate::fault::{FaultStats, FtConfig, FtError};
+use crate::fault::{FaultStats, FtConfig, FtError, IntegrityError};
 use crate::graph::{DataRef, TaskGraph, TaskId};
 use crate::obs::RunEvent;
 use crate::trace::{TaskRecord, Trace};
@@ -284,7 +284,11 @@ impl ExecObs {
             trace.records.sort_by(|a, b| a.end.total_cmp(&b.end));
             return ExecReport {
                 trace,
-                steals: inner.steals.iter().map(|s| s.load(Ordering::Relaxed)).collect(),
+                steals: inner
+                    .steals
+                    .iter()
+                    .map(|s| s.load(Ordering::Relaxed))
+                    .collect(),
             };
         }
         ExecReport::default()
@@ -400,16 +404,28 @@ impl std::fmt::Display for EngineError {
             EngineError::Cycle => write!(f, "task graph has a cycle"),
             EngineError::Panic(p) => write!(f, "{p}"),
             EngineError::RankMapLength { expected, got } => {
-                write!(f, "rank map has {got} entries for {expected} tasks (one rank per task)")
+                write!(
+                    f,
+                    "rank map has {got} entries for {expected} tasks (one rank per task)"
+                )
             }
             EngineError::StoreCount { expected, got } => {
-                write!(f, "{got} initial stores for {expected} ranks (one store per rank)")
+                write!(
+                    f,
+                    "{got} initial stores for {expected} ranks (one store per rank)"
+                )
             }
             EngineError::InvalidRank { task, rank, nprocs } => {
-                write!(f, "task {task} mapped to invalid rank {rank} (nprocs {nprocs})")
+                write!(
+                    f,
+                    "task {task} mapped to invalid rank {rank} (nprocs {nprocs})"
+                )
             }
             EngineError::InvalidCrashRank { rank, nprocs } => {
-                write!(f, "fault plan crashes invalid rank {rank} (nprocs {nprocs})")
+                write!(
+                    f,
+                    "fault plan crashes invalid rank {rank} (nprocs {nprocs})"
+                )
             }
             EngineError::Fault(e) => write!(f, "unrecoverable runtime fault: {e}"),
         }
@@ -453,20 +469,32 @@ impl EngineConfig {
     /// A plain run on `nthreads` workers: no cancellation token, no span
     /// capture.
     pub fn new(nthreads: usize) -> Self {
-        EngineConfig { nthreads, cancel: NoCancel, obs: NoObserve }
+        EngineConfig {
+            nthreads,
+            cancel: NoCancel,
+            obs: NoObserve,
+        }
     }
 }
 
 impl<C, O> EngineConfig<C, O> {
     /// Layer a cancellation token (e.g. `&AtomicBool`) onto the run.
     pub fn with_cancel<C2>(self, cancel: C2) -> EngineConfig<C2, O> {
-        EngineConfig { nthreads: self.nthreads, cancel, obs: self.obs }
+        EngineConfig {
+            nthreads: self.nthreads,
+            cancel,
+            obs: self.obs,
+        }
     }
 
     /// Layer span capture (e.g. `&ExecObs` or `obs.as_ref()`) onto the
     /// run.
     pub fn with_obs<O2>(self, obs: O2) -> EngineConfig<C, O2> {
-        EngineConfig { nthreads: self.nthreads, cancel: self.cancel, obs }
+        EngineConfig {
+            nthreads: self.nthreads,
+            cancel: self.cancel,
+            obs,
+        }
     }
 }
 
@@ -525,8 +553,11 @@ impl<'g> Engine<'g> {
         }
         let nthreads = cfg.nthreads.max(1);
 
-        let indegree: Vec<AtomicUsize> =
-            graph.indegrees().into_iter().map(AtomicUsize::new).collect();
+        let indegree: Vec<AtomicUsize> = graph
+            .indegrees()
+            .into_iter()
+            .map(AtomicUsize::new)
+            .collect();
         let completed = AtomicUsize::new(0);
         let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
         // Internal drain flag: a panic must stop the kernels even when the
@@ -564,8 +595,7 @@ impl<'g> Engine<'g> {
                         match task {
                             Some(t) => {
                                 let start_ns = cfg.obs.now_ns();
-                                if !draining.load(Ordering::Acquire) && !cfg.cancel.is_cancelled()
-                                {
+                                if !draining.load(Ordering::Acquire) && !cfg.cancel.is_cancelled() {
                                     if let Err(payload) =
                                         catch_unwind(AssertUnwindSafe(|| kernel(wid, t)))
                                     {
@@ -574,13 +604,10 @@ impl<'g> Engine<'g> {
                                         let message = payload
                                             .downcast_ref::<&str>()
                                             .map(|s| s.to_string())
-                                            .or_else(|| {
-                                                payload.downcast_ref::<String>().cloned()
-                                            })
+                                            .or_else(|| payload.downcast_ref::<String>().cloned())
                                             .unwrap_or_else(|| "non-string panic payload".into());
-                                        let mut slot = first_panic
-                                            .lock()
-                                            .unwrap_or_else(|e| e.into_inner());
+                                        let mut slot =
+                                            first_panic.lock().unwrap_or_else(|e| e.into_inner());
                                         if slot.is_none() {
                                             *slot = Some(TaskPanic { task: t, message });
                                         }
@@ -604,7 +631,11 @@ impl<'g> Engine<'g> {
             }
         });
 
-        debug_assert_eq!(completed.load(Ordering::Acquire), n, "not all tasks executed");
+        debug_assert_eq!(
+            completed.load(Ordering::Acquire),
+            n,
+            "not all tasks executed"
+        );
         match first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
             Some(p) => Err(EngineError::Panic(p)),
             None => Ok(()),
@@ -634,7 +665,9 @@ fn find_task<O: Observe>(
     // Random-order steal attempt over all other workers.
     let k = stealers.len();
     if k > 1 {
-        *rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let start = (*rng >> 33) as usize % k;
         for off in 0..k {
             let victim = (start + off) % k;
@@ -726,6 +759,25 @@ pub struct DistConfig<'a> {
     pub record_trace: bool,
 }
 
+/// Payload integrity hooks for [`DistEngine::run_with_integrity`].
+///
+/// The engine is generic over its payload type, so corruption injection
+/// and checksum verification are supplied as callbacks rather than baked
+/// in: `corrupt` flips payload bits chosen by a seeded word **without**
+/// refreshing any attached checksum (returning `false` when the payload
+/// has nothing corruptible, e.g. a null tile), and `verify` re-derives
+/// the checksum and compares it against the sealed one. The engine calls
+/// `verify` at every read boundary: message delivery, local task input
+/// consumption, and a final store sweep before releasing the result.
+#[derive(Clone, Copy)]
+pub struct IntegrityHooks<'a, P> {
+    /// Flip payload bits selected by the seeded word; `true` if anything
+    /// was actually mutated.
+    pub corrupt: &'a dyn Fn(&mut P, u64) -> bool,
+    /// Recompute the payload's checksum and compare; `false` on mismatch.
+    pub verify: &'a dyn Fn(&P) -> bool,
+}
+
 /// Result of a distributed engine run.
 #[derive(Debug)]
 pub struct DistOutcome<P> {
@@ -743,10 +795,13 @@ pub struct DistOutcome<P> {
     pub stats: FaultStats,
     /// Virtual makespan of the run (seconds).
     pub makespan: f64,
-    /// Crash and recovery events in virtual-time order. Every
-    /// [`RunEvent::Crash`] that the engine survives is immediately
-    /// followed by its matching [`RunEvent::Recovery`] naming the
-    /// survivor that absorbed the dead rank's work.
+    /// Crash, recovery, and integrity events in virtual-time order.
+    /// Every [`RunEvent::Crash`] that the engine survives is
+    /// immediately followed by its matching [`RunEvent::Recovery`]
+    /// naming the survivor that absorbed the dead rank's work; with
+    /// [`IntegrityHooks`] armed, every caught checksum mismatch appends
+    /// a [`RunEvent::CorruptionDetected`] and every completed lineage
+    /// heal a [`RunEvent::Healed`].
     pub events: Vec<RunEvent>,
     /// Virtual-time execution trace, when
     /// [`DistConfig::record_trace`] was set.
@@ -775,13 +830,25 @@ enum EvKind {
     /// Wake a rank: start its next ready task if idle.
     TryStart { rank: usize },
     /// A task's virtual execution time elapsed.
-    TaskDone { rank: usize, task: TaskId, epoch: u32 },
-    /// A message copy reaches its consumer's current rank.
-    Deliver { msg: usize, attempt: u32 },
+    TaskDone {
+        rank: usize,
+        task: TaskId,
+        epoch: u32,
+    },
+    /// A message copy reaches its consumer's current rank. `copy`
+    /// distinguishes a duplicated delivery (1) from the original (0) so
+    /// in-flight corruption fates are rolled per copy.
+    Deliver { msg: usize, attempt: u32, copy: u32 },
     /// An acknowledgement reaches the sender.
     AckArrive { msg: usize, attempt: u32 },
+    /// A negative acknowledgement (checksum mismatch at delivery)
+    /// reaches the sender: retransmit without waiting for the timeout.
+    NackArrive { msg: usize, attempt: u32 },
     /// Retransmission timer for an attempt fired.
     Timeout { msg: usize, attempt: u32 },
+    /// A scheduled at-rest bit flip (index into the plan's
+    /// `store_corruptions`) strikes its target store.
+    CorruptStore { idx: usize },
     /// Fail-stop crash of a rank.
     Crash { rank: usize },
 }
@@ -808,13 +875,20 @@ impl PartialOrd for Ev {
 impl Ord for Ev {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // reversed: BinaryHeap is a max-heap, we want the earliest event
-        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 fn push_ev(heap: &mut BinaryHeap<Ev>, seq: &mut u64, time: f64, kind: EvKind) {
     *seq += 1;
-    heap.push(Ev { time, seq: *seq, kind });
+    heap.push(Ev {
+        time,
+        seq: *seq,
+        kind,
+    });
 }
 
 /// Roll the fates for one send attempt of `recs[id]` and schedule its
@@ -853,14 +927,158 @@ fn schedule_send<P>(
         stats.messages_dropped += 1;
     } else {
         let dt = cfg.latency + cfg.plan.delay(mid, attempt, 0);
-        push_ev(heap, seq, now + dt, EvKind::Deliver { msg: id, attempt });
+        push_ev(
+            heap,
+            seq,
+            now + dt,
+            EvKind::Deliver {
+                msg: id,
+                attempt,
+                copy: 0,
+            },
+        );
         if cfg.plan.duplicates_message(mid, attempt) {
             stats.messages_duplicated += 1;
             let dt2 = cfg.latency + cfg.plan.delay(mid, attempt, 1);
-            push_ev(heap, seq, now + dt2, EvKind::Deliver { msg: id, attempt });
+            push_ev(
+                heap,
+                seq,
+                now + dt2,
+                EvKind::Deliver {
+                    msg: id,
+                    attempt,
+                    copy: 1,
+                },
+            );
         }
     }
-    push_ev(heap, seq, now + cfg.retry.timeout_for(attempt), EvKind::Timeout { msg: id, attempt });
+    push_ev(
+        heap,
+        seq,
+        now + cfg.retry.timeout_for(attempt),
+        EvKind::Timeout { msg: id, attempt },
+    );
+}
+
+/// Lineage healing of a corrupted datum `d` detected on live rank
+/// `rank`: roll the datum back to its checkpoint (or discard it if it is
+/// a produced-only value with no checkpoint), un-done its writer chain
+/// so the value is recomputed in topological order from verified inputs,
+/// replay the writers' logged remote inputs, and re-wake the affected
+/// ranks after a backed-off detection window. Escalates to
+/// [`FtError::Integrity`] once the same datum has been healed
+/// `max_heal_retries` times without sticking (heal attempts are counted
+/// cumulatively per datum, so repeated strikes on one tile escalate).
+#[allow(clippy::too_many_arguments)]
+fn heal_datum<P: Clone>(
+    d: DataRef,
+    rank: usize,
+    now: f64,
+    graph: &TaskGraph,
+    ft: &FtConfig,
+    checkpoint: &[HashMap<DataRef, P>],
+    stores: &mut [HashMap<DataRef, P>],
+    done: &mut [bool],
+    done_count: &mut usize,
+    cur_exec: &[usize],
+    busy: &[Option<TaskId>],
+    topo_pos: &[usize],
+    queue: &mut [VecDeque<TaskId>],
+    recs: &mut [MsgRec<P>],
+    seen: &mut [HashSet<usize>],
+    heal_attempts: &mut HashMap<(usize, usize), u32>,
+    heal_final_writer: &mut HashMap<TaskId, DataRef>,
+    stats: &mut FaultStats,
+    events: &mut Vec<RunEvent>,
+    heap: &mut BinaryHeap<Ev>,
+    seq: &mut u64,
+) -> Result<(), EngineError> {
+    stats.corruptions_detected += 1;
+    events.push(RunEvent::CorruptionDetected {
+        rank,
+        i: d.i,
+        j: d.j,
+        at: now,
+    });
+    let att = heal_attempts.entry((d.i, d.j)).or_insert(0);
+    *att += 1;
+    let attempts = *att;
+    if attempts > ft.retry.max_heal_retries {
+        return Err(EngineError::Fault(FtError::Integrity(IntegrityError {
+            rank,
+            data: (d.i, d.j),
+            attempts: attempts - 1,
+        })));
+    }
+    // Roll the datum back to the initial checkpoint; produced-only data
+    // have no checkpoint entry and are simply discarded — the writer
+    // chain regenerates them from scratch.
+    let restored = match checkpoint.iter().find_map(|c| c.get(&d)).cloned() {
+        Some(v) => {
+            stores[rank].insert(d, v);
+            true
+        }
+        None => {
+            stores[rank].remove(&d);
+            false
+        }
+    };
+    let ntasks = graph.len();
+    let mut undone: Vec<TaskId> = (0..ntasks)
+        .filter(|&t| graph.spec(t).writes == Some(d) && done[t])
+        .collect();
+    undone.sort_unstable_by_key(|&t| topo_pos[t]);
+    if let Some(&last) = undone.last() {
+        heal_final_writer.insert(last, d);
+    } else if restored {
+        // a never-written input: the checkpoint restore *is* the heal
+        stats.corruptions_healed += 1;
+        events.push(RunEvent::Healed {
+            rank,
+            i: d.i,
+            j: d.j,
+            at: now,
+        });
+    }
+    // Writers of a datum are co-located (the engine's placement
+    // invariant), so the chain re-executes on one rank; the detecting
+    // rank is always re-woken because its interrupted reader task must
+    // be re-queued too.
+    let undone_set: HashSet<TaskId> = undone.iter().copied().collect();
+    let mut affected: HashSet<usize> = HashSet::new();
+    affected.insert(rank);
+    for &t in &undone {
+        done[t] = false;
+        *done_count -= 1;
+        stats.tasks_reexecuted += 1;
+        affected.insert(cur_exec[t]);
+    }
+    for &r in &affected {
+        let mut q: Vec<TaskId> = (0..ntasks)
+            .filter(|&t| cur_exec[t] == r && !done[t] && busy[r] != Some(t))
+            .collect();
+        q.sort_unstable_by_key(|&t| topo_pos[t]);
+        queue[r] = q.into();
+    }
+    // Replay logged remote inputs into the re-executing writers: their
+    // inboxes were consumed on the first run, and the receiver-side
+    // dedup filter must forget the old deliveries or the replay would
+    // be discarded as duplicates.
+    for id in 0..recs.len() {
+        let (src, dst) = (recs[id].src, recs[id].dst);
+        if undone_set.contains(&dst) && !done[dst] && done[src] {
+            seen[cur_exec[dst]].remove(&id);
+            recs[id].acked = false;
+            recs[id].abandoned = false;
+            schedule_send(id, recs, now, ft, stats, heap, seq);
+        }
+    }
+    // Detection + rollback window, backed off per heal attempt.
+    let delay = ft.retry.timeout_for(attempts);
+    for &r in &affected {
+        push_ev(heap, seq, now + delay, EvKind::TryStart { rank: r });
+    }
+    Ok(())
 }
 
 /// The distributed-memory engine (message-passing emulation).
@@ -907,7 +1125,11 @@ impl<'g, 'r> DistEngine<'g, 'r> {
     /// [`run`](DistEngine::run) (so misconfiguration is a typed
     /// [`EngineError`], not a panic).
     pub fn new(graph: &'g TaskGraph, nprocs: usize, exec_rank: &'r [usize]) -> Self {
-        DistEngine { graph, nprocs, exec_rank }
+        DistEngine {
+            graph,
+            nprocs,
+            exec_rank,
+        }
     }
 
     /// Execute the graph: `initial[r]` is rank `r`'s initial datum store
@@ -916,10 +1138,56 @@ impl<'g, 'r> DistEngine<'g, 'r> {
     /// its return value is the payload shipped to remote consumers
     /// (usually a clone of the written datum). `body` must be
     /// deterministic for the fault-recovery equivalence to hold.
+    ///
+    /// Without [`IntegrityHooks`] the corruption entries of a
+    /// [`FaultPlan`](crate::fault::FaultPlan) are inert (there is no way
+    /// to flip or verify bits of an opaque payload); use
+    /// [`run_with_integrity`](DistEngine::run_with_integrity) to arm
+    /// them.
     pub fn run<P, F>(
         &self,
         initial: Vec<HashMap<DataRef, P>>,
         cfg: &DistConfig<'_>,
+        body: F,
+    ) -> Result<DistOutcome<P>, EngineError>
+    where
+        P: Clone,
+        F: Fn(TaskId, &mut RankCtx<'_, P>) -> P,
+    {
+        self.run_with_integrity(initial, cfg, None, body)
+    }
+
+    /// [`run`](DistEngine::run) with a silent-data-corruption integrity
+    /// layer armed.
+    ///
+    /// When `hooks` is `Some`, the engine injects the fault plan's
+    /// corruption entries (in-flight payload flips with probability
+    /// `corrupt_msg_prob` per delivered copy, and the scheduled at-rest
+    /// `store_corruptions`) through `hooks.corrupt`, and verifies
+    /// payloads through `hooks.verify` at every read boundary:
+    ///
+    /// * **message delivery** — a corrupted copy is discarded before the
+    ///   dedup/ack step and NACKed back to the sender, which retransmits
+    ///   immediately (the attempt timeout stays armed as a backstop);
+    /// * **task read boundary** — before a kernel consumes its local
+    ///   inputs, every datum it reads from the rank store is verified; a
+    ///   mismatch triggers lineage healing: checkpoint rollback, writer
+    ///   chain re-execution with logged-message replay, and a backed-off
+    ///   re-wake, escalating to [`FtError::Integrity`] after
+    ///   `max_heal_retries` failed passes on the same datum;
+    /// * **final sweep** — after the last task completes, every
+    ///   surviving store is verified (a tile corrupted after its last
+    ///   read would otherwise escape) and healed before the outcome is
+    ///   released.
+    ///
+    /// Detection and healing are reported as
+    /// [`RunEvent::CorruptionDetected`] / [`RunEvent::Healed`] and in
+    /// the corruption counters of [`FaultStats`].
+    pub fn run_with_integrity<P, F>(
+        &self,
+        initial: Vec<HashMap<DataRef, P>>,
+        cfg: &DistConfig<'_>,
+        hooks: Option<&IntegrityHooks<'_, P>>,
         body: F,
     ) -> Result<DistOutcome<P>, EngineError>
     where
@@ -932,17 +1200,27 @@ impl<'g, 'r> DistEngine<'g, 'r> {
         let ntasks = graph.len();
 
         if exec_rank.len() != ntasks {
-            return Err(EngineError::RankMapLength { expected: ntasks, got: exec_rank.len() });
+            return Err(EngineError::RankMapLength {
+                expected: ntasks,
+                got: exec_rank.len(),
+            });
         }
         if initial.len() != nprocs {
-            return Err(EngineError::StoreCount { expected: nprocs, got: initial.len() });
+            return Err(EngineError::StoreCount {
+                expected: nprocs,
+                got: initial.len(),
+            });
         }
         let Some(order) = graph.topological_order() else {
             return Err(EngineError::Cycle);
         };
         for (t, &r) in exec_rank.iter().enumerate() {
             if r >= nprocs {
-                return Err(EngineError::InvalidRank { task: t, rank: r, nprocs });
+                return Err(EngineError::InvalidRank {
+                    task: t,
+                    rank: r,
+                    nprocs,
+                });
             }
         }
         let fault_free;
@@ -955,7 +1233,18 @@ impl<'g, 'r> DistEngine<'g, 'r> {
         };
         for c in &ft.plan.crashes {
             if c.rank >= nprocs {
-                return Err(EngineError::InvalidCrashRank { rank: c.rank, nprocs });
+                return Err(EngineError::InvalidCrashRank {
+                    rank: c.rank,
+                    nprocs,
+                });
+            }
+        }
+        for c in &ft.plan.store_corruptions {
+            if c.rank >= nprocs {
+                return Err(EngineError::InvalidCrashRank {
+                    rank: c.rank,
+                    nprocs,
+                });
             }
         }
 
@@ -967,12 +1256,18 @@ impl<'g, 'r> DistEngine<'g, 'r> {
         // Static edge classification (see type-level docs: locality is
         // the *original* placement, by design).
         let mut local_preds: Vec<Vec<TaskId>> = vec![Vec::new(); ntasks];
+        // Data each task reads from its rank-local store (the integrity
+        // layer verifies these at the task's read boundary).
+        let mut local_reads: Vec<Vec<DataRef>> = vec![Vec::new(); ntasks];
         let mut remote_preds: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); ntasks];
         let mut remote_sends: Vec<Vec<(TaskId, DataRef, u64)>> = vec![Vec::new(); ntasks];
         for src in 0..ntasks {
             for e in graph.successors(src) {
                 if exec_rank[e.dst] == exec_rank[src] {
                     local_preds[e.dst].push(src);
+                    if !local_reads[e.dst].contains(&e.data) {
+                        local_reads[e.dst].push(e.data);
+                    }
                 } else {
                     remote_preds[e.dst].push((src, e.data));
                     remote_sends[src].push((e.dst, e.data, e.bytes));
@@ -1009,245 +1304,456 @@ impl<'g, 'r> DistEngine<'g, 'r> {
 
         let mut stats = FaultStats::default();
         let mut events: Vec<RunEvent> = Vec::new();
-        let mut trace = if cfg.record_trace { Some(Trace::default()) } else { None };
+        let mut trace = if cfg.record_trace {
+            Some(Trace::default())
+        } else {
+            None
+        };
         let mut heap: BinaryHeap<Ev> = BinaryHeap::new();
         let mut seq = 0u64;
+        // Heal attempts per datum and the pending heal's final writer
+        // (whose re-completion marks the datum healed).
+        let mut heal_attempts: HashMap<(usize, usize), u32> = HashMap::new();
+        let mut heal_final_writer: HashMap<TaskId, DataRef> = HashMap::new();
         for c in &ft.plan.crashes {
             push_ev(&mut heap, &mut seq, c.at, EvKind::Crash { rank: c.rank });
+        }
+        for (idx, c) in ft.plan.store_corruptions.iter().enumerate() {
+            push_ev(&mut heap, &mut seq, c.at, EvKind::CorruptStore { idx });
         }
         for r in 0..nprocs {
             push_ev(&mut heap, &mut seq, 0.0, EvKind::TryStart { rank: r });
         }
 
         let mut now = 0.0_f64;
-        while let Some(ev) = heap.pop() {
-            if done_count == ntasks {
-                break;
-            }
-            now = ev.time;
-            match ev.kind {
-                EvKind::TryStart { rank } => {
-                    if !alive[rank] || busy[rank].is_some() {
-                        continue;
-                    }
-                    while queue[rank].front().is_some_and(|&t| done[t] || cur_exec[t] != rank) {
-                        queue[rank].pop_front();
-                    }
-                    let Some(&t) = queue[rank].front() else { continue };
-                    let ready = local_preds[t].iter().all(|&p| done[p])
-                        && remote_preds[t].iter().all(|key| inbox[t].contains_key(key));
-                    if !ready {
-                        continue; // re-woken by the delivery that unblocks it
-                    }
-                    queue[rank].pop_front();
-                    busy[rank] = Some(t);
-                    push_ev(
-                        &mut heap,
-                        &mut seq,
-                        now + ft.task_time,
-                        EvKind::TaskDone { rank, task: t, epoch: epoch[rank] },
-                    );
+        'event_loop: loop {
+            while let Some(ev) = heap.pop() {
+                if done_count == ntasks {
+                    break;
                 }
-                EvKind::TaskDone { rank, task: t, epoch: e } => {
-                    if !alive[rank] || e != epoch[rank] {
-                        continue; // the rank died mid-execution
-                    }
-                    busy[rank] = None;
-                    if ft.plan.kernel_fails(t, kernel_attempts[t]) {
-                        kernel_attempts[t] += 1;
-                        stats.kernel_failures += 1;
-                        if kernel_attempts[t] > ft.retry.max_kernel_retries {
-                            return Err(EngineError::Fault(FtError::KernelRetriesExhausted {
-                                task: t,
-                            }));
+                now = ev.time;
+                match ev.kind {
+                    EvKind::TryStart { rank } => {
+                        if !alive[rank] || busy[rank].is_some() {
+                            continue;
                         }
-                        queue[rank].push_front(t); // retry in place
-                        push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
-                        continue;
-                    }
-                    let remote_in = std::mem::take(&mut inbox[t]);
-                    let mut ctx =
-                        RankCtx { rank, store: &mut stores[rank], remote_inputs: remote_in };
-                    let produced = body(t, &mut ctx);
-                    done[t] = true;
-                    done_count += 1;
-                    if let Some(tr) = trace.as_mut() {
-                        let spec = graph.spec(t);
-                        let start = now - ft.task_time;
-                        tr.push_record(TaskRecord {
-                            task: t,
-                            class: spec.class,
-                            proc: rank,
-                            data: spec.writes,
-                            // Readiness is not tracked per attempt in
-                            // virtual time; queued == start means zero
-                            // reported queue-wait, which Trace documents.
-                            queued: start,
-                            start,
-                            end: now,
-                        });
-                    }
-                    for &(dst, data, bytes) in &remote_sends[t] {
-                        if done[dst] {
-                            continue; // re-execution; the consumer already has it
+                        while queue[rank]
+                            .front()
+                            .is_some_and(|&t| done[t] || cur_exec[t] != rank)
+                        {
+                            queue[rank].pop_front();
                         }
-                        let key = (t, dst, data);
-                        let id = match rec_index.get(&key) {
-                            Some(&id) => {
-                                // re-send through the existing log entry
-                                recs[id].payload = produced.clone();
-                                recs[id].acked = false;
-                                recs[id].abandoned = false;
-                                id
-                            }
-                            None => {
-                                recs.push(MsgRec {
-                                    src: t,
-                                    dst,
-                                    data,
-                                    payload: produced.clone(),
-                                    bytes,
-                                    attempts: 0,
-                                    acked: false,
-                                    abandoned: false,
-                                });
-                                rec_index.insert(key, recs.len() - 1);
-                                recs.len() - 1
-                            }
+                        let Some(&t) = queue[rank].front() else {
+                            continue;
                         };
-                        schedule_send(id, &mut recs, now, ft, &mut stats, &mut heap, &mut seq);
-                    }
-                    push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
-                }
-                EvKind::Deliver { msg, attempt } => {
-                    let (src, dst, data) = (recs[msg].src, recs[msg].dst, recs[msg].data);
-                    let dst_rank = cur_exec[dst];
-                    if !alive[dst_rank] {
-                        continue; // delivered into a dead NIC; replay handles it
-                    }
-                    if seen[dst_rank].contains(&msg) {
-                        stats.duplicates_ignored += 1;
-                    } else {
-                        seen[dst_rank].insert(msg);
-                        if !done[dst] {
-                            inbox[dst].insert((src, data), recs[msg].payload.clone());
-                            push_ev(&mut heap, &mut seq, now, EvKind::TryStart {
-                                rank: dst_rank,
-                            });
+                        let ready = local_preds[t].iter().all(|&p| done[p])
+                            && remote_preds[t].iter().all(|key| inbox[t].contains_key(key));
+                        if !ready {
+                            continue; // re-woken by the delivery that unblocks it
                         }
-                    }
-                    // every delivery (even a dedup'd one) is acknowledged
-                    if ft.plan.drops_ack(msg as u64, attempt) {
-                        stats.acks_dropped += 1;
-                    } else {
+                        queue[rank].pop_front();
+                        busy[rank] = Some(t);
                         push_ev(
                             &mut heap,
                             &mut seq,
-                            now + ft.latency,
-                            EvKind::AckArrive { msg, attempt },
+                            now + ft.task_time,
+                            EvKind::TaskDone {
+                                rank,
+                                task: t,
+                                epoch: epoch[rank],
+                            },
                         );
                     }
-                }
-                EvKind::AckArrive { msg, attempt } => {
-                    // attempt-tagged: a stale ack must not cancel the timer
-                    // of a newer attempt (e.g. after a crash replay)
-                    if attempt == recs[msg].attempts {
-                        recs[msg].acked = true;
-                    }
-                }
-                EvKind::Timeout { msg, attempt } => {
-                    let rec = &recs[msg];
-                    if rec.acked || rec.abandoned || attempt != rec.attempts || done[rec.dst] {
-                        continue;
-                    }
-                    let src_rank = cur_exec[rec.src];
-                    if !alive[src_rank] || !done[rec.src] {
-                        continue; // sender died; its re-execution re-sends
-                    }
-                    schedule_send(msg, &mut recs, now, ft, &mut stats, &mut heap, &mut seq);
-                }
-                EvKind::Crash { rank: c } => {
-                    if !alive[c] {
-                        continue;
-                    }
-                    alive[c] = false;
-                    stats.crashes += 1;
-                    events.push(RunEvent::Crash { rank: c, at: now });
-                    epoch[c] += 1; // invalidates the in-flight TaskDone
-                    busy[c] = None;
-                    let Some(d) = (1..nprocs).map(|k| (c + k) % nprocs).find(|&r| alive[r])
-                    else {
-                        return Err(EngineError::Fault(FtError::AllRanksCrashed));
-                    };
-                    events.push(RunEvent::Recovery { failed: c, survivor: d, at: now });
-                    // migrate every task of the dead rank to the survivor
-                    let mut migrated: HashSet<TaskId> = HashSet::new();
-                    for t in 0..ntasks {
-                        if cur_exec[t] == c {
-                            cur_exec[t] = d;
-                            migrated.insert(t);
-                            if done[t] {
-                                done[t] = false;
-                                done_count -= 1;
-                                stats.tasks_reexecuted += 1;
+                    EvKind::TaskDone {
+                        rank,
+                        task: t,
+                        epoch: e,
+                    } => {
+                        if !alive[rank] || e != epoch[rank] {
+                            continue; // the rank died mid-execution
+                        }
+                        busy[rank] = None;
+                        if ft.plan.kernel_fails(t, kernel_attempts[t]) {
+                            kernel_attempts[t] += 1;
+                            stats.kernel_failures += 1;
+                            if kernel_attempts[t] > ft.retry.max_kernel_retries {
+                                return Err(EngineError::Fault(FtError::KernelRetriesExhausted {
+                                    task: t,
+                                }));
                             }
-                            inbox[t].clear(); // received inputs died with c
+                            queue[rank].push_front(t); // retry in place
+                            push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
+                            continue;
                         }
-                    }
-                    stats.tasks_migrated += migrated.len();
-                    stores[c].clear();
-                    seen[c].clear();
-                    queue[c].clear();
-                    // the survivor restores the dead rank's initial data
-                    // (including any it had itself inherited earlier)
-                    let inherited = std::mem::take(&mut owned_ckpt[c]);
-                    for &o in &inherited {
-                        for (k, v) in &checkpoint[o] {
-                            stores[d].insert(*k, v.clone());
+                        // Read-boundary integrity check: verify every datum
+                        // this task is about to consume from the local
+                        // store (including the tile it updates in place)
+                        // before the kernel runs on it.
+                        if let Some(h) = hooks {
+                            let bad = local_reads[t]
+                                .iter()
+                                .copied()
+                                .chain(graph.spec(t).writes)
+                                .find(|d| stores[rank].get(d).is_some_and(|p| !(h.verify)(p)));
+                            if let Some(d) = bad {
+                                heal_datum(
+                                    d,
+                                    rank,
+                                    now,
+                                    graph,
+                                    ft,
+                                    &checkpoint,
+                                    &mut stores,
+                                    &mut done,
+                                    &mut done_count,
+                                    &cur_exec,
+                                    &busy,
+                                    &topo_pos,
+                                    &mut queue,
+                                    &mut recs,
+                                    &mut seen,
+                                    &mut heal_attempts,
+                                    &mut heal_final_writer,
+                                    &mut stats,
+                                    &mut events,
+                                    &mut heap,
+                                    &mut seq,
+                                )?;
+                                continue;
+                            }
                         }
-                    }
-                    owned_ckpt[d].extend(inherited);
-                    // rebuild the survivor's queue in topological order
-                    let mut q: Vec<TaskId> = (0..ntasks)
-                        .filter(|&t| cur_exec[t] == d && !done[t] && busy[d] != Some(t))
-                        .collect();
-                    q.sort_unstable_by_key(|&t| topo_pos[t]);
-                    queue[d] = q.into();
-                    // replay logged messages from surviving completed
-                    // producers to the wiped, migrated consumers
-                    for id in 0..recs.len() {
-                        let (src, dst) = (recs[id].src, recs[id].dst);
-                        if migrated.contains(&dst) && !done[dst] && done[src] {
-                            recs[id].acked = false;
-                            recs[id].abandoned = false;
+                        let remote_in = std::mem::take(&mut inbox[t]);
+                        let mut ctx = RankCtx {
+                            rank,
+                            store: &mut stores[rank],
+                            remote_inputs: remote_in,
+                        };
+                        let produced = body(t, &mut ctx);
+                        done[t] = true;
+                        done_count += 1;
+                        if let Some(hd) = heal_final_writer.remove(&t) {
+                            stats.corruptions_healed += 1;
+                            events.push(RunEvent::Healed {
+                                rank,
+                                i: hd.i,
+                                j: hd.j,
+                                at: now,
+                            });
+                        }
+                        if let Some(tr) = trace.as_mut() {
+                            let spec = graph.spec(t);
+                            let start = now - ft.task_time;
+                            tr.push_record(TaskRecord {
+                                task: t,
+                                class: spec.class,
+                                proc: rank,
+                                data: spec.writes,
+                                // Readiness is not tracked per attempt in
+                                // virtual time; queued == start means zero
+                                // reported queue-wait, which Trace documents.
+                                queued: start,
+                                start,
+                                end: now,
+                            });
+                        }
+                        for &(dst, data, bytes) in &remote_sends[t] {
+                            if done[dst] {
+                                continue; // re-execution; the consumer already has it
+                            }
+                            let key = (t, dst, data);
+                            let id = match rec_index.get(&key) {
+                                Some(&id) => {
+                                    // re-send through the existing log entry
+                                    recs[id].payload = produced.clone();
+                                    recs[id].acked = false;
+                                    recs[id].abandoned = false;
+                                    id
+                                }
+                                None => {
+                                    recs.push(MsgRec {
+                                        src: t,
+                                        dst,
+                                        data,
+                                        payload: produced.clone(),
+                                        bytes,
+                                        attempts: 0,
+                                        acked: false,
+                                        abandoned: false,
+                                    });
+                                    rec_index.insert(key, recs.len() - 1);
+                                    recs.len() - 1
+                                }
+                            };
                             schedule_send(id, &mut recs, now, ft, &mut stats, &mut heap, &mut seq);
                         }
+                        push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank });
                     }
-                    push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank: d });
+                    EvKind::Deliver { msg, attempt, copy } => {
+                        let (src, dst, data) = (recs[msg].src, recs[msg].dst, recs[msg].data);
+                        let dst_rank = cur_exec[dst];
+                        if !alive[dst_rank] {
+                            continue; // delivered into a dead NIC; replay handles it
+                        }
+                        // In-flight corruption: flip a payload bit on this
+                        // copy and let the receiver's checksum decide. A
+                        // detected mismatch is discarded before the dedup/
+                        // ack step and NACKed back to the sender (integrity
+                        // control messages are modeled as loss-free; the
+                        // attempt timeout stays armed as a backstop).
+                        let mut incoming: Option<P> = None;
+                        if let Some(h) = hooks {
+                            if ft.plan.corrupts_message(msg as u64, attempt, copy) {
+                                let mut p = recs[msg].payload.clone();
+                                if (h.corrupt)(&mut p, ft.plan.corruption_bits(msg as u64)) {
+                                    stats.messages_corrupted += 1;
+                                    if !(h.verify)(&p) {
+                                        stats.corruptions_detected += 1;
+                                        stats.nacks_sent += 1;
+                                        events.push(RunEvent::CorruptionDetected {
+                                            rank: dst_rank,
+                                            i: data.i,
+                                            j: data.j,
+                                            at: now,
+                                        });
+                                        push_ev(
+                                            &mut heap,
+                                            &mut seq,
+                                            now + ft.latency,
+                                            EvKind::NackArrive { msg, attempt },
+                                        );
+                                        continue;
+                                    }
+                                    // an undetected flip is delivered as-is
+                                    // (unreachable with exact digests; a
+                                    // weaker checksum would pay for it with
+                                    // a wrong result)
+                                    incoming = Some(p);
+                                }
+                            }
+                        }
+                        if seen[dst_rank].contains(&msg) {
+                            stats.duplicates_ignored += 1;
+                        } else {
+                            seen[dst_rank].insert(msg);
+                            if !done[dst] {
+                                let payload = incoming.unwrap_or_else(|| recs[msg].payload.clone());
+                                inbox[dst].insert((src, data), payload);
+                                push_ev(
+                                    &mut heap,
+                                    &mut seq,
+                                    now,
+                                    EvKind::TryStart { rank: dst_rank },
+                                );
+                            }
+                        }
+                        // every verified delivery (even a dedup'd one) is
+                        // acknowledged
+                        if ft.plan.drops_ack(msg as u64, attempt) {
+                            stats.acks_dropped += 1;
+                        } else {
+                            push_ev(
+                                &mut heap,
+                                &mut seq,
+                                now + ft.latency,
+                                EvKind::AckArrive { msg, attempt },
+                            );
+                        }
+                    }
+                    EvKind::AckArrive { msg, attempt } => {
+                        // attempt-tagged: a stale ack must not cancel the timer
+                        // of a newer attempt (e.g. after a crash replay)
+                        if attempt == recs[msg].attempts {
+                            recs[msg].acked = true;
+                        }
+                    }
+                    EvKind::NackArrive { msg, attempt } => {
+                        let rec = &recs[msg];
+                        if rec.acked || rec.abandoned || attempt != rec.attempts || done[rec.dst] {
+                            continue; // a newer attempt is already in flight (or moot)
+                        }
+                        let src_rank = cur_exec[rec.src];
+                        if !alive[src_rank] || !done[rec.src] {
+                            continue; // sender died; its re-execution re-sends
+                        }
+                        schedule_send(msg, &mut recs, now, ft, &mut stats, &mut heap, &mut seq);
+                    }
+                    EvKind::Timeout { msg, attempt } => {
+                        let rec = &recs[msg];
+                        if rec.acked || rec.abandoned || attempt != rec.attempts || done[rec.dst] {
+                            continue;
+                        }
+                        let src_rank = cur_exec[rec.src];
+                        if !alive[src_rank] || !done[rec.src] {
+                            continue; // sender died; its re-execution re-sends
+                        }
+                        schedule_send(msg, &mut recs, now, ft, &mut stats, &mut heap, &mut seq);
+                    }
+                    EvKind::CorruptStore { idx } => {
+                        let c = ft.plan.store_corruptions[idx];
+                        if !alive[c.rank] {
+                            continue; // the crash already destroyed the store
+                        }
+                        // Without hooks there is no way to flip bits of an
+                        // opaque payload: the strike is inert.
+                        let Some(h) = hooks else { continue };
+                        let d = DataRef { i: c.i, j: c.j };
+                        if let Some(p) = stores[c.rank].get_mut(&d) {
+                            if (h.corrupt)(p, ft.plan.corruption_bits((1u64 << 32) + idx as u64)) {
+                                stats.store_corruptions_injected += 1;
+                            }
+                        }
+                    }
+                    EvKind::Crash { rank: c } => {
+                        if !alive[c] {
+                            continue;
+                        }
+                        alive[c] = false;
+                        stats.crashes += 1;
+                        events.push(RunEvent::Crash { rank: c, at: now });
+                        epoch[c] += 1; // invalidates the in-flight TaskDone
+                        busy[c] = None;
+                        let Some(d) = (1..nprocs).map(|k| (c + k) % nprocs).find(|&r| alive[r])
+                        else {
+                            return Err(EngineError::Fault(FtError::AllRanksCrashed));
+                        };
+                        events.push(RunEvent::Recovery {
+                            failed: c,
+                            survivor: d,
+                            at: now,
+                        });
+                        // migrate every task of the dead rank to the survivor
+                        let mut migrated: HashSet<TaskId> = HashSet::new();
+                        for t in 0..ntasks {
+                            if cur_exec[t] == c {
+                                cur_exec[t] = d;
+                                migrated.insert(t);
+                                if done[t] {
+                                    done[t] = false;
+                                    done_count -= 1;
+                                    stats.tasks_reexecuted += 1;
+                                }
+                                inbox[t].clear(); // received inputs died with c
+                            }
+                        }
+                        stats.tasks_migrated += migrated.len();
+                        stores[c].clear();
+                        seen[c].clear();
+                        queue[c].clear();
+                        // the survivor restores the dead rank's initial data
+                        // (including any it had itself inherited earlier)
+                        let inherited = std::mem::take(&mut owned_ckpt[c]);
+                        for &o in &inherited {
+                            for (k, v) in &checkpoint[o] {
+                                stores[d].insert(*k, v.clone());
+                            }
+                        }
+                        owned_ckpt[d].extend(inherited);
+                        // rebuild the survivor's queue in topological order
+                        let mut q: Vec<TaskId> = (0..ntasks)
+                            .filter(|&t| cur_exec[t] == d && !done[t] && busy[d] != Some(t))
+                            .collect();
+                        q.sort_unstable_by_key(|&t| topo_pos[t]);
+                        queue[d] = q.into();
+                        // replay logged messages from surviving completed
+                        // producers to the wiped, migrated consumers
+                        for id in 0..recs.len() {
+                            let (src, dst) = (recs[id].src, recs[id].dst);
+                            if migrated.contains(&dst) && !done[dst] && done[src] {
+                                recs[id].acked = false;
+                                recs[id].abandoned = false;
+                                schedule_send(
+                                    id, &mut recs, now, ft, &mut stats, &mut heap, &mut seq,
+                                );
+                            }
+                        }
+                        push_ev(&mut heap, &mut seq, now, EvKind::TryStart { rank: d });
+                    }
                 }
+            }
+
+            if done_count < ntasks {
+                return Err(EngineError::Fault(FtError::Stalled {
+                    pending: ntasks - done_count,
+                }));
+            }
+            // Final integrity sweep: a tile corrupted *after* its last
+            // read has no later read boundary to catch it, so verify
+            // every surviving store and heal before releasing the
+            // result. Healing re-enters the event loop.
+            let Some(h) = hooks else { break 'event_loop };
+            let mut bad: Vec<(usize, DataRef)> = Vec::new();
+            for r in 0..nprocs {
+                if !alive[r] {
+                    continue;
+                }
+                for (d, p) in &stores[r] {
+                    if !(h.verify)(p) {
+                        bad.push((r, *d));
+                    }
+                }
+            }
+            if bad.is_empty() {
+                break 'event_loop;
+            }
+            bad.sort_unstable_by_key(|&(r, d)| (r, d.i, d.j)); // deterministic heal order
+            for (r, d) in bad {
+                heal_datum(
+                    d,
+                    r,
+                    now,
+                    graph,
+                    ft,
+                    &checkpoint,
+                    &mut stores,
+                    &mut done,
+                    &mut done_count,
+                    &cur_exec,
+                    &busy,
+                    &topo_pos,
+                    &mut queue,
+                    &mut recs,
+                    &mut seen,
+                    &mut heal_attempts,
+                    &mut heal_final_writer,
+                    &mut stats,
+                    &mut events,
+                    &mut heap,
+                    &mut seq,
+                )?;
             }
         }
 
-        if done_count < ntasks {
-            return Err(EngineError::Fault(FtError::Stalled { pending: ntasks - done_count }));
-        }
         let comm = CommStats {
             bytes: stats.bytes_sent,
             messages: (stats.messages_sent + stats.retransmissions) as u64,
         };
-        Ok(DistOutcome { stores, exec_rank: cur_exec, comm, stats, makespan: now, events, trace })
+        Ok(DistOutcome {
+            stores,
+            exec_rank: cur_exec,
+            comm,
+            stats,
+            makespan: now,
+            events,
+            trace,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::graph::{TaskClass, TaskSpec};
     use std::sync::atomic::{AtomicU64, AtomicUsize};
     use std::sync::Mutex;
 
     fn spec(priority: usize) -> TaskSpec {
-        TaskSpec { class: TaskClass::Other, priority, writes: None, flops: 0.0 }
+        TaskSpec {
+            class: TaskClass::Other,
+            priority,
+            writes: None,
+            flops: 0.0,
+        }
     }
 
     fn chain(n: usize) -> TaskGraph {
@@ -1292,7 +1798,11 @@ mod tests {
             })
             .unwrap();
         for (t, c) in counts.iter().enumerate() {
-            assert_eq!(c.load(Ordering::Relaxed), 1, "task {t} ran wrong number of times");
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "task {t} ran wrong number of times"
+            );
         }
     }
 
@@ -1333,7 +1843,9 @@ mod tests {
     #[test]
     fn empty_graph_ok() {
         let g = TaskGraph::new();
-        Engine::new(&g).run(&EngineConfig::new(4), |_w, _t| panic!("no tasks")).unwrap();
+        Engine::new(&g)
+            .run(&EngineConfig::new(4), |_w, _t| panic!("no tasks"))
+            .unwrap();
     }
 
     #[test]
@@ -1365,10 +1877,15 @@ mod tests {
                 }
             })
             .unwrap_err();
-        let EngineError::Panic(p) = err else { panic!("expected a panic error, got {err:?}") };
+        let EngineError::Panic(p) = err else {
+            panic!("expected a panic error, got {err:?}")
+        };
         assert_eq!(p.task, 5);
         assert!(p.message.contains("exploded"), "{}", p.message);
-        assert!(cancel.load(Ordering::SeqCst), "the external token must observe the panic");
+        assert!(
+            cancel.load(Ordering::SeqCst),
+            "the external token must observe the panic"
+        );
         // Tasks after the panic drained without running their kernels.
         assert_eq!(ran.load(Ordering::SeqCst), 6);
     }
@@ -1387,7 +1904,10 @@ mod tests {
                 }
             })
             .unwrap_err();
-        assert!(matches!(err, EngineError::Panic(ref p) if p.task == 5), "{err:?}");
+        assert!(
+            matches!(err, EngineError::Panic(ref p) if p.task == 5),
+            "{err:?}"
+        );
         assert_eq!(ran.load(Ordering::SeqCst), 6);
     }
 
@@ -1446,7 +1966,9 @@ mod tests {
     fn optional_observer_composes() {
         let g = chain(16);
         let obs: Option<ExecObs> = None;
-        Engine::new(&g).run(&EngineConfig::new(2).with_obs(obs.as_ref()), |_w, _t| {}).unwrap();
+        Engine::new(&g)
+            .run(&EngineConfig::new(2).with_obs(obs.as_ref()), |_w, _t| {})
+            .unwrap();
     }
 
     #[test]
@@ -1456,7 +1978,9 @@ mod tests {
         let b = g.add_task(spec(0));
         g.add_edge(a, b, DataRef { i: 0, j: 0 }, 0);
         g.add_edge(b, a, DataRef { i: 0, j: 0 }, 0);
-        let err = Engine::new(&g).run(&EngineConfig::new(2), |_w, _t| {}).unwrap_err();
+        let err = Engine::new(&g)
+            .run(&EngineConfig::new(2), |_w, _t| {})
+            .unwrap_err();
         assert_eq!(err, EngineError::Cycle);
         assert!(format!("{err}").contains("cycle"));
     }
@@ -1464,7 +1988,12 @@ mod tests {
     // ---------------- distributed engine ----------------
 
     fn dspec(priority: usize, writes: DataRef) -> TaskSpec {
-        TaskSpec { class: TaskClass::Other, priority, writes: Some(writes), flops: 0.0 }
+        TaskSpec {
+            class: TaskClass::Other,
+            priority,
+            writes: Some(writes),
+            flops: 0.0,
+        }
     }
 
     fn dist_chain(n: usize) -> TaskGraph {
@@ -1523,7 +2052,10 @@ mod tests {
     fn dist_trace_capability_records_every_task() {
         let n = 12;
         let nprocs = 4;
-        let cfg = DistConfig { ft: None, record_trace: true };
+        let cfg = DistConfig {
+            ft: None,
+            record_trace: true,
+        };
         let out = run_chain(n, nprocs, &cfg).unwrap();
         let trace = out.trace.expect("trace was requested");
         assert_eq!(trace.records.len(), n);
@@ -1534,7 +2066,10 @@ mod tests {
         }
         // Busy time partitions across ranks like any other trace.
         let busy: f64 = trace.busy_per_proc(nprocs).iter().sum();
-        assert!((busy - n as f64).abs() < 1e-9, "1s per task in virtual time, got {busy}");
+        assert!(
+            (busy - n as f64).abs() < 1e-9,
+            "1s per task in virtual time, got {busy}"
+        );
     }
 
     /// FT + trace compose: a crashed-and-recovered run records spans for
@@ -1543,7 +2078,10 @@ mod tests {
     fn dist_trace_composes_with_fault_layer() {
         use crate::fault::FaultPlan;
         let ft = FtConfig::with_plan(FaultPlan::new(1).with_crash(1, 6.0));
-        let cfg = DistConfig { ft: Some(&ft), record_trace: true };
+        let cfg = DistConfig {
+            ft: Some(&ft),
+            record_trace: true,
+        };
         let n = 12;
         let out = run_chain(n, 4, &cfg).unwrap();
         assert_eq!(chain_result(&out, n), n as i64);
@@ -1554,8 +2092,261 @@ mod tests {
             "re-executed tasks add records: {} < {n}",
             trace.records.len()
         );
-        assert!(out.comm.messages > out.stats.messages_sent as u64 - 1,
-            "comm counts include retransmissions");
+        assert!(
+            out.comm.messages > out.stats.messages_sent as u64 - 1,
+            "comm counts include retransmissions"
+        );
+    }
+
+    // ---------------- integrity layer ----------------
+
+    /// Self-checking payload for integrity tests: value + mirror. A
+    /// corruption flips a bit of the value only, so `verify` (value ==
+    /// mirror) catches every injected flip — the engine-level analogue
+    /// of a sealed tile digest.
+    fn flip_value(p: &mut (i64, i64), r: u64) -> bool {
+        p.0 ^= 1 << (r % 63);
+        true
+    }
+
+    fn mirror_ok(p: &(i64, i64)) -> bool {
+        p.0 == p.1
+    }
+
+    fn run_sealed_chain(
+        n: usize,
+        nprocs: usize,
+        cfg: &DistConfig<'_>,
+    ) -> Result<DistOutcome<(i64, i64)>, EngineError> {
+        let g = dist_chain(n);
+        let exec: Vec<usize> = (0..n).map(|k| k % nprocs).collect();
+        let initial: Vec<HashMap<DataRef, (i64, i64)>> = vec![HashMap::new(); nprocs];
+        let hooks = IntegrityHooks {
+            corrupt: &flip_value,
+            verify: &mirror_ok,
+        };
+        DistEngine::new(&g, nprocs, &exec).run_with_integrity(
+            initial,
+            cfg,
+            Some(&hooks),
+            |t, ctx| {
+                let v = if t == 0 {
+                    1
+                } else {
+                    ctx.get(Some(t - 1), DataRef { i: t - 1, j: 0 }).0 + 1
+                };
+                ctx.put(DataRef { i: t, j: 0 }, (v, v));
+                (v, v)
+            },
+        )
+    }
+
+    /// A store strike between a writer and its local reader is caught at
+    /// the reader's read boundary and healed by re-executing the writer;
+    /// the final data matches the fault-free run bit for bit.
+    #[test]
+    fn store_corruption_is_detected_at_read_boundary_and_healed() {
+        let n = 4;
+        let clean = run_sealed_chain(n, 1, &DistConfig::default()).unwrap();
+        let ft = FtConfig::with_plan(FaultPlan::new(5).with_store_corruption(0, 1, 0, 2.5));
+        let cfg = DistConfig {
+            ft: Some(&ft),
+            record_trace: false,
+        };
+        let out = run_sealed_chain(n, 1, &cfg).unwrap();
+        assert_eq!(out.stats.store_corruptions_injected, 1);
+        assert_eq!(out.stats.corruptions_detected, 1);
+        assert_eq!(out.stats.corruptions_healed, 1);
+        assert_eq!(out.stats.tasks_reexecuted, 1);
+        assert_eq!(
+            out.stores, clean.stores,
+            "healed data must be bit-identical"
+        );
+        assert!(out.makespan > clean.makespan, "healing costs virtual time");
+        assert!(out.events.iter().any(|e| matches!(
+            e,
+            RunEvent::CorruptionDetected {
+                rank: 0,
+                i: 1,
+                j: 0,
+                ..
+            }
+        )));
+        assert!(out.events.iter().any(|e| matches!(
+            e,
+            RunEvent::Healed {
+                rank: 0,
+                i: 1,
+                j: 0,
+                ..
+            }
+        )));
+    }
+
+    /// A tile corrupted after its last read has no later read boundary;
+    /// the final store sweep catches and heals it before the outcome is
+    /// released.
+    #[test]
+    fn final_sweep_heals_corruption_after_last_read() {
+        let n = 4;
+        let nprocs = 2;
+        let clean = run_sealed_chain(n, nprocs, &DistConfig::default()).unwrap();
+        // (0, 0) on rank 0 is only ever read remotely (by task 1 via a
+        // logged message), so a strike after task 0 completes is
+        // invisible to every read boundary.
+        let ft = FtConfig::with_plan(FaultPlan::new(9).with_store_corruption(0, 0, 0, 1.5));
+        let cfg = DistConfig {
+            ft: Some(&ft),
+            record_trace: false,
+        };
+        let out = run_sealed_chain(n, nprocs, &cfg).unwrap();
+        assert_eq!(out.stats.store_corruptions_injected, 1);
+        assert_eq!(out.stats.corruptions_detected, 1);
+        assert_eq!(out.stats.corruptions_healed, 1);
+        assert_eq!(out.stores, clean.stores, "swept data must be bit-identical");
+        assert!(out.events.iter().any(|e| matches!(
+            e,
+            RunEvent::Healed {
+                rank: 0,
+                i: 0,
+                j: 0,
+                ..
+            }
+        )));
+    }
+
+    /// Corrupted message copies are rejected at delivery (never reach an
+    /// inbox), NACKed, and retransmitted until a clean copy lands; the
+    /// chain still computes the exact result.
+    #[test]
+    fn message_corruption_is_nacked_and_retransmitted() {
+        let n = 12;
+        let ft = FtConfig::with_plan(FaultPlan::new(21).with_message_corruption(0.5));
+        let cfg = DistConfig {
+            ft: Some(&ft),
+            record_trace: false,
+        };
+        let out = run_sealed_chain(n, 4, &cfg).unwrap();
+        let last = DataRef { i: n - 1, j: 0 };
+        assert_eq!(
+            out.stores[out.exec_rank[n - 1]][&last],
+            (n as i64, n as i64)
+        );
+        assert!(
+            out.stats.messages_corrupted > 0,
+            "p=0.5 over 11 edges must strike"
+        );
+        assert_eq!(
+            out.stats.corruptions_detected, out.stats.messages_corrupted,
+            "zero false negatives: every injected flip is caught"
+        );
+        assert_eq!(out.stats.nacks_sent, out.stats.corruptions_detected);
+        assert!(out.stats.retransmissions >= 1);
+        assert_eq!(out.stats.sends_abandoned, 0);
+        assert_eq!(
+            out.comm.messages,
+            (out.stats.messages_sent + out.stats.retransmissions) as u64
+        );
+        // Determinism: the same seed reproduces the identical fault
+        // sequence and counters.
+        let again = run_sealed_chain(n, 4, &cfg).unwrap();
+        assert_eq!(again.stats.messages_corrupted, out.stats.messages_corrupted);
+        assert_eq!(again.makespan, out.makespan);
+    }
+
+    /// A lossy-but-uncorrupted network never trips the checksum layer:
+    /// zero false positives across drops, duplicates and lost acks.
+    #[test]
+    fn integrity_layer_has_zero_false_positives() {
+        let n = 12;
+        let plan = FaultPlan::new(3)
+            .with_drops(0.3)
+            .with_duplicates(0.3)
+            .with_ack_drops(0.3);
+        let ft = FtConfig::with_plan(plan);
+        let cfg = DistConfig {
+            ft: Some(&ft),
+            record_trace: false,
+        };
+        let out = run_sealed_chain(n, 4, &cfg).unwrap();
+        let last = DataRef { i: n - 1, j: 0 };
+        assert_eq!(
+            out.stores[out.exec_rank[n - 1]][&last],
+            (n as i64, n as i64)
+        );
+        assert_eq!(out.stats.messages_corrupted, 0);
+        assert_eq!(out.stats.corruptions_detected, 0);
+        assert_eq!(out.stats.nacks_sent, 0);
+        assert_eq!(out.stats.corruptions_healed, 0);
+    }
+
+    /// Healing is bounded: with retries disabled the first detection
+    /// escalates to a typed [`FtError::Integrity`], never a panic.
+    #[test]
+    fn heal_escalation_is_a_typed_error() {
+        let mut ft = FtConfig::with_plan(FaultPlan::new(5).with_store_corruption(0, 1, 0, 2.5));
+        ft.retry.max_heal_retries = 0;
+        let cfg = DistConfig {
+            ft: Some(&ft),
+            record_trace: false,
+        };
+        let err = run_sealed_chain(4, 1, &cfg).unwrap_err();
+        match err {
+            EngineError::Fault(FtError::Integrity(e)) => {
+                assert_eq!(e.rank, 0);
+                assert_eq!(e.data, (1, 0));
+                assert_eq!(e.attempts, 0);
+            }
+            other => panic!("expected integrity escalation, got {other:?}"),
+        }
+    }
+
+    /// Without hooks the corruption entries of a plan are inert: the
+    /// engine has no way to flip bits of an opaque payload.
+    #[test]
+    fn corruption_plan_is_inert_without_hooks() {
+        let n = 6;
+        let plan = FaultPlan::new(4)
+            .with_message_corruption(0.9)
+            .with_store_corruption(0, 1, 0, 2.5);
+        let ft = FtConfig::with_plan(plan);
+        let cfg = DistConfig {
+            ft: Some(&ft),
+            record_trace: false,
+        };
+        let out = run_chain(n, 2, &cfg).unwrap();
+        assert_eq!(chain_result(&out, n), n as i64);
+        assert_eq!(out.stats.messages_corrupted, 0);
+        assert_eq!(out.stats.store_corruptions_injected, 0);
+        assert_eq!(out.stats.corruptions_detected, 0);
+    }
+
+    /// Integrity composes with the crash fault layer and the trace
+    /// capability in one run.
+    #[test]
+    fn integrity_composes_with_crashes_and_trace() {
+        let n = 12;
+        let plan = FaultPlan::new(13)
+            .with_message_corruption(0.3)
+            .with_store_corruption(0, 0, 0, 1.5)
+            .with_crash(1, 6.0);
+        let ft = FtConfig::with_plan(plan);
+        let cfg = DistConfig {
+            ft: Some(&ft),
+            record_trace: true,
+        };
+        let out = run_sealed_chain(n, 4, &cfg).unwrap();
+        let last = DataRef { i: n - 1, j: 0 };
+        assert_eq!(
+            out.stores[out.exec_rank[n - 1]][&last],
+            (n as i64, n as i64)
+        );
+        assert_eq!(out.stats.crashes, 1);
+        assert!(out.trace.is_some());
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, RunEvent::Crash { .. })));
     }
 
     /// Misconfiguration is a typed error, not a panic (satellite: the
@@ -1570,25 +2361,51 @@ mod tests {
         let err = DistEngine::new(&g, 4, &[0, 1])
             .run(initial4.clone(), &DistConfig::default(), body)
             .unwrap_err();
-        assert_eq!(err, EngineError::RankMapLength { expected: 4, got: 2 });
+        assert_eq!(
+            err,
+            EngineError::RankMapLength {
+                expected: 4,
+                got: 2
+            }
+        );
 
         // Wrong store count.
         let err = DistEngine::new(&g, 4, &[0, 1, 2, 3])
             .run(vec![HashMap::new(); 2], &DistConfig::default(), body)
             .unwrap_err();
-        assert_eq!(err, EngineError::StoreCount { expected: 4, got: 2 });
+        assert_eq!(
+            err,
+            EngineError::StoreCount {
+                expected: 4,
+                got: 2
+            }
+        );
 
         // Rank out of range.
         let err = DistEngine::new(&g, 4, &[0, 1, 2, 9])
             .run(initial4.clone(), &DistConfig::default(), body)
             .unwrap_err();
-        assert_eq!(err, EngineError::InvalidRank { task: 3, rank: 9, nprocs: 4 });
+        assert_eq!(
+            err,
+            EngineError::InvalidRank {
+                task: 3,
+                rank: 9,
+                nprocs: 4
+            }
+        );
 
         // Crash of a nonexistent rank.
         use crate::fault::FaultPlan;
         let ft = FtConfig::with_plan(FaultPlan::new(0).with_crash(7, 1.0));
         let err = DistEngine::new(&g, 4, &[0, 1, 2, 3])
-            .run(initial4, &DistConfig { ft: Some(&ft), record_trace: false }, body)
+            .run(
+                initial4,
+                &DistConfig {
+                    ft: Some(&ft),
+                    record_trace: false,
+                },
+                body,
+            )
             .unwrap_err();
         assert_eq!(err, EngineError::InvalidCrashRank { rank: 7, nprocs: 4 });
     }
@@ -1599,14 +2416,42 @@ mod tests {
         let cases: Vec<(EngineError, &str)> = vec![
             (EngineError::Cycle, "cycle"),
             (
-                EngineError::Panic(TaskPanic { task: 3, message: "boom".into() }),
+                EngineError::Panic(TaskPanic {
+                    task: 3,
+                    message: "boom".into(),
+                }),
                 "task 3 panicked: boom",
             ),
-            (EngineError::RankMapLength { expected: 4, got: 2 }, "one rank per task"),
-            (EngineError::StoreCount { expected: 4, got: 2 }, "one store per rank"),
-            (EngineError::InvalidRank { task: 1, rank: 9, nprocs: 4 }, "invalid rank 9"),
-            (EngineError::InvalidCrashRank { rank: 7, nprocs: 4 }, "invalid rank 7"),
-            (EngineError::Fault(FtError::AllRanksCrashed), "unrecoverable"),
+            (
+                EngineError::RankMapLength {
+                    expected: 4,
+                    got: 2,
+                },
+                "one rank per task",
+            ),
+            (
+                EngineError::StoreCount {
+                    expected: 4,
+                    got: 2,
+                },
+                "one store per rank",
+            ),
+            (
+                EngineError::InvalidRank {
+                    task: 1,
+                    rank: 9,
+                    nprocs: 4,
+                },
+                "invalid rank 9",
+            ),
+            (
+                EngineError::InvalidCrashRank { rank: 7, nprocs: 4 },
+                "invalid rank 7",
+            ),
+            (
+                EngineError::Fault(FtError::AllRanksCrashed),
+                "unrecoverable",
+            ),
         ];
         for (e, needle) in cases {
             let msg = format!("{e}");

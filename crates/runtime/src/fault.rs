@@ -3,10 +3,15 @@
 //! A [`FaultPlan`] is a *seeded, deterministic* description of what goes
 //! wrong during a run: message drops, duplications and delay jitter on
 //! the emulated network, fail-stop rank crashes at given virtual times,
-//! and task-level kernel failures. Every decision is a pure hash of
-//! `(seed, stream, key, attempt)` — re-running the same plan against the
-//! same task graph reproduces the exact same fault sequence, which is
-//! what makes the recovery paths testable at all.
+//! task-level kernel failures, and silent data corruption (bit flips in
+//! a stored tile or an in-flight payload). Every decision is a pure
+//! hash of `(seed, stream, key, attempt)` via [`fault_unit`] — re-running
+//! the same plan against the same task graph reproduces the exact same
+//! fault sequence, which is what makes the recovery paths testable at
+//! all. The DES pricing model ([`crate::des::FaultSchedule`]) draws from
+//! the *same* `(seed, stream, key)` hash, so one seed reproduces the
+//! identical fault sequence across `simulate_with_faults` and the
+//! functional engine behind `Session::distributed`.
 //!
 //! The plan is consumed by the distributed engine
 //! ([`crate::engine::DistEngine`], via
@@ -18,12 +23,59 @@ use crate::graph::TaskId;
 use std::collections::HashMap;
 use std::fmt;
 
+#[inline]
+fn fault_mix(seed: u64, stream: u64, key: u64) -> u64 {
+    seed.wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(stream.wrapping_mul(0xD1B54A32D192ED03))
+        .wrapping_add(key.wrapping_mul(0x8CB92BA72F3D8DD7))
+}
+
+#[inline]
+fn fault_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic unit sample in `[0, 1)` for `(seed, stream, key,
+/// attempt)` — the single RNG shared by [`FaultPlan`] and the DES
+/// [`crate::des::FaultSchedule`]. SplitMix64 finalizer over the mixed
+/// identifiers: every tuple gets an independent fate, and the same
+/// tuple always rolls the same fate.
+pub fn fault_unit(seed: u64, stream: u64, key: u64, attempt: u32) -> f64 {
+    (fault_finalize(fault_mix(seed, stream, key).wrapping_add(attempt as u64)) >> 11) as f64
+        * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Raw deterministic 64-bit hash for `(seed, stream, key)` — used where
+/// a fate needs more than a probability, e.g. choosing which stored bit
+/// a corruption event flips.
+pub fn fault_bits(seed: u64, stream: u64, key: u64) -> u64 {
+    fault_finalize(fault_mix(seed, stream, key))
+}
+
 /// A fail-stop crash of one rank at a virtual time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrashAt {
     /// Rank that dies.
     pub rank: usize,
     /// Virtual time of death (seconds since execution start).
+    pub at: f64,
+}
+
+/// A silent corruption of one stored tile at a virtual time: one bit of
+/// tile `(i, j)` in rank `rank`'s store flips, with the flipped bit
+/// chosen deterministically from the plan seed. A no-op if the tile is
+/// not in that store (or holds no words) at that moment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptAt {
+    /// Rank whose store is hit.
+    pub rank: usize,
+    /// Tile row index.
+    pub i: usize,
+    /// Tile column index.
+    pub j: usize,
+    /// Virtual time of the bit flip (seconds since execution start).
     pub at: f64,
 }
 
@@ -52,6 +104,12 @@ pub struct FaultPlan {
     /// `task → n`: the first `n` execution attempts of the task fail at
     /// the kernel level (deterministic injected failure).
     pub kernel_failures: HashMap<TaskId, u32>,
+    /// Probability that a delivered message copy arrives with one bit
+    /// of its payload flipped (silent in-flight corruption; rolled per
+    /// delivered copy, independently of drops and duplicates).
+    pub corrupt_msg_prob: f64,
+    /// Scheduled silent bit flips in rank-local tile stores.
+    pub store_corruptions: Vec<CorruptAt>,
 }
 
 impl FaultPlan {
@@ -71,26 +129,37 @@ impl FaultPlan {
             delay_jitter: 0.0,
             crashes: Vec::new(),
             kernel_failures: HashMap::new(),
+            corrupt_msg_prob: 0.0,
+            store_corruptions: Vec::new(),
         }
     }
 
     /// Set the per-attempt message drop probability.
     pub fn with_drops(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         self.drop_prob = p;
         self
     }
 
     /// Set the duplication probability.
     pub fn with_duplicates(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "duplicate probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "duplicate probability must be in [0, 1)"
+        );
         self.duplicate_prob = p;
         self
     }
 
     /// Set the ack drop probability.
     pub fn with_ack_drops(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "ack drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "ack drop probability must be in [0, 1)"
+        );
         self.ack_drop_prob = p;
         self
     }
@@ -114,6 +183,23 @@ impl FaultPlan {
         self
     }
 
+    /// Set the per-delivered-copy payload corruption probability.
+    pub fn with_message_corruption(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "corruption probability must be in [0, 1)"
+        );
+        self.corrupt_msg_prob = p;
+        self
+    }
+
+    /// Flip one bit of tile `(i, j)` in rank `rank`'s store at virtual
+    /// time `at`.
+    pub fn with_store_corruption(mut self, rank: usize, i: usize, j: usize, at: f64) -> Self {
+        self.store_corruptions.push(CorruptAt { rank, i, j, at });
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_faulty(&self) -> bool {
         self.drop_prob > 0.0
@@ -122,22 +208,22 @@ impl FaultPlan {
             || self.delay_jitter > 0.0
             || !self.crashes.is_empty()
             || !self.kernel_failures.is_empty()
+            || self.injects_corruption()
     }
 
-    /// Deterministic unit sample for `(stream, key, attempt)`.
+    /// Whether the plan injects any silent data corruption (message or
+    /// store) — when it does, the distributed engine must run with an
+    /// integrity layer or the corruption would go unnoticed.
+    pub fn injects_corruption(&self) -> bool {
+        self.corrupt_msg_prob > 0.0 || !self.store_corruptions.is_empty()
+    }
+
+    /// Deterministic unit sample for `(stream, key, attempt)` —
+    /// delegates to the shared [`fault_unit`] stream, so the DES
+    /// schedule built by [`crate::des::FaultSchedule::from_plan`] rolls
+    /// the identical fates for the same seed.
     fn unit(&self, stream: u64, key: u64, attempt: u32) -> f64 {
-        // SplitMix64 finalizer over the mixed identifiers: every
-        // (seed, stream, key, attempt) tuple gets an independent fate.
-        let mut z = self
-            .seed
-            .wrapping_mul(0x9E3779B97F4A7C15)
-            .wrapping_add(stream.wrapping_mul(0xD1B54A32D192ED03))
-            .wrapping_add(key.wrapping_mul(0x8CB92BA72F3D8DD7))
-            .wrapping_add(attempt as u64);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^= z >> 31;
-        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        fault_unit(self.seed, stream, key, attempt)
     }
 
     /// Does attempt `attempt` of message `msg` get dropped?
@@ -166,7 +252,23 @@ impl FaultPlan {
 
     /// Does execution attempt `attempt` (0-based) of `task` fail?
     pub fn kernel_fails(&self, task: TaskId, attempt: u32) -> bool {
-        self.kernel_failures.get(&task).is_some_and(|&n| attempt < n)
+        self.kernel_failures
+            .get(&task)
+            .is_some_and(|&n| attempt < n)
+    }
+
+    /// Does delivered copy `copy` of attempt `attempt` of message `msg`
+    /// arrive corrupted (one payload bit flipped)?
+    pub fn corrupts_message(&self, msg: u64, attempt: u32, copy: u32) -> bool {
+        self.unit(6 + copy as u64, msg, attempt) < self.corrupt_msg_prob
+    }
+
+    /// Deterministic raw bits selecting *which* stored bit a corruption
+    /// event flips (`key` identifies the event: message record id for
+    /// in-flight corruption, the store-corruption index for at-rest
+    /// flips).
+    pub fn corruption_bits(&self, key: u64) -> u64 {
+        fault_bits(self.seed, 9, key)
     }
 }
 
@@ -184,6 +286,12 @@ pub struct RetryConfig {
     pub max_send_attempts: u32,
     /// Give up re-running a task after this many kernel failures.
     pub max_kernel_retries: u32,
+    /// Give up healing one datum after this many lineage-recompute
+    /// passes, escalating to [`FtError::Integrity`]. Each pass restarts
+    /// the datum's writers after a backed-off delay
+    /// ([`RetryConfig::timeout_for`] of the pass number), mirroring the
+    /// retransmission ladder.
+    pub max_heal_retries: u32,
 }
 
 impl Default for RetryConfig {
@@ -194,6 +302,7 @@ impl Default for RetryConfig {
             max_backoff: 64.0,
             max_send_attempts: 40,
             max_kernel_retries: 8,
+            max_heal_retries: 4,
         }
     }
 }
@@ -221,7 +330,12 @@ pub struct FtConfig {
 
 impl Default for FtConfig {
     fn default() -> Self {
-        Self { plan: FaultPlan::none(), retry: RetryConfig::default(), task_time: 1.0, latency: 0.5 }
+        Self {
+            plan: FaultPlan::none(),
+            retry: RetryConfig::default(),
+            task_time: 1.0,
+            latency: 0.5,
+        }
     }
 }
 
@@ -233,7 +347,10 @@ impl FtConfig {
 
     /// Configuration running the given plan with default retry policy.
     pub fn with_plan(plan: FaultPlan) -> Self {
-        Self { plan, ..Self::default() }
+        Self {
+            plan,
+            ..Self::default()
+        }
     }
 }
 
@@ -265,7 +382,43 @@ pub struct FaultStats {
     pub kernel_failures: usize,
     /// Messages that exhausted `max_send_attempts`.
     pub sends_abandoned: usize,
+    /// Delivered message copies that arrived with a flipped payload bit.
+    pub messages_corrupted: usize,
+    /// Scheduled store bit flips that actually mutated a stored tile.
+    pub store_corruptions_injected: usize,
+    /// Corruptions caught by integrity verification (at message
+    /// delivery, at a task read boundary, or in the final store sweep).
+    pub corruptions_detected: usize,
+    /// Corrupted data restored and recomputed from lineage.
+    pub corruptions_healed: usize,
+    /// Negative acknowledgements sent for corrupted deliveries (each
+    /// triggers a retransmission without waiting for the ack timeout).
+    pub nacks_sent: usize,
 }
+
+/// Unrecoverable data corruption: a datum kept failing verification
+/// past `max_heal_retries` lineage-recompute passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// Rank whose store held the unhealable datum.
+    pub rank: usize,
+    /// Tile coordinates of the datum.
+    pub data: (usize, usize),
+    /// Healing passes attempted before giving up.
+    pub attempts: u32,
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tile ({}, {}) on rank {} failed integrity verification after {} healing pass(es)",
+            self.data.0, self.data.1, self.rank, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for IntegrityError {}
 
 /// Unrecoverable failure of a fault-tolerant run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -283,6 +436,8 @@ pub enum FtError {
         /// Number of tasks that never completed.
         pending: usize,
     },
+    /// A datum could not be healed within `max_heal_retries` passes.
+    Integrity(IntegrityError),
 }
 
 impl fmt::Display for FtError {
@@ -295,11 +450,18 @@ impl fmt::Display for FtError {
             FtError::Stalled { pending } => {
                 write!(f, "execution stalled with {pending} tasks pending")
             }
+            FtError::Integrity(e) => write!(f, "unrecoverable corruption: {e}"),
         }
     }
 }
 
 impl std::error::Error for FtError {}
+
+impl From<IntegrityError> for FtError {
+    fn from(e: IntegrityError) -> Self {
+        FtError::Integrity(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -307,8 +469,14 @@ mod tests {
 
     #[test]
     fn fates_are_deterministic() {
-        let a = FaultPlan::new(7).with_drops(0.3).with_duplicates(0.2).with_jitter(1.5);
-        let b = FaultPlan::new(7).with_drops(0.3).with_duplicates(0.2).with_jitter(1.5);
+        let a = FaultPlan::new(7)
+            .with_drops(0.3)
+            .with_duplicates(0.2)
+            .with_jitter(1.5);
+        let b = FaultPlan::new(7)
+            .with_drops(0.3)
+            .with_duplicates(0.2)
+            .with_jitter(1.5);
         for msg in 0..200u64 {
             for attempt in 0..4 {
                 assert_eq!(a.drops_message(msg, attempt), b.drops_message(msg, attempt));
@@ -328,7 +496,10 @@ mod tests {
         let disagreements = (0..500u64)
             .filter(|&m| a.drops_message(m, 0) != b.drops_message(m, 0))
             .count();
-        assert!(disagreements > 100, "seeds must decorrelate ({disagreements})");
+        assert!(
+            disagreements > 100,
+            "seeds must decorrelate ({disagreements})"
+        );
     }
 
     #[test]
@@ -343,8 +514,7 @@ mod tests {
     fn attempts_roll_independent_fates() {
         let plan = FaultPlan::new(3).with_drops(0.5);
         // Some message dropped on attempt 0 must survive a later attempt.
-        let recovered = (0..200u64)
-            .any(|m| plan.drops_message(m, 0) && !plan.drops_message(m, 1));
+        let recovered = (0..200u64).any(|m| plan.drops_message(m, 0) && !plan.drops_message(m, 1));
         assert!(recovered, "retransmissions must be able to succeed");
     }
 
@@ -367,8 +537,99 @@ mod tests {
     }
 
     #[test]
+    fn corruption_fates_are_deterministic_and_track_probability() {
+        let a = FaultPlan::new(13).with_message_corruption(0.2);
+        let b = FaultPlan::new(13).with_message_corruption(0.2);
+        for msg in 0..300u64 {
+            for attempt in 0..3 {
+                for copy in 0..2 {
+                    assert_eq!(
+                        a.corrupts_message(msg, attempt, copy),
+                        b.corrupts_message(msg, attempt, copy)
+                    );
+                }
+            }
+            assert_eq!(a.corruption_bits(msg), b.corruption_bits(msg));
+        }
+        let hit = (0..4000u64)
+            .filter(|&m| a.corrupts_message(m, 0, 0))
+            .count();
+        let rate = hit as f64 / 4000.0;
+        assert!(
+            (rate - 0.2).abs() < 0.03,
+            "empirical corruption rate {rate}"
+        );
+    }
+
+    #[test]
+    fn corruption_streams_are_independent_of_network_fates() {
+        // The same message can be dropped on one roll and corrupted on
+        // another: the fates come from distinct streams of the shared
+        // hash, so enabling corruption never perturbs the drop/dup/ack
+        // sequence of an existing seeded plan.
+        let plain = FaultPlan::new(42).with_drops(0.3);
+        let with_corruption = FaultPlan::new(42)
+            .with_drops(0.3)
+            .with_message_corruption(0.3);
+        for m in 0..500u64 {
+            assert_eq!(
+                plain.drops_message(m, 0),
+                with_corruption.drops_message(m, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_fault_unit_matches_plan_fates() {
+        // The free function is the same stream the plan rolls — the
+        // contract that lets the DES schedule reproduce plan fates.
+        let plan = FaultPlan::new(99).with_drops(0.5);
+        for m in 0..200u64 {
+            assert_eq!(plan.drops_message(m, 1), fault_unit(99, 1, m, 1) < 0.5);
+        }
+    }
+
+    #[test]
+    fn corruption_plan_flags() {
+        assert!(!FaultPlan::none().injects_corruption());
+        assert!(FaultPlan::new(1)
+            .with_message_corruption(0.1)
+            .injects_corruption());
+        let p = FaultPlan::new(1).with_store_corruption(0, 2, 1, 5.0);
+        assert!(p.injects_corruption() && p.is_faulty());
+        assert_eq!(
+            p.store_corruptions,
+            vec![CorruptAt {
+                rank: 0,
+                i: 2,
+                j: 1,
+                at: 5.0
+            }]
+        );
+    }
+
+    #[test]
+    fn integrity_error_displays() {
+        let e = IntegrityError {
+            rank: 3,
+            data: (4, 2),
+            attempts: 5,
+        };
+        let s = format!("{}", FtError::Integrity(e));
+        assert!(
+            s.contains("(4, 2)") && s.contains("rank 3") && s.contains('5'),
+            "{s}"
+        );
+    }
+
+    #[test]
     fn backoff_caps() {
-        let r = RetryConfig { ack_timeout: 1.0, backoff: 2.0, max_backoff: 8.0, ..Default::default() };
+        let r = RetryConfig {
+            ack_timeout: 1.0,
+            backoff: 2.0,
+            max_backoff: 8.0,
+            ..Default::default()
+        };
         assert_eq!(r.timeout_for(1), 1.0);
         assert_eq!(r.timeout_for(2), 2.0);
         assert_eq!(r.timeout_for(3), 4.0);

@@ -46,14 +46,19 @@ pub mod ptg;
 pub mod scheduler;
 pub mod trace;
 
-pub use des::{simulate, simulate_with_faults, DesConfig, DesCrash, DesReport, FaultSchedule};
+pub use des::{
+    simulate, simulate_with_faults, DesConfig, DesCorrupt, DesCrash, DesReport, FaultSchedule,
+};
 pub use engine::{
     Cancel, DistConfig, DistEngine, DistOutcome, Engine, EngineConfig, EngineError, ExecObs,
-    ExecReport, NoCancel, NoObserve, Observe, RankCtx, TaskPanic,
+    ExecReport, IntegrityHooks, NoCancel, NoObserve, Observe, RankCtx, TaskPanic,
 };
 #[allow(deprecated)]
 pub use executor::{execute, execute_cancellable};
-pub use fault::{CrashAt, FaultPlan, FaultStats, FtConfig, FtError, RetryConfig};
+pub use fault::{
+    fault_bits, fault_unit, CorruptAt, CrashAt, FaultPlan, FaultStats, FtConfig, FtError,
+    IntegrityError, RetryConfig,
+};
 pub use graph::{DataRef, TaskClass, TaskGraph, TaskId, TaskSpec};
 pub use machine::MachineModel;
 pub use obs::{chrome_trace_json, RunEvent, RunMetrics};

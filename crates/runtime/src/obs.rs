@@ -275,13 +275,12 @@ pub mod json {
 
     fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
         let start = *pos;
-        while *pos < b.len()
-            && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
             *pos += 1;
         }
         let tok = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8")?;
-        tok.parse::<f64>().map_err(|_| format!("bad number `{tok}` at byte {start}"))
+        tok.parse::<f64>()
+            .map_err(|_| format!("bad number `{tok}` at byte {start}"))
     }
 }
 
@@ -303,7 +302,10 @@ pub fn chrome_trace_json(trace: &Trace, process_name: &str) -> String {
         ("name".into(), Json::Str("process_name".into())),
         ("ph".into(), Json::Str("M".into())),
         ("pid".into(), Json::Num(0.0)),
-        ("args".into(), Json::Obj(vec![("name".into(), Json::Str(process_name.into()))])),
+        (
+            "args".into(),
+            Json::Obj(vec![("name".into(), Json::Str(process_name.into()))]),
+        ),
     ]));
     for r in recs {
         let name = match r.data {
@@ -353,6 +355,32 @@ pub enum RunEvent {
         /// Virtual time recovery completed, seconds.
         at: f64,
     },
+    /// A checksum mismatch was caught on rank `rank` — either a message
+    /// payload rejected at delivery or a store tile rejected at a task
+    /// read boundary.
+    CorruptionDetected {
+        /// The rank that detected the mismatch.
+        rank: usize,
+        /// Tile row index of the affected datum.
+        i: usize,
+        /// Tile column index of the affected datum.
+        j: usize,
+        /// Virtual time of detection, seconds.
+        at: f64,
+    },
+    /// Lineage healing restored tile `(i, j)` on rank `rank`: the datum
+    /// was rolled back to its checkpoint and its writer chain re-executed
+    /// (or, for never-written inputs, restored directly).
+    Healed {
+        /// The rank holding the healed datum.
+        rank: usize,
+        /// Tile row index of the healed datum.
+        i: usize,
+        /// Tile column index of the healed datum.
+        j: usize,
+        /// Virtual time healing completed, seconds.
+        at: f64,
+    },
 }
 
 impl RunEvent {
@@ -364,10 +392,28 @@ impl RunEvent {
                 ("rank".into(), Json::Num(rank as f64)),
                 ("at".into(), Json::Num(at)),
             ]),
-            RunEvent::Recovery { failed, survivor, at } => Json::Obj(vec![
+            RunEvent::Recovery {
+                failed,
+                survivor,
+                at,
+            } => Json::Obj(vec![
                 ("event".into(), Json::Str("recovery".into())),
                 ("failed".into(), Json::Num(failed as f64)),
                 ("survivor".into(), Json::Num(survivor as f64)),
+                ("at".into(), Json::Num(at)),
+            ]),
+            RunEvent::CorruptionDetected { rank, i, j, at } => Json::Obj(vec![
+                ("event".into(), Json::Str("corruption_detected".into())),
+                ("rank".into(), Json::Num(rank as f64)),
+                ("i".into(), Json::Num(i as f64)),
+                ("j".into(), Json::Num(j as f64)),
+                ("at".into(), Json::Num(at)),
+            ]),
+            RunEvent::Healed { rank, i, j, at } => Json::Obj(vec![
+                ("event".into(), Json::Str("healed".into())),
+                ("rank".into(), Json::Num(rank as f64)),
+                ("i".into(), Json::Num(i as f64)),
+                ("j".into(), Json::Num(j as f64)),
                 ("at".into(), Json::Num(at)),
             ]),
         }
@@ -431,8 +477,11 @@ impl RunMetrics {
     /// Attach the critical-path bound and derive efficiency against it.
     pub fn with_critical_path(mut self, cp_seconds: f64) -> Self {
         self.critical_path_seconds = cp_seconds;
-        self.efficiency_vs_critical_path =
-            if self.makespan > 0.0 { cp_seconds / self.makespan } else { 0.0 };
+        self.efficiency_vs_critical_path = if self.makespan > 0.0 {
+            cp_seconds / self.makespan
+        } else {
+            0.0
+        };
         self
     }
 
@@ -451,16 +500,25 @@ impl RunMetrics {
                     ("other".into(), Json::Num(self.breakdown.other)),
                 ]),
             ),
-            ("busy_s".into(), Json::Arr(self.busy.iter().map(|&b| Json::Num(b)).collect())),
+            (
+                "busy_s".into(),
+                Json::Arr(self.busy.iter().map(|&b| Json::Num(b)).collect()),
+            ),
             (
                 "idle_fraction".into(),
                 Json::Arr(self.idle_fraction.iter().map(|&f| Json::Num(f)).collect()),
             ),
             ("load_imbalance".into(), Json::Num(self.load_imbalance)),
-            ("total_queue_wait_s".into(), Json::Num(self.total_queue_wait)),
+            (
+                "total_queue_wait_s".into(),
+                Json::Num(self.total_queue_wait),
+            ),
             ("comm_bytes".into(), Json::Num(self.comm_bytes as f64)),
             ("comm_messages".into(), Json::Num(self.comm_messages as f64)),
-            ("critical_path_s".into(), Json::Num(self.critical_path_seconds)),
+            (
+                "critical_path_s".into(),
+                Json::Num(self.critical_path_seconds),
+            ),
             (
                 "efficiency_vs_critical_path".into(),
                 Json::Num(self.efficiency_vs_critical_path),
@@ -504,7 +562,10 @@ impl RunMetrics {
             "busy (P/T/S/G/O)    {:.4} / {:.4} / {:.4} / {:.4} / {:.4} s\n",
             b.potrf, b.trsm, b.syrk, b.gemm, b.other
         ));
-        out.push_str(&format!("load imbalance      {:>12.4}\n", self.load_imbalance));
+        out.push_str(&format!(
+            "load imbalance      {:>12.4}\n",
+            self.load_imbalance
+        ));
         let mean_idle = if self.idle_fraction.is_empty() {
             0.0
         } else {
@@ -513,9 +574,16 @@ impl RunMetrics {
         out.push_str(&format!(
             "mean idle fraction  {:>12.4}  (per worker: {})\n",
             mean_idle,
-            self.idle_fraction.iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>().join(" ")
+            self.idle_fraction
+                .iter()
+                .map(|f| format!("{f:.3}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         ));
-        out.push_str(&format!("queue wait (total)  {:>12.6} s\n", self.total_queue_wait));
+        out.push_str(&format!(
+            "queue wait (total)  {:>12.6} s\n",
+            self.total_queue_wait
+        ));
         if self.comm_messages > 0 {
             out.push_str(&format!(
                 "communication       {:>12} msgs, {} bytes\n",
@@ -592,7 +660,10 @@ mod tests {
         let v = Json::Obj(vec![
             ("s".into(), Json::Str("a \"b\"\nc".into())),
             ("n".into(), Json::Num(-12.5)),
-            ("a".into(), Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(3.0)])),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(3.0)]),
+            ),
             ("o".into(), Json::Obj(vec![("k".into(), Json::Num(1e-3))])),
         ]);
         let text = v.to_string();
@@ -627,13 +698,18 @@ mod tests {
         // Tile coordinates survive into args.
         let ev = &events[2];
         assert_eq!(ev.get("name").unwrap().as_str().unwrap(), "TRSM(1,0)");
-        assert_eq!(ev.get("args").unwrap().get("i").unwrap().as_f64().unwrap(), 1.0);
+        assert_eq!(
+            ev.get("args").unwrap().get("i").unwrap().as_f64().unwrap(),
+            1.0
+        );
     }
 
     #[test]
     fn metrics_from_trace() {
         let t = sample_trace();
-        let m = RunMetrics::from_trace("unit", &t, 2).with_comm(100, 3).with_critical_path(1.0);
+        let m = RunMetrics::from_trace("unit", &t, 2)
+            .with_comm(100, 3)
+            .with_critical_path(1.0);
         assert_eq!(m.makespan, 2.0);
         assert!((m.breakdown.total() - 1.75).abs() < 1e-12);
         assert!((m.total_queue_wait - 0.25).abs() < 1e-12);
@@ -654,9 +730,35 @@ mod tests {
 
     #[test]
     fn run_event_json() {
-        let e = RunEvent::Recovery { failed: 2, survivor: 0, at: 1.5 };
+        let e = RunEvent::Recovery {
+            failed: 2,
+            survivor: 0,
+            at: 1.5,
+        };
         let j = e.to_json();
         assert_eq!(j.get("event").unwrap().as_str().unwrap(), "recovery");
         assert_eq!(j.get("survivor").unwrap().as_f64().unwrap(), 0.0);
+
+        let d = RunEvent::CorruptionDetected {
+            rank: 1,
+            i: 3,
+            j: 2,
+            at: 0.5,
+        }
+        .to_json();
+        assert_eq!(
+            d.get("event").unwrap().as_str().unwrap(),
+            "corruption_detected"
+        );
+        assert_eq!(d.get("i").unwrap().as_f64().unwrap(), 3.0);
+        let h = RunEvent::Healed {
+            rank: 1,
+            i: 3,
+            j: 2,
+            at: 0.75,
+        }
+        .to_json();
+        assert_eq!(h.get("event").unwrap().as_str().unwrap(), "healed");
+        assert_eq!(h.get("at").unwrap().as_f64().unwrap(), 0.75);
     }
 }

@@ -20,10 +20,13 @@
 //! * [`TlrMatrix`] — a symmetric lower-triangular tile container with
 //!   density/rank statistics,
 //! * [`rankstat`] — rank snapshots, heatmaps and the synthetic
-//!   [`rankstat::SyntheticRankModel`] used for paper-scale simulations.
+//!   [`rankstat::SyntheticRankModel`] used for paper-scale simulations,
+//! * [`integrity`] — exact tile digests, sealed tiles and deterministic
+//!   bit-flip injection for the silent-data-corruption layer.
 
 pub mod aca;
 pub mod compress;
+pub mod integrity;
 pub mod kernels;
 pub mod matrix;
 pub mod rankstat;
@@ -31,6 +34,7 @@ pub mod tile;
 
 pub use aca::{aca_compress, AcaResult};
 pub use compress::{compress_tile, decompress_tile, CompressionConfig};
+pub use integrity::{corrupt_tile, SealedTile, TileDigest};
 pub use matrix::TlrMatrix;
 pub use rankstat::{RankEvolution, RankSnapshot, SyntheticRankModel};
 pub use tile::Tile;

@@ -1,0 +1,292 @@
+//! Huang–Abraham algorithm-based fault tolerance (ABFT) checksums.
+//!
+//! A dense `m × n` block `C` carries two checksum vectors:
+//!
+//! * `row = C·e`  — the sum across each row (length `m`),
+//! * `col = Cᵀ·e` — the sum down each column (length `n`).
+//!
+//! The point of ABFT is that these vectors can be *maintained* through
+//! the level-3 kernels for a fraction of the kernel's own cost instead
+//! of being recomputed from scratch:
+//!
+//! * **GEMM** `C ← C − A·Bᵀ` (`A: m×k`, `B: n×k`):
+//!   `row ← row − A·s(B)` and `col ← col − B·s(A)`, where `s(X)` is the
+//!   vector of column sums of `X` — an `O((m+n)·k)` update against the
+//!   kernel's `O(m·n·k)`.
+//! * **SYRK** `C ← C − A·Aᵀ` is GEMM with `B = A`.
+//! * **TRSM** `M ← M·L⁻ᵀ` (right, lower, transposed — the Cholesky
+//!   panel solve): `col ← L⁻¹·col` by one `O(n²)` triangular solve
+//!   ([`trsv_lower`]); the row sums have no cheap recurrence through a
+//!   right-side solve and are refreshed from the output (`O(m·n)`, still
+//!   far below the kernel's `O(m·n²)`).
+//! * **POTRF** `A → L` replaces the block wholesale; both vectors are
+//!   refreshed from the output (`O(n²)` against the kernel's `O(n³/3)`).
+//!
+//! Verification compares the carried vectors against sums recomputed
+//! from the block, relative to the block's magnitude. The maintained
+//! recurrences follow the *exact* mathematical identities, but in
+//! floating point they round differently from the kernel, so a nonzero
+//! tolerance is inherent — which is why the tile-integrity layer
+//! (`tlr_compress::integrity`) pairs this algebraic channel with an
+//! exact bitwise digest for detection and uses the ABFT vectors as the
+//! cheap *maintenance* cross-check. `verify` with the default tolerance
+//! catches any perturbation above the maintenance roundoff floor.
+
+use crate::chol::trsv_lower;
+use crate::matrix::Matrix;
+
+/// Default verification tolerance: generous against maintenance
+/// roundoff (the recurrences and the kernels round differently), tight
+/// against real corruption, which perturbs single entries by factors.
+pub const DEFAULT_TOL: f64 = 1e-8;
+
+/// Row/column checksum vectors of one dense block (Huang–Abraham ABFT).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checksum {
+    /// `C·e`: per-row sums, length `rows`.
+    pub row: Vec<f64>,
+    /// `Cᵀ·e`: per-column sums, length `cols`.
+    pub col: Vec<f64>,
+}
+
+impl Checksum {
+    /// Compute both vectors from scratch (`O(m·n)`).
+    pub fn of(c: &Matrix) -> Self {
+        let mut chk = Checksum {
+            row: vec![0.0; c.rows()],
+            col: vec![0.0; c.cols()],
+        };
+        chk.refresh(c);
+        chk
+    }
+
+    /// Recompute both vectors from the block, reusing the existing
+    /// buffers (allocation-free once sized).
+    pub fn refresh(&mut self, c: &Matrix) {
+        let (m, n) = (c.rows(), c.cols());
+        self.row.resize(m, 0.0);
+        self.col.resize(n, 0.0);
+        self.row.fill(0.0);
+        self.col.fill(0.0);
+        for j in 0..n {
+            let mut cs = 0.0;
+            for i in 0..m {
+                let x = c[(i, j)];
+                self.row[i] += x;
+                cs += x;
+            }
+            self.col[j] = cs;
+        }
+    }
+
+    /// Maintain through the Schur update `C ← C − A·Bᵀ` (`A: m×k`,
+    /// `B: n×k`). `O((m+n)·k)`, no scratch: the column sums of `A` and
+    /// `B` are folded on the fly, one rank-1 term at a time.
+    pub fn gemm_update(&mut self, a: &Matrix, b: &Matrix) {
+        let (m, n, k) = (a.rows(), b.rows(), a.cols());
+        assert_eq!(b.cols(), k, "gemm_update: inner dimensions must agree");
+        assert_eq!(self.row.len(), m, "gemm_update: row checksum length");
+        assert_eq!(self.col.len(), n, "gemm_update: col checksum length");
+        for l in 0..k {
+            let mut sa = 0.0;
+            for i in 0..m {
+                sa += a[(i, l)];
+            }
+            let mut sb = 0.0;
+            for i in 0..n {
+                sb += b[(i, l)];
+            }
+            // row(C') = row(C) − A·s(B);  col(C') = col(C) − B·s(A).
+            for i in 0..m {
+                self.row[i] -= a[(i, l)] * sb;
+            }
+            for i in 0..n {
+                self.col[i] -= b[(i, l)] * sa;
+            }
+        }
+    }
+
+    /// Maintain through the symmetric update `C ← C − A·Aᵀ`.
+    pub fn syrk_update(&mut self, a: &Matrix) {
+        self.gemm_update(a, a);
+    }
+
+    /// Maintain through the panel solve `M ← M·L⁻ᵀ` (`L: n×n` lower
+    /// triangular): `col(M·L⁻ᵀ) = L⁻¹·col(M)` costs one triangular
+    /// solve; the row sums admit no cheap recurrence and are refreshed
+    /// from the solved block `m_after`.
+    pub fn trsm_right_lt(&mut self, l: &Matrix, m_after: &Matrix) {
+        assert_eq!(
+            self.col.len(),
+            l.rows(),
+            "trsm_right_lt: col checksum length"
+        );
+        trsv_lower(l, &mut self.col);
+        let m = m_after.rows();
+        self.row.resize(m, 0.0);
+        self.row.fill(0.0);
+        for j in 0..m_after.cols() {
+            for i in 0..m {
+                self.row[i] += m_after[(i, j)];
+            }
+        }
+    }
+
+    /// Refresh after a factorization kernel that rewrites the block
+    /// wholesale (POTRF). Identical to [`Checksum::refresh`]; named for
+    /// call-site clarity.
+    pub fn potrf_refresh(&mut self, l: &Matrix) {
+        self.refresh(l);
+    }
+
+    /// Largest absolute deviation between the carried vectors and sums
+    /// recomputed from `c`, normalized by the block's max checksum
+    /// magnitude (so the figure is relative, comparable to a tolerance).
+    pub fn deviation(&self, c: &Matrix) -> f64 {
+        let fresh = Checksum::of(c);
+        if fresh.row.len() != self.row.len() || fresh.col.len() != self.col.len() {
+            return f64::INFINITY;
+        }
+        let mut scale: f64 = 1.0;
+        for v in self.row.iter().chain(self.col.iter()) {
+            scale = scale.max(v.abs());
+        }
+        let mut dev: f64 = 0.0;
+        for (have, want) in self.row.iter().zip(&fresh.row) {
+            dev = dev.max((have - want).abs());
+        }
+        for (have, want) in self.col.iter().zip(&fresh.col) {
+            dev = dev.max((have - want).abs());
+        }
+        dev / scale
+    }
+
+    /// `true` when the carried vectors agree with the block within
+    /// `tol` (relative; see [`Checksum::deviation`]).
+    pub fn verify(&self, c: &Matrix, tol: f64) -> bool {
+        self.deviation(c) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::{gemm, trsm, Side, Trans, Uplo};
+    use crate::chol::potrf;
+
+    fn test_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| {
+            let x = (i * 31 + j * 17 + seed as usize * 13 + 7) % 101;
+            (x as f64 / 101.0 - 0.5) * (1.0 + ((i + 2 * j) as f64 * 0.1).sin())
+        })
+    }
+
+    fn spd(n: usize) -> Matrix {
+        let b = test_matrix(n, n, 5);
+        let mut a = Matrix::identity(n);
+        a.scale(n as f64);
+        gemm(Trans::No, Trans::Yes, 1.0, &b, &b, 1.0, &mut a);
+        a
+    }
+
+    #[test]
+    fn gemm_maintenance_matches_refresh() {
+        let (m, n, k) = (24, 20, 6);
+        let mut c = test_matrix(m, n, 1);
+        let mut chk = Checksum::of(&c);
+        for s in 0..4 {
+            let a = test_matrix(m, k, 10 + s);
+            let b = test_matrix(n, k, 20 + s);
+            gemm(Trans::No, Trans::Yes, -1.0, &a, &b, 1.0, &mut c);
+            chk.gemm_update(&a, &b);
+        }
+        let dev = chk.deviation(&c);
+        assert!(dev < 1e-12, "maintained checksum drifted: {dev}");
+        assert!(chk.verify(&c, DEFAULT_TOL));
+    }
+
+    #[test]
+    fn syrk_maintenance_matches_refresh() {
+        let n = 24;
+        let mut c = spd(n);
+        let mut chk = Checksum::of(&c);
+        let a = test_matrix(n, 8, 3);
+        gemm(Trans::No, Trans::Yes, -1.0, &a, &a, 1.0, &mut c);
+        chk.syrk_update(&a);
+        assert!(chk.verify(&c, 1e-12), "deviation {}", chk.deviation(&c));
+    }
+
+    #[test]
+    fn trsm_col_recurrence_matches_refresh() {
+        let n = 16;
+        let m = 24;
+        let mut l = spd(n);
+        potrf(&mut l).unwrap();
+        let mut x = test_matrix(m, n, 9);
+        let mut chk = Checksum::of(&x);
+        trsm(Side::Right, Uplo::Lower, Trans::Yes, 1.0, &l, &mut x);
+        chk.trsm_right_lt(&l, &x);
+        // The column vector came from the O(n²) recurrence, not from the
+        // output; it must still match the recomputed sums.
+        assert!(
+            chk.verify(&x, DEFAULT_TOL),
+            "deviation {}",
+            chk.deviation(&x)
+        );
+    }
+
+    #[test]
+    fn full_tile_cholesky_walk_keeps_checksums() {
+        // One panel step on a 2×2 block partition of an SPD matrix:
+        // POTRF(A00) → TRSM(A10) → SYRK-as-GEMM(A11), with every block's
+        // checksum maintained through its kernel. This is exactly the
+        // per-tile maintenance schedule the integrity layer documents.
+        let b = 16;
+        let a = spd(2 * b);
+        let mut a00 = Matrix::from_fn(b, b, |i, j| a[(i, j)]);
+        let mut a10 = Matrix::from_fn(b, b, |i, j| a[(b + i, j)]);
+        let mut a11 = Matrix::from_fn(b, b, |i, j| a[(b + i, b + j)]);
+        let mut c00 = Checksum::of(&a00);
+        let mut c10 = Checksum::of(&a10);
+        let mut c11 = Checksum::of(&a11);
+
+        potrf(&mut a00).unwrap();
+        c00.potrf_refresh(&a00);
+        assert!(c00.verify(&a00, DEFAULT_TOL));
+
+        trsm(Side::Right, Uplo::Lower, Trans::Yes, 1.0, &a00, &mut a10);
+        c10.trsm_right_lt(&a00, &a10);
+        assert!(c10.verify(&a10, DEFAULT_TOL));
+
+        gemm(Trans::No, Trans::Yes, -1.0, &a10, &a10, 1.0, &mut a11);
+        c11.syrk_update(&a10);
+        assert!(
+            c11.verify(&a11, DEFAULT_TOL),
+            "deviation {}",
+            c11.deviation(&a11)
+        );
+    }
+
+    #[test]
+    fn perturbation_is_detected() {
+        let mut c = test_matrix(20, 20, 2);
+        let chk = Checksum::of(&c);
+        assert!(chk.verify(&c, DEFAULT_TOL));
+        // A single-entry perturbation well above the roundoff floor
+        // must break both the row and the column equation.
+        c[(3, 7)] += 1e-4;
+        assert!(
+            !chk.verify(&c, DEFAULT_TOL),
+            "deviation {}",
+            chk.deviation(&c)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let c = test_matrix(10, 12, 4);
+        let chk = Checksum::of(&c);
+        let other = test_matrix(12, 10, 4);
+        assert!(!chk.verify(&other, DEFAULT_TOL));
+    }
+}

@@ -33,13 +33,17 @@
 //! ```
 
 pub mod blas3;
+pub mod checksum;
 pub mod chol;
 pub mod matrix;
 pub mod norms;
 pub mod qr;
 pub mod svd;
 
-pub use blas3::{gemm, gemm_serial, gemm_serial_into_cols, syrk, syrk_serial, trsm, Side, Trans, Uplo};
+pub use blas3::{
+    gemm, gemm_serial, gemm_serial_into_cols, syrk, syrk_serial, trsm, Side, Trans, Uplo,
+};
+pub use checksum::Checksum;
 pub use chol::{potrf, potrf_unblocked, trsv_lower, trsv_lower_trans, CholeskyError};
 pub use matrix::Matrix;
 pub use norms::{frobenius_norm, max_abs, relative_diff};

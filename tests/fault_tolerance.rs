@@ -4,7 +4,7 @@
 //! numeric recovery path (bounded diagonal-shift retries) must rescue
 //! borderline-indefinite operators end to end.
 
-use hicma_parsec::cholesky::{factorize, FactorConfig, Session};
+use hicma_parsec::cholesky::{factorize, FactorConfig, IntegrityMode, Session};
 use hicma_parsec::distribution::DiamondDistribution;
 use hicma_parsec::linalg::norms::relative_diff;
 use hicma_parsec::linalg::Matrix;
@@ -21,7 +21,10 @@ fn fixture(
     per_virus: usize,
     seed: u64,
 ) -> (Vec<hicma_parsec::mesh::Point3>, GaussianRbf) {
-    let cfg = VirusConfig { points_per_virus: per_virus, ..Default::default() };
+    let cfg = VirusConfig {
+        points_per_virus: per_virus,
+        ..Default::default()
+    };
     let raw = virus_population(n_viruses, &cfg, seed);
     let points = apply_permutation(&raw, &hilbert_sort(&raw));
     let kernel = GaussianRbf::from_min_distance(&points);
@@ -73,9 +76,18 @@ fn faulty_network_and_crash_reproduce_shared_memory_factor() {
         .expect("fault layer was configured");
 
     assert_eq!(outcome.stats.crashes, 1, "the scheduled crash must fire");
-    assert!(outcome.stats.messages_dropped > 0, "drop injection must bite");
-    assert!(outcome.stats.tasks_migrated > 0, "recovery must migrate work");
-    assert!(outcome.stats.retransmissions > 0, "drops must force retransmits");
+    assert!(
+        outcome.stats.messages_dropped > 0,
+        "drop injection must bite"
+    );
+    assert!(
+        outcome.stats.tasks_migrated > 0,
+        "recovery must migrate work"
+    );
+    assert!(
+        outcome.stats.retransmissions > 0,
+        "drops must force retransmits"
+    );
     let diff = relative_diff(&faulty.to_dense_lower(), &shared.to_dense_lower());
     assert!(
         diff == 0.0,
@@ -159,5 +171,94 @@ proptest! {
         prop_assert!(outcome.is_ok(), "survivable plan failed: {:?}", outcome.err());
         let diff = relative_diff(&faulty.to_dense_lower(), &shared.to_dense_lower());
         prop_assert!(diff == 0.0, "network faults changed the factor: {diff}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any lossy *and* corrupted network preserves the communication-
+    /// ledger invariants: every attempt is counted (`comm.messages ==
+    /// sent + retransmissions`), every mutated payload is detected and
+    /// NACKed exactly once, no send is abandoned, and the factor stays
+    /// bit-identical to the shared-memory run.
+    #[test]
+    fn corrupted_lossy_network_preserves_comm_invariants(
+        seed in 0u64..100_000,
+        drop_pct in 0u32..20,
+        corrupt_pct in 0u32..40,
+    ) {
+        let n = 96;
+        let b = 24;
+        let acc = 1e-8;
+        let gen = gaussian_gen(n, 6.0);
+        let ccfg = CompressionConfig::with_accuracy(acc);
+        let mut shared = TlrMatrix::from_generator(n, b, &gen, &ccfg);
+        let mut faulty = TlrMatrix::from_generator(n, b, &gen, &ccfg);
+        let fcfg = FactorConfig::with_accuracy(acc);
+        factorize(&mut shared, &fcfg).unwrap();
+
+        let plan = FaultPlan::new(seed)
+            .with_drops(drop_pct as f64 / 100.0)
+            .with_message_corruption(corrupt_pct as f64 / 100.0);
+        let ft = FtConfig::with_plan(plan);
+        let out = Session::distributed(fcfg, 4, &DiamondDistribution::new(4))
+            .with_fault_layer(&ft)
+            .run(&mut faulty);
+        prop_assert!(out.is_ok(), "survivable plan failed: {:?}", out.err());
+        let out = out.unwrap();
+        let stats = &out.ft.as_ref().unwrap().stats;
+        let comm = out.comm.as_ref().unwrap();
+        prop_assert_eq!(
+            comm.messages as usize,
+            stats.messages_sent + stats.retransmissions,
+            "comm ledger must count every attempt"
+        );
+        prop_assert_eq!(stats.corruptions_detected, stats.messages_corrupted,
+            "exact digests admit no false negatives and no store strikes ran");
+        prop_assert_eq!(stats.nacks_sent, stats.corruptions_detected,
+            "every detected payload must be NACKed exactly once");
+        prop_assert_eq!(stats.sends_abandoned, 0, "NACK/retransmit must converge");
+        prop_assert_eq!(stats.store_corruptions_injected, 0);
+        let diff = relative_diff(&faulty.to_dense_lower(), &shared.to_dense_lower());
+        prop_assert!(diff == 0.0, "corruption changed the factor: {diff}");
+    }
+
+    /// A fault-free run with the integrity layer armed explicitly never
+    /// trips a digest check: zero false positives, zero heal activity,
+    /// and the comm ledger matches a run with the layer off.
+    #[test]
+    fn armed_integrity_layer_is_invisible_on_clean_runs(seed in 0u64..100_000) {
+        let n = 96;
+        let b = 24;
+        let acc = 1e-8;
+        let gen = gaussian_gen(n, 6.0);
+        let ccfg = CompressionConfig::with_accuracy(acc);
+        let mut plain = TlrMatrix::from_generator(n, b, &gen, &ccfg);
+        let mut sealed = TlrMatrix::from_generator(n, b, &gen, &ccfg);
+        let fcfg = FactorConfig::with_accuracy(acc);
+        let ft = FtConfig::with_plan(FaultPlan::new(seed));
+
+        let base = Session::distributed(fcfg, 4, &DiamondDistribution::new(4))
+            .with_fault_layer(&ft)
+            .run(&mut plain)
+            .unwrap();
+        let mut vcfg = fcfg;
+        vcfg.integrity = IntegrityMode::VerifyReads;
+        let out = Session::distributed(vcfg, 4, &DiamondDistribution::new(4))
+            .with_fault_layer(&ft)
+            .run(&mut sealed)
+            .unwrap();
+        let stats = &out.ft.as_ref().unwrap().stats;
+        prop_assert_eq!(stats.corruptions_detected, 0, "false positive on a clean run");
+        prop_assert_eq!(stats.corruptions_healed, 0);
+        prop_assert_eq!(stats.nacks_sent, 0);
+        prop_assert_eq!(
+            out.comm.as_ref().unwrap().messages,
+            base.comm.as_ref().unwrap().messages,
+            "sealing must not change the communication schedule"
+        );
+        let diff = relative_diff(&sealed.to_dense_lower(), &plain.to_dense_lower());
+        prop_assert!(diff == 0.0, "integrity layer changed the factor: {diff}");
     }
 }
