@@ -158,7 +158,10 @@ impl MatrixAnalysis {
     pub fn dense_tasks(&self) -> usize {
         let nt = self.nt;
         // POTRF: NT; TRSM & SYRK: NT(NT−1)/2 each; GEMM: NT(NT−1)(NT−2)/6.
-        nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) / 6
+        // Saturating: a one-tile matrix (NT = 1, possible for n below the
+        // tuner's tile-size floor) is a single POTRF, not an underflow.
+        nt + nt * (nt.saturating_sub(1))
+            + nt * (nt.saturating_sub(1)) * (nt.saturating_sub(2)) / 6
     }
 
     /// Approximate memory footprint of the analysis structure in bytes —

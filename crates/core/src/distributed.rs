@@ -56,11 +56,31 @@ pub(crate) struct DistPlan {
     pub(crate) initial: Vec<HashMap<DataRef, Tile>>,
 }
 
+/// Plan with no overrides (the static distribution alone). Production
+/// code plans through [`plan_distribution_with`]; this shorthand serves
+/// the tests that pin the baseline mapping.
+#[cfg(test)]
 pub(crate) fn plan_distribution(
     matrix: &mut TlrMatrix,
     cfg: &FactorConfig,
     nprocs: usize,
     exec: &dyn TileDistribution,
+) -> DistPlan {
+    plan_distribution_with(matrix, cfg, nprocs, exec, &HashMap::new())
+}
+
+/// [`plan_distribution`] with per-tile rank overrides: a tile present in
+/// `overrides` executes (all its writers, hence its whole update chain)
+/// on the given rank instead of `exec.owner(i, j)`. This is the hook the
+/// comm-feedback re-planner ([`crate::replan::CommReplanner`]) steers —
+/// overriding whole write-chains keeps the engine's writers-co-located
+/// placement invariant by construction.
+pub(crate) fn plan_distribution_with(
+    matrix: &mut TlrMatrix,
+    cfg: &FactorConfig,
+    nprocs: usize,
+    exec: &dyn TileDistribution,
+    overrides: &HashMap<(usize, usize), usize>,
 ) -> DistPlan {
     let nt = matrix.nt();
     let dag = build_cholesky_dag(
@@ -71,7 +91,16 @@ pub(crate) fn plan_distribution(
         },
     );
 
-    // Execution rank per task = exec mapping of the tile it writes.
+    let rank_of_tile = |i: usize, j: usize| {
+        overrides
+            .get(&(i, j))
+            .copied()
+            .unwrap_or_else(|| exec.owner(i, j))
+            .min(nprocs - 1)
+    };
+
+    // Execution rank per task = (possibly overridden) exec mapping of
+    // the tile it writes.
     let exec_rank: Vec<usize> = (0..dag.graph.len())
         .map(|t| {
             let w = dag
@@ -79,7 +108,7 @@ pub(crate) fn plan_distribution(
                 .spec(t)
                 .writes
                 .expect("every Cholesky task writes its tile");
-            exec.owner(w.i, w.j)
+            rank_of_tile(w.i, w.j)
         })
         .collect();
 
@@ -112,7 +141,7 @@ pub(crate) fn plan_distribution(
             let rank = first_writer
                 .get(&(i, j))
                 .map(|&t| exec_rank[t])
-                .unwrap_or_else(|| exec.owner(i, j).min(nprocs - 1));
+                .unwrap_or_else(|| rank_of_tile(i, j));
             placement.insert((i, j), rank);
             initial[rank].insert(DataRef { i, j }, matrix.take_tile(i, j));
         }

@@ -10,6 +10,7 @@
 use crate::session::{RunError, Session};
 use runtime::engine::EngineError;
 use runtime::obs::RunMetrics;
+use runtime::scheduler::SchedPolicy;
 use runtime::trace::{ClassBreakdown, Trace};
 use tlr_compress::{CompressionConfig, RankEvolution, RankSnapshot, TlrMatrix};
 use tlr_linalg::CholeskyError;
@@ -61,6 +62,14 @@ pub struct FactorConfig {
     /// [`IntegrityMode::Off`] (zero overhead); a distributed fault plan
     /// that injects corruption arms the layer automatically.
     pub integrity: IntegrityMode,
+    /// Ready-queue scheduling policy consulted by the executor (and, on
+    /// the distributed path, applied as a priority-driven topological
+    /// reordering of each rank's queue). Policies change execution
+    /// *order* and makespan, never the factor values — the proptests in
+    /// `tests/engine_composition.rs` hold every policy to bit-identical
+    /// results. Defaults to [`SchedPolicy::PanelPriority`], the paper's
+    /// static panel-index order.
+    pub sched: SchedPolicy,
 }
 
 /// How much silent-data-corruption protection a factorization buys.
@@ -120,6 +129,7 @@ impl FactorConfig {
             collect_trace: cfg!(feature = "obs"),
             keep_dense_ratio: 1.0,
             integrity: IntegrityMode::Off,
+            sched: SchedPolicy::PanelPriority,
         }
     }
 

@@ -21,6 +21,7 @@ pub mod dag;
 pub mod distributed;
 pub mod factorize;
 pub mod lorapo;
+pub mod replan;
 pub mod session;
 pub mod simulate;
 pub mod solve;
@@ -35,6 +36,7 @@ pub use distributed::{
 };
 pub use distributed::{FtFactorError, FtFactorOutcome};
 pub use factorize::{factorize, FactorConfig, FactorMetrics, FactorReport, IntegrityMode};
+pub use replan::{modeled_comm, CommReplanner};
 pub use session::{RunError, RunOutcome, Session};
 pub use simulate::{
     simulate_cholesky, simulate_cholesky_faulty, DistributionPlan, SimConfig, SimReport,

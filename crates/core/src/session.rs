@@ -18,8 +18,9 @@
 //! mode returns the same [`RunOutcome`]; absent capabilities are `None`.
 
 use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
-use crate::distributed::{gather_tiles, kernel_env, plan_distribution, FtFactorOutcome};
+use crate::distributed::{gather_tiles, kernel_env, plan_distribution_with, FtFactorOutcome};
 use crate::factorize::{FactorConfig, FactorMetrics, FactorReport, IntegrityMode};
+use crate::replan::CommReplanner;
 use distribution::TileDistribution;
 use parking_lot::{Mutex, RwLock};
 use runtime::critical_path::critical_path;
@@ -30,6 +31,7 @@ use runtime::engine::{
 use runtime::fault::{FtConfig, FtError, IntegrityError};
 use runtime::graph::{DataRef, TaskClass};
 use runtime::trace::{ClassBreakdown, Trace};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +52,7 @@ enum Mode<'a> {
         nprocs: usize,
         exec: &'a dyn TileDistribution,
         ft: Option<&'a FtConfig>,
+        replan: Option<&'a RefCell<CommReplanner>>,
     },
 }
 
@@ -86,6 +89,7 @@ impl<'a> Session<'a> {
                 nprocs,
                 exec,
                 ft: None,
+                replan: None,
             },
         }
     }
@@ -103,6 +107,23 @@ impl<'a> Session<'a> {
     pub fn with_fault_layer(mut self, ft_cfg: &'a FtConfig) -> Self {
         if let Mode::Distributed { ft, .. } = &mut self.mode {
             *ft = Some(ft_cfg);
+        }
+        self
+    }
+
+    /// Layer a comm-feedback re-planner onto a distributed session: each
+    /// run plans its tile placement with the replanner's current
+    /// overrides, and after a successful run feeds the measured
+    /// [`CommStats`] back ([`CommReplanner::observe`]) so repeated
+    /// solves on the same geometry converge to a lower-traffic mapping.
+    /// The factor stays bit-identical — re-planning only moves whole
+    /// tile write-chains between ranks, never changes what they compute.
+    ///
+    /// Re-planning is a distributed-memory concept; on a shared session
+    /// this is a documented no-op.
+    pub fn with_replanner(mut self, replanner: &'a RefCell<CommReplanner>) -> Self {
+        if let Mode::Distributed { replan, .. } = &mut self.mode {
+            *replan = Some(replanner);
         }
         self
     }
@@ -175,9 +196,12 @@ impl<'a> Session<'a> {
     fn attempt(&self, matrix: &mut TlrMatrix) -> Result<RunOutcome, RunError> {
         match self.mode {
             Mode::Shared => shared_attempt(matrix, &self.cfg),
-            Mode::Distributed { nprocs, exec, ft } => {
-                distributed_attempt(matrix, &self.cfg, nprocs, exec, ft)
-            }
+            Mode::Distributed {
+                nprocs,
+                exec,
+                ft,
+                replan,
+            } => distributed_attempt(matrix, &self.cfg, nprocs, exec, ft, replan),
         }
     }
 }
@@ -188,11 +212,17 @@ impl fmt::Debug for Session<'_> {
         d.field("cfg", &self.cfg);
         match &self.mode {
             Mode::Shared => d.field("mode", &"shared"),
-            Mode::Distributed { nprocs, exec, ft } => d
+            Mode::Distributed {
+                nprocs,
+                exec,
+                ft,
+                replan,
+            } => d
                 .field("mode", &"distributed")
                 .field("nprocs", nprocs)
                 .field("exec", &exec.name())
-                .field("fault_layer", &ft.is_some()),
+                .field("fault_layer", &ft.is_some())
+                .field("replanner", &replan.is_some()),
         };
         d.finish()
     }
@@ -399,7 +429,8 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
 
     let engine_cfg = EngineConfig::new(nthreads)
         .with_cancel(&cancel)
-        .with_obs(obs.as_ref());
+        .with_obs(obs.as_ref())
+        .with_sched(cfg.sched);
     let exec_t0 = std::time::Instant::now();
     let exec_result = Engine::new(&dag.graph).run(&engine_cfg, |wid, t| {
         if cancel.load(Ordering::Acquire) {
@@ -614,11 +645,18 @@ fn distributed_attempt(
     nprocs: usize,
     exec: &dyn TileDistribution,
     ft: Option<&FtConfig>,
+    replan: Option<&RefCell<CommReplanner>>,
 ) -> Result<RunOutcome, RunError> {
     let tile_size = matrix.tile_size();
     let memory_before_f64 = matrix.memory_f64();
     let t0 = std::time::Instant::now();
-    let mut plan = plan_distribution(matrix, cfg, nprocs, exec);
+    // A re-planner steers placement through per-tile overrides learned
+    // from earlier runs on this geometry; without one the static
+    // distribution plans alone (empty override map).
+    let overrides = replan
+        .map(|r| r.borrow().overrides().clone())
+        .unwrap_or_default();
+    let mut plan = plan_distribution_with(matrix, cfg, nprocs, exec, &overrides);
     let analysis_seconds = t0.elapsed().as_secs_f64();
     let initial = std::mem::take(&mut plan.initial);
     let env = kernel_env(&plan, cfg, tile_size);
@@ -629,6 +667,7 @@ fn distributed_attempt(
     let dist_cfg = DistConfig {
         ft,
         record_trace: cfg.collect_trace && ExecObs::enabled(),
+        sched: Some(cfg.sched),
     };
     // The integrity layer arms when asked for explicitly, or whenever
     // the fault plan injects corruption — silent corruption with the
@@ -684,6 +723,12 @@ fn distributed_attempt(
     gather_tiles(matrix, &plan, &out.exec_rank, &out.stores);
     if let Some(e) = env.error.into_inner() {
         return Err(RunError::Numeric(e));
+    }
+    // Feed the measured traffic back into the re-planner (successful
+    // runs only — a failed attempt's comm is not a usable signal).
+    if let Some(r) = replan {
+        r.borrow_mut()
+            .observe(&plan.dag.graph, &plan.exec_rank, &out.comm);
     }
 
     let report = FactorReport {

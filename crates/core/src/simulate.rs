@@ -10,11 +10,15 @@
 //! which we account as write-back bytes.
 
 use crate::dag::{build_cholesky_dag, CholeskyDag, DagConfig};
-use runtime::des::{simulate_with_faults, CommStats, DesConfig, DesTask, FaultSchedule};
+use runtime::des::{simulate_with_scheduler_faults, CommStats, DesConfig, DesTask, FaultSchedule};
 use runtime::graph::DataRef;
 use runtime::machine::MachineModel;
+use runtime::scheduler::{
+    queue_keys, upward_rank_comm_keys, CommCosts, CostModel, LookaheadScheduler, RankProfile,
+    SchedPolicy, Scheduler, StaticScheduler,
+};
 use runtime::trace::ClassBreakdown;
-use tlr_compress::RankSnapshot;
+use tlr_compress::{RankEvolution, RankSnapshot};
 use distribution::{
     BandDistribution, DiamondDistribution, LorapoHybrid, TileDistribution, TwoDBlockCyclic,
 };
@@ -61,6 +65,13 @@ pub struct SimConfig {
     pub rank_cap: usize,
     /// Band width for the band-based plans (2 = diagonal + sub-diagonal).
     pub band_width: usize,
+    /// Ready-queue scheduling policy of the simulated runtime.
+    /// [`SchedPolicy::CommAwareUpwardRank`] prices cross-node edges with
+    /// this machine's latency/bandwidth;
+    /// [`SchedPolicy::RankAwareLookahead`] prices kernels from the
+    /// snapshot's rank distribution via [`CostModel`] and keeps
+    /// correcting those estimates from simulated durations mid-run.
+    pub sched: SchedPolicy,
 }
 
 impl SimConfig {
@@ -73,6 +84,7 @@ impl SimConfig {
             trimmed: true,
             rank_cap: usize::MAX,
             band_width: 2,
+            sched: SchedPolicy::PanelPriority,
         }
     }
 }
@@ -278,7 +290,42 @@ pub fn simulate_cholesky_faulty(
         dep_overhead_s: cfg.machine.dep_overhead_s,
         task_mgmt_s: cfg.machine.task_overhead_s,
     };
-    let report = simulate_with_faults(&dag.graph, &tasks, &des_cfg, faults)?;
+    // Ready-queue policy of the simulated runtime. Static policies
+    // precompute one key table; the two dynamic ones consult the machine
+    // model — comm-aware ranking prices cross-node edges with this
+    // network, and the rank-aware lookahead prices kernels from the
+    // snapshot's measured rank distribution, then keeps correcting those
+    // estimates from simulated durations via `on_task_finished`.
+    let dur = |t: usize| tasks[t].duration;
+    let mut sched: Box<dyn Scheduler> = match cfg.sched {
+        SchedPolicy::CommAwareUpwardRank => {
+            let proc_of: Vec<usize> = tasks.iter().map(|t| t.proc).collect();
+            let keys = upward_rank_comm_keys(
+                &dag.graph,
+                dur,
+                &proc_of,
+                &CommCosts::from_machine(&cfg.machine),
+            );
+            Box::new(StaticScheduler::new(keys)?)
+        }
+        SchedPolicy::RankAwareLookahead => {
+            let mut evo = RankEvolution::default();
+            for i in 0..initial.nt() {
+                for j in 0..=i {
+                    let r = initial.rank(i, j);
+                    if r > 0 {
+                        evo.record(r, r);
+                    }
+                }
+            }
+            let profile = RankProfile::from_histogram(evo.histogram(), initial.tile_size());
+            let model = CostModel::from_machine(&cfg.machine, &profile);
+            Box::new(LookaheadScheduler::with_cost_model(&dag.graph, &model)?)
+        }
+        p => Box::new(StaticScheduler::new(queue_keys(&dag.graph, dur, p))?),
+    };
+    let report =
+        simulate_with_scheduler_faults(&dag.graph, &tasks, &des_cfg, sched.as_mut(), faults)?;
 
     // Critical path without runtime overhead: pure kernel chain (§VIII-G).
     let cp = runtime::critical_path::critical_path(&dag.graph, |t| {
@@ -345,6 +392,7 @@ mod tests {
             trimmed,
             rank_cap: usize::MAX,
             band_width: 2,
+            sched: SchedPolicy::PanelPriority,
         }
     }
 

@@ -50,9 +50,15 @@ pub fn tune_tile_size(
     let mults: &[f64] = if multipliers.is_empty() { &defaults } else { multipliers };
     let seed = 1.41 * n.sqrt();
     let mut sweep = Vec::with_capacity(mults.len());
+    let n_int = (n.round() as usize).max(1);
     for &m in mults {
-        let b = ((seed * m).round() as usize).max(32);
-        let nt = ((n / b as f64).round() as usize).max(4);
+        // Clamp the seed into [min(32, n), n] and derive the tile count
+        // by ceiling division, so the pair stays consistent at any `n`:
+        // `b ≤ n`, `b·nt ≥ n` and `b·(nt−1) < n`. The old independent
+        // `.max(32)` / `.max(4)` clamps could silently tune a matrix up
+        // to 25× larger than requested (`b·nt = 128` for `n = 5`).
+        let b = ((seed * m).round() as usize).clamp(32.min(n_int), n_int);
+        let nt = n_int.div_ceil(b);
         let snap = SyntheticRankModel::from_application(nt, b, shape, accuracy).snapshot();
         let r = simulate_cholesky(&snap, cfg);
         sweep.push(TuneSample {
@@ -109,5 +115,40 @@ mod tests {
         assert_eq!(r.sweep.len(), 1);
         let expected_b = (1.41 * (1e5f64).sqrt()).round() as usize;
         assert_eq!(r.best.tile_size, expected_b);
+    }
+
+    /// Satellite bugfix regression: `b` and `nt` must describe the
+    /// matrix actually requested. The old independent clamps produced
+    /// `b = 32, nt = 4` (a 128-unknown matrix) for `n = 5`, and `b > n`
+    /// whenever `n < 32`.
+    #[test]
+    fn tiny_problems_stay_consistent() {
+        for &n in &[5.0_f64, 20.0, 100.0, 1000.0] {
+            let r = tune_tile_size(n, 3.7e-4, 1e-4, &cfg(), &[0.35, 1.0, 3.0]);
+            let n_int = n as usize;
+            for s in &r.sweep {
+                assert!(s.tile_size <= n_int, "b {} > n {n_int}", s.tile_size);
+                assert!(
+                    s.tile_size * s.nt >= n_int,
+                    "b·nt {} < n {n_int}",
+                    s.tile_size * s.nt
+                );
+                assert!(
+                    s.tile_size * (s.nt - 1) < n_int,
+                    "a whole tile row past n: b {} nt {}",
+                    s.tile_size,
+                    s.nt
+                );
+            }
+        }
+    }
+
+    /// At `n` smaller than the 32-column floor the whole matrix is one
+    /// tile: `b = n`, `nt = 1`.
+    #[test]
+    fn sub_floor_n_collapses_to_one_tile() {
+        let r = tune_tile_size(20.0, 3.7e-4, 1e-4, &cfg(), &[1.0]);
+        assert_eq!(r.best.tile_size, 20);
+        assert_eq!(r.best.nt, 1);
     }
 }

@@ -27,6 +27,7 @@
 use crate::engine::EngineError;
 use crate::fault::{fault_unit, FaultPlan, FtError};
 use crate::graph::{TaskGraph, TaskId};
+use crate::scheduler::{Scheduler, StaticScheduler};
 use crate::trace::Trace;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -204,8 +205,10 @@ impl DesReport {
     }
 }
 
-/// Total-ordering wrapper for event times (`f64` is not `Ord`; simulated
-/// times are always finite).
+/// Total-ordering wrapper for event times. Ordered by `total_cmp` so a
+/// pathological key can never panic deep inside the event loop — the
+/// entry points reject non-finite scheduling keys up front with
+/// [`EngineError::NonFiniteKey`] instead.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Time(f64);
 
@@ -219,9 +222,7 @@ impl PartialOrd for Time {
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("simulation times must be finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -252,19 +253,59 @@ pub fn simulate(graph: &TaskGraph, tasks: &[DesTask], config: &DesConfig) -> Des
         .map(|t| graph.spec(t).priority as f64)
         .collect();
     simulate_with_order(graph, tasks, config, &keys)
+        .expect("priority keys are finite and the preconditions are asserted")
 }
 
 /// Run the simulation with an explicit ready-queue ordering: `keys[t]`
 /// sorts ready tasks per process, **smaller first** (see
 /// [`crate::scheduler::queue_keys`]).
+///
+/// # Errors
+///
+/// [`EngineError::NonFiniteKey`] if any key is NaN or infinite — the
+/// typed replacement for what used to be a `partial_cmp().unwrap()`
+/// panic deep inside the event loop.
 pub fn simulate_with_order(
     graph: &TaskGraph,
     tasks: &[DesTask],
     config: &DesConfig,
     keys: &[f64],
-) -> DesReport {
-    sim_core(graph, tasks, config, keys, &FaultSchedule::none())
-        .expect("fault-free simulation cannot fail")
+) -> Result<DesReport, EngineError> {
+    let mut sched = StaticScheduler::new(keys.to_vec())?;
+    sim_core(graph, tasks, config, &mut sched, &FaultSchedule::none())
+}
+
+/// Run the simulation consulting a [`Scheduler`] implementation: the
+/// event loop calls `on_task_ready` when a task's inputs have arrived
+/// (the returned key orders that process's ready queue, smaller first)
+/// and `on_task_finished` with the simulated duration when it retires —
+/// which is what lets a dynamic policy such as
+/// [`crate::scheduler::LookaheadScheduler`] adapt mid-run.
+///
+/// # Errors
+///
+/// [`EngineError::NonFiniteKey`] if the scheduler ever returns a NaN or
+/// infinite key.
+pub fn simulate_with_scheduler(
+    graph: &TaskGraph,
+    tasks: &[DesTask],
+    config: &DesConfig,
+    sched: &mut dyn Scheduler,
+) -> Result<DesReport, EngineError> {
+    sim_core(graph, tasks, config, sched, &FaultSchedule::none())
+}
+
+/// [`simulate_with_scheduler`] under a fail-stop/corruption fault
+/// schedule — the full-generality entry point (every other `simulate*`
+/// function is a wrapper over this pairing).
+pub fn simulate_with_scheduler_faults(
+    graph: &TaskGraph,
+    tasks: &[DesTask],
+    config: &DesConfig,
+    sched: &mut dyn Scheduler,
+    faults: &FaultSchedule,
+) -> Result<DesReport, EngineError> {
+    sim_core(graph, tasks, config, sched, faults)
 }
 
 /// Run the simulation under a fail-stop fault schedule, pricing the
@@ -302,17 +343,17 @@ pub fn simulate_with_faults(
     let keys: Vec<f64> = (0..graph.len())
         .map(|t| graph.spec(t).priority as f64)
         .collect();
-    sim_core(graph, tasks, config, &keys, faults)
+    let mut sched = StaticScheduler::new(keys)?;
+    sim_core(graph, tasks, config, &mut sched, faults)
 }
 
 fn sim_core(
     graph: &TaskGraph,
     tasks: &[DesTask],
     config: &DesConfig,
-    keys: &[f64],
+    sched: &mut dyn Scheduler,
     faults: &FaultSchedule,
 ) -> Result<DesReport, EngineError> {
-    assert_eq!(keys.len(), graph.len(), "one key per task");
     assert_eq!(tasks.len(), graph.len(), "one DesTask per graph task");
     assert!(
         graph.topological_order().is_some(),
@@ -494,7 +535,13 @@ fn sim_core(
             EventKind::Managed(t) => {
                 let p = proc_of[t];
                 ready_time[t] = now;
-                queues[p].push(Reverse((Time(keys[t]), t)));
+                // Consult the scheduling policy: the key decides the
+                // task's position in this process's ready queue.
+                let key = sched.on_task_ready(t, graph);
+                if !key.is_finite() {
+                    return Err(EngineError::NonFiniteKey { task: t, key });
+                }
+                queues[p].push(Reverse((Time(key), t)));
                 // Start as many queued tasks as there are idle cores.
                 while idle[p] > 0 {
                     let Some(Reverse((_, tid))) = queues[p].pop() else {
@@ -532,6 +579,9 @@ fn sim_core(
                 makespan = makespan.max(now);
                 completed += 1;
                 done[t] = true;
+                // Feedback channel of dynamic policies: the simulated
+                // duration is this world's "measured" time.
+                sched.on_task_finished(t, graph, tasks[t].duration);
                 if reexec[t] {
                     // Recovery re-run: successors were already released by
                     // the first execution (surviving consumers kept their
@@ -1363,5 +1413,85 @@ mod tests {
         assert!((r.load_imbalance() - 1.0).abs() < 1e-12);
         // serial chain on 2 procs: efficiency = 4 / (2*4) = 0.5
         assert!((r.efficiency_vs_serial() - 0.5).abs() < 1e-12);
+    }
+
+    /// Satellite bugfix regression: a NaN scheduling key used to panic
+    /// via `partial_cmp().unwrap()` deep inside the event loop; now it
+    /// is rejected up front as a typed error.
+    #[test]
+    fn non_finite_keys_are_a_typed_error_not_a_panic() {
+        let g = chain(4);
+        let tasks: Vec<DesTask> = (0..4).map(|_| DesTask { proc: 0, duration: 1.0 }).collect();
+        let cfg = single_proc_config(2);
+        let keys = vec![0.0, f64::NAN, 2.0, 3.0];
+        let err = simulate_with_order(&g, &tasks, &cfg, &keys).unwrap_err();
+        assert!(matches!(err, EngineError::NonFiniteKey { task: 1, .. }));
+        let keys = vec![0.0, 1.0, f64::NEG_INFINITY, 3.0];
+        let err = simulate_with_order(&g, &tasks, &cfg, &keys).unwrap_err();
+        assert!(matches!(err, EngineError::NonFiniteKey { task: 2, .. }));
+    }
+
+    /// A scheduler that returns a NaN key *mid-run* (a buggy dynamic
+    /// policy) also surfaces as the typed error, not a panic.
+    #[test]
+    fn mid_run_nan_key_is_caught() {
+        struct Buggy;
+        impl crate::scheduler::Scheduler for Buggy {
+            fn on_task_ready(&mut self, task: TaskId, _g: &TaskGraph) -> f64 {
+                if task == 2 {
+                    f64::NAN
+                } else {
+                    task as f64
+                }
+            }
+        }
+        let g = chain(4);
+        let tasks: Vec<DesTask> = (0..4).map(|_| DesTask { proc: 0, duration: 1.0 }).collect();
+        let err = simulate_with_scheduler(&g, &tasks, &single_proc_config(1), &mut Buggy)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NonFiniteKey { task: 2, .. }));
+    }
+
+    /// The scheduler callbacks fire as documented: one `on_task_ready`
+    /// and one `on_task_finished` per task on a fault-free run, with the
+    /// simulated duration reported as the measured time.
+    #[test]
+    fn scheduler_callbacks_fire_per_task() {
+        struct Counting {
+            ready: usize,
+            finished: usize,
+            measured: f64,
+        }
+        impl crate::scheduler::Scheduler for Counting {
+            fn on_task_ready(&mut self, task: TaskId, _g: &TaskGraph) -> f64 {
+                self.ready += 1;
+                task as f64
+            }
+            fn on_task_finished(&mut self, _task: TaskId, _g: &TaskGraph, measured_s: f64) {
+                self.finished += 1;
+                self.measured += measured_s;
+            }
+        }
+        let g = chain(5);
+        let tasks: Vec<DesTask> = (0..5).map(|_| DesTask { proc: 0, duration: 2.0 }).collect();
+        let mut sched = Counting { ready: 0, finished: 0, measured: 0.0 };
+        let r = simulate_with_scheduler(&g, &tasks, &single_proc_config(2), &mut sched).unwrap();
+        assert_eq!(sched.ready, 5);
+        assert_eq!(sched.finished, 5);
+        assert!((sched.measured - 10.0).abs() < 1e-12);
+        assert!((r.makespan - 10.0).abs() < 1e-12);
+    }
+
+    /// `simulate_with_order` with the priority keys equals `simulate` —
+    /// the static path is one scheduler among several, not a fork.
+    #[test]
+    fn static_scheduler_path_matches_simulate() {
+        let (g, tasks) = wide_graph(10);
+        let cfg = faulty_cfg();
+        let base = simulate(&g, &tasks, &cfg);
+        let keys: Vec<f64> = (0..g.len()).map(|t| g.spec(t).priority as f64).collect();
+        let via_order = simulate_with_order(&g, &tasks, &cfg, &keys).unwrap();
+        assert_eq!(via_order.makespan, base.makespan);
+        assert_eq!(via_order.comm, base.comm);
     }
 }

@@ -38,6 +38,10 @@ use crate::des::CommStats;
 use crate::fault::{FaultStats, FtConfig, FtError, IntegrityError};
 use crate::graph::{DataRef, TaskGraph, TaskId};
 use crate::obs::RunEvent;
+use crate::scheduler::{
+    priority_topo_order, queue_keys, upward_rank_comm_keys, validate_keys, CommCosts,
+    LookaheadScheduler, SchedPolicy, Scheduler, StaticScheduler,
+};
 use crate::trace::{TaskRecord, Trace};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
@@ -393,6 +397,16 @@ pub enum EngineError {
         /// The rank count.
         nprocs: usize,
     },
+    /// A scheduling key (or cost estimate) is NaN or infinite. Ordered
+    /// ready queues cannot place such a task, so the key is rejected as
+    /// a typed error where it used to panic inside a
+    /// `partial_cmp().unwrap()` sort.
+    NonFiniteKey {
+        /// The task whose key is unusable.
+        task: TaskId,
+        /// The offending key value.
+        key: f64,
+    },
     /// The fault layer could not recover (all ranks dead, retries
     /// exhausted, or the run stalled).
     Fault(FtError),
@@ -426,6 +440,9 @@ impl std::fmt::Display for EngineError {
                     f,
                     "fault plan crashes invalid rank {rank} (nprocs {nprocs})"
                 )
+            }
+            EngineError::NonFiniteKey { task, key } => {
+                write!(f, "non-finite scheduling key {key} for task {task}")
             }
             EngineError::Fault(e) => write!(f, "unrecoverable runtime fault: {e}"),
         }
@@ -463,16 +480,23 @@ pub struct EngineConfig<C = NoCancel, O = NoObserve> {
     pub cancel: C,
     /// Observation hook.
     pub obs: O,
+    /// Ready-queue scheduling policy (default
+    /// [`SchedPolicy::PanelPriority`]). The engine builds the matching
+    /// [`Scheduler`] itself, pricing tasks by their planned flops; to
+    /// supply a custom implementation use
+    /// [`Engine::run_with_scheduler`].
+    pub sched: SchedPolicy,
 }
 
 impl EngineConfig {
     /// A plain run on `nthreads` workers: no cancellation token, no span
-    /// capture.
+    /// capture, panel-priority scheduling.
     pub fn new(nthreads: usize) -> Self {
         EngineConfig {
             nthreads,
             cancel: NoCancel,
             obs: NoObserve,
+            sched: SchedPolicy::PanelPriority,
         }
     }
 }
@@ -484,6 +508,7 @@ impl<C, O> EngineConfig<C, O> {
             nthreads: self.nthreads,
             cancel,
             obs: self.obs,
+            sched: self.sched,
         }
     }
 
@@ -494,7 +519,14 @@ impl<C, O> EngineConfig<C, O> {
             nthreads: self.nthreads,
             cancel: self.cancel,
             obs,
+            sched: self.sched,
         }
+    }
+
+    /// Select the ready-queue scheduling policy.
+    pub fn with_sched(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
     }
 }
 
@@ -543,6 +575,36 @@ impl<'g> Engine<'g> {
         O: Observe,
         F: Fn(usize, TaskId) + Sync,
     {
+        let mut sched = policy_scheduler(self.graph, cfg.sched)?;
+        self.run_with_scheduler(cfg, sched.as_mut(), kernel)
+    }
+
+    /// [`run`](Engine::run) consulting an explicit [`Scheduler`]
+    /// implementation instead of building one from
+    /// [`EngineConfig::sched`].
+    ///
+    /// The engine calls `on_task_ready` for every task that becomes
+    /// ready (under an internal mutex — the callbacks must be cheap) and
+    /// orders the ready work by the returned key: sources are seeded
+    /// best-first and each retirement pushes its newly-released
+    /// successors onto the releasing worker's LIFO deque worst-first, so
+    /// the best key is popped next while locality is preserved.
+    /// `on_task_finished` fires at every retirement with the measured
+    /// wall-clock seconds of the kernel — the feedback a dynamic policy
+    /// ([`crate::scheduler::LookaheadScheduler`]) learns from. A
+    /// non-finite key fails the run with [`EngineError::NonFiniteKey`]
+    /// (remaining tasks drain without executing, as on a kernel panic).
+    pub fn run_with_scheduler<C, O, F>(
+        &self,
+        cfg: &EngineConfig<C, O>,
+        sched: &mut dyn Scheduler,
+        kernel: F,
+    ) -> Result<(), EngineError>
+    where
+        C: Cancel,
+        O: Observe,
+        F: Fn(usize, TaskId) + Sync,
+    {
         let graph = self.graph;
         let n = graph.len();
         if n == 0 {
@@ -560,18 +622,30 @@ impl<'g> Engine<'g> {
             .collect();
         let completed = AtomicUsize::new(0);
         let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
+        let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
         // Internal drain flag: a panic must stop the kernels even when the
         // caller supplied no cancellation token ([`NoCancel`]).
         let draining = AtomicBool::new(false);
 
         let injector = Injector::new();
-        // Seed sources in priority order (critical path first).
-        let mut sources = graph.sources();
-        sources.sort_by_key(|&t| graph.spec(t).priority);
-        for t in sources {
+        // Seed sources best-key-first (critical path first under the
+        // default policy). Keys are validated before any kernel runs.
+        let mut sources: Vec<(f64, TaskId)> = Vec::new();
+        for t in graph.sources() {
+            let key = sched.on_task_ready(t, graph);
+            if !key.is_finite() {
+                return Err(EngineError::NonFiniteKey { task: t, key });
+            }
+            sources.push((key, t));
+        }
+        sources.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (_, t) in sources {
             cfg.obs.on_enqueue(t);
             injector.push(t);
         }
+        // Shared by the workers: the policy's state is updated on every
+        // ready/finished callback, so it lives under one mutex.
+        let sched = Mutex::new(sched);
 
         let workers: Vec<Worker<TaskId>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
         let stealers: Vec<Stealer<TaskId>> = workers.iter().map(Worker::stealer).collect();
@@ -583,10 +657,14 @@ impl<'g> Engine<'g> {
                 let indegree = &indegree;
                 let completed = &completed;
                 let first_panic = &first_panic;
+                let first_error = &first_error;
                 let draining = &draining;
                 let kernel = &kernel;
+                let sched = &sched;
                 scope.spawn(move || {
                     let mut rng: u64 = 0x9E3779B97F4A7C15 ^ (wid as u64);
+                    // Reused per-retire scratch for released successors.
+                    let mut released: Vec<(f64, TaskId)> = Vec::new();
                     loop {
                         if completed.load(Ordering::Acquire) == n {
                             return;
@@ -595,7 +673,10 @@ impl<'g> Engine<'g> {
                         match task {
                             Some(t) => {
                                 let start_ns = cfg.obs.now_ns();
+                                let wall_start = std::time::Instant::now();
+                                let mut ran = false;
                                 if !draining.load(Ordering::Acquire) && !cfg.cancel.is_cancelled() {
+                                    ran = true;
                                     if let Err(payload) =
                                         catch_unwind(AssertUnwindSafe(|| kernel(wid, t)))
                                     {
@@ -613,14 +694,51 @@ impl<'g> Engine<'g> {
                                         }
                                     }
                                 }
+                                let measured_s =
+                                    if ran { wall_start.elapsed().as_secs_f64() } else { 0.0 };
                                 cfg.obs.on_retire(wid, t, start_ns);
                                 // Release successors even when draining: the
                                 // completion count must reach `n` to stop.
+                                released.clear();
                                 for e in graph.successors(t) {
                                     if indegree[e.dst].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                        cfg.obs.on_enqueue(e.dst);
-                                        local.push(e.dst);
+                                        released.push((0.0, e.dst));
                                     }
+                                }
+                                {
+                                    let mut s =
+                                        sched.lock().unwrap_or_else(|e| e.into_inner());
+                                    s.on_task_finished(t, graph, measured_s);
+                                    for slot in released.iter_mut() {
+                                        slot.0 = s.on_task_ready(slot.1, graph);
+                                    }
+                                }
+                                for &(key, dst) in released.iter() {
+                                    if !key.is_finite() {
+                                        // Typed failure, same drain protocol
+                                        // as a kernel panic: remaining tasks
+                                        // retire without executing.
+                                        draining.store(true, Ordering::Release);
+                                        cfg.cancel.cancel();
+                                        let mut slot = first_error
+                                            .lock()
+                                            .unwrap_or_else(|e| e.into_inner());
+                                        if slot.is_none() {
+                                            *slot = Some(EngineError::NonFiniteKey {
+                                                task: dst,
+                                                key,
+                                            });
+                                        }
+                                    }
+                                }
+                                // Worst key first onto the LIFO deque, so
+                                // the best key is what this worker pops
+                                // next (total_cmp: NaNs cannot panic the
+                                // sort even on the drain path).
+                                released.sort_by(|a, b| b.0.total_cmp(&a.0));
+                                for &(_, dst) in released.iter() {
+                                    cfg.obs.on_enqueue(dst);
+                                    local.push(dst);
                                 }
                                 completed.fetch_add(1, Ordering::AcqRel);
                             }
@@ -636,11 +754,30 @@ impl<'g> Engine<'g> {
             n,
             "not all tasks executed"
         );
+        if let Some(e) = first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(e);
+        }
         match first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
             Some(p) => Err(EngineError::Panic(p)),
             None => Ok(()),
         }
     }
+}
+
+/// Build the [`Scheduler`] for a policy in an engine that has no
+/// machine model: tasks are priced by their planned flops at a nominal
+/// 1 Gflop/s (only relative magnitudes matter for ordering, but the
+/// lookahead's online correction works best when the estimates are in
+/// seconds-like units).
+fn policy_scheduler(
+    graph: &TaskGraph,
+    policy: SchedPolicy,
+) -> Result<Box<dyn Scheduler>, EngineError> {
+    let cost = |t: TaskId| graph.spec(t).flops * 1e-9;
+    Ok(match policy {
+        SchedPolicy::RankAwareLookahead => Box::new(LookaheadScheduler::new(graph, cost)?),
+        p => Box::new(StaticScheduler::from_policy(graph, cost, p)?),
+    })
 }
 
 /// Pop local → steal from injector → steal from a random victim.
@@ -757,6 +894,17 @@ pub struct DistConfig<'a> {
     /// per *successful* task completion; crash re-executions append a
     /// second record, mirroring what a real tracer would see).
     pub record_trace: bool,
+    /// Ready-queue scheduling policy. The distributed engine executes
+    /// each rank's queue front-only, so an arbitrary per-rank reorder
+    /// can deadlock across ranks; a policy is therefore applied as a
+    /// *priority-driven topological order*
+    /// ([`crate::scheduler::priority_topo_order`]) shared by every rank
+    /// — always deadlock-free. `None` (the default) keeps the plain
+    /// creation-order topological sort, the engine's historical
+    /// behavior. Tasks are priced by planned flops at a nominal
+    /// 1 Gflop/s; [`SchedPolicy::CommAwareUpwardRank`] additionally
+    /// prices cross-rank edges at a nominal 1 GB/s.
+    pub sched: Option<SchedPolicy>,
 }
 
 /// Payload integrity hooks for [`DistEngine::run_with_integrity`].
@@ -1213,6 +1361,26 @@ impl<'g, 'r> DistEngine<'g, 'r> {
         }
         let Some(order) = graph.topological_order() else {
             return Err(EngineError::Cycle);
+        };
+        // Apply the scheduling policy as a priority-driven topological
+        // order (front-only rank queues deadlock under any order that
+        // is not globally topological — see [`DistConfig::sched`]).
+        let order = match cfg.sched {
+            None => order,
+            Some(policy) => {
+                let cost = |t: TaskId| graph.spec(t).flops * 1e-9;
+                let keys = match policy {
+                    SchedPolicy::CommAwareUpwardRank => upward_rank_comm_keys(
+                        graph,
+                        cost,
+                        exec_rank,
+                        &CommCosts { latency_s: 0.0, bandwidth_bps: 1e9 },
+                    ),
+                    p => queue_keys(graph, cost, p),
+                };
+                validate_keys(&keys)?;
+                priority_topo_order(graph, &keys).ok_or(EngineError::Cycle)?
+            }
         };
         for (t, &r) in exec_rank.iter().enumerate() {
             if r >= nprocs {
@@ -2055,6 +2223,7 @@ mod tests {
         let cfg = DistConfig {
             ft: None,
             record_trace: true,
+            sched: None,
         };
         let out = run_chain(n, nprocs, &cfg).unwrap();
         let trace = out.trace.expect("trace was requested");
@@ -2081,6 +2250,7 @@ mod tests {
         let cfg = DistConfig {
             ft: Some(&ft),
             record_trace: true,
+            sched: None,
         };
         let n = 12;
         let out = run_chain(n, 4, &cfg).unwrap();
@@ -2152,6 +2322,7 @@ mod tests {
         let cfg = DistConfig {
             ft: Some(&ft),
             record_trace: false,
+            sched: None,
         };
         let out = run_sealed_chain(n, 1, &cfg).unwrap();
         assert_eq!(out.stats.store_corruptions_injected, 1);
@@ -2198,6 +2369,7 @@ mod tests {
         let cfg = DistConfig {
             ft: Some(&ft),
             record_trace: false,
+            sched: None,
         };
         let out = run_sealed_chain(n, nprocs, &cfg).unwrap();
         assert_eq!(out.stats.store_corruptions_injected, 1);
@@ -2225,6 +2397,7 @@ mod tests {
         let cfg = DistConfig {
             ft: Some(&ft),
             record_trace: false,
+            sched: None,
         };
         let out = run_sealed_chain(n, 4, &cfg).unwrap();
         let last = DataRef { i: n - 1, j: 0 };
@@ -2267,6 +2440,7 @@ mod tests {
         let cfg = DistConfig {
             ft: Some(&ft),
             record_trace: false,
+            sched: None,
         };
         let out = run_sealed_chain(n, 4, &cfg).unwrap();
         let last = DataRef { i: n - 1, j: 0 };
@@ -2289,6 +2463,7 @@ mod tests {
         let cfg = DistConfig {
             ft: Some(&ft),
             record_trace: false,
+            sched: None,
         };
         let err = run_sealed_chain(4, 1, &cfg).unwrap_err();
         match err {
@@ -2313,6 +2488,7 @@ mod tests {
         let cfg = DistConfig {
             ft: Some(&ft),
             record_trace: false,
+            sched: None,
         };
         let out = run_chain(n, 2, &cfg).unwrap();
         assert_eq!(chain_result(&out, n), n as i64);
@@ -2334,6 +2510,7 @@ mod tests {
         let cfg = DistConfig {
             ft: Some(&ft),
             record_trace: true,
+            sched: None,
         };
         let out = run_sealed_chain(n, 4, &cfg).unwrap();
         let last = DataRef { i: n - 1, j: 0 };
@@ -2403,6 +2580,7 @@ mod tests {
                 &DistConfig {
                     ft: Some(&ft),
                     record_trace: false,
+                    sched: None,
                 },
                 body,
             )

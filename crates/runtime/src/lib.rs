@@ -47,7 +47,8 @@ pub mod scheduler;
 pub mod trace;
 
 pub use des::{
-    simulate, simulate_with_faults, DesConfig, DesCorrupt, DesCrash, DesReport, FaultSchedule,
+    simulate, simulate_with_faults, simulate_with_scheduler, DesConfig, DesCorrupt, DesCrash,
+    DesReport, FaultSchedule,
 };
 pub use engine::{
     Cancel, DistConfig, DistEngine, DistOutcome, Engine, EngineConfig, EngineError, ExecObs,
@@ -61,5 +62,9 @@ pub use fault::{
 };
 pub use graph::{DataRef, TaskClass, TaskGraph, TaskId, TaskSpec};
 pub use machine::MachineModel;
+pub use scheduler::{
+    queue_keys, upward_rank_comm_keys, CommCosts, CostModel, LookaheadScheduler, RankProfile,
+    SchedPolicy, Scheduler, StaticScheduler,
+};
 pub use obs::{chrome_trace_json, RunEvent, RunMetrics};
 pub use trace::{ClassBreakdown, Trace};

@@ -13,14 +13,36 @@
 //!   baselines (approximated statically by creation order);
 //! * [`SchedPolicy::UpwardRank`] — HEFT-style: longest remaining path to
 //!   a sink first (the strongest critical-path heuristic, at the cost of
-//!   a full graph traversal).
+//!   a full graph traversal);
+//! * [`SchedPolicy::CommAwareUpwardRank`] — upward rank that also prices
+//!   cross-process edges (latency + bytes/bandwidth), fixing the
+//!   comm-blind misranking of chains that cross ranks;
+//! * [`SchedPolicy::RankAwareLookahead`] — a *dynamic* critical-path
+//!   policy: per-kernel cost estimates from a [`CostModel`] (rank-aware
+//!   GEMM pricing via a [`RankProfile`] built from measured
+//!   `RankEvolution` histograms), corrected online by an EMA over the
+//!   measured/predicted ratio per task class.
+//!
+//! The policies are consumed through the [`Scheduler`] trait (the
+//! dslab-dag callback design): the DES event loop and the work-stealing
+//! engine call [`Scheduler::on_task_ready`] when a task becomes ready
+//! (the returned key orders the ready queues, **smaller = sooner**) and
+//! [`Scheduler::on_task_finished`] when a task retires with a measured
+//! duration, which is what lets a dynamic policy learn. The static
+//! `queue_keys` table is one implementation ([`StaticScheduler`]) among
+//! several.
 
-use crate::graph::{TaskGraph, TaskId};
+use crate::engine::EngineError;
+use crate::graph::{TaskClass, TaskGraph, TaskId, TaskSpec};
+use crate::machine::MachineModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Ready-queue ordering policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
     /// Lower `TaskSpec::priority` first (panel index — the default).
+    #[default]
     PanelPriority,
     /// Creation order (oldest first).
     Fifo,
@@ -28,12 +50,121 @@ pub enum SchedPolicy {
     Lifo,
     /// Largest upward rank (longest remaining dependency chain) first.
     UpwardRank,
+    /// Upward rank including a per-edge communication term on
+    /// cross-process edges. Degrades to [`SchedPolicy::UpwardRank`]
+    /// where no process mapping exists (the shared-memory engine);
+    /// callers with a mapping use [`upward_rank_comm_keys`].
+    CommAwareUpwardRank,
+    /// Dynamic rank-aware critical-path lookahead: static upward ranks
+    /// from a [`CostModel`], with an online per-class EMA correction
+    /// from measured task durations ([`LookaheadScheduler`]). Degrades
+    /// to [`SchedPolicy::UpwardRank`] in the static `queue_keys` path.
+    RankAwareLookahead,
+}
+
+impl SchedPolicy {
+    /// All policies, for ablation sweeps.
+    pub const ALL: [SchedPolicy; 6] = [
+        SchedPolicy::PanelPriority,
+        SchedPolicy::Fifo,
+        SchedPolicy::Lifo,
+        SchedPolicy::UpwardRank,
+        SchedPolicy::CommAwareUpwardRank,
+        SchedPolicy::RankAwareLookahead,
+    ];
+
+    /// Stable human-readable name (used in bench tables/JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::PanelPriority => "panel-priority",
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Lifo => "lifo",
+            SchedPolicy::UpwardRank => "upward-rank",
+            SchedPolicy::CommAwareUpwardRank => "comm-upward-rank",
+            SchedPolicy::RankAwareLookahead => "rank-lookahead",
+        }
+    }
+}
+
+/// Scheduling callbacks (dslab-dag style), consulted by both execution
+/// engines.
+///
+/// * [`on_task_ready`](Scheduler::on_task_ready) fires when a task's
+///   last dependency is satisfied; the returned key decides its ready
+///   queue position — **smaller key = scheduled first**. Keys must be
+///   finite; the engines reject non-finite keys with
+///   [`EngineError::NonFiniteKey`] instead of panicking inside a sort.
+/// * [`on_task_finished`](Scheduler::on_task_finished) fires when a task
+///   retires, with its measured (or simulated) duration in seconds —
+///   the feedback channel a dynamic policy learns from. The default is
+///   a no-op, which is what every static policy wants.
+pub trait Scheduler: Send {
+    /// Price a task that just became ready (smaller = sooner).
+    fn on_task_ready(&mut self, task: TaskId, graph: &TaskGraph) -> f64;
+
+    /// Observe a finished task and its measured duration in seconds.
+    fn on_task_finished(&mut self, _task: TaskId, _graph: &TaskGraph, _measured_s: f64) {}
+}
+
+/// Validate a key table: every key must be finite or the engines would
+/// panic inside their ordered queues.
+pub fn validate_keys(keys: &[f64]) -> Result<(), EngineError> {
+    for (t, &k) in keys.iter().enumerate() {
+        if !k.is_finite() {
+            return Err(EngineError::NonFiniteKey { task: t, key: k });
+        }
+    }
+    Ok(())
+}
+
+/// The static policies: a precomputed, validated key table.
+///
+/// This is what the legacy `queue_keys` path becomes under the
+/// [`Scheduler`] trait — `on_task_ready` is a table lookup and
+/// `on_task_finished` is the no-op default.
+#[derive(Debug, Clone)]
+pub struct StaticScheduler {
+    keys: Vec<f64>,
+}
+
+impl StaticScheduler {
+    /// Wrap a key table, rejecting non-finite keys up front.
+    pub fn new(keys: Vec<f64>) -> Result<Self, EngineError> {
+        validate_keys(&keys)?;
+        Ok(Self { keys })
+    }
+
+    /// Build from a policy via [`queue_keys`]. The dynamic policies
+    /// degrade to their static upward-rank approximation here (see
+    /// [`SchedPolicy`]).
+    pub fn from_policy(
+        graph: &TaskGraph,
+        duration: impl Fn(TaskId) -> f64,
+        policy: SchedPolicy,
+    ) -> Result<Self, EngineError> {
+        Self::new(queue_keys(graph, duration, policy))
+    }
+
+    /// The validated key table.
+    pub fn keys(&self) -> &[f64] {
+        &self.keys
+    }
+}
+
+impl Scheduler for StaticScheduler {
+    fn on_task_ready(&mut self, task: TaskId, _graph: &TaskGraph) -> f64 {
+        self.keys[task]
+    }
 }
 
 /// Compute a sort key per task: **smaller key = scheduled first**.
 ///
-/// `duration` prices a task for the upward-rank policy (ignored by the
-/// static policies).
+/// `duration` prices a task for the upward-rank policies (ignored by the
+/// static policies). [`SchedPolicy::CommAwareUpwardRank`] and
+/// [`SchedPolicy::RankAwareLookahead`] need context this function does
+/// not have (a process mapping, a cost model) and degrade to the plain
+/// upward rank here; use [`upward_rank_comm_keys`] /
+/// [`LookaheadScheduler`] to get their full behavior.
 pub fn queue_keys(
     graph: &TaskGraph,
     duration: impl Fn(TaskId) -> f64,
@@ -46,7 +177,9 @@ pub fn queue_keys(
         }
         SchedPolicy::Fifo => (0..n).map(|t| t as f64).collect(),
         SchedPolicy::Lifo => (0..n).map(|t| (n - t) as f64).collect(),
-        SchedPolicy::UpwardRank => {
+        SchedPolicy::UpwardRank
+        | SchedPolicy::CommAwareUpwardRank
+        | SchedPolicy::RankAwareLookahead => {
             // upward[t] = duration(t) + max over successors of upward[s];
             // process in reverse topological order.
             let order = graph
@@ -66,9 +199,286 @@ pub fn queue_keys(
     }
 }
 
+/// Link parameters pricing a cross-process edge for
+/// [`upward_rank_comm_keys`].
+#[derive(Debug, Clone, Copy)]
+pub struct CommCosts {
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl CommCosts {
+    /// Extract the link parameters of a machine model.
+    pub fn from_machine(m: &MachineModel) -> Self {
+        Self { latency_s: m.latency_s, bandwidth_bps: m.bandwidth_bps }
+    }
+
+    /// Transfer seconds of one `bytes`-byte edge crossing processes.
+    pub fn edge_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+/// Communication-aware HEFT upward rank (**smaller key = scheduled
+/// first**, like [`queue_keys`]).
+///
+/// The plain [`SchedPolicy::UpwardRank`] prices only compute time, so a
+/// short chain whose edges cross processes (and therefore pay latency +
+/// bytes/bandwidth before the successor can start) loses to a longer
+/// purely-local chain even when the cross-process chain bounds the
+/// makespan. Here every edge whose endpoints live on different
+/// processes (`proc_of`) contributes its transfer time to the rank:
+///
+/// `upward[t] = duration(t) + max over edges e of
+///              (comm(e) + upward[e.dst])`
+///
+/// with `comm(e) = latency + bytes/bandwidth` iff
+/// `proc_of[t] != proc_of[e.dst]`, else 0 — the classical HEFT
+/// formulation with a fixed mapping.
+pub fn upward_rank_comm_keys(
+    graph: &TaskGraph,
+    duration: impl Fn(TaskId) -> f64,
+    proc_of: &[usize],
+    comm: &CommCosts,
+) -> Vec<f64> {
+    let n = graph.len();
+    assert_eq!(proc_of.len(), n, "proc_of must map every task");
+    let order = graph
+        .topological_order()
+        .expect("upward rank requires a DAG");
+    let mut upward = vec![0.0_f64; n];
+    for &t in order.iter().rev() {
+        let mut best = 0.0_f64;
+        for e in graph.successors(t) {
+            let c = if proc_of[t] != proc_of[e.dst] { comm.edge_time(e.bytes) } else { 0.0 };
+            best = best.max(c + upward[e.dst]);
+        }
+        upward[t] = duration(t) + best;
+    }
+    upward.into_iter().map(|u| -u).collect()
+}
+
+/// Distribution of recompression output ranks, the signal behind
+/// rank-aware cost estimates.
+///
+/// Built from a measured `RankEvolution` output-rank histogram
+/// (`histogram()[k]` = recompressions kept at rank `k`) — the runtime
+/// crate cannot depend on `tlr-compress`, so callers hand over the raw
+/// bin counts. `fallback_rank` is used when the histogram is empty
+/// (e.g. a run that never recompressed): typically the tile size, i.e.
+/// the dense assumption the rank-blind policies silently make.
+#[derive(Debug, Clone)]
+pub struct RankProfile {
+    hist: Vec<u64>,
+    fallback_rank: usize,
+}
+
+impl RankProfile {
+    /// Wrap an output-rank histogram (`hist[k]` = events at rank `k`).
+    pub fn from_histogram(hist: &[u64], fallback_rank: usize) -> Self {
+        Self { hist: hist.to_vec(), fallback_rank }
+    }
+
+    /// A degenerate profile pinned at one rank.
+    pub fn uniform(rank: usize) -> Self {
+        Self { hist: Vec::new(), fallback_rank: rank }
+    }
+
+    /// Mean observed output rank (the `fallback_rank` when no events).
+    pub fn expected_rank(&self) -> f64 {
+        let events: u64 = self.hist.iter().sum();
+        if events == 0 {
+            return self.fallback_rank as f64;
+        }
+        let weighted: f64 =
+            self.hist.iter().enumerate().map(|(k, &c)| k as f64 * c as f64).sum();
+        weighted / events as f64
+    }
+}
+
+/// Per-kernel cost estimates for the lookahead policy: a machine model
+/// plus the expected operating rank from a [`RankProfile`].
+///
+/// The point (H2OPUS-TLR's observation) is that TLR GEMMs run far below
+/// the dense rate at low rank, so a cost model pricing every flop at
+/// the dense rate misorders the critical path. GEMM/SYRK updates are
+/// priced at `core_time(flops, expected_rank)`; the panel kernels
+/// (POTRF/TRSM) operate on dense diagonal blocks and keep the dense
+/// rate.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    machine: MachineModel,
+    expected_rank: usize,
+}
+
+impl CostModel {
+    /// Combine a machine model with a measured rank profile.
+    pub fn from_machine(machine: &MachineModel, profile: &RankProfile) -> Self {
+        Self {
+            machine: machine.clone(),
+            expected_rank: profile.expected_rank().round().max(1.0) as usize,
+        }
+    }
+
+    /// The rank the model prices low-rank updates at.
+    pub fn expected_rank(&self) -> usize {
+        self.expected_rank
+    }
+
+    /// Predicted seconds for a task, given its class and planned flops.
+    pub fn task_cost(&self, spec: &TaskSpec) -> f64 {
+        if spec.flops == 0.0 {
+            return 0.0;
+        }
+        match spec.class {
+            TaskClass::Gemm | TaskClass::Syrk => {
+                self.machine.core_time(spec.flops, self.expected_rank)
+            }
+            _ => self.machine.dense_kernel_time(spec.flops),
+        }
+    }
+}
+
+fn class_index(class: TaskClass) -> usize {
+    match class {
+        TaskClass::Potrf => 0,
+        TaskClass::Trsm => 1,
+        TaskClass::Syrk => 2,
+        TaskClass::Gemm => 3,
+        TaskClass::Other => 4,
+    }
+}
+
+/// EMA weight of each new measured/predicted observation in
+/// [`LookaheadScheduler`].
+const EMA_ALPHA: f64 = 0.2;
+
+/// Dynamic rank-aware critical-path lookahead
+/// ([`SchedPolicy::RankAwareLookahead`]).
+///
+/// At build time it computes static upward ranks from a per-task cost
+/// estimate (typically [`CostModel::task_cost`] — rank-aware, not
+/// uniform). At run time, every [`on_task_finished`](Scheduler::on_task_finished)
+/// updates a per-class exponential moving average of the
+/// measured/predicted ratio, and [`on_task_ready`](Scheduler::on_task_ready)
+/// prices a task as
+///
+/// `key = -(corr[class] · cost[t] + downstream[t])`
+///
+/// so systematic misprediction of one kernel class (the exact failure
+/// mode of a rank-blind model on TLR GEMMs) is corrected while the run
+/// is still going. The downstream term stays static — a first-order
+/// correction, which is all a priority needs.
+#[derive(Debug)]
+pub struct LookaheadScheduler {
+    base_cost: Vec<f64>,
+    downstream: Vec<f64>,
+    class_corr: [f64; 5],
+}
+
+impl LookaheadScheduler {
+    /// Build from a per-task cost estimate; rejects non-finite costs.
+    pub fn new(
+        graph: &TaskGraph,
+        cost: impl Fn(TaskId) -> f64,
+    ) -> Result<Self, EngineError> {
+        let n = graph.len();
+        let base_cost: Vec<f64> = (0..n).map(&cost).collect();
+        validate_keys(&base_cost)?;
+        let order = graph.topological_order().ok_or(EngineError::Cycle)?;
+        let mut downstream = vec![0.0_f64; n];
+        for &t in order.iter().rev() {
+            let mut best = 0.0_f64;
+            for e in graph.successors(t) {
+                best = best.max(base_cost[e.dst] + downstream[e.dst]);
+            }
+            downstream[t] = best;
+        }
+        Ok(Self { base_cost, downstream, class_corr: [1.0; 5] })
+    }
+
+    /// Convenience: cost every task with a [`CostModel`].
+    pub fn with_cost_model(graph: &TaskGraph, model: &CostModel) -> Result<Self, EngineError> {
+        Self::new(graph, |t| model.task_cost(graph.spec(t)))
+    }
+
+    /// Current correction factor of a kernel class (starts at 1.0).
+    pub fn class_correction(&self, class: TaskClass) -> f64 {
+        self.class_corr[class_index(class)]
+    }
+}
+
+impl Scheduler for LookaheadScheduler {
+    fn on_task_ready(&mut self, task: TaskId, graph: &TaskGraph) -> f64 {
+        let corr = self.class_corr[class_index(graph.spec(task).class)];
+        -(corr * self.base_cost[task] + self.downstream[task])
+    }
+
+    fn on_task_finished(&mut self, task: TaskId, graph: &TaskGraph, measured_s: f64) {
+        let predicted = self.base_cost[task];
+        if predicted <= 0.0 || measured_s <= 0.0 || !measured_s.is_finite() {
+            return; // zero-cost tasks and clock glitches carry no signal
+        }
+        let idx = class_index(graph.spec(task).class);
+        let ratio = measured_s / predicted;
+        self.class_corr[idx] = (1.0 - EMA_ALPHA) * self.class_corr[idx] + EMA_ALPHA * ratio;
+    }
+}
+
+/// `f64` wrapper ordered by `total_cmp`, for use inside `BinaryHeap`
+/// (never panics, unlike `partial_cmp().unwrap()` on NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct KeyOrd(f64);
+
+impl Eq for KeyOrd {}
+
+impl PartialOrd for KeyOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyOrd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Priority-driven topological order: Kahn's algorithm with the ready
+/// set kept in a priority queue keyed by `(keys[t], t)`, smaller first.
+///
+/// The result is always a valid topological order — this is how a
+/// scheduling policy is applied to the `DistEngine`, whose per-rank
+/// queues execute front-only and therefore deadlock under any ordering
+/// that is *not* a global topological order. Returns `None` on a
+/// cyclic graph.
+pub fn priority_topo_order(graph: &TaskGraph, keys: &[f64]) -> Option<Vec<TaskId>> {
+    let n = graph.len();
+    assert_eq!(keys.len(), n, "one key per task");
+    let mut indegree = graph.indegrees();
+    let mut heap: BinaryHeap<Reverse<(KeyOrd, TaskId)>> = (0..n)
+        .filter(|&t| indegree[t] == 0)
+        .map(|t| Reverse((KeyOrd(keys[t]), t)))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse((_, t))) = heap.pop() {
+        order.push(t);
+        for e in graph.successors(t) {
+            indegree[e.dst] -= 1;
+            if indegree[e.dst] == 0 {
+                heap.push(Reverse((KeyOrd(keys[e.dst]), e.dst)));
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::des::{simulate_with_order, DesConfig, DesTask};
     use crate::graph::{DataRef, TaskClass, TaskSpec};
 
     fn spec(priority: usize) -> TaskSpec {
@@ -118,7 +528,194 @@ mod tests {
 
     fn argsort(keys: &[f64]) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..keys.len()).collect();
-        idx.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap());
+        idx.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
         idx
+    }
+
+    /// The regression graph of the comm-blind upward-rank bug: on the
+    /// single core of proc 0 a warm-up task (0) pins the core while two
+    /// chain heads queue behind it. Chain A (1→2) is all-local and has
+    /// the larger *compute* rank; chain B (3→4) crosses to proc 1 over
+    /// a slow link, so its true remaining span is larger. Comm-blind
+    /// ranking pops chain A first and pushes the transfer — which
+    /// bounds the makespan — behind a local task.
+    fn cross_proc_graph() -> (TaskGraph, Vec<DesTask>, DesConfig) {
+        let mut g = TaskGraph::new();
+        for i in 0..5 {
+            g.add_task(spec(i));
+        }
+        g.add_edge(1, 2, DataRef { i: 0, j: 0 }, 0); // local chain A
+        g.add_edge(3, 4, DataRef { i: 1, j: 0 }, 1_000_000); // remote chain B
+        let tasks = vec![
+            DesTask { proc: 0, duration: 1.0 }, // warm-up: occupies the core
+            DesTask { proc: 0, duration: 1.0 },
+            DesTask { proc: 0, duration: 1.5 },
+            DesTask { proc: 0, duration: 1.0 },
+            DesTask { proc: 1, duration: 1.0 },
+        ];
+        let cfg = DesConfig {
+            nprocs: 2,
+            cores_per_proc: 1,
+            latency_s: 5.0,
+            bandwidth_bps: 1e6, // 1 MB at 1 MB/s + 5 s latency = 6 s per hop
+            dep_overhead_s: 0.0,
+            task_mgmt_s: 0.0,
+        };
+        (g, tasks, cfg)
+    }
+
+    /// Satellite bugfix regression: the comm-blind upward rank provably
+    /// picks the wrong task — simulating its order is strictly slower
+    /// than the comm-aware order on the same graph and machine.
+    #[test]
+    fn comm_blind_upward_rank_picks_the_wrong_task() {
+        let (g, tasks, cfg) = cross_proc_graph();
+        let dur = |t: TaskId| tasks[t].duration;
+        let proc_of: Vec<usize> = tasks.iter().map(|t| t.proc).collect();
+        let comm = CommCosts { latency_s: cfg.latency_s, bandwidth_bps: cfg.bandwidth_bps };
+
+        let blind = queue_keys(&g, dur, SchedPolicy::UpwardRank);
+        let aware = upward_rank_comm_keys(&g, dur, &proc_of, &comm);
+
+        // Blind: chain A head (upward 2.5) outranks chain B head (2.0).
+        assert!(blind[1] < blind[3], "compute-only rank must prefer the local chain");
+        // Aware: chain B head (1 + 6 + 1 = 8) outranks chain A (2.5).
+        assert!(aware[3] < aware[1], "comm-aware rank must prefer the cross-proc chain");
+
+        // Blind: warm-up [0,1], A-head [1,2], B-head [2,3], transfer
+        // lands at 9, remote tail [9,10]. Aware: B-head [1,2] goes
+        // first, transfer lands at 8, makespan 9.
+        let r_blind = simulate_with_order(&g, &tasks, &cfg, &blind).unwrap();
+        let r_aware = simulate_with_order(&g, &tasks, &cfg, &aware).unwrap();
+        assert!(
+            r_aware.makespan < r_blind.makespan - 0.5,
+            "comm-aware order must win: {} vs {}",
+            r_aware.makespan,
+            r_blind.makespan
+        );
+    }
+
+    #[test]
+    fn static_scheduler_rejects_non_finite_keys() {
+        let err = StaticScheduler::new(vec![0.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, EngineError::NonFiniteKey { task: 1, key } if key.is_nan()));
+        let err = StaticScheduler::new(vec![f64::INFINITY]).unwrap_err();
+        assert!(matches!(err, EngineError::NonFiniteKey { task: 0, .. }));
+        // and the error is printable (the NaN key must not panic Display)
+        assert!(format!("{err}").contains("non-finite"));
+    }
+
+    #[test]
+    fn static_scheduler_is_a_table_lookup() {
+        let g = chain_plus_leaf();
+        let mut s =
+            StaticScheduler::from_policy(&g, |_| 1.0, SchedPolicy::PanelPriority).unwrap();
+        for t in 0..g.len() {
+            assert_eq!(s.on_task_ready(t, &g), t as f64);
+        }
+        // finished is a no-op for static policies
+        s.on_task_finished(0, &g, 1.0);
+        assert_eq!(s.on_task_ready(0, &g), 0.0);
+    }
+
+    #[test]
+    fn rank_profile_expected_rank() {
+        // 2 events at rank 4, 2 at rank 12 → mean 8
+        let mut hist = vec![0u64; 13];
+        hist[4] = 2;
+        hist[12] = 2;
+        let p = RankProfile::from_histogram(&hist, 64);
+        assert_eq!(p.expected_rank(), 8.0);
+        // empty histogram falls back to the dense assumption
+        assert_eq!(RankProfile::from_histogram(&[], 64).expected_rank(), 64.0);
+        assert_eq!(RankProfile::uniform(17).expected_rank(), 17.0);
+    }
+
+    #[test]
+    fn cost_model_prices_gemm_below_dense_rate() {
+        let m = MachineModel::shaheen_ii();
+        let model = CostModel::from_machine(&m, &RankProfile::uniform(8));
+        let gemm = TaskSpec {
+            class: TaskClass::Gemm,
+            priority: 0,
+            writes: None,
+            flops: 1e9,
+        };
+        let potrf = TaskSpec { class: TaskClass::Potrf, ..gemm };
+        // same flops: the rank-8 GEMM takes longer than the dense panel
+        assert!(model.task_cost(&gemm) > model.task_cost(&potrf));
+        assert_eq!(model.task_cost(&potrf), m.dense_kernel_time(1e9));
+        // zero-flop tasks are free
+        let noop = TaskSpec { flops: 0.0, ..gemm };
+        assert_eq!(model.task_cost(&noop), 0.0);
+    }
+
+    #[test]
+    fn lookahead_learns_from_measured_durations() {
+        let g = chain_plus_leaf();
+        let mut s = LookaheadScheduler::new(&g, |_| 1.0).unwrap();
+        let before = s.on_task_ready(3, &g);
+        // the leaf's class (Other) consistently runs 10× the estimate
+        for _ in 0..50 {
+            s.on_task_finished(3, &g, 10.0);
+        }
+        assert!(s.class_correction(TaskClass::Other) > 5.0);
+        let after = s.on_task_ready(3, &g);
+        assert!(after < before, "a slow class must gain urgency: {after} vs {before}");
+        // chain ordering is still honored after the correction
+        assert!(s.on_task_ready(0, &g) < s.on_task_ready(2, &g));
+    }
+
+    #[test]
+    fn lookahead_rejects_non_finite_costs() {
+        let g = chain_plus_leaf();
+        let err = LookaheadScheduler::new(&g, |t| if t == 2 { f64::NAN } else { 1.0 })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NonFiniteKey { task: 2, .. }));
+    }
+
+    #[test]
+    fn priority_topo_order_respects_edges_and_keys() {
+        let g = chain_plus_leaf();
+        // leaf 3 gets the best key but must not displace edge order
+        let keys = vec![1.0, 2.0, 3.0, 0.0];
+        let order = priority_topo_order(&g, &keys).unwrap();
+        assert_eq!(order, vec![3, 0, 1, 2]);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &t) in order.iter().enumerate() {
+                p[t] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[1] < pos[2], "topological validity");
+        // a cycle yields None, not a bogus order
+        let mut cyclic = TaskGraph::new();
+        cyclic.add_task(spec(0));
+        cyclic.add_task(spec(1));
+        let d = DataRef { i: 0, j: 0 };
+        cyclic.add_edge(0, 1, d, 0);
+        cyclic.add_edge(1, 0, d, 0);
+        assert!(priority_topo_order(&cyclic, &[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn priority_topo_order_tolerates_nan_keys() {
+        // total_cmp never panics; NaN sorts last among ready tasks and
+        // the order is still topological (the engines reject NaN before
+        // getting here — this guards the sort itself).
+        let g = chain_plus_leaf();
+        let keys = vec![f64::NAN, 0.0, 0.0, 1.0];
+        let order = priority_topo_order(&g, &keys).unwrap();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 3, "finite key beats NaN");
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        let names: Vec<&str> = SchedPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 6);
+        assert!(names.contains(&"panel-priority"));
+        assert!(names.contains(&"rank-lookahead"));
     }
 }
