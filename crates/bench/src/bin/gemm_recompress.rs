@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use tlr_compress::kernels::{gemm_kernel_ws, reference, KernelWorkspace};
 use tlr_compress::{CompressionConfig, Tile};
-use tlr_linalg::Matrix;
+use tlr_linalg::{gemm_serial, Matrix, Trans};
 
 /// Forwarding allocator that counts `alloc`/`realloc` calls so the bench
 /// can assert the steady-state hot path touches the heap zero times.
@@ -85,7 +85,58 @@ struct Point {
     us_per_call_new: f64,
     us_per_call_ref: f64,
     speedup: f64,
+    microkernel_speedup: f64,
     allocs_per_call: u64,
+}
+
+/// Pre-microkernel axpy column sweep (`C := alpha·A·B + beta·C`), kept as
+/// the fixed baseline for the microkernel comparison below.
+fn gemm_sweep_nn(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    let k = a.cols();
+    for j in 0..c.cols() {
+        let c_col = c.col_mut(j);
+        if beta == 0.0 {
+            c_col.fill(0.0);
+        } else if beta != 1.0 {
+            for v in c_col.iter_mut() {
+                *v *= beta;
+            }
+        }
+        for p in 0..k {
+            let w = alpha * b[(p, j)];
+            if w != 0.0 {
+                for (ci, ai) in c_col.iter_mut().zip(a.col(p)) {
+                    *ci += w * ai;
+                }
+            }
+        }
+    }
+}
+
+/// Microkernel-vs-reference speedup on the implicit-Q small-GEMM shape of
+/// this grid point: `C (b×2r) := A (b×2r) · B (2r×2r)` — the tall-skinny
+/// product the recompression engine issues per update.
+fn microkernel_speedup(b: usize, rank: usize, reps: usize) -> f64 {
+    let r2 = 2 * rank;
+    let a = Matrix::from_fn(b, r2, |i, j| ((i * 3 + j * 7) % 11) as f64 / 11.0 - 0.4);
+    let q = Matrix::from_fn(r2, r2, |i, j| ((i * 5 + j) % 13) as f64 / 13.0 - 0.5);
+    let mut c = Matrix::zeros(b, r2);
+    gemm_serial(Trans::No, Trans::No, 1.0, &a, &q, 0.0, &mut c);
+    gemm_sweep_nn(1.0, &a, &q, 0.0, &mut c);
+
+    let mut best_micro = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        gemm_serial(Trans::No, Trans::No, 1.0, &a, &q, 0.0, &mut c);
+        best_micro = best_micro.min(t0.elapsed().as_secs_f64());
+    }
+    let mut best_ref = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        gemm_sweep_nn(1.0, &a, &q, 0.0, &mut c);
+        best_ref = best_ref.min(t0.elapsed().as_secs_f64());
+    }
+    best_ref / best_micro
 }
 
 /// Time one (tile size, rank) grid point: both paths on identical
@@ -134,6 +185,7 @@ fn run_point(b: usize, rank: usize, reps: usize, config: &CompressionConfig) -> 
         us_per_call_new: t_new * 1e6,
         us_per_call_ref: t_ref * 1e6,
         speedup: t_ref / t_new,
+        microkernel_speedup: microkernel_speedup(b, rank, reps.max(50)),
         allocs_per_call,
     }
 }
@@ -159,8 +211,15 @@ fn main() {
         let reps = if smoke { 20 } else { (4_000_000 / (b * b)).clamp(20, 400) };
         let p = run_point(b, rank, reps, &config);
         eprintln!(
-            "b={:<4} rank={:<3} new {:>9.1} us  ref {:>9.1} us  speedup {:.2}x  allocs/call {}",
-            p.b, p.rank, p.us_per_call_new, p.us_per_call_ref, p.speedup, p.allocs_per_call
+            "b={:<4} rank={:<3} new {:>9.1} us  ref {:>9.1} us  speedup {:.2}x  \
+             microkernel {:.2}x  allocs/call {}",
+            p.b,
+            p.rank,
+            p.us_per_call_new,
+            p.us_per_call_ref,
+            p.speedup,
+            p.microkernel_speedup,
+            p.allocs_per_call
         );
         points.push(p);
     }
@@ -177,8 +236,15 @@ fn main() {
         .map(|p| {
             format!(
                 "    {{\"b\": {}, \"rank\": {}, \"us_per_call_new\": {:.3}, \
-                 \"us_per_call_ref\": {:.3}, \"speedup\": {:.3}, \"allocs_per_call\": {}}}",
-                p.b, p.rank, p.us_per_call_new, p.us_per_call_ref, p.speedup, p.allocs_per_call
+                 \"us_per_call_ref\": {:.3}, \"speedup\": {:.3}, \
+                 \"microkernel_speedup\": {:.3}, \"allocs_per_call\": {}}}",
+                p.b,
+                p.rank,
+                p.us_per_call_new,
+                p.us_per_call_ref,
+                p.speedup,
+                p.microkernel_speedup,
+                p.allocs_per_call
             )
         })
         .collect();
@@ -187,10 +253,15 @@ fn main() {
     } else {
         "null".to_string()
     };
+    let kernel_path = match tlr_linalg::active_path() {
+        tlr_linalg::KernelPath::Simd => "simd",
+        tlr_linalg::KernelPath::Scalar => "scalar",
+    };
     let json = format!(
         "{{\n  \"experiment\": \"gemm_recompress\",\n  \
          \"mode\": \"{}\",\n  \
          \"accuracy\": 1e-8,\n  \
+         \"kernel_path\": \"{kernel_path}\",\n  \
          \"baseline\": \"kernels::reference (explicit-Q, allocating)\",\n  \
          \"min_speedup_b128\": {b128},\n  \
          \"max_allocs_per_call\": {max_allocs},\n  \

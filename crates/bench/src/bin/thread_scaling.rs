@@ -84,19 +84,37 @@ fn main() {
         ));
     }
 
+    // The speedup gate only means something with ≥ 4 cores to scale onto.
+    // On a 1-core host every curve is legitimately flat — reporting the
+    // ~1.0 ratio as a "speedup" (and gating on it) was misleading, so the
+    // field goes to `null` and the gate is recorded as skipped.
     let speedup4 = gemm_at[&1] / gemm_at[&4];
+    let gate_active = avail > 1;
+    let speedup_field = if gate_active {
+        format!("{speedup4:.3}")
+    } else {
+        "null".to_string()
+    };
     let json = format!(
         "{{\n  \"experiment\": \"thread_scaling\",\n  \
          \"available_parallelism\": {avail},\n  \
+         \"speedup_gate_active\": {gate_active},\n  \
          \"gemm_n\": {GEMM_N},\n  \
          \"factorize_n\": {n},\n  \
          \"tile_size\": {TILE},\n  \
          \"accuracy\": {ACCURACY:e},\n  \
-         \"gemm_speedup_4_over_1\": {speedup4:.3},\n  \
+         \"gemm_speedup_4_over_1\": {speedup_field},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
         runs.join(",\n")
     );
     print!("{json}");
     std::fs::write("BENCH_thread_scaling.json", &json).expect("write BENCH_thread_scaling.json");
-    eprintln!("wrote BENCH_thread_scaling.json (speedup@4 = {speedup4:.2}x on {avail} core(s))");
+    if gate_active {
+        eprintln!("wrote BENCH_thread_scaling.json (speedup@4 = {speedup4:.2}x on {avail} core(s))");
+    } else {
+        eprintln!(
+            "wrote BENCH_thread_scaling.json (1 core available: speedup gate skipped, \
+             flat curve is the correct measurement)"
+        );
+    }
 }

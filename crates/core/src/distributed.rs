@@ -227,6 +227,27 @@ impl KernelEnv<'_> {
     }
 
     pub(crate) fn run<P: TilePayload>(&self, t: TaskId, ctx: &mut RankCtx<'_, P>) -> P {
+        self.run_dispatch(t, ctx, &|p| p)
+    }
+
+    /// [`run`](Self::run) for a member of a batched task: `of` maps each
+    /// original producer id to the batched task the engine actually ran,
+    /// which is how shipped inputs are keyed in the rank's inbox.
+    pub(crate) fn run_mapped<P: TilePayload>(
+        &self,
+        t: TaskId,
+        ctx: &mut RankCtx<'_, P>,
+        of: &[TaskId],
+    ) -> P {
+        self.run_dispatch(t, ctx, &|p| of[p])
+    }
+
+    fn run_dispatch<P: TilePayload>(
+        &self,
+        t: TaskId,
+        ctx: &mut RankCtx<'_, P>,
+        map: &dyn Fn(TaskId) -> TaskId,
+    ) -> P {
         let w = self
             .dag
             .graph
@@ -237,7 +258,10 @@ impl KernelEnv<'_> {
             // Poisoned: keep the dataflow moving with the untouched tile.
             let cur = ctx
                 .take(w)
-                .or_else(|| self.find_producer(t, w).and_then(|p| ctx.take_remote(p, w)))
+                .or_else(|| {
+                    self.find_producer(t, w)
+                        .and_then(|p| ctx.take_remote(map(p), w))
+                })
                 .unwrap_or_else(|| P::from_tile(Tile::Null { rows: 0, cols: 0 }));
             ctx.put(w, cur.clone());
             return cur;
@@ -248,7 +272,10 @@ impl KernelEnv<'_> {
         // Cholesky, but `take_remote` keeps the engine general).
         let mut out = ctx
             .take(w)
-            .or_else(|| self.find_producer(t, w).and_then(|p| ctx.take_remote(p, w)))
+            .or_else(|| {
+                self.find_producer(t, w)
+                    .and_then(|p| ctx.take_remote(map(p), w))
+            })
             .expect("written tile must be present")
             .into_tile();
         match self.dag.kinds[t] {
@@ -262,19 +289,31 @@ impl KernelEnv<'_> {
             TaskKind::Trsm { k, m } => {
                 let _ = m;
                 let ldata = DataRef { i: k, j: k };
-                let l = ctx.get(self.find_producer(t, ldata), ldata).tile().clone();
+                let l = ctx
+                    .get(self.find_producer(t, ldata).map(map), ldata)
+                    .tile()
+                    .clone();
                 trsm_kernel(&l, &mut out);
             }
             TaskKind::Syrk { k, m } => {
                 let adata = DataRef { i: m, j: k };
-                let a = ctx.get(self.find_producer(t, adata), adata).tile().clone();
+                let a = ctx
+                    .get(self.find_producer(t, adata).map(map), adata)
+                    .tile()
+                    .clone();
                 syrk_kernel(&a, &mut out);
             }
             TaskKind::Gemm { k, m, n } => {
                 let adata = DataRef { i: m, j: k };
                 let bdata = DataRef { i: n, j: k };
-                let a = ctx.get(self.find_producer(t, adata), adata).tile().clone();
-                let b = ctx.get(self.find_producer(t, bdata), bdata).tile().clone();
+                let a = ctx
+                    .get(self.find_producer(t, adata).map(map), adata)
+                    .tile()
+                    .clone();
+                let b = ctx
+                    .get(self.find_producer(t, bdata).map(map), bdata)
+                    .tile()
+                    .clone();
                 gemm_kernel(&a, &b, &mut out, &self.compression);
             }
         }

@@ -70,6 +70,19 @@ pub struct FactorConfig {
     /// results. Defaults to [`SchedPolicy::PanelPriority`], the paper's
     /// static panel-index order.
     pub sched: SchedPolicy,
+    /// Fuse each panel step's trailing-column GEMMs into single batched
+    /// engine tasks ([`crate::batch::batch_panel_gemms`]), amortizing
+    /// per-task scheduling overhead and sharing the packed `(n, k)`
+    /// operand across a fused group. The factor is bit-identical with
+    /// batching on or off — the pass never reorders any tile's update
+    /// sequence — and per-kernel attribution survives through the
+    /// [`crate::batch::BatchObs`] span-splitting shim. Defaults to `true`.
+    ///
+    /// On distributed runs batching additionally requires a plain engine
+    /// configuration: it is skipped automatically under a fault layer, an
+    /// armed integrity mode, or virtual-time tracing, all of which reason
+    /// about single-tile tasks.
+    pub batch_panels: bool,
 }
 
 /// How much silent-data-corruption protection a factorization buys.
@@ -130,6 +143,7 @@ impl FactorConfig {
             keep_dense_ratio: 1.0,
             integrity: IntegrityMode::Off,
             sched: SchedPolicy::PanelPriority,
+            batch_panels: true,
         }
     }
 

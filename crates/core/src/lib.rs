@@ -17,6 +17,7 @@
 //! * numerical validation helpers → [`verify`]
 
 pub mod analysis;
+pub mod batch;
 pub mod dag;
 pub mod distributed;
 pub mod factorize;
@@ -29,6 +30,7 @@ pub mod tuner;
 pub mod verify;
 
 pub use analysis::MatrixAnalysis;
+pub use batch::{batch_panel_gemms, BatchObs, PanelBatch};
 pub use dag::{build_cholesky_dag, CholeskyDag, DagConfig, TaskKind};
 #[allow(deprecated)]
 pub use distributed::{

@@ -26,7 +26,8 @@ use parking_lot::{Mutex, RwLock};
 use runtime::critical_path::critical_path;
 use runtime::des::CommStats;
 use runtime::engine::{
-    DistConfig, DistEngine, DistOutcome, Engine, EngineConfig, EngineError, ExecObs, IntegrityHooks,
+    DistConfig, DistEngine, DistOutcome, Engine, EngineConfig, EngineError, ExecObs,
+    IntegrityHooks, Observe,
 };
 use runtime::fault::{FtConfig, FtError, IntegrityError};
 use runtime::graph::{DataRef, TaskClass};
@@ -304,6 +305,12 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
             rank_cap: cfg.max_rank,
         },
     );
+    // Panel batching contracts the graph the engine runs; kernels, tile
+    // update order, and all observability stay at original-task
+    // granularity (see `crate::batch`).
+    let pb = cfg
+        .batch_panels
+        .then(|| crate::batch::batch_panel_gemms(&dag, None));
     let analysis_seconds = t0.elapsed().as_secs_f64();
 
     // Move the tiles into lock cells for concurrent kernel execution.
@@ -427,12 +434,11 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
         None
     };
 
-    let engine_cfg = EngineConfig::new(nthreads)
-        .with_cancel(&cancel)
-        .with_obs(obs.as_ref())
-        .with_sched(cfg.sched);
     let exec_t0 = std::time::Instant::now();
-    let exec_result = Engine::new(&dag.graph).run(&engine_cfg, |wid, t| {
+    // One kernel dispatch per *original* task — both the plain and the
+    // batched engine run below call this, so batching can never change
+    // what a task computes.
+    let run_task = |wid: usize, t: usize| {
         if cancel.load(Ordering::Acquire) {
             return; // in-flight task raced with the cancellation flag
         }
@@ -520,7 +526,36 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
             TaskClass::Other => 4,
         };
         class_nanos.lock()[idx] += nanos;
-    });
+    };
+    let exec_result = if let Some(pb) = &pb {
+        // Batched run: the engine schedules the contracted graph, the
+        // closure loops the fused members, and the BatchObs shim plus
+        // per-member `record_span` keep the trace at kernel granularity
+        // against the original-sized ExecObs.
+        let bobs = crate::batch::BatchObs::new(obs.as_ref(), &pb.members);
+        let engine_cfg = EngineConfig::new(nthreads)
+            .with_cancel(&cancel)
+            .with_obs(&bobs)
+            .with_sched(cfg.sched);
+        Engine::new(&pb.graph).run(&engine_cfg, |wid, b| {
+            for &t in &pb.members[b] {
+                match obs.as_ref() {
+                    Some(o) => {
+                        let s = o.now_ns();
+                        run_task(wid, t);
+                        o.record_span(wid, t, s, o.now_ns());
+                    }
+                    None => run_task(wid, t),
+                }
+            }
+        })
+    } else {
+        let engine_cfg = EngineConfig::new(nthreads)
+            .with_cancel(&cancel)
+            .with_obs(obs.as_ref())
+            .with_sched(cfg.sched);
+        Engine::new(&dag.graph).run(&engine_cfg, run_task)
+    };
     let factorization_seconds = exec_t0.elapsed().as_secs_f64();
 
     // Move tiles back into the matrix regardless of success (a panicked
@@ -674,6 +709,12 @@ fn distributed_attempt(
     // detector off would violate the bit-identical-factor contract.
     let verify =
         cfg.integrity != IntegrityMode::Off || ft.is_some_and(|f| f.plan.injects_corruption());
+    // Panel batching on the distributed engine: plain runs only — fault
+    // recovery, integrity healing, and the virtual-time trace all reason
+    // about single-tile tasks, so any of them disables the pass. Groups
+    // are keyed on the execution rank: a fused task runs on one rank.
+    let batch = (cfg.batch_panels && ft.is_none() && !verify && !dist_cfg.record_trace)
+        .then(|| crate::batch::batch_panel_gemms(&plan.dag, Some(&plan.exec_rank)));
     let exec_t0 = std::time::Instant::now();
     let out: DistOutcome<Tile> =
         if verify {
@@ -711,6 +752,25 @@ fn distributed_attempt(
                 events: out.events,
                 trace: out.trace,
             }
+        } else if let Some(pb) = &batch {
+            // Batched run: the engine schedules and ships at fused-task
+            // granularity; the body replays the members in per-tile
+            // program order, translating producer ids for inbox lookups.
+            // The returned payload is the first member's tile (the fused
+            // spec's `writes`); the other members' outputs travel via the
+            // rank store (the engine ships non-`writes` edge data from
+            // there).
+            let exec_rank_b = pb.exec_ranks(&plan.exec_rank);
+            DistEngine::new(&pb.graph, nprocs, &exec_rank_b).run(initial, &dist_cfg, |b, ctx| {
+                let mut first = None;
+                for &t in &pb.members[b] {
+                    let out = env.run_mapped(t, ctx, &pb.of);
+                    if first.is_none() {
+                        first = Some(out);
+                    }
+                }
+                first.expect("batched task has at least one member")
+            })?
         } else {
             DistEngine::new(&plan.dag.graph, nprocs, &plan.exec_rank).run(
                 initial,
@@ -720,7 +780,13 @@ fn distributed_attempt(
         };
     let factorization_seconds = exec_t0.elapsed().as_secs_f64();
 
-    gather_tiles(matrix, &plan, &out.exec_rank, &out.stores);
+    // A batched run's final rank assignment is indexed by fused-task ids;
+    // project it back to original tasks for gathering.
+    let final_exec: Vec<usize> = match &batch {
+        Some(pb) => pb.of.iter().map(|&b| out.exec_rank[b]).collect(),
+        None => out.exec_rank.clone(),
+    };
+    gather_tiles(matrix, &plan, &final_exec, &out.stores);
     if let Some(e) = env.error.into_inner() {
         return Err(RunError::Numeric(e));
     }

@@ -297,6 +297,26 @@ impl ExecObs {
         }
         ExecReport::default()
     }
+
+    /// Record an explicit span for `task` on worker `wid`, with both
+    /// endpoints in [`Observe::now_ns`] time.
+    ///
+    /// This is the span-splitting entry used by the panel-batching layer:
+    /// a fused engine task measures each member kernel itself and reports
+    /// the members here (suppressing the fused task's own
+    /// [`Observe::on_retire`]), so per-task attribution, `RunMetrics`,
+    /// and trace exports keep seeing individual kernels. No-op (and
+    /// allocation-free — the per-worker logs are preallocated) without
+    /// the `obs` feature.
+    #[inline]
+    #[allow(unused_variables)]
+    pub fn record_span(&self, wid: usize, task: TaskId, start_ns: u64, end_ns: u64) {
+        #[cfg(feature = "obs")]
+        if let Some(inner) = &self.inner {
+            let mut log = inner.logs[wid].lock().unwrap_or_else(|e| e.into_inner());
+            log.push((task, start_ns, end_ns));
+        }
+    }
 }
 
 impl Observe for ExecObs {
@@ -1628,11 +1648,26 @@ impl<'g, 'r> DistEngine<'g, 'r> {
                             if done[dst] {
                                 continue; // re-execution; the consumer already has it
                             }
+                            // A task with several logical outputs (a fused
+                            // panel batch writes one tile per member) returns
+                            // only one payload, so each edge ships the datum
+                            // it actually names: the store holds every
+                            // member's `put`, and the returned payload covers
+                            // the task's own `writes` (the single-output case
+                            // and every pre-batching caller, bit-for-bit).
+                            let payload = if graph.spec(t).writes.is_some_and(|w| w != data) {
+                                stores[rank]
+                                    .get(&data)
+                                    .cloned()
+                                    .unwrap_or_else(|| produced.clone())
+                            } else {
+                                produced.clone()
+                            };
                             let key = (t, dst, data);
                             let id = match rec_index.get(&key) {
                                 Some(&id) => {
                                     // re-send through the existing log entry
-                                    recs[id].payload = produced.clone();
+                                    recs[id].payload = payload;
                                     recs[id].acked = false;
                                     recs[id].abandoned = false;
                                     id
@@ -1642,7 +1677,7 @@ impl<'g, 'r> DistEngine<'g, 'r> {
                                         src: t,
                                         dst,
                                         data,
-                                        payload: produced.clone(),
+                                        payload,
                                         bytes,
                                         attempts: 0,
                                         acked: false,

@@ -1,20 +1,24 @@
 //! Level-3 BLAS kernels: GEMM, SYRK, TRSM.
 //!
-//! The loop orders are chosen for column-major storage: the innermost loops
-//! run down contiguous columns (axpy/dot shapes) so the compiler
-//! auto-vectorizes them. [`gemm`] and [`syrk`] fork onto rayon's
-//! work-stealing pool (one chunk of output columns per task, stolen in
-//! halves when workers idle) once the product is large enough to amortize
+//! Large-enough GEMM/SYRK products route through the packed
+//! register-blocked [`crate::microkernel`] (AVX2+FMA with a bit-identical
+//! scalar fallback); small and thin products keep the naive column sweep,
+//! whose innermost loops run down contiguous columns (axpy/dot shapes) so
+//! the compiler auto-vectorizes them. [`gemm`] and [`syrk`] fork onto
+//! rayon's work-stealing pool (one strip of output columns per task,
+//! stolen when workers idle) once the product is large enough to amortize
 //! the fork/join; small products and the tile kernels used inside the task
 //! runtime call [`gemm_serial`]/[`syrk_serial`], because parallelism there
 //! comes from the task graph itself and an inner fork would oversubscribe
 //! the executor's threads.
 //!
 //! The parallel paths are deterministic: each output column is computed by
-//! exactly one task with a thread-count-independent summation order, so
-//! results are bit-identical from 1 to N pool threads.
+//! exactly one task with a thread-count-independent summation order (the
+//! microkernel's per-element order is partition-independent by
+//! construction), so results are bit-identical from 1 to N pool threads.
 
 use crate::matrix::Matrix;
+use crate::microkernel::{self, KernelPath};
 use rayon::prelude::*;
 
 /// Transposition selector for [`gemm`] operands.
@@ -60,8 +64,16 @@ const PARALLEL_THRESHOLD: usize = 64 * 64;
 /// nothing actually forked.)
 const PARALLEL_MIN_FLOPS: usize = 1 << 20;
 
+/// Strip width of the column-parallel paths *and* the serial SYRK strip
+/// sweep: wide enough to amortize one `A` packing per strip, narrow
+/// enough that work stealing can still balance a triangular update. The
+/// results are bit-identical for **any** strip width (the packed path's
+/// per-element operation order is partition-independent — see
+/// [`crate::microkernel`]), so this is purely a performance knob.
+const PAR_STRIP_COLS: usize = 32;
+
 #[inline]
-fn gemm_dims(ta: Trans, tb: Trans, a: &Matrix, b: &Matrix) -> (usize, usize, usize) {
+pub(crate) fn gemm_dims(ta: Trans, tb: Trans, a: &Matrix, b: &Matrix) -> (usize, usize, usize) {
     let (m, ka) = match ta {
         Trans::No => (a.rows(), a.cols()),
         Trans::Yes => (a.cols(), a.rows()),
@@ -92,11 +104,28 @@ pub fn gemm(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64,
         gemm_serial(ta, tb, alpha, a, b, beta, c);
         return;
     }
+    // Decide the route on the FULL shape (not per strip) so this agrees
+    // with `gemm_serial` and the strips assemble a bit-identical result.
+    let packed = microkernel::packed_worthwhile(m, n, k);
+    let path = microkernel::active_path();
     let rows = m;
     c.as_mut_slice()
-        .par_chunks_mut(rows)
+        .par_chunks_mut(rows * PAR_STRIP_COLS)
         .enumerate()
-        .for_each(|(j, c_col)| gemm_col(ta, tb, alpha, a, b, beta, j, c_col, k));
+        .for_each(|(s, chunk)| {
+            let j0 = s * PAR_STRIP_COLS;
+            let ncols = chunk.len() / rows;
+            if packed {
+                microkernel::gemm_packed_into(
+                    path, ta, tb, alpha, a, 0, b, j0, beta, chunk, rows, rows, ncols, k,
+                );
+            } else {
+                for jj in 0..ncols {
+                    let c_col = &mut chunk[jj * rows..(jj + 1) * rows];
+                    gemm_col(ta, tb, alpha, a, b, beta, j0 + jj, c_col, k);
+                }
+            }
+        });
 }
 
 /// Elements of the `A` panel kept L2-resident by the blocked kernel
@@ -123,6 +152,26 @@ pub fn gemm_serial(
     let (m, n, k) = gemm_dims(ta, tb, a, b);
     assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
     if m == 0 || n == 0 {
+        return;
+    }
+    if microkernel::packed_worthwhile(m, n, k) {
+        let ldc = m;
+        microkernel::gemm_packed_into(
+            microkernel::active_path(),
+            ta,
+            tb,
+            alpha,
+            a,
+            0,
+            b,
+            0,
+            beta,
+            c.as_mut_slice(),
+            ldc,
+            m,
+            n,
+            k,
+        );
         return;
     }
     if ta == Trans::No && m * k > L2_DOUBLES {
@@ -157,6 +206,30 @@ pub fn gemm_serial_into_cols(
     let (m, n, k) = gemm_dims(ta, tb, a, b);
     assert_eq!(c.rows(), m, "gemm_serial_into_cols row mismatch");
     assert!(j0 + n <= c.cols(), "gemm_serial_into_cols column block out of range");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if microkernel::packed_worthwhile(m, n, k) {
+        let ldc = m;
+        let cs = &mut c.as_mut_slice()[j0 * ldc..(j0 + n) * ldc];
+        microkernel::gemm_packed_into(
+            microkernel::active_path(),
+            ta,
+            tb,
+            alpha,
+            a,
+            0,
+            b,
+            0,
+            beta,
+            cs,
+            ldc,
+            m,
+            n,
+            k,
+        );
+        return;
+    }
     for j in 0..n {
         let c_col = c.col_mut(j0 + j);
         gemm_col(ta, tb, alpha, a, b, beta, j, c_col, k);
@@ -302,11 +375,15 @@ pub fn syrk(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
         syrk_serial(trans, alpha, a, beta, c);
         return;
     }
+    let packed = microkernel::packed_worthwhile(n, n, k);
+    let path = microkernel::active_path();
     let rows = n;
     c.as_mut_slice()
-        .par_chunks_mut(rows)
+        .par_chunks_mut(rows * PAR_STRIP_COLS)
         .enumerate()
-        .for_each(|(j, c_col)| syrk_col(trans, alpha, a, beta, j, c_col, n, k));
+        .for_each(|(s, chunk)| {
+            syrk_strip(trans, alpha, a, beta, s * PAR_STRIP_COLS, chunk, n, k, packed, path);
+        });
 }
 
 /// Serial SYRK with identical semantics (and identical rounding) to
@@ -314,9 +391,117 @@ pub fn syrk(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
 /// parallelism comes from the task graph.
 pub fn syrk_serial(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
     let (n, k) = syrk_dims(trans, a, c);
-    for j in 0..n {
-        let col = c.col_mut(j);
-        syrk_col(trans, alpha, a, beta, j, col, n, k);
+    if n == 0 {
+        return;
+    }
+    if !microkernel::packed_worthwhile(n, n, k) {
+        for j in 0..n {
+            let col = c.col_mut(j);
+            syrk_col(trans, alpha, a, beta, j, col, n, k);
+        }
+        return;
+    }
+    let path = microkernel::active_path();
+    let rows = n;
+    let cs = c.as_mut_slice();
+    let mut j0 = 0;
+    while j0 < n {
+        let nc = PAR_STRIP_COLS.min(n - j0);
+        let chunk = &mut cs[j0 * rows..(j0 + nc) * rows];
+        syrk_strip(trans, alpha, a, beta, j0, chunk, n, k, true, path);
+        j0 += nc;
+    }
+}
+
+/// Update one strip of SYRK output columns `[j0, j0 + ncols)` held in
+/// `chunk` (full columns, `n` entries each).
+///
+/// When `packed`, the strip splits into a triangular head (the diagonal
+/// block's `i ≥ j` elements, computed scalar with the packed path's
+/// exact per-element operation order) and a rectangular body below it
+/// (a packed GEMM against the strip's columns of `op(A)ᵀ`). The split
+/// point is partition-independent in value, so serial and parallel
+/// strip sweeps are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn syrk_strip(
+    trans: Trans,
+    alpha: f64,
+    a: &Matrix,
+    beta: f64,
+    j0: usize,
+    chunk: &mut [f64],
+    n: usize,
+    k: usize,
+    packed: bool,
+    path: KernelPath,
+) {
+    let ncols = chunk.len() / n;
+    if !packed {
+        for jj in 0..ncols {
+            let col = &mut chunk[jj * n..(jj + 1) * n];
+            syrk_col(trans, alpha, a, beta, j0 + jj, col, n, k);
+        }
+        return;
+    }
+    let je = j0 + ncols;
+    for jj in 0..ncols {
+        let j = j0 + jj;
+        let col = &mut chunk[jj * n..(jj + 1) * n];
+        syrk_head_col(trans, alpha, a, beta, j, &mut col[j..je], k);
+    }
+    if je < n {
+        let (ta, tb) = match trans {
+            Trans::No => (Trans::No, Trans::Yes),
+            Trans::Yes => (Trans::Yes, Trans::No),
+        };
+        microkernel::gemm_packed_into(
+            path,
+            ta,
+            tb,
+            alpha,
+            a,
+            je,
+            a,
+            j0,
+            beta,
+            &mut chunk[je..],
+            n,
+            n - je,
+            ncols,
+            k,
+        );
+    }
+}
+
+/// Scalar evaluation of the `i ≥ j` elements of one diagonal-block SYRK
+/// column (`cseg[t]` is element `(j + t, j)`), using the packed path's
+/// per-element contract: one `beta` scaling, then [`f64::mul_add`] in
+/// ascending `p` with `alpha · op(A)ᵀ` rounded per term.
+fn syrk_head_col(
+    trans: Trans,
+    alpha: f64,
+    a: &Matrix,
+    beta: f64,
+    j: usize,
+    cseg: &mut [f64],
+    k: usize,
+) {
+    for (t, cv) in cseg.iter_mut().enumerate() {
+        let i = j + t;
+        let mut v = if beta == 0.0 { 0.0 } else { beta * *cv };
+        match trans {
+            Trans::No => {
+                for p in 0..k {
+                    v = a[(i, p)].mul_add(alpha * a[(j, p)], v);
+                }
+            }
+            Trans::Yes => {
+                for p in 0..k {
+                    v = a[(p, i)].mul_add(alpha * a[(p, j)], v);
+                }
+            }
+        }
+        *cv = v;
     }
 }
 

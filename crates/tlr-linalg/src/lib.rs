@@ -36,6 +36,7 @@ pub mod blas3;
 pub mod checksum;
 pub mod chol;
 pub mod matrix;
+pub mod microkernel;
 pub mod norms;
 pub mod qr;
 pub mod svd;
@@ -43,6 +44,7 @@ pub mod svd;
 pub use blas3::{
     gemm, gemm_serial, gemm_serial_into_cols, syrk, syrk_serial, trsm, Side, Trans, Uplo,
 };
+pub use microkernel::{active_path, gemm_with_path, simd_available, KernelPath};
 pub use checksum::Checksum;
 pub use chol::{potrf, potrf_unblocked, trsv_lower, trsv_lower_trans, CholeskyError};
 pub use matrix::Matrix;
