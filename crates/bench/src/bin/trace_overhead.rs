@@ -11,15 +11,24 @@
 //! costs two `Instant::now()` calls per task and no heap traffic, which
 //! the counting global allocator cross-checks on the GEMM hot path.
 //!
+//! The always-on metrics registry rides the same harness: the same
+//! problem is factored with [`FactorConfig::collect_metrics`] on and
+//! off (tracing off in both modes, so the registry is measured alone)
+//! and held to the same ≤5 % gate, and a direct-op probe proves the
+//! registry records without touching the heap.
+//!
 //! Emits `BENCH_trace_overhead.json` (and echoes it to stdout).
 //! `--smoke` shrinks to one small size for CI and exits nonzero when
-//! the gate fails: enabled-mode overhead > 5 %, or any steady-state
-//! allocation on the traced GEMM hot path.
+//! the gate fails: enabled-mode overhead > 5 % (tracing or registry),
+//! or any steady-state allocation on the traced GEMM hot path / the
+//! registry recording path.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use hicma_core::{factorize, FactorConfig};
+use runtime::graph::TaskClass;
+use runtime::obs::registry::{Counter, Gauge, Registry};
 use tlr_compress::kernels::{gemm_kernel_ws, KernelWorkspace};
 use tlr_compress::{CompressionConfig, Tile, TlrMatrix};
 use tlr_linalg::Matrix;
@@ -68,12 +77,15 @@ struct Point {
     traced_s: f64,
     untraced_s: f64,
     overhead_pct: f64,
+    /// Registry on vs registry off (tracing off in both modes).
+    registry_overhead_pct: f64,
     trace_records: usize,
 }
 
 /// One factorization in one tracing mode; returns (seconds, tasks,
 /// trace records). Clones the pre-compressed matrix — compression is
-/// paid once per grid point, not once per rep.
+/// paid once per grid point, not once per rep. The metrics registry is
+/// on in both modes, so the traced/untraced delta isolates tracing.
 fn time_once(m0: &TlrMatrix, acc: f64, traced: bool) -> (f64, usize, usize) {
     let mut m = m0.clone();
     let mut fcfg = FactorConfig::with_accuracy(acc);
@@ -87,6 +99,17 @@ fn time_once(m0: &TlrMatrix, acc: f64, traced: bool) -> (f64, usize, usize) {
         assert!(rep.metrics.is_none(), "untraced run must not produce metrics");
     }
     (rep.factorization_seconds, rep.dag_tasks, records)
+}
+
+/// One factorization with tracing off; isolates the always-on metrics
+/// registry by toggling only [`FactorConfig::collect_metrics`].
+fn time_registry(m0: &TlrMatrix, acc: f64, metrics: bool) -> f64 {
+    let mut m = m0.clone();
+    let mut fcfg = FactorConfig::with_accuracy(acc);
+    fcfg.collect_trace = false;
+    fcfg.collect_metrics = metrics;
+    let rep = factorize(&mut m, &fcfg).expect("SPD benchmark matrix must factor");
+    rep.factorization_seconds
 }
 
 fn run_point(n: usize, b: usize, reps: usize) -> Point {
@@ -118,6 +141,19 @@ fn run_point(n: usize, b: usize, reps: usize) -> Point {
             }
         }
     }
+    // Same interleaved min-of-N discipline for the registry alone.
+    let mut reg_on_s = f64::INFINITY;
+    let mut reg_off_s = f64::INFINITY;
+    for rep in 0..reps {
+        for on in if rep % 2 == 0 { [true, false] } else { [false, true] } {
+            let s = time_registry(&m0, acc, on);
+            if on {
+                reg_on_s = reg_on_s.min(s);
+            } else {
+                reg_off_s = reg_off_s.min(s);
+            }
+        }
+    }
     Point {
         n,
         b,
@@ -125,6 +161,7 @@ fn run_point(n: usize, b: usize, reps: usize) -> Point {
         traced_s,
         untraced_s,
         overhead_pct: 100.0 * (traced_s / untraced_s - 1.0),
+        registry_overhead_pct: 100.0 * (reg_on_s / reg_off_s - 1.0),
         trace_records,
     }
 }
@@ -169,6 +206,29 @@ fn gemm_hot_path_allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
+/// Steady-state allocations of the metrics registry's recording path:
+/// every allocation happens at construction (the sharded tables) — the
+/// per-task counters, class-duration histograms, rank histograms and
+/// gauge CAS loops must never touch the heap.
+fn registry_hot_path_allocs() -> u64 {
+    let reg = Registry::new(4);
+    // Touch every op once so lazy code paths (none expected) are warm.
+    reg.incr(0, Counter::TasksExecuted);
+    reg.record_class_seconds(0, TaskClass::Gemm, 1e-6);
+    reg.record_rank(0, 12);
+    reg.gauge_max(0, Gauge::ArenaHighWaterBytes, 1.0);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..50_000u64 {
+        let shard = (i % 4) as usize;
+        reg.incr(shard, Counter::TasksExecuted);
+        reg.add(shard, Counter::TasksEnqueued, 3);
+        reg.record_class_seconds(shard, TaskClass::Gemm, 1e-6 * (i % 97) as f64);
+        reg.record_rank(shard, (i % 64) as usize);
+        reg.gauge_max(shard, Gauge::ArenaHighWaterBytes, (i % 1024) as f64);
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let obs_enabled = cfg!(feature = "obs");
@@ -185,22 +245,43 @@ fn main() {
     for &(n, b) in &grid {
         let p = run_point(n, b, reps);
         eprintln!(
-            "n={:<5} b={:<3} tasks={:<5} traced {:>8.4}s  untraced {:>8.4}s  overhead {:+.2}%  records {}",
-            p.n, p.b, p.tasks, p.traced_s, p.untraced_s, p.overhead_pct, p.trace_records
+            "n={:<5} b={:<3} tasks={:<5} traced {:>8.4}s  untraced {:>8.4}s  overhead {:+.2}%  \
+             registry {:+.2}%  records {}",
+            p.n, p.b, p.tasks, p.traced_s, p.untraced_s, p.overhead_pct,
+            p.registry_overhead_pct, p.trace_records
         );
         points.push(p);
     }
 
     let gemm_allocs = gemm_hot_path_allocs();
+    let registry_allocs = registry_hot_path_allocs();
     let max_overhead = points.iter().map(|p| p.overhead_pct).fold(f64::NEG_INFINITY, f64::max);
+    let max_registry_overhead =
+        points.iter().map(|p| p.registry_overhead_pct).fold(f64::NEG_INFINITY, f64::max);
+    // Same honesty fields thread_scaling records: what the host really
+    // offered and which microkernel the build dispatched to, so a
+    // regression hunt never has to guess the measurement conditions.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel_path = match tlr_linalg::active_path() {
+        tlr_linalg::KernelPath::Simd => "simd",
+        tlr_linalg::KernelPath::Scalar => "scalar",
+    };
 
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
             format!(
                 "    {{\"n\": {}, \"b\": {}, \"tasks\": {}, \"traced_s\": {:.6}, \
-                 \"untraced_s\": {:.6}, \"overhead_pct\": {:.3}, \"trace_records\": {}}}",
-                p.n, p.b, p.tasks, p.traced_s, p.untraced_s, p.overhead_pct, p.trace_records
+                 \"untraced_s\": {:.6}, \"overhead_pct\": {:.3}, \
+                 \"registry_overhead_pct\": {:.3}, \"trace_records\": {}}}",
+                p.n,
+                p.b,
+                p.tasks,
+                p.traced_s,
+                p.untraced_s,
+                p.overhead_pct,
+                p.registry_overhead_pct,
+                p.trace_records
             )
         })
         .collect();
@@ -208,9 +289,13 @@ fn main() {
         "{{\n  \"experiment\": \"trace_overhead\",\n  \
          \"mode\": \"{}\",\n  \
          \"obs_feature\": {obs_enabled},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \
+         \"kernel_path\": \"{kernel_path}\",\n  \
          \"note\": \"single measurement host; traced vs untraced interleaved, best-of-{reps}\",\n  \
          \"max_overhead_pct\": {max_overhead:.3},\n  \
+         \"max_registry_overhead_pct\": {max_registry_overhead:.3},\n  \
          \"gemm_steady_state_allocs\": {gemm_allocs},\n  \
+         \"registry_steady_state_allocs\": {registry_allocs},\n  \
          \"points\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         rows.join(",\n")
@@ -219,13 +304,25 @@ fn main() {
     std::fs::write("BENCH_trace_overhead.json", &json).expect("write BENCH_trace_overhead.json");
     eprintln!(
         "wrote BENCH_trace_overhead.json (obs={obs_enabled}, max overhead {max_overhead:+.2}%, \
-         gemm steady-state allocs {gemm_allocs})"
+         registry {max_registry_overhead:+.2}%, steady-state allocs gemm {gemm_allocs} / \
+         registry {registry_allocs})"
     );
 
     if smoke {
         let mut failed = false;
         if gemm_allocs > 0 {
             eprintln!("smoke FAILED: traced steady-state gemm_kernel allocated (expected 0)");
+            failed = true;
+        }
+        if registry_allocs > 0 {
+            eprintln!(
+                "smoke FAILED: registry recording allocated {registry_allocs} times (expected 0)"
+            );
+            failed = true;
+        }
+        // The registry gate holds in every build: it is not obs-gated.
+        if runtime::Registry::compiled() && max_registry_overhead > 5.0 {
+            eprintln!("smoke FAILED: registry overhead {max_registry_overhead:.2}% > 5%");
             failed = true;
         }
         if obs_enabled {

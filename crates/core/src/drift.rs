@@ -1,0 +1,414 @@
+//! Cost-model drift reports: measured execution vs the analytical model.
+//!
+//! The scheduler prices tasks with [`CostModel`] (machine peak ×
+//! rank-dependent efficiency) and the re-planner prices communication
+//! with [`modeled_comm`](crate::replan::modeled_comm). Both models are
+//! calibrated once against published machine numbers — nothing checks
+//! them against the run that actually happened. A [`DriftReport`] closes
+//! that loop: after any [`Session`](crate::session::Session) run with
+//! [`collect_metrics`](crate::factorize::FactorConfig::collect_metrics)
+//! on, attach a [`DriftSpec`] and the outcome carries per-kernel-class
+//! modeled-vs-measured busy time, the drift ratio, the lookahead
+//! scheduler's own EMA correction for that class (PR 7's calibration
+//! state, now inspectable instead of sealed inside the scheduler), and
+//! an anomaly flag for ratios outside a configurable band. Distributed
+//! runs additionally compare the exact comm model against the traffic
+//! the engine measured — equal on a fault-free run, drifting apart under
+//! retransmissions.
+//!
+//! The report is diagnostic, not normative: shared-memory runs measure
+//! wall-clock seconds against a supercomputer-calibrated model, so the
+//! interesting signal is the *relative* drift between classes (is GEMM
+//! mispriced relative to POTRF?) and run-over-run movement tracked by
+//! `bench_history`, not the absolute ratio.
+
+use runtime::des::CommStats;
+use runtime::graph::{TaskClass, TaskGraph};
+use runtime::machine::MachineModel;
+use runtime::obs::json::Json;
+use runtime::obs::registry::{class_name, class_slot, RegistrySnapshot, NCLASSES};
+use runtime::scheduler::{CostModel, RankProfile};
+use std::fmt;
+
+/// How a run's drift report is computed.
+#[derive(Debug, Clone)]
+pub struct DriftSpec {
+    /// Machine model pricing the per-class durations (and, through
+    /// [`CostModel`], the rank-dependent low-rank efficiency).
+    pub machine: MachineModel,
+    /// Anomaly band: a class whose measured/modeled ratio falls outside
+    /// `[1/band, band]` is flagged. Must be `> 1`; the default is 8
+    /// (wall-clock on a laptop vs a supercomputer model drifts by small
+    /// constant factors — flag only order-of-magnitude surprises).
+    pub band: f64,
+    /// Rank the cost model prices low-rank updates at. `None` derives it
+    /// from the run's recompression-rank histogram when the registry
+    /// captured one, falling back to 16.
+    pub fallback_rank: Option<usize>,
+}
+
+impl DriftSpec {
+    /// A spec on the given machine with the default band and derived rank.
+    pub fn new(machine: MachineModel) -> Self {
+        DriftSpec {
+            machine,
+            band: 8.0,
+            fallback_rank: None,
+        }
+    }
+}
+
+/// Modeled vs measured accounting of one kernel class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDrift {
+    /// Class name (`"potrf"`, `"trsm"`, `"syrk"`, `"gemm"`, `"other"`).
+    pub class: &'static str,
+    /// Tasks of this class in the executed DAG (model-side count; a
+    /// panel-batched run retires fused tasks, so the registry's own task
+    /// count can be smaller).
+    pub modeled_tasks: u64,
+    /// Model-priced busy seconds summed over the class's tasks.
+    pub modeled_seconds: f64,
+    /// Busy seconds the registry measured for the class (wall-clock on
+    /// shared-memory runs, virtual time on DES runs).
+    pub measured_seconds: f64,
+    /// `measured_seconds / modeled_seconds`; `0.0` when the class has no
+    /// modeled work (never `NaN`/`Inf`).
+    pub ratio: f64,
+    /// The lookahead scheduler's EMA duration correction for this class
+    /// at end of run (`1.0` when the run used a static policy).
+    pub correction: f64,
+    /// Ratio fell outside the spec's `[1/band, band]`.
+    pub anomalous: bool,
+}
+
+/// Modeled vs measured cross-rank traffic of a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommDrift {
+    /// Exact fault-free model: one message of `edge.bytes` per
+    /// cross-rank dataflow edge of the final task→rank mapping.
+    pub modeled: CommStats,
+    /// What the engine counted, retransmissions included.
+    pub measured: CommStats,
+    /// `measured.bytes / modeled.bytes` (`0.0` when nothing modeled).
+    pub bytes_ratio: f64,
+    /// `measured.messages / modeled.messages` (`0.0` when none modeled).
+    pub messages_ratio: f64,
+    /// Either ratio fell outside the spec's `[1/band, band]`.
+    pub anomalous: bool,
+}
+
+/// Per-class (and, on distributed runs, per-wire) drift between the
+/// analytical cost model and a measured run. Built by
+/// [`Session::with_drift`](crate::session::Session::with_drift).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Name of the machine model the prediction used.
+    pub machine: String,
+    /// Anomaly band the flags were computed with.
+    pub band: f64,
+    /// Rank the cost model priced low-rank updates at.
+    pub expected_rank: usize,
+    /// One entry per kernel class, fixed order potrf/trsm/syrk/gemm/other.
+    pub classes: Vec<ClassDrift>,
+    /// Total model flops of the executed DAG.
+    pub modeled_flops: f64,
+    /// Communication drift (distributed runs only).
+    pub comm: Option<CommDrift>,
+}
+
+fn ratio(measured: f64, modeled: f64) -> f64 {
+    if modeled > 0.0 && measured.is_finite() && measured >= 0.0 {
+        measured / modeled
+    } else {
+        0.0
+    }
+}
+
+fn out_of_band(r: f64, band: f64) -> bool {
+    r > 0.0 && (r > band || r < 1.0 / band)
+}
+
+impl DriftReport {
+    /// Build a report from the executed graph, the run's merged registry
+    /// snapshot, and (on distributed runs) the final task→rank mapping
+    /// plus measured traffic.
+    pub fn compute(
+        spec: &DriftSpec,
+        graph: &TaskGraph,
+        snapshot: &RegistrySnapshot,
+        comm: Option<(&[usize], CommStats)>,
+    ) -> DriftReport {
+        let band = if spec.band > 1.0 { spec.band } else { 8.0 };
+        // Price low-rank updates at the run's own mean recompression
+        // rank when the registry captured one, else the spec's fallback.
+        let profile = if snapshot.recompression_ranks.count > 0 {
+            let counts: Vec<u64> = snapshot
+                .recompression_ranks
+                .buckets
+                .iter()
+                .flat_map(|&(bound, n)| (n > 0).then_some((bound, n)))
+                .fold(Vec::new(), |mut h, (bound, n)| {
+                    let r = bound as usize;
+                    if h.len() <= r {
+                        h.resize(r + 1, 0);
+                    }
+                    h[r] += n;
+                    h
+                });
+            RankProfile::from_histogram(&counts, spec.fallback_rank.unwrap_or(16))
+        } else {
+            RankProfile::uniform(spec.fallback_rank.unwrap_or(16))
+        };
+        let model = CostModel::from_machine(&spec.machine, &profile);
+        let mut modeled = [0.0f64; NCLASSES];
+        let mut tasks = [0u64; NCLASSES];
+        let mut flops = 0.0;
+        for t in 0..graph.len() {
+            let s = graph.spec(t);
+            let k = class_slot(s.class);
+            modeled[k] += model.task_cost(s);
+            tasks[k] += 1;
+            flops += s.flops;
+        }
+        let corrections = snapshot.corrections();
+        let classes = (0..NCLASSES)
+            .map(|k| {
+                let class = [
+                    TaskClass::Potrf,
+                    TaskClass::Trsm,
+                    TaskClass::Syrk,
+                    TaskClass::Gemm,
+                    TaskClass::Other,
+                ][k];
+                let measured = snapshot.class_seconds(class);
+                let r = ratio(measured, modeled[k]);
+                ClassDrift {
+                    class: class_name(k),
+                    modeled_tasks: tasks[k],
+                    modeled_seconds: modeled[k],
+                    measured_seconds: measured,
+                    ratio: r,
+                    correction: corrections[k],
+                    anomalous: out_of_band(r, band),
+                }
+            })
+            .collect();
+        let comm = comm.map(|(exec_rank, measured)| {
+            let modeled = crate::replan::modeled_comm(graph, exec_rank);
+            let br = ratio(measured.bytes as f64, modeled.bytes as f64);
+            let mr = ratio(measured.messages as f64, modeled.messages as f64);
+            CommDrift {
+                modeled,
+                measured,
+                bytes_ratio: br,
+                messages_ratio: mr,
+                anomalous: out_of_band(br, band) || out_of_band(mr, band),
+            }
+        });
+        DriftReport {
+            machine: spec.machine.name.clone(),
+            band,
+            expected_rank: model.expected_rank(),
+            classes,
+            modeled_flops: flops,
+            comm,
+        }
+    }
+
+    /// Any class (or the wire) drifted outside the band.
+    pub fn any_anomalous(&self) -> bool {
+        self.classes.iter().any(|c| c.anomalous)
+            || self.comm.is_some_and(|c| c.anomalous)
+    }
+
+    /// The report as a [`Json`] tree (for `METRICS_*.json` dumps).
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.insert("machine", Json::Str(self.machine.clone()));
+        root.insert("band", Json::Num(self.band));
+        root.insert("expected_rank", Json::Num(self.expected_rank as f64));
+        root.insert("modeled_flops", Json::Num(self.modeled_flops));
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut o = Json::obj();
+                o.insert("class", Json::Str(c.class.to_string()));
+                o.insert("modeled_tasks", Json::Num(c.modeled_tasks as f64));
+                o.insert("modeled_seconds", Json::Num(c.modeled_seconds));
+                o.insert("measured_seconds", Json::Num(c.measured_seconds));
+                o.insert("ratio", Json::Num(c.ratio));
+                o.insert("correction", Json::Num(c.correction));
+                o.insert("anomalous", Json::Bool(c.anomalous));
+                o
+            })
+            .collect();
+        root.insert("classes", Json::Arr(classes));
+        if let Some(c) = &self.comm {
+            let mut o = Json::obj();
+            o.insert("modeled_bytes", Json::Num(c.modeled.bytes as f64));
+            o.insert("modeled_messages", Json::Num(c.modeled.messages as f64));
+            o.insert("measured_bytes", Json::Num(c.measured.bytes as f64));
+            o.insert("measured_messages", Json::Num(c.measured.messages as f64));
+            o.insert("bytes_ratio", Json::Num(c.bytes_ratio));
+            o.insert("messages_ratio", Json::Num(c.messages_ratio));
+            o.insert("anomalous", Json::Bool(c.anomalous));
+            root.insert("comm", o);
+        }
+        root
+    }
+
+    /// Prometheus text exposition of the drift ratios and flags.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE tlr_drift_ratio gauge\n");
+        for c in &self.classes {
+            out.push_str(&format!(
+                "tlr_drift_ratio{{class=\"{}\"}} {}\n",
+                c.class, c.ratio
+            ));
+        }
+        out.push_str("# TYPE tlr_drift_correction gauge\n");
+        for c in &self.classes {
+            out.push_str(&format!(
+                "tlr_drift_correction{{class=\"{}\"}} {}\n",
+                c.class, c.correction
+            ));
+        }
+        out.push_str("# TYPE tlr_drift_anomalous gauge\n");
+        for c in &self.classes {
+            out.push_str(&format!(
+                "tlr_drift_anomalous{{class=\"{}\"}} {}\n",
+                c.class,
+                u8::from(c.anomalous)
+            ));
+        }
+        if let Some(c) = &self.comm {
+            out.push_str("# TYPE tlr_drift_comm_ratio gauge\n");
+            out.push_str(&format!(
+                "tlr_drift_comm_ratio{{kind=\"bytes\"}} {}\n",
+                c.bytes_ratio
+            ));
+            out.push_str(&format!(
+                "tlr_drift_comm_ratio{{kind=\"messages\"}} {}\n",
+                c.messages_ratio
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for DriftReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cost-model drift vs {} (rank {}, band {:.1}x)",
+            self.machine, self.expected_rank, self.band
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>8} {:>14} {:>14} {:>9} {:>9}  flag",
+            "class", "tasks", "modeled_s", "measured_s", "ratio", "corr"
+        )?;
+        for c in &self.classes {
+            if c.modeled_tasks == 0 && c.measured_seconds == 0.0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:>6} {:>8} {:>14.6e} {:>14.6e} {:>9.3} {:>9.3}  {}",
+                c.class,
+                c.modeled_tasks,
+                c.modeled_seconds,
+                c.measured_seconds,
+                c.ratio,
+                c.correction,
+                if c.anomalous { "ANOMALOUS" } else { "ok" }
+            )?;
+        }
+        if let Some(c) = &self.comm {
+            writeln!(
+                f,
+                "  comm: modeled {} B / {} msgs, measured {} B / {} msgs (x{:.3} / x{:.3}){}",
+                c.modeled.bytes,
+                c.modeled.messages,
+                c.measured.bytes,
+                c.measured.messages,
+                c.bytes_ratio,
+                c.messages_ratio,
+                if c.anomalous { " ANOMALOUS" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime::graph::{DataRef, TaskSpec};
+
+    fn graph_with(classes: &[(TaskClass, f64)]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for &(class, flops) in classes {
+            g.add_task(TaskSpec {
+                class,
+                priority: 0,
+                writes: Some(DataRef { i: 0, j: 0 }),
+                flops,
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn empty_snapshot_yields_zero_ratios_not_nan() {
+        let g = graph_with(&[(TaskClass::Potrf, 1e6), (TaskClass::Gemm, 1e7)]);
+        let spec = DriftSpec::new(MachineModel::shaheen_ii());
+        let rep = DriftReport::compute(&spec, &g, &RegistrySnapshot::default(), None);
+        assert_eq!(rep.classes.len(), 5);
+        for c in &rep.classes {
+            assert!(c.ratio.is_finite(), "{}: {}", c.class, c.ratio);
+            assert!(!c.anomalous, "zero measurement must not flag");
+            assert_eq!(c.correction, 1.0);
+        }
+        assert!(rep.modeled_flops > 0.0);
+        assert!(rep.classes[0].modeled_seconds > 0.0);
+        let js = rep.to_json().to_string();
+        assert!(js.contains("\"modeled_flops\""));
+        assert!(!js.contains("NaN"));
+    }
+
+    #[test]
+    fn band_flags_order_of_magnitude_drift() {
+        assert!(out_of_band(10.0, 8.0));
+        assert!(out_of_band(0.05, 8.0));
+        assert!(!out_of_band(2.0, 8.0));
+        assert!(!out_of_band(0.0, 8.0), "no-data ratio never flags");
+    }
+
+    #[test]
+    fn comm_drift_is_exact_on_matching_model() {
+        let mut g = graph_with(&[(TaskClass::Potrf, 1e6), (TaskClass::Trsm, 1e6)]);
+        g.add_edge(0, 1, DataRef { i: 0, j: 0 }, 800);
+        let exec_rank = vec![0usize, 1usize];
+        let measured = crate::replan::modeled_comm(&g, &exec_rank);
+        let spec = DriftSpec::new(MachineModel::fugaku());
+        let rep = DriftReport::compute(
+            &spec,
+            &g,
+            &RegistrySnapshot::default(),
+            Some((&exec_rank, measured)),
+        );
+        let c = rep.comm.expect("comm drift requested");
+        assert_eq!(c.modeled, c.measured);
+        assert_eq!(c.bytes_ratio, 1.0);
+        assert_eq!(c.messages_ratio, 1.0);
+        assert!(!c.anomalous);
+        let text = rep.to_string();
+        assert!(text.contains("comm:"), "{text}");
+        let prom = rep.to_prometheus();
+        assert!(prom.contains("tlr_drift_comm_ratio{kind=\"bytes\"} 1"));
+    }
+}

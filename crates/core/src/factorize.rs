@@ -55,6 +55,19 @@ pub struct FactorConfig {
     /// recompressed tile. Threaded to the update kernels on every path
     /// (shared-memory and distributed) via [`FactorConfig::compression`].
     pub keep_dense_ratio: f64,
+    /// Collect always-available runtime metrics into a
+    /// [`runtime::obs::registry::Registry`]: per-class task durations,
+    /// enqueue/steal counters, workspace arena high-water marks,
+    /// recompression-rank histograms (shared-memory runs) and comm /
+    /// fault / integrity totals (distributed runs). Unlike
+    /// [`collect_trace`](FactorConfig::collect_trace) this needs no
+    /// cargo feature and costs a handful of relaxed atomic adds per
+    /// task — the `trace_overhead` bench gates it at ≤5 %. The merged
+    /// snapshot lands in
+    /// [`RunOutcome::registry`](crate::session::RunOutcome::registry);
+    /// builds with the runtime's `metrics` feature disabled still
+    /// compile and run, the snapshot is just empty. Defaults to `true`.
+    pub collect_metrics: bool,
     /// Tile-integrity policy: whether (and how eagerly) every tile is
     /// sealed with an exact content digest ([`tlr_compress::TileDigest`])
     /// and checked against silent data corruption. See
@@ -140,6 +153,7 @@ impl FactorConfig {
             nthreads: rayon::current_num_threads(),
             max_shift_retries: 3,
             collect_trace: cfg!(feature = "obs"),
+            collect_metrics: true,
             keep_dense_ratio: 1.0,
             integrity: IntegrityMode::Off,
             sched: SchedPolicy::PanelPriority,

@@ -20,6 +20,7 @@ pub mod analysis;
 pub mod batch;
 pub mod dag;
 pub mod distributed;
+pub mod drift;
 pub mod factorize;
 pub mod lorapo;
 pub mod replan;
@@ -37,6 +38,7 @@ pub use distributed::{
     factorize_distributed, factorize_distributed_counted, factorize_distributed_ft,
 };
 pub use distributed::{FtFactorError, FtFactorOutcome};
+pub use drift::{ClassDrift, CommDrift, DriftReport, DriftSpec};
 pub use factorize::{factorize, FactorConfig, FactorMetrics, FactorReport, IntegrityMode};
 pub use replan::{modeled_comm, CommReplanner};
 pub use session::{RunError, RunOutcome, Session};

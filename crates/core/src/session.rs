@@ -19,6 +19,7 @@
 
 use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
 use crate::distributed::{gather_tiles, kernel_env, plan_distribution_with, FtFactorOutcome};
+use crate::drift::{DriftReport, DriftSpec};
 use crate::factorize::{FactorConfig, FactorMetrics, FactorReport, IntegrityMode};
 use crate::replan::CommReplanner;
 use distribution::TileDistribution;
@@ -31,6 +32,7 @@ use runtime::engine::{
 };
 use runtime::fault::{FtConfig, FtError, IntegrityError};
 use runtime::graph::{DataRef, TaskClass};
+use runtime::obs::registry::{Counter, Gauge, Registry, RegistrySnapshot};
 use runtime::trace::{ClassBreakdown, Trace};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -68,6 +70,7 @@ enum Mode<'a> {
 pub struct Session<'a> {
     cfg: FactorConfig,
     mode: Mode<'a>,
+    drift: Option<DriftSpec>,
 }
 
 impl<'a> Session<'a> {
@@ -76,6 +79,7 @@ impl<'a> Session<'a> {
         Session {
             cfg,
             mode: Mode::Shared,
+            drift: None,
         }
     }
 
@@ -92,6 +96,7 @@ impl<'a> Session<'a> {
                 ft: None,
                 replan: None,
             },
+            drift: None,
         }
     }
 
@@ -126,6 +131,19 @@ impl<'a> Session<'a> {
         if let Mode::Distributed { replan, .. } = &mut self.mode {
             *replan = Some(replanner);
         }
+        self
+    }
+
+    /// Layer a cost-model drift report onto the session: after a
+    /// successful run, [`RunOutcome::drift`] compares the machine
+    /// model's per-class predicted busy time (and, on distributed runs,
+    /// the exact comm model) against what the run's metrics registry
+    /// measured. Requires
+    /// [`collect_metrics`](FactorConfig::collect_metrics) — with the
+    /// registry off there is nothing to compare against and the report
+    /// stays `None`.
+    pub fn with_drift(mut self, spec: DriftSpec) -> Self {
+        self.drift = Some(spec);
         self
     }
 
@@ -195,14 +213,15 @@ impl<'a> Session<'a> {
 
     /// One factorization attempt on the matrix as-is.
     fn attempt(&self, matrix: &mut TlrMatrix) -> Result<RunOutcome, RunError> {
+        let drift = self.drift.as_ref();
         match self.mode {
-            Mode::Shared => shared_attempt(matrix, &self.cfg),
+            Mode::Shared => shared_attempt(matrix, &self.cfg, drift),
             Mode::Distributed {
                 nprocs,
                 exec,
                 ft,
                 replan,
-            } => distributed_attempt(matrix, &self.cfg, nprocs, exec, ft, replan),
+            } => distributed_attempt(matrix, &self.cfg, nprocs, exec, ft, replan, drift),
         }
     }
 }
@@ -251,6 +270,14 @@ pub struct RunOutcome {
     /// [`FactorConfig::collect_trace`] is set in an `obs` build.
     /// Shared-memory traces live in [`FactorReport::metrics`].
     pub trace: Option<Trace>,
+    /// Merged always-on metrics registry snapshot, when
+    /// [`FactorConfig::collect_metrics`] is set. Present (possibly
+    /// empty) even in builds with the runtime's `metrics` feature
+    /// disabled, so callers never need a `cfg` gate.
+    pub registry: Option<RegistrySnapshot>,
+    /// Cost-model drift report, when the session was configured with
+    /// [`Session::with_drift`] *and* the registry was collected.
+    pub drift: Option<DriftReport>,
 }
 
 /// Why a [`Session::run`] failed.
@@ -294,7 +321,11 @@ impl From<EngineError> for RunError {
 /// as [`RunError::Engine`]; the tiles are moved back into the matrix
 /// first, so locks are released, but mid-kernel tile state is
 /// unspecified after a panic.
-fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutcome, RunError> {
+fn shared_attempt(
+    matrix: &mut TlrMatrix,
+    cfg: &FactorConfig,
+    drift: Option<&DriftSpec>,
+) -> Result<RunOutcome, RunError> {
     let nt = matrix.nt();
     let memory_before_f64 = matrix.memory_f64();
     let t0 = std::time::Instant::now();
@@ -433,6 +464,10 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
     } else {
         None
     };
+    // Always-on metrics registry, one shard per worker. Recording is a
+    // few relaxed atomic adds per task; with the runtime's `metrics`
+    // feature off the calls are no-ops and the snapshot merges empty.
+    let registry = cfg.collect_metrics.then(|| Registry::new(nthreads));
 
     let exec_t0 = std::time::Instant::now();
     // One kernel dispatch per *original* task — both the plain and the
@@ -533,10 +568,13 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
         // per-member `record_span` keep the trace at kernel granularity
         // against the original-sized ExecObs.
         let bobs = crate::batch::BatchObs::new(obs.as_ref(), &pb.members);
-        let engine_cfg = EngineConfig::new(nthreads)
+        let mut engine_cfg = EngineConfig::new(nthreads)
             .with_cancel(&cancel)
             .with_obs(&bobs)
             .with_sched(cfg.sched);
+        if let Some(reg) = &registry {
+            engine_cfg = engine_cfg.with_metrics(reg);
+        }
         Engine::new(&pb.graph).run(&engine_cfg, |wid, b| {
             for &t in &pb.members[b] {
                 match obs.as_ref() {
@@ -550,10 +588,13 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
             }
         })
     } else {
-        let engine_cfg = EngineConfig::new(nthreads)
+        let mut engine_cfg = EngineConfig::new(nthreads)
             .with_cancel(&cancel)
             .with_obs(obs.as_ref())
             .with_sched(cfg.sched);
+        if let Some(reg) = &registry {
+            engine_cfg = engine_cfg.with_metrics(reg);
+        }
         Engine::new(&dag.graph).run(&engine_cfg, run_task)
     };
     let factorization_seconds = exec_t0.elapsed().as_secs_f64();
@@ -611,17 +652,34 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
         other: n[4] as f64 * 1e-9,
     };
 
+    // Rank evolution, buffer-growth counts and arena high-water marks
+    // live in the per-worker workspaces; drain them once now that the
+    // workers are done. Both the always-on registry and the obs metrics
+    // consume the same drained state.
+    let mut rank_evolution = RankEvolution::default();
+    let mut workspace_alloc_events = 0u64;
+    for (wid, ws) in workspaces.iter().enumerate() {
+        let mut w = ws.lock();
+        rank_evolution.merge(&w.take_rank_log());
+        workspace_alloc_events += w.alloc_events();
+        if let Some(reg) = &registry {
+            reg.gauge_max(wid, Gauge::ArenaHighWaterBytes, w.high_water_bytes() as f64);
+        }
+    }
+    if let Some(reg) = &registry {
+        reg.add(0, Counter::WorkspaceGrowth, workspace_alloc_events);
+        for (rank, &count) in rank_evolution.histogram().iter().enumerate() {
+            reg.record_rank_counts(0, rank, count);
+        }
+    }
+    let registry = registry.map(|r| r.snapshot());
+    let drift = match (drift, &registry) {
+        (Some(spec), Some(snap)) => Some(DriftReport::compute(spec, &dag.graph, snap, None)),
+        _ => None,
+    };
+
     let metrics = obs.map(|o| {
         let exec = o.finish(&dag.graph);
-        // Rank evolution and buffer-growth counts live in the per-worker
-        // workspaces; drain them now that the workers are done.
-        let mut rank_evolution = RankEvolution::default();
-        let mut workspace_alloc_events = 0u64;
-        for ws in &workspaces {
-            let mut w = ws.lock();
-            rank_evolution.merge(&w.take_rank_log());
-            workspace_alloc_events += w.alloc_events();
-        }
         let flops_executed: f64 = (0..dag.graph.len()).map(|t| dag.graph.spec(t).flops).sum();
         // Critical path priced with the durations this run actually
         // measured (not the model), so efficiency compares like to like.
@@ -669,6 +727,8 @@ fn shared_attempt(matrix: &mut TlrMatrix, cfg: &FactorConfig) -> Result<RunOutco
         comm: None,
         ft: None,
         trace: None,
+        registry,
+        drift,
     })
 }
 
@@ -681,6 +741,7 @@ fn distributed_attempt(
     exec: &dyn TileDistribution,
     ft: Option<&FtConfig>,
     replan: Option<&RefCell<CommReplanner>>,
+    drift: Option<&DriftSpec>,
 ) -> Result<RunOutcome, RunError> {
     let tile_size = matrix.tile_size();
     let memory_before_f64 = matrix.memory_f64();
@@ -699,10 +760,16 @@ fn distributed_attempt(
     // The virtual-time trace is gated like the shared-memory one: only
     // when tracing is requested *and* compiled in, so `collect_trace`
     // means the same thing on every path.
+    //
+    // The metrics registry shards per emulated rank: task counts and
+    // virtual per-class durations land in the executing rank's shard,
+    // comm/fault/integrity totals fold into shard 0 at end of run.
+    let registry = cfg.collect_metrics.then(|| Registry::new(nprocs));
     let dist_cfg = DistConfig {
         ft,
         record_trace: cfg.collect_trace && ExecObs::enabled(),
         sched: Some(cfg.sched),
+        metrics: registry.as_ref(),
     };
     // The integrity layer arms when asked for explicitly, or whenever
     // the fault plan injects corruption — silent corruption with the
@@ -796,6 +863,19 @@ fn distributed_attempt(
         r.borrow_mut()
             .observe(&plan.dag.graph, &plan.exec_rank, &out.comm);
     }
+    let registry = registry.map(|r| r.snapshot());
+    // Drift compares at original-task granularity: the model prices
+    // `plan.dag.graph` and the comm model uses the projected-back final
+    // mapping, so batched and unbatched runs report comparably.
+    let drift = match (drift, &registry) {
+        (Some(spec), Some(snap)) => Some(DriftReport::compute(
+            spec,
+            &plan.dag.graph,
+            snap,
+            Some((&final_exec, out.comm)),
+        )),
+        _ => None,
+    };
 
     let report = FactorReport {
         factorization_seconds,
@@ -819,5 +899,7 @@ fn distributed_attempt(
             events: out.events,
         }),
         trace: out.trace,
+        registry,
+        drift,
     })
 }

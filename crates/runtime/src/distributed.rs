@@ -122,7 +122,7 @@ where
     P: Clone,
     F: Fn(TaskId, &mut RankCtx<'_, P>) -> P,
 {
-    let dcfg = DistConfig { ft: Some(cfg), record_trace: false, sched: None };
+    let dcfg = DistConfig { ft: Some(cfg), record_trace: false, sched: None, metrics: None };
     match DistEngine::new(graph, nprocs, exec_rank).run(initial, &dcfg, body) {
         Ok(out) => Ok(FtOutcome {
             stores: out.stores,
@@ -336,7 +336,7 @@ mod tests {
         }
         let exec: Vec<usize> = (0..n).map(|k| k % nprocs).collect();
         let initial: Vec<HashMap<DataRef, i64>> = vec![HashMap::new(); nprocs];
-        let dcfg = DistConfig { ft: Some(cfg), record_trace: false, sched: None };
+        let dcfg = DistConfig { ft: Some(cfg), record_trace: false, sched: None, metrics: None };
         DistEngine::new(&g, nprocs, &exec).run(initial, &dcfg, |t, ctx| {
             let v = if t == 0 {
                 1
@@ -509,7 +509,7 @@ mod tests {
             .with_jitter(1.0)
             .with_crash(2, 3.0);
         let ft = FtConfig::with_plan(plan);
-        let dcfg = DistConfig { ft: Some(&ft), record_trace: false, sched: None };
+        let dcfg = DistConfig { ft: Some(&ft), record_trace: false, sched: None, metrics: None };
         let out = DistEngine::new(&g, nprocs, &exec)
             .run(initial, &dcfg, |t, ctx| {
                 if t == root {

@@ -37,6 +37,7 @@
 use crate::des::CommStats;
 use crate::fault::{FaultStats, FtConfig, FtError, IntegrityError};
 use crate::graph::{DataRef, TaskGraph, TaskId};
+use crate::obs::registry::{Counter, Gauge, Registry};
 use crate::obs::RunEvent;
 use crate::scheduler::{
     priority_topo_order, queue_keys, upward_rank_comm_keys, validate_keys, CommCosts,
@@ -493,7 +494,7 @@ impl From<TaskPanic> for EngineError {
 /// parameter, so a run without a capability monomorphizes to the exact
 /// code the dedicated legacy entry point used to have.
 #[derive(Debug, Clone, Copy)]
-pub struct EngineConfig<C = NoCancel, O = NoObserve> {
+pub struct EngineConfig<'m, C = NoCancel, O = NoObserve> {
     /// Worker threads of the pool (clamped to ≥ 1).
     pub nthreads: usize,
     /// Cancellation hook.
@@ -506,46 +507,59 @@ pub struct EngineConfig<C = NoCancel, O = NoObserve> {
     /// supply a custom implementation use
     /// [`Engine::run_with_scheduler`].
     pub sched: SchedPolicy,
+    /// Always-on metrics sink: per-class task durations, enqueue/steal
+    /// counters, and the scheduler's end-of-run EMA corrections land in
+    /// the registry's per-worker shards (`None` skips all recording).
+    pub metrics: Option<&'m Registry>,
 }
 
-impl EngineConfig {
+impl EngineConfig<'_> {
     /// A plain run on `nthreads` workers: no cancellation token, no span
-    /// capture, panel-priority scheduling.
+    /// capture, panel-priority scheduling, no metrics sink.
     pub fn new(nthreads: usize) -> Self {
         EngineConfig {
             nthreads,
             cancel: NoCancel,
             obs: NoObserve,
             sched: SchedPolicy::PanelPriority,
+            metrics: None,
         }
     }
 }
 
-impl<C, O> EngineConfig<C, O> {
+impl<'m, C, O> EngineConfig<'m, C, O> {
     /// Layer a cancellation token (e.g. `&AtomicBool`) onto the run.
-    pub fn with_cancel<C2>(self, cancel: C2) -> EngineConfig<C2, O> {
+    pub fn with_cancel<C2>(self, cancel: C2) -> EngineConfig<'m, C2, O> {
         EngineConfig {
             nthreads: self.nthreads,
             cancel,
             obs: self.obs,
             sched: self.sched,
+            metrics: self.metrics,
         }
     }
 
     /// Layer span capture (e.g. `&ExecObs` or `obs.as_ref()`) onto the
     /// run.
-    pub fn with_obs<O2>(self, obs: O2) -> EngineConfig<C, O2> {
+    pub fn with_obs<O2>(self, obs: O2) -> EngineConfig<'m, C, O2> {
         EngineConfig {
             nthreads: self.nthreads,
             cancel: self.cancel,
             obs,
             sched: self.sched,
+            metrics: self.metrics,
         }
     }
 
     /// Select the ready-queue scheduling policy.
     pub fn with_sched(mut self, sched: SchedPolicy) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Attach a metrics registry (shard per worker).
+    pub fn with_metrics(mut self, metrics: &'m Registry) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -589,7 +603,7 @@ impl<'g> Engine<'g> {
     /// mutates must tolerate a kernel dying mid-update (the TLR
     /// factorizations qualify — a poisoned run's output is discarded
     /// wholesale).
-    pub fn run<C, O, F>(&self, cfg: &EngineConfig<C, O>, kernel: F) -> Result<(), EngineError>
+    pub fn run<C, O, F>(&self, cfg: &EngineConfig<'_, C, O>, kernel: F) -> Result<(), EngineError>
     where
         C: Cancel,
         O: Observe,
@@ -616,7 +630,7 @@ impl<'g> Engine<'g> {
     /// (remaining tasks drain without executing, as on a kernel panic).
     pub fn run_with_scheduler<C, O, F>(
         &self,
-        cfg: &EngineConfig<C, O>,
+        cfg: &EngineConfig<'_, C, O>,
         sched: &mut dyn Scheduler,
         kernel: F,
     ) -> Result<(), EngineError>
@@ -661,6 +675,9 @@ impl<'g> Engine<'g> {
         sources.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (_, t) in sources {
             cfg.obs.on_enqueue(t);
+            if let Some(reg) = cfg.metrics {
+                reg.incr(0, Counter::TasksEnqueued);
+            }
             injector.push(t);
         }
         // Shared by the workers: the policy's state is updated on every
@@ -689,7 +706,15 @@ impl<'g> Engine<'g> {
                         if completed.load(Ordering::Acquire) == n {
                             return;
                         }
-                        let task = find_task(&local, injector, stealers, wid, &mut rng, &cfg.obs);
+                        let task = find_task(
+                            &local,
+                            injector,
+                            stealers,
+                            wid,
+                            &mut rng,
+                            &cfg.obs,
+                            cfg.metrics,
+                        );
                         match task {
                             Some(t) => {
                                 let start_ns = cfg.obs.now_ns();
@@ -717,6 +742,16 @@ impl<'g> Engine<'g> {
                                 let measured_s =
                                     if ran { wall_start.elapsed().as_secs_f64() } else { 0.0 };
                                 cfg.obs.on_retire(wid, t, start_ns);
+                                if ran {
+                                    if let Some(reg) = cfg.metrics {
+                                        reg.incr(wid, Counter::TasksExecuted);
+                                        reg.record_class_seconds(
+                                            wid,
+                                            graph.spec(t).class,
+                                            measured_s,
+                                        );
+                                    }
+                                }
                                 // Release successors even when draining: the
                                 // completion count must reach `n` to stop.
                                 released.clear();
@@ -758,6 +793,9 @@ impl<'g> Engine<'g> {
                                 released.sort_by(|a, b| b.0.total_cmp(&a.0));
                                 for &(_, dst) in released.iter() {
                                     cfg.obs.on_enqueue(dst);
+                                    if let Some(reg) = cfg.metrics {
+                                        reg.incr(wid, Counter::TasksEnqueued);
+                                    }
                                     local.push(dst);
                                 }
                                 completed.fetch_add(1, Ordering::AcqRel);
@@ -768,6 +806,17 @@ impl<'g> Engine<'g> {
                 });
             }
         });
+
+        // Publish the scheduler's learned per-class EMA corrections so
+        // drift reports can inspect the calibration state it ended with.
+        if let Some(reg) = cfg.metrics {
+            let s = sched.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(corr) = s.class_corrections() {
+                for (k, &v) in corr.iter().enumerate() {
+                    reg.gauge_max(0, Gauge::correction(k), v);
+                }
+            }
+        }
 
         debug_assert_eq!(
             completed.load(Ordering::Acquire),
@@ -808,6 +857,7 @@ fn find_task<O: Observe>(
     self_id: usize,
     rng: &mut u64,
     obs: &O,
+    metrics: Option<&Registry>,
 ) -> Option<TaskId> {
     if let Some(t) = local.pop() {
         return Some(t);
@@ -835,6 +885,9 @@ fn find_task<O: Observe>(
                 match stealers[victim].steal_batch_and_pop(local) {
                     Steal::Success(t) => {
                         obs.on_steal(self_id);
+                        if let Some(reg) = metrics {
+                            reg.incr(self_id, Counter::Steals);
+                        }
                         return Some(t);
                     }
                     Steal::Retry => continue,
@@ -925,6 +978,10 @@ pub struct DistConfig<'a> {
     /// 1 Gflop/s; [`SchedPolicy::CommAwareUpwardRank`] additionally
     /// prices cross-rank edges at a nominal 1 GB/s.
     pub sched: Option<SchedPolicy>,
+    /// Always-on metrics sink: per-class virtual task durations land in
+    /// per-rank shards, and the run's comm/fault/integrity totals are
+    /// folded in at the end (`None` skips all recording).
+    pub metrics: Option<&'a Registry>,
 }
 
 /// Payload integrity hooks for [`DistEngine::run_with_integrity`].
@@ -1619,6 +1676,10 @@ impl<'g, 'r> DistEngine<'g, 'r> {
                         let produced = body(t, &mut ctx);
                         done[t] = true;
                         done_count += 1;
+                        if let Some(reg) = cfg.metrics {
+                            reg.incr(rank, Counter::TasksExecuted);
+                            reg.record_class_seconds(rank, graph.spec(t).class, ft.task_time);
+                        }
                         if let Some(hd) = heal_final_writer.remove(&t) {
                             stats.corruptions_healed += 1;
                             events.push(RunEvent::Healed {
@@ -1930,6 +1991,22 @@ impl<'g, 'r> DistEngine<'g, 'r> {
             bytes: stats.bytes_sent,
             messages: (stats.messages_sent + stats.retransmissions) as u64,
         };
+        // Fold the run's communication / fault / integrity totals into
+        // the registry (shard 0: these are whole-run aggregates).
+        if let Some(reg) = cfg.metrics {
+            reg.add(0, Counter::CommBytes, comm.bytes);
+            reg.add(0, Counter::CommMessages, comm.messages);
+            reg.add(0, Counter::Retransmissions, stats.retransmissions as u64);
+            reg.add(0, Counter::MessagesDropped, stats.messages_dropped as u64);
+            reg.add(0, Counter::DuplicatesIgnored, stats.duplicates_ignored as u64);
+            reg.add(0, Counter::Crashes, stats.crashes as u64);
+            reg.add(0, Counter::TasksMigrated, stats.tasks_migrated as u64);
+            reg.add(0, Counter::TasksReexecuted, stats.tasks_reexecuted as u64);
+            reg.add(0, Counter::KernelFailures, stats.kernel_failures as u64);
+            reg.add(0, Counter::CorruptionsDetected, stats.corruptions_detected as u64);
+            reg.add(0, Counter::CorruptionsHealed, stats.corruptions_healed as u64);
+            reg.add(0, Counter::NacksSent, stats.nacks_sent as u64);
+        }
         Ok(DistOutcome {
             stores,
             exec_rank: cur_exec,
@@ -2259,6 +2336,7 @@ mod tests {
             ft: None,
             record_trace: true,
             sched: None,
+            metrics: None,
         };
         let out = run_chain(n, nprocs, &cfg).unwrap();
         let trace = out.trace.expect("trace was requested");
@@ -2286,6 +2364,7 @@ mod tests {
             ft: Some(&ft),
             record_trace: true,
             sched: None,
+            metrics: None,
         };
         let n = 12;
         let out = run_chain(n, 4, &cfg).unwrap();
@@ -2358,6 +2437,7 @@ mod tests {
             ft: Some(&ft),
             record_trace: false,
             sched: None,
+            metrics: None,
         };
         let out = run_sealed_chain(n, 1, &cfg).unwrap();
         assert_eq!(out.stats.store_corruptions_injected, 1);
@@ -2405,6 +2485,7 @@ mod tests {
             ft: Some(&ft),
             record_trace: false,
             sched: None,
+            metrics: None,
         };
         let out = run_sealed_chain(n, nprocs, &cfg).unwrap();
         assert_eq!(out.stats.store_corruptions_injected, 1);
@@ -2433,6 +2514,7 @@ mod tests {
             ft: Some(&ft),
             record_trace: false,
             sched: None,
+            metrics: None,
         };
         let out = run_sealed_chain(n, 4, &cfg).unwrap();
         let last = DataRef { i: n - 1, j: 0 };
@@ -2476,6 +2558,7 @@ mod tests {
             ft: Some(&ft),
             record_trace: false,
             sched: None,
+            metrics: None,
         };
         let out = run_sealed_chain(n, 4, &cfg).unwrap();
         let last = DataRef { i: n - 1, j: 0 };
@@ -2499,6 +2582,7 @@ mod tests {
             ft: Some(&ft),
             record_trace: false,
             sched: None,
+            metrics: None,
         };
         let err = run_sealed_chain(4, 1, &cfg).unwrap_err();
         match err {
@@ -2524,6 +2608,7 @@ mod tests {
             ft: Some(&ft),
             record_trace: false,
             sched: None,
+            metrics: None,
         };
         let out = run_chain(n, 2, &cfg).unwrap();
         assert_eq!(chain_result(&out, n), n as i64);
@@ -2546,6 +2631,7 @@ mod tests {
             ft: Some(&ft),
             record_trace: true,
             sched: None,
+            metrics: None,
         };
         let out = run_sealed_chain(n, 4, &cfg).unwrap();
         let last = DataRef { i: n - 1, j: 0 };
@@ -2616,6 +2702,7 @@ mod tests {
                     ft: Some(&ft),
                     record_trace: false,
                     sched: None,
+                    metrics: None,
                 },
                 body,
             )

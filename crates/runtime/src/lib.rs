@@ -66,5 +66,6 @@ pub use scheduler::{
     queue_keys, upward_rank_comm_keys, CommCosts, CostModel, LookaheadScheduler, RankProfile,
     SchedPolicy, Scheduler, StaticScheduler,
 };
-pub use obs::{chrome_trace_json, RunEvent, RunMetrics};
+pub use obs::registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use obs::{chrome_trace_json, chrome_trace_json_with_events, RunEvent, RunMetrics};
 pub use trace::{ClassBreakdown, Trace};

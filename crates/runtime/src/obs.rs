@@ -15,6 +15,10 @@
 
 use crate::trace::{ClassBreakdown, Trace};
 
+pub mod registry;
+
+use registry::RegistrySnapshot;
+
 /// Minimal zero-dependency JSON tree, writer and parser.
 pub mod json {
     use std::fmt::Write as _;
@@ -66,6 +70,19 @@ pub mod json {
             match self {
                 Json::Arr(v) => Some(v),
                 _ => None,
+            }
+        }
+
+        /// An empty object (build up with [`Json::insert`]).
+        pub fn obj() -> Json {
+            Json::Obj(Vec::new())
+        }
+
+        /// Append a field to an object (keeps insertion order; does
+        /// nothing on non-objects, so builder chains stay infallible).
+        pub fn insert(&mut self, key: impl Into<String>, value: Json) {
+            if let Json::Obj(fields) = self {
+                fields.push((key.into(), value));
             }
         }
 
@@ -295,6 +312,20 @@ use json::Json;
 /// and durations are clamped non-negative so the file always loads in
 /// `chrome://tracing` / <https://ui.perfetto.dev>.
 pub fn chrome_trace_json(trace: &Trace, process_name: &str) -> String {
+    chrome_trace_json_with_events(trace, &[], process_name)
+}
+
+/// [`chrome_trace_json`] plus structured run events rendered as
+/// Chrome-trace instant (`"ph": "i"`) markers, so crashes, recoveries,
+/// and integrity incidents (corruption detected / healed) show up on the
+/// Perfetto timeline next to the task spans. Instants carry
+/// process-scoped visibility (`"s": "p"`), `tid` = the affected rank,
+/// and the event payload in `args`.
+pub fn chrome_trace_json_with_events(
+    trace: &Trace,
+    run_events: &[RunEvent],
+    process_name: &str,
+) -> String {
     let mut recs: Vec<_> = trace.records.iter().collect();
     recs.sort_by(|a, b| a.start.total_cmp(&b.start));
     let mut events = Vec::with_capacity(recs.len() + 1);
@@ -327,6 +358,26 @@ pub fn chrome_trace_json(trace: &Trace, process_name: &str) -> String {
             ("pid".into(), Json::Num(0.0)),
             ("tid".into(), Json::Num(r.proc as f64)),
             ("args".into(), Json::Obj(args)),
+        ]));
+    }
+    let mut evs: Vec<&RunEvent> = run_events.iter().collect();
+    evs.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    for ev in evs {
+        let (name, tid) = match *ev {
+            RunEvent::Crash { rank, .. } => ("crash", rank),
+            RunEvent::Recovery { failed, .. } => ("recovery", failed),
+            RunEvent::CorruptionDetected { rank, .. } => ("corruption_detected", rank),
+            RunEvent::Healed { rank, .. } => ("corruption_healed", rank),
+        };
+        events.push(Json::Obj(vec![
+            ("name".into(), Json::Str(name.into())),
+            ("cat".into(), Json::Str("event".into())),
+            ("ph".into(), Json::Str("i".into())),
+            ("s".into(), Json::Str("p".into())),
+            ("ts".into(), Json::Num(ev.at().max(0.0) * 1e6)),
+            ("pid".into(), Json::Num(0.0)),
+            ("tid".into(), Json::Num(tid as f64)),
+            ("args".into(), ev.to_json()),
         ]));
     }
     Json::Obj(vec![
@@ -384,6 +435,16 @@ pub enum RunEvent {
 }
 
 impl RunEvent {
+    /// Virtual time of the event, seconds.
+    pub fn at(&self) -> f64 {
+        match *self {
+            RunEvent::Crash { at, .. }
+            | RunEvent::Recovery { at, .. }
+            | RunEvent::CorruptionDetected { at, .. }
+            | RunEvent::Healed { at, .. } => at,
+        }
+    }
+
     /// JSON form (used by the metrics dump).
     pub fn to_json(&self) -> Json {
         match *self {
@@ -449,6 +510,14 @@ pub struct RunMetrics {
     /// `critical_path_seconds / makespan` (the §VIII-G efficiency; 0 when
     /// no bound was computed).
     pub efficiency_vs_critical_path: f64,
+    /// Merged metrics-registry snapshot (counters, gauges, duration
+    /// histograms), when a registry was attached to the run.
+    pub registry: Option<RegistrySnapshot>,
+}
+
+/// Sanitize a possibly NaN/Inf reading for report output.
+fn finite_or_zero(x: f64) -> f64 {
+    if x.is_finite() { x } else { 0.0 }
 }
 
 impl RunMetrics {
@@ -475,19 +544,74 @@ impl RunMetrics {
     }
 
     /// Attach the critical-path bound and derive efficiency against it.
+    ///
+    /// Degenerate inputs stay typed-safe: a non-finite or non-positive
+    /// bound records as 0 (the "not computed" sentinel), a zero/NaN
+    /// makespan yields efficiency 0 instead of dividing, and the
+    /// efficiency is clamped to `[0, 1]` so tables never show NaN/Inf.
     pub fn with_critical_path(mut self, cp_seconds: f64) -> Self {
-        self.critical_path_seconds = cp_seconds;
-        self.efficiency_vs_critical_path = if self.makespan > 0.0 {
-            cp_seconds / self.makespan
-        } else {
-            0.0
-        };
+        let cp = if cp_seconds.is_finite() && cp_seconds > 0.0 { cp_seconds } else { 0.0 };
+        self.critical_path_seconds = cp;
+        self.efficiency_vs_critical_path =
+            if cp > 0.0 && self.makespan.is_finite() && self.makespan > 0.0 {
+                (cp / self.makespan).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
         self
+    }
+
+    /// Attach a merged registry snapshot (counters, gauges, histograms).
+    pub fn with_registry(mut self, snapshot: RegistrySnapshot) -> Self {
+        self.registry = Some(snapshot);
+        self
+    }
+
+    /// Prometheus text-exposition form: the scalar run metrics as gauges
+    /// (labelled by run) plus, when present, the attached registry's
+    /// counters and histograms.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let label: String = self
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+            .collect();
+        let mut out = String::new();
+        let mut gauge = |name: &str, v: f64| {
+            let _ = writeln!(out, "# TYPE tlr_{name} gauge");
+            let _ = writeln!(out, "tlr_{name}{{run=\"{label}\"}} {}", finite_or_zero(v));
+        };
+        gauge("run_makespan_seconds", self.makespan);
+        gauge("run_queue_wait_seconds", self.total_queue_wait);
+        gauge("run_load_imbalance", self.load_imbalance);
+        gauge("run_critical_path_seconds", self.critical_path_seconds);
+        gauge("run_efficiency_vs_critical_path", self.efficiency_vs_critical_path);
+        gauge("run_comm_bytes", self.comm_bytes as f64);
+        gauge("run_comm_messages", self.comm_messages as f64);
+        let _ = writeln!(out, "# TYPE tlr_run_class_busy_seconds gauge");
+        for (name, v) in [
+            ("potrf", self.breakdown.potrf),
+            ("trsm", self.breakdown.trsm),
+            ("syrk", self.breakdown.syrk),
+            ("gemm", self.breakdown.gemm),
+            ("other", self.breakdown.other),
+        ] {
+            let _ = writeln!(
+                out,
+                "tlr_run_class_busy_seconds{{run=\"{label}\",class=\"{name}\"}} {}",
+                finite_or_zero(v)
+            );
+        }
+        if let Some(reg) = &self.registry {
+            reg.write_prometheus(&mut out);
+        }
+        out
     }
 
     /// JSON form of the full metrics record.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut out = Json::Obj(vec![
             ("label".into(), Json::Str(self.label.clone())),
             ("makespan_s".into(), Json::Num(self.makespan)),
             (
@@ -523,7 +647,11 @@ impl RunMetrics {
                 "efficiency_vs_critical_path".into(),
                 Json::Num(self.efficiency_vs_critical_path),
             ),
-        ])
+        ]);
+        if let Some(reg) = &self.registry {
+            out.insert("registry", reg.to_json());
+        }
+        out
     }
 
     /// CSV form: a `metric,value` table (one file per run).
@@ -601,10 +729,18 @@ impl RunMetrics {
 
     /// Side-by-side table over several runs (one line per run) — the
     /// Lorapo vs. band vs. diamond comparison of the paper's evaluation.
+    /// Degenerate inputs stay typed-safe (satellite of the metrics
+    /// registry work): an empty run list renders an explicit "(no runs)"
+    /// row and NaN/Inf readings print as 0 rather than leaking into the
+    /// table.
     pub fn comparison_table(runs: &[RunMetrics]) -> String {
         let mut out = String::from(
             "plan               makespan_s   imbalance  mean_idle   msgs        bytes        eff_cp\n",
         );
+        if runs.is_empty() {
+            out.push_str("(no runs)\n");
+            return out;
+        }
         for m in runs {
             let mean_idle = if m.idle_fraction.is_empty() {
                 0.0
@@ -614,12 +750,12 @@ impl RunMetrics {
             out.push_str(&format!(
                 "{:<18} {:>10.6} {:>11.4} {:>10.4} {:>6} {:>12} {:>9.3}\n",
                 m.label,
-                m.makespan,
-                m.load_imbalance,
-                mean_idle,
+                finite_or_zero(m.makespan),
+                finite_or_zero(m.load_imbalance),
+                finite_or_zero(mean_idle),
                 m.comm_messages,
                 m.comm_bytes,
-                m.efficiency_vs_critical_path,
+                finite_or_zero(m.efficiency_vs_critical_path),
             ));
         }
         out
@@ -760,5 +896,89 @@ mod tests {
         .to_json();
         assert_eq!(h.get("event").unwrap().as_str().unwrap(), "healed");
         assert_eq!(h.get("at").unwrap().as_f64().unwrap(), 0.75);
+    }
+
+    #[test]
+    fn run_events_export_as_chrome_instants() {
+        let events = [
+            RunEvent::Healed { rank: 1, i: 0, j: 0, at: 1.75 },
+            RunEvent::Crash { rank: 2, at: 0.5 },
+            RunEvent::CorruptionDetected { rank: 1, i: 0, j: 0, at: 1.5 },
+            RunEvent::Recovery { failed: 2, survivor: 0, at: 0.75 },
+        ];
+        let text = chrome_trace_json_with_events(&sample_trace(), &events, "test");
+        let doc = Json::parse(&text).unwrap();
+        let all = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let instants: Vec<&Json> =
+            all.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("i")).collect();
+        assert_eq!(instants.len(), 4, "one instant per run event");
+        // Time-ordered, process-scoped, named by kind, payload in args.
+        let names: Vec<&str> =
+            instants.iter().map(|e| e.get("name").unwrap().as_str().unwrap()).collect();
+        assert_eq!(names, ["crash", "recovery", "corruption_detected", "corruption_healed"]);
+        for e in &instants {
+            assert_eq!(e.get("s").unwrap().as_str().unwrap(), "p");
+            assert!(e.get("args").unwrap().get("event").is_some());
+        }
+        assert_eq!(instants[3].get("ts").unwrap().as_f64().unwrap(), 1.75e6);
+        assert_eq!(instants[0].get("tid").unwrap().as_f64().unwrap(), 2.0);
+        // The task spans are unaffected.
+        let spans = all.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).count();
+        assert_eq!(spans, 2);
+    }
+
+    #[test]
+    fn critical_path_guards_degenerate_inputs() {
+        let m = RunMetrics::from_trace("t", &sample_trace(), 2);
+        // Normal case: efficiency in (0, 1].
+        let ok = m.clone().with_critical_path(1.0);
+        assert!(ok.efficiency_vs_critical_path > 0.0 && ok.efficiency_vs_critical_path <= 1.0);
+        // NaN / Inf / negative bounds record as "not computed".
+        for bad in [f64::NAN, f64::INFINITY, -1.0, 0.0] {
+            let g = m.clone().with_critical_path(bad);
+            assert_eq!(g.critical_path_seconds, 0.0, "{bad}");
+            assert_eq!(g.efficiency_vs_critical_path, 0.0, "{bad}");
+        }
+        // Zero-makespan run (empty trace): no division, efficiency 0.
+        let empty = RunMetrics::from_trace("e", &Trace::default(), 1).with_critical_path(1.0);
+        assert_eq!(empty.efficiency_vs_critical_path, 0.0);
+        // A bound exceeding the makespan clamps to 1 instead of >1.
+        let clamped = m.clone().with_critical_path(1e9);
+        assert_eq!(clamped.efficiency_vs_critical_path, 1.0);
+    }
+
+    #[test]
+    fn comparison_table_guards_empty_and_nonfinite() {
+        let empty = RunMetrics::comparison_table(&[]);
+        assert!(empty.contains("(no runs)"), "{empty}");
+        let poisoned = RunMetrics {
+            label: "bad".into(),
+            makespan: f64::NAN,
+            load_imbalance: f64::INFINITY,
+            ..RunMetrics::default()
+        };
+        let table = RunMetrics::comparison_table(&[poisoned]);
+        assert!(!table.contains("NaN") && !table.contains("inf"), "{table}");
+    }
+
+    #[test]
+    fn registry_snapshot_attaches_to_metrics_and_prometheus() {
+        use registry::{Counter, Registry};
+        let reg = Registry::new(2);
+        reg.add(0, Counter::TasksExecuted, 5);
+        reg.record_class_seconds(1, TaskClass::Gemm, 2e-3);
+        let m = RunMetrics::from_trace("run a", &sample_trace(), 2).with_registry(reg.snapshot());
+        let j = m.to_json();
+        let snap_counters = j.get("registry").and_then(|r| r.get("counters"));
+        assert!(snap_counters.is_some());
+        let prom = m.to_prometheus();
+        assert!(prom.contains("tlr_run_makespan_seconds{run=\"run_a\"}"), "{prom}");
+        if Registry::compiled() {
+            assert!(prom.contains("tlr_tasks_executed_total 5"), "{prom}");
+            assert_eq!(m.registry.as_ref().unwrap().counter(Counter::TasksExecuted), 5);
+        }
+        // Without a registry the field stays out of the JSON.
+        let bare = RunMetrics::from_trace("b", &sample_trace(), 2);
+        assert!(bare.to_json().get("registry").is_none());
     }
 }

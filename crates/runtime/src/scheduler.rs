@@ -104,6 +104,15 @@ pub trait Scheduler: Send {
 
     /// Observe a finished task and its measured duration in seconds.
     fn on_task_finished(&mut self, _task: TaskId, _graph: &TaskGraph, _measured_s: f64) {}
+
+    /// The per-class measured/modeled correction factors this policy has
+    /// learned (slot order Potrf/Trsm/Syrk/Gemm/Other), or `None` for
+    /// policies that don't calibrate. The engine publishes these into
+    /// the metrics registry at end of run so drift reports can inspect
+    /// the EMA state.
+    fn class_corrections(&self) -> Option<[f64; 5]> {
+        None
+    }
 }
 
 /// Validate a key table: every key must be finite or the engines would
@@ -424,6 +433,10 @@ impl Scheduler for LookaheadScheduler {
         let idx = class_index(graph.spec(task).class);
         let ratio = measured_s / predicted;
         self.class_corr[idx] = (1.0 - EMA_ALPHA) * self.class_corr[idx] + EMA_ALPHA * ratio;
+    }
+
+    fn class_corrections(&self) -> Option<[f64; 5]> {
+        Some(self.class_corr)
     }
 }
 

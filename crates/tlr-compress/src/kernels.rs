@@ -159,6 +159,27 @@ impl KernelWorkspace {
         }
     }
 
+    /// Bytes currently retained by this arena's recycled buffer pools
+    /// (scratch, export, and tau pools plus the reusable SVD pair).
+    /// Pools only grow, so after warm-up this is the arena's high-water
+    /// mark — the per-worker memory-budget number the metrics registry
+    /// reports. Always compiled (no `obs` gate): it reads capacities
+    /// already tracked by the allocator, costing a short walk of the
+    /// pool lists at report time.
+    pub fn high_water_bytes(&self) -> u64 {
+        let vecs = |pool: &[Vec<f64>]| -> u64 {
+            pool.iter().map(|b| b.capacity() as u64).sum::<u64>()
+        };
+        let f64s = vecs(&self.pool)
+            + vecs(&self.out_pool)
+            + vecs(&self.taus)
+            + self.svd.u.as_slice().len() as u64
+            + self.svd.v.as_slice().len() as u64
+            + self.svd.s.capacity() as u64
+            + self.svd_work.retained_len() as u64;
+        f64s * std::mem::size_of::<f64>() as u64
+    }
+
     /// Pool misses so far: checkouts that allocated a fresh buffer or
     /// grew a pooled one. Always callable; 0 without the `obs` feature.
     pub fn alloc_events(&self) -> u64 {

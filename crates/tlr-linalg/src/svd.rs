@@ -115,6 +115,16 @@ impl SvdWork {
             colsq: Vec::new(),
         }
     }
+
+    /// Total `f64`-equivalent elements retained across the workspace's
+    /// buffers — the footprint an arena reports as its high-water mark.
+    pub fn retained_len(&self) -> usize {
+        self.w.as_slice().len()
+            + self.v.as_slice().len()
+            + self.norms.capacity()
+            + self.order.capacity()
+            + self.colsq.capacity()
+    }
 }
 
 /// Compute the thin SVD of `a` by one-sided Jacobi.

@@ -4,13 +4,15 @@
 //! accounting on the fault-tolerant distributed runtime.
 
 use hicma_parsec::cholesky::simulate::{simulate_cholesky, SimConfig};
-use hicma_parsec::cholesky::{FactorConfig, Session};
-use hicma_parsec::distribution::DiamondDistribution;
+use hicma_parsec::cholesky::{DriftSpec, FactorConfig, Session};
+use hicma_parsec::distribution::{DiamondDistribution, TileDistribution};
 use hicma_parsec::runtime::graph::{DataRef, TaskClass};
 use hicma_parsec::runtime::obs::json::Json;
-use hicma_parsec::runtime::obs::{chrome_trace_json, RunEvent, RunMetrics};
+use hicma_parsec::runtime::obs::{
+    chrome_trace_json, chrome_trace_json_with_events, RunEvent, RunMetrics,
+};
 use hicma_parsec::runtime::trace::{TaskRecord, Trace};
-use hicma_parsec::runtime::{FaultPlan, FtConfig, MachineModel};
+use hicma_parsec::runtime::{Counter, FaultPlan, FtConfig, Gauge, MachineModel, Registry};
 use hicma_parsec::tlr::{CompressionConfig, SyntheticRankModel, TlrMatrix};
 use proptest::prelude::*;
 
@@ -258,4 +260,188 @@ fn traced_rbf_factorization_exports_chrome_trace_and_metrics() {
     assert!(csv.contains("makespan_s") && csv.contains("idle_fraction_p1"), "{csv}");
     let rendered = metrics.rank_evolution.render(16);
     assert!(rendered.contains("recompressions"), "{rendered}");
+}
+
+/// Integrity incidents ride the same timeline as crashes: a run with an
+/// injected store corruption exports `corruption_detected` and
+/// `corruption_healed` instant events in its Chrome trace, even in
+/// builds without the `obs` feature (the event channel is always on).
+#[test]
+fn corruption_events_export_as_chrome_instants() {
+    let n = 96;
+    let b = 24;
+    let gen = |i: usize, j: usize| {
+        let d = (i as f64 - j as f64) / (n as f64 / 6.0);
+        let v: f64 = (-d * d).exp();
+        if i == j {
+            v + 1e-3
+        } else {
+            v
+        }
+    };
+    let ccfg = CompressionConfig::with_accuracy(1e-8);
+    let mut m = TlrMatrix::from_generator(n, b, gen, &ccfg);
+    let dist = DiamondDistribution::new(4);
+    let victim = dist.owner(1, 0);
+    let plan = FaultPlan::new(11).with_store_corruption(victim, 1, 0, 3.0);
+    let ft = FtConfig::with_plan(plan);
+    let outcome = Session::distributed(FactorConfig::with_accuracy(1e-8), 4, &dist)
+        .with_fault_layer(&ft)
+        .run(&mut m)
+        .expect("a single store strike is healable")
+        .ft
+        .expect("fault layer was configured");
+    assert_eq!(outcome.stats.corruptions_detected, 1);
+    assert_eq!(outcome.stats.corruptions_healed, 1);
+
+    // The exporter accepts the event stream with or without a task
+    // trace; an empty trace keeps this assertion obs-feature-free.
+    let text = chrome_trace_json_with_events(&Trace::default(), &outcome.events, "integrity");
+    let doc = Json::parse(&text).expect("valid Chrome trace JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let instant_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(instant_names.contains(&"corruption_detected"), "{instant_names:?}");
+    assert!(instant_names.contains(&"corruption_healed"), "{instant_names:?}");
+}
+
+/// The metrics registry is on by default and feeds `RunOutcome::registry`
+/// on shared-memory runs: task counters, per-class busy time, and the
+/// workspace high-water mark all land in the snapshot. With the
+/// runtime's `metrics` feature compiled out the snapshot is still
+/// present, just empty — callers never need a `cfg` gate.
+#[test]
+fn default_shared_run_populates_the_registry() {
+    let n = 96;
+    let b = 24;
+    let gen = |i: usize, j: usize| {
+        let d = (i as f64 - j as f64) / (n as f64 / 6.0);
+        let v: f64 = (-d * d).exp();
+        if i == j {
+            v + 1e-3
+        } else {
+            v
+        }
+    };
+    let ccfg = CompressionConfig::with_accuracy(1e-8);
+    let mut m = TlrMatrix::from_generator(n, b, gen, &ccfg);
+    let mut fcfg = FactorConfig::with_accuracy(1e-8);
+    fcfg.nthreads = 2;
+    let out = Session::shared(fcfg).run(&mut m).expect("SPD");
+    let snap = out.registry.expect("collect_metrics defaults to on");
+    if Registry::compiled() {
+        // Panel batching (on by default) retires *fused* tasks, so the
+        // counter is bounded by — not equal to — the DAG task count.
+        let executed = snap.counter(Counter::TasksExecuted);
+        assert!(executed > 0, "retired tasks must be counted");
+        assert!(executed as usize <= out.report.dag_tasks, "{executed} > {}", out.report.dag_tasks);
+        assert!(snap.class_busy_seconds().total() > 0.0, "kernels take time");
+        assert!(snap.counter(Counter::TasksEnqueued) >= executed);
+        assert!(snap.gauge(Gauge::ArenaHighWaterBytes) > 0.0, "workspaces allocate");
+        // The snapshot exports to both wire formats without loss of the
+        // headline counter.
+        let j = snap.to_json().to_string();
+        assert!(j.contains("tasks_executed"), "{j}");
+        let mut prom = String::new();
+        snap.write_prometheus(&mut prom);
+        assert!(prom.contains("tlr_tasks_executed_total"), "{prom}");
+    } else {
+        assert!(snap.is_empty(), "no storage without the metrics feature");
+    }
+}
+
+/// Acceptance: a drift report on a DES run prices the original task
+/// graph with the scheduler's cost model and compares it to measured
+/// per-class virtual time and measured comm. On a fault-free, unbatched
+/// run the comm model is exact — both ratios are 1.0 — and every class
+/// ratio is finite (never NaN).
+#[test]
+fn drift_report_compares_model_to_measured_comm_exactly() {
+    let n = 120;
+    let b = 24;
+    let gen = |i: usize, j: usize| {
+        let d = (i as f64 - j as f64) / (n as f64 / 8.0);
+        let v: f64 = (-d * d).exp();
+        if i == j {
+            v + 1e-3
+        } else {
+            v
+        }
+    };
+    let ccfg = CompressionConfig::with_accuracy(1e-8);
+    let mut m = TlrMatrix::from_generator(n, b, gen, &ccfg);
+    let mut fcfg = FactorConfig::with_accuracy(1e-8);
+    // Panel batching fuses tasks and coalesces shipments, which changes
+    // message counts; the exactness claim is for the unbatched graph.
+    fcfg.batch_panels = false;
+    let out = Session::distributed(fcfg, 4, &DiamondDistribution::new(4))
+        .with_drift(DriftSpec::new(MachineModel::shaheen_ii()))
+        .run(&mut m)
+        .expect("SPD");
+    let drift = out.drift.expect("drift spec + default metrics => report");
+
+    assert!(drift.expected_rank > 0);
+    assert!(drift.modeled_flops > 0.0, "pricing the DAG must see work");
+    for c in &drift.classes {
+        assert!(c.ratio.is_finite(), "{}: ratio {}", c.class, c.ratio);
+        assert!(c.correction.is_finite() && c.correction > 0.0);
+    }
+    if Registry::compiled() {
+        let gemm = drift.classes.iter().find(|c| c.class == "gemm").unwrap();
+        assert!(gemm.measured_seconds > 0.0, "DES busy time lands in the registry");
+        assert!(gemm.modeled_seconds > 0.0);
+    }
+
+    let comm = drift.comm.expect("distributed runs always model comm");
+    assert_eq!(comm.bytes_ratio, 1.0, "fault-free unbatched comm model is exact");
+    assert_eq!(comm.messages_ratio, 1.0);
+    assert!(!comm.anomalous);
+
+    // The report serializes to both export formats.
+    let j = drift.to_json().to_string();
+    assert!(j.contains("bytes_ratio") && j.contains("modeled_flops"), "{j}");
+    let prom = drift.to_prometheus();
+    assert!(prom.contains("tlr_drift_ratio"), "{prom}");
+    let table = drift.to_string();
+    assert!(table.contains("gemm"), "{table}");
+}
+
+/// The same drift machinery on the wall-clock engine: a shared-memory
+/// run measures real seconds against the same modeled costs, so ratios
+/// are finite (timing-dependent in value, never NaN) and the rank
+/// profile comes from the run's own recompression histogram.
+#[test]
+fn drift_report_works_on_wall_clock_runs() {
+    let n = 96;
+    let b = 24;
+    let gen = |i: usize, j: usize| {
+        let d = (i as f64 - j as f64) / (n as f64 / 6.0);
+        let v: f64 = (-d * d).exp();
+        if i == j {
+            v + 1e-3
+        } else {
+            v
+        }
+    };
+    let ccfg = CompressionConfig::with_accuracy(1e-8);
+    let mut m = TlrMatrix::from_generator(n, b, gen, &ccfg);
+    let mut fcfg = FactorConfig::with_accuracy(1e-8);
+    fcfg.nthreads = 2;
+    let out = Session::shared(fcfg)
+        .with_drift(DriftSpec::new(MachineModel::shaheen_ii()))
+        .run(&mut m)
+        .expect("SPD");
+    let drift = out.drift.expect("drift spec + default metrics => report");
+    assert!(drift.comm.is_none(), "shared-memory runs have no wire");
+    assert!(drift.modeled_flops > 0.0);
+    for c in &drift.classes {
+        assert!(c.ratio.is_finite() && c.ratio >= 0.0, "{}: {}", c.class, c.ratio);
+    }
+    if Registry::compiled() {
+        let total: f64 = drift.classes.iter().map(|c| c.measured_seconds).sum();
+        assert!(total > 0.0, "wall-clock busy time must be measured");
+    }
 }
