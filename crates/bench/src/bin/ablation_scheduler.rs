@@ -10,7 +10,8 @@
 //! costs from the snapshot's rank distribution, self-corrected from
 //! simulated durations mid-run) — on both calibrated machine models and
 //! two distributions. A second section drives repeated distributed
-//! solves on one geometry through [`CommReplanner`] and reports the
+//! solves on one geometry through an embedded comm-feedback re-planner
+//! (plan-cached, so overrides persist round to round) and reports the
 //! measured traffic per round.
 //!
 //! Emits `BENCH_scheduler_ablation.json` (and echoes a table to
@@ -19,12 +20,11 @@
 //! *more* traffic on any round, or any policy's factor deviated from
 //! the panel-priority factor bit for bit.
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
 
 use distribution::{BandDistribution, TileDistribution, TwoDBlockCyclic};
 use hicma_core::dag::{build_cholesky_dag, CholeskyDag, DagConfig};
-use hicma_core::{factorize, CommReplanner, FactorConfig, Session};
+use hicma_core::{factorize, FactorConfig, PlanCache, Session};
 use runtime::des::{simulate_with_scheduler, DesConfig, DesTask};
 use runtime::scheduler::{
     queue_keys, upward_rank_comm_keys, CommCosts, CostModel, LookaheadScheduler, RankProfile,
@@ -183,8 +183,13 @@ fn replan_rounds(n: usize, b: usize, nprocs: usize, rounds: usize) -> Vec<(u64, 
     let ccfg = CompressionConfig::with_accuracy(acc);
     let fcfg = FactorConfig::with_accuracy(acc);
     let dist = TwoDBlockCyclic::new(nprocs);
-    let replan = RefCell::new(CommReplanner::new(nprocs));
-    let session = Session::distributed(fcfg, nprocs, &dist).with_replanner(&replan);
+    // Embedded re-planner (0.2 imbalance slack): the converged overrides
+    // live in the cached symbolic plan, so each round after the first is
+    // a plan-cache hit that inherits the previous round's placement.
+    let cache = PlanCache::new(1);
+    let session = Session::distributed(fcfg, nprocs, &dist)
+        .with_replanning(0.2)
+        .with_plan_cache(&cache);
     let mut traffic = Vec::with_capacity(rounds);
     for round in 0..rounds {
         let mut m = TlrMatrix::from_dense(&dense, b, &ccfg);

@@ -26,7 +26,7 @@
 //! writes it, and the final version is gathered from the rank of its
 //! last writer.
 
-use crate::dag::{build_cholesky_dag, CholeskyDag, DagConfig, TaskKind};
+use crate::dag::{CholeskyDag, TaskKind};
 use crate::session::{RunError, Session};
 use distribution::TileDistribution;
 use parking_lot::Mutex;
@@ -43,118 +43,70 @@ use tlr_linalg::CholeskyError;
 
 use crate::factorize::FactorConfig;
 
-/// Everything a distributed run needs: the trimmed DAG, task→rank
-/// mapping, dependency lookup, and the initial per-rank tile placement
-/// (tiles are moved out of the matrix into the stores). Built once per
-/// attempt by [`crate::session::Session`].
+/// The symbolic skeleton of a distributed run, as the tests pin it: the
+/// trimmed DAG plus the task→rank mapping the static distribution
+/// produces. Production code plans through
+/// [`crate::plan::SymbolicPlan`]; this shorthand serves the tests that
+/// compare against the baseline mapping.
+#[cfg(test)]
 pub(crate) struct DistPlan {
     pub(crate) dag: CholeskyDag,
     pub(crate) exec_rank: Vec<usize>,
-    preds: Vec<Vec<(TaskId, DataRef)>>,
-    last_writer: HashMap<(usize, usize), TaskId>,
-    placement: HashMap<(usize, usize), usize>,
-    pub(crate) initial: Vec<HashMap<DataRef, Tile>>,
 }
 
-/// Plan with no overrides (the static distribution alone). Production
-/// code plans through [`plan_distribution_with`]; this shorthand serves
-/// the tests that pin the baseline mapping.
+/// Plan with no overrides (the static distribution alone) — test
+/// shorthand over [`crate::plan::build_plan`].
 #[cfg(test)]
 pub(crate) fn plan_distribution(
-    matrix: &mut TlrMatrix,
+    matrix: &TlrMatrix,
     cfg: &FactorConfig,
     nprocs: usize,
     exec: &dyn TileDistribution,
 ) -> DistPlan {
-    plan_distribution_with(matrix, cfg, nprocs, exec, &HashMap::new())
+    let plan = crate::plan::build_plan(
+        cfg,
+        &matrix.rank_snapshot(),
+        Some(crate::plan::DistPlanInputs {
+            nprocs,
+            exec,
+            ft: false,
+            verify: false,
+            trace: false,
+            overrides: HashMap::new(),
+            replan_slack: None,
+        }),
+    )
+    .expect("planning a valid snapshot cannot fail");
+    let exec_rank = plan
+        .dist
+        .as_ref()
+        .expect("distributed inputs produce a distributed plan")
+        .mapping
+        .read()
+        .exec_rank
+        .clone();
+    DistPlan {
+        dag: plan.dag,
+        exec_rank,
+    }
 }
 
-/// [`plan_distribution`] with per-tile rank overrides: a tile present in
-/// `overrides` executes (all its writers, hence its whole update chain)
-/// on the given rank instead of `exec.owner(i, j)`. This is the hook the
-/// comm-feedback re-planner ([`crate::replan::CommReplanner`]) steers —
-/// overriding whole write-chains keeps the engine's writers-co-located
-/// placement invariant by construction.
-pub(crate) fn plan_distribution_with(
+/// Move the matrix tiles into per-rank initial stores according to the
+/// plan's placement map — the numeric half of what used to be
+/// `plan_distribution` (the symbolic half lives in [`crate::plan`]).
+pub(crate) fn scatter_tiles(
     matrix: &mut TlrMatrix,
-    cfg: &FactorConfig,
+    placement: &HashMap<(usize, usize), usize>,
     nprocs: usize,
-    exec: &dyn TileDistribution,
-    overrides: &HashMap<(usize, usize), usize>,
-) -> DistPlan {
+) -> Vec<HashMap<DataRef, Tile>> {
     let nt = matrix.nt();
-    let dag = build_cholesky_dag(
-        &matrix.rank_snapshot(),
-        &DagConfig {
-            trimmed: cfg.trimmed,
-            rank_cap: cfg.max_rank,
-        },
-    );
-
-    let rank_of_tile = |i: usize, j: usize| {
-        overrides
-            .get(&(i, j))
-            .copied()
-            .unwrap_or_else(|| exec.owner(i, j))
-            .min(nprocs - 1)
-    };
-
-    // Execution rank per task = (possibly overridden) exec mapping of
-    // the tile it writes.
-    let exec_rank: Vec<usize> = (0..dag.graph.len())
-        .map(|t| {
-            let w = dag
-                .graph
-                .spec(t)
-                .writes
-                .expect("every Cholesky task writes its tile");
-            rank_of_tile(w.i, w.j)
-        })
-        .collect();
-
-    // Predecessor lookup: task → (producer, datum) pairs.
-    let mut preds: Vec<Vec<(TaskId, DataRef)>> = vec![Vec::new(); dag.graph.len()];
-    for src in 0..dag.graph.len() {
-        for e in dag.graph.successors(src) {
-            preds[e.dst].push((src, e.data));
-        }
-    }
-
-    // First/last writer per tile (for initial placement and gathering).
-    let mut first_writer: HashMap<(usize, usize), TaskId> = HashMap::new();
-    let mut last_writer: HashMap<(usize, usize), TaskId> = HashMap::new();
-    for t in 0..dag.graph.len() {
-        let w = dag
-            .graph
-            .spec(t)
-            .writes
-            .expect("every Cholesky task writes its tile");
-        first_writer.entry((w.i, w.j)).or_insert(t);
-        last_writer.insert((w.i, w.j), t);
-    }
-
-    // Initial stores: ship each tile to its first writer's rank.
     let mut initial: Vec<HashMap<DataRef, Tile>> = vec![HashMap::new(); nprocs];
-    let mut placement: HashMap<(usize, usize), usize> = HashMap::new();
     for i in 0..nt {
         for j in 0..=i {
-            let rank = first_writer
-                .get(&(i, j))
-                .map(|&t| exec_rank[t])
-                .unwrap_or_else(|| rank_of_tile(i, j));
-            placement.insert((i, j), rank);
-            initial[rank].insert(DataRef { i, j }, matrix.take_tile(i, j));
+            initial[placement[&(i, j)]].insert(DataRef { i, j }, matrix.take_tile(i, j));
         }
     }
-
-    DistPlan {
-        dag,
-        exec_rank,
-        preds,
-        last_writer,
-        placement,
-        initial,
-    }
+    initial
 }
 
 /// Payload abstraction for the distributed pipeline: the same kernel
@@ -327,18 +279,18 @@ impl KernelEnv<'_> {
 /// stores, using the (possibly migrated) final task→rank assignment.
 pub(crate) fn gather_tiles<P: TilePayload>(
     matrix: &mut TlrMatrix,
-    plan: &DistPlan,
+    last_writer: &HashMap<(usize, usize), TaskId>,
+    placement: &HashMap<(usize, usize), usize>,
     final_exec: &[usize],
     stores: &[HashMap<DataRef, P>],
 ) {
     let nt = matrix.nt();
     for i in 0..nt {
         for j in 0..=i {
-            let rank = plan
-                .last_writer
+            let rank = last_writer
                 .get(&(i, j))
                 .map(|&t| final_exec[t])
-                .unwrap_or(plan.placement[&(i, j)]);
+                .unwrap_or(placement[&(i, j)]);
             let tile = stores[rank]
                 .get(&DataRef { i, j })
                 .cloned()
@@ -359,13 +311,14 @@ pub(crate) fn gather_tiles<P: TilePayload>(
 }
 
 pub(crate) fn kernel_env<'a>(
-    plan: &'a DistPlan,
+    dag: &'a CholeskyDag,
+    preds: &'a [Vec<(TaskId, DataRef)>],
     cfg: &FactorConfig,
     tile_size: usize,
 ) -> KernelEnv<'a> {
     KernelEnv {
-        dag: &plan.dag,
-        preds: &plan.preds,
+        dag,
+        preds,
         tile_size,
         // The configured compression policy, keep_dense_ratio included —
         // this used to pin the ratio to 1.0 regardless of the config.
@@ -392,7 +345,7 @@ pub fn factorize_distributed(
     match Session::distributed(*cfg, nprocs, exec).run(matrix) {
         Ok(_) => Ok(()),
         Err(RunError::Numeric(e)) => Err(e),
-        Err(RunError::Engine(e)) => panic!("{e}"),
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -415,7 +368,7 @@ pub fn factorize_distributed_counted(
             .comm
             .expect("distributed runs always count communication")),
         Err(RunError::Numeric(e)) => Err(e),
-        Err(RunError::Engine(e)) => panic!("{e}"),
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -489,7 +442,7 @@ pub fn factorize_distributed_ft(
         Ok(out) => Ok(out.ft.expect("fault layer was configured")),
         Err(RunError::Numeric(e)) => Err(FtFactorError::Numeric(e)),
         Err(RunError::Engine(EngineError::Fault(e))) => Err(FtFactorError::Runtime(e)),
-        Err(RunError::Engine(e)) => panic!("{e}"),
+        Err(e) => panic!("{e}"),
     }
 }
 

@@ -7,6 +7,7 @@
 //! same factor (trimming only removes numeric no-ops), which the tests
 //! check — that is the correctness argument for §VI.
 
+use crate::plan::SymbolicPlan;
 use crate::session::{RunError, Session};
 use runtime::engine::EngineError;
 use runtime::obs::RunMetrics;
@@ -284,7 +285,41 @@ pub fn factorize(
             // context, as this entry point always has.
             panic!("factorization kernel panicked: {p}")
         }
-        Err(RunError::Engine(e)) => panic!("{e}"),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Run the symbolic phase of [`factorize`] alone: build the reusable
+/// [`SymbolicPlan`] (trimmed DAG, fused panel batches, scheduler tables)
+/// for `matrix` under `cfg`, without touching any tile values. Feed the
+/// plan to [`factorize_with_plan`] — or hold a
+/// [`PlanCache`](crate::plan::PlanCache) and let
+/// [`Session`] manage the split implicitly.
+pub fn plan_factorization(matrix: &TlrMatrix, cfg: &FactorConfig) -> SymbolicPlan {
+    Session::shared(*cfg)
+        .plan(matrix)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`factorize`] consuming a prebuilt [`SymbolicPlan`]: the numeric
+/// phase alone, skipping DAG construction, batching and scheduler
+/// precomputation. The factor is bit-identical to [`factorize`]; the
+/// plan must come from [`plan_factorization`] (or a
+/// [`PlanCache`](crate::plan::PlanCache)) with the same config and tile
+/// structure — a mismatched plan panics with both fingerprints, like
+/// every other invalid-configuration error at this entry point.
+pub fn factorize_with_plan(
+    matrix: &mut TlrMatrix,
+    cfg: &FactorConfig,
+    plan: &SymbolicPlan,
+) -> Result<FactorReport, CholeskyError> {
+    match Session::shared(*cfg).run_with_plan(plan, matrix) {
+        Ok(out) => Ok(out.report),
+        Err(RunError::Numeric(e)) => Err(e),
+        Err(RunError::Engine(EngineError::Panic(p))) => {
+            panic!("factorization kernel panicked: {p}")
+        }
+        Err(e) => panic!("{e}"),
     }
 }
 

@@ -15,6 +15,9 @@
 //!   [`simulate`]
 //! * Lorapo baseline (PSC'20 state of the art) → [`lorapo`]
 //! * numerical validation helpers → [`verify`]
+//! * symbolic/numeric phase split (reusable [`SymbolicPlan`] artifacts,
+//!   the keyed [`PlanCache`]) → [`plan`]
+//! * multi-tenant solver front-end with admission control → [`service`]
 
 pub mod analysis;
 pub mod batch;
@@ -23,7 +26,9 @@ pub mod distributed;
 pub mod drift;
 pub mod factorize;
 pub mod lorapo;
+pub mod plan;
 pub mod replan;
+pub mod service;
 pub mod session;
 pub mod simulate;
 pub mod solve;
@@ -39,8 +44,13 @@ pub use distributed::{
 };
 pub use distributed::{FtFactorError, FtFactorOutcome};
 pub use drift::{ClassDrift, CommDrift, DriftReport, DriftSpec};
-pub use factorize::{factorize, FactorConfig, FactorMetrics, FactorReport, IntegrityMode};
+pub use factorize::{
+    factorize, factorize_with_plan, plan_factorization, FactorConfig, FactorMetrics, FactorReport,
+    IntegrityMode,
+};
+pub use plan::{CacheEvents, PlanCache, PlanKey, PlanMode, SymbolicPlan};
 pub use replan::{modeled_comm, CommReplanner};
+pub use service::{ServiceError, SolveOutcome, SolveService, TenantConfig, TenantUsage};
 pub use session::{RunError, RunOutcome, Session};
 pub use simulate::{
     simulate_cholesky, simulate_cholesky_faulty, DistributionPlan, SimConfig, SimReport,

@@ -282,8 +282,8 @@ mod tests {
         let fcfg = FactorConfig::with_accuracy(acc);
         let dist = TwoDBlockCyclic::new(4);
 
-        let mut for_plan = TlrMatrix::from_dense(&dense, b, &ccfg);
-        let plan = plan_distribution(&mut for_plan, &fcfg, 4, &dist);
+        let for_plan = TlrMatrix::from_dense(&dense, b, &ccfg);
+        let plan = plan_distribution(&for_plan, &fcfg, 4, &dist);
         let modeled = modeled_comm(&plan.dag.graph, &plan.exec_rank);
 
         let mut m = TlrMatrix::from_dense(&dense, b, &ccfg);
@@ -299,7 +299,10 @@ mod tests {
     /// Repeated solves on one geometry: traffic never increases round
     /// over round, strictly drops from the static baseline, and the
     /// factor stays bit-identical to the shared-memory run throughout.
+    /// (Exercises the deprecated external-`RefCell` path, kept working
+    /// as a shim over transient plans.)
     #[test]
+    #[allow(deprecated)]
     fn replanner_reduces_comm_and_preserves_the_factor() {
         let n = 120;
         let b = 24;
@@ -335,6 +338,53 @@ mod tests {
         );
     }
 
+    /// The embedded re-planner (`with_replanning`) through a shared
+    /// `PlanCache`: the converged overrides live *in the cached plan*,
+    /// so every round after the first is a cache hit, traffic improves
+    /// exactly as with the external-`RefCell` re-planner, and the factor
+    /// stays bit-identical to the shared-memory reference.
+    #[test]
+    fn embedded_replanner_persists_overrides_through_the_plan_cache() {
+        let n = 120;
+        let b = 24;
+        let acc = 1e-8;
+        let dense = gaussian_dense(n);
+        let ccfg = CompressionConfig::with_accuracy(acc);
+        let fcfg = FactorConfig::with_accuracy(acc);
+        let dist = TwoDBlockCyclic::new(4);
+
+        let mut reference = TlrMatrix::from_dense(&dense, b, &ccfg);
+        factorize(&mut reference, &fcfg).unwrap();
+        let l_ref = reference.to_dense_lower();
+
+        let cache = crate::plan::PlanCache::new(4);
+        let session = Session::distributed(fcfg, 4, &dist)
+            .with_replanning(0.2)
+            .with_plan_cache(&cache);
+        let mut bytes = Vec::new();
+        for _round in 0..3 {
+            let mut m = TlrMatrix::from_dense(&dense, b, &ccfg);
+            let out = session.run(&mut m).unwrap();
+            bytes.push(out.comm.unwrap().bytes);
+            assert_eq!(
+                relative_diff(&m.to_dense_lower(), &l_ref),
+                0.0,
+                "replanned factor must stay bit-identical"
+            );
+        }
+        // One plan built, then hits whose refreshed mapping carries the
+        // re-planner's accepted overrides forward.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        for w in bytes.windows(2) {
+            assert!(w[1] <= w[0], "comm volume regressed: {bytes:?}");
+        }
+        assert!(
+            bytes.last().unwrap() < &bytes[0],
+            "embedded replanner found no improvement over the static mapping: {bytes:?}"
+        );
+    }
+
     /// The measured-feedback gate: a round that measures worse than the
     /// best accepted volume rolls the proposal back and converges.
     #[test]
@@ -346,8 +396,8 @@ mod tests {
         let ccfg = CompressionConfig::with_accuracy(acc);
         let fcfg = FactorConfig::with_accuracy(acc);
         let dist = TwoDBlockCyclic::new(4);
-        let mut m = TlrMatrix::from_dense(&dense, b, &ccfg);
-        let plan = plan_distribution(&mut m, &fcfg, 4, &dist);
+        let m = TlrMatrix::from_dense(&dense, b, &ccfg);
+        let plan = plan_distribution(&m, &fcfg, 4, &dist);
 
         let mut r = CommReplanner::new(4);
         let base = modeled_comm(&plan.dag.graph, &plan.exec_rank);

@@ -1,0 +1,357 @@
+//! Multi-tenant solver service over the shared-memory engine.
+//!
+//! [`SolveService`] is the long-lived front-end the symbolic/numeric
+//! split was built for: it owns one [`PlanCache`] shared by every
+//! request, so concurrent tenants factoring the same tile structure pay
+//! the symbolic phase once, and it gates admission so one tenant cannot
+//! starve the others — a per-tenant in-flight cap and a per-tenant
+//! memory budget accounted in [`KernelWorkspace`](tlr_compress::kernels::KernelWorkspace) arena bytes
+//! (the recompression scratch pools are the dominant transient
+//! allocation of a factorization; tile storage itself belongs to the
+//! caller's matrix). Over-limit requests are rejected *before* any
+//! kernel runs, with a typed [`ServiceError`] carrying the numbers that
+//! drove the decision.
+//!
+//! Admission charges a worst-case arena estimate
+//! ([`SolveService::arena_estimate_bytes`]) and releases it when the
+//! request finishes; the *measured* per-request high-water mark (from
+//! the run's metrics registry) is folded into [`TenantUsage`] so
+//! operators can see how much headroom the estimate leaves. The
+//! service-level registry exports `service_requests_admitted` /
+//! `service_requests_rejected` and the plan-cache counters through the
+//! same Prometheus/JSON renderers as every other metric
+//! ([`SolveService::registry_snapshot`]).
+//!
+//! Requests run on [`Session::shared`] — the work-stealing engine
+//! multiplexes tenants' tasks across one pool, which is the scenario
+//! the in-flight cap exists for. Distributed sessions emulate ranks in
+//! virtual time and have no shared arena to meter; they compose with a
+//! [`PlanCache`] directly instead.
+
+use crate::factorize::{FactorConfig, FactorReport};
+use crate::plan::PlanCache;
+use crate::session::{RunError, RunOutcome, Session};
+use crate::solve::solve_tlr;
+use parking_lot::Mutex;
+use runtime::obs::registry::{Counter, Gauge, Registry, RegistrySnapshot};
+use std::collections::HashMap;
+use std::fmt;
+use tlr_compress::TlrMatrix;
+
+/// Per-tenant admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Maximum concurrently running requests. `0` rejects everything
+    /// (useful to drain a tenant).
+    pub max_in_flight: usize,
+    /// Kernel-workspace arena budget in bytes, across the tenant's
+    /// in-flight requests. Each request is charged its worst-case
+    /// estimate at admission.
+    pub memory_budget_bytes: u64,
+}
+
+/// Live accounting for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Requests currently running.
+    pub in_flight: usize,
+    /// Arena bytes currently charged against the budget.
+    pub in_use_bytes: u64,
+    /// Largest *measured* per-request arena high-water mark seen so far
+    /// (0 until a request runs with metrics on).
+    pub peak_arena_bytes: u64,
+    /// Requests admitted so far.
+    pub admitted: u64,
+    /// Requests rejected so far (any reason).
+    pub rejected: u64,
+}
+
+struct TenantState {
+    cfg: TenantConfig,
+    usage: TenantUsage,
+}
+
+/// Why the service refused (or failed) a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The tenant was never registered.
+    UnknownTenant(String),
+    /// The tenant is already running its maximum concurrent requests.
+    InFlightLimit {
+        /// The rejected tenant.
+        tenant: String,
+        /// Its configured cap.
+        limit: usize,
+    },
+    /// Admitting the request would exceed the tenant's arena budget.
+    MemoryBudget {
+        /// The rejected tenant.
+        tenant: String,
+        /// Worst-case arena bytes this request would charge.
+        requested: u64,
+        /// The tenant's configured budget.
+        budget: u64,
+        /// Bytes already charged by its in-flight requests.
+        in_use: u64,
+    },
+    /// The request was admitted but the factorization failed.
+    Run(RunError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            ServiceError::InFlightLimit { tenant, limit } => {
+                write!(f, "tenant {tenant:?} is at its in-flight limit ({limit})")
+            }
+            ServiceError::MemoryBudget {
+                tenant,
+                requested,
+                budget,
+                in_use,
+            } => write!(
+                f,
+                "tenant {tenant:?} over memory budget: request needs {requested} B, \
+                 {in_use} B of {budget} B already in use"
+            ),
+            ServiceError::Run(e) => write!(f, "admitted request failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<RunError> for ServiceError {
+    fn from(e: RunError) -> Self {
+        ServiceError::Run(e)
+    }
+}
+
+/// What an admitted request produced.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The full factorization outcome (report, metrics registry, …).
+    pub run: RunOutcome,
+    /// The solution vector, when a right-hand side was supplied.
+    pub solution: Option<Vec<f64>>,
+    /// Worst-case arena bytes this request was charged at admission.
+    pub charged_bytes: u64,
+    /// Measured arena high-water bytes of this request (summed
+    /// per-worker bound; 0 with metrics off). Always ≤ `charged_bytes`
+    /// — the admission estimate is a proven upper bound, which is what
+    /// makes the budget enforceable.
+    pub measured_bytes: u64,
+}
+
+/// A long-lived, multi-tenant TLR solver front-end.
+///
+/// Thread-safe by construction: every entry point takes `&self`, so one
+/// `SolveService` (behind an `Arc` or a `static`) serves concurrent
+/// requests from many threads. See the module docs for the admission
+/// model.
+pub struct SolveService {
+    cache: PlanCache,
+    registry: Registry,
+    tenants: Mutex<HashMap<String, TenantState>>,
+    /// Plan-cache totals already folded into `registry`, so repeated
+    /// snapshots report deltas exactly once.
+    cache_synced: Mutex<(u64, u64, u64)>,
+}
+
+impl SolveService {
+    /// A service whose shared [`PlanCache`] holds up to
+    /// `cache_capacity` plans.
+    pub fn new(cache_capacity: usize) -> Self {
+        SolveService {
+            cache: PlanCache::new(cache_capacity),
+            registry: Registry::new(1),
+            tenants: Mutex::new(HashMap::new()),
+            cache_synced: Mutex::new((0, 0, 0)),
+        }
+    }
+
+    /// Register (or reconfigure) a tenant. Reconfiguring keeps the
+    /// tenant's live accounting — only the limits change.
+    pub fn register_tenant(&self, name: &str, cfg: TenantConfig) {
+        let mut tenants = self.tenants.lock();
+        match tenants.get_mut(name) {
+            Some(st) => st.cfg = cfg,
+            None => {
+                tenants.insert(
+                    name.to_string(),
+                    TenantState {
+                        cfg,
+                        usage: TenantUsage::default(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The shared plan cache (e.g. to pre-warm it with
+    /// [`Session::plan`] results or read hit totals).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Live accounting for `tenant`, if registered.
+    pub fn usage(&self, tenant: &str) -> Option<TenantUsage> {
+        self.tenants.lock().get(tenant).map(|st| st.usage)
+    }
+
+    /// Worst-case [`KernelWorkspace`](tlr_compress::kernels::KernelWorkspace) arena bytes a factorization with
+    /// `nthreads` workers on `tile_size`-row tiles can retain: each
+    /// worker's pools hold a handful of `tile_size²` scratch/export
+    /// buffers plus the SVD pair at their high-water marks.
+    ///
+    /// This is the amount admission charges against the tenant budget.
+    /// `tests/solve_service.rs` holds the bound against the measured
+    /// high-water of real factorizations.
+    pub fn arena_estimate_bytes(nthreads: usize, tile_size: usize) -> u64 {
+        let b = tile_size as u64;
+        (nthreads.max(1) as u64) * (16 * b * b + 4 * b) * 8
+    }
+
+    /// Factor `matrix` on behalf of `tenant` (admission-gated; see the
+    /// module docs), optionally solving `L·Lᵀ·x = rhs` with the fresh
+    /// factor. `rhs` must have one entry per matrix row.
+    ///
+    /// Metrics collection is forced on for admitted requests — the
+    /// measured arena high-water mark is part of the budget contract.
+    pub fn factorize_and_solve(
+        &self,
+        tenant: &str,
+        cfg: &FactorConfig,
+        matrix: &mut TlrMatrix,
+        rhs: Option<&[f64]>,
+    ) -> Result<SolveOutcome, ServiceError> {
+        let charged = Self::arena_estimate_bytes(cfg.nthreads, matrix.tile_size());
+        self.admit(tenant, charged)?;
+        // The arena charge is released however the run ends.
+        let result = (|| {
+            let mut run_cfg = *cfg;
+            run_cfg.collect_metrics = true;
+            let run = Session::shared(run_cfg)
+                .with_plan_cache(&self.cache)
+                .run(matrix)?;
+            let solution = rhs.map(|b| {
+                let mut x = b.to_vec();
+                solve_tlr(matrix, &mut x);
+                x
+            });
+            Ok::<_, RunError>((run, solution))
+        })();
+        let measured = result
+            .as_ref()
+            .ok()
+            .and_then(|(run, _)| run.registry.as_ref())
+            .map(|snap| {
+                // `ArenaHighWaterBytes` merges as a per-worker max;
+                // summing over the pool bounds the request's total.
+                (snap.gauge(Gauge::ArenaHighWaterBytes) * cfg.nthreads.max(1) as f64) as u64
+            })
+            .unwrap_or(0);
+        self.release(tenant, charged, measured);
+        self.sync_cache_counters();
+        let (run, solution) = result?;
+        Ok(SolveOutcome {
+            run,
+            solution,
+            charged_bytes: charged,
+            measured_bytes: measured,
+        })
+    }
+
+    /// [`factorize_and_solve`](SolveService::factorize_and_solve)
+    /// without a right-hand side.
+    pub fn factorize(
+        &self,
+        tenant: &str,
+        cfg: &FactorConfig,
+        matrix: &mut TlrMatrix,
+    ) -> Result<FactorReport, ServiceError> {
+        self.factorize_and_solve(tenant, cfg, matrix, None)
+            .map(|out| out.run.report)
+    }
+
+    /// Snapshot the service-level registry: admission counters plus the
+    /// plan cache's hit/miss/eviction totals, rendered by the same
+    /// Prometheus/JSON exporters as every run registry.
+    pub fn registry_snapshot(&self) -> RegistrySnapshot {
+        self.sync_cache_counters();
+        self.registry.snapshot()
+    }
+
+    /// Charge `tenant` for one request of `charged` arena bytes, or
+    /// reject with the reason.
+    fn admit(&self, tenant: &str, charged: u64) -> Result<(), ServiceError> {
+        let mut tenants = self.tenants.lock();
+        let Some(st) = tenants.get_mut(tenant) else {
+            drop(tenants);
+            self.registry.incr(0, Counter::ServiceRequestsRejected);
+            return Err(ServiceError::UnknownTenant(tenant.to_string()));
+        };
+        if st.usage.in_flight >= st.cfg.max_in_flight {
+            st.usage.rejected += 1;
+            self.registry.incr(0, Counter::ServiceRequestsRejected);
+            return Err(ServiceError::InFlightLimit {
+                tenant: tenant.to_string(),
+                limit: st.cfg.max_in_flight,
+            });
+        }
+        if st.usage.in_use_bytes.saturating_add(charged) > st.cfg.memory_budget_bytes {
+            st.usage.rejected += 1;
+            self.registry.incr(0, Counter::ServiceRequestsRejected);
+            return Err(ServiceError::MemoryBudget {
+                tenant: tenant.to_string(),
+                requested: charged,
+                budget: st.cfg.memory_budget_bytes,
+                in_use: st.usage.in_use_bytes,
+            });
+        }
+        st.usage.in_flight += 1;
+        st.usage.in_use_bytes += charged;
+        st.usage.admitted += 1;
+        self.registry.incr(0, Counter::ServiceRequestsAdmitted);
+        Ok(())
+    }
+
+    /// Release an admitted request's charge and fold in its measured
+    /// arena peak.
+    fn release(&self, tenant: &str, charged: u64, measured: u64) {
+        let mut tenants = self.tenants.lock();
+        if let Some(st) = tenants.get_mut(tenant) {
+            st.usage.in_flight -= 1;
+            st.usage.in_use_bytes = st.usage.in_use_bytes.saturating_sub(charged);
+            st.usage.peak_arena_bytes = st.usage.peak_arena_bytes.max(measured);
+        }
+    }
+
+    /// Fold the plan cache's monotone totals into the service registry
+    /// as deltas since the last sync.
+    fn sync_cache_counters(&self) {
+        let mut seen = self.cache_synced.lock();
+        let now = (
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.evictions(),
+        );
+        self.registry
+            .add(0, Counter::PlanCacheHits, now.0.saturating_sub(seen.0));
+        self.registry
+            .add(0, Counter::PlanCacheMisses, now.1.saturating_sub(seen.1));
+        self.registry
+            .add(0, Counter::PlanCacheEvictions, now.2.saturating_sub(seen.2));
+        *seen = now;
+    }
+}
+
+impl fmt::Debug for SolveService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveService")
+            .field("cache", &self.cache)
+            .field("tenants", &self.tenants.lock().len())
+            .finish()
+    }
+}

@@ -16,11 +16,20 @@
 //! the FT + trace + comm-counted combination the old
 //! `factorize_distributed{_counted,_ft}` trio could not express. Every
 //! mode returns the same [`RunOutcome`]; absent capabilities are `None`.
+//!
+//! The per-attempt pipeline is split into a *symbolic* phase — DAG
+//! build, distribution mapping, batching, scheduler precomputation,
+//! packaged as an immutable [`SymbolicPlan`] — and a *numeric* phase
+//! that consumes a `&SymbolicPlan` ([`Session::run_with_plan`]).
+//! [`Session::run`] remains the one-shot shim: plan (or fetch from an
+//! attached [`PlanCache`]) then run. Repeated solves on one tile
+//! structure therefore pay the symbolic cost once.
 
-use crate::dag::{build_cholesky_dag, DagConfig, TaskKind};
-use crate::distributed::{gather_tiles, kernel_env, plan_distribution_with, FtFactorOutcome};
+use crate::dag::TaskKind;
+use crate::distributed::{gather_tiles, kernel_env, scatter_tiles, FtFactorOutcome};
 use crate::drift::{DriftReport, DriftSpec};
 use crate::factorize::{FactorConfig, FactorMetrics, FactorReport, IntegrityMode};
+use crate::plan::{self, CacheEvents, PlanCache, PlanKey, SymbolicPlan};
 use crate::replan::CommReplanner;
 use distribution::TileDistribution;
 use parking_lot::{Mutex, RwLock};
@@ -38,10 +47,11 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use tlr_compress::kernels::{
     gemm_kernel_ws, potrf_kernel, syrk_kernel_ws, trsm_kernel, KernelWorkspace,
 };
-use tlr_compress::{RankEvolution, SealedTile, Tile, TileDigest, TlrMatrix};
+use tlr_compress::{RankEvolution, RankSnapshot, SealedTile, Tile, TileDigest, TlrMatrix};
 use tlr_linalg::CholeskyError;
 
 /// Where a session executes.
@@ -71,6 +81,8 @@ pub struct Session<'a> {
     cfg: FactorConfig,
     mode: Mode<'a>,
     drift: Option<DriftSpec>,
+    cache: Option<&'a PlanCache>,
+    replan_slack: Option<f64>,
 }
 
 impl<'a> Session<'a> {
@@ -80,6 +92,8 @@ impl<'a> Session<'a> {
             cfg,
             mode: Mode::Shared,
             drift: None,
+            cache: None,
+            replan_slack: None,
         }
     }
 
@@ -97,6 +111,8 @@ impl<'a> Session<'a> {
                 replan: None,
             },
             drift: None,
+            cache: None,
+            replan_slack: None,
         }
     }
 
@@ -127,10 +143,48 @@ impl<'a> Session<'a> {
     ///
     /// Re-planning is a distributed-memory concept; on a shared session
     /// this is a documented no-op.
+    ///
+    /// Because the override state lives *outside* the session, every run
+    /// must re-plan from scratch against the cell's current contents —
+    /// runs through this path bypass any attached [`PlanCache`]. Prefer
+    /// [`with_replanning`](Session::with_replanning), which embeds the
+    /// re-planner state in the (cacheable) plan itself.
+    #[deprecated(note = "use `with_replanning(slack)` — the re-planner state then lives \
+                         in the cached `SymbolicPlan` instead of an external `RefCell`")]
     pub fn with_replanner(mut self, replanner: &'a RefCell<CommReplanner>) -> Self {
         if let Mode::Distributed { replan, .. } = &mut self.mode {
             *replan = Some(replanner);
         }
+        self
+    }
+
+    /// Embed a comm-feedback re-planner in the session's plan: the
+    /// [`CommReplanner`] (with the given compute-imbalance `slack`, see
+    /// [`CommReplanner::with_slack`]) is created at plan-build time and
+    /// travels *with* the [`SymbolicPlan`] — when the plan is cached,
+    /// converged placement overrides persist across runs and sessions
+    /// sharing the cache, instead of being threaded through a per-call
+    /// `RefCell`. After each successful run the measured [`CommStats`]
+    /// feed back and, if the re-planner moves a tile chain, the plan's
+    /// distribution mapping is refreshed in place (the DAG is not
+    /// rebuilt).
+    ///
+    /// Re-planning is a distributed-memory concept; on a shared session
+    /// this is a documented no-op.
+    pub fn with_replanning(mut self, slack: f64) -> Self {
+        if matches!(self.mode, Mode::Distributed { .. }) {
+            self.replan_slack = Some(slack);
+        }
+        self
+    }
+
+    /// Attach a [`PlanCache`]: [`run`](Session::run) then fetches its
+    /// [`SymbolicPlan`] by structural fingerprint instead of re-running
+    /// the symbolic phase, and inserts freshly built plans for later
+    /// runs. Cache activity is reported in the run's metrics registry
+    /// (`plan_cache_hits` / `plan_cache_misses` / `plan_cache_evictions`).
+    pub fn with_plan_cache(mut self, cache: &'a PlanCache) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -169,13 +223,118 @@ impl<'a> Session<'a> {
     /// run the matrix contents are unspecified (tiles may be stranded on
     /// dead emulated ranks).
     pub fn run(&self, matrix: &mut TlrMatrix) -> Result<RunOutcome, RunError> {
+        let t0 = std::time::Instant::now();
+        let snapshot = matrix.rank_snapshot();
+        // The deprecated external-`RefCell` re-planner changes its
+        // overrides between calls, outside the plan — such plans are
+        // transient by construction and bypass the cache.
+        let legacy_replan = matches!(
+            self.mode,
+            Mode::Distributed {
+                replan: Some(_),
+                ..
+            }
+        );
+        let (plan, ev) = match self.cache {
+            Some(cache) if !legacy_replan => {
+                let key = plan::plan_key(&self.cfg, &snapshot, self.dist_inputs().as_ref());
+                cache.get_or_build(&key, || self.build_plan(&snapshot))?
+            }
+            _ => (Arc::new(self.build_plan(&snapshot)?), CacheEvents::default()),
+        };
+        // Cold runs report the symbolic-phase cost here; warm-cache runs
+        // report the (near-zero) key fold + lookup instead.
+        let analysis_seconds = t0.elapsed().as_secs_f64();
+        self.run_driver(&plan, matrix, ev, analysis_seconds)
+    }
+
+    /// Run the symbolic phase alone: build the [`SymbolicPlan`] this
+    /// session would execute `matrix` with, without factoring anything.
+    /// The plan is self-contained (no borrow of the matrix or the
+    /// distribution survives) and reusable across any number of
+    /// [`run_with_plan`](Session::run_with_plan) calls and matrices that
+    /// share the same structural fingerprint.
+    pub fn plan(&self, matrix: &TlrMatrix) -> Result<SymbolicPlan, RunError> {
+        self.build_plan(&matrix.rank_snapshot())
+    }
+
+    /// The numeric phase alone: factor `matrix` through a prebuilt
+    /// [`SymbolicPlan`], skipping DAG construction, distribution
+    /// mapping, batching and scheduler precomputation entirely. The
+    /// plan's [`PlanKey`] must match this matrix and session
+    /// configuration — a mismatch is rejected as
+    /// [`RunError::PlanMismatch`] (running a stale plan would misplace
+    /// tiles or deadlock rank queues). The produced factor is
+    /// bit-identical to [`run`](Session::run) without a plan.
+    pub fn run_with_plan(
+        &self,
+        plan: &SymbolicPlan,
+        matrix: &mut TlrMatrix,
+    ) -> Result<RunOutcome, RunError> {
+        let t0 = std::time::Instant::now();
+        let key = plan::plan_key(&self.cfg, &matrix.rank_snapshot(), self.dist_inputs().as_ref());
+        if key != plan.key {
+            return Err(RunError::PlanMismatch {
+                plan: Box::new(plan.key),
+                requested: Box::new(key),
+            });
+        }
+        let analysis_seconds = t0.elapsed().as_secs_f64();
+        self.run_driver(plan, matrix, CacheEvents::default(), analysis_seconds)
+    }
+
+    /// The distributed-plan inputs of this session's mode (`None` for
+    /// shared memory).
+    fn dist_inputs(&self) -> Option<plan::DistPlanInputs<'_>> {
+        match &self.mode {
+            Mode::Shared => None,
+            Mode::Distributed {
+                nprocs,
+                exec,
+                ft,
+                replan,
+            } => {
+                let verify = self.cfg.integrity != IntegrityMode::Off
+                    || ft.is_some_and(|f| f.plan.injects_corruption());
+                let trace = self.cfg.collect_trace && ExecObs::enabled();
+                let overrides = replan
+                    .map(|r| r.borrow().overrides().clone())
+                    .unwrap_or_default();
+                Some(plan::DistPlanInputs {
+                    nprocs: *nprocs,
+                    exec: *exec,
+                    ft: ft.is_some(),
+                    verify,
+                    trace,
+                    overrides,
+                    replan_slack: self.replan_slack,
+                })
+            }
+        }
+    }
+
+    fn build_plan(&self, snapshot: &RankSnapshot) -> Result<SymbolicPlan, RunError> {
+        plan::build_plan(&self.cfg, snapshot, self.dist_inputs()).map_err(RunError::Engine)
+    }
+
+    /// Diagonal-shift retry driver over one plan. The shift perturbs
+    /// values, never the rank structure, so one symbolic plan serves
+    /// every attempt. Cache activity is recorded on the first attempt
+    /// only.
+    fn run_driver(
+        &self,
+        plan: &SymbolicPlan,
+        matrix: &mut TlrMatrix,
+        ev: CacheEvents,
+        analysis_seconds: f64,
+    ) -> Result<RunOutcome, RunError> {
         let cfg = &self.cfg;
         let pristine = if cfg.max_shift_retries > 0 {
             Some(matrix.clone())
         } else {
             None
         };
-        let first_err = match self.attempt(matrix) {
+        let first_err = match self.attempt(plan, matrix, ev, analysis_seconds) {
             Ok(out) => return Ok(out),
             Err(RunError::Numeric(e)) => e,
             Err(e) => return Err(e),
@@ -192,7 +351,7 @@ impl<'a> Session<'a> {
         for attempt in 1..=cfg.max_shift_retries {
             *matrix = pristine.clone();
             matrix.shift_diagonal(shift);
-            match self.attempt(matrix) {
+            match self.attempt(plan, matrix, CacheEvents::default(), analysis_seconds) {
                 Ok(mut out) => {
                     out.report.diagonal_shift = shift;
                     out.report.shift_attempts = attempt;
@@ -211,17 +370,30 @@ impl<'a> Session<'a> {
         Err(RunError::Numeric(best_err))
     }
 
-    /// One factorization attempt on the matrix as-is.
-    fn attempt(&self, matrix: &mut TlrMatrix) -> Result<RunOutcome, RunError> {
+    /// One factorization attempt on the matrix as-is, through the plan.
+    fn attempt(
+        &self,
+        plan: &SymbolicPlan,
+        matrix: &mut TlrMatrix,
+        ev: CacheEvents,
+        analysis_seconds: f64,
+    ) -> Result<RunOutcome, RunError> {
         let drift = self.drift.as_ref();
         match self.mode {
-            Mode::Shared => shared_attempt(matrix, &self.cfg, drift),
+            Mode::Shared => shared_attempt(matrix, &self.cfg, plan, drift, ev, analysis_seconds),
             Mode::Distributed {
+                nprocs, ft, replan, ..
+            } => distributed_attempt(
+                matrix,
+                &self.cfg,
                 nprocs,
-                exec,
                 ft,
                 replan,
-            } => distributed_attempt(matrix, &self.cfg, nprocs, exec, ft, replan, drift),
+                plan,
+                drift,
+                ev,
+                analysis_seconds,
+            ),
         }
     }
 }
@@ -244,6 +416,8 @@ impl fmt::Debug for Session<'_> {
                 .field("fault_layer", &ft.is_some())
                 .field("replanner", &replan.is_some()),
         };
+        d.field("plan_cache", &self.cache.is_some());
+        d.field("replanning", &self.replan_slack.is_some());
         d.finish()
     }
 }
@@ -290,6 +464,17 @@ pub enum RunError {
     /// graph/configuration was invalid, or a fault plan was not
     /// survivable. Not retried — see [`Session::run`].
     Engine(EngineError),
+    /// A prebuilt [`SymbolicPlan`] handed to
+    /// [`Session::run_with_plan`] was built for a different matrix
+    /// structure or session configuration. Running it anyway would
+    /// misplace tiles or deadlock rank queues, so the mismatch is
+    /// rejected up front with both fingerprints.
+    PlanMismatch {
+        /// Fingerprint the plan was built for.
+        plan: Box<PlanKey>,
+        /// Fingerprint of the requested run.
+        requested: Box<PlanKey>,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -297,6 +482,11 @@ impl fmt::Display for RunError {
         match self {
             RunError::Numeric(e) => write!(f, "matrix is not positive definite: {e:?}"),
             RunError::Engine(e) => write!(f, "engine failure: {e}"),
+            RunError::PlanMismatch { plan, requested } => write!(
+                f,
+                "symbolic plan does not match this matrix/session configuration \
+                 (plan {plan:?}, requested {requested:?})"
+            ),
         }
     }
 }
@@ -324,25 +514,21 @@ impl From<EngineError> for RunError {
 fn shared_attempt(
     matrix: &mut TlrMatrix,
     cfg: &FactorConfig,
+    plan: &SymbolicPlan,
     drift: Option<&DriftSpec>,
+    ev: CacheEvents,
+    analysis_seconds: f64,
 ) -> Result<RunOutcome, RunError> {
     let nt = matrix.nt();
     let memory_before_f64 = matrix.memory_f64();
-    let t0 = std::time::Instant::now();
-    let dag = build_cholesky_dag(
-        &matrix.rank_snapshot(),
-        &DagConfig {
-            trimmed: cfg.trimmed,
-            rank_cap: cfg.max_rank,
-        },
-    );
-    // Panel batching contracts the graph the engine runs; kernels, tile
-    // update order, and all observability stay at original-task
-    // granularity (see `crate::batch`).
-    let pb = cfg
-        .batch_panels
-        .then(|| crate::batch::batch_panel_gemms(&dag, None));
-    let analysis_seconds = t0.elapsed().as_secs_f64();
+    // The symbolic phase already ran: the trimmed DAG, the contracted
+    // panel-batch graph and the scheduler tables all come off the plan.
+    let dag = &plan.dag;
+    let pb = plan.batch.as_ref();
+    let sched_plan = plan
+        .sched
+        .as_ref()
+        .expect("shared plans carry scheduler state");
 
     // Move the tiles into lock cells for concurrent kernel execution.
     let tile_size = matrix.tile_size();
@@ -468,6 +654,11 @@ fn shared_attempt(
     // few relaxed atomic adds per task; with the runtime's `metrics`
     // feature off the calls are no-ops and the snapshot merges empty.
     let registry = cfg.collect_metrics.then(|| Registry::new(nthreads));
+    if let Some(reg) = &registry {
+        reg.add(0, Counter::PlanCacheHits, ev.hits);
+        reg.add(0, Counter::PlanCacheMisses, ev.misses);
+        reg.add(0, Counter::PlanCacheEvictions, ev.evictions);
+    }
 
     let exec_t0 = std::time::Instant::now();
     // One kernel dispatch per *original* task — both the plain and the
@@ -562,7 +753,10 @@ fn shared_attempt(
         };
         class_nanos.lock()[idx] += nanos;
     };
-    let exec_result = if let Some(pb) = &pb {
+    // Both paths run the plan's precomputed scheduler tables
+    // (`Engine::run_planned`): no per-run priority computation, and
+    // `EngineConfig::sched` is irrelevant — the plan carries the policy.
+    let exec_result = if let Some(pb) = pb {
         // Batched run: the engine schedules the contracted graph, the
         // closure loops the fused members, and the BatchObs shim plus
         // per-member `record_span` keep the trace at kernel granularity
@@ -570,12 +764,11 @@ fn shared_attempt(
         let bobs = crate::batch::BatchObs::new(obs.as_ref(), &pb.members);
         let mut engine_cfg = EngineConfig::new(nthreads)
             .with_cancel(&cancel)
-            .with_obs(&bobs)
-            .with_sched(cfg.sched);
+            .with_obs(&bobs);
         if let Some(reg) = &registry {
             engine_cfg = engine_cfg.with_metrics(reg);
         }
-        Engine::new(&pb.graph).run(&engine_cfg, |wid, b| {
+        Engine::new(&pb.graph).run_planned(&engine_cfg, sched_plan, |wid, b| {
             for &t in &pb.members[b] {
                 match obs.as_ref() {
                     Some(o) => {
@@ -590,12 +783,11 @@ fn shared_attempt(
     } else {
         let mut engine_cfg = EngineConfig::new(nthreads)
             .with_cancel(&cancel)
-            .with_obs(obs.as_ref())
-            .with_sched(cfg.sched);
+            .with_obs(obs.as_ref());
         if let Some(reg) = &registry {
             engine_cfg = engine_cfg.with_metrics(reg);
         }
-        Engine::new(&dag.graph).run(&engine_cfg, run_task)
+        Engine::new(&dag.graph).run_planned(&engine_cfg, sched_plan, run_task)
     };
     let factorization_seconds = exec_t0.elapsed().as_secs_f64();
 
@@ -733,29 +925,38 @@ fn shared_attempt(
 }
 
 /// One distributed attempt on the virtual-time [`DistEngine`]:
-/// `plan_distribution` → `kernel_env` → engine run → `gather_tiles`.
+/// `scatter_tiles` → `kernel_env` → planned engine run → `gather_tiles`.
+///
+/// All placement and ordering decisions come off the [`SymbolicPlan`]'s
+/// [`DistStatic`](crate::plan) machinery; this function only moves
+/// tiles, runs kernels, and feeds measured traffic back into whichever
+/// re-planner the session layers (embedded-in-plan or the deprecated
+/// external `RefCell`).
+#[allow(clippy::too_many_arguments)]
 fn distributed_attempt(
     matrix: &mut TlrMatrix,
     cfg: &FactorConfig,
     nprocs: usize,
-    exec: &dyn TileDistribution,
     ft: Option<&FtConfig>,
     replan: Option<&RefCell<CommReplanner>>,
+    plan: &SymbolicPlan,
     drift: Option<&DriftSpec>,
+    ev: CacheEvents,
+    analysis_seconds: f64,
 ) -> Result<RunOutcome, RunError> {
     let tile_size = matrix.tile_size();
     let memory_before_f64 = matrix.memory_f64();
-    let t0 = std::time::Instant::now();
-    // A re-planner steers placement through per-tile overrides learned
-    // from earlier runs on this geometry; without one the static
-    // distribution plans alone (empty override map).
-    let overrides = replan
-        .map(|r| r.borrow().overrides().clone())
-        .unwrap_or_default();
-    let mut plan = plan_distribution_with(matrix, cfg, nprocs, exec, &overrides);
-    let analysis_seconds = t0.elapsed().as_secs_f64();
-    let initial = std::mem::take(&mut plan.initial);
-    let env = kernel_env(&plan, cfg, tile_size);
+    let ds = plan
+        .dist
+        .as_ref()
+        .expect("distributed plans carry placement state");
+    let dag = &plan.dag;
+    // Hold the mapping read-locked across the whole attempt: an embedded
+    // re-planner refreshing it mid-run (another session sharing the
+    // cached plan) must wait until this run has gathered its tiles.
+    let map = ds.mapping.read();
+    let initial = scatter_tiles(matrix, &map.placement, nprocs);
+    let env = kernel_env(dag, &ds.preds, cfg, tile_size);
 
     // The virtual-time trace is gated like the shared-memory one: only
     // when tracing is requested *and* compiled in, so `collect_trace`
@@ -765,23 +966,26 @@ fn distributed_attempt(
     // virtual per-class durations land in the executing rank's shard,
     // comm/fault/integrity totals fold into shard 0 at end of run.
     let registry = cfg.collect_metrics.then(|| Registry::new(nprocs));
+    if let Some(reg) = &registry {
+        reg.add(0, Counter::PlanCacheHits, ev.hits);
+        reg.add(0, Counter::PlanCacheMisses, ev.misses);
+        reg.add(0, Counter::PlanCacheEvictions, ev.evictions);
+    }
     let dist_cfg = DistConfig {
         ft,
         record_trace: cfg.collect_trace && ExecObs::enabled(),
-        sched: Some(cfg.sched),
+        // Every path below runs `run_planned`: the plan's precomputed
+        // order *is* the schedule, so no policy is passed down.
+        sched: None,
         metrics: registry.as_ref(),
     };
     // The integrity layer arms when asked for explicitly, or whenever
     // the fault plan injects corruption — silent corruption with the
     // detector off would violate the bit-identical-factor contract.
+    // The plan was keyed on the same predicate, so `map.batch` is
+    // guaranteed `None` whenever `verify` holds.
     let verify =
         cfg.integrity != IntegrityMode::Off || ft.is_some_and(|f| f.plan.injects_corruption());
-    // Panel batching on the distributed engine: plain runs only — fault
-    // recovery, integrity healing, and the virtual-time trace all reason
-    // about single-tile tasks, so any of them disables the pass. Groups
-    // are keyed on the execution rank: a fused task runs on one rank.
-    let batch = (cfg.batch_panels && ft.is_none() && !verify && !dist_cfg.record_trace)
-        .then(|| crate::batch::batch_panel_gemms(&plan.dag, Some(&plan.exec_rank)));
     let exec_t0 = std::time::Instant::now();
     let out: DistOutcome<Tile> =
         if verify {
@@ -804,8 +1008,13 @@ fn distributed_attempt(
                 corrupt: &corrupt,
                 verify: &check,
             };
-            let out = DistEngine::new(&plan.dag.graph, nprocs, &plan.exec_rank)
-                .run_with_integrity(sealed, &dist_cfg, Some(&hooks), |t, ctx| env.run(t, ctx))?;
+            let out = DistEngine::new(&dag.graph, nprocs, &map.exec_rank).run_planned(
+                sealed,
+                &dist_cfg,
+                &map.order,
+                Some(&hooks),
+                |t, ctx| env.run(t, ctx),
+            )?;
             DistOutcome {
                 stores: out
                     .stores
@@ -819,7 +1028,7 @@ fn distributed_attempt(
                 events: out.events,
                 trace: out.trace,
             }
-        } else if let Some(pb) = &batch {
+        } else if let Some(db) = &map.batch {
             // Batched run: the engine schedules and ships at fused-task
             // granularity; the body replays the members in per-tile
             // program order, translating producer ids for inbox lookups.
@@ -827,21 +1036,28 @@ fn distributed_attempt(
             // spec's `writes`); the other members' outputs travel via the
             // rank store (the engine ships non-`writes` edge data from
             // there).
-            let exec_rank_b = pb.exec_ranks(&plan.exec_rank);
-            DistEngine::new(&pb.graph, nprocs, &exec_rank_b).run(initial, &dist_cfg, |b, ctx| {
-                let mut first = None;
-                for &t in &pb.members[b] {
-                    let out = env.run_mapped(t, ctx, &pb.of);
-                    if first.is_none() {
-                        first = Some(out);
-                    }
-                }
-                first.expect("batched task has at least one member")
-            })?
-        } else {
-            DistEngine::new(&plan.dag.graph, nprocs, &plan.exec_rank).run(
+            DistEngine::new(&db.pb.graph, nprocs, &db.exec_rank).run_planned(
                 initial,
                 &dist_cfg,
+                &db.order,
+                None,
+                |b, ctx| {
+                    let mut first = None;
+                    for &t in &db.pb.members[b] {
+                        let out = env.run_mapped(t, ctx, &db.pb.of);
+                        if first.is_none() {
+                            first = Some(out);
+                        }
+                    }
+                    first.expect("batched task has at least one member")
+                },
+            )?
+        } else {
+            DistEngine::new(&dag.graph, nprocs, &map.exec_rank).run_planned(
+                initial,
+                &dist_cfg,
+                &map.order,
+                None,
                 |t, ctx| env.run(t, ctx),
             )?
         };
@@ -849,28 +1065,46 @@ fn distributed_attempt(
 
     // A batched run's final rank assignment is indexed by fused-task ids;
     // project it back to original tasks for gathering.
-    let final_exec: Vec<usize> = match &batch {
-        Some(pb) => pb.of.iter().map(|&b| out.exec_rank[b]).collect(),
+    let final_exec: Vec<usize> = match &map.batch {
+        Some(db) => db.pb.of.iter().map(|&b| out.exec_rank[b]).collect(),
         None => out.exec_rank.clone(),
     };
-    gather_tiles(matrix, &plan, &final_exec, &out.stores);
+    gather_tiles(matrix, &ds.last_writer, &map.placement, &final_exec, &out.stores);
     if let Some(e) = env.error.into_inner() {
         return Err(RunError::Numeric(e));
     }
     // Feed the measured traffic back into the re-planner (successful
-    // runs only — a failed attempt's comm is not a usable signal).
-    if let Some(r) = replan {
-        r.borrow_mut()
-            .observe(&plan.dag.graph, &plan.exec_rank, &out.comm);
+    // runs only — a failed attempt's comm is not a usable signal). The
+    // planned (pre-fault) ranks and current overrides are cloned out so
+    // the read guard can drop before an embedded re-planner refreshes
+    // the mapping in place.
+    let planned_exec = map.exec_rank.clone();
+    let old_overrides = map.overrides.clone();
+    drop(map);
+    if let Some(rp) = &ds.replan {
+        let mut r = rp.lock();
+        r.observe(&dag.graph, &planned_exec, &out.comm);
+        if *r.overrides() != old_overrides {
+            let overrides = r.overrides().clone();
+            drop(r);
+            // Re-derive placement/orders from the existing DAG. The only
+            // failure mode is a scheduler-key defect, which the original
+            // derivation already ruled out — on the (unreachable) error
+            // the old mapping simply stays in force.
+            let _ = ds.refresh(dag, plan.nt, cfg.sched, overrides);
+        }
+    }
+    if let Some(rc) = replan {
+        rc.borrow_mut().observe(&dag.graph, &planned_exec, &out.comm);
     }
     let registry = registry.map(|r| r.snapshot());
     // Drift compares at original-task granularity: the model prices
-    // `plan.dag.graph` and the comm model uses the projected-back final
+    // `dag.graph` and the comm model uses the projected-back final
     // mapping, so batched and unbatched runs report comparably.
     let drift = match (drift, &registry) {
         (Some(spec), Some(snap)) => Some(DriftReport::compute(
             spec,
-            &plan.dag.graph,
+            &dag.graph,
             snap,
             Some((&final_exec, out.comm)),
         )),
@@ -880,8 +1114,8 @@ fn distributed_attempt(
     let report = FactorReport {
         factorization_seconds,
         analysis_seconds,
-        dag_tasks: plan.dag.graph.len(),
-        dense_dag_tasks: plan.dag.analysis.dense_tasks(),
+        dag_tasks: dag.graph.len(),
+        dense_dag_tasks: dag.analysis.dense_tasks(),
         final_snapshot: matrix.rank_snapshot(),
         memory_before_f64,
         memory_after_f64: matrix.memory_f64(),

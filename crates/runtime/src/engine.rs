@@ -40,8 +40,7 @@ use crate::graph::{DataRef, TaskGraph, TaskId};
 use crate::obs::registry::{Counter, Gauge, Registry};
 use crate::obs::RunEvent;
 use crate::scheduler::{
-    priority_topo_order, queue_keys, upward_rank_comm_keys, validate_keys, CommCosts,
-    LookaheadScheduler, SchedPolicy, Scheduler, StaticScheduler,
+    dist_priority_order, LookaheadScheduler, SchedPlan, SchedPolicy, Scheduler, StaticScheduler,
 };
 use crate::trace::{TaskRecord, Trace};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
@@ -428,6 +427,15 @@ pub enum EngineError {
         /// The offending key value.
         key: f64,
     },
+    /// A precomputed execution order supplied to
+    /// [`DistEngine::run_planned`] is unusable: wrong length, not a
+    /// permutation of the task ids, or not topological for the graph.
+    /// Running it anyway would deadlock the front-only rank queues, so
+    /// it is rejected up front.
+    InvalidOrder {
+        /// What check the order failed.
+        reason: &'static str,
+    },
     /// The fault layer could not recover (all ranks dead, retries
     /// exhausted, or the run stalled).
     Fault(FtError),
@@ -464,6 +472,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::NonFiniteKey { task, key } => {
                 write!(f, "non-finite scheduling key {key} for task {task}")
+            }
+            EngineError::InvalidOrder { reason } => {
+                write!(f, "precomputed execution order rejected: {reason}")
             }
             EngineError::Fault(e) => write!(f, "unrecoverable runtime fault: {e}"),
         }
@@ -610,6 +621,34 @@ impl<'g> Engine<'g> {
         F: Fn(usize, TaskId) + Sync,
     {
         let mut sched = policy_scheduler(self.graph, cfg.sched)?;
+        self.run_with_scheduler(cfg, sched.as_mut(), kernel)
+    }
+
+    /// [`run`](Engine::run) consuming a precomputed [`SchedPlan`]
+    /// instead of rebuilding the scheduler from
+    /// [`EngineConfig::sched`]: the plan's stored tables are
+    /// instantiated (O(tasks), no graph walk) and the run proceeds
+    /// exactly as an unplanned run with the same policy would — the
+    /// plan only moves *when* the pricing happens, never what it is, so
+    /// planned and unplanned runs are bit-identical.
+    pub fn run_planned<C, O, F>(
+        &self,
+        cfg: &EngineConfig<'_, C, O>,
+        plan: &SchedPlan,
+        kernel: F,
+    ) -> Result<(), EngineError>
+    where
+        C: Cancel,
+        O: Observe,
+        F: Fn(usize, TaskId) + Sync,
+    {
+        if plan.len() != self.graph.len() {
+            return Err(EngineError::RankMapLength {
+                expected: self.graph.len(),
+                got: plan.len(),
+            });
+        }
+        let mut sched = plan.instantiate()?;
         self.run_with_scheduler(cfg, sched.as_mut(), kernel)
     }
 
@@ -1306,6 +1345,37 @@ fn heal_datum<P: Clone>(
     Ok(())
 }
 
+/// Check that `order` is a topological permutation of `graph`'s task
+/// ids. A plan computed against a *different* graph (stale cache entry,
+/// wrong trim) fails here instead of deadlocking the rank queues.
+fn validate_topo_order(graph: &TaskGraph, order: &[TaskId]) -> Result<(), EngineError> {
+    let ntasks = graph.len();
+    if order.len() != ntasks {
+        return Err(EngineError::InvalidOrder {
+            reason: "length does not match task count",
+        });
+    }
+    let mut pos = vec![usize::MAX; ntasks];
+    for (p, &t) in order.iter().enumerate() {
+        if t >= ntasks || pos[t] != usize::MAX {
+            return Err(EngineError::InvalidOrder {
+                reason: "not a permutation of the task ids",
+            });
+        }
+        pos[t] = p;
+    }
+    for src in 0..ntasks {
+        for e in graph.successors(src) {
+            if pos[src] >= pos[e.dst] {
+                return Err(EngineError::InvalidOrder {
+                    reason: "order violates a dependency edge",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The distributed-memory engine (message-passing emulation).
 ///
 /// Each rank owns a **private** payload store (no shared data), and every
@@ -1419,6 +1489,47 @@ impl<'g, 'r> DistEngine<'g, 'r> {
         P: Clone,
         F: Fn(TaskId, &mut RankCtx<'_, P>) -> P,
     {
+        self.run_inner(initial, cfg, None, hooks, body)
+    }
+
+    /// [`run_with_integrity`](DistEngine::run_with_integrity) with a
+    /// precomputed execution order, skipping the per-run priority-key
+    /// computation entirely (the numeric half of a plan-then-run
+    /// split). `order` must be a topological permutation of the task
+    /// ids — typically the output of
+    /// [`dist_priority_order`] over the same graph, policy and rank
+    /// map, computed once at plan
+    /// time. The order is validated (length, permutation, edge
+    /// direction) and rejected as [`EngineError::InvalidOrder`] rather
+    /// than risking a front-queue deadlock. `cfg.sched` is ignored:
+    /// the supplied order *is* the schedule.
+    pub fn run_planned<P, F>(
+        &self,
+        initial: Vec<HashMap<DataRef, P>>,
+        cfg: &DistConfig<'_>,
+        order: &[TaskId],
+        hooks: Option<&IntegrityHooks<'_, P>>,
+        body: F,
+    ) -> Result<DistOutcome<P>, EngineError>
+    where
+        P: Clone,
+        F: Fn(TaskId, &mut RankCtx<'_, P>) -> P,
+    {
+        self.run_inner(initial, cfg, Some(order), hooks, body)
+    }
+
+    fn run_inner<P, F>(
+        &self,
+        initial: Vec<HashMap<DataRef, P>>,
+        cfg: &DistConfig<'_>,
+        precomputed: Option<&[TaskId]>,
+        hooks: Option<&IntegrityHooks<'_, P>>,
+        body: F,
+    ) -> Result<DistOutcome<P>, EngineError>
+    where
+        P: Clone,
+        F: Fn(TaskId, &mut RankCtx<'_, P>) -> P,
+    {
         let graph = self.graph;
         let nprocs = self.nprocs;
         let exec_rank = self.exec_rank;
@@ -1436,28 +1547,20 @@ impl<'g, 'r> DistEngine<'g, 'r> {
                 got: initial.len(),
             });
         }
-        let Some(order) = graph.topological_order() else {
-            return Err(EngineError::Cycle);
-        };
-        // Apply the scheduling policy as a priority-driven topological
-        // order (front-only rank queues deadlock under any order that
-        // is not globally topological — see [`DistConfig::sched`]).
-        let order = match cfg.sched {
-            None => order,
-            Some(policy) => {
-                let cost = |t: TaskId| graph.spec(t).flops * 1e-9;
-                let keys = match policy {
-                    SchedPolicy::CommAwareUpwardRank => upward_rank_comm_keys(
-                        graph,
-                        cost,
-                        exec_rank,
-                        &CommCosts { latency_s: 0.0, bandwidth_bps: 1e9 },
-                    ),
-                    p => queue_keys(graph, cost, p),
-                };
-                validate_keys(&keys)?;
-                priority_topo_order(graph, &keys).ok_or(EngineError::Cycle)?
+        // A precomputed order replaces both the cycle check and the
+        // policy keying; otherwise apply the scheduling policy as a
+        // priority-driven topological order (front-only rank queues
+        // deadlock under any order that is not globally topological —
+        // see [`DistConfig::sched`]).
+        let order = match precomputed {
+            Some(order) => {
+                validate_topo_order(graph, order)?;
+                order.to_vec()
             }
+            None => match cfg.sched {
+                None => graph.topological_order().ok_or(EngineError::Cycle)?,
+                Some(policy) => dist_priority_order(graph, policy, exec_rank)?,
+            },
         };
         for (t, &r) in exec_rank.iter().enumerate() {
             if r >= nprocs {

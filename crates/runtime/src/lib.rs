@@ -63,8 +63,8 @@ pub use fault::{
 pub use graph::{DataRef, TaskClass, TaskGraph, TaskId, TaskSpec};
 pub use machine::MachineModel;
 pub use scheduler::{
-    queue_keys, upward_rank_comm_keys, CommCosts, CostModel, LookaheadScheduler, RankProfile,
-    SchedPolicy, Scheduler, StaticScheduler,
+    dist_priority_order, queue_keys, upward_rank_comm_keys, CommCosts, CostModel,
+    LookaheadScheduler, RankProfile, SchedPlan, SchedPolicy, Scheduler, StaticScheduler,
 };
 pub use obs::registry::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use obs::{chrome_trace_json, chrome_trace_json_with_events, RunEvent, RunMetrics};

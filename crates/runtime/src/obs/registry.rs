@@ -78,10 +78,21 @@ pub enum Counter {
     NacksSent,
     /// Workspace arena growth events (an acquisition had to allocate).
     WorkspaceGrowth,
+    /// Symbolic-plan cache lookups that found a reusable plan.
+    PlanCacheHits,
+    /// Symbolic-plan cache lookups that had to plan from scratch.
+    PlanCacheMisses,
+    /// Cached symbolic plans evicted by the LRU policy.
+    PlanCacheEvictions,
+    /// Solve-service requests admitted past admission control.
+    ServiceRequestsAdmitted,
+    /// Solve-service requests rejected by admission control (in-flight
+    /// cap or memory budget).
+    ServiceRequestsRejected,
 }
 
 /// Number of [`Counter`] variants.
-pub const NCOUNTERS: usize = 16;
+pub const NCOUNTERS: usize = 21;
 
 impl Counter {
     /// All counters, in declaration (= storage) order.
@@ -102,6 +113,11 @@ impl Counter {
         Counter::CorruptionsHealed,
         Counter::NacksSent,
         Counter::WorkspaceGrowth,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::PlanCacheEvictions,
+        Counter::ServiceRequestsAdmitted,
+        Counter::ServiceRequestsRejected,
     ];
 
     /// Stable snake_case name (JSON key / Prometheus metric stem).
@@ -123,6 +139,11 @@ impl Counter {
             Counter::CorruptionsHealed => "corruptions_healed",
             Counter::NacksSent => "nacks_sent",
             Counter::WorkspaceGrowth => "workspace_growth",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
+            Counter::ServiceRequestsAdmitted => "service_requests_admitted",
+            Counter::ServiceRequestsRejected => "service_requests_rejected",
         }
     }
 }

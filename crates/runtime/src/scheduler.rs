@@ -39,7 +39,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Ready-queue ordering policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedPolicy {
     /// Lower `TaskSpec::priority` first (panel index — the default).
     #[default]
@@ -413,6 +413,28 @@ impl LookaheadScheduler {
         Self::new(graph, |t| model.task_cost(graph.spec(t)))
     }
 
+    /// Rebuild from precomputed base costs and downstream spans (the
+    /// tables [`Self::new`] derives from the graph), with the EMA
+    /// corrections reset to the identity. This is how a cached
+    /// [`SchedPlan`] re-instantiates the lookahead policy per run
+    /// without re-walking the graph: the static tables persist with the
+    /// plan, the online state is per-run by design.
+    pub fn from_parts(base_cost: Vec<f64>, downstream: Vec<f64>) -> Result<Self, EngineError> {
+        validate_keys(&base_cost)?;
+        validate_keys(&downstream)?;
+        Ok(Self { base_cost, downstream, class_corr: [1.0; 5] })
+    }
+
+    /// The per-task static cost table.
+    pub fn base_costs(&self) -> &[f64] {
+        &self.base_cost
+    }
+
+    /// The per-task downstream (critical-path lookahead) table.
+    pub fn downstream(&self) -> &[f64] {
+        &self.downstream
+    }
+
     /// Current correction factor of a kernel class (starts at 1.0).
     pub fn class_correction(&self, class: TaskClass) -> f64 {
         self.class_corr[class_index(class)]
@@ -486,6 +508,121 @@ pub fn priority_topo_order(graph: &TaskGraph, keys: &[f64]) -> Option<Vec<TaskId
         }
     }
     (order.len() == n).then_some(order)
+}
+
+/// Precomputed scheduler state for one task graph under one policy —
+/// the scheduler slice of a symbolic plan.
+///
+/// The work-stealing engine normally rebuilds its [`Scheduler`] on
+/// every run ([`crate::engine::Engine::run`] prices every task and, for
+/// the upward-rank family, walks the whole graph). A `SchedPlan` does
+/// that walk once at plan time and re-instantiates the scheduler from
+/// the stored tables on each run
+/// ([`crate::engine::Engine::run_planned`]): static policies become a
+/// key-table clone, the lookahead policy restores its cost/downstream
+/// tables with a fresh per-run EMA. Instantiation is O(tasks) with no
+/// graph traversal, which is what lets a cached plan skip the symbolic
+/// phase entirely.
+#[derive(Debug, Clone)]
+pub struct SchedPlan {
+    policy: SchedPolicy,
+    /// Static key table (`None` for the dynamic lookahead policy).
+    keys: Option<Vec<f64>>,
+    /// Lookahead tables: (base cost, downstream span) per task.
+    lookahead: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl SchedPlan {
+    /// Precompute the scheduler state for `graph` under `policy`,
+    /// pricing tasks exactly as the engine's default does (planned
+    /// flops at a nominal 1 Gflop/s), so a planned run is bit-identical
+    /// to an unplanned one.
+    pub fn build(graph: &TaskGraph, policy: SchedPolicy) -> Result<Self, EngineError> {
+        let cost = |t: TaskId| graph.spec(t).flops * 1e-9;
+        Self::build_with(graph, cost, policy)
+    }
+
+    /// [`build`](Self::build) with an explicit per-task cost estimate.
+    pub fn build_with(
+        graph: &TaskGraph,
+        cost: impl Fn(TaskId) -> f64,
+        policy: SchedPolicy,
+    ) -> Result<Self, EngineError> {
+        match policy {
+            SchedPolicy::RankAwareLookahead => {
+                let s = LookaheadScheduler::new(graph, cost)?;
+                Ok(SchedPlan {
+                    policy,
+                    keys: None,
+                    lookahead: Some((s.base_costs().to_vec(), s.downstream().to_vec())),
+                })
+            }
+            p => {
+                let s = StaticScheduler::from_policy(graph, cost, p)?;
+                Ok(SchedPlan { policy: p, keys: Some(s.keys().to_vec()), lookahead: None })
+            }
+        }
+    }
+
+    /// The policy this plan was built for.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Tasks the plan covers (for compatibility checks against a graph).
+    pub fn len(&self) -> usize {
+        match (&self.keys, &self.lookahead) {
+            (Some(k), _) => k.len(),
+            (None, Some((b, _))) => b.len(),
+            (None, None) => 0,
+        }
+    }
+
+    /// `true` when the plan covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Instantiate a fresh per-run [`Scheduler`] from the stored
+    /// tables. Static policies share the key table semantics of
+    /// [`StaticScheduler`]; the lookahead policy starts each run with
+    /// identity EMA corrections, exactly as an unplanned run does.
+    pub fn instantiate(&self) -> Result<Box<dyn Scheduler>, EngineError> {
+        match (&self.keys, &self.lookahead) {
+            (Some(k), _) => Ok(Box::new(StaticScheduler::new(k.clone())?)),
+            (None, Some((base, down))) => {
+                Ok(Box::new(LookaheadScheduler::from_parts(base.clone(), down.clone())?))
+            }
+            (None, None) => Ok(Box::new(StaticScheduler::new(Vec::new())?)),
+        }
+    }
+}
+
+/// The priority-driven topological order the distributed engine applies
+/// for `policy` over `graph` with task→rank mapping `exec_rank` —
+/// exactly the computation [`crate::engine::DistEngine`] performs per
+/// run when no precomputed order is supplied (tasks priced at planned
+/// flops / 1 Gflop/s; [`SchedPolicy::CommAwareUpwardRank`] prices
+/// cross-rank edges at a nominal 1 GB/s). Symbolic plans call this once
+/// and hand the order to
+/// [`run_planned`](crate::engine::DistEngine::run_planned).
+pub fn dist_priority_order(
+    graph: &TaskGraph,
+    policy: SchedPolicy,
+    exec_rank: &[usize],
+) -> Result<Vec<TaskId>, EngineError> {
+    let cost = |t: TaskId| graph.spec(t).flops * 1e-9;
+    let keys = match policy {
+        SchedPolicy::CommAwareUpwardRank => upward_rank_comm_keys(
+            graph,
+            cost,
+            exec_rank,
+            &CommCosts { latency_s: 0.0, bandwidth_bps: 1e9 },
+        ),
+        p => queue_keys(graph, cost, p),
+    };
+    validate_keys(&keys)?;
+    priority_topo_order(graph, &keys).ok_or(EngineError::Cycle)
 }
 
 #[cfg(test)]

@@ -92,6 +92,50 @@ impl LaneHash {
     }
 }
 
+/// Streaming FNV-1a fold over `u64` words — the scalar chain of the
+/// [`TileDigest`] lane hash, exposed for callers that fingerprint
+/// *structure* rather than tile contents (the symbolic-plan cache keys
+/// its entries by folding tile-grid shape, per-tile ranks, and the
+/// distribution's owner map through this).
+///
+/// Each step `h' = (h ^ w)·p` with odd `p` is bijective in both `h` and
+/// `w` (the same argument as [`TileDigest`]'s), so two structures that
+/// differ in any single folded word end in different states.
+#[derive(Debug, Clone, Copy)]
+pub struct WordFold {
+    h: u64,
+}
+
+impl WordFold {
+    /// A fold in its initial state (the FNV-1a offset basis).
+    pub fn new() -> Self {
+        WordFold { h: FNV_OFFSET }
+    }
+
+    /// Fold one word into the state.
+    #[inline]
+    pub fn push(&mut self, w: u64) {
+        self.h = (self.h ^ w).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Fold a `usize` (as `u64`).
+    #[inline]
+    pub fn push_usize(&mut self, w: usize) {
+        self.push(w as u64);
+    }
+
+    /// The folded hash.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for WordFold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Exact fingerprint of one tile: logical shape, storage format, rank,
 /// a bitwise content hash, and the Frobenius sum of squares of the
 /// stored words (kept as raw bits so comparison is exact even for

@@ -34,7 +34,7 @@ pub mod tile;
 
 pub use aca::{aca_compress, AcaResult};
 pub use compress::{compress_tile, decompress_tile, CompressionConfig};
-pub use integrity::{corrupt_tile, SealedTile, TileDigest};
+pub use integrity::{corrupt_tile, SealedTile, TileDigest, WordFold};
 pub use matrix::TlrMatrix;
 pub use rankstat::{RankEvolution, RankSnapshot, SyntheticRankModel};
 pub use tile::Tile;
